@@ -1,0 +1,66 @@
+// Experiment A3 — ablation: the two Theorem 6 construction procedures.
+//
+// The paper first gives a direct assignment procedure ("less than c·n
+// parallel I/Os"), then improves it into a fully external sort-based
+// pipeline. This harness builds the same dictionary with both and compares
+// construction cost as n grows: the direct algorithm is linear in n with a
+// larger constant (a read+write round pair per key), while the sort-based one
+// tracks sort(n·d) — asymptotically n·d/(B·D) log_{M/BD}(…) rounds, far fewer
+// once blocks hold many records. Estimated wall time on spinning disks shows
+// the practical gap.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/static_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/cost_model.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace pddict;
+  std::printf("=== Theorem 6 construction: direct (first version) vs "
+              "sort-based (improved) ===\n\n");
+  std::printf("%8s | %12s %14s | %12s %14s | %8s\n", "n", "direct I/Os",
+              "est. spinning", "sorted I/Os", "est. spinning", "ratio");
+  bench::rule('-', 84);
+
+  auto model = pdm::DiskCostModel::spinning();
+  for (std::uint64_t n : {std::uint64_t{1} << 11, std::uint64_t{1} << 12,
+                          std::uint64_t{1} << 13, std::uint64_t{1} << 14,
+                          std::uint64_t{1} << 15}) {
+    auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                        n, std::uint64_t{1} << 40, n);
+    std::vector<std::byte> values(n * 8, std::byte{0x11});
+    std::uint64_t ios[2];
+    for (int alg = 0; alg < 2; ++alg) {
+      pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+      pdm::DiskAllocator alloc;
+      core::StaticDictParams p;
+      p.universe_size = std::uint64_t{1} << 40;
+      p.capacity = n;
+      p.value_bytes = 8;
+      p.degree = 16;
+      p.layout = core::StaticLayout::kIdentifiers;
+      p.algorithm = alg == 0 ? core::BuildAlgorithm::kDirect
+                             : core::BuildAlgorithm::kSortBased;
+      core::StaticDict dict(disks, 0, alloc, p, keys, values);
+      ios[alg] = dict.build_stats().total_io.parallel_ios;
+    }
+    std::printf("%8llu | %12llu %12.1f s | %12llu %12.1f s | %8.2f\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(ios[0]),
+                model.elapsed_ms({ios[0], 0, 0, 0, 0},
+                                 pdm::Geometry{16, 64, 16, 0}) / 1000.0,
+                static_cast<unsigned long long>(ios[1]),
+                model.elapsed_ms({ios[1], 0, 0, 0, 0},
+                                 pdm::Geometry{16, 64, 16, 0}) / 1000.0,
+                static_cast<double>(ios[0]) / static_cast<double>(ios[1]));
+  }
+  bench::rule('-', 84);
+  std::printf("\nShape: both are linear-ish in n at fixed geometry, but the "
+              "sort-based pipeline amortizes its I/O\nover full blocks "
+              "(B·D records per round) while the direct procedure pays ~2 "
+              "rounds per key — the\nreason the paper 'improves the "
+              "construction'.\n");
+  return 0;
+}

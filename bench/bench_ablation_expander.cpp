@@ -1,0 +1,117 @@
+// Experiment A1 — ablation: what happens when the expander is degraded.
+//
+// The paper's guarantees rest on (N, ε)-expansion with small ε, achieved by
+// degree d = O(log u) and right side v = O(Nd). This harness deliberately
+// weakens both knobs and watches the three mechanisms the proofs use:
+//   * load-balance max load (Lemma 3) as d shrinks;
+//   * the Lemma 5 unique-neighbor fraction and the static-dictionary
+//     recursion depth / failure as v shrinks (stripe_factor below ~1);
+//   * the dynamic dictionary's level spill as v shrinks.
+// Expected shape: graceful degradation down to a cliff — at stripe factors
+// near 1/d or degrees ~2, constructions start failing, which is exactly the
+// regime where the expansion preconditions no longer hold.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/dynamic_dict.hpp"
+#include "core/load_balance.hpp"
+#include "core/static_dict.hpp"
+#include "expander/seeded_expander.hpp"
+#include "expander/verify.hpp"
+#include "pdm/allocator.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace pddict;
+  const std::uint64_t n = 1 << 12;
+  const std::uint64_t universe = std::uint64_t{1} << 40;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      universe, 21);
+
+  std::printf("=== Ablation A1.1: degree d vs. load balance (n=%llu, "
+              "v=n/2) ===\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%6s | %10s %10s %14s\n", "d", "max load", "avg", "greedy/avg");
+  bench::rule('-', 48);
+  for (std::uint32_t d : {2u, 4u, 8u, 16u, 32u}) {
+    std::uint64_t v = (n / 2 / d + 1) * d;
+    expander::SeededExpander g(universe, v, d, 5 + d);
+    core::LoadBalancer lb(g, 1);
+    for (auto k : keys) lb.assign(k);
+    double avg = static_cast<double>(n) / v;
+    std::printf("%6u | %10llu %10.2f %14.2f\n", d,
+                static_cast<unsigned long long>(lb.max_load()), avg,
+                lb.max_load() / avg);
+  }
+
+  std::printf("\n=== Ablation A1.2: stripe factor (v = factor*N*d) vs. "
+              "Lemma 5 and static construction ===\n\n");
+  std::printf("%8s | %14s | %10s %12s | %s\n", "factor",
+              "Lemma5 frac", "levels", "build I/Os", "outcome");
+  bench::rule('-', 72);
+  for (double factor : {8.0, 4.0, 2.0, 1.0, 0.5, 0.25, 0.125}) {
+    const std::uint32_t d = 16;
+    std::uint64_t per_stripe = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(factor * static_cast<double>(n)));
+    expander::SeededExpander g(universe, per_stripe * d, d, 31);
+    double frac = expander::lemma5_fraction(g, keys, 1.0 / 3);
+
+    pdm::DiskArray disks(pdm::Geometry{32, 64, 16, 0});
+    pdm::DiskAllocator alloc;
+    core::StaticDictParams p;
+    p.universe_size = universe;
+    p.capacity = n;
+    p.value_bytes = 8;
+    p.degree = d;
+    p.stripe_factor = factor;
+    p.seed = 31;
+    p.max_levels = 24;
+    std::vector<std::byte> values(n * 8, std::byte{0});
+    try {
+      core::StaticDict dict(disks, 0, alloc, p, keys, values);
+      std::printf("%8.3f | %14.3f | %10u %12llu | built ok\n", factor, frac,
+                  dict.build_stats().levels,
+                  static_cast<unsigned long long>(
+                      dict.build_stats().total_io.parallel_ios));
+    } catch (const core::ConstructionError& e) {
+      std::printf("%8.3f | %14.3f | %10s %12s | FAILED: %s\n", factor, frac,
+                  "-", "-", e.what());
+    }
+  }
+
+  std::printf("\n=== Ablation A1.3: dynamic dictionary level spill vs. A_1 "
+              "size ===\n\n");
+  std::printf("%8s | %8s | %s\n", "factor", "levels", "level populations");
+  bench::rule('-', 64);
+  for (double factor : {4.0, 2.0, 1.0, 0.5, 0.25}) {
+    pdm::DiskArray disks(pdm::Geometry{48, 64, 16, 0});
+    pdm::DiskAllocator alloc;
+    core::DynamicDictParams p;
+    p.universe_size = universe;
+    p.capacity = n;
+    p.value_bytes = 8;
+    p.degree = 24;
+    p.epsilon_op = 0.5;
+    p.stripe_factor = factor;
+    core::DynamicDict dict(disks, 0, alloc, p);
+    std::uint64_t inserted = 0;
+    try {
+      for (auto k : keys) {
+        dict.insert(k, core::value_for_key(k, 8));
+        ++inserted;
+      }
+      std::printf("%8.2f | %8u | ", factor, dict.levels());
+      for (auto c : dict.level_population())
+        std::printf("%llu ", static_cast<unsigned long long>(c));
+      std::printf("\n");
+    } catch (const core::CapacityError& e) {
+      std::printf("%8.2f | %8u | FAILED after %llu inserts: %s\n", factor,
+                  dict.levels(), static_cast<unsigned long long>(inserted),
+                  e.what());
+    }
+  }
+  std::printf("\nShape: guarantees degrade gracefully while the expansion "
+              "preconditions hold, then fail at the\npredicted cliff — the "
+              "design choices d = O(log u) and v = O(Nd) are load-bearing.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Experiment A4 — ablation: hash-function quality vs. determinism.
+//
+// The paper's comparison point (§1.1) assumes hashing baselines get
+// O(log n)-wise independent functions (which the internal-memory budget
+// permits). This harness shows what that assumption buys — and what the
+// deterministic structures make unnecessary: on a structured key set (all
+// keys congruent mod 2^12), a naive modulo hash collapses into a handful of
+// buckets with long overflow chains, the polynomial hash behaves like random,
+// and the expander dictionary was never exposed to the key structure at all.
+#include <cstdio>
+
+#include "baselines/striped_hash.hpp"
+#include "bench_util.hpp"
+#include "core/basic_dict.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace pddict;
+  const std::uint64_t n = 1 << 13;
+  std::printf("=== Hash quality under structured keys (all keys share their "
+              "low 12 bits), n = %llu ===\n\n",
+              static_cast<unsigned long long>(n));
+  std::printf("%-34s | %12s %12s | %12s %12s | %10s\n", "method",
+              "lookup avg", "lookup wc", "insert avg", "insert wc",
+              "max chain");
+  bench::rule('-', 104);
+
+  auto keys = workload::generate_keys(workload::KeyPattern::kSharedLowBits, n,
+                                      std::uint64_t{1} << 40, 77);
+
+  for (int variant = 0; variant < 3; ++variant) {
+    pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+    bench::OpCost ins, look;
+    std::uint64_t chain = 1;
+    const char* name;
+    if (variant < 2) {
+      baselines::StripedHashParams p;
+      p.universe_size = std::uint64_t{1} << 40;
+      p.capacity = n;
+      p.value_bytes = 8;
+      p.use_weak_modulo_hash = (variant == 0);
+      name = variant == 0 ? "hashing, naive low-bit mask"
+                          : "hashing, O(log n)-wise polynomial";
+      baselines::StripedHashDict dict(disks, 0, p);
+      ins = bench::measure(disks, keys, [&](core::Key k) {
+        dict.insert(k, core::value_for_key(k, 8));
+      });
+      look = bench::measure(disks, keys,
+                            [&](core::Key k) { dict.lookup(k); });
+      chain = dict.longest_chain();
+    } else {
+      core::BasicDictParams p;
+      p.universe_size = std::uint64_t{1} << 40;
+      p.capacity = n;
+      p.value_bytes = 8;
+      p.degree = 16;
+      name = "Sec 4.1 deterministic (no hash)";
+      core::BasicDict dict(disks, 0, 0, p);
+      ins = bench::measure(disks, keys, [&](core::Key k) {
+        dict.insert(k, core::value_for_key(k, 8));
+      });
+      look = bench::measure(disks, keys,
+                            [&](core::Key k) { dict.lookup(k); });
+    }
+    std::printf("%-34s | %12.2f %12llu | %12.2f %12llu | %10llu\n", name,
+                look.average, static_cast<unsigned long long>(look.worst),
+                ins.average, static_cast<unsigned long long>(ins.worst),
+                static_cast<unsigned long long>(chain));
+  }
+  bench::rule('-', 104);
+  std::printf("\nShape: weak hashing collapses under key structure (the worst "
+              "case the paper's whp analyses exclude by\nassumption); strong "
+              "explicit hash families fix it at the cost of randomness; the "
+              "deterministic dictionary\nnever depended on the key "
+              "distribution in the first place.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Wall-clock microbenchmarks (google-benchmark) for the expander neighbor
+// evaluations — the per-operation CPU cost that the paper's model assumes is
+// "free" (no I/O). These quantify the in-memory price of each construction:
+// seeded mixing vs. pre-processed tables vs. telescope composition vs. the
+// full semi-explicit pipeline.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/load_balance.hpp"
+#include "expander/preprocessed.hpp"
+#include "expander/seeded_expander.hpp"
+#include "expander/semi_explicit.hpp"
+#include "expander/telescope.hpp"
+
+namespace {
+
+using namespace pddict;
+
+void BM_SeededNeighbors(benchmark::State& state) {
+  expander::SeededExpander g(std::uint64_t{1} << 40, 16 * 4096, 16, 1);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.neighbors(x++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_SeededNeighbors);
+
+void BM_PreprocessedNeighbors(benchmark::State& state) {
+  expander::PreprocessedExpander g(std::uint64_t{1} << 30, 1 << 14, 16, 0.1, 1);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.neighbors(x++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_PreprocessedNeighbors);
+
+void BM_TelescopeNeighbors(benchmark::State& state) {
+  auto f1 = std::make_shared<expander::PreprocessedExpander>(
+      std::uint64_t{1} << 30, 1 << 20, 8, 0.1, 1);
+  auto f2 = std::make_shared<expander::PreprocessedExpander>(
+      std::uint64_t{1} << 20, 1 << 12, 8, 0.1, 2);
+  expander::TelescopeProduct t(f1, f2);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.neighbors(x++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_TelescopeNeighbors);
+
+void BM_SemiExplicitNeighbors(benchmark::State& state) {
+  expander::SemiExplicitParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 1 << 12;
+  p.beta = 0.5;
+  expander::SemiExplicitExpander g(p);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.neighbors(x++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          g.degree());
+}
+BENCHMARK(BM_SemiExplicitNeighbors);
+
+void BM_GreedyAssign(benchmark::State& state) {
+  expander::SeededExpander g(std::uint64_t{1} << 40,
+                             16 * static_cast<std::uint64_t>(state.range(0)),
+                             16, 1);
+  core::LoadBalancer lb(g, 1);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lb.assign(x++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GreedyAssign)->Arg(1 << 8)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// Experiment T6 — Theorem 6: the one-probe static dictionary.
+//
+// For a sweep of n and satellite sizes σ, and both layouts (case (a) head
+// pointers on 2d disks, case (b) identifiers on d disks), this harness
+// measures: lookup cost (must be exactly 1 parallel I/O, hit or miss),
+// construction cost in parallel I/Os, and — the theorem's claim — the ratio
+// of construction cost to the cost of externally sorting n·d records, which
+// must stay a small constant. It also reports recursion depth (levels) and
+// the space in bits per key against the theorem's space formulas.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "core/static_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/ext_sort.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pddict;
+
+/// Cost of sorting n·d records of (key, neighbor) pairs — the Theorem 6
+/// reference quantity, measured with the same sorter and memory budget.
+std::uint64_t reference_sort_ios(std::uint64_t n, std::uint32_t d,
+                                 std::size_t memory_bytes) {
+  pdm::DiskArray disks(pdm::Geometry{32, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  const std::size_t rec = 16;
+  std::uint64_t records = n * d;
+  std::uint64_t blocks =
+      records / pdm::records_per_logical_block(disks.geometry(), rec) + 2;
+  pdm::StripedView in(disks, alloc.reserve(blocks), blocks);
+  pdm::StripedView scratch(disks, alloc.reserve(blocks), blocks);
+  std::vector<std::byte> data(records * rec);
+  util::SplitMix64 rng(7);
+  for (std::uint64_t i = 0; i < records; ++i) {
+    std::uint64_t k = rng.next();
+    std::memcpy(data.data() + i * rec, &k, 8);
+  }
+  pdm::write_records(in, data, rec);
+  auto st = pdm::external_sort(in, scratch, records, rec,
+                               [](std::span<const std::byte> r) {
+                                 std::uint64_t k;
+                                 std::memcpy(&k, r.data(), 8);
+                                 return k;
+                               },
+                               memory_bytes);
+  return st.io.parallel_ios;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Theorem 6: one-probe static dictionary ===\n\n");
+  std::printf("%8s %6s %6s %-14s | %11s %11s | %10s %6s %10s %7s %6s | %9s\n",
+              "n", "sigma", "disks", "layout", "hit avg/wc", "miss avg/wc",
+              "build I/Os", "sort%", "sort(nd)", "ratio", "levels",
+              "bits/key");
+  bench::rule(' ', 0);
+  bench::rule();
+
+  const std::uint32_t d = 16;
+  const std::size_t mem = std::size_t{1} << 18;
+  struct Case {
+    std::uint64_t n;
+    std::size_t sigma;
+    core::StaticLayout layout;
+  };
+  const Case cases[] = {
+      {1 << 12, 8, core::StaticLayout::kIdentifiers},
+      {1 << 13, 8, core::StaticLayout::kIdentifiers},
+      {1 << 14, 8, core::StaticLayout::kIdentifiers},
+      {1 << 15, 8, core::StaticLayout::kIdentifiers},
+      {1 << 13, 64, core::StaticLayout::kIdentifiers},
+      {1 << 13, 256, core::StaticLayout::kIdentifiers},
+      {1 << 12, 8, core::StaticLayout::kHeadPointers},
+      {1 << 13, 8, core::StaticLayout::kHeadPointers},
+      {1 << 14, 8, core::StaticLayout::kHeadPointers},
+      {1 << 13, 64, core::StaticLayout::kHeadPointers},
+      {1 << 13, 256, core::StaticLayout::kHeadPointers},
+  };
+
+  bool one_probe_everywhere = true;
+  for (const auto& c : cases) {
+    pdm::DiskArray disks(pdm::Geometry{2 * d, 64, 16, 0});
+    pdm::DiskAllocator alloc;
+    core::StaticDictParams p;
+    p.universe_size = std::uint64_t{1} << 40;
+    p.capacity = c.n;
+    p.value_bytes = c.sigma;
+    p.degree = d;
+    p.layout = c.layout;
+    p.memory_bytes = mem;
+    auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                        c.n, p.universe_size, 3 + c.n);
+    std::vector<std::byte> values;
+    values.reserve(c.n * c.sigma);
+    for (auto k : keys) {
+      auto v = core::value_for_key(k, c.sigma);
+      values.insert(values.end(), v.begin(), v.end());
+    }
+    core::StaticDict dict(disks, 0, alloc, p, keys, values);
+    auto hits = bench::measure(disks, keys,
+                               [&](core::Key k) { dict.lookup(k); });
+    auto missq = workload::make_query_trace(keys, p.universe_size, 1000, 0.0,
+                                            1.0, 5).queries;
+    auto miss = bench::measure(disks, missq,
+                               [&](core::Key k) { dict.lookup(k); });
+    one_probe_everywhere =
+        one_probe_everywhere && hits.worst == 1 && miss.worst == 1;
+
+    std::uint64_t sort_ios = reference_sort_ios(c.n, d, mem);
+    double ratio = static_cast<double>(dict.build_stats().total_io.parallel_ios) /
+                   static_cast<double>(sort_ios);
+    double bits_per_key =
+        static_cast<double>(dict.num_fields()) * dict.field_bits() / c.n;
+    double sort_share =
+        100.0 * static_cast<double>(dict.build_stats().sort_io.parallel_ios) /
+        static_cast<double>(dict.build_stats().total_io.parallel_ios);
+    std::printf("%8llu %6zu %6u %-14s | %6.2f /%3llu %6.2f /%3llu | %10llu "
+                "%5.0f%% %10llu %7.2f %6u | %9.0f\n",
+                static_cast<unsigned long long>(c.n), c.sigma,
+                core::StaticDict::disks_needed(p),
+                c.layout == core::StaticLayout::kIdentifiers ? "b:identifiers"
+                                                             : "a:head-ptrs",
+                hits.average, static_cast<unsigned long long>(hits.worst),
+                miss.average, static_cast<unsigned long long>(miss.worst),
+                static_cast<unsigned long long>(
+                    dict.build_stats().total_io.parallel_ios),
+                sort_share, static_cast<unsigned long long>(sort_ios), ratio,
+                dict.build_stats().levels, bits_per_key);
+  }
+  bench::rule();
+  std::printf("\nTheorem 6 claims: lookups in exactly one parallel I/O (%s); "
+              "construction within a constant\nfactor of sorting nd records "
+              "(the ratio column); space O(n(log u + sigma)) bits in case "
+              "(a),\nO(n log u log n + n sigma) in case (b) (bits/key "
+              "column).\n",
+              one_probe_everywhere ? "holds on every row" : "VIOLATED");
+  return one_probe_everywhere ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Shared helpers for the experiment harness binaries.
+//
+// The paper's metric is parallel I/Os, not wall-clock time, so most "benches"
+// are deterministic report generators: they run a structure over a seeded
+// workload, count I/O rounds through pdm::IoStats, and print the rows the
+// paper's Figure 1 / lemmas describe next to the measured values. (Wall-time
+// microbenchmarks of the expander evaluations live in bench_micro_expander,
+// which uses google-benchmark.)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/dictionary.hpp"
+#include "pdm/disk_array.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::bench {
+
+struct OpCost {
+  double average = 0.0;
+  std::uint64_t worst = 0;
+  std::uint64_t count = 0;
+};
+
+/// Runs `op` once per key, measuring parallel I/Os per call.
+inline OpCost measure(pdm::DiskArray& disks, std::span<const core::Key> keys,
+                      const std::function<void(core::Key)>& op) {
+  OpCost cost;
+  std::uint64_t total = 0;
+  for (core::Key k : keys) {
+    pdm::IoProbe probe(disks);
+    op(k);
+    std::uint64_t ios = probe.ios();
+    total += ios;
+    cost.worst = std::max(cost.worst, ios);
+    ++cost.count;
+  }
+  cost.average = cost.count ? static_cast<double>(total) / cost.count : 0.0;
+  return cost;
+}
+
+inline void rule(char c = '-', int width = 118) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace pddict::bench

@@ -1,0 +1,102 @@
+// Batch ingestion with parallel dictionary instances (paper, §4 intro).
+//
+// "We can make any constant number of parallel instances of our dictionaries.
+// This allows insertions of a constant number of elements in the same number
+// of parallel I/Os as one insertion."
+//
+// Scenario: a storage front-end receives writes in batches (e.g. a commit
+// group). With c = 4 instances on 4·d disks, each wave of up to 4 keys costs
+// the same 2 parallel I/Os as a single insertion — a 4× ingestion speedup for
+// the same worst-case guarantees. The example ingests a key stream both ways
+// and compares total parallel I/Os and estimated wall time on spinning disks.
+//
+//   ./batch_ingest [keys]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/basic_dict.hpp"
+#include "core/parallel_group.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/cost_model.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pddict;
+  const std::uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint32_t c = 4, d = 16;
+
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 40, 77);
+
+  // Single instance on d disks.
+  pdm::DiskArray single_disks(pdm::Geometry{d, 64, 16, 0});
+  core::BasicDictParams sp;
+  sp.universe_size = std::uint64_t{1} << 40;
+  sp.capacity = n;
+  sp.value_bytes = 8;
+  sp.degree = d;
+  core::BasicDict single(single_disks, 0, 0, sp);
+  pdm::IoProbe single_probe(single_disks);
+  for (core::Key k : keys) single.insert(k, core::value_for_key(k, 8));
+
+  // c parallel instances on c*d disks, fed in batches of c.
+  pdm::DiskArray group_disks(pdm::Geometry{c * d, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  core::ParallelGroupParams gp;
+  gp.universe_size = std::uint64_t{1} << 40;
+  gp.capacity = n;
+  gp.value_bytes = 8;
+  gp.degree = d;
+  gp.instances = c;
+  core::ParallelDictGroup group(group_disks, 0, alloc, gp);
+  pdm::IoProbe group_probe(group_disks);
+  // Instance-aware batching: queue keys per instance and emit a wave as soon
+  // as every instance has work, so each wave of c keys really costs 2 I/Os.
+  {
+    std::vector<std::vector<core::Key>> queues(c);
+    std::vector<std::vector<std::byte>> values(c);
+    auto flush_wave = [&](bool force) {
+      while (true) {
+        std::vector<core::ParallelDictGroup::BatchItem> batch;
+        for (std::uint32_t i = 0; i < c; ++i) {
+          if (queues[i].empty()) continue;
+          values[i] = core::value_for_key(queues[i].back(), 8);
+          batch.push_back({queues[i].back(), values[i]});
+        }
+        if (batch.empty()) return;
+        if (!force && batch.size() < c) return;  // wait for a full wave
+        group.insert_batch(batch);
+        for (auto& q : queues)
+          if (!q.empty()) q.pop_back();
+      }
+    };
+    for (core::Key k : keys) {
+      queues[group.instance_of(k)].push_back(k);
+      flush_wave(false);
+    }
+    flush_wave(true);
+  }
+
+  auto model = pdm::DiskCostModel::spinning();
+  double single_ms =
+      model.elapsed_ms(single_probe.delta(), single_disks.geometry());
+  double group_ms =
+      model.elapsed_ms(group_probe.delta(), group_disks.geometry());
+
+  std::printf("batch_ingest: %llu keys\n\n", static_cast<unsigned long long>(n));
+  std::printf("  %-34s %12s %14s\n", "configuration", "par. I/Os",
+              "est. spinning");
+  std::printf("  %-34s %12llu %12.0f ms\n", "1 instance, one-by-one",
+              static_cast<unsigned long long>(single_probe.ios()), single_ms);
+  std::printf("  %-34s %12llu %12.0f ms\n", "4 instances, batches of 4",
+              static_cast<unsigned long long>(group_probe.ios()), group_ms);
+  std::printf("\n  ingestion speedup: %.2fx  (lookups remain 1 parallel I/O "
+              "in both)\n",
+              static_cast<double>(single_probe.ios()) / group_probe.ios());
+
+  // Sanity: everything is retrievable from the group.
+  std::uint64_t found = 0;
+  for (core::Key k : keys) found += group.lookup(k).found;
+  return found == n ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Persistent key-value store on the file-backed disk array.
+//
+// The deterministic dictionaries are reconstructible from (parameters, seed)
+// alone — no index structure or central directory exists on disk (paper,
+// §1.1) — so "opening" a store is just re-instantiating the structure over
+// the same files. This example runs two phases in one process to emulate a
+// restart: phase 1 creates a store under a directory and fills it; phase 2
+// reopens it, recovers the size counter by scanning, verifies the data and
+// keeps writing.
+//
+//   ./persistent_store [dir] [keys]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/basic_dict.hpp"
+#include "pdm/file_backend.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace pddict;
+
+constexpr pdm::Geometry kGeom{16, 64, 16, 0};
+
+core::BasicDictParams store_params(std::uint64_t capacity) {
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = capacity;
+  p.value_bytes = 16;
+  p.degree = 16;
+  p.seed = 0x5704e;  // part of the store's identity, like a superblock field
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::filesystem::path dir =
+      argc > 1 ? argv[1]
+               : std::filesystem::temp_directory_path() / "pddict_store";
+  const std::uint64_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5000;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 40, 123);
+
+  std::printf("persistent_store: %llu records under %s\n\n",
+              static_cast<unsigned long long>(n), dir.c_str());
+  {
+    pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,
+                         std::make_unique<pdm::FileBackend>(kGeom, dir));
+    core::BasicDict store(disks, 0, 0, store_params(n + 1000));
+    for (core::Key k : keys) store.insert(k, core::value_for_key(k, 16));
+    std::printf("  phase 1: wrote %llu records (%llu parallel I/Os), "
+                "closing store\n",
+                static_cast<unsigned long long>(store.size()),
+                static_cast<unsigned long long>(disks.stats().parallel_ios));
+  }  // files closed — "process exit"
+
+  {
+    pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,
+                         std::make_unique<pdm::FileBackend>(kGeom, dir));
+    core::BasicDict store(disks, 0, 0, store_params(n + 1000));
+    store.recover_size();
+    std::printf("  phase 2: reopened, recovered size = %llu\n",
+                static_cast<unsigned long long>(store.size()));
+    std::uint64_t found = 0;
+    pdm::IoProbe probe(disks);
+    for (core::Key k : keys) found += store.lookup(k).found;
+    std::printf("  verified %llu/%llu records at %.2f parallel I/Os per "
+                "lookup\n",
+                static_cast<unsigned long long>(found),
+                static_cast<unsigned long long>(n),
+                static_cast<double>(probe.ios()) / n);
+    store.insert(42424242, core::value_for_key(42424242, 16));
+    std::printf("  store remains writable after recovery\n");
+    std::uint64_t bytes = 0;
+    for (auto& entry : std::filesystem::directory_iterator(dir))
+      bytes += std::filesystem::file_size(entry);
+    std::printf("\n  on-disk footprint: %.1f MiB across %u disk files\n",
+                static_cast<double>(bytes) / (1024 * 1024), kGeom.num_disks);
+    std::filesystem::remove_all(dir);
+    return found == n ? 0 : 1;
+  }
+}

@@ -1,0 +1,281 @@
+#include "baselines/btree.hpp"
+
+#include <cstring>
+#include <functional>
+
+#include "pdm/block.hpp"
+
+namespace pddict::baselines {
+
+namespace {
+constexpr std::size_t kHeader = 8;  // [u32 is_leaf][u32 count]
+}  // namespace
+
+BTreeDict::BTreeDict(pdm::DiskArray& disks, std::uint64_t base_block,
+                     const BTreeParams& p)
+    : universe_size_(p.universe_size), value_bytes_(p.value_bytes) {
+  if (p.universe_size < 2)
+    throw std::invalid_argument("degenerate parameters");
+  view_ = std::make_unique<pdm::StripedView>(disks, base_block, 0);
+  std::size_t stripe = view_->logical_block_bytes();
+  leaf_record_bytes_ = 16 + value_bytes_;  // key + alive/pad + value
+  if (kHeader + leaf_record_bytes_ > stripe)
+    throw std::invalid_argument("leaf record does not fit in a stripe");
+  max_internal_ = static_cast<std::uint32_t>((stripe - kHeader - 8) / 16);
+  max_leaf_ =
+      static_cast<std::uint32_t>((stripe - kHeader) / leaf_record_bytes_);
+  if (max_internal_ < 3 || max_leaf_ < 2)
+    throw std::invalid_argument("stripe too small for a B-tree node");
+  // Root starts as an empty leaf.
+  root_ = alloc_node(true);
+  std::vector<std::byte> empty(stripe, std::byte{0});
+  pdm::store_pod<std::uint32_t>(empty, 0, 1);  // is_leaf
+  view_->write(root_, empty);
+}
+
+BTreeDict::NodeRef BTreeDict::load(std::uint64_t block) {
+  return {block, view_->read(block)};
+}
+
+void BTreeDict::store(const NodeRef& node) {
+  view_->write(node.block, node.bytes);
+}
+
+std::uint64_t BTreeDict::alloc_node(bool) { return next_node_++; }
+
+std::uint32_t BTreeDict::node_count(const std::vector<std::byte>& n) {
+  return pdm::load_pod<std::uint32_t>(n, 4);
+}
+
+bool BTreeDict::node_is_leaf(const std::vector<std::byte>& n) {
+  return pdm::load_pod<std::uint32_t>(n, 0) == 1;
+}
+
+core::Key BTreeDict::leaf_key(const std::vector<std::byte>& n,
+                              std::uint32_t i) const {
+  return pdm::load_pod<core::Key>(n, kHeader + i * leaf_record_bytes_);
+}
+
+core::Key BTreeDict::internal_key(const std::vector<std::byte>& n,
+                                  std::uint32_t i) const {
+  return pdm::load_pod<core::Key>(n, kHeader + static_cast<std::size_t>(i) * 8);
+}
+
+std::uint64_t BTreeDict::child_at(const std::vector<std::byte>& n,
+                                  std::uint32_t i) const {
+  std::size_t base = kHeader + static_cast<std::size_t>(max_internal_) * 8;
+  return pdm::load_pod<std::uint64_t>(n, base + static_cast<std::size_t>(i) * 8);
+}
+
+void BTreeDict::set_child(std::vector<std::byte>& n, std::uint32_t i,
+                          std::uint64_t child) const {
+  std::size_t base = kHeader + static_cast<std::size_t>(max_internal_) * 8;
+  pdm::store_pod<std::uint64_t>(n, base + static_cast<std::size_t>(i) * 8,
+                                child);
+}
+
+void BTreeDict::split_child(NodeRef& parent, std::uint32_t ci,
+                            NodeRef& child) {
+  std::size_t stripe = view_->logical_block_bytes();
+  NodeRef sibling{alloc_node(node_is_leaf(child.bytes)),
+                  std::vector<std::byte>(stripe, std::byte{0})};
+  core::Key separator;
+  if (node_is_leaf(child.bytes)) {
+    std::uint32_t count = node_count(child.bytes);
+    std::uint32_t m = count / 2;
+    std::uint32_t right = count - m;
+    pdm::store_pod<std::uint32_t>(sibling.bytes, 0, 1);
+    pdm::store_pod<std::uint32_t>(sibling.bytes, 4, right);
+    std::memcpy(sibling.bytes.data() + kHeader,
+                child.bytes.data() + kHeader + m * leaf_record_bytes_,
+                static_cast<std::size_t>(right) * leaf_record_bytes_);
+    pdm::store_pod<std::uint32_t>(child.bytes, 4, m);
+    separator = leaf_key(sibling.bytes, 0);
+  } else {
+    std::uint32_t count = node_count(child.bytes);
+    std::uint32_t m = count / 2;
+    std::uint32_t right = count - m - 1;
+    separator = internal_key(child.bytes, m);
+    pdm::store_pod<std::uint32_t>(sibling.bytes, 0, 0);
+    pdm::store_pod<std::uint32_t>(sibling.bytes, 4, right);
+    for (std::uint32_t i = 0; i < right; ++i) {
+      pdm::store_pod<core::Key>(sibling.bytes, kHeader + i * 8,
+                                internal_key(child.bytes, m + 1 + i));
+      set_child(sibling.bytes, i, child_at(child.bytes, m + 1 + i));
+    }
+    set_child(sibling.bytes, right, child_at(child.bytes, count));
+    pdm::store_pod<std::uint32_t>(child.bytes, 4, m);
+  }
+  // Insert separator and sibling pointer into the parent at position ci.
+  std::uint32_t pcount = node_count(parent.bytes);
+  for (std::uint32_t i = pcount; i > ci; --i) {
+    pdm::store_pod<core::Key>(parent.bytes, kHeader + i * 8,
+                              internal_key(parent.bytes, i - 1));
+  }
+  for (std::uint32_t i = pcount + 1; i > ci + 1; --i) {
+    set_child(parent.bytes, i, child_at(parent.bytes, i - 1));
+  }
+  pdm::store_pod<core::Key>(parent.bytes, kHeader + ci * 8, separator);
+  set_child(parent.bytes, ci + 1, sibling.block);
+  pdm::store_pod<std::uint32_t>(parent.bytes, 4, pcount + 1);
+  store(parent);
+  store(child);
+  store(sibling);
+}
+
+bool BTreeDict::insert(core::Key key, std::span<const std::byte> value) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+
+  NodeRef cur = load(root_);
+  // Grow the tree if the root is full (proactive splitting).
+  bool root_full = node_is_leaf(cur.bytes)
+                       ? node_count(cur.bytes) >= max_leaf_
+                       : node_count(cur.bytes) >= max_internal_;
+  if (root_full) {
+    std::size_t stripe = view_->logical_block_bytes();
+    std::uint64_t old_root = root_;
+    NodeRef new_root{alloc_node(false),
+                     std::vector<std::byte>(stripe, std::byte{0})};
+    set_child(new_root.bytes, 0, old_root);
+    split_child(new_root, 0, cur);
+    root_ = new_root.block;
+    ++height_;
+    cur = std::move(new_root);  // already written by split_child
+  }
+
+  while (!node_is_leaf(cur.bytes)) {
+    std::uint32_t count = node_count(cur.bytes);
+    std::uint32_t ci = 0;
+    while (ci < count && key >= internal_key(cur.bytes, ci)) ++ci;
+    NodeRef child = load(child_at(cur.bytes, ci));
+    bool full = node_is_leaf(child.bytes)
+                    ? node_count(child.bytes) >= max_leaf_
+                    : node_count(child.bytes) >= max_internal_;
+    if (full) {
+      split_child(cur, ci, child);
+      // Re-choose: the new separator may redirect us to the sibling.
+      if (key >= internal_key(cur.bytes, ci))
+        child = load(child_at(cur.bytes, ci + 1));
+      else
+        child = load(child_at(cur.bytes, ci));
+    }
+    cur = std::move(child);
+  }
+
+  // Leaf: find position; revive dead records in place.
+  std::uint32_t count = node_count(cur.bytes);
+  std::uint32_t pos = 0;
+  while (pos < count && leaf_key(cur.bytes, pos) < key) ++pos;
+  if (pos < count && leaf_key(cur.bytes, pos) == key) {
+    std::size_t off = kHeader + pos * leaf_record_bytes_;
+    if (cur.bytes[off + 8] != std::byte{0}) return false;  // live duplicate
+    cur.bytes[off + 8] = std::byte{1};
+    std::memcpy(cur.bytes.data() + off + 16, value.data(), value_bytes_);
+    store(cur);
+    ++size_;
+    return true;
+  }
+  std::memmove(
+      cur.bytes.data() + kHeader + (pos + 1) * leaf_record_bytes_,
+      cur.bytes.data() + kHeader + pos * leaf_record_bytes_,
+      static_cast<std::size_t>(count - pos) * leaf_record_bytes_);
+  std::size_t off = kHeader + pos * leaf_record_bytes_;
+  pdm::store_pod<core::Key>(cur.bytes, off, key);
+  cur.bytes[off + 8] = std::byte{1};
+  std::memset(cur.bytes.data() + off + 9, 0, 7);
+  std::memcpy(cur.bytes.data() + off + 16, value.data(), value_bytes_);
+  pdm::store_pod<std::uint32_t>(cur.bytes, 4, count + 1);
+  store(cur);
+  ++size_;
+  return true;
+}
+
+core::LookupResult BTreeDict::lookup(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  NodeRef cur = load(root_);
+  while (!node_is_leaf(cur.bytes)) {
+    std::uint32_t count = node_count(cur.bytes);
+    std::uint32_t ci = 0;
+    while (ci < count && key >= internal_key(cur.bytes, ci)) ++ci;
+    cur = load(child_at(cur.bytes, ci));
+  }
+  std::uint32_t count = node_count(cur.bytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (leaf_key(cur.bytes, i) == key) {
+      std::size_t off = kHeader + i * leaf_record_bytes_;
+      if (cur.bytes[off + 8] == std::byte{0}) return {};  // dead
+      return {true,
+              std::vector<std::byte>(
+                  cur.bytes.begin() + static_cast<std::ptrdiff_t>(off + 16),
+                  cur.bytes.begin() + static_cast<std::ptrdiff_t>(
+                                          off + 16 + value_bytes_))};
+    }
+  }
+  return {};
+}
+
+std::vector<std::pair<core::Key, std::vector<std::byte>>> BTreeDict::range(
+    core::Key lo, core::Key hi) {
+  std::vector<std::pair<core::Key, std::vector<std::byte>>> out;
+  if (lo > hi) return out;
+  // Ordered depth-first descent into every subtree whose key interval
+  // intersects [lo, hi]; children are visited left-to-right so the output is
+  // sorted without leaf chaining.
+  std::function<void(std::uint64_t)> visit = [&](std::uint64_t block) {
+    NodeRef node = load(block);
+    std::uint32_t count = node_count(node.bytes);
+    if (node_is_leaf(node.bytes)) {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        core::Key k = leaf_key(node.bytes, i);
+        if (k < lo || k > hi) continue;
+        std::size_t off = kHeader + i * leaf_record_bytes_;
+        if (node.bytes[off + 8] == std::byte{0}) continue;  // dead
+        out.emplace_back(
+            k, std::vector<std::byte>(
+                   node.bytes.begin() + static_cast<std::ptrdiff_t>(off + 16),
+                   node.bytes.begin() + static_cast<std::ptrdiff_t>(
+                                            off + 16 + value_bytes_)));
+      }
+      return;
+    }
+    for (std::uint32_t ci = 0; ci <= count; ++ci) {
+      // Child ci covers [key_{ci-1}, key_ci) with ±infinity at the ends.
+      bool below = ci < count && internal_key(node.bytes, ci) <= lo;
+      bool above = ci > 0 && internal_key(node.bytes, ci - 1) > hi;
+      if (below || above) continue;
+      visit(child_at(node.bytes, ci));
+    }
+  };
+  visit(root_);
+  return out;
+}
+
+bool BTreeDict::erase(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  NodeRef cur = load(root_);
+  while (!node_is_leaf(cur.bytes)) {
+    std::uint32_t count = node_count(cur.bytes);
+    std::uint32_t ci = 0;
+    while (ci < count && key >= internal_key(cur.bytes, ci)) ++ci;
+    cur = load(child_at(cur.bytes, ci));
+  }
+  std::uint32_t count = node_count(cur.bytes);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (leaf_key(cur.bytes, i) == key) {
+      std::size_t off = kHeader + i * leaf_record_bytes_;
+      if (cur.bytes[off + 8] == std::byte{0}) return false;
+      cur.bytes[off + 8] = std::byte{0};
+      store(cur);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pddict::baselines

@@ -1,0 +1,243 @@
+#include "baselines/cuckoo_dict.hpp"
+
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::baselines {
+
+namespace {
+// Cell byte stream (concatenated across the table's D/2 blocks):
+// [u64 tag: 0 empty / 1 occupied][u64 key][value σ].
+constexpr std::size_t kCellHeader = 16;
+}  // namespace
+
+std::size_t CuckooDict::max_bandwidth(const pdm::Geometry& geometry) {
+  std::size_t half = geometry.stripe_bytes() / 2;
+  return half > kCellHeader ? half - kCellHeader : 0;
+}
+
+CuckooDict::CuckooDict(pdm::DiskArray& disks, std::uint64_t base_block,
+                       const CuckooDictParams& p)
+    : disks_(&disks),
+      base_block_(base_block),
+      universe_size_(p.universe_size),
+      value_bytes_(p.value_bytes),
+      seed_(p.seed) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate parameters");
+  if (disks.geometry().num_disks < 2 || disks.geometry().num_disks % 2 != 0)
+    throw std::invalid_argument("cuckoo tables need an even number of disks");
+  if (p.load_factor <= 0.0 || p.load_factor >= 0.5)
+    throw std::invalid_argument("cuckoo load factor must be in (0, 0.5)");
+  half_disks_ = disks.geometry().num_disks / 2;
+  std::size_t cell_bytes =
+      static_cast<std::size_t>(half_disks_) * disks.geometry().block_bytes();
+  if (value_bytes_ + kCellHeader > cell_bytes)
+    throw std::invalid_argument(
+        "record exceeds the BD/2 bandwidth of cuckoo hashing");
+  cells_ = static_cast<std::uint64_t>(
+               static_cast<double>(p.capacity) / (2.0 * p.load_factor)) + 1;
+  max_walk_ = 16 + 4 * util::ceil_log2(cells_ + 2);
+  unsigned independence = std::max(2u, util::ceil_log2(p.capacity + 2));
+  hash_[0] = std::make_unique<util::PolyHash>(independence, cells_, seed_);
+  hash_[1] = std::make_unique<util::PolyHash>(independence, cells_, seed_ + 1);
+}
+
+std::vector<pdm::BlockAddr> CuckooDict::cell_addrs(std::uint32_t table,
+                                                   std::uint64_t cell) const {
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(half_disks_);
+  for (std::uint32_t d = 0; d < half_disks_; ++d)
+    addrs.push_back({table * half_disks_ + d, base_block_ + cell});
+  return addrs;
+}
+
+CuckooDict::Cell CuckooDict::parse(std::span<const pdm::Block> blocks) const {
+  std::vector<std::byte> bytes;
+  for (const auto& b : blocks) bytes.insert(bytes.end(), b.begin(), b.end());
+  Cell c;
+  c.occupied = pdm::load_pod<std::uint64_t>(bytes, 0) == 1;
+  if (c.occupied) {
+    c.key = pdm::load_pod<core::Key>(bytes, 8);
+    c.value.assign(bytes.begin() + kCellHeader,
+                   bytes.begin() + kCellHeader +
+                       static_cast<std::ptrdiff_t>(value_bytes_));
+  }
+  return c;
+}
+
+CuckooDict::Cell CuckooDict::read_cell(std::uint32_t table,
+                                       std::uint64_t cell) {
+  auto addrs = cell_addrs(table, cell);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  return parse(blocks);
+}
+
+void CuckooDict::write_cell(std::uint32_t table, std::uint64_t cell,
+                            const Cell& c) {
+  std::size_t block_bytes = disks_->geometry().block_bytes();
+  std::vector<std::byte> bytes(half_disks_ * block_bytes, std::byte{0});
+  if (c.occupied) {
+    pdm::store_pod<std::uint64_t>(bytes, 0, 1);
+    pdm::store_pod<core::Key>(bytes, 8, c.key);
+    std::memcpy(bytes.data() + kCellHeader, c.value.data(), value_bytes_);
+  }
+  auto addrs = cell_addrs(table, cell);
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  for (std::uint32_t d = 0; d < half_disks_; ++d) {
+    pdm::Block b(bytes.begin() + static_cast<std::ptrdiff_t>(d * block_bytes),
+                 bytes.begin() +
+                     static_cast<std::ptrdiff_t>((d + 1) * block_bytes));
+    writes.emplace_back(addrs[d], std::move(b));
+  }
+  disks_->write_batch(writes);
+}
+
+bool CuckooDict::insert(core::Key key, std::span<const std::byte> value) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  std::uint64_t c0 = hash_of(0, key), c1 = hash_of(1, key);
+  // Both candidate cells in one parallel I/O (they live on disjoint halves).
+  std::vector<pdm::BlockAddr> addrs = cell_addrs(0, c0);
+  auto a1 = cell_addrs(1, c1);
+  addrs.insert(addrs.end(), a1.begin(), a1.end());
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  Cell cell0 = parse(std::span(blocks).subspan(0, half_disks_));
+  Cell cell1 = parse(std::span(blocks).subspan(half_disks_));
+  if ((cell0.occupied && cell0.key == key) ||
+      (cell1.occupied && cell1.key == key))
+    return false;
+
+  Cell incoming{true, key,
+                std::vector<std::byte>(value.begin(), value.end())};
+  if (!cell0.occupied) {
+    write_cell(0, c0, incoming);
+  } else if (!cell1.occupied) {
+    write_cell(1, c1, incoming);
+  } else {
+    // Eviction walk starting at table 0.
+    std::uint32_t table = 0;
+    std::uint64_t cell = c0;
+    Cell displaced = cell0;
+    write_cell(0, c0, incoming);
+    std::uint64_t walk = 1;
+    for (;; ++walk) {
+      if (walk > max_walk_) {
+        longest_walk_ = std::max(longest_walk_, walk);
+        rehash(displaced);
+        ++size_;
+        return true;
+      }
+      table = 1 - table;
+      cell = hash_of(table, displaced.key);
+      Cell occupant = read_cell(table, cell);
+      write_cell(table, cell, displaced);
+      if (!occupant.occupied) break;
+      displaced = occupant;
+    }
+    longest_walk_ = std::max(longest_walk_, walk);
+  }
+  ++size_;
+  return true;
+}
+
+core::LookupResult CuckooDict::lookup(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  std::uint64_t c0 = hash_of(0, key), c1 = hash_of(1, key);
+  std::vector<pdm::BlockAddr> addrs = cell_addrs(0, c0);
+  auto a1 = cell_addrs(1, c1);
+  addrs.insert(addrs.end(), a1.begin(), a1.end());
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  Cell cell0 = parse(std::span(blocks).subspan(0, half_disks_));
+  if (cell0.occupied && cell0.key == key)
+    return {true, std::move(cell0.value)};
+  Cell cell1 = parse(std::span(blocks).subspan(half_disks_));
+  if (cell1.occupied && cell1.key == key)
+    return {true, std::move(cell1.value)};
+  return {};
+}
+
+bool CuckooDict::erase(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    std::uint64_t c = hash_of(t, key);
+    Cell cell = read_cell(t, c);
+    if (cell.occupied && cell.key == key) {
+      write_cell(t, c, Cell{});
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CuckooDict::rehash(Cell pending) {
+  ++rehashes_;
+  // Collect everything: cell c of both tables in one round each.
+  std::vector<Cell> records;
+  records.reserve(size_ + 1);
+  for (std::uint64_t c = 0; c < cells_; ++c) {
+    std::vector<pdm::BlockAddr> addrs = cell_addrs(0, c);
+    auto a1 = cell_addrs(1, c);
+    addrs.insert(addrs.end(), a1.begin(), a1.end());
+    std::vector<pdm::Block> blocks;
+    disks_->read_batch(addrs, blocks);
+    Cell c0 = parse(std::span(blocks).subspan(0, half_disks_));
+    Cell c1 = parse(std::span(blocks).subspan(half_disks_));
+    if (c0.occupied) records.push_back(std::move(c0));
+    if (c1.occupied) records.push_back(std::move(c1));
+  }
+  records.push_back(std::move(pending));
+
+  // Find a seed pair that places everything (simulated in memory).
+  unsigned independence = hash_[0]->independence();
+  std::vector<std::int32_t> slot[2];
+  for (std::uint64_t attempt = 1;; ++attempt) {
+    if (attempt > 64)
+      throw core::CapacityError("cuckoo rehash failed repeatedly (too full)");
+    std::uint64_t s = seed_ + 7919 * (++generation_);
+    util::PolyHash h0(independence, cells_, s), h1(independence, cells_, s + 1);
+    slot[0].assign(cells_, -1);
+    slot[1].assign(cells_, -1);
+    bool ok = true;
+    for (std::size_t i = 0; i < records.size() && ok; ++i) {
+      std::uint32_t table = 0;
+      std::int32_t item = static_cast<std::int32_t>(i);
+      std::uint64_t walk = 0;
+      while (item >= 0) {
+        if (++walk > max_walk_ + records.size()) {
+          ok = false;
+          break;
+        }
+        std::uint64_t c = (table == 0 ? h0 : h1)(records[static_cast<std::size_t>(item)].key);
+        std::swap(item, slot[table][c]);
+        table = 1 - table;
+      }
+    }
+    if (ok) {
+      hash_[0] = std::make_unique<util::PolyHash>(independence, cells_, s);
+      hash_[1] = std::make_unique<util::PolyHash>(independence, cells_, s + 1);
+      break;
+    }
+  }
+
+  // Write both tables back.
+  for (std::uint32_t t = 0; t < 2; ++t)
+    for (std::uint64_t c = 0; c < cells_; ++c) {
+      if (slot[t][c] >= 0)
+        write_cell(t, c, records[static_cast<std::size_t>(slot[t][c])]);
+      else
+        write_cell(t, c, Cell{});
+    }
+}
+
+}  // namespace pddict::baselines

@@ -1,0 +1,80 @@
+// Randomized baseline: cuckoo hashing [13] in the parallel disk model —
+// the "[13]" row of Figure 1.
+//
+// The D disks are split into two halves, one per cuckoo table; a table cell
+// spans one block on each of its D/2 disks, so a record (key + satellite) can
+// occupy up to B·D/2 items — the bandwidth BD/2 the paper credits to cuckoo
+// hashing. A lookup reads the two candidate cells — D blocks on D distinct
+// disks — in a single parallel I/O. Insertion is the classic eviction walk
+// with a full rehash on failure: constant amortized *expected* cost, with the
+// unbounded worst case the deterministic structures avoid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "pdm/disk_array.hpp"
+#include "util/hash.hpp"
+
+namespace pddict::baselines {
+
+struct CuckooDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;
+  std::size_t value_bytes = 0;
+  double load_factor = 0.45;  // per-table occupancy target (< 0.5)
+  std::uint64_t seed = 0xcc;
+};
+
+class CuckooDict final : public core::Dictionary {
+ public:
+  CuckooDict(pdm::DiskArray& disks, std::uint64_t base_block,
+             const CuckooDictParams& params);
+
+  bool insert(core::Key key, std::span<const std::byte> value) override;
+  core::LookupResult lookup(core::Key key) override;  // 1 parallel I/O
+  bool erase(core::Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::uint64_t rehashes() const { return rehashes_; }
+  std::uint64_t cells_per_table() const { return cells_; }
+  /// Longest eviction walk any single insert has performed.
+  std::uint64_t longest_walk() const { return longest_walk_; }
+
+  /// Max satellite bytes per record for this geometry: BD/2 minus overhead.
+  static std::size_t max_bandwidth(const pdm::Geometry& geometry);
+
+ private:
+  struct Cell {
+    bool occupied = false;
+    core::Key key = 0;
+    std::vector<std::byte> value;
+  };
+  std::vector<pdm::BlockAddr> cell_addrs(std::uint32_t table,
+                                         std::uint64_t cell) const;
+  Cell parse(std::span<const pdm::Block> blocks) const;
+  void write_cell(std::uint32_t table, std::uint64_t cell, const Cell& c);
+  Cell read_cell(std::uint32_t table, std::uint64_t cell);
+  std::uint64_t hash_of(std::uint32_t table, core::Key key) const {
+    return (*hash_[table])(key);
+  }
+  void rehash(Cell pending);
+
+  pdm::DiskArray* disks_;
+  std::uint64_t base_block_;
+  std::uint32_t half_disks_;
+  std::uint64_t universe_size_;
+  std::size_t value_bytes_;
+  std::uint64_t cells_;
+  std::uint64_t size_ = 0;
+  std::uint64_t rehashes_ = 0;
+  std::uint64_t longest_walk_ = 0;
+  std::uint64_t max_walk_;
+  std::uint64_t seed_;
+  std::uint64_t generation_ = 0;
+  std::unique_ptr<util::PolyHash> hash_[2];
+};
+
+}  // namespace pddict::baselines

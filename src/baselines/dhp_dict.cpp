@@ -1,0 +1,174 @@
+#include "baselines/dhp_dict.hpp"
+
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::baselines {
+
+namespace {
+// Bucket stripe: [u32 count][u32 pad] then records [key u64][value σ].
+constexpr std::size_t kHeader = 8;
+}  // namespace
+
+DhpDict::DhpDict(pdm::DiskArray& disks, std::uint64_t base_block,
+                 const DhpDictParams& p)
+    : universe_size_(p.universe_size),
+      value_bytes_(p.value_bytes),
+      seed_(p.seed) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate parameters");
+  record_bytes_ = sizeof(core::Key) + value_bytes_;
+  std::size_t stripe_bytes = disks.geometry().stripe_bytes();
+  if (record_bytes_ + kHeader > stripe_bytes)
+    throw std::invalid_argument("record does not fit in a stripe");
+  records_per_bucket_ =
+      static_cast<std::uint32_t>((stripe_bytes - kHeader) / record_bytes_);
+  std::uint64_t per_bucket = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(records_per_bucket_ * p.fill_target));
+  num_buckets_ = util::ceil_div<std::uint64_t>(p.capacity, per_bucket) + 1;
+  view_ = std::make_unique<pdm::StripedView>(disks, base_block, num_buckets_);
+  independence_ = std::max(2u, util::ceil_log2(p.capacity + 2));
+  hash_ = std::make_unique<util::PolyHash>(independence_, num_buckets_, seed_);
+}
+
+bool DhpDict::insert(core::Key key, std::span<const std::byte> value) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  std::uint64_t bucket = (*hash_)(key);
+  std::vector<std::byte> block = view_->read(bucket);
+  std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
+  for (std::uint32_t s = 0; s < count; ++s)
+    if (pdm::load_pod<core::Key>(block, kHeader + s * record_bytes_) == key)
+      return false;
+  if (count == records_per_bucket_) {
+    // The low-probability event: rebuild with fresh hash functions until the
+    // distribution is overflow-free again (worst-case linear work).
+    rebuild_with_fresh_hash(key, value);
+    ++size_;
+    return true;
+  }
+  std::size_t off = kHeader + count * record_bytes_;
+  pdm::store_pod<core::Key>(block, off, key);
+  std::memcpy(block.data() + off + sizeof(core::Key), value.data(),
+              value_bytes_);
+  pdm::store_pod<std::uint32_t>(block, 0, count + 1);
+  view_->write(bucket, block);
+  ++size_;
+  return true;
+}
+
+core::LookupResult DhpDict::lookup(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  std::uint64_t bucket = (*hash_)(key);
+  std::vector<std::byte> block = view_->read(bucket);
+  std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::size_t off = kHeader + s * record_bytes_;
+    if (pdm::load_pod<core::Key>(block, off) == key) {
+      return {true,
+              std::vector<std::byte>(
+                  block.begin() +
+                      static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
+                  block.begin() +
+                      static_cast<std::ptrdiff_t>(off + record_bytes_))};
+    }
+  }
+  return {};
+}
+
+bool DhpDict::erase(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  std::uint64_t bucket = (*hash_)(key);
+  std::vector<std::byte> block = view_->read(bucket);
+  std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::size_t off = kHeader + s * record_bytes_;
+    if (pdm::load_pod<core::Key>(block, off) == key) {
+      // Swap-remove with the last record so buckets stay dense.
+      std::size_t last = kHeader + (count - 1) * record_bytes_;
+      if (last != off)
+        std::memmove(block.data() + off, block.data() + last, record_bytes_);
+      pdm::store_pod<std::uint32_t>(block, 0, count - 1);
+      view_->write(bucket, block);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DhpDict::try_place_all(
+    const std::vector<std::pair<core::Key, std::vector<std::byte>>>& records,
+    std::uint64_t seed_attempt,
+    std::vector<std::vector<std::uint32_t>>& layout) const {
+  util::PolyHash h(independence_, num_buckets_, seed_attempt);
+  layout.assign(num_buckets_, {});
+  for (std::uint32_t i = 0; i < records.size(); ++i) {
+    std::uint64_t b = h(records[i].first);
+    if (layout[b].size() == records_per_bucket_) return false;
+    layout[b].push_back(i);
+  }
+  return true;
+}
+
+void DhpDict::rebuild_with_fresh_hash(core::Key pending_key,
+                                      std::span<const std::byte> pending_value) {
+  ++rebuilds_;
+  // Collect every stored record (linear scan: num_buckets_ parallel I/Os).
+  std::vector<std::pair<core::Key, std::vector<std::byte>>> records;
+  records.reserve(size_ + 1);
+  for (std::uint64_t b = 0; b < num_buckets_; ++b) {
+    std::vector<std::byte> block = view_->read(b);
+    std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      std::size_t off = kHeader + s * record_bytes_;
+      core::Key k = pdm::load_pod<core::Key>(block, off);
+      if (k == core::kTombstone) continue;
+      records.emplace_back(
+          k, std::vector<std::byte>(
+                 block.begin() +
+                     static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
+                 block.begin() +
+                     static_cast<std::ptrdiff_t>(off + record_bytes_)));
+    }
+  }
+  records.emplace_back(pending_key, std::vector<std::byte>(
+                                        pending_value.begin(),
+                                        pending_value.end()));
+
+  std::vector<std::vector<std::uint32_t>> layout;
+  std::uint64_t attempt = 0;
+  for (;; ++attempt) {
+    if (attempt > 64)
+      throw core::CapacityError(
+          "DHP rebuild cannot find an overflow-free hash (table too full)");
+    if (try_place_all(records, seed_ + 1000 * (++hash_generation_), layout))
+      break;
+  }
+  hash_ = std::make_unique<util::PolyHash>(
+      independence_, num_buckets_, seed_ + 1000 * hash_generation_);
+
+  // Write the whole table back (num_buckets_ parallel I/Os).
+  std::vector<std::byte> block(view_->logical_block_bytes());
+  for (std::uint64_t b = 0; b < num_buckets_; ++b) {
+    std::fill(block.begin(), block.end(), std::byte{0});
+    pdm::store_pod<std::uint32_t>(block, 0,
+                                  static_cast<std::uint32_t>(layout[b].size()));
+    for (std::uint32_t s = 0; s < layout[b].size(); ++s) {
+      const auto& [k, v] = records[layout[b][s]];
+      std::size_t off = kHeader + s * record_bytes_;
+      pdm::store_pod<core::Key>(block, off, k);
+      std::memcpy(block.data() + off + sizeof(core::Key), v.data(),
+                  value_bytes_);
+    }
+    view_->write(b, block);
+  }
+}
+
+}  // namespace pddict::baselines

@@ -1,0 +1,68 @@
+// Randomized baseline: reliable bucketed hashing in the style of
+// Dietzfelbinger–Gil–Matias–Pippenger [7] — the "[7]" row of Figure 1.
+//
+// Keys hash into bucket stripes with an O(log n)-wise independent polynomial
+// hash. Every bucket is exactly one striped logical block, so lookups are
+// *always* one parallel I/O (that is the reliability the paper cites: O(1)
+// I/Os with probability 1 − O(n^{-c})). The rare event is on the update path:
+// if an insertion would overflow its bucket, the entire table is rebuilt with
+// a fresh hash function until no bucket overflows — O(1) amortized whp, but a
+// worst-case linear rebuild, which is precisely the behaviour the
+// deterministic dictionaries eliminate.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "pdm/striped_view.hpp"
+#include "util/hash.hpp"
+
+namespace pddict::baselines {
+
+struct DhpDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;
+  std::size_t value_bytes = 0;
+  double fill_target = 0.4;
+  std::uint64_t seed = 0xd1e7;
+  std::uint32_t max_rebuild_attempts = 64;
+};
+
+class DhpDict final : public core::Dictionary {
+ public:
+  DhpDict(pdm::DiskArray& disks, std::uint64_t base_block,
+          const DhpDictParams& params);
+
+  bool insert(core::Key key, std::span<const std::byte> value) override;
+  core::LookupResult lookup(core::Key key) override;  // always 1 I/O
+  bool erase(core::Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t num_buckets() const { return num_buckets_; }
+
+ private:
+  void rebuild_with_fresh_hash(core::Key pending_key,
+                               std::span<const std::byte> pending_value);
+  bool try_place_all(
+      const std::vector<std::pair<core::Key, std::vector<std::byte>>>& records,
+      std::uint64_t seed_attempt,
+      std::vector<std::vector<std::uint32_t>>& layout) const;
+
+  std::unique_ptr<pdm::StripedView> view_;
+  std::uint64_t universe_size_;
+  std::size_t value_bytes_;
+  std::size_t record_bytes_;
+  std::uint32_t records_per_bucket_;
+  std::uint64_t num_buckets_;
+  std::uint64_t size_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t seed_;
+  std::uint64_t hash_generation_ = 0;
+  unsigned independence_;
+  std::unique_ptr<util::PolyHash> hash_;
+};
+
+}  // namespace pddict::baselines

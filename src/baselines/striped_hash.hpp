@@ -1,0 +1,87 @@
+// Randomized baseline: linear-space hash table over striped disks
+// (paper §1.1, the "Hashing, no overflow whp" row of Figure 1).
+//
+// The D disks are treated as one disk with block size B·D (striping). Keys
+// hash into bucket-stripes with an O(log n)-wise independent polynomial hash
+// — the explicit family the paper's internal-memory assumption allows. With
+// B·D = Ω(log n) and a suitable linear-space constant, no bucket overflows
+// with high probability, so lookups take 1 I/O whp and updates 2 I/Os whp.
+// When a bucket does overflow, a chain of overflow stripes forms and
+// operations on it degrade — exactly the whp caveat the deterministic
+// structures remove.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/dictionary.hpp"
+#include "pdm/striped_view.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+
+namespace pddict::baselines {
+
+struct StripedHashParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;
+  std::size_t value_bytes = 0;
+  /// Target fill of a bucket stripe (lower → fewer overflows).
+  double fill_target = 0.5;
+  std::uint64_t seed = 0x4a54;
+  /// Ablation knob: replace the O(log n)-wise independent polynomial hash
+  /// with the textbook weak scheme — masking the low bits (a power-of-two
+  /// table). Structured key sets then pile into few buckets — the failure
+  /// the paper's internal-memory hash-function requirement (§1.1) prevents.
+  bool use_weak_modulo_hash = false;
+};
+
+class StripedHashDict final : public core::Dictionary {
+ public:
+  StripedHashDict(pdm::DiskArray& disks, std::uint64_t base_block,
+                  const StripedHashParams& params);
+
+  bool insert(core::Key key, std::span<const std::byte> value) override;
+  core::LookupResult lookup(core::Key key) override;
+  bool erase(core::Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::uint64_t num_buckets() const { return num_buckets_; }
+  std::uint64_t overflow_blocks_allocated() const { return overflow_used_; }
+  /// Longest chain (in stripes) any operation may have to walk.
+  std::uint64_t longest_chain() const;
+
+ private:
+  struct Slot {
+    std::uint64_t stripe;  // logical block index in the view
+    std::uint32_t index;   // record slot within the stripe
+  };
+  std::uint64_t bucket_of(core::Key key) const {
+    // Weak scheme: low-bit masking (power-of-two table size, clamped into
+    // range) — fast, common, and exactly what structured keys defeat.
+    return weak_hash_ ? (key & (util::round_up_pow2(num_buckets_) - 1)) %
+                            num_buckets_
+                      : (*hash_)(key);
+  }
+  /// Walks the chain of `bucket`; returns blocks visited (1 I/O each).
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> walk_chain(
+      std::uint64_t bucket);
+
+  pdm::DiskArray* disks_;
+  std::unique_ptr<pdm::StripedView> view_;
+  std::uint64_t universe_size_;
+  std::size_t value_bytes_;
+  std::size_t record_bytes_;
+  std::uint32_t records_per_stripe_;
+  std::uint64_t num_buckets_;
+  std::uint64_t overflow_base_;   // first overflow stripe
+  std::uint64_t overflow_used_ = 0;
+  std::uint64_t size_ = 0;
+  bool weak_hash_ = false;
+  std::unique_ptr<util::PolyHash> hash_;
+  /// Instrumentation: chain length (in stripes) per overflowed bucket.
+  std::unordered_map<std::uint64_t, std::uint64_t> chain_len_;
+};
+
+}  // namespace pddict::baselines

@@ -1,0 +1,123 @@
+#include "baselines/trick_dict.hpp"
+
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::baselines {
+
+namespace {
+// Front cell stripe: [u64 state][u64 key][value σ].
+constexpr std::size_t kHeader = 16;
+}  // namespace
+
+std::size_t TrickDict::max_bandwidth(const pdm::Geometry& geometry) {
+  std::size_t s = geometry.stripe_bytes();
+  return s > kHeader ? s - kHeader : 0;
+}
+
+TrickDict::TrickDict(pdm::DiskArray& disks, std::uint64_t front_base_block,
+                     std::uint64_t back_base_block, const TrickDictParams& p)
+    : universe_size_(p.universe_size), value_bytes_(p.value_bytes) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate parameters");
+  if (p.epsilon <= 0.0 || p.epsilon > 1.0)
+    throw std::invalid_argument("epsilon must be in (0, 1]");
+  if (value_bytes_ + kHeader > disks.geometry().stripe_bytes())
+    throw std::invalid_argument("record exceeds the Θ(BD) front cell");
+  // Collision fraction ≈ n/m; m = 2n/ɛ keeps the expected fraction of
+  // operations hitting the backstop below ɛ/2.
+  cells_ = static_cast<std::uint64_t>(
+               std::max(2.0, 2.0 / p.epsilon) *
+               static_cast<double>(p.capacity)) + 1;
+  front_ = std::make_unique<pdm::StripedView>(disks, front_base_block, cells_);
+  unsigned independence = std::max(2u, util::ceil_log2(p.capacity + 2));
+  hash_ = std::make_unique<util::PolyHash>(independence, cells_, p.seed);
+
+  DhpDictParams bp;
+  bp.universe_size = p.universe_size;
+  bp.capacity = p.capacity;  // safe under the all-collide worst case
+  bp.value_bytes = p.value_bytes;
+  bp.seed = p.seed + 0xbac;
+  back_ = std::make_unique<DhpDict>(disks, back_base_block, bp);
+}
+
+bool TrickDict::insert(core::Key key, std::span<const std::byte> value) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  std::uint64_t cell = cell_of(key);
+  std::vector<std::byte> block = front_->read(cell);  // 1 I/O
+  std::uint64_t state = pdm::load_pod<std::uint64_t>(block, 0);
+  if (state == kEmpty) {
+    pdm::store_pod<std::uint64_t>(block, 0, kOccupied);
+    pdm::store_pod<core::Key>(block, 8, key);
+    std::memcpy(block.data() + kHeader, value.data(), value_bytes_);
+    front_->write(cell, block);  // 1 I/O → the common 2-I/O insert
+    ++size_;
+    return true;
+  }
+  if (state == kOccupied) {
+    core::Key occupant = pdm::load_pod<core::Key>(block, 8);
+    if (occupant == key) return false;
+    // First collision at this cell: evict the occupant to the backstop, mark
+    // the cell, and send the new key to the backstop too (the rare ɛ path).
+    std::vector<std::byte> occupant_value(
+        block.begin() + kHeader,
+        block.begin() + static_cast<std::ptrdiff_t>(kHeader + value_bytes_));
+    back_->insert(occupant, occupant_value);
+    std::fill(block.begin(), block.end(), std::byte{0});
+    pdm::store_pod<std::uint64_t>(block, 0, kMarked);
+    front_->write(cell, block);
+    ++marked_;
+    if (!back_->insert(key, value)) return false;
+    ++size_;
+    return true;
+  }
+  // Marked cell: everything for this cell lives in the backstop.
+  if (!back_->insert(key, value)) return false;
+  ++size_;
+  return true;
+}
+
+core::LookupResult TrickDict::lookup(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  std::uint64_t cell = cell_of(key);
+  std::vector<std::byte> block = front_->read(cell);  // 1 I/O
+  std::uint64_t state = pdm::load_pod<std::uint64_t>(block, 0);
+  if (state == kEmpty) return {};
+  if (state == kOccupied) {
+    if (pdm::load_pod<core::Key>(block, 8) != key) return {};
+    return {true, std::vector<std::byte>(
+                      block.begin() + kHeader,
+                      block.begin() + static_cast<std::ptrdiff_t>(
+                                          kHeader + value_bytes_))};
+  }
+  return back_->lookup(key);  // +1 I/O on the ɛ path
+}
+
+bool TrickDict::erase(core::Key key) {
+  if (key == core::kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  std::uint64_t cell = cell_of(key);
+  std::vector<std::byte> block = front_->read(cell);
+  std::uint64_t state = pdm::load_pod<std::uint64_t>(block, 0);
+  if (state == kEmpty) return false;
+  if (state == kOccupied) {
+    if (pdm::load_pod<core::Key>(block, 8) != key) return false;
+    std::fill(block.begin(), block.end(), std::byte{0});
+    front_->write(cell, block);
+    --size_;
+    return true;
+  }
+  if (back_->erase(key)) {
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace pddict::baselines

@@ -1,0 +1,64 @@
+// Randomized baseline: the folklore "[7] + trick" construction
+// (paper §1.1, last row block of Figure 1).
+//
+// A front hash table stores every key that does not collide with another key
+// in that table; locations where a collision ever happened are marked, and
+// all colliding keys live in a reliable backstop dictionary ([7], our
+// DhpDict). Sizing the front table with a suitably large constant makes the
+// fraction of operations that touch the backstop arbitrarily small, so
+// lookups average 1 + ɛ I/Os and updates 2 + ɛ, with bandwidth Θ(BD): a
+// front cell is a whole logical stripe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "baselines/dhp_dict.hpp"
+#include "core/dictionary.hpp"
+#include "pdm/striped_view.hpp"
+#include "util/hash.hpp"
+
+namespace pddict::baselines {
+
+struct TrickDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;
+  std::size_t value_bytes = 0;
+  /// The paper's ɛ: front table gets ~capacity/ɛ cells.
+  double epsilon = 0.25;
+  std::uint64_t seed = 0x791c;
+};
+
+class TrickDict final : public core::Dictionary {
+ public:
+  TrickDict(pdm::DiskArray& disks, std::uint64_t front_base_block,
+            std::uint64_t back_base_block, const TrickDictParams& params);
+
+  bool insert(core::Key key, std::span<const std::byte> value) override;
+  core::LookupResult lookup(core::Key key) override;
+  bool erase(core::Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::uint64_t front_cells() const { return cells_; }
+  std::uint64_t marked_cells() const { return marked_; }
+  std::uint64_t backstop_size() const { return back_->size(); }
+
+  /// Max satellite bytes: a whole stripe minus the cell header — Θ(BD).
+  static std::size_t max_bandwidth(const pdm::Geometry& geometry);
+
+ private:
+  enum CellState : std::uint64_t { kEmpty = 0, kOccupied = 1, kMarked = 2 };
+  std::uint64_t cell_of(core::Key key) const { return (*hash_)(key); }
+
+  std::unique_ptr<pdm::StripedView> front_;
+  std::unique_ptr<DhpDict> back_;
+  std::uint64_t universe_size_;
+  std::size_t value_bytes_;
+  std::uint64_t cells_;
+  std::uint64_t marked_ = 0;
+  std::uint64_t size_ = 0;
+  std::unique_ptr<util::PolyHash> hash_;
+};
+
+}  // namespace pddict::baselines

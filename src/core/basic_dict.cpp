@@ -1,0 +1,321 @@
+#include "core/basic_dict.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <tuple>
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+namespace {
+// First block of a bucket: [uint32 count][4 bytes pad][records...].
+constexpr std::size_t kBucketHeaderBytes = 8;
+}  // namespace
+
+BasicDict::BasicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                     std::uint64_t base_block, const BasicDictParams& p)
+    : disks_(&disks),
+      first_disk_(first_disk),
+      base_block_(base_block),
+      value_bytes_(p.value_bytes),
+      universe_size_(p.universe_size),
+      capacity_(p.capacity),
+      bucket_blocks_(p.bucket_blocks) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate dictionary parameters");
+  if (p.bucket_blocks < 1)
+    throw std::invalid_argument("bucket_blocks must be >= 1");
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  if (first_disk + d > disks.geometry().num_disks)
+    throw std::invalid_argument(
+        "basic dictionary needs D >= d disks (paper: D = Omega(log u))");
+
+  record_bytes_ = sizeof(Key) + value_bytes_;
+  const std::size_t block_bytes = disks.geometry().block_bytes();
+  if (record_bytes_ + kBucketHeaderBytes > block_bytes)
+    throw std::invalid_argument("record does not fit in one block");
+  const std::uint32_t c0 = static_cast<std::uint32_t>(
+      (block_bytes - kBucketHeaderBytes) / record_bytes_);
+  const std::uint32_t ci =
+      static_cast<std::uint32_t>(block_bytes / record_bytes_);
+  bucket_capacity_ = c0 + (bucket_blocks_ - 1) * ci;
+  if (bucket_capacity_ < 2)
+    throw std::invalid_argument(
+        "bucket capacity < 2; raise bucket_blocks (small-B variant) or B");
+
+  // v = O(N/B) with headroom: average load = capacity / headroom, leaving the
+  // Lemma 3 log-term slack inside the bucket.
+  std::uint64_t avg_target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(bucket_capacity_ / p.load_headroom));
+  std::uint64_t per_stripe =
+      util::ceil_div<std::uint64_t>(p.capacity, avg_target * d) + 1;
+  graph_ = std::make_unique<expander::SeededExpander>(
+      p.universe_size, per_stripe * d, d, p.seed);
+}
+
+std::uint64_t BasicDict::blocks_per_disk() const {
+  return graph_->stripe_size() * bucket_blocks_;
+}
+
+void BasicDict::check_key(Key key) const {
+  if (key == kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+}
+
+BasicDict::SlotRef BasicDict::slot_ref(std::uint32_t slot) const {
+  const std::size_t block_bytes = disks_->geometry().block_bytes();
+  const std::uint32_t c0 = static_cast<std::uint32_t>(
+      (block_bytes - kBucketHeaderBytes) / record_bytes_);
+  if (slot < c0) return {0, kBucketHeaderBytes + slot * record_bytes_};
+  const std::uint32_t ci =
+      static_cast<std::uint32_t>(block_bytes / record_bytes_);
+  std::uint32_t rest = slot - c0;
+  return {1 + rest / ci, static_cast<std::size_t>(rest % ci) * record_bytes_};
+}
+
+std::uint32_t BasicDict::bucket_count(const pdm::Block& first_block) const {
+  return pdm::load_pod<std::uint32_t>(first_block, 0);
+}
+
+void BasicDict::set_bucket_count(pdm::Block& first_block,
+                                 std::uint32_t count) const {
+  pdm::store_pod<std::uint32_t>(first_block, 0, count);
+}
+
+std::vector<pdm::BlockAddr> BasicDict::probe_addrs(Key key) const {
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(static_cast<std::size_t>(degree()) * bucket_blocks_);
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::uint64_t local = graph_->stripe_local(key, i);
+    for (std::uint32_t b = 0; b < bucket_blocks_; ++b)
+      addrs.push_back({first_disk_ + i,
+                       base_block_ + local * bucket_blocks_ + b});
+  }
+  return addrs;
+}
+
+std::optional<std::uint32_t> BasicDict::find_slot(
+    Key key, std::span<const pdm::Block> bucket, std::uint32_t count) const {
+  for (std::uint32_t s = 0; s < count; ++s) {
+    SlotRef ref = slot_ref(s);
+    Key k = pdm::load_pod<Key>(bucket[ref.block], ref.offset);
+    if (k == key) return s;
+  }
+  return std::nullopt;
+}
+
+BasicDict::Probe BasicDict::inspect(Key key,
+                                    std::span<const pdm::Block> blocks) const {
+  Probe probe;
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::span<const pdm::Block> bucket =
+        blocks.subspan(static_cast<std::size_t>(i) * bucket_blocks_,
+                       bucket_blocks_);
+    std::uint32_t count = bucket_count(bucket[0]);
+    if (auto slot = find_slot(key, bucket, count)) {
+      SlotRef ref = slot_ref(*slot);
+      probe.found = true;
+      probe.found_stripe = i;
+      const pdm::Block& blk = bucket[ref.block];
+      probe.value.assign(
+          blk.begin() + static_cast<std::ptrdiff_t>(ref.offset + sizeof(Key)),
+          blk.begin() +
+              static_cast<std::ptrdiff_t>(ref.offset + record_bytes_));
+      return probe;
+    }
+  }
+  return probe;
+}
+
+std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>>
+BasicDict::plan_insert(Key key, std::span<const std::byte> value,
+                       std::span<pdm::Block> blocks) {
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  if (inspect(key, blocks).found) return std::nullopt;
+  if (size_ >= capacity_)
+    throw CapacityError("basic dictionary at capacity N");
+
+  // Greedy deterministic load balancing (Section 3, k = 1) on *live* loads
+  // (tombstones don't count as items). Ties prefer a bucket holding a
+  // tombstone slot we can reuse — the paper allows arbitrary tie-breaking —
+  // then the lowest stripe. Reusing a tombstone slot moves no live record
+  // (reference stability holds for live data) and keeps erase/insert
+  // workloads from inflating bucket counts.
+  struct Candidate {
+    std::uint32_t live;
+    bool no_tombstone;
+    std::uint32_t stripe;
+    std::uint32_t count;
+    std::int32_t tombstone_slot;
+    auto rank() const { return std::tuple(live, no_tombstone, stripe); }
+  };
+  std::optional<Candidate> best;
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::span<const pdm::Block> bucket_view =
+        blocks.subspan(static_cast<std::size_t>(i) * bucket_blocks_,
+                       bucket_blocks_);
+    std::uint32_t count = bucket_count(bucket_view[0]);
+    std::int32_t tomb = -1;
+    std::uint32_t live = count;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      SlotRef probe = slot_ref(s);
+      if (pdm::load_pod<Key>(bucket_view[probe.block], probe.offset) ==
+          kTombstone) {
+        --live;
+        if (tomb < 0) tomb = static_cast<std::int32_t>(s);
+      }
+    }
+    if (count >= bucket_capacity_ && tomb < 0) continue;  // physically full
+    Candidate cand{live, tomb < 0, i, count, tomb};
+    if (!best || cand.rank() < best->rank()) best = cand;
+  }
+  if (!best)
+    throw CapacityError(
+        "all candidate buckets full (expansion headroom exhausted)");
+  std::uint32_t best_stripe = best->stripe;
+  std::uint32_t best_count = best->count;
+
+  std::span<pdm::Block> bucket = blocks.subspan(
+      static_cast<std::size_t>(best_stripe) * bucket_blocks_, bucket_blocks_);
+  bool reused = best->tombstone_slot >= 0;
+  std::uint32_t target_slot =
+      reused ? static_cast<std::uint32_t>(best->tombstone_slot) : best_count;
+  SlotRef ref = slot_ref(target_slot);
+  pdm::store_pod<Key>(bucket[ref.block], ref.offset, key);
+  std::memcpy(bucket[ref.block].data() + ref.offset + sizeof(Key),
+              value.data(), value_bytes_);
+  if (!reused) set_bucket_count(bucket[0], best_count + 1);
+
+  std::uint64_t local = graph_->stripe_local(key, best_stripe);
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  writes.emplace_back(
+      pdm::BlockAddr{first_disk_ + best_stripe,
+                     base_block_ + local * bucket_blocks_},
+      bucket[0]);
+  if (ref.block != 0)
+    writes.emplace_back(
+        pdm::BlockAddr{first_disk_ + best_stripe,
+                       base_block_ + local * bucket_blocks_ + ref.block},
+        bucket[ref.block]);
+  ++size_;
+  return writes;
+}
+
+bool BasicDict::insert(Key key, std::span<const std::byte> value) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  auto writes = plan_insert(key, value, blocks);
+  if (!writes) return false;
+  disks_->write_batch(*writes);
+  return true;
+}
+
+LookupResult BasicDict::lookup(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  Probe probe = inspect(key, blocks);
+  return {probe.found, std::move(probe.value)};
+}
+
+bool BasicDict::erase(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::span<pdm::Block> bucket =
+        std::span(blocks).subspan(static_cast<std::size_t>(i) * bucket_blocks_,
+                                  bucket_blocks_);
+    std::uint32_t count = bucket_count(bucket[0]);
+    if (auto slot = find_slot(key, bucket, count)) {
+      // Mark deleted without moving other records (paper, Section 4): the
+      // slot becomes a tombstone; space is reclaimed by global rebuilding.
+      SlotRef ref = slot_ref(*slot);
+      pdm::store_pod<Key>(bucket[ref.block], ref.offset, kTombstone);
+      std::uint64_t local = graph_->stripe_local(key, i);
+      disks_->write_block(
+          {first_disk_ + i, base_block_ + local * bucket_blocks_ + ref.block},
+          bucket[ref.block]);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::pair<Key, std::vector<std::byte>>> BasicDict::scan_bucket(
+    std::uint64_t bucket_index) {
+  if (bucket_index >= num_buckets())
+    throw std::out_of_range("bucket index out of range");
+  std::uint32_t stripe =
+      static_cast<std::uint32_t>(bucket_index / graph_->stripe_size());
+  std::uint64_t local = bucket_index % graph_->stripe_size();
+  std::vector<pdm::BlockAddr> addrs;
+  for (std::uint32_t b = 0; b < bucket_blocks_; ++b)
+    addrs.push_back(
+        {first_disk_ + stripe, base_block_ + local * bucket_blocks_ + b});
+  std::vector<pdm::Block> bucket;
+  disks_->read_batch(addrs, bucket);
+  std::vector<std::pair<Key, std::vector<std::byte>>> out;
+  std::uint32_t count = bucket_count(bucket[0]);
+  for (std::uint32_t s = 0; s < count; ++s) {
+    SlotRef ref = slot_ref(s);
+    Key k = pdm::load_pod<Key>(bucket[ref.block], ref.offset);
+    if (k == kTombstone) continue;
+    const pdm::Block& blk = bucket[ref.block];
+    out.emplace_back(
+        k, std::vector<std::byte>(
+               blk.begin() +
+                   static_cast<std::ptrdiff_t>(ref.offset + sizeof(Key)),
+               blk.begin() +
+                   static_cast<std::ptrdiff_t>(ref.offset + record_bytes_)));
+  }
+  return out;
+}
+
+std::vector<std::pair<Key, std::vector<std::byte>>> BasicDict::drain_bucket(
+    std::uint64_t bucket_index) {
+  auto records = scan_bucket(bucket_index);
+  std::uint32_t stripe =
+      static_cast<std::uint32_t>(bucket_index / graph_->stripe_size());
+  std::uint64_t local = bucket_index % graph_->stripe_size();
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  for (std::uint32_t b = 0; b < bucket_blocks_; ++b)
+    writes.emplace_back(
+        pdm::BlockAddr{first_disk_ + stripe,
+                       base_block_ + local * bucket_blocks_ + b},
+        pdm::Block(disks_->geometry().block_bytes(), std::byte{0}));
+  disks_->write_batch(writes);
+  size_ -= records.size();
+  return records;
+}
+
+void BasicDict::recover_size() {
+  size_ = 0;
+  for (std::uint64_t bucket = 0; bucket < num_buckets(); ++bucket)
+    size_ += scan_bucket(bucket).size();
+}
+
+std::uint32_t BasicDict::peek_max_load() const {
+  std::uint32_t worst = 0;
+  for (std::uint64_t bucket = 0; bucket < num_buckets(); ++bucket) {
+    std::uint32_t stripe =
+        static_cast<std::uint32_t>(bucket / graph_->stripe_size());
+    std::uint64_t local = bucket % graph_->stripe_size();
+    pdm::Block first = disks_->peek(
+        {first_disk_ + stripe, base_block_ + local * bucket_blocks_});
+    worst = std::max(worst, bucket_count(first));
+  }
+  return worst;
+}
+
+}  // namespace pddict::core

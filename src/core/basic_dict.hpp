@@ -1,0 +1,152 @@
+// The basic dictionary of Section 4.1.
+//
+// A striped expander G with v buckets indexes an array of bucket blocks
+// spread over D = d disks (stripe i ↔ disk i). Keys are placed by the
+// deterministic load balancing scheme of Section 3 with k = 1: an insertion
+// reads the d candidate buckets (one parallel I/O — one block per disk), puts
+// the record into a currently least-loaded bucket and writes it back (one
+// more I/O, the minimum possible since a block must be read before written).
+// Lookups read the d candidate buckets in one parallel I/O and scan them.
+//
+// With B = Ω(log N) every bucket fits in O(1) blocks; choosing v = O(N/B)
+// with enough headroom makes the max load (average + the Lemma 3 log term)
+// fit a single block, giving 1-I/O membership queries. The bucket_blocks > 1
+// configuration is the paper's "no constraints on B" variant, where a bucket
+// spans O(1) blocks and operations stay O(1) I/Os (see bucket_dict.hpp).
+//
+// Small satellite values (a constant factor of the key size) are stored
+// inline with the keys and returned by the same read, as in the paper's
+// "with satellite information" remark.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/dictionary.hpp"
+#include "expander/seeded_expander.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::core {
+
+struct BasicDictParams {
+  std::uint64_t universe_size = 0;  // u
+  std::uint64_t capacity = 0;       // N (size() may not exceed this)
+  std::size_t value_bytes = 0;      // σ, stored inline
+  std::uint32_t degree = 0;         // d = number of disks used; 0 → O(log u)
+  /// Bucket-capacity headroom over the average load (the Lemma 3 slack).
+  double load_headroom = 2.0;
+  /// Blocks per bucket (1 = one-probe configuration; >1 = small-B variant).
+  std::uint32_t bucket_blocks = 1;
+  std::uint64_t seed = 0xba51c;
+
+  friend bool operator==(const BasicDictParams&,
+                         const BasicDictParams&) = default;
+};
+
+class BasicDict final : public Dictionary {
+ public:
+  /// Uses disks [first_disk, first_disk + degree) and blocks
+  /// [base_block, base_block + blocks_per_disk()) on each.
+  BasicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+            std::uint64_t base_block, const BasicDictParams& params);
+
+  // ---- Dictionary interface ----
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  // ---- composable batch API ----
+  // Higher-level structures (the Section 4.2/4.3 dictionaries, the global
+  // rebuilding wrapper) merge these probes with their own disk requests so a
+  // combined operation still costs one parallel I/O round.
+
+  /// Addresses of the d·bucket_blocks candidate blocks of `key`
+  /// (one bucket per stripe, in stripe order).
+  std::vector<pdm::BlockAddr> probe_addrs(Key key) const;
+
+  struct Probe {
+    bool found = false;
+    std::vector<std::byte> value;
+    std::uint32_t found_stripe = 0;
+  };
+  /// Interpret blocks previously read at probe_addrs(key).
+  Probe inspect(Key key, std::span<const pdm::Block> blocks) const;
+
+  /// Given the probe blocks, plan the block write(s) that insert (key,
+  /// value) into a least-loaded candidate bucket. Returns std::nullopt if the
+  /// key is already present; throws CapacityError if every candidate bucket
+  /// is full. Mutates `blocks` in place; the returned (addr, block) pairs are
+  /// what the caller must write.
+  std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>>
+  plan_insert(Key key, std::span<const std::byte> value,
+              std::span<pdm::Block> blocks);
+
+  // ---- geometry / introspection ----
+  std::uint32_t degree() const { return graph_->degree(); }
+  std::uint32_t num_disks_used() const { return graph_->degree(); }
+  std::uint64_t num_buckets() const { return graph_->right_size(); }
+  std::uint32_t bucket_capacity() const { return bucket_capacity_; }
+  std::uint64_t blocks_per_disk() const;
+  const expander::NeighborFunction& graph() const { return *graph_; }
+
+  /// Read one bucket (by global bucket index) and return its live records —
+  /// the sequential-scan primitive used by global rebuilding migration.
+  /// Costs the bucket's read round(s).
+  std::vector<std::pair<Key, std::vector<std::byte>>> scan_bucket(
+      std::uint64_t bucket_index);
+
+  /// scan_bucket + clear: returns the live records and resets the bucket to
+  /// empty (one read round + one write round). Used by global rebuilding so a
+  /// migrated record exists in exactly one structure.
+  std::vector<std::pair<Key, std::vector<std::byte>>> drain_bucket(
+      std::uint64_t bucket_index);
+
+  std::uint64_t base_block() const { return base_block_; }
+  std::uint32_t first_disk() const { return first_disk_; }
+  std::uint32_t bucket_blocks() const { return bucket_blocks_; }
+  pdm::DiskArray& disks() { return *disks_; }
+
+  /// Maximum live records in any bucket, via accounting-free peeks
+  /// (test/benchmark instrumentation, costs no simulated I/O).
+  std::uint32_t peek_max_load() const;
+
+  /// Recovery after reopening a persistent backend: rescans every bucket to
+  /// restore the in-memory size counter (the on-disk state is otherwise
+  /// self-describing). Costs one read round per bucket block.
+  void recover_size();
+
+  /// Trusted-count recovery (e.g. from a clean-close manifest): restores the
+  /// size counter without a scan.
+  void restore_size(std::uint64_t size) { size_ = size; }
+
+ private:
+  struct SlotRef {
+    std::uint32_t block;   // block index within the bucket
+    std::size_t offset;    // byte offset within that block
+  };
+  SlotRef slot_ref(std::uint32_t slot) const;
+  std::uint32_t bucket_count(const pdm::Block& first_block) const;
+  void set_bucket_count(pdm::Block& first_block, std::uint32_t count) const;
+  /// Searches one bucket's blocks for `key`; returns the slot or nullopt.
+  std::optional<std::uint32_t> find_slot(Key key,
+                                         std::span<const pdm::Block> bucket,
+                                         std::uint32_t count) const;
+  void check_key(Key key) const;
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  std::uint64_t base_block_;
+  std::size_t value_bytes_;
+  std::uint64_t universe_size_;
+  std::uint64_t capacity_;
+  std::uint32_t bucket_blocks_;
+  std::uint32_t bucket_capacity_;
+  std::size_t record_bytes_;
+  std::uint64_t size_ = 0;
+  std::unique_ptr<expander::SeededExpander> graph_;
+};
+
+}  // namespace pddict::core

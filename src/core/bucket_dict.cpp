@@ -1,0 +1,29 @@
+#include "core/bucket_dict.hpp"
+
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+BasicDictParams bucket_dict_params(std::uint64_t universe_size,
+                                   std::uint64_t capacity,
+                                   std::size_t value_bytes,
+                                   const pdm::Geometry& geometry,
+                                   std::uint32_t min_bucket_capacity,
+                                   std::uint32_t degree,
+                                   std::uint64_t seed) {
+  BasicDictParams p;
+  p.universe_size = universe_size;
+  p.capacity = capacity;
+  p.value_bytes = value_bytes;
+  p.degree = degree;
+  p.seed = seed;
+  const std::size_t record_bytes = sizeof(Key) + value_bytes;
+  const std::size_t header = 8;
+  // Blocks needed so the bucket holds min_bucket_capacity records.
+  std::size_t bytes_needed = header + record_bytes * min_bucket_capacity;
+  p.bucket_blocks = static_cast<std::uint32_t>(
+      util::ceil_div<std::uint64_t>(bytes_needed, geometry.block_bytes()));
+  return p;
+}
+
+}  // namespace pddict::core

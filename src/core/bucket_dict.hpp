@@ -1,0 +1,46 @@
+// The "no constraints on B" variant of the Section 4.1 dictionary.
+//
+// When blocks are too small for a Θ(log N) bucket to fit in O(1) items per
+// block, the paper keeps constant-time operations by giving each bucket an
+// atomic heap [Fredman–Willard]. In the PDM cost metric only the fact that a
+// bucket occupies O(1) blocks matters — the atomic heap's contribution is
+// O(1) *RAM time* within the already-fetched blocks, which parallel I/O
+// counting does not see. We therefore substitute a plain block-local bucket
+// spanning a constant number of blocks (DESIGN.md §3.2): lookups and updates
+// remain O(1) parallel I/Os for any B, which is exactly the claim of
+// Section 4.1's atomic-heap paragraph. (One-probe lookups are not possible in
+// this regime — also matching the paper.)
+#pragma once
+
+#include "core/basic_dict.hpp"
+
+namespace pddict::core {
+
+/// Computes parameters for the small-B regime: chooses bucket_blocks (a
+/// constant > 1) so each bucket holds at least `min_bucket_capacity` records
+/// even when B is tiny.
+BasicDictParams bucket_dict_params(std::uint64_t universe_size,
+                                   std::uint64_t capacity,
+                                   std::size_t value_bytes,
+                                   const pdm::Geometry& geometry,
+                                   std::uint32_t min_bucket_capacity = 16,
+                                   std::uint32_t degree = 0,
+                                   std::uint64_t seed = 0xb0c4e7);
+
+/// Convenience constructor for the small-B variant.
+inline BasicDict make_bucket_dict(pdm::DiskArray& disks,
+                                  std::uint32_t first_disk,
+                                  std::uint64_t base_block,
+                                  std::uint64_t universe_size,
+                                  std::uint64_t capacity,
+                                  std::size_t value_bytes,
+                                  std::uint32_t min_bucket_capacity = 16,
+                                  std::uint32_t degree = 0,
+                                  std::uint64_t seed = 0xb0c4e7) {
+  return BasicDict(disks, first_disk, base_block,
+                   bucket_dict_params(universe_size, capacity, value_bytes,
+                                      disks.geometry(), min_bucket_capacity,
+                                      degree, seed));
+}
+
+}  // namespace pddict::core

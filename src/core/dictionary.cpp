@@ -1,0 +1,23 @@
+#include "core/dictionary.hpp"
+
+#include <cstring>
+
+#include "util/prng.hpp"
+
+namespace pddict::core {
+
+std::vector<std::byte> make_value(std::uint64_t payload, std::size_t bytes) {
+  std::vector<std::byte> v(bytes, std::byte{0});
+  std::memcpy(v.data(), &payload, std::min(bytes, sizeof(payload)));
+  return v;
+}
+
+std::vector<std::byte> value_for_key(Key key, std::size_t bytes,
+                                     std::uint64_t salt) {
+  std::vector<std::byte> v(bytes);
+  util::SplitMix64 rng(util::mix64(key) ^ salt);
+  for (auto& b : v) b = static_cast<std::byte>(rng.next() & 0xff);
+  return v;
+}
+
+}  // namespace pddict::core

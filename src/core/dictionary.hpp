@@ -1,0 +1,74 @@
+// Common dictionary vocabulary.
+//
+// A dictionary stores a set of keys from a bounded universe U together with
+// fixed-size satellite data, supporting lookups and (for dynamic structures)
+// insertions and deletions (paper, Section 1). All structures in this library
+// — the paper's deterministic dictionaries and the randomized baselines —
+// implement this interface, which is what the Figure 1 benchmark drives.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace pddict::core {
+
+using Key = std::uint64_t;
+
+/// Reserved key marking a deleted slot (tombstone). Structures reject it as
+/// an input key; the universe is [0, universe_size) with
+/// universe_size < 2^64, so reserving the top value loses nothing.
+inline constexpr Key kTombstone = ~Key{0};
+
+struct LookupResult {
+  bool found = false;
+  std::vector<std::byte> value;  // satellite data; empty if none stored
+};
+
+/// Thrown when a deterministic structure's capacity precondition is violated
+/// (bucket overflow / no level with enough free fields / size beyond N).
+/// Under the expansion guarantees these cannot happen; the ablation
+/// benchmarks deliberately provoke them.
+class CapacityError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a static construction cannot make progress (Lemma 5 failed
+/// for the given graph and key set).
+class ConstructionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Uniform interface so benchmarks drive every structure identically.
+class Dictionary {
+ public:
+  virtual ~Dictionary() = default;
+
+  /// Inserts key with `value` (must be value_bytes() long). Returns false if
+  /// the key is already present (no change).
+  virtual bool insert(Key key, std::span<const std::byte> value) = 0;
+
+  virtual LookupResult lookup(Key key) = 0;
+
+  /// Removes key; returns false if absent. Optional (static structures and
+  /// capacity-bounded building blocks may not support it).
+  virtual bool erase([[maybe_unused]] Key key) {
+    throw std::logic_error("erase not supported by this structure");
+  }
+
+  virtual std::uint64_t size() const = 0;
+  virtual std::size_t value_bytes() const = 0;
+};
+
+/// Helper: pack a uint64 into a value buffer (examples/tests convenience).
+std::vector<std::byte> make_value(std::uint64_t payload, std::size_t bytes);
+
+/// Helper: deterministic pseudo-random value derived from a key, `bytes`
+/// long; used pervasively by tests to verify satellite round-trips.
+std::vector<std::byte> value_for_key(Key key, std::size_t bytes,
+                                     std::uint64_t salt = 0);
+
+}  // namespace pddict::core

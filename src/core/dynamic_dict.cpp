@@ -1,0 +1,338 @@
+#include "core/dynamic_dict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+// Dynamic field format: [occupied bit][unary relative pointer][payload bits].
+// An all-zero field (occupied bit 0) is free, so fresh disks start empty.
+
+std::uint32_t DynamicDict::degree_for(const DynamicDictParams& p) {
+  if (p.degree) return p.degree;
+  std::uint32_t by_universe = expander::recommended_degree(p.universe_size);
+  // Theorem 7: d > 6(1 + 1/ɛ).
+  auto by_epsilon = static_cast<std::uint32_t>(
+      std::floor(6.0 * (1.0 + 1.0 / p.epsilon_op)) + 1);
+  return std::max(by_universe, by_epsilon);
+}
+
+DynamicDict::DynamicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                         pdm::DiskAllocator& alloc,
+                         const DynamicDictParams& p)
+    : disks_(&disks),
+      first_disk_(first_disk),
+      universe_size_(p.universe_size),
+      capacity_(p.capacity),
+      value_bytes_(p.value_bytes) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate dynamic dictionary parameters");
+  if (p.epsilon_op <= 0.0)
+    throw std::invalid_argument("epsilon must be positive");
+  d_ = degree_for(p);
+  if (d_ <= 6.0 * (1.0 + 1.0 / p.epsilon_op))
+    throw std::invalid_argument("Theorem 7 requires d > 6(1 + 1/epsilon)");
+  if (d_ > 255) throw std::invalid_argument("head pointers require d <= 255");
+  if (first_disk + 2 * d_ > disks.geometry().num_disks)
+    throw std::invalid_argument("dynamic dictionary needs 2d disks");
+  need_ = util::ceil_div<std::uint32_t>(2 * d_, 3);
+
+  // Shrink ratio r = 6ε: the paper picks ε with 1/d < 6ε < 1/(1 + 1/ɛ); we
+  // sit just below the upper end, which maximizes space shrinkage while
+  // keeping the geometric read series summing to < 1 + ɛ.
+  shrink_ = 0.95 / (1.0 + 1.0 / p.epsilon_op);
+
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::uint32_t slice_bits = static_cast<std::uint32_t>(
+      util::ceil_div<std::uint64_t>(3 * sigma_bits, 2 * d_));
+  field_bits_ = slice_bits + 5;  // +4 pointer average, +1 occupied bit
+  std::uint32_t floor_bits = static_cast<std::uint32_t>(
+      util::ceil_div<std::uint64_t>(sigma_bits + d_ + 2 * need_, need_));
+  field_bits_ = std::max({field_bits_, floor_bits, 3u});
+
+  BasicDictParams mp;
+  mp.universe_size = p.universe_size;
+  mp.capacity = p.capacity;
+  mp.value_bytes = 2;  // [head pointer][level]
+  mp.degree = d_;
+  mp.seed = p.seed + 0x999;
+  std::uint64_t mbase = alloc.reserve(0);
+  membership_ = std::make_unique<BasicDict>(disks, first_disk_, mbase, mp);
+  alloc.reserve(membership_->blocks_per_disk());
+
+  std::uint64_t per_stripe = std::max<std::uint64_t>(
+      p.min_fields_per_stripe,
+      static_cast<std::uint64_t>(p.stripe_factor *
+                                 static_cast<double>(p.capacity)));
+  for (std::uint32_t i = 0; i < p.max_levels; ++i) {
+    Level level;
+    level.graph = std::make_unique<expander::SeededExpander>(
+        p.universe_size, per_stripe * d_, d_, p.seed + 13 * (i + 1));
+    std::uint64_t base = alloc.reserve(0);
+    level.fields = std::make_unique<FieldArray>(
+        disks, first_disk_ + d_, base, per_stripe * d_, field_bits_, d_);
+    alloc.reserve(level.fields->blocks_per_stripe());
+    levels_.push_back(std::move(level));
+    if (per_stripe <= p.min_fields_per_stripe) break;
+    per_stripe = std::max<std::uint64_t>(
+        p.min_fields_per_stripe,
+        static_cast<std::uint64_t>(
+            std::ceil(shrink_ * static_cast<double>(per_stripe))));
+  }
+  level_population_.assign(levels_.size(), 0);
+}
+
+void DynamicDict::check_key(Key key) const {
+  if (key == kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+}
+
+std::vector<pdm::BlockAddr> DynamicDict::level_addrs(std::uint32_t level,
+                                                     Key key) const {
+  const Level& lv = levels_[level];
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(d_);
+  for (std::uint32_t i = 0; i < d_; ++i)
+    addrs.push_back(lv.fields->addr_of(lv.graph->neighbor(key, i)));
+  return addrs;
+}
+
+std::vector<std::byte> DynamicDict::decode(
+    std::uint32_t level, Key key, std::uint32_t head,
+    std::span<const pdm::Block> blocks) const {
+  const Level& lv = levels_[level];
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::vector<std::byte> value(value_bytes_, std::byte{0});
+  std::size_t collected = 0;
+  std::uint32_t cur = head;
+  for (std::uint32_t hops = 0; hops < need_; ++hops) {
+    if (cur >= d_)
+      throw std::logic_error("dynamic dict: list walked off stripe range");
+    std::uint64_t field = lv.graph->neighbor(key, cur);
+    util::BitVector bits = lv.fields->get(blocks[cur], field);
+    util::BitReader r(bits, 0, field_bits_);
+    if (!r.read_bit())
+      throw std::logic_error("dynamic dict: list reached a free field");
+    std::uint64_t delta = r.read_unary();
+    std::size_t room = field_bits_ - r.position();
+    std::size_t take = std::min(room, sigma_bits - collected);
+    if (take > 0) {
+      util::copy_bits_to_bytes(bits, r.position(), value.data(), collected,
+                               take);
+      collected += take;
+    }
+    if (delta == 0) break;
+    cur += static_cast<std::uint32_t>(delta);
+  }
+  if (collected != sigma_bits)
+    throw std::logic_error("dynamic dict: reassembled record is short");
+  return value;
+}
+
+bool DynamicDict::insert(Key key, std::span<const std::byte> value) {
+  check_key(key);
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+
+  // Round 1: membership probe and A_1 probe in one parallel I/O (disjoint
+  // disk halves).
+  std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
+  const std::size_t mem_blocks = addrs.size();
+  {
+    auto a1 = level_addrs(0, key);
+    addrs.insert(addrs.end(), a1.begin(), a1.end());
+  }
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  if (membership_->inspect(key, std::span(blocks).subspan(0, mem_blocks))
+          .found)
+    return false;
+  if (size_ >= capacity_)
+    throw CapacityError("dynamic dictionary at capacity N");
+
+  // First-fit level search: the first array with >= need free fields for x
+  // "at that moment" (free = occupied bit clear).
+  std::uint32_t chosen_level = 0;
+  std::vector<pdm::Block> level_blocks(blocks.begin() +
+                                           static_cast<std::ptrdiff_t>(mem_blocks),
+                                       blocks.end());
+  std::vector<std::uint32_t> free_stripes;
+  for (std::uint32_t level = 0;; ++level) {
+    if (level == levels_.size())
+      throw CapacityError(
+          "no level has enough free fields (first-fit exhausted; Lemma 5 "
+          "failed for this graph family)");
+    if (level > 0) {
+      auto la = level_addrs(level, key);
+      disks_->read_batch(la, level_blocks);  // one more parallel I/O
+    }
+    const Level& lv = levels_[level];
+    free_stripes.clear();
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      std::uint64_t field = lv.graph->neighbor(key, i);
+      if (lv.fields->is_empty(level_blocks[i], field))
+        free_stripes.push_back(i);
+      if (free_stripes.size() == need_) break;
+    }
+    if (free_stripes.size() >= need_) {
+      chosen_level = level;
+      break;
+    }
+  }
+
+  // Encode the record into the need chosen fields (ascending stripes).
+  const Level& lv = levels_[chosen_level];
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::size_t done = 0;
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  for (std::uint32_t r = 0; r < need_; ++r) {
+    std::uint32_t stripe = free_stripes[r];
+    std::uint64_t delta = (r + 1 < need_) ? free_stripes[r + 1] - stripe : 0;
+    util::BitVector bits(field_bits_);
+    util::BitWriter w(bits, 0, field_bits_);
+    w.write_bit(true);  // occupied
+    w.write_unary(delta);
+    std::size_t room = field_bits_ - w.position();
+    std::size_t take = std::min(room, sigma_bits - done);
+    if (take > 0) {
+      util::copy_bits_from_bytes(value.data(), done, bits, w.position(), take);
+      done += take;
+    }
+    std::uint64_t field = lv.graph->neighbor(key, stripe);
+    lv.fields->set(level_blocks[stripe], field, bits);
+    writes.emplace_back(lv.fields->addr_of(field), level_blocks[stripe]);
+  }
+  if (done != sigma_bits)
+    throw std::logic_error("dynamic dict: field capacity accounting is off");
+
+  // Membership record: [head stripe][level]; written in the same parallel
+  // round as the field blocks (disjoint disk halves).
+  std::array<std::byte, 2> head_level{
+      static_cast<std::byte>(static_cast<std::uint8_t>(free_stripes[0])),
+      static_cast<std::byte>(static_cast<std::uint8_t>(chosen_level))};
+  auto mem_writes = membership_->plan_insert(
+      key, std::span<const std::byte>(head_level.data(), 2),
+      std::span(blocks).subspan(0, mem_blocks));
+  if (!mem_writes)
+    throw std::logic_error("dynamic dict: membership disagrees with probe");
+  writes.insert(writes.end(), mem_writes->begin(), mem_writes->end());
+  disks_->write_batch(writes);
+  ++size_;
+  ++level_population_[chosen_level];
+  return true;
+}
+
+LookupResult DynamicDict::lookup(Key key) {
+  check_key(key);
+  std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
+  const std::size_t mem_blocks = addrs.size();
+  {
+    auto a1 = level_addrs(0, key);
+    addrs.insert(addrs.end(), a1.begin(), a1.end());
+  }
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  BasicDict::Probe probe =
+      membership_->inspect(key, std::span(blocks).subspan(0, mem_blocks));
+  if (!probe.found) return {};  // unsuccessful search: exactly one I/O
+
+  auto head = static_cast<std::uint8_t>(probe.value.at(0));
+  auto level = static_cast<std::uint8_t>(probe.value.at(1));
+  std::vector<pdm::Block> level_blocks(
+      blocks.begin() + static_cast<std::ptrdiff_t>(mem_blocks), blocks.end());
+  if (level > 0) {
+    // The A_1 blocks fetched speculatively miss; one extra I/O for the
+    // (geometrically rare) deeper levels.
+    auto la = level_addrs(level, key);
+    disks_->read_batch(la, level_blocks);
+  }
+  return {true, decode(level, key, head, level_blocks)};
+}
+
+bool DynamicDict::erase(Key key) {
+  check_key(key);
+  std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
+  const std::size_t mem_blocks = addrs.size();
+  {
+    auto a1 = level_addrs(0, key);
+    addrs.insert(addrs.end(), a1.begin(), a1.end());
+  }
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  BasicDict::Probe probe =
+      membership_->inspect(key, std::span(blocks).subspan(0, mem_blocks));
+  if (!probe.found) return false;
+
+  auto head = static_cast<std::uint8_t>(probe.value.at(0));
+  auto level = static_cast<std::uint8_t>(probe.value.at(1));
+  std::vector<pdm::Block> level_blocks(
+      blocks.begin() + static_cast<std::ptrdiff_t>(mem_blocks), blocks.end());
+  std::vector<pdm::BlockAddr> la = level_addrs(level, key);
+  if (level > 0) disks_->read_batch(la, level_blocks);
+
+  // Walk the list, clearing each field back to the free (all-zero) state so
+  // its space is reused by later insertions.
+  const Level& lv = levels_[level];
+  util::BitVector zero(field_bits_);
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  std::uint32_t cur = head;
+  for (std::uint32_t hops = 0; hops < need_; ++hops) {
+    if (cur >= d_)
+      throw std::logic_error("dynamic dict: list walked off stripe range");
+    std::uint64_t field = lv.graph->neighbor(key, cur);
+    util::BitVector bits = lv.fields->get(level_blocks[cur], field);
+    util::BitReader r(bits, 0, field_bits_);
+    if (!r.read_bit())
+      throw std::logic_error("dynamic dict: erase reached a free field");
+    std::uint64_t delta = r.read_unary();
+    lv.fields->set(level_blocks[cur], field, zero);
+    writes.emplace_back(la[cur], level_blocks[cur]);
+    if (delta == 0) break;
+    cur += static_cast<std::uint32_t>(delta);
+  }
+  membership_->erase(key);  // tombstone write on the membership half
+  disks_->write_batch(writes);
+  --size_;
+  --level_population_[level];
+  return true;
+}
+
+std::vector<std::pair<Key, std::vector<std::byte>>> DynamicDict::drain_some(
+    std::uint32_t max_records) {
+  std::vector<std::pair<Key, std::vector<std::byte>>> out;
+  // Bound bucket visits as well as records so a call stays O(max_records)
+  // I/Os even over long runs of empty buckets.
+  std::uint32_t visits = 0;
+  while (out.size() < max_records && visits++ < 2 * max_records &&
+         drain_cursor_ < membership_->num_buckets()) {
+    auto members = membership_->scan_bucket(drain_cursor_);
+    if (members.empty()) {
+      ++drain_cursor_;
+      continue;
+    }
+    // Pop at most the remaining budget; a heavy bucket is revisited on the
+    // next call, keeping each call O(max_records) I/Os.
+    std::size_t take =
+        std::min<std::size_t>(members.size(), max_records - out.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      auto& [key, head_level] = members[i];
+      auto record = lookup(key);
+      if (!record.found)
+        throw std::logic_error("membership lists a key with no record");
+      erase(key);
+      out.emplace_back(key, std::move(record.value));
+    }
+    if (take == members.size()) ++drain_cursor_;
+  }
+  return out;
+}
+
+std::uint64_t DynamicDict::drain_remaining_buckets() const {
+  std::uint64_t total = membership_->num_buckets();
+  return drain_cursor_ >= total ? 0 : total - drain_cursor_;
+}
+
+}  // namespace pddict::core

@@ -1,0 +1,112 @@
+// The dynamic full-bandwidth dictionary of Section 4.3 (Theorem 7).
+//
+// Dynamizes the case (a) static dictionary. Two sub-structures share 2d
+// disks: the Section 4.1 membership dictionary (disks 0..d−1) stores each key
+// with its head pointer and level, and l = Θ(log N) retrieval arrays
+// A_1 ⊃ A_2 ⊃ … of geometrically decreasing size (ratio r = 6ε <
+// 1/(1 + 1/ɛ)) live on disks d..2d−1, each indexed by its own striped
+// expander of the same degree d.
+//
+// Insertion is first-fit: find the first array with ≥ ⌈2d/3⌉ fields free for
+// x "at that moment", thread the satellite slices into those fields with
+// unary-coded relative pointers, and record (head, level) in the membership
+// dictionary. Lemma 5 bounds the spill to level i+1 by a 6ε fraction, so a
+// sequence of n insertions costs n parallel writes and < n(1 + 6ε + (6ε)² +…)
+// reads — i.e. 2 + ɛ I/Os on average, with worst case O(log N).
+//
+// Lookups probe the membership dictionary and A_1 in the same parallel I/O:
+// an unsuccessful search therefore takes exactly one I/O, and a successful
+// search needs a second I/O only for the ≤ ɛ/(1+ɛ) fraction of elements that
+// live below A_1 — 1 + ɛ I/Os averaged over S.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/basic_dict.hpp"
+#include "core/dictionary.hpp"
+#include "core/field_array.hpp"
+#include "expander/seeded_expander.hpp"
+#include "pdm/allocator.hpp"
+
+namespace pddict::core {
+
+struct DynamicDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;   // N
+  std::size_t value_bytes = 0;  // σ / 8
+  /// The paper's ɛ: average lookups 1+ɛ, updates 2+ɛ.
+  double epsilon_op = 0.5;
+  /// d; 0 → max(O(log u), 6(1+1/ɛ)+1) as Theorem 7 requires.
+  std::uint32_t degree = 0;
+  double stripe_factor = 4.0;   // A_1 fields per stripe = factor · N
+  std::uint32_t max_levels = 16;
+  std::uint64_t min_fields_per_stripe = 8;
+  std::uint64_t seed = 0xd1ce;
+};
+
+class DynamicDict final : public Dictionary {
+ public:
+  DynamicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+              pdm::DiskAllocator& alloc, const DynamicDictParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  static std::uint32_t degree_for(const DynamicDictParams& params);
+  static std::uint32_t disks_needed(const DynamicDictParams& params) {
+    return 2 * degree_for(params);
+  }
+
+  std::uint32_t degree() const { return d_; }
+  std::uint32_t levels() const { return static_cast<std::uint32_t>(levels_.size()); }
+  double shrink_ratio() const { return shrink_; }
+  std::uint32_t fields_required() const { return need_; }
+  /// Elements currently stored at each level (level 0 = A_1).
+  const std::vector<std::uint64_t>& level_population() const {
+    return level_population_;
+  }
+
+  /// Global-rebuilding support: removes and returns up to `max_records`
+  /// records, advancing an internal scan cursor over the membership buckets.
+  /// Returns an empty vector when the structure is drained. Each popped
+  /// record costs the bucket scan plus one erase + one lookup.
+  std::vector<std::pair<Key, std::vector<std::byte>>> drain_some(
+      std::uint32_t max_records);
+  /// Buckets left for drain_some to visit (0 = fully drained cursor).
+  std::uint64_t drain_remaining_buckets() const;
+
+ private:
+  struct Level {
+    std::unique_ptr<expander::SeededExpander> graph;
+    std::unique_ptr<FieldArray> fields;
+  };
+
+  void check_key(Key key) const;
+  /// Field-block addresses of Γ_level(x) (one per stripe/disk).
+  std::vector<pdm::BlockAddr> level_addrs(std::uint32_t level, Key key) const;
+  /// Decode x's record from the level's probe blocks, starting at `head`.
+  std::vector<std::byte> decode(std::uint32_t level, Key key,
+                                std::uint32_t head,
+                                std::span<const pdm::Block> blocks) const;
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  std::uint64_t universe_size_;
+  std::uint64_t capacity_;
+  std::size_t value_bytes_;
+  std::uint32_t d_;
+  std::uint32_t need_;
+  std::uint32_t field_bits_;
+  double shrink_;
+  std::uint64_t size_ = 0;
+  std::unique_ptr<BasicDict> membership_;
+  std::vector<Level> levels_;
+  std::vector<std::uint64_t> level_population_;
+  std::uint64_t drain_cursor_ = 0;
+};
+
+}  // namespace pddict::core

@@ -1,0 +1,82 @@
+#include "core/field_array.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+FieldArray::FieldArray(pdm::DiskArray& disks, std::uint32_t first_disk,
+                       std::uint64_t base_block, std::uint64_t num_fields,
+                       std::uint32_t field_bits, std::uint32_t num_stripes)
+    : disks_(&disks),
+      first_disk_(first_disk),
+      base_block_(base_block),
+      num_fields_(num_fields),
+      field_bits_(field_bits),
+      num_stripes_(num_stripes) {
+  if (num_stripes == 0 || num_fields == 0 || num_fields % num_stripes != 0)
+    throw std::invalid_argument(
+        "field array needs num_fields a positive multiple of num_stripes");
+  if (first_disk + num_stripes > disks.geometry().num_disks)
+    throw std::invalid_argument("field array stripes exceed available disks");
+  std::size_t block_bits = disks.geometry().block_bytes() * 8;
+  if (field_bits == 0 || field_bits > block_bits)
+    throw std::invalid_argument(
+        "field must be non-empty and fit in one block (larger satellite data "
+        "needs more disks; see Theorem 6 remarks)");
+  fields_per_block_ = block_bits / field_bits;
+  blocks_per_stripe_ = util::ceil_div(fields_per_stripe(), fields_per_block_);
+}
+
+pdm::BlockAddr FieldArray::addr_of(std::uint64_t field) const {
+  assert(field < num_fields_);
+  std::uint64_t stripe = field / fields_per_stripe();
+  std::uint64_t local = field % fields_per_stripe();
+  return {static_cast<std::uint32_t>(first_disk_ + stripe),
+          base_block_ + local / fields_per_block_};
+}
+
+std::size_t FieldArray::bit_offset(std::uint64_t field) const {
+  std::uint64_t local = field % fields_per_stripe();
+  return static_cast<std::size_t>(local % fields_per_block_) * field_bits_;
+}
+
+util::BitVector FieldArray::get(const pdm::Block& block,
+                                std::uint64_t field) const {
+  util::BitVector bits(field_bits_);
+  util::copy_bits_from_bytes(block.data(), bit_offset(field), bits, 0,
+                             field_bits_);
+  return bits;
+}
+
+bool FieldArray::is_empty(const pdm::Block& block, std::uint64_t field) const {
+  util::BitVector bits = get(block, field);
+  for (std::size_t w = 0; w < bits.size_words(); ++w)
+    if (bits.data()[w] != 0) return false;
+  return true;
+}
+
+void FieldArray::set(pdm::Block& block, std::uint64_t field,
+                     const util::BitVector& bits) const {
+  assert(bits.size_bits() == field_bits_);
+  util::copy_bits_to_bytes(bits, 0, block.data(), bit_offset(field),
+                           field_bits_);
+}
+
+std::vector<util::BitVector> FieldArray::read_fields(
+    std::span<const std::uint64_t> fields) const {
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(fields.size());
+  for (std::uint64_t f : fields) addrs.push_back(addr_of(f));
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  std::vector<util::BitVector> out;
+  out.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i)
+    out.push_back(get(blocks[i], fields[i]));
+  return out;
+}
+
+}  // namespace pddict::core

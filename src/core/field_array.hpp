@@ -1,0 +1,74 @@
+// The on-disk array A of bit-packed fields (paper, Section 4.2).
+//
+// The static and dynamic dictionaries store their data in an array A of v
+// small fields, indexed by right vertices of a striped expander. Stripe s of
+// the expander maps to one disk, so the d fields of Γ(x) live on d distinct
+// disks and are fetched in a single parallel I/O.
+//
+// Layout: stripe s occupies consecutive blocks on disk (first_disk + s);
+// fields are packed fields_per_block per block and never straddle a block
+// boundary (padding at the end of each block), preserving the one-probe
+// property. A field of all-zero bits is the reserved "empty field" marker, so
+// freshly zeroed disks start empty for free.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdm/disk_array.hpp"
+#include "util/bits.hpp"
+
+namespace pddict::core {
+
+class FieldArray {
+ public:
+  /// `num_fields` must be a positive multiple of `num_stripes`; `field_bits`
+  /// must fit in one block.
+  FieldArray(pdm::DiskArray& disks, std::uint32_t first_disk,
+             std::uint64_t base_block, std::uint64_t num_fields,
+             std::uint32_t field_bits, std::uint32_t num_stripes);
+
+  std::uint64_t num_fields() const { return num_fields_; }
+  std::uint32_t field_bits() const { return field_bits_; }
+  std::uint32_t num_stripes() const { return num_stripes_; }
+  std::uint64_t fields_per_stripe() const { return num_fields_ / num_stripes_; }
+  std::uint64_t fields_per_block() const { return fields_per_block_; }
+  std::uint64_t blocks_per_stripe() const { return blocks_per_stripe_; }
+  /// Blocks occupied across all stripes (space accounting).
+  std::uint64_t total_blocks() const {
+    return blocks_per_stripe_ * num_stripes_;
+  }
+  pdm::DiskArray& disks() { return *disks_; }
+
+  pdm::BlockAddr addr_of(std::uint64_t field) const;
+
+  /// Extract field `field` from a block previously read at addr_of(field).
+  util::BitVector get(const pdm::Block& block, std::uint64_t field) const;
+
+  /// True iff the field is the all-zero empty marker.
+  bool is_empty(const pdm::Block& block, std::uint64_t field) const;
+
+  /// Overwrite field `field` inside an in-memory block image.
+  void set(pdm::Block& block, std::uint64_t field,
+           const util::BitVector& bits) const;
+
+  /// Batched read of arbitrary fields; parallel I/O rounds are counted by the
+  /// DiskArray (fields in distinct stripes cost one round together).
+  std::vector<util::BitVector> read_fields(
+      std::span<const std::uint64_t> fields) const;
+
+ private:
+  std::size_t bit_offset(std::uint64_t field) const;
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  std::uint64_t base_block_;
+  std::uint64_t num_fields_;
+  std::uint32_t field_bits_;
+  std::uint32_t num_stripes_;
+  std::uint64_t fields_per_block_;
+  std::uint64_t blocks_per_stripe_;
+};
+
+}  // namespace pddict::core

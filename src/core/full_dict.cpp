@@ -1,0 +1,147 @@
+#include "core/full_dict.hpp"
+
+#include <algorithm>
+
+namespace pddict::core {
+
+std::uint32_t FullDict::disks_needed(const FullDictParams& p) {
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  return 2 * d;
+}
+
+FullDict::FullDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                   pdm::DiskAllocator& alloc, const FullDictParams& p)
+    : disks_(&disks), first_disk_(first_disk), alloc_(&alloc), params_(p) {
+  if (p.moves_per_op < 2)
+    throw std::invalid_argument("moves_per_op must be >= 2");
+  degree_ =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  if (first_disk + 2 * degree_ > disks.geometry().num_disks)
+    throw std::invalid_argument("global rebuilding needs 2d disks");
+  active_capacity_ = std::max<std::uint64_t>(p.initial_capacity, 8);
+  active_ = make_structure(active_capacity_);
+  active_base_ = building_base_;  // set by make_structure
+}
+
+std::unique_ptr<BasicDict> FullDict::make_structure(std::uint64_t capacity) {
+  BasicDictParams bp;
+  bp.universe_size = params_.universe_size;
+  bp.capacity = capacity;
+  bp.value_bytes = params_.value_bytes;
+  bp.degree = degree_;
+  bp.seed = params_.seed + 0x1e7 * ++generation_;
+  std::uint32_t half = active_ ? 1 - active_half_ : 0;
+  std::uint64_t base = alloc_->reserve(0);
+  auto dict = std::make_unique<BasicDict>(
+      *disks_, first_disk_ + half * degree_, base, bp);
+  alloc_->reserve(dict->blocks_per_disk());
+  building_base_ = base;
+  return dict;
+}
+
+void FullDict::start_rebuild(std::uint64_t new_capacity) {
+  building_capacity_ = std::max<std::uint64_t>(new_capacity, 8);
+  building_ = make_structure(building_capacity_);
+  scan_cursor_ = 0;
+}
+
+void FullDict::migration_step() {
+  if (!building_) return;
+  std::uint32_t moved = 0;
+  while (moved < params_.moves_per_op &&
+         scan_cursor_ < active_->num_buckets()) {
+    auto records = active_->drain_bucket(scan_cursor_++);
+    for (auto& [key, value] : records) {
+      building_->insert(key, value);
+      ++moved;
+    }
+  }
+  if (scan_cursor_ >= active_->num_buckets()) finish_rebuild();
+}
+
+void FullDict::finish_rebuild() {
+  // Retire the drained structure and release its disk range.
+  disks_->discard_blocks(first_disk_ + active_half_ * degree_, degree_,
+                         active_base_, active_->blocks_per_disk());
+  active_ = std::move(building_);
+  active_half_ = 1 - active_half_;
+  active_base_ = building_base_;
+  active_capacity_ = building_capacity_;
+  tombstones_ = 0;
+  ++rebuilds_;
+}
+
+bool FullDict::insert(Key key, std::span<const std::byte> value) {
+  // Combined duplicate probe: both structures in one parallel I/O (disjoint
+  // disk halves).
+  auto addrs = active_->probe_addrs(key);
+  std::size_t active_blocks = addrs.size();
+  if (building_) {
+    auto ba = building_->probe_addrs(key);
+    addrs.insert(addrs.end(), ba.begin(), ba.end());
+  }
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  if (active_->inspect(key, std::span(blocks).subspan(0, active_blocks)).found)
+    return false;
+  if (building_ &&
+      building_->inspect(key, std::span(blocks).subspan(active_blocks)).found)
+    return false;
+
+  if (!building_ && active_->size() >= active_capacity_)
+    start_rebuild(active_capacity_ * 2);
+
+  if (building_) {
+    // The trigger operation lacks fresh building blocks only when the
+    // rebuild started this very call; a plain insert (read + write) keeps the
+    // worst case constant.
+    if (blocks.size() > active_blocks) {
+      auto writes = building_->plan_insert(
+          key, value, std::span(blocks).subspan(active_blocks));
+      if (writes) disks_->write_batch(*writes);
+    } else {
+      building_->insert(key, value);
+    }
+  } else {
+    auto writes = active_->plan_insert(
+        key, value, std::span(blocks).subspan(0, active_blocks));
+    if (writes) disks_->write_batch(*writes);
+  }
+  ++size_;
+  migration_step();
+  return true;
+}
+
+LookupResult FullDict::lookup(Key key) {
+  auto addrs = active_->probe_addrs(key);
+  std::size_t active_blocks = addrs.size();
+  if (building_) {
+    auto ba = building_->probe_addrs(key);
+    addrs.insert(addrs.end(), ba.begin(), ba.end());
+  }
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  auto probe =
+      active_->inspect(key, std::span(blocks).subspan(0, active_blocks));
+  if (!probe.found && building_)
+    probe = building_->inspect(key, std::span(blocks).subspan(active_blocks));
+  return {probe.found, std::move(probe.value)};
+}
+
+bool FullDict::erase(Key key) {
+  bool erased = active_->erase(key);
+  if (!erased && building_) erased = building_->erase(key);
+  if (erased) {
+    --size_;
+    ++tombstones_;
+    // Reclaim space once tombstones dominate the live set.
+    if (!building_ && tombstones_ > size_ + 1)
+      start_rebuild(std::max<std::uint64_t>(2 * size_,
+                                            params_.initial_capacity));
+  }
+  migration_step();
+  return erased;
+}
+
+}  // namespace pddict::core

@@ -1,0 +1,85 @@
+// Fully dynamic dictionary via global rebuilding (paper, Section 4 intro).
+//
+// The capacity-bounded structures support only lookups and insertions up to a
+// size N fixed at initialization. Because the dictionary problem is a
+// decomposable search problem, standard worst-case-efficient global
+// rebuilding [Overmars–van Leeuwen] removes both restrictions:
+//
+//  * two structures are kept active at any time and queried in parallel
+//    (they occupy disjoint disk halves, so a combined lookup is still one
+//    parallel I/O);
+//  * when the active structure fills up, a twice-as-large successor is
+//    populated incrementally — a constant number of records migrate per
+//    update, so every operation keeps a constant worst-case I/O bound;
+//  * deletions mark tombstones without moving other records, and a rebuild
+//    reclaims the space once tombstones dominate.
+//
+// As the paper notes, this costs a constant factor in space and number of
+// disks and leaves the per-operation bounds intact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/basic_dict.hpp"
+#include "core/dictionary.hpp"
+#include "pdm/allocator.hpp"
+
+namespace pddict::core {
+
+struct FullDictParams {
+  std::uint64_t universe_size = 0;
+  std::size_t value_bytes = 0;
+  std::uint32_t degree = 0;  // 0 → O(log u)
+  std::uint64_t initial_capacity = 64;
+  /// Records migrated per update during a rebuild (>= 2 guarantees the new
+  /// structure is ready before it is needed).
+  std::uint32_t moves_per_op = 4;
+  std::uint64_t seed = 0xf0bb;
+};
+
+class FullDict final : public Dictionary {
+ public:
+  /// Uses disks [first_disk, first_disk + 2·degree): one half per structure
+  /// generation, alternating.
+  FullDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+           pdm::DiskAllocator& alloc, const FullDictParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return params_.value_bytes; }
+
+  bool migrating() const { return building_ != nullptr; }
+  std::uint64_t active_capacity() const { return active_capacity_; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  static std::uint32_t disks_needed(const FullDictParams& params);
+
+ private:
+  std::unique_ptr<BasicDict> make_structure(std::uint64_t capacity);
+  void start_rebuild(std::uint64_t new_capacity);
+  void migration_step();
+  void finish_rebuild();
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  pdm::DiskAllocator* alloc_;
+  FullDictParams params_;
+  std::uint32_t degree_;
+
+  std::unique_ptr<BasicDict> active_;
+  std::unique_ptr<BasicDict> building_;
+  std::uint32_t active_half_ = 0;  // 0 or 1: which disk half active_ uses
+  std::uint64_t active_base_ = 0;  // for discarding after migration
+  std::uint64_t building_base_ = 0;
+  std::uint64_t active_capacity_ = 0;
+  std::uint64_t building_capacity_ = 0;
+  std::uint64_t scan_cursor_ = 0;  // next bucket of active_ to migrate
+  std::uint64_t size_ = 0;         // live records across both structures
+  std::uint64_t tombstones_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t generation_ = 0;   // seeds differ per generation
+};
+
+}  // namespace pddict::core

@@ -1,0 +1,100 @@
+#include "core/full_dynamic_dict.hpp"
+
+#include <algorithm>
+
+namespace pddict::core {
+
+std::uint32_t FullDynamicDict::disks_needed(const FullDynamicParams& p) {
+  DynamicDictParams dp;
+  dp.universe_size = p.universe_size;
+  dp.epsilon_op = p.epsilon_op;
+  dp.degree = p.degree;
+  return 2 * DynamicDict::disks_needed(dp);  // two 2d halves
+}
+
+FullDynamicDict::FullDynamicDict(pdm::DiskArray& disks,
+                                 std::uint32_t first_disk,
+                                 pdm::DiskAllocator& alloc,
+                                 const FullDynamicParams& p)
+    : disks_(&disks), first_disk_(first_disk), alloc_(&alloc), params_(p) {
+  if (p.moves_per_op < 2)
+    throw std::invalid_argument("moves_per_op must be >= 2");
+  DynamicDictParams dp;
+  dp.universe_size = p.universe_size;
+  dp.epsilon_op = p.epsilon_op;
+  dp.degree = p.degree;
+  degree_ = DynamicDict::degree_for(dp);
+  if (first_disk + 4 * degree_ > disks.geometry().num_disks)
+    throw std::invalid_argument("needs 4d disks (two 2d halves)");
+  active_capacity_ = std::max<std::uint64_t>(p.initial_capacity, 16);
+  active_ = make_structure(active_capacity_, 0);
+}
+
+std::unique_ptr<DynamicDict> FullDynamicDict::make_structure(
+    std::uint64_t capacity, std::uint32_t half) {
+  DynamicDictParams dp;
+  dp.universe_size = params_.universe_size;
+  dp.capacity = capacity;
+  dp.value_bytes = params_.value_bytes;
+  dp.epsilon_op = params_.epsilon_op;
+  dp.degree = degree_;
+  dp.seed = params_.seed + 0x77 * ++generation_;
+  return std::make_unique<DynamicDict>(
+      *disks_, first_disk_ + half * 2 * degree_, *alloc_, dp);
+}
+
+void FullDynamicDict::start_rebuild(std::uint64_t new_capacity) {
+  building_capacity_ = std::max<std::uint64_t>(new_capacity, 16);
+  building_ = make_structure(building_capacity_, 1 - active_half_);
+}
+
+void FullDynamicDict::migration_step() {
+  if (!building_) return;
+  auto records = active_->drain_some(params_.moves_per_op);
+  for (auto& [key, value] : records) building_->insert(key, value);
+  if (active_->size() == 0 && active_->drain_remaining_buckets() == 0) {
+    active_ = std::move(building_);
+    active_half_ = 1 - active_half_;
+    active_capacity_ = building_capacity_;
+    erased_since_rebuild_ = 0;
+    ++rebuilds_;
+    // Note: the retired structure's disk range is reused by the next
+    // generation through the allocator; its blocks were all cleared by the
+    // drain (erase zeroes fields and tombstones membership).
+  }
+}
+
+bool FullDynamicDict::insert(Key key, std::span<const std::byte> value) {
+  if (lookup(key).found) return false;
+  if (!building_ && active_->size() >= active_capacity_)
+    start_rebuild(active_capacity_ * 2);
+  DynamicDict* target = building_ ? building_.get() : active_.get();
+  bool inserted = target->insert(key, value);
+  migration_step();
+  return inserted;
+}
+
+LookupResult FullDynamicDict::lookup(Key key) {
+  auto r = active_->lookup(key);
+  if (!r.found && building_) r = building_->lookup(key);
+  return r;
+}
+
+bool FullDynamicDict::erase(Key key) {
+  bool erased = active_->erase(key);
+  if (!erased && building_) erased = building_->erase(key);
+  if (erased) {
+    ++erased_since_rebuild_;
+    if (!building_ && erased_since_rebuild_ > size() + 1)
+      start_rebuild(std::max<std::uint64_t>(2 * size(),
+                                            params_.initial_capacity));
+  }
+  migration_step();
+  return erased;
+}
+
+std::uint64_t FullDynamicDict::size() const {
+  return active_->size() + (building_ ? building_->size() : 0);
+}
+
+}  // namespace pddict::core

@@ -1,0 +1,71 @@
+// Fully dynamic Theorem 7 dictionary: the Section 4 introduction's global
+// rebuilding applied to the Section 4.3 structure.
+//
+// FullDict removes the capacity bound from the *basic* dictionary; this
+// wrapper does the same for the full-bandwidth dynamic dictionary, giving an
+// unbounded-size, deletion-supporting structure whose operations keep the
+// 1+ɛ / 2+ɛ average and O(log N) worst-case I/O character (times the
+// constant two-structures factor during migrations). Two DynamicDicts on
+// disjoint 2d-disk halves alternate as active/building, with a constant
+// number of records migrated per update via DynamicDict::drain_some.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "core/dynamic_dict.hpp"
+#include "pdm/allocator.hpp"
+
+namespace pddict::core {
+
+struct FullDynamicParams {
+  std::uint64_t universe_size = 0;
+  std::size_t value_bytes = 0;
+  double epsilon_op = 0.5;
+  std::uint32_t degree = 0;  // d; 0 → Theorem 7's requirement
+  std::uint64_t initial_capacity = 64;
+  std::uint32_t moves_per_op = 4;
+  std::uint64_t seed = 0xfd7;
+};
+
+class FullDynamicDict final : public Dictionary {
+ public:
+  /// Uses disks [first_disk, first_disk + 4d): two 2d-disk halves.
+  FullDynamicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                  pdm::DiskAllocator& alloc, const FullDynamicParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override;
+  std::size_t value_bytes() const override { return params_.value_bytes; }
+
+  bool migrating() const { return building_ != nullptr; }
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  std::uint64_t active_capacity() const { return active_capacity_; }
+  static std::uint32_t disks_needed(const FullDynamicParams& params);
+
+ private:
+  std::unique_ptr<DynamicDict> make_structure(std::uint64_t capacity,
+                                              std::uint32_t half);
+  void start_rebuild(std::uint64_t new_capacity);
+  void migration_step();
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  pdm::DiskAllocator* alloc_;
+  FullDynamicParams params_;
+  std::uint32_t degree_;
+
+  std::unique_ptr<DynamicDict> active_;
+  std::unique_ptr<DynamicDict> building_;
+  std::uint32_t active_half_ = 0;
+  std::uint64_t active_capacity_ = 0;
+  std::uint64_t building_capacity_ = 0;
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t erased_since_rebuild_ = 0;
+};
+
+}  // namespace pddict::core

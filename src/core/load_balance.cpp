@@ -1,0 +1,51 @@
+#include "core/load_balance.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace pddict::core {
+
+LoadBalancer::LoadBalancer(const expander::NeighborFunction& graph,
+                           std::uint32_t items_per_vertex)
+    : graph_(&graph), k_(items_per_vertex),
+      loads_(graph.right_size(), 0) {
+  if (k_ == 0) throw std::invalid_argument("k must be >= 1");
+}
+
+std::vector<std::uint64_t> LoadBalancer::assign(std::uint64_t x) {
+  std::vector<std::uint64_t> candidates = graph_->neighbors(x);
+  std::vector<std::uint64_t> chosen;
+  chosen.reserve(k_);
+  for (std::uint32_t item = 0; item < k_; ++item) {
+    // Least-loaded neighboring bucket; ties to the lowest index, matching the
+    // deterministic tie-break the PDM dictionaries use.
+    std::uint64_t best = candidates[0];
+    for (std::uint64_t c : candidates)
+      if (loads_[c] < loads_[best] || (loads_[c] == loads_[best] && c < best))
+        best = c;
+    ++loads_[best];
+    chosen.push_back(best);
+  }
+  total_items_ += k_;
+  ++vertices_;
+  return chosen;
+}
+
+std::uint64_t LoadBalancer::max_load() const {
+  return loads_.empty() ? 0 : *std::max_element(loads_.begin(), loads_.end());
+}
+
+double lemma3_bound(std::uint64_t n, std::uint64_t v, std::uint32_t d,
+                    std::uint32_t k, double epsilon, double delta) {
+  if (v == 0) throw std::invalid_argument("v must be positive");
+  double growth = (1.0 - epsilon) * d / k;
+  if (growth <= 1.0)
+    throw std::invalid_argument("Lemma 3 needs (1-eps)d/k > 1");
+  double mu = static_cast<double>(k) * n / ((1.0 - delta) * v);
+  double tail = std::log(static_cast<double>(v)) / std::log(growth);
+  return mu / (1.0 - epsilon) + tail;
+}
+
+}  // namespace pddict::core

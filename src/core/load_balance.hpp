@@ -1,0 +1,55 @@
+// Deterministic d-choice load balancing over expander neighborhoods
+// (paper, Section 3).
+//
+// An unknown set of left vertices arrives on-line; each vertex carries k
+// items, and each item must be assigned to a neighboring right vertex
+// ("bucket"). The greedy strategy assigns the k items one by one, each to a
+// currently least-loaded neighboring bucket (ties broken by lowest bucket
+// index; the paper allows arbitrary tie-breaking), possibly placing several
+// items of one vertex in the same bucket.
+//
+// Lemma 3: on a (d, ε, δ)-expander with d > k, the maximum bucket load is at
+// most  kn/((1−δ)v) · 1/(1−ε)  +  log_{(1−ε)d/k} v.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "expander/neighbor_function.hpp"
+
+namespace pddict::core {
+
+class LoadBalancer {
+ public:
+  /// `items_per_vertex` is the paper's k; requires k < d for the lemma to
+  /// apply (larger k is allowed mechanically).
+  LoadBalancer(const expander::NeighborFunction& graph,
+               std::uint32_t items_per_vertex);
+
+  /// Assign the k items of left vertex x greedily. Returns the chosen bucket
+  /// for each item (k entries, possibly repeating buckets).
+  std::vector<std::uint64_t> assign(std::uint64_t x);
+
+  std::uint64_t load(std::uint64_t bucket) const { return loads_[bucket]; }
+  std::uint64_t max_load() const;
+  std::uint64_t total_items() const { return total_items_; }
+  std::uint64_t vertices_placed() const { return vertices_; }
+  const std::vector<std::uint64_t>& loads() const { return loads_; }
+  std::uint32_t items_per_vertex() const { return k_; }
+
+ private:
+  const expander::NeighborFunction* graph_;
+  std::uint32_t k_;
+  std::vector<std::uint64_t> loads_;
+  std::uint64_t total_items_ = 0;
+  std::uint64_t vertices_ = 0;
+};
+
+/// The Lemma 3 bound:  kn/((1−δ)v)/(1−ε) + log_{(1−ε)d/k}(v),
+/// for n vertices of k items each on a (d, ε, δ)-expander with v buckets.
+/// Requires (1−ε)d/k > 1.
+double lemma3_bound(std::uint64_t n, std::uint64_t v, std::uint32_t d,
+                    std::uint32_t k, double epsilon, double delta);
+
+}  // namespace pddict::core

@@ -1,0 +1,93 @@
+#include "core/manifest.hpp"
+
+#include "pdm/block.hpp"
+
+namespace pddict::core {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x7064646963745354ULL;  // "pddictST"
+constexpr std::uint32_t kVersion = 1;
+
+// Manifest block layout (all little-endian):
+//   0: magic u64           8: version u32      12: reserved u32
+//  16: universe_size u64  24: capacity u64     32: value_bytes u64
+//  40: degree u32         44: bucket_blocks u32
+//  48: load_headroom f64  56: seed u64         64: base_block u64
+//  72: record_count u64   80: count_valid u32
+}  // namespace
+
+void write_manifest(pdm::DiskArray& disks, const StoreManifest& m) {
+  if (disks.geometry().block_bytes() < 84)
+    throw std::invalid_argument("block too small for a manifest");
+  pdm::Block block(disks.geometry().block_bytes(), std::byte{0});
+  pdm::store_pod<std::uint64_t>(block, 0, kMagic);
+  pdm::store_pod<std::uint32_t>(block, 8, kVersion);
+  pdm::store_pod<std::uint64_t>(block, 16, m.params.universe_size);
+  pdm::store_pod<std::uint64_t>(block, 24, m.params.capacity);
+  pdm::store_pod<std::uint64_t>(block, 32, m.params.value_bytes);
+  pdm::store_pod<std::uint32_t>(block, 40, m.params.degree);
+  pdm::store_pod<std::uint32_t>(block, 44, m.params.bucket_blocks);
+  pdm::store_pod<double>(block, 48, m.params.load_headroom);
+  pdm::store_pod<std::uint64_t>(block, 56, m.params.seed);
+  pdm::store_pod<std::uint64_t>(block, 64, m.base_block);
+  pdm::store_pod<std::uint64_t>(block, 72, m.record_count);
+  pdm::store_pod<std::uint32_t>(block, 80, m.count_valid ? 1 : 0);
+  disks.write_block({0, 0}, std::move(block));
+}
+
+std::optional<StoreManifest> read_manifest(pdm::DiskArray& disks) {
+  if (disks.geometry().block_bytes() < 84)
+    throw std::invalid_argument("block too small for a manifest");
+  pdm::Block block = disks.read_block({0, 0});
+  if (pdm::load_pod<std::uint64_t>(block, 0) != kMagic) return std::nullopt;
+  if (pdm::load_pod<std::uint32_t>(block, 8) != kVersion)
+    throw std::runtime_error("manifest version mismatch");
+  StoreManifest m;
+  m.params.universe_size = pdm::load_pod<std::uint64_t>(block, 16);
+  m.params.capacity = pdm::load_pod<std::uint64_t>(block, 24);
+  m.params.value_bytes = pdm::load_pod<std::uint64_t>(block, 32);
+  m.params.degree = pdm::load_pod<std::uint32_t>(block, 40);
+  m.params.bucket_blocks = pdm::load_pod<std::uint32_t>(block, 44);
+  m.params.load_headroom = pdm::load_pod<double>(block, 48);
+  m.params.seed = pdm::load_pod<std::uint64_t>(block, 56);
+  m.base_block = pdm::load_pod<std::uint64_t>(block, 64);
+  m.record_count = pdm::load_pod<std::uint64_t>(block, 72);
+  m.count_valid = pdm::load_pod<std::uint32_t>(block, 80) != 0;
+  return m;
+}
+
+BasicDict open_store(pdm::DiskArray& disks,
+                     const BasicDictParams& fresh_params) {
+  auto existing = read_manifest(disks);
+  StoreManifest m;
+  if (existing) {
+    m = *existing;
+  } else {
+    m.params = fresh_params;
+    m.base_block = 1;
+    write_manifest(disks, m);
+  }
+  BasicDict dict(disks, 0, m.base_block, m.params);
+  if (existing) {
+    if (m.count_valid) {
+      dict.restore_size(m.record_count);
+      // Clear the flag: until the next clean close, the count on disk is
+      // untrusted (a crash would otherwise resurrect a stale value).
+      m.count_valid = false;
+      write_manifest(disks, m);
+    } else {
+      dict.recover_size();  // crash recovery: rescan
+    }
+  }
+  return dict;
+}
+
+void close_store(pdm::DiskArray& disks, const BasicDict& store) {
+  auto m = read_manifest(disks);
+  if (!m) throw std::runtime_error("close_store: no manifest present");
+  m->record_count = store.size();
+  m->count_valid = true;
+  write_manifest(disks, *m);
+}
+
+}  // namespace pddict::core

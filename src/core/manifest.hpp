@@ -1,0 +1,48 @@
+// Store manifest ("superblock"): self-describing persistent stores.
+//
+// A deterministic dictionary is fully reconstructible from its parameters and
+// seed; the manifest persists exactly those in block 0 of disk 0, so a
+// file-backed store can be reopened without external metadata. (The paper's
+// structures need no on-disk index or directory — the manifest is one block
+// of parameters, not a data structure.)
+#pragma once
+
+#include <optional>
+
+#include "core/basic_dict.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::core {
+
+struct StoreManifest {
+  BasicDictParams params;
+  /// First block of the dictionary region (blocks 0..base-1 are reserved for
+  /// the manifest and future metadata).
+  std::uint64_t base_block = 1;
+  /// Record count persisted on clean close. Valid only when count_valid is
+  /// set; open_store clears the flag (crash ⇒ fall back to a recovery scan).
+  std::uint64_t record_count = 0;
+  bool count_valid = false;
+
+  friend bool operator==(const StoreManifest&, const StoreManifest&) = default;
+};
+
+/// Writes the manifest into block {disk 0, block 0}. One parallel I/O.
+void write_manifest(pdm::DiskArray& disks, const StoreManifest& manifest);
+
+/// Reads and validates the manifest; std::nullopt if the block does not
+/// carry one (fresh store). Throws if the magic matches but the version or
+/// geometry is incompatible. One parallel I/O.
+std::optional<StoreManifest> read_manifest(pdm::DiskArray& disks);
+
+/// Convenience: opens-or-creates a BasicDict store described by a manifest.
+/// If the store is fresh, writes `fresh_params` as its manifest; otherwise
+/// the persisted parameters win (callers must not assume theirs were used).
+/// The returned dictionary has its size counter recovered.
+BasicDict open_store(pdm::DiskArray& disks, const BasicDictParams& fresh_params);
+
+/// Marks a clean close: persists the current record count into the manifest
+/// so the next open_store skips the recovery scan. One parallel I/O.
+void close_store(pdm::DiskArray& disks, const BasicDict& store);
+
+}  // namespace pddict::core

@@ -1,0 +1,220 @@
+#include "core/multilevel_wide.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 8;    // [u32 count][pad]
+constexpr std::size_t kFragMetaBytes = 16; // [key u64][u32 frag][u32 pad]
+}  // namespace
+
+std::uint32_t MultiLevelWideDict::disks_needed(const MultiLevelWideParams& p) {
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  return p.levels * d;
+}
+
+MultiLevelWideDict::MultiLevelWideDict(pdm::DiskArray& disks,
+                                       std::uint32_t first_disk,
+                                       pdm::DiskAllocator& alloc,
+                                       const MultiLevelWideParams& p)
+    : disks_(&disks),
+      universe_size_(p.universe_size),
+      capacity_(p.capacity),
+      value_bytes_(p.value_bytes) {
+  if (p.universe_size < 2 || p.capacity < 1 || p.value_bytes < 1)
+    throw std::invalid_argument("degenerate parameters");
+  if (p.levels < 2)
+    throw std::invalid_argument("the Section 6 sketch needs >= 2 levels");
+  if (p.shrink <= 0.0 || p.shrink >= 1.0 || p.cap_fraction <= 0.0 ||
+      p.cap_fraction > 1.0)
+    throw std::invalid_argument("shrink and cap_fraction must be in (0,1)");
+  d_ = p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  k_ = std::max<std::uint32_t>(1, d_ / 2);  // k = Ω(d), the paper's choice
+  if (first_disk + p.levels * d_ > disks.geometry().num_disks)
+    throw std::invalid_argument("needs levels*d disks");
+
+  fragment_bytes_ = util::ceil_div<std::uint64_t>(value_bytes_, k_);
+  frag_record_bytes_ = kFragMetaBytes + fragment_bytes_;
+  const std::size_t block_bytes = disks.geometry().block_bytes();
+  if (frag_record_bytes_ + kHeaderBytes > block_bytes)
+    throw std::invalid_argument("fragment does not fit in a block");
+  bucket_capacity_ = static_cast<std::uint32_t>((block_bytes - kHeaderBytes) /
+                                                frag_record_bytes_);
+  if (bucket_capacity_ < 2)
+    throw std::invalid_argument("bucket capacity < 2 fragments");
+
+  std::uint32_t cap = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(bucket_capacity_ * p.cap_fraction));
+  std::uint64_t per_stripe = std::max<std::uint64_t>(
+      2, util::ceil_div<std::uint64_t>(p.capacity * k_ * 2, cap * d_));
+  for (std::uint32_t i = 0; i < p.levels; ++i) {
+    Level level;
+    level.graph = std::make_unique<expander::SeededExpander>(
+        p.universe_size, per_stripe * d_, d_, p.seed + 31 * (i + 1));
+    level.first_disk = first_disk + i * d_;
+    level.base_block = alloc.reserve(per_stripe);
+    // Levels below the last respect the cap τ; the last level is the
+    // brute-force tail and may fill its blocks completely.
+    level.cap = (i + 1 == p.levels) ? bucket_capacity_ : cap;
+    levels_.push_back(std::move(level));
+    per_stripe = std::max<std::uint64_t>(
+        2, static_cast<std::uint64_t>(
+               std::ceil(p.shrink * static_cast<double>(per_stripe))));
+  }
+  level_population_.assign(levels_.size(), 0);
+}
+
+void MultiLevelWideDict::check_key(Key key) const {
+  if (key == kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+}
+
+std::uint32_t MultiLevelWideDict::bucket_count(const pdm::Block& b) const {
+  return pdm::load_pod<std::uint32_t>(b, 0);
+}
+
+std::vector<pdm::BlockAddr> MultiLevelWideDict::probe_addrs(Key key) const {
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(levels_.size() * d_);
+  for (const Level& lv : levels_)
+    for (std::uint32_t i = 0; i < d_; ++i)
+      addrs.push_back({lv.first_disk + i,
+                       lv.base_block + lv.graph->stripe_local(key, i)});
+  return addrs;
+}
+
+bool MultiLevelWideDict::insert(Key key, std::span<const std::byte> value) {
+  check_key(key);
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);  // all levels at once: 1 parallel I/O
+
+  // Duplicate scan across every level.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::uint32_t count = bucket_count(blocks[b]);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      if (pdm::load_pod<Key>(blocks[b],
+                             kHeaderBytes + s * frag_record_bytes_) == key)
+        return false;
+    }
+  }
+  if (size_ >= capacity_) throw CapacityError("at capacity N");
+
+  // First-fit over levels: greedy k-item balancing under the level cap.
+  for (std::uint32_t li = 0; li < levels_.size(); ++li) {
+    const Level& lv = levels_[li];
+    std::span<pdm::Block> lb =
+        std::span(blocks).subspan(static_cast<std::size_t>(li) * d_, d_);
+    std::vector<std::uint32_t> counts(d_);
+    for (std::uint32_t i = 0; i < d_; ++i) counts[i] = bucket_count(lb[i]);
+
+    // Simulate the greedy placement; accept the level iff no bucket would
+    // exceed its cap.
+    std::vector<std::uint32_t> chosen(k_);
+    std::vector<std::uint32_t> sim = counts;
+    bool fits = true;
+    for (std::uint32_t frag = 0; frag < k_ && fits; ++frag) {
+      std::uint32_t best = 0;
+      for (std::uint32_t i = 1; i < d_; ++i)
+        if (sim[i] < sim[best]) best = i;
+      if (sim[best] >= lv.cap) fits = false;
+      chosen[frag] = best;
+      ++sim[best];
+    }
+    if (!fits) continue;
+
+    std::vector<bool> dirty(d_, false);
+    for (std::uint32_t frag = 0; frag < k_; ++frag) {
+      std::uint32_t i = chosen[frag];
+      std::size_t off = kHeaderBytes + counts[i] * frag_record_bytes_;
+      pdm::store_pod<Key>(lb[i], off, key);
+      pdm::store_pod<std::uint32_t>(lb[i], off + 8, frag);
+      pdm::store_pod<std::uint32_t>(lb[i], off + 12, 0);
+      std::size_t take = std::min(fragment_bytes_,
+                                  value_bytes_ - frag * fragment_bytes_);
+      std::memcpy(lb[i].data() + off + kFragMetaBytes,
+                  value.data() + frag * fragment_bytes_, take);
+      ++counts[i];
+      dirty[i] = true;
+    }
+    std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+    for (std::uint32_t i = 0; i < d_; ++i) {
+      if (!dirty[i]) continue;
+      pdm::store_pod<std::uint32_t>(lb[i], 0, counts[i]);
+      writes.emplace_back(addrs[static_cast<std::size_t>(li) * d_ + i], lb[i]);
+    }
+    disks_->write_batch(writes);  // distinct disks: 1 parallel I/O
+    ++size_;
+    ++level_population_[li];
+    return true;
+  }
+  throw CapacityError(
+      "brute-force tail full (Section 6 sketch: caps mis-tuned for this "
+      "load)");
+}
+
+LookupResult MultiLevelWideDict::lookup(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);  // 1 parallel I/O across levels*d disks
+
+  std::vector<std::byte> value(value_bytes_);
+  std::uint32_t found = 0;
+  for (const auto& block : blocks) {
+    std::uint32_t count = bucket_count(block);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      std::size_t off = kHeaderBytes + s * frag_record_bytes_;
+      if (pdm::load_pod<Key>(block, off) != key) continue;
+      std::uint32_t frag = pdm::load_pod<std::uint32_t>(block, off + 8);
+      std::size_t take = std::min(fragment_bytes_,
+                                  value_bytes_ - frag * fragment_bytes_);
+      std::memcpy(value.data() + frag * fragment_bytes_,
+                  block.data() + off + kFragMetaBytes, take);
+      ++found;
+    }
+  }
+  if (found == 0) return {};
+  if (found != k_) throw std::logic_error("partial record on disk");
+  return {true, std::move(value)};
+}
+
+bool MultiLevelWideDict::erase(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  bool found = false;
+  std::uint32_t found_level = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::uint32_t count = bucket_count(blocks[b]);
+    bool dirty = false;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      std::size_t off = kHeaderBytes + s * frag_record_bytes_;
+      if (pdm::load_pod<Key>(blocks[b], off) == key) {
+        pdm::store_pod<Key>(blocks[b], off, kTombstone);
+        dirty = found = true;
+        found_level = static_cast<std::uint32_t>(b / d_);
+      }
+    }
+    if (dirty) writes.emplace_back(addrs[b], blocks[b]);
+  }
+  if (found) {
+    disks_->write_batch(writes);
+    --size_;
+    --level_population_[found_level];
+  }
+  return found;
+}
+
+}  // namespace pddict::core

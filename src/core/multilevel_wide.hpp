@@ -1,0 +1,93 @@
+// The Section 6 ("Open problems") sketch: full bandwidth with 1-I/O lookups
+// AND updates — "apply the load balancing scheme with k = Ω(d), recursively,
+// for some constant number of levels before relying on a brute-force
+// approach. However, this makes the time for updates non-constant."
+//
+// This is the paper's future-work construction, implemented per its sketch:
+// a constant number ℓ of fragment arrays, each a §4.1-style wide dictionary
+// level with k = d/2 load balancing, living on ℓ·d *disjoint* disk groups.
+// A lookup reads the candidate buckets of ALL levels in a single parallel
+// I/O (one block per disk across ℓ·d disks) and reassembles the fragments
+// from whichever level holds them — full bandwidth, one probe, worst case.
+//
+// Insertion is first-fit over levels under a per-level load cap τ: the k
+// fragments go to the first level whose candidate buckets can absorb them
+// without exceeding τ; the last level ("brute force") accepts anything up to
+// physical block capacity. Because insertion reads all levels at once, the
+// common path is still read + write = 2 I/Os; the non-constant part the
+// paper warns about shows up as the growing in-memory rebalancing work and,
+// if the caps are mis-tuned, as CapacityError at the brute-force tail — both
+// measured by bench_ext_sec6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "core/wide_dict.hpp"
+#include "expander/seeded_expander.hpp"
+#include "pdm/allocator.hpp"
+
+namespace pddict::core {
+
+struct MultiLevelWideParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;    // N
+  std::size_t value_bytes = 0;   // σ — full bandwidth, up to ~(d/2)·block
+  std::uint32_t degree = 0;      // d per level; 0 → O(log u)
+  std::uint32_t levels = 3;      // ℓ, the paper's "constant number of levels"
+  /// Level shrink ratio (level i+1 has ratio × the buckets of level i).
+  double shrink = 0.25;
+  /// Load cap τ as a fraction of physical bucket capacity for levels < ℓ−1.
+  double cap_fraction = 0.5;
+  std::uint64_t seed = 0x6a11;
+};
+
+class MultiLevelWideDict final : public Dictionary {
+ public:
+  MultiLevelWideDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                     pdm::DiskAllocator& alloc,
+                     const MultiLevelWideParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  /// Exactly one parallel I/O, hit or miss, full record returned.
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  static std::uint32_t disks_needed(const MultiLevelWideParams& params);
+  std::uint32_t degree() const { return d_; }
+  std::uint32_t num_levels() const { return static_cast<std::uint32_t>(levels_.size()); }
+  std::uint32_t fragments() const { return k_; }
+  const std::vector<std::uint64_t>& level_population() const {
+    return level_population_;
+  }
+
+ private:
+  struct Level {
+    std::unique_ptr<expander::SeededExpander> graph;
+    std::uint32_t first_disk;
+    std::uint64_t base_block;
+    std::uint32_t cap;  // fragment cap per bucket at this level
+  };
+  void check_key(Key key) const;
+  /// Candidate block addresses of every level, level-major (ℓ·d entries).
+  std::vector<pdm::BlockAddr> probe_addrs(Key key) const;
+  std::uint32_t bucket_count(const pdm::Block& b) const;
+
+  pdm::DiskArray* disks_;
+  std::uint64_t universe_size_;
+  std::uint64_t capacity_;
+  std::size_t value_bytes_;
+  std::uint32_t d_;
+  std::uint32_t k_;
+  std::size_t fragment_bytes_;
+  std::size_t frag_record_bytes_;
+  std::uint32_t bucket_capacity_;  // physical fragments per block
+  std::uint64_t size_ = 0;
+  std::vector<Level> levels_;
+  std::vector<std::uint64_t> level_population_;
+};
+
+}  // namespace pddict::core

@@ -1,0 +1,112 @@
+#include "core/parallel_group.hpp"
+
+#include <algorithm>
+
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+std::uint32_t ParallelDictGroup::disks_needed(const ParallelGroupParams& p) {
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  return p.instances * d;
+}
+
+ParallelDictGroup::ParallelDictGroup(pdm::DiskArray& disks,
+                                     std::uint32_t first_disk,
+                                     pdm::DiskAllocator& alloc,
+                                     const ParallelGroupParams& p)
+    : value_bytes_(p.value_bytes),
+      salt_(util::mix64(p.seed)),
+      disks_(&disks) {
+  if (p.instances < 1) throw std::invalid_argument("need >= 1 instance");
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  if (first_disk + p.instances * d > disks.geometry().num_disks)
+    throw std::invalid_argument("needs instances*d disks");
+  // Per-instance capacity with headroom: the mix spreads keys binomially.
+  std::uint64_t per = util::ceil_div<std::uint64_t>(p.capacity * 13,
+                                                    p.instances * 10) + 16;
+  for (std::uint32_t i = 0; i < p.instances; ++i) {
+    BasicDictParams bp;
+    bp.universe_size = p.universe_size;
+    bp.capacity = per;
+    bp.value_bytes = p.value_bytes;
+    bp.degree = d;
+    bp.seed = p.seed + 101 * (i + 1);
+    std::uint64_t base = alloc.reserve(0);
+    dicts_.push_back(std::make_unique<BasicDict>(
+        disks, first_disk + i * d, base, bp));
+    alloc.reserve(dicts_.back()->blocks_per_disk());
+  }
+}
+
+std::uint64_t ParallelDictGroup::size() const {
+  std::uint64_t total = 0;
+  for (const auto& d : dicts_) total += d->size();
+  return total;
+}
+
+bool ParallelDictGroup::insert(Key key, std::span<const std::byte> value) {
+  return dicts_[instance_of(key)]->insert(key, value);
+}
+
+LookupResult ParallelDictGroup::lookup(Key key) {
+  return dicts_[instance_of(key)]->lookup(key);
+}
+
+bool ParallelDictGroup::erase(Key key) {
+  return dicts_[instance_of(key)]->erase(key);
+}
+
+std::vector<bool> ParallelDictGroup::insert_batch(
+    std::span<const BatchItem> items) {
+  std::vector<bool> result(items.size(), false);
+  // Schedule items into waves: each wave has at most one item per instance,
+  // so one combined read round plus one combined write round serve the wave.
+  std::vector<std::size_t> pending(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) pending[i] = i;
+  while (!pending.empty()) {
+    std::vector<std::size_t> wave, rest;
+    std::vector<bool> taken(dicts_.size(), false);
+    for (std::size_t idx : pending) {
+      std::uint32_t inst = instance_of(items[idx].key);
+      if (taken[inst]) {
+        rest.push_back(idx);
+      } else {
+        taken[inst] = true;
+        wave.push_back(idx);
+      }
+    }
+    // Combined read: every item's probe addresses live on its own instance's
+    // disk group, so the whole wave is one parallel I/O round.
+    std::vector<pdm::BlockAddr> addrs;
+    std::vector<std::size_t> offsets;
+    for (std::size_t idx : wave) {
+      offsets.push_back(addrs.size());
+      auto a = dicts_[instance_of(items[idx].key)]->probe_addrs(items[idx].key);
+      addrs.insert(addrs.end(), a.begin(), a.end());
+    }
+    offsets.push_back(addrs.size());
+    std::vector<pdm::Block> blocks;
+    disks_->read_batch(addrs, blocks);
+
+    std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+    for (std::size_t w = 0; w < wave.size(); ++w) {
+      std::size_t idx = wave[w];
+      auto span = std::span(blocks).subspan(offsets[w],
+                                            offsets[w + 1] - offsets[w]);
+      auto plan = dicts_[instance_of(items[idx].key)]->plan_insert(
+          items[idx].key, items[idx].value, span);
+      if (plan) {
+        result[idx] = true;
+        writes.insert(writes.end(), plan->begin(), plan->end());
+      }
+    }
+    if (!writes.empty()) disks_->write_batch(writes);  // one write round
+    pending = std::move(rest);
+  }
+  return result;
+}
+
+}  // namespace pddict::core

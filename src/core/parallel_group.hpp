@@ -1,0 +1,71 @@
+// Parallel instances of a dictionary (paper, Section 4 introduction).
+//
+// "We can make any constant number of parallel instances of our dictionaries.
+// This allows insertions of a constant number of elements in the same number
+// of parallel I/Os as one insertion, and does not influence lookup time. The
+// amount of space used and the number of disks increase by a constant
+// factor."
+//
+// ParallelDictGroup runs c Section 4.1 dictionaries on c disjoint groups of d
+// disks. Each key belongs to a fixed instance (a deterministic mix of the key
+// modulo c), so lookups stay 1 I/O on the key's own group, and a batch of c
+// keys with distinct instances is inserted with ONE combined read round and
+// ONE combined write round — the same 2 parallel I/Os as a single insertion.
+// Batches that collide on an instance serialize only per colliding group.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/basic_dict.hpp"
+#include "core/dictionary.hpp"
+#include "pdm/allocator.hpp"
+#include "util/prng.hpp"
+
+namespace pddict::core {
+
+struct ParallelGroupParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;      // total capacity across instances
+  std::size_t value_bytes = 0;
+  std::uint32_t degree = 0;        // d per instance; 0 → O(log u)
+  std::uint32_t instances = 4;     // c
+  std::uint64_t seed = 0x9a49;
+};
+
+class ParallelDictGroup final : public Dictionary {
+ public:
+  ParallelDictGroup(pdm::DiskArray& disks, std::uint32_t first_disk,
+                    pdm::DiskAllocator& alloc,
+                    const ParallelGroupParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;  // 1 parallel I/O
+  bool erase(Key key) override;
+  std::uint64_t size() const override;
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  struct BatchItem {
+    Key key;
+    std::span<const std::byte> value;
+  };
+  /// Inserts all items. Items mapping to distinct instances share parallel
+  /// I/O rounds; a batch of <= instances() keys with distinct instances costs
+  /// exactly 2 parallel I/Os total. Returns per-item "newly inserted".
+  std::vector<bool> insert_batch(std::span<const BatchItem> items);
+
+  std::uint32_t instances() const { return static_cast<std::uint32_t>(dicts_.size()); }
+  std::uint32_t instance_of(Key key) const {
+    return static_cast<std::uint32_t>(util::mix64(key ^ salt_) %
+                                      dicts_.size());
+  }
+  static std::uint32_t disks_needed(const ParallelGroupParams& params);
+
+ private:
+  std::size_t value_bytes_;
+  std::uint64_t salt_;
+  pdm::DiskArray* disks_;
+  std::vector<std::unique_ptr<BasicDict>> dicts_;
+};
+
+}  // namespace pddict::core

@@ -1,0 +1,50 @@
+#include "core/pointer_dict.hpp"
+
+#include "pdm/block.hpp"
+
+namespace pddict::core {
+
+PointerDict::PointerDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                         pdm::DiskAllocator& alloc,
+                         const PointerDictParams& p) {
+  BasicDictParams bp;
+  bp.universe_size = p.universe_size;
+  bp.capacity = p.capacity;
+  bp.value_bytes = sizeof(std::uint64_t);  // the extent id
+  bp.degree = p.degree;
+  bp.seed = p.seed;
+  std::uint64_t base = alloc.reserve(0);
+  index_ = std::make_unique<BasicDict>(disks, first_disk, base, bp);
+  alloc.reserve(index_->blocks_per_disk());
+  // Extent region: generous sparse reservation (address space is free).
+  std::uint64_t extent_base = alloc.reserve(std::uint64_t{1} << 32);
+  extents_ = std::make_unique<pdm::ExtentStore>(
+      pdm::StripedView(disks, extent_base, std::uint64_t{1} << 32));
+}
+
+bool PointerDict::insert(Key key, std::span<const std::byte> record) {
+  // Composable probe: duplicate check and index insert share one read round,
+  // so the total is 1 read + extent write(s) + 1 index write.
+  auto addrs = index_->probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  index_->disks().read_batch(addrs, blocks);
+  if (index_->inspect(key, blocks).found) return false;  // no extent leaked
+  std::uint64_t id = extents_->append(record);
+  std::vector<std::byte> value(sizeof(std::uint64_t));
+  pdm::store_pod<std::uint64_t>(value, 0, id);
+  auto writes = index_->plan_insert(key, value, blocks);
+  if (!writes) return false;
+  index_->disks().write_batch(*writes);
+  return true;
+}
+
+LookupResult PointerDict::lookup(Key key) {
+  LookupResult pointer = index_->lookup(key);
+  if (!pointer.found) return {};
+  std::uint64_t id = pdm::load_pod<std::uint64_t>(pointer.value, 0);
+  return {true, extents_->read(id)};
+}
+
+bool PointerDict::erase(Key key) { return index_->erase(key); }
+
+}  // namespace pddict::core

@@ -1,0 +1,58 @@
+// Pointer-indirection dictionary (paper, §1.1 / §4.1 satellite remarks).
+//
+// "One can always use the dictionary to retrieve a pointer to satellite
+// information of size BD, which can then be retrieved in an extra I/O."
+//
+// PointerDict composes the Section 4.1 dictionary (storing an 8-byte extent
+// id per key) with an ExtentStore holding arbitrarily large satellite
+// records. Lookups cost exactly 2 parallel I/Os for records up to a full
+// stripe (1 to find the pointer, 1 to follow it), insertions 3 (extent write
+// + dictionary read + write), with NO upper bound on the record size other
+// than linear growth in I/Os — the escape hatch for data beyond every
+// in-dictionary bandwidth in Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/basic_dict.hpp"
+#include "core/dictionary.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/extent_store.hpp"
+
+namespace pddict::core {
+
+struct PointerDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;
+  std::uint32_t degree = 0;  // d; 0 → O(log u)
+  std::uint64_t seed = 0x90d1;
+};
+
+/// Values are variable-length per call (unlike the fixed-σ Dictionary
+/// interface), so PointerDict exposes its own API.
+class PointerDict {
+ public:
+  PointerDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+              pdm::DiskAllocator& alloc, const PointerDictParams& params);
+
+  /// Inserts key with an arbitrarily large record. Returns false on
+  /// duplicate (the extent is not written in that case).
+  bool insert(Key key, std::span<const std::byte> record);
+
+  /// 1 I/O for the pointer + ceil(size / BD) I/Os for the record.
+  LookupResult lookup(Key key);
+
+  bool erase(Key key);  // the extent becomes unreferenced (space reclaimed
+                        // by global rebuilding in a full system)
+  std::uint64_t size() const { return index_->size(); }
+
+  std::uint32_t disks_needed() const { return index_->num_disks_used(); }
+  const pdm::ExtentStore& extents() const { return *extents_; }
+
+ private:
+  std::unique_ptr<BasicDict> index_;
+  std::unique_ptr<pdm::ExtentStore> extents_;
+};
+
+}  // namespace pddict::core

@@ -1,0 +1,588 @@
+#include "core/static_dict.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_map>
+
+#include "pdm/block.hpp"
+#include "pdm/ext_sort.hpp"
+#include "pdm/record_stream.hpp"
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+namespace {
+
+// Construction record formats (packed little-endian):
+//   input record : [key u64][id u64][value σ bytes]
+//   pair record  : [neighbor y u64][key x u64]
+//   field record : [field y u64][content ⌈f_bits/8⌉ bytes]
+constexpr std::size_t kPairBytes = 16;
+
+std::uint64_t key_at(std::span<const std::byte> rec, std::size_t off) {
+  std::uint64_t v;
+  std::memcpy(&v, rec.data() + off, 8);
+  return v;
+}
+
+void put_u64(std::byte* dst, std::uint64_t v) { std::memcpy(dst, &v, 8); }
+
+}  // namespace
+
+std::uint32_t StaticDict::disks_needed(const StaticDictParams& p) {
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  return p.layout == StaticLayout::kHeadPointers ? 2 * d : d;
+}
+
+StaticDict::StaticDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                       pdm::DiskAllocator& alloc,
+                       const StaticDictParams& params,
+                       std::span<const Key> keys,
+                       std::span<const std::byte> values)
+    : disks_(&disks),
+      first_disk_(first_disk),
+      layout_(params.layout),
+      universe_size_(params.universe_size),
+      value_bytes_(params.value_bytes) {
+  if (params.universe_size < 2 || params.capacity < 1)
+    throw std::invalid_argument("degenerate static dictionary parameters");
+  if (keys.size() > params.capacity)
+    throw std::invalid_argument("key set exceeds capacity N");
+  if (values.size() != keys.size() * value_bytes_)
+    throw std::invalid_argument("values span size mismatch");
+  std::uint32_t d = params.degree
+                        ? params.degree
+                        : expander::recommended_degree(params.universe_size);
+  if (d <= 12)
+    throw std::invalid_argument(
+        "Theorem 6 fixes epsilon = 1/12, which requires degree d > 12");
+  if (d > 255)
+    throw std::invalid_argument("head pointers require d <= 255");
+  if (first_disk + disks_needed(params) > disks.geometry().num_disks)
+    throw std::invalid_argument("not enough disks for this layout");
+
+  n_ = keys.size();
+  need_ = util::ceil_div<std::uint32_t>(2 * d, 3);
+
+  // Field geometry.
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::uint32_t f_bits;
+  if (layout_ == StaticLayout::kIdentifiers) {
+    // Case (b): lg n + 3σ/(2d) bits per field; identifier 0 reserved as the
+    // empty marker, so identifiers are the 1-based ranks.
+    id_bits_ = util::bits_for(n_ + 2);
+    slice_bits_ = static_cast<std::uint32_t>(
+        util::ceil_div<std::uint64_t>(sigma_bits, need_));
+    f_bits = id_bits_ + slice_bits_;
+  } else {
+    // Case (a): 3σ/(2d) + 4 bits per field, raised if necessary so that the
+    // `need` fields can always hold σ bits beside the worst-case unary
+    // pointer data (< 2d bits per element, as in the theorem's proof).
+    slice_bits_ = static_cast<std::uint32_t>(
+        util::ceil_div<std::uint64_t>(3 * sigma_bits, 2 * d));
+    f_bits = slice_bits_ + 4;
+    std::uint32_t floor_bits = static_cast<std::uint32_t>(
+        util::ceil_div<std::uint64_t>(sigma_bits + d + need_, need_));
+    f_bits = std::max({f_bits, floor_bits, 2u});
+  }
+
+  std::uint64_t per_stripe = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(params.stripe_factor *
+                                    static_cast<double>(params.capacity)));
+  graph_ = std::make_unique<expander::SeededExpander>(
+      params.universe_size, per_stripe * d, d, params.seed);
+
+  std::uint64_t fa_base = alloc.reserve(0);
+  fields_ = std::make_unique<FieldArray>(disks, first_disk_, fa_base,
+                                         per_stripe * d, f_bits, d);
+  alloc.reserve(fields_->blocks_per_stripe());
+
+  if (layout_ == StaticLayout::kHeadPointers) {
+    BasicDictParams mp;
+    mp.universe_size = params.universe_size;
+    mp.capacity = params.capacity;
+    mp.value_bytes = 1;  // the lg d-bit head pointer
+    mp.degree = d;
+    mp.seed = params.seed + 0x111;
+    std::uint64_t mbase = alloc.reserve(0);
+    membership_ = std::make_unique<BasicDict>(disks, first_disk_ + d, mbase, mp);
+    alloc.reserve(membership_->blocks_per_disk());
+  }
+
+  build(alloc, params, keys, values);
+}
+
+std::vector<std::pair<std::uint64_t, util::BitVector>> StaticDict::encode(
+    const Assignment& a) const {
+  const std::uint32_t f_bits = fields_->field_bits();
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::vector<std::pair<std::uint64_t, util::BitVector>> out;
+  out.reserve(need_);
+  if (layout_ == StaticLayout::kIdentifiers) {
+    for (std::uint32_t r = 0; r < need_; ++r) {
+      util::BitVector bits(f_bits);
+      bits.set_field(0, id_bits_, a.id);
+      std::size_t start = static_cast<std::size_t>(r) * slice_bits_;
+      std::size_t take =
+          start < sigma_bits
+              ? std::min<std::size_t>(slice_bits_, sigma_bits - start)
+              : 0;
+      if (take > 0)
+        util::copy_bits_from_bytes(a.value.data(), start, bits, id_bits_, take);
+      out.emplace_back(a.fields[r], std::move(bits));
+    }
+  } else {
+    const std::uint64_t stripe_size = graph_->stripe_size();
+    std::size_t done = 0;
+    for (std::uint32_t r = 0; r < need_; ++r) {
+      std::uint64_t stripe = a.fields[r] / stripe_size;
+      std::uint64_t delta =
+          (r + 1 < need_) ? a.fields[r + 1] / stripe_size - stripe : 0;
+      util::BitVector bits(f_bits);
+      util::BitWriter w(bits, 0, f_bits);
+      w.write_unary(delta);  // tail writes unary(0) = a single 0-bit
+      std::size_t room = f_bits - w.position();
+      std::size_t take = std::min(room, sigma_bits - done);
+      if (take > 0)
+        util::copy_bits_from_bytes(a.value.data(), done, bits, w.position(),
+                                   take);
+      done += take;
+      out.emplace_back(a.fields[r], std::move(bits));
+    }
+    if (done != sigma_bits)
+      throw std::logic_error("static dict: field capacity accounting is off");
+  }
+  return out;
+}
+
+void StaticDict::build_direct(const StaticDictParams& params,
+                              std::span<const Key> keys,
+                              std::span<const std::byte> values) {
+  // The paper's first construction: per level, compute the unique neighbor
+  // nodes of the remaining set (internal memory), pick any ⌈2d/3⌉ of them
+  // for every qualifying key, and write those fields in place — a
+  // read-modify-write round pair per key, O(n) parallel I/Os in total.
+  pdm::IoProbe probe(*disks_);
+  stats_.input_records = n_;
+  if (n_ == 0) {
+    stats_.total_io = probe.delta();
+    return;
+  }
+  // Identifiers are ranks in sorted key order, 1-based (0 = empty marker).
+  std::vector<std::size_t> order(keys.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return keys[a] < keys[b]; });
+  std::vector<std::uint64_t> id_of(keys.size());
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    if (rank > 0 && keys[order[rank]] == keys[order[rank - 1]])
+      throw std::invalid_argument("duplicate key in static dictionary input");
+    id_of[order[rank]] = rank + 1;
+  }
+
+  std::vector<std::size_t> remaining = order;
+  while (!remaining.empty()) {
+    if (stats_.levels >= params.max_levels)
+      throw ConstructionError("exceeded max_levels (direct construction)");
+    ++stats_.levels;
+    // Incidence of every right vertex over the remaining set.
+    std::unordered_map<std::uint64_t, std::uint32_t> incidence;
+    incidence.reserve(remaining.size() * graph_->degree() * 2);
+    for (std::size_t idx : remaining)
+      for (std::uint64_t y : graph_->neighbors(keys[idx])) ++incidence[y];
+
+    std::vector<std::size_t> next;
+    std::uint64_t assigned_here = 0;
+    std::vector<std::uint64_t> unique_ys;
+    for (std::size_t idx : remaining) {
+      unique_ys.clear();
+      for (std::uint64_t y : graph_->neighbors(keys[idx]))
+        if (incidence.at(y) == 1) unique_ys.push_back(y);
+      if (unique_ys.size() < need_) {
+        next.push_back(idx);
+        continue;
+      }
+      Assignment a;
+      a.key = keys[idx];
+      a.id = id_of[idx];
+      a.fields.assign(unique_ys.begin(), unique_ys.begin() + need_);
+      std::sort(a.fields.begin(), a.fields.end());
+      a.value = values.subspan(idx * value_bytes_, value_bytes_);
+      // Read-modify-write of the need field blocks: all on distinct disks,
+      // so one read round + one write round per key.
+      std::vector<pdm::BlockAddr> addrs;
+      for (std::uint64_t f : a.fields) addrs.push_back(fields_->addr_of(f));
+      std::vector<pdm::Block> blocks;
+      disks_->read_batch(addrs, blocks);
+      auto encoded = encode(a);
+      std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+      for (std::uint32_t r = 0; r < need_; ++r) {
+        fields_->set(blocks[r], encoded[r].first, encoded[r].second);
+        writes.emplace_back(addrs[r], blocks[r]);
+      }
+      disks_->write_batch(writes);
+      if (layout_ == StaticLayout::kHeadPointers) {
+        auto head =
+            static_cast<std::uint8_t>(a.fields[0] / graph_->stripe_size());
+        std::byte hb{head};
+        membership_->insert(a.key, std::span<const std::byte>(&hb, 1));
+      }
+      ++assigned_here;
+      stats_.assigned_fields += need_;
+    }
+    if (assigned_here == 0)
+      throw ConstructionError(
+          "no key has enough unique neighbors (Lemma 5 failed; raise "
+          "stripe_factor or degree)");
+    remaining = std::move(next);
+  }
+  stats_.total_io = probe.delta();
+}
+
+void StaticDict::build(pdm::DiskAllocator& alloc,
+                       const StaticDictParams& params,
+                       std::span<const Key> keys,
+                       std::span<const std::byte> values) {
+  if (params.algorithm == BuildAlgorithm::kDirect) {
+    build_direct(params, keys, values);
+    return;
+  }
+  pdm::IoProbe probe(*disks_);
+  stats_.input_records = n_;
+  if (n_ == 0) {
+    stats_.total_io = probe.delta();
+    return;
+  }
+  const pdm::Geometry& geom = disks_->geometry();
+  const std::uint32_t d = graph_->degree();
+  const std::size_t in_rec = 16 + value_bytes_;
+  const std::size_t f_bytes = util::ceil_div<std::uint64_t>(
+      fields_->field_bits(), 8);
+  const std::size_t b_rec = 8 + f_bytes;
+
+  const std::uint64_t rpb_in = pdm::records_per_logical_block(geom, in_rec);
+  const std::uint64_t rpb_pair = pdm::records_per_logical_block(geom, kPairBytes);
+  const std::uint64_t rpb_b = pdm::records_per_logical_block(geom, b_rec);
+
+  const std::uint64_t r_blocks = util::ceil_div<std::uint64_t>(n_, rpb_in) + 1;
+  const std::uint64_t p_blocks =
+      util::ceil_div<std::uint64_t>(n_ * d, rpb_pair) + 1;
+  const std::uint64_t b_blocks =
+      util::ceil_div<std::uint64_t>(n_ * need_, rpb_b) + 1;
+
+  // Scratch regions (reused across recursion levels).
+  pdm::StripedView ra(*disks_, alloc.reserve(r_blocks), r_blocks);
+  pdm::StripedView rb(*disks_, alloc.reserve(r_blocks), r_blocks);
+  pdm::StripedView pv(*disks_, alloc.reserve(p_blocks), p_blocks);
+  pdm::StripedView ps(*disks_, alloc.reserve(p_blocks), p_blocks);
+  pdm::StripedView uv(*disks_, alloc.reserve(p_blocks), p_blocks);
+  pdm::StripedView bv(*disks_, alloc.reserve(b_blocks), b_blocks);
+  pdm::StripedView bs(*disks_, alloc.reserve(b_blocks), b_blocks);
+
+  auto account_sort = [&](const pdm::SortStats& s) { stats_.sort_io += s.io; };
+
+  // ---- phase 0: write input records, sort by key, assign rank identifiers.
+  {
+    pdm::RecordWriter w(ra, 0, in_rec);
+    std::vector<std::byte> rec(in_rec);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (keys[i] == kTombstone || keys[i] >= universe_size_)
+        throw std::invalid_argument("key outside universe");
+      put_u64(rec.data(), keys[i]);
+      put_u64(rec.data() + 8, 0);
+      if (value_bytes_ > 0)
+        std::memcpy(rec.data() + 16, values.data() + i * value_bytes_,
+                    value_bytes_);
+      w.push(rec);
+    }
+    w.finish();
+  }
+  account_sort(pdm::external_sort(
+      ra, rb, n_, in_rec,
+      [](std::span<const std::byte> r) { return key_at(r, 0); },
+      params.memory_bytes));
+  {
+    // Assign identifiers 1..n in key order; reject duplicates.
+    pdm::RecordReader r(ra, 0, n_, in_rec);
+    pdm::RecordWriter w(rb, 0, in_rec);
+    std::vector<std::byte> rec(in_rec);
+    std::uint64_t id = 0;
+    Key prev = kTombstone;
+    while (!r.exhausted()) {
+      std::span<const std::byte> src = r.head();
+      Key k = key_at(src, 0);
+      if (id > 0 && k == prev)
+        throw std::invalid_argument("duplicate key in static dictionary input");
+      prev = k;
+      std::memcpy(rec.data(), src.data(), in_rec);
+      put_u64(rec.data() + 8, ++id);
+      w.push(rec);
+      r.pop();
+    }
+    w.finish();
+  }
+
+  // ---- recursion: assign unique neighbors, recurse on the rest.
+  pdm::StripedView* r_cur = &rb;
+  pdm::StripedView* r_next = &ra;
+  std::uint64_t remaining = n_;
+  pdm::RecordWriter b_writer(bv, 0, b_rec);
+  std::vector<std::byte> b_rec_buf(b_rec);
+
+  while (remaining > 0) {
+    if (stats_.levels >= params.max_levels)
+      throw ConstructionError(
+          "static dictionary construction exceeded max_levels");
+    ++stats_.levels;
+
+    // 1. Generate (neighbor, key) pairs for every edge of the remaining set.
+    {
+      pdm::RecordReader r(*r_cur, 0, remaining, in_rec);
+      pdm::RecordWriter w(pv, 0, kPairBytes);
+      std::vector<std::byte> pair(kPairBytes);
+      while (!r.exhausted()) {
+        Key x = key_at(r.head(), 0);
+        for (std::uint64_t y : graph_->neighbors(x)) {
+          put_u64(pair.data(), y);
+          put_u64(pair.data() + 8, x);
+          w.push(pair);
+        }
+        r.pop();
+      }
+      w.finish();
+    }
+    const std::uint64_t num_pairs = remaining * d;
+
+    // 2. Sort pairs by neighbor; 3. keep singleton neighbors (Φ of the set).
+    account_sort(pdm::external_sort(
+        pv, ps, num_pairs, kPairBytes,
+        [](std::span<const std::byte> r) { return key_at(r, 0); },
+        params.memory_bytes));
+    std::uint64_t num_unique = 0;
+    {
+      pdm::RecordReader r(pv, 0, num_pairs, kPairBytes);
+      pdm::RecordWriter w(uv, 0, kPairBytes);
+      std::vector<std::byte> pending(kPairBytes);
+      std::uint64_t run = 0;
+      std::uint64_t prev_y = 0;
+      while (!r.exhausted()) {
+        std::span<const std::byte> pr = r.head();
+        std::uint64_t y = key_at(pr, 0);
+        if (run > 0 && y == prev_y) {
+          ++run;
+        } else {
+          if (run == 1) {
+            w.push(pending);
+            ++num_unique;
+          }
+          run = 1;
+          prev_y = y;
+          std::memcpy(pending.data(), pr.data(), kPairBytes);
+        }
+        r.pop();
+      }
+      if (run == 1) {
+        w.push(pending);
+        ++num_unique;
+      }
+      w.finish();
+    }
+
+    // 4. Group unique neighbors per key (stable sort keeps them ascending).
+    account_sort(pdm::external_sort(
+        uv, ps, num_unique, kPairBytes,
+        [](std::span<const std::byte> r) { return key_at(r, 8); },
+        params.memory_bytes));
+
+    // 5. Co-scan with the (sorted) remaining records: assign keys that have
+    //    enough unique neighbors; the rest go to the next level.
+    std::uint64_t next_remaining = 0;
+    std::uint64_t assigned_here = 0;
+    {
+      pdm::RecordReader rr(*r_cur, 0, remaining, in_rec);
+      pdm::RecordReader ur(uv, 0, num_unique, kPairBytes);
+      pdm::RecordWriter nw(*r_next, 0, in_rec);
+      std::vector<std::uint64_t> ys;
+      std::vector<std::byte> rec(in_rec);
+      while (!rr.exhausted()) {
+        std::memcpy(rec.data(), rr.head().data(), in_rec);
+        rr.pop();
+        Key x = key_at(rec, 0);
+        ys.clear();
+        while (!ur.exhausted() && key_at(ur.head(), 8) == x) {
+          ys.push_back(key_at(ur.head(), 0));
+          ur.pop();
+        }
+        if (ys.size() >= need_) {
+          Assignment a;
+          a.key = x;
+          a.id = key_at(rec, 8);
+          a.fields.assign(ys.begin(), ys.begin() + need_);
+          a.value = std::span<const std::byte>(rec).subspan(16, value_bytes_);
+          for (auto& [field, bits] : encode(a)) {
+            put_u64(b_rec_buf.data(), field);
+            std::fill(b_rec_buf.begin() + 8, b_rec_buf.end(), std::byte{0});
+            util::copy_bits_to_bytes(bits, 0, b_rec_buf.data() + 8, 0,
+                                     fields_->field_bits());
+            b_writer.push(b_rec_buf);
+          }
+          if (layout_ == StaticLayout::kHeadPointers) {
+            auto head = static_cast<std::uint8_t>(a.fields[0] /
+                                                  graph_->stripe_size());
+            std::byte hb{head};
+            membership_->insert(x, std::span<const std::byte>(&hb, 1));
+          }
+          ++assigned_here;
+          stats_.assigned_fields += need_;
+        } else {
+          nw.push(rec);
+          ++next_remaining;
+        }
+      }
+      nw.finish();
+    }
+    if (assigned_here == 0)
+      throw ConstructionError(
+          "no key has enough unique neighbors (Lemma 5 failed for this graph "
+          "and key set; raise stripe_factor or degree)");
+    remaining = next_remaining;
+    std::swap(r_cur, r_next);
+  }
+
+  // ---- final: sort the global field-content array by field index and fill A
+  // (the paper's "most expensive operation in the construction algorithm").
+  const std::uint64_t num_b = b_writer.records_written();
+  b_writer.finish();
+  account_sort(pdm::external_sort(
+      bv, bs, num_b, b_rec,
+      [](std::span<const std::byte> r) { return key_at(r, 0); },
+      params.memory_bytes));
+  {
+    pdm::RecordReader r(bv, 0, num_b, b_rec);
+    bool have_block = false;
+    pdm::BlockAddr cur_addr{};
+    pdm::Block cur(geom.block_bytes(), std::byte{0});
+    while (!r.exhausted()) {
+      std::span<const std::byte> rec = r.head();
+      std::uint64_t y = key_at(rec, 0);
+      pdm::BlockAddr addr = fields_->addr_of(y);
+      if (!have_block || !(addr == cur_addr)) {
+        if (have_block) disks_->write_block(cur_addr, cur);
+        cur_addr = addr;
+        std::fill(cur.begin(), cur.end(), std::byte{0});
+        have_block = true;
+      }
+      util::BitVector bits(fields_->field_bits());
+      util::copy_bits_from_bytes(rec.data() + 8, 0, bits, 0,
+                                 fields_->field_bits());
+      fields_->set(cur, y, bits);
+      r.pop();
+    }
+    if (have_block) disks_->write_block(cur_addr, cur);
+  }
+  stats_.total_io = probe.delta();
+}
+
+LookupResult StaticDict::decode_identifiers(
+    std::span<const util::BitVector> field_bits) const {
+  const std::uint32_t d = graph_->degree();
+  std::vector<std::uint64_t> ids(d);
+  for (std::uint32_t i = 0; i < d; ++i)
+    ids[i] = field_bits[i].get_field(0, id_bits_);
+
+  // Majority identifier among the d fields (paper: "appears in more than
+  // half of the fields"); identifier 0 marks an empty field.
+  std::uint64_t best_id = 0;
+  std::uint32_t best_count = 0;
+  for (std::uint32_t i = 0; i < d; ++i) {
+    if (ids[i] == 0) continue;
+    std::uint32_t count = 0;
+    for (std::uint32_t j = 0; j < d; ++j) count += (ids[j] == ids[i]);
+    if (count > best_count) {
+      best_count = count;
+      best_id = ids[i];
+    }
+  }
+  if (best_id == 0 || 2 * best_count <= d) return {};
+  if (best_count != need_)
+    throw std::logic_error("static dict: majority identifier with wrong "
+                           "multiplicity (corrupt array)");
+
+  // Merge the slices in stripe order; no key comparison is needed: no two
+  // keys share more than εd < d/2 neighbors, so the majority is authentic.
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::vector<std::byte> value(value_bytes_, std::byte{0});
+  std::uint32_t r = 0;
+  for (std::uint32_t i = 0; i < d; ++i) {
+    if (ids[i] != best_id) continue;
+    std::size_t start = static_cast<std::size_t>(r) * slice_bits_;
+    std::size_t take =
+        start < sigma_bits
+            ? std::min<std::size_t>(slice_bits_, sigma_bits - start)
+            : 0;
+    if (take > 0)
+      util::copy_bits_to_bytes(field_bits[i], id_bits_, value.data(), start,
+                               take);
+    ++r;
+  }
+  return {true, std::move(value)};
+}
+
+LookupResult StaticDict::decode_head_pointers(
+    Key key, std::span<const pdm::Block> blocks) const {
+  const std::uint32_t d = graph_->degree();
+  BasicDict::Probe probe =
+      membership_->inspect(key, blocks.subspan(0, membership_->degree()));
+  if (!probe.found) return {};
+  std::uint32_t cur = static_cast<std::uint8_t>(probe.value.at(0));
+
+  const std::size_t sigma_bits = value_bytes_ * 8;
+  std::vector<std::byte> value(value_bytes_, std::byte{0});
+  std::size_t collected = 0;
+  for (std::uint32_t hops = 0; hops < need_; ++hops) {
+    if (cur >= d)
+      throw std::logic_error("static dict: head-pointer list walked off the "
+                             "stripe range (corrupt array)");
+    std::uint64_t field = graph_->neighbor(key, cur);
+    util::BitVector bits =
+        fields_->get(blocks[membership_->degree() + cur], field);
+    util::BitReader r(bits, 0, fields_->field_bits());
+    std::uint64_t delta = r.read_unary();
+    std::size_t room = fields_->field_bits() - r.position();
+    std::size_t take = std::min(room, sigma_bits - collected);
+    if (take > 0) {
+      util::copy_bits_to_bytes(bits, r.position(), value.data(), collected,
+                               take);
+      collected += take;
+    }
+    if (delta == 0) break;  // tail field starts with a 0-bit
+    cur += static_cast<std::uint32_t>(delta);
+  }
+  if (collected != sigma_bits)
+    throw std::logic_error("static dict: reassembled record is short "
+                           "(corrupt array)");
+  return {true, std::move(value)};
+}
+
+LookupResult StaticDict::lookup(Key key) {
+  if (key == kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+  const std::uint32_t d = graph_->degree();
+  if (layout_ == StaticLayout::kIdentifiers) {
+    std::vector<std::uint64_t> gamma = graph_->neighbors(key);
+    std::vector<util::BitVector> field_bits = fields_->read_fields(gamma);
+    return decode_identifiers(field_bits);
+  }
+  // Case (a): probe the membership dictionary and the retrieval array in the
+  // same parallel I/O (they live on disjoint disks).
+  std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
+  for (std::uint32_t i = 0; i < d; ++i)
+    addrs.push_back(fields_->addr_of(graph_->neighbor(key, i)));
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  return decode_head_pointers(key, blocks);
+}
+
+}  // namespace pddict::core

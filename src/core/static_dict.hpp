@@ -1,0 +1,145 @@
+// The almost-optimal one-probe static dictionary of Section 4.2 (Theorem 6).
+//
+// Data lives in an array A of v = O(n·d) bit-packed fields indexed by a
+// striped (N, ε)-expander with ε = 1/12 (which requires d > 12). For each
+// stored key x, a fraction 2/3 of the fields referenced by Γ(x) hold parts of
+// x's record; a lookup reads all d fields (one per stripe = one per disk, a
+// single parallel I/O) and reassembles the record.
+//
+// Two layouts, exactly as in the theorem:
+//
+//  case (b) — kIdentifiers: every field carries a lg n-bit identifier unique
+//    to its owner plus a slice of the satellite data. A lookup keeps the
+//    fields whose identifier holds a strict majority among the d fields read;
+//    since no two keys share more than εd < d/2 neighbors, a majority can
+//    only belong to x itself. Uses d disks.
+//
+//  case (a) — kHeadPointers: when a block holds Ω(log n) keys, identifiers
+//    are avoided. Two sub-dictionaries run in parallel on 2d disks: the
+//    Section 4.1 membership dictionary stores each key with a lg d-bit "head
+//    pointer", and a retrieval array stores satellite slices threaded into a
+//    linked list by unary-coded relative stripe pointers (a 0-bit separates
+//    pointer from record data; the tail field starts with a 0-bit). Both
+//    sub-structures are probed in the same parallel I/O.
+//
+// Construction (Theorem 6): repeatedly assign records to *unique neighbor
+// nodes* (Lemmas 4, 5 with λ = 1/3: at least half the remaining keys have
+// ≥ 2d/3 unique neighbors), recursing on the unassigned rest. Implemented as
+// the paper's "improved" external pipeline — generate (neighbor, key) pairs,
+// sort by neighbor, filter singletons, sort by key, co-scan with the sorted
+// input — with every sort running through pdm::external_sort so the I/O cost
+// is genuinely proportional to sorting n·d records.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/basic_dict.hpp"
+#include "core/dictionary.hpp"
+#include "core/field_array.hpp"
+#include "expander/seeded_expander.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::core {
+
+enum class StaticLayout {
+  kIdentifiers,   // Theorem 6 case (b): d disks, lg n-bit identifiers
+  kHeadPointers,  // Theorem 6 case (a): 2d disks, head pointers + unary lists
+};
+
+/// Theorem 6 describes two construction procedures; both are implemented.
+enum class BuildAlgorithm {
+  /// "Improving the construction": the fully external pipeline — generate
+  /// (neighbor, key) pairs, external-sort by neighbor, filter singletons,
+  /// sort by key, co-scan; cost Θ(sort(n·d)). The default.
+  kSortBased,
+  /// The paper's first version: per recursion level, determine Φ(S) and S′
+  /// and write each assigned key's fields directly — "less than c·n parallel
+  /// I/Os". Assumes the key set fits in internal memory during construction
+  /// (the external variant is kSortBased).
+  kDirect,
+};
+
+struct StaticDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;  // N
+  std::size_t value_bytes = 0; // σ / 8
+  std::uint32_t degree = 0;    // d > 12 (ε = 1/12); 0 → O(log u)
+  StaticLayout layout = StaticLayout::kIdentifiers;
+  BuildAlgorithm algorithm = BuildAlgorithm::kSortBased;
+  /// Fields per stripe = ceil(stripe_factor · N); v = d · that (v = O(Nd)).
+  double stripe_factor = 4.0;
+  /// Internal memory for the construction's external sorts.
+  std::size_t memory_bytes = std::size_t{1} << 20;
+  std::uint64_t seed = 0x57a7;
+  std::uint32_t max_levels = 64;
+};
+
+struct StaticBuildStats {
+  std::uint32_t levels = 0;          // recursion depth used
+  std::uint64_t input_records = 0;   // n
+  std::uint64_t assigned_fields = 0; // total fields written
+  pdm::IoStats total_io;             // full construction cost
+  pdm::IoStats sort_io;              // portion spent inside external sorts
+};
+
+class StaticDict {
+ public:
+  /// Builds the dictionary for `keys` (distinct, each < universe_size) with
+  /// packed satellite `values` (keys.size() · value_bytes bytes, aligned with
+  /// `keys`). Uses disks [first_disk, first_disk + disks_needed(params));
+  /// block ranges (for the field array, the membership dictionary and all
+  /// construction scratch regions) are taken from `alloc`.
+  StaticDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+             pdm::DiskAllocator& alloc, const StaticDictParams& params,
+             std::span<const Key> keys, std::span<const std::byte> values);
+
+  /// Exactly one parallel I/O.
+  LookupResult lookup(Key key);
+
+  static std::uint32_t disks_needed(const StaticDictParams& params);
+
+  const StaticBuildStats& build_stats() const { return stats_; }
+  std::uint64_t size() const { return n_; }
+  std::size_t value_bytes() const { return value_bytes_; }
+  std::uint32_t degree() const { return graph_->degree(); }
+  std::uint32_t fields_required() const { return need_; }  // ⌈2d/3⌉
+  std::uint32_t field_bits() const { return fields_->field_bits(); }
+  std::uint64_t num_fields() const { return fields_->num_fields(); }
+
+ private:
+  struct Assignment {
+    Key key;
+    std::uint64_t id;                       // 1-based rank (case (b))
+    std::vector<std::uint64_t> fields;      // `need_` field indices, ascending
+    std::span<const std::byte> value;
+  };
+  void build(pdm::DiskAllocator& alloc, const StaticDictParams& params,
+             std::span<const Key> keys, std::span<const std::byte> values);
+  void build_direct(const StaticDictParams& params, std::span<const Key> keys,
+                    std::span<const std::byte> values);
+  /// Encode one assignment into (field, content-bits) pairs.
+  std::vector<std::pair<std::uint64_t, util::BitVector>> encode(
+      const Assignment& a) const;
+  LookupResult decode_identifiers(std::span<const util::BitVector> fields) const;
+  LookupResult decode_head_pointers(Key key,
+                                    std::span<const pdm::Block> blocks) const;
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  StaticLayout layout_;
+  std::uint64_t universe_size_;
+  std::size_t value_bytes_;
+  std::uint64_t n_ = 0;
+  std::uint32_t need_ = 0;       // ⌈2d/3⌉ fields per key
+  std::uint32_t id_bits_ = 0;    // case (b)
+  std::uint32_t slice_bits_ = 0; // payload bits per field (case (b))
+  std::unique_ptr<expander::SeededExpander> graph_;   // retrieval expander
+  std::unique_ptr<FieldArray> fields_;
+  std::unique_ptr<BasicDict> membership_;             // case (a) only
+  StaticBuildStats stats_;
+};
+
+}  // namespace pddict::core

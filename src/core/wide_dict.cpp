@@ -1,0 +1,188 @@
+#include "core/wide_dict.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "pdm/block.hpp"
+#include "util/math.hpp"
+
+namespace pddict::core {
+
+namespace {
+constexpr std::size_t kHeaderBytes = 8;  // [uint32 count][pad]
+// Fragment record: [key u64][u32 fragment index][u32 pad][fragment bytes].
+constexpr std::size_t kFragMetaBytes = 16;
+}  // namespace
+
+WideDict::WideDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+                   std::uint64_t base_block, const WideDictParams& p)
+    : disks_(&disks),
+      first_disk_(first_disk),
+      base_block_(base_block),
+      universe_size_(p.universe_size),
+      capacity_(p.capacity),
+      value_bytes_(p.value_bytes) {
+  if (p.universe_size < 2 || p.capacity < 1 || p.value_bytes < 1)
+    throw std::invalid_argument("degenerate wide dictionary parameters");
+  std::uint32_t d =
+      p.degree ? p.degree : expander::recommended_degree(p.universe_size);
+  k_ = p.fragments ? p.fragments : std::max<std::uint32_t>(1, d / 2);
+  if (k_ >= d)
+    throw std::invalid_argument("Lemma 3 requires k < d");
+  if (first_disk + d > disks.geometry().num_disks)
+    throw std::invalid_argument("wide dictionary needs D >= d disks");
+
+  fragment_bytes_ = util::ceil_div<std::uint64_t>(value_bytes_, k_);
+  frag_record_bytes_ = kFragMetaBytes + fragment_bytes_;
+  const std::size_t block_bytes = disks.geometry().block_bytes();
+  if (frag_record_bytes_ + kHeaderBytes > block_bytes)
+    throw std::invalid_argument(
+        "fragment does not fit in a block; satellite exceeds the O(BD) "
+        "bandwidth of this geometry/degree");
+  bucket_capacity_ = static_cast<std::uint32_t>((block_bytes - kHeaderBytes) /
+                                                frag_record_bytes_);
+  if (bucket_capacity_ < 2)
+    throw std::invalid_argument("bucket capacity < 2 fragments");
+
+  std::uint64_t avg_target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(bucket_capacity_ / p.load_headroom));
+  std::uint64_t per_stripe = util::ceil_div<std::uint64_t>(
+                                 p.capacity * k_, avg_target * d) + 1;
+  graph_ = std::make_unique<expander::SeededExpander>(
+      p.universe_size, per_stripe * d, d, p.seed);
+}
+
+std::size_t WideDict::max_bandwidth(const pdm::Geometry& geometry,
+                                    std::uint32_t degree,
+                                    std::uint64_t capacity) {
+  std::uint32_t k = std::max<std::uint32_t>(1, degree / 2);
+  std::size_t block_bytes = geometry.block_bytes();
+  if (block_bytes <= kHeaderBytes + kFragMetaBytes) return 0;
+  // A fragment may use at most half a block so a bucket holds >= 2; the
+  // Θ(log N) load needs headroom, hence the factor.
+  double load = std::max(2.0, std::log2(static_cast<double>(capacity)));
+  std::size_t per_frag = static_cast<std::size_t>(
+      (block_bytes - kHeaderBytes) / load) ;
+  if (per_frag <= kFragMetaBytes) return 0;
+  return (per_frag - kFragMetaBytes) * k;
+}
+
+void WideDict::check_key(Key key) const {
+  if (key == kTombstone || key >= universe_size_)
+    throw std::invalid_argument("key outside universe");
+}
+
+std::vector<pdm::BlockAddr> WideDict::probe_addrs(Key key) const {
+  std::vector<pdm::BlockAddr> addrs;
+  addrs.reserve(degree());
+  for (std::uint32_t i = 0; i < degree(); ++i)
+    addrs.push_back(
+        {first_disk_ + i, base_block_ + graph_->stripe_local(key, i)});
+  return addrs;
+}
+
+bool WideDict::insert(Key key, std::span<const std::byte> value) {
+  check_key(key);
+  if (value.size() != value_bytes_)
+    throw std::invalid_argument("value size mismatch");
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+
+  std::vector<std::uint32_t> counts(degree());
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    counts[i] = pdm::load_pod<std::uint32_t>(blocks[i], 0);
+    // Duplicate check: any live fragment carrying this key.
+    for (std::uint32_t s = 0; s < counts[i]; ++s) {
+      std::size_t off = kHeaderBytes + s * frag_record_bytes_;
+      if (pdm::load_pod<Key>(blocks[i], off) == key) return false;
+    }
+  }
+  if (size_ >= capacity_) throw CapacityError("wide dictionary at capacity N");
+
+  // Section 3 with k items: place fragments one by one into the currently
+  // least-loaded candidate bucket (several fragments may share a bucket).
+  std::vector<bool> dirty(degree(), false);
+  for (std::uint32_t frag = 0; frag < k_; ++frag) {
+    std::uint32_t best = 0;
+    for (std::uint32_t i = 1; i < degree(); ++i)
+      if (counts[i] < counts[best]) best = i;
+    if (counts[best] >= bucket_capacity_)
+      throw CapacityError("all candidate buckets full (wide dictionary)");
+    std::size_t off = kHeaderBytes + counts[best] * frag_record_bytes_;
+    pdm::store_pod<Key>(blocks[best], off, key);
+    pdm::store_pod<std::uint32_t>(blocks[best], off + 8, frag);
+    pdm::store_pod<std::uint32_t>(blocks[best], off + 12, 0);
+    std::size_t take = std::min(fragment_bytes_,
+                                value_bytes_ - frag * fragment_bytes_);
+    std::memcpy(blocks[best].data() + off + kFragMetaBytes,
+                value.data() + frag * fragment_bytes_, take);
+    ++counts[best];
+    dirty[best] = true;
+  }
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    if (!dirty[i]) continue;
+    pdm::store_pod<std::uint32_t>(blocks[i], 0, counts[i]);
+    writes.emplace_back(addrs[i], blocks[i]);
+  }
+  disks_->write_batch(writes);  // distinct disks → one parallel write
+  ++size_;
+  return true;
+}
+
+LookupResult WideDict::lookup(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+
+  std::vector<std::byte> value(value_bytes_);
+  std::uint32_t found_frags = 0;
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::uint32_t count = pdm::load_pod<std::uint32_t>(blocks[i], 0);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      std::size_t off = kHeaderBytes + s * frag_record_bytes_;
+      if (pdm::load_pod<Key>(blocks[i], off) != key) continue;
+      std::uint32_t frag = pdm::load_pod<std::uint32_t>(blocks[i], off + 8);
+      std::size_t take = std::min(fragment_bytes_,
+                                  value_bytes_ - frag * fragment_bytes_);
+      std::memcpy(value.data() + frag * fragment_bytes_,
+                  blocks[i].data() + off + kFragMetaBytes, take);
+      ++found_frags;
+    }
+  }
+  if (found_frags == 0) return {};
+  if (found_frags != k_)
+    throw std::logic_error("wide dictionary: partial record on disk");
+  return {true, std::move(value)};
+}
+
+bool WideDict::erase(Key key) {
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+  bool found = false;
+  for (std::uint32_t i = 0; i < degree(); ++i) {
+    std::uint32_t count = pdm::load_pod<std::uint32_t>(blocks[i], 0);
+    bool dirty = false;
+    for (std::uint32_t s = 0; s < count; ++s) {
+      std::size_t off = kHeaderBytes + s * frag_record_bytes_;
+      if (pdm::load_pod<Key>(blocks[i], off) == key) {
+        pdm::store_pod<Key>(blocks[i], off, kTombstone);
+        dirty = found = true;
+      }
+    }
+    if (dirty) writes.emplace_back(addrs[i], blocks[i]);
+  }
+  if (found) {
+    disks_->write_batch(writes);
+    --size_;
+  }
+  return found;
+}
+
+}  // namespace pddict::core

@@ -1,0 +1,74 @@
+// The wide-bandwidth dictionary of Section 4.1 ("with satellite information").
+//
+// For satellite data of size O(BD / log N) per key, the paper changes the
+// load balancing parameters to k = d/2 and v = kN / log N: a record is split
+// into k fragments, and the k fragments are placed one by one into currently
+// least-loaded buckets among the key's d expander neighborhoods (the
+// Section 3 scheme with k items per vertex; several fragments may share a
+// bucket). A lookup reads the d candidate buckets — one block per disk, a
+// single parallel I/O — and reassembles the fragments found there, so the
+// whole satellite record is returned in one probe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/dictionary.hpp"
+#include "expander/seeded_expander.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::core {
+
+struct WideDictParams {
+  std::uint64_t universe_size = 0;
+  std::uint64_t capacity = 0;    // N
+  std::size_t value_bytes = 0;   // σ, up to ~ (d/2)·(B − overhead)
+  std::uint32_t degree = 0;      // d; 0 → O(log u)
+  std::uint32_t fragments = 0;   // k; 0 → d/2 (the paper's choice)
+  double load_headroom = 2.0;
+  std::uint64_t seed = 0x71de;
+};
+
+class WideDict final : public Dictionary {
+ public:
+  WideDict(pdm::DiskArray& disks, std::uint32_t first_disk,
+           std::uint64_t base_block, const WideDictParams& params);
+
+  bool insert(Key key, std::span<const std::byte> value) override;
+  LookupResult lookup(Key key) override;
+  bool erase(Key key) override;
+  std::uint64_t size() const override { return size_; }
+  std::size_t value_bytes() const override { return value_bytes_; }
+
+  std::uint32_t degree() const { return graph_->degree(); }
+  std::uint32_t fragments() const { return k_; }
+  std::size_t fragment_bytes() const { return fragment_bytes_; }
+  std::uint64_t num_buckets() const { return graph_->right_size(); }
+  std::uint32_t bucket_capacity() const { return bucket_capacity_; }
+  std::uint64_t blocks_per_disk() const { return graph_->stripe_size(); }
+
+  /// Largest satellite size (bytes) a geometry can return in one probe with
+  /// the given degree — the structure's *bandwidth* in the paper's sense.
+  static std::size_t max_bandwidth(const pdm::Geometry& geometry,
+                                   std::uint32_t degree,
+                                   std::uint64_t capacity);
+
+ private:
+  void check_key(Key key) const;
+  std::vector<pdm::BlockAddr> probe_addrs(Key key) const;
+
+  pdm::DiskArray* disks_;
+  std::uint32_t first_disk_;
+  std::uint64_t base_block_;
+  std::uint64_t universe_size_;
+  std::uint64_t capacity_;
+  std::size_t value_bytes_;
+  std::uint32_t k_;
+  std::size_t fragment_bytes_;
+  std::size_t frag_record_bytes_;
+  std::uint32_t bucket_capacity_;
+  std::uint64_t size_ = 0;
+  std::unique_ptr<expander::SeededExpander> graph_;
+};
+
+}  // namespace pddict::core

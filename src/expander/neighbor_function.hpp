@@ -1,0 +1,69 @@
+// Bipartite left-regular graphs as neighbor functions (paper, Section 2).
+//
+// A graph G = (U, V, E) with every left vertex of degree d is represented by
+// its neighbor function F : U × [d] → V; F(x, i) is the i-th neighbor of x.
+// Definition 1: G is a (d, ε, δ)-expander if every S ⊆ U has at least
+// min((1−ε)d|S|, (1−δ)|V|) neighbors. Definition 2: G is an (N, ε)-expander
+// if every S with |S| ≤ N has at least (1−ε)d|S| neighbors.
+//
+// The parallel disk model additionally needs *striped* graphs: the right side
+// is partitioned into d equal stripes and every left vertex has exactly one
+// neighbor per stripe, so the d candidate blocks of a key live on d distinct
+// disks and can be fetched in one parallel I/O.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace pddict::expander {
+
+/// Parameters of an (N, ε)-expander guarantee (Definition 2).
+struct ExpanderParams {
+  std::uint64_t left_size = 0;   // u = |U|
+  std::uint64_t right_size = 0;  // v = |V|
+  std::uint32_t degree = 0;      // d
+  std::uint64_t expansion_bound = 0;  // N: sets up to this size expand
+  double epsilon = 0.0;               // ε
+};
+
+class NeighborFunction {
+ public:
+  virtual ~NeighborFunction() = default;
+
+  virtual std::uint64_t left_size() const = 0;   // u
+  virtual std::uint64_t right_size() const = 0;  // v
+  virtual std::uint32_t degree() const = 0;      // d
+
+  /// The i-th neighbor of left vertex x, 0 <= i < degree().
+  virtual std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const = 0;
+
+  /// Whether neighbor(x, i) always lies in stripe i (see stripe helpers).
+  virtual bool striped() const { return false; }
+
+  /// All d neighbors of x, in stripe order. Implementations where computing
+  /// one neighbor requires computing all (the telescope product) override
+  /// this for efficiency.
+  virtual std::vector<std::uint64_t> neighbors(std::uint64_t x) const {
+    std::vector<std::uint64_t> out(degree());
+    for (std::uint32_t i = 0; i < degree(); ++i) out[i] = neighbor(x, i);
+    return out;
+  }
+
+  // ---- stripe geometry (valid when striped()) ----
+
+  std::uint64_t stripe_size() const { return right_size() / degree(); }
+  std::uint64_t stripe_begin(std::uint32_t i) const {
+    return static_cast<std::uint64_t>(i) * stripe_size();
+  }
+  /// Striped explicit form (paper, Section 2): Γ(x) returned as (i, j) where
+  /// i is the stripe index and j the index within the stripe.
+  std::uint64_t stripe_local(std::uint64_t x, std::uint32_t i) const {
+    assert(striped());
+    std::uint64_t y = neighbor(x, i);
+    assert(y >= stripe_begin(i) && y < stripe_begin(i) + stripe_size());
+    return y - stripe_begin(i);
+  }
+};
+
+}  // namespace pddict::expander

@@ -1,0 +1,43 @@
+#include "expander/preprocessed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace pddict::expander {
+
+PreprocessedExpander::PreprocessedExpander(std::uint64_t left_size,
+                                           std::uint64_t right_size,
+                                           std::uint32_t degree,
+                                           double epsilon, std::uint64_t seed,
+                                           unsigned c)
+    : u_(left_size), v_(right_size), d_(degree) {
+  if (degree == 0 || right_size == 0)
+    throw std::invalid_argument("degenerate expander dimensions");
+  if (epsilon <= 0.0 || epsilon >= 1.0)
+    throw std::invalid_argument("epsilon must be in (0,1)");
+  double ratio = static_cast<double>(u_) / static_cast<double>(v_);
+  double words = std::pow(std::max(ratio, 1.0), c) / std::pow(epsilon, c);
+  auto budget = static_cast<std::uint64_t>(std::ceil(words));
+  budget = std::clamp<std::uint64_t>(budget, 64, std::uint64_t{1} << 22);
+  table_.resize(budget);
+  util::SplitMix64 rng(seed);
+  for (auto& w : table_) w = rng.next();
+}
+
+std::uint64_t PreprocessedExpander::neighbor(std::uint64_t x,
+                                             std::uint32_t i) const {
+  // Multi-round table-lookup mixing: each round folds one pre-processed word
+  // into the state, so the output genuinely depends on the stored tables.
+  const std::uint64_t w = table_.size();
+  std::uint64_t y = util::mix64(x ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  for (unsigned round = 0; round < 4; ++round) {
+    std::uint64_t t = table_[(y + round) % w];
+    y = util::mix64(y ^ t ^ (static_cast<std::uint64_t>(i) << 32));
+  }
+  return y % v_;
+}
+
+}  // namespace pddict::expander

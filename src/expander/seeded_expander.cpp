@@ -1,0 +1,28 @@
+#include "expander/seeded_expander.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/math.hpp"
+#include "util/prng.hpp"
+
+namespace pddict::expander {
+
+SeededExpander::SeededExpander(std::uint64_t left_size,
+                               std::uint64_t right_size, std::uint32_t degree,
+                               std::uint64_t seed)
+    : u_(left_size), v_(right_size), d_(degree), seed_(seed),
+      salt_base_(util::mix64(seed)) {
+  if (degree == 0) throw std::invalid_argument("expander degree must be >= 1");
+  if (right_size == 0 || right_size % degree != 0)
+    throw std::invalid_argument(
+        "striped expander needs right_size to be a positive multiple of degree");
+}
+
+std::uint32_t recommended_degree(std::uint64_t universe_size, double factor) {
+  std::uint32_t base = universe_size <= 1 ? 1 : util::ceil_log2(universe_size);
+  auto d = static_cast<std::uint32_t>(factor * base);
+  return std::max<std::uint32_t>(d, 8);
+}
+
+}  // namespace pddict::expander

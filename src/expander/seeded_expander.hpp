@@ -1,0 +1,49 @@
+// Seeded pseudorandom striped expander.
+//
+// Substitution record (see DESIGN.md §3.1): optimal *explicit* unbalanced
+// expanders of degree O(log u) are not known; the paper assumes access to one
+// "for free" and notes (§6) that "practical and truly simple constructions
+// could exist, e.g., a subset of d functions from some efficient family of
+// hash functions". This class is exactly that instantiation: d independent
+// seeded mixing functions, one per stripe. Random striped graphs of these
+// parameters are (N, ε)-expanders with high probability (§2), and
+// expander/verify.hpp measures the expansion empirically.
+#pragma once
+
+#include <cstdint>
+
+#include "expander/neighbor_function.hpp"
+#include "util/hash.hpp"
+
+namespace pddict::expander {
+
+class SeededExpander final : public NeighborFunction {
+ public:
+  /// `right_size` must be a multiple of `degree` (stripe structure).
+  SeededExpander(std::uint64_t left_size, std::uint64_t right_size,
+                 std::uint32_t degree, std::uint64_t seed);
+
+  std::uint64_t left_size() const override { return u_; }
+  std::uint64_t right_size() const override { return v_; }
+  std::uint32_t degree() const override { return d_; }
+  bool striped() const override { return true; }
+
+  std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const override {
+    return stripe_begin(i) + util::salted_mix(x, salt_base_ + i) % stripe_size();
+  }
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t u_, v_;
+  std::uint32_t d_;
+  std::uint64_t seed_;
+  std::uint64_t salt_base_;
+};
+
+/// Degree recommended by the paper for a universe of size u: d = O(log u).
+/// `factor` scales the constant (default 1 → d = ceil(log2 u), min 8).
+std::uint32_t recommended_degree(std::uint64_t universe_size,
+                                 double factor = 1.0);
+
+}  // namespace pddict::expander

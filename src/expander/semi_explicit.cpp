@@ -1,0 +1,97 @@
+#include "expander/semi_explicit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "expander/telescope.hpp"
+#include "util/math.hpp"
+
+namespace pddict::expander {
+
+namespace {
+
+std::uint32_t base_degree(std::uint64_t top_universe, double eps_prime) {
+  // Corollary 1: per-level degree poly(log u / ε′). Linear suffices for the
+  // seeded realization; the growth *shape* (polylog per level, multiplied
+  // across k = O(1) levels) is what Theorem 12 is about.
+  double d = std::log2(static_cast<double>(top_universe)) / eps_prime;
+  auto v = static_cast<std::uint32_t>(std::ceil(d));
+  return v < 4 ? 4 : v;
+}
+
+struct Plan {
+  std::vector<std::uint64_t> sizes;  // u_0, u_1, ..., u_k (right sides)
+  std::uint32_t levels = 0;
+};
+
+Plan plan_recursion(const SemiExplicitParams& p, double eps_prime) {
+  Plan plan;
+  plan.sizes.push_back(p.universe_size);
+  const double q = 1.0 - p.beta / static_cast<double>(p.c);
+  std::uint32_t d_base = base_degree(p.universe_size, eps_prime);
+  std::uint64_t d_total = 1;
+  std::uint64_t cur = p.universe_size;
+  while (plan.levels < p.max_levels) {
+    double next_d = std::pow(static_cast<double>(cur), q);
+    auto next = static_cast<std::uint64_t>(std::ceil(next_d));
+    if (next >= cur) next = cur - 1;  // force progress on tiny universes
+    if (next < 2) next = 2;
+    // Telescope de-duplication needs composed degree <= |V|; stop before
+    // violating it.
+    if (d_total * d_base > next) break;
+    d_total *= d_base;
+    plan.sizes.push_back(next);
+    ++plan.levels;
+    cur = next;
+    if (cur <= p.capacity * d_total) break;  // reached v = O(N d)
+  }
+  return plan;
+}
+
+}  // namespace
+
+SemiExplicitExpander::SemiExplicitExpander(const SemiExplicitParams& p) {
+  if (p.universe_size < 2 || p.capacity < 1)
+    throw std::invalid_argument("degenerate semi-explicit parameters");
+  if (p.beta <= 0.0 || p.beta >= 1.0)
+    throw std::invalid_argument("beta must be in (0,1)");
+  if (p.epsilon <= 0.0 || p.epsilon >= 1.0)
+    throw std::invalid_argument("epsilon must be in (0,1)");
+
+  // Fixpoint over the level count: ε′ depends on k, k (weakly) on ε′.
+  double eps_prime = p.epsilon;
+  Plan plan = plan_recursion(p, eps_prime);
+  for (int iter = 0; iter < 4; ++iter) {
+    std::uint32_t k = plan.levels == 0 ? 1 : plan.levels;
+    double next_eps = 1.0 - std::pow(1.0 - p.epsilon, 1.0 / k);
+    Plan next_plan = plan_recursion(p, next_eps);
+    bool stable = next_plan.levels == plan.levels;
+    eps_prime = next_eps;
+    plan = next_plan;
+    if (stable) break;
+  }
+  if (plan.levels == 0)
+    throw std::invalid_argument(
+        "semi-explicit construction cannot make progress (universe too small "
+        "relative to capacity*degree)");
+  eps_prime_ = eps_prime;
+
+  std::uint32_t d_base = base_degree(p.universe_size, eps_prime_);
+  std::shared_ptr<const NeighborFunction> top;
+  for (std::uint32_t i = 0; i < plan.levels; ++i) {
+    auto base = std::make_shared<PreprocessedExpander>(
+        plan.sizes[i], plan.sizes[i + 1], d_base, eps_prime_,
+        p.seed + 0x1000 * (i + 1), p.c);
+    levels_.push_back({plan.sizes[i], plan.sizes[i + 1], d_base,
+                       base->internal_memory_words()});
+    memory_words_ += base->internal_memory_words();
+    if (!top) {
+      top = base;
+    } else {
+      top = std::make_shared<TelescopeProduct>(top, base);
+    }
+  }
+  top_ = std::move(top);
+}
+
+}  // namespace pddict::expander

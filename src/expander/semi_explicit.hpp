@@ -1,0 +1,66 @@
+// The semi-explicit expander construction of Section 5 (Theorem 12).
+//
+// For u = poly(N) and any constant 0 < β < 1, builds an (N, ε)-expander
+// F : U × [d] → V with d = polylog(u) using O(N^β) words of pre-processed
+// internal memory, by recursively applying the telescope product (Lemma 10)
+// to a family of slightly-unbalanced base expanders (Corollary 1 /
+// Lemma 11): u_{i+1} = u_i^{1 − β′/c}, per-level error ε′ with
+// (1 − ε) = (1 − ε′)^k, stopping as soon as the right side is ≤ N·d.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "expander/neighbor_function.hpp"
+#include "expander/preprocessed.hpp"
+
+namespace pddict::expander {
+
+struct SemiExplicitParams {
+  std::uint64_t universe_size = 0;  // u = poly(N)
+  std::uint64_t capacity = 0;       // N
+  double beta = 0.5;                // internal memory exponent, 0 < β < 1
+  double epsilon = 1.0 / 12;        // target total error ε
+  unsigned c = 2;                   // the fixed constant of Corollary 1
+  std::uint64_t seed = 0x5ee0;
+  std::uint32_t max_levels = 8;     // recursion safety cap (k = O(1) in theory)
+};
+
+struct SemiExplicitLevel {
+  std::uint64_t left_size;
+  std::uint64_t right_size;
+  std::uint32_t degree;
+  std::uint64_t internal_memory_words;
+};
+
+class SemiExplicitExpander final : public NeighborFunction {
+ public:
+  explicit SemiExplicitExpander(const SemiExplicitParams& params);
+
+  std::uint64_t left_size() const override { return top_->left_size(); }
+  std::uint64_t right_size() const override { return top_->right_size(); }
+  std::uint32_t degree() const override { return top_->degree(); }
+
+  std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const override {
+    return top_->neighbor(x, i);
+  }
+  std::vector<std::uint64_t> neighbors(std::uint64_t x) const override {
+    return top_->neighbors(x);
+  }
+
+  /// Total pre-processed internal memory across all levels — Theorem 12
+  /// bounds this by O(N^β).
+  std::uint64_t internal_memory_words() const { return memory_words_; }
+  std::uint32_t levels() const { return static_cast<std::uint32_t>(levels_.size()); }
+  const std::vector<SemiExplicitLevel>& level_info() const { return levels_; }
+  double per_level_epsilon() const { return eps_prime_; }
+
+ private:
+  std::shared_ptr<const NeighborFunction> top_;
+  std::vector<SemiExplicitLevel> levels_;
+  std::uint64_t memory_words_ = 0;
+  double eps_prime_ = 0.0;
+};
+
+}  // namespace pddict::expander

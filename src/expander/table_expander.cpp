@@ -1,0 +1,47 @@
+#include "expander/table_expander.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/prng.hpp"
+
+namespace pddict::expander {
+
+TableExpander::TableExpander(std::uint64_t right_size, std::uint32_t degree,
+                             std::vector<std::uint64_t> table, bool striped)
+    : v_(right_size), degree_(degree), striped_(striped),
+      table_(std::move(table)) {
+  if (degree == 0) throw std::invalid_argument("degree must be >= 1");
+  if (table_.size() % degree != 0)
+    throw std::invalid_argument("table size not a multiple of degree");
+  if (striped && v_ % degree != 0)
+    throw std::invalid_argument("striped graph needs v divisible by d");
+  for (std::size_t idx = 0; idx < table_.size(); ++idx) {
+    std::uint64_t y = table_[idx];
+    if (y >= v_) throw std::invalid_argument("neighbor out of range");
+    if (striped) {
+      std::uint64_t stripe = (idx % degree) * (v_ / degree);
+      if (y < stripe || y >= stripe + v_ / degree)
+        throw std::invalid_argument("neighbor violates stripe structure");
+    }
+  }
+}
+
+TableExpander TableExpander::random(std::uint64_t left_size,
+                                    std::uint64_t right_size,
+                                    std::uint32_t degree, bool striped,
+                                    std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> table(left_size * degree);
+  if (striped) {
+    std::uint64_t s = right_size / degree;
+    for (std::uint64_t x = 0; x < left_size; ++x)
+      for (std::uint32_t i = 0; i < degree; ++i)
+        table[x * degree + i] = i * s + rng.next_below(s);
+  } else {
+    for (auto& t : table) t = rng.next_below(right_size);
+  }
+  return TableExpander(right_size, degree, std::move(table), striped);
+}
+
+}  // namespace pddict::expander

@@ -1,0 +1,44 @@
+// Explicit adjacency-table bipartite graphs.
+//
+// Stores the full neighbor table F(x, i). Used for (i) truly random graphs at
+// small scale, where the expansion lemmas can be verified exhaustively, and
+// (ii) handcrafted graphs in tests that need precise control over neighbor
+// structure (e.g., forcing shared neighborhoods to exercise failure paths).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "expander/neighbor_function.hpp"
+
+namespace pddict::expander {
+
+class TableExpander final : public NeighborFunction {
+ public:
+  /// `table[x * degree + i]` is the i-th neighbor of x.
+  TableExpander(std::uint64_t right_size, std::uint32_t degree,
+                std::vector<std::uint64_t> table, bool striped);
+
+  /// Uniformly random graph. If `striped`, neighbor i is uniform in stripe i
+  /// (right_size must be a multiple of degree); else uniform in [right_size).
+  static TableExpander random(std::uint64_t left_size, std::uint64_t right_size,
+                              std::uint32_t degree, bool striped,
+                              std::uint64_t seed);
+
+  std::uint64_t left_size() const override { return table_.size() / degree_; }
+  std::uint64_t right_size() const override { return v_; }
+  std::uint32_t degree() const override { return degree_; }
+  bool striped() const override { return striped_; }
+
+  std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const override {
+    return table_[x * degree_ + i];
+  }
+
+ private:
+  std::uint64_t v_;
+  std::uint32_t degree_;
+  bool striped_;
+  std::vector<std::uint64_t> table_;
+};
+
+}  // namespace pddict::expander

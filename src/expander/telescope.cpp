@@ -1,0 +1,51 @@
+#include "expander/telescope.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pddict::expander {
+
+TelescopeProduct::TelescopeProduct(
+    std::shared_ptr<const NeighborFunction> first,
+    std::shared_ptr<const NeighborFunction> second)
+    : first_(std::move(first)), second_(std::move(second)) {
+  if (!first_ || !second_) throw std::invalid_argument("null factor");
+  if (first_->right_size() > second_->left_size())
+    throw std::invalid_argument(
+        "telescope product: V1 must embed into the left side of F2");
+  if (static_cast<std::uint64_t>(first_->degree()) * second_->degree() >
+      second_->right_size())
+    throw std::invalid_argument(
+        "telescope product: composed degree exceeds |V2|, de-duplication "
+        "impossible");
+}
+
+std::vector<std::uint64_t> TelescopeProduct::neighbors(std::uint64_t x) const {
+  const std::uint32_t d1 = first_->degree();
+  const std::uint32_t d2 = second_->degree();
+  const std::uint64_t v2 = second_->right_size();
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(d1) * d2);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(d1) * d2 * 2);
+  std::vector<std::uint64_t> mid = first_->neighbors(x);
+  for (std::uint32_t e1 = 0; e1 < d1; ++e1) {
+    std::vector<std::uint64_t> ys = second_->neighbors(mid[e1]);
+    for (std::uint32_t e2 = 0; e2 < d2; ++e2) {
+      std::uint64_t y = ys[e2];
+      // Fixed re-mapping rule for multi-edges: probe forward to the first
+      // value not already used as a neighbor of x. Deterministic in x, and
+      // can only enlarge Γ(x), so expansion is preserved (Lemma 10).
+      while (!seen.insert(y).second) y = (y + 1) % v2;
+      out.push_back(y);
+    }
+  }
+  return out;
+}
+
+TrivialStripe::TrivialStripe(std::shared_ptr<const NeighborFunction> base)
+    : base_(std::move(base)) {
+  if (!base_) throw std::invalid_argument("null base expander");
+}
+
+}  // namespace pddict::expander

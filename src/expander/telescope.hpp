@@ -1,0 +1,73 @@
+// The telescope product of expanders (paper, Lemma 10) and the trivial
+// striping adapter (end of Section 5).
+//
+// Lemma 10: if F1 : U1 × [d1] → V1 is a (c1·v1/d1, ε1)-expander and
+// F2 : V1 × [d2] → V2 is a (c2·v2/d2, ε2)-expander with c1 ≥ c2, then
+// F2(F1(x, e1), e2) — with appropriate re-mapping of multi-edges — is a
+// (c2·v2/(d1·d2), 1 − (1−ε1)(1−ε2))-expander of degree d1·d2.
+//
+// Multi-edge re-mapping: evaluating one neighbor requires evaluating all
+// neighbors of x (the paper notes this does not hurt the dictionaries, which
+// always evaluate all neighbors); duplicates beyond the first occurrence are
+// re-mapped by a fixed rule (linear probing to the next value not already in
+// the neighbor set), which cannot decrease expansion.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "expander/neighbor_function.hpp"
+
+namespace pddict::expander {
+
+class TelescopeProduct final : public NeighborFunction {
+ public:
+  /// Both factors are held by shared_ptr so recursively built families
+  /// (Lemma 11) can share base expanders.
+  TelescopeProduct(std::shared_ptr<const NeighborFunction> first,
+                   std::shared_ptr<const NeighborFunction> second);
+
+  std::uint64_t left_size() const override { return first_->left_size(); }
+  std::uint64_t right_size() const override { return second_->right_size(); }
+  std::uint32_t degree() const override {
+    return first_->degree() * second_->degree();
+  }
+
+  std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const override {
+    return neighbors(x)[i];
+  }
+
+  /// All d1·d2 neighbors, de-duplicated by the fixed re-mapping rule.
+  std::vector<std::uint64_t> neighbors(std::uint64_t x) const override;
+
+ private:
+  std::shared_ptr<const NeighborFunction> first_;
+  std::shared_ptr<const NeighborFunction> second_;
+};
+
+/// Trivial striping of an arbitrary expander (paper, end of Section 5):
+/// make a copy V_i of the right side for each stripe i; the i-th neighbor of
+/// x is F(x, i) inside copy V_i. Right side grows by a factor d — the space
+/// penalty the paper calls out for using unstriped explicit constructions in
+/// the parallel disk model.
+class TrivialStripe final : public NeighborFunction {
+ public:
+  explicit TrivialStripe(std::shared_ptr<const NeighborFunction> base);
+
+  std::uint64_t left_size() const override { return base_->left_size(); }
+  std::uint64_t right_size() const override {
+    return base_->right_size() * base_->degree();
+  }
+  std::uint32_t degree() const override { return base_->degree(); }
+  bool striped() const override { return true; }
+
+  std::uint64_t neighbor(std::uint64_t x, std::uint32_t i) const override {
+    return static_cast<std::uint64_t>(i) * base_->right_size() +
+           base_->neighbor(x, i);
+  }
+
+ private:
+  std::shared_ptr<const NeighborFunction> base_;
+};
+
+}  // namespace pddict::expander

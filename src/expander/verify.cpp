@@ -1,0 +1,154 @@
+#include "expander/verify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/prng.hpp"
+
+namespace pddict::expander {
+
+namespace {
+
+void fold_set(ExpansionReport& report, const NeighborFunction& g,
+              std::span<const std::uint64_t> set) {
+  if (set.empty()) return;
+  double ratio = static_cast<double>(neighborhood_size(g, set)) /
+                 (static_cast<double>(g.degree()) * set.size());
+  ++report.sets_checked;
+  if (ratio < report.min_ratio) {
+    report.min_ratio = ratio;
+    report.worst_set_size = set.size();
+  }
+}
+
+}  // namespace
+
+std::uint64_t neighborhood_size(const NeighborFunction& g,
+                                std::span<const std::uint64_t> set) {
+  std::unordered_set<std::uint64_t> gamma;
+  gamma.reserve(set.size() * g.degree() * 2);
+  for (std::uint64_t x : set)
+    for (std::uint64_t y : g.neighbors(x)) gamma.insert(y);
+  return gamma.size();
+}
+
+ExpansionReport check_expansion_exhaustive(const NeighborFunction& g,
+                                           std::uint64_t max_set_size) {
+  const std::uint64_t u = g.left_size();
+  if (u > 24)
+    throw std::invalid_argument("exhaustive check limited to u <= 24");
+  ExpansionReport report;
+  std::vector<std::uint64_t> set;
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << u); ++mask) {
+    auto size = static_cast<std::uint64_t>(__builtin_popcountll(mask));
+    if (size > max_set_size) continue;
+    set.clear();
+    for (std::uint64_t x = 0; x < u; ++x)
+      if (mask & (std::uint64_t{1} << x)) set.push_back(x);
+    fold_set(report, g, set);
+  }
+  return report;
+}
+
+ExpansionReport check_expansion_sampled(const NeighborFunction& g,
+                                        std::span<const std::uint64_t> set_sizes,
+                                        std::uint32_t samples,
+                                        std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  ExpansionReport report;
+  std::vector<std::uint64_t> set;
+  for (std::uint64_t size : set_sizes) {
+    for (std::uint32_t s = 0; s < samples; ++s) {
+      std::unordered_set<std::uint64_t> chosen;
+      while (chosen.size() < size) chosen.insert(rng.next_below(g.left_size()));
+      set.assign(chosen.begin(), chosen.end());
+      fold_set(report, g, set);
+    }
+  }
+  return report;
+}
+
+ExpansionReport check_expansion_greedy(const NeighborFunction& g,
+                                       std::uint64_t target_set_size,
+                                       std::uint32_t pool_size,
+                                       std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  ExpansionReport report;
+  std::unordered_set<std::uint64_t> in_set;
+  std::unordered_set<std::uint64_t> gamma;
+  std::vector<std::uint64_t> set;
+  while (set.size() < target_set_size) {
+    std::uint64_t best = 0;
+    std::int64_t best_overlap = -1;
+    for (std::uint32_t c = 0; c < pool_size; ++c) {
+      std::uint64_t cand = rng.next_below(g.left_size());
+      if (in_set.contains(cand)) continue;
+      std::int64_t overlap = 0;
+      for (std::uint64_t y : g.neighbors(cand))
+        if (gamma.contains(y)) ++overlap;
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        best = cand;
+      }
+    }
+    if (best_overlap < 0) break;  // pool exhausted (tiny universes)
+    in_set.insert(best);
+    set.push_back(best);
+    for (std::uint64_t y : g.neighbors(best)) gamma.insert(y);
+    // Measure the ratio as the adversarial set grows.
+    double ratio = static_cast<double>(gamma.size()) /
+                   (static_cast<double>(g.degree()) * set.size());
+    ++report.sets_checked;
+    if (ratio < report.min_ratio) {
+      report.min_ratio = ratio;
+      report.worst_set_size = set.size();
+    }
+  }
+  return report;
+}
+
+std::vector<std::uint64_t> unique_neighbor_nodes(
+    const NeighborFunction& g, std::span<const std::uint64_t> set) {
+  std::unordered_map<std::uint64_t, std::uint32_t> incidence;
+  incidence.reserve(set.size() * g.degree() * 2);
+  for (std::uint64_t x : set)
+    for (std::uint64_t y : g.neighbors(x)) ++incidence[y];
+  std::vector<std::uint64_t> phi;
+  for (const auto& [y, count] : incidence)
+    if (count == 1) phi.push_back(y);
+  std::sort(phi.begin(), phi.end());
+  return phi;
+}
+
+std::vector<std::uint32_t> unique_neighbor_counts(
+    const NeighborFunction& g, std::span<const std::uint64_t> set) {
+  std::unordered_map<std::uint64_t, std::uint32_t> incidence;
+  incidence.reserve(set.size() * g.degree() * 2);
+  for (std::uint64_t x : set)
+    for (std::uint64_t y : g.neighbors(x)) ++incidence[y];
+  std::vector<std::uint32_t> counts;
+  counts.reserve(set.size());
+  for (std::uint64_t x : set) {
+    std::uint32_t c = 0;
+    for (std::uint64_t y : g.neighbors(x))
+      if (incidence.at(y) == 1) ++c;
+    counts.push_back(c);
+  }
+  return counts;
+}
+
+double lemma5_fraction(const NeighborFunction& g,
+                       std::span<const std::uint64_t> set, double lambda) {
+  if (set.empty()) return 1.0;
+  auto counts = unique_neighbor_counts(g, set);
+  double threshold = (1.0 - lambda) * g.degree();
+  std::uint64_t good = 0;
+  for (std::uint32_t c : counts)
+    if (static_cast<double>(c) >= threshold) ++good;
+  return static_cast<double>(good) / static_cast<double>(set.size());
+}
+
+}  // namespace pddict::expander

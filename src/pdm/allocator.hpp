@@ -1,0 +1,32 @@
+// Trivial linear block allocator.
+//
+// Structures sharing one DiskArray carve out disjoint block ranges. An
+// allocation reserves the same block interval on *every* disk; because the
+// simulator's storage is sparse, a structure that only touches a subset of
+// the disks in its range costs nothing for the rest.
+#pragma once
+
+#include <cstdint>
+
+namespace pddict::pdm {
+
+class DiskAllocator {
+ public:
+  explicit DiskAllocator(std::uint64_t first_free_block = 0)
+      : next_(first_free_block) {}
+
+  /// Reserve `blocks` consecutive block indices (on all disks); returns the
+  /// first index of the range.
+  std::uint64_t reserve(std::uint64_t blocks) {
+    std::uint64_t base = next_;
+    next_ += blocks;
+    return base;
+  }
+
+  std::uint64_t high_water_mark() const { return next_; }
+
+ private:
+  std::uint64_t next_;
+};
+
+}  // namespace pddict::pdm

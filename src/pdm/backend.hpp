@@ -1,0 +1,69 @@
+// Storage backends for the simulated disk array.
+//
+// The I/O *accounting* (parallel rounds) lives in DiskArray and is identical
+// for every backend; the backend only decides where block bytes live:
+//   * MemoryBackend — sparse in-memory maps (default; tests and benchmarks)
+//   * FileBackend   — one sparse file per simulated disk (file_backend.hpp),
+//     which makes structures persistent across processes: the deterministic
+//     dictionaries reconstruct from their parameters + seeds, so reopening
+//     the same geometry on the same directory restores the store.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "pdm/block.hpp"
+#include "pdm/geometry.hpp"
+
+namespace pddict::pdm {
+
+class BlockBackend {
+ public:
+  virtual ~BlockBackend() = default;
+
+  /// Read a block; blocks never written read back as all-zero.
+  virtual Block load(const BlockAddr& addr) = 0;
+  virtual void store(const BlockAddr& addr, const Block& block) = 0;
+  /// Release blocks [base, base+count) on the given disks (read as zero
+  /// afterwards).
+  virtual void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
+                           std::uint64_t base, std::uint64_t count) = 0;
+  /// Distinct blocks currently written (space accounting).
+  virtual std::uint64_t blocks_in_use() const = 0;
+};
+
+class MemoryBackend final : public BlockBackend {
+ public:
+  explicit MemoryBackend(const Geometry& geom)
+      : block_bytes_(geom.block_bytes()), disks_(geom.num_disks) {}
+
+  Block load(const BlockAddr& addr) override {
+    const auto& disk = disks_[addr.disk];
+    auto it = disk.find(addr.block);
+    return it == disk.end() ? Block(block_bytes_, std::byte{0}) : it->second;
+  }
+
+  void store(const BlockAddr& addr, const Block& block) override {
+    disks_[addr.disk][addr.block] = block;
+  }
+
+  void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
+                   std::uint64_t base, std::uint64_t count) override {
+    for (std::uint32_t d = first_disk;
+         d < first_disk + num_disks && d < disks_.size(); ++d)
+      for (std::uint64_t b = base; b < base + count; ++b) disks_[d].erase(b);
+  }
+
+  std::uint64_t blocks_in_use() const override {
+    std::uint64_t total = 0;
+    for (const auto& disk : disks_) total += disk.size();
+    return total;
+  }
+
+ private:
+  std::size_t block_bytes_;
+  std::vector<std::unordered_map<std::uint64_t, Block>> disks_;
+};
+
+}  // namespace pddict::pdm

@@ -1,0 +1,51 @@
+// Typed views over raw block storage.
+//
+// A block is a fixed-size byte buffer holding B item slots. Dictionaries lay
+// out records inside blocks themselves; these helpers centralize the
+// (de)serialization of POD values and item slots so layout bugs surface in one
+// place.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace pddict::pdm {
+
+using Block = std::vector<std::byte>;
+
+/// Read a trivially-copyable value at byte offset `off`.
+template <typename T>
+T load_pod(std::span<const std::byte> bytes, std::size_t off) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(off + sizeof(T) <= bytes.size());
+  T v;
+  std::memcpy(&v, bytes.data() + off, sizeof(T));
+  return v;
+}
+
+/// Write a trivially-copyable value at byte offset `off`.
+template <typename T>
+void store_pod(std::span<std::byte> bytes, std::size_t off, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  assert(off + sizeof(T) <= bytes.size());
+  std::memcpy(bytes.data() + off, &v, sizeof(T));
+}
+
+/// View of item slot `i` (of `item_bytes` each) inside a block.
+inline std::span<std::byte> item_slot(Block& b, std::uint32_t i,
+                                      std::uint32_t item_bytes) {
+  assert(static_cast<std::size_t>(i + 1) * item_bytes <= b.size());
+  return {b.data() + static_cast<std::size_t>(i) * item_bytes, item_bytes};
+}
+
+inline std::span<const std::byte> item_slot(const Block& b, std::uint32_t i,
+                                            std::uint32_t item_bytes) {
+  assert(static_cast<std::size_t>(i + 1) * item_bytes <= b.size());
+  return {b.data() + static_cast<std::size_t>(i) * item_bytes, item_bytes};
+}
+
+}  // namespace pddict::pdm

@@ -1,0 +1,135 @@
+#include "pdm/disk_array.hpp"
+
+#include <algorithm>
+
+namespace pddict::pdm {
+
+DiskArray::DiskArray(Geometry geom, Model model)
+    : DiskArray(geom, model, std::make_unique<MemoryBackend>(geom)) {}
+
+DiskArray::DiskArray(Geometry geom, Model model,
+                     std::unique_ptr<BlockBackend> backend)
+    : geom_(geom), model_(model), backend_(std::move(backend)) {
+  if (!geom_.valid()) throw std::invalid_argument("invalid PDM geometry");
+  if (!backend_) throw std::invalid_argument("null block backend");
+}
+
+void DiskArray::check_addr(const BlockAddr& addr) const {
+  if (addr.disk >= geom_.num_disks)
+    throw std::out_of_range("disk index out of range");
+  if (geom_.blocks_per_disk != 0 && addr.block >= geom_.blocks_per_disk)
+    throw std::out_of_range("block index beyond disk capacity");
+}
+
+std::uint64_t DiskArray::rounds_for(std::span<const BlockAddr> addrs) const {
+  if (addrs.empty()) return 0;
+  if (model_ == Model::kParallelHeads) {
+    // D heads over one address space: ceil(#blocks / D) rounds. Duplicates
+    // within the batch still occupy a head slot only once.
+    std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    return (uniq.size() + geom_.num_disks - 1) / geom_.num_disks;
+  }
+  // PDM: the round count is the maximum number of distinct blocks requested
+  // on any single disk.
+  std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  std::vector<std::uint64_t> per_disk(geom_.num_disks, 0);
+  std::uint64_t worst = 0;
+  for (const auto& a : uniq) worst = std::max(worst, ++per_disk[a.disk]);
+  return worst;
+}
+
+std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
+                                    std::vector<Block>& out) {
+  out.clear();
+  out.reserve(addrs.size());
+  for (const auto& a : addrs) check_addr(a);
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t rounds = rounds_for(addrs);
+  std::uint64_t distinct = 0;
+  {
+    std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    distinct = uniq.size();
+  }
+  for (const auto& a : addrs) out.push_back(backend_->load(a));
+  stats_.parallel_ios += rounds;
+  stats_.read_rounds += rounds;
+  stats_.blocks_read += distinct;
+  if (tracing_)
+    trace_.push_back({false, rounds,
+                      std::vector<BlockAddr>(addrs.begin(), addrs.end())});
+  return rounds;
+}
+
+std::uint64_t DiskArray::write_batch(
+    std::span<const std::pair<BlockAddr, Block>> writes) {
+  std::vector<BlockAddr> addrs;
+  addrs.reserve(writes.size());
+  for (const auto& [a, b] : writes) {
+    check_addr(a);
+    if (b.size() != geom_.block_bytes())
+      throw std::invalid_argument("block size mismatch");
+    addrs.push_back(a);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t rounds = rounds_for(addrs);
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  for (const auto& [a, b] : writes) backend_->store(a, b);
+  stats_.parallel_ios += rounds;
+  stats_.write_rounds += rounds;
+  stats_.blocks_written += addrs.size();
+  if (tracing_) trace_.push_back({true, rounds, addrs});
+  return rounds;
+}
+
+Block DiskArray::read_block(BlockAddr addr) {
+  std::vector<Block> out;
+  read_batch(std::span<const BlockAddr>(&addr, 1), out);
+  return std::move(out.front());
+}
+
+void DiskArray::write_block(BlockAddr addr, Block block) {
+  std::pair<BlockAddr, Block> w{addr, std::move(block)};
+  write_batch(std::span<const std::pair<BlockAddr, Block>>(&w, 1));
+}
+
+Block DiskArray::peek(BlockAddr addr) const {
+  check_addr(addr);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->load(addr);
+}
+
+void DiskArray::poke(BlockAddr addr, Block block) {
+  check_addr(addr);
+  if (block.size() != geom_.block_bytes())
+    throw std::invalid_argument("block size mismatch");
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_->store(addr, block);
+}
+
+void DiskArray::discard_blocks(std::uint32_t first_disk,
+                               std::uint32_t num_disks, std::uint64_t base,
+                               std::uint64_t count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  backend_->erase_range(first_disk, num_disks, base, count);
+}
+
+std::uint64_t DiskArray::blocks_in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backend_->blocks_in_use();
+}
+
+IoProbe::IoProbe(const DiskArray& disks)
+    : disks_(&disks), start_(disks.stats()) {}
+
+IoStats IoProbe::delta() const { return disks_->stats() - start_; }
+
+void IoProbe::reset() { start_ = disks_->stats(); }
+
+}  // namespace pddict::pdm

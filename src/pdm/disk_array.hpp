@@ -1,0 +1,120 @@
+// The parallel disk model simulator.
+//
+// DiskArray simulates D independent disks of blocks. Algorithms submit batch
+// read/write requests; the array schedules them into *rounds*, where a round
+// transfers at most one block per disk (the parallel disk model) or at most D
+// blocks total (the parallel disk head model of Aggarwal–Vitter, used by the
+// Section 5 discussion of unstriped expanders). Every round increments the
+// parallel-I/O counter — the paper's sole performance metric.
+//
+// Storage is sparse (hash map per disk) so petabyte-scale address spaces cost
+// memory only proportional to blocks actually written. Unwritten blocks read
+// back as all-zero bytes, matching a freshly formatted disk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "pdm/backend.hpp"
+#include "pdm/block.hpp"
+#include "pdm/geometry.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::pdm {
+
+/// Machine model selector.
+enum class Model {
+  kParallelDisks,  // one block per disk per round (the PDM; default)
+  kParallelHeads,  // D arbitrary blocks per round (parallel disk head model)
+};
+
+class DiskArray {
+ public:
+  /// In-memory storage (the default backend).
+  explicit DiskArray(Geometry geom, Model model = Model::kParallelDisks);
+
+  /// Custom storage backend (e.g. FileBackend for persistence). Accounting
+  /// is identical regardless of backend.
+  DiskArray(Geometry geom, Model model,
+            std::unique_ptr<BlockBackend> backend);
+
+  const Geometry& geometry() const { return geom_; }
+  Model model() const { return model_; }
+  const IoStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = IoStats{}; }
+
+  // ---- I/O tracing (debugging / verification instrumentation) ----
+
+  /// One batch submitted to the array: its direction, the rounds it cost,
+  /// and every block address touched.
+  struct TraceEvent {
+    bool write = false;
+    std::uint64_t rounds = 0;
+    std::vector<BlockAddr> addrs;
+  };
+  /// Start recording every batch. Tracing is off by default (it allocates).
+  void enable_trace() { tracing_ = true; }
+  void disable_trace() { tracing_ = false; }
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+
+  // ---- batched parallel I/O (the primary interface) ----
+
+  /// Read all addressed blocks. Duplicate addresses are served by one
+  /// transfer. Returns blocks in request order and the number of rounds used.
+  std::uint64_t read_batch(std::span<const BlockAddr> addrs,
+                           std::vector<Block>& out);
+
+  /// Write all (address, block) pairs. A duplicate address keeps the last
+  /// write. Returns the number of rounds used.
+  std::uint64_t write_batch(
+      std::span<const std::pair<BlockAddr, Block>> writes);
+
+  // ---- single-block convenience (each call = 1 parallel I/O round) ----
+
+  Block read_block(BlockAddr addr);
+  void write_block(BlockAddr addr, Block block);
+
+  // ---- accounting-free access for tests and in-memory bootstrap ----
+
+  /// Inspect a block without performing I/O (testing/verification only).
+  Block peek(BlockAddr addr) const;
+  /// Store a block without performing I/O (initialization in benchmarks that
+  /// charge construction separately must NOT use this; tests may).
+  void poke(BlockAddr addr, Block block);
+
+  /// Number of distinct blocks ever written (space accounting).
+  std::uint64_t blocks_in_use() const;
+
+  /// Release the storage of blocks [base, base+count) on disks
+  /// [first_disk, first_disk+num_disks). Models deallocation (e.g. global
+  /// rebuilding discarding a retired structure); costs no I/O. Released
+  /// blocks read back as zero.
+  void discard_blocks(std::uint32_t first_disk, std::uint32_t num_disks,
+                      std::uint64_t base, std::uint64_t count);
+
+ private:
+  void check_addr(const BlockAddr& addr) const;
+
+  /// Rounds needed to transfer `addrs` (≤1/disk in PDM mode, ≤D total in
+  /// head mode).
+  std::uint64_t rounds_for(std::span<const BlockAddr> addrs) const;
+
+  Geometry geom_;
+  Model model_;
+  IoStats stats_;
+  std::unique_ptr<BlockBackend> backend_;
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+  /// Batches are atomic with respect to each other, so concurrent structure
+  /// wrappers (core/concurrent_dict.hpp) can issue I/O from several threads;
+  /// higher-level operation atomicity is the wrapper's bucket locks' job.
+  mutable std::mutex mutex_;
+};
+
+}  // namespace pddict::pdm

@@ -1,0 +1,243 @@
+#include "pdm/ext_sort.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace pddict::pdm {
+
+namespace {
+
+struct Run {
+  std::uint64_t first_block = 0;   // logical block index of first record
+  std::uint64_t num_records = 0;
+};
+
+/// Streaming reader over one run, buffering one logical block.
+class RunReader {
+ public:
+  RunReader(StripedView& view, Run run, std::size_t record_bytes,
+            std::uint64_t records_per_block)
+      : view_(&view),
+        run_(run),
+        record_bytes_(record_bytes),
+        rpb_(records_per_block) {}
+
+  bool exhausted() const { return consumed_ == run_.num_records; }
+
+  /// Key of the record at the head of the run (run must not be exhausted).
+  std::uint64_t head_key(const SortKeyFn& key) {
+    fill();
+    return key(head());
+  }
+
+  std::span<const std::byte> head() {
+    fill();
+    std::size_t idx = consumed_ % rpb_;
+    return {buffer_.data() + idx * record_bytes_, record_bytes_};
+  }
+
+  void pop() {
+    ++consumed_;
+    if (consumed_ % rpb_ == 0) buffer_valid_ = false;
+  }
+
+ private:
+  void fill() {
+    assert(!exhausted());
+    if (!buffer_valid_) {
+      buffer_ = view_->read(run_.first_block + consumed_ / rpb_);
+      buffer_valid_ = true;
+    }
+  }
+
+  StripedView* view_;
+  Run run_;
+  std::size_t record_bytes_;
+  std::uint64_t rpb_;
+  std::uint64_t consumed_ = 0;
+  std::vector<std::byte> buffer_;
+  bool buffer_valid_ = false;
+};
+
+/// Buffered block writer appending records to a region.
+class RunWriter {
+ public:
+  RunWriter(StripedView& view, std::uint64_t first_block,
+            std::size_t record_bytes, std::uint64_t records_per_block)
+      : view_(&view),
+        block_(first_block),
+        record_bytes_(record_bytes),
+        rpb_(records_per_block),
+        buffer_(view.logical_block_bytes(), std::byte{0}) {}
+
+  void push(std::span<const std::byte> record) {
+    std::memcpy(buffer_.data() + fill_ * record_bytes_, record.data(),
+                record_bytes_);
+    if (++fill_ == rpb_) flush();
+  }
+
+  void finish() {
+    if (fill_ > 0) flush();
+  }
+
+ private:
+  void flush() {
+    view_->write(block_++, buffer_);
+    std::fill(buffer_.begin(), buffer_.end(), std::byte{0});
+    fill_ = 0;
+  }
+
+  StripedView* view_;
+  std::uint64_t block_;
+  std::size_t record_bytes_;
+  std::uint64_t rpb_;
+  std::vector<std::byte> buffer_;
+  std::uint64_t fill_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t records_per_logical_block(const Geometry& geom,
+                                        std::size_t record_bytes) {
+  if (record_bytes == 0 || record_bytes > geom.stripe_bytes())
+    throw std::invalid_argument("record does not fit in a logical block");
+  return geom.stripe_bytes() / record_bytes;
+}
+
+SortStats external_sort(StripedView input, StripedView scratch,
+                        std::uint64_t num_records, std::size_t record_bytes,
+                        const SortKeyFn& key, std::size_t memory_bytes) {
+  SortStats st;
+  IoProbe probe(input.disks());
+  const std::uint64_t rpb =
+      records_per_logical_block(input.geometry(), record_bytes);
+  if (num_records == 0) return st;
+
+  const std::size_t lbb = input.logical_block_bytes();
+  // Internal memory in logical blocks; need >= 3 for a 2-way merge
+  // (two input buffers + one output buffer).
+  const std::uint64_t mem_blocks = std::max<std::uint64_t>(3, memory_bytes / lbb);
+  const std::uint64_t fanin = mem_blocks - 1;
+  const std::uint64_t total_blocks = (num_records + rpb - 1) / rpb;
+
+  // ---- run formation: input -> scratch ----
+  struct KeyedRecord {
+    std::uint64_t key;
+    std::uint64_t seq;  // original order, for stability
+    std::vector<std::byte> bytes;
+  };
+  std::vector<Run> runs;
+  {
+    std::uint64_t record_cursor = 0;
+    for (std::uint64_t b0 = 0; b0 < total_blocks; b0 += mem_blocks) {
+      std::uint64_t blocks_here = std::min<std::uint64_t>(mem_blocks, total_blocks - b0);
+      std::vector<KeyedRecord> recs;
+      recs.reserve(blocks_here * rpb);
+      for (std::uint64_t b = 0; b < blocks_here; ++b) {
+        std::vector<std::byte> block = input.read(b0 + b);
+        for (std::uint64_t r = 0; r < rpb && record_cursor < num_records; ++r) {
+          std::span<const std::byte> rec{block.data() + r * record_bytes,
+                                         record_bytes};
+          recs.push_back({key(rec), record_cursor++,
+                          std::vector<std::byte>(rec.begin(), rec.end())});
+        }
+      }
+      std::sort(recs.begin(), recs.end(), [](const auto& a, const auto& b) {
+        return a.key != b.key ? a.key < b.key : a.seq < b.seq;
+      });
+      RunWriter w(scratch, b0, record_bytes, rpb);
+      for (const auto& r : recs) w.push(r.bytes);
+      w.finish();
+      runs.push_back({b0, static_cast<std::uint64_t>(recs.size())});
+    }
+  }
+  st.initial_runs = runs.size();
+
+  // ---- merge passes, ping-ponging scratch <-> input ----
+  StripedView* src = &scratch;
+  StripedView* dst = &input;
+  while (runs.size() > 1) {
+    ++st.merge_passes;
+    std::vector<Run> next_runs;
+    std::uint64_t out_block = 0;
+    for (std::size_t g = 0; g < runs.size(); g += fanin) {
+      std::size_t group_end = std::min(runs.size(), g + fanin);
+      std::vector<RunReader> readers;
+      readers.reserve(group_end - g);
+      std::uint64_t group_records = 0;
+      for (std::size_t i = g; i < group_end; ++i) {
+        readers.emplace_back(*src, runs[i], record_bytes, rpb);
+        group_records += runs[i].num_records;
+      }
+      RunWriter w(*dst, out_block, record_bytes, rpb);
+      // (key, reader index): reader index doubles as the stability tiebreak
+      // because earlier runs contain earlier records.
+      using Head = std::pair<std::uint64_t, std::size_t>;
+      std::priority_queue<Head, std::vector<Head>, std::greater<>> heap;
+      for (std::size_t i = 0; i < readers.size(); ++i)
+        if (!readers[i].exhausted()) heap.push({readers[i].head_key(key), i});
+      while (!heap.empty()) {
+        auto [k, i] = heap.top();
+        heap.pop();
+        w.push(readers[i].head());
+        readers[i].pop();
+        if (!readers[i].exhausted()) heap.push({readers[i].head_key(key), i});
+      }
+      w.finish();
+      next_runs.push_back({out_block, group_records});
+      out_block += (group_records + rpb - 1) / rpb;
+    }
+    runs = std::move(next_runs);
+    std::swap(src, dst);
+  }
+
+  // `src` now points at the region holding the single sorted run (we swapped
+  // after the last pass). Copy over if it is not the input region.
+  if (src != &input) {
+    for (std::uint64_t b = 0; b < total_blocks; ++b)
+      input.write(b, scratch.read(b));
+  }
+  st.io = probe.delta();
+  return st;
+}
+
+std::uint64_t write_records(StripedView region,
+                            std::span<const std::byte> records,
+                            std::size_t record_bytes) {
+  IoProbe probe(region.disks());
+  const std::uint64_t rpb =
+      records_per_logical_block(region.geometry(), record_bytes);
+  if (record_bytes == 0 || records.size() % record_bytes != 0)
+    throw std::invalid_argument("records byte length not a record multiple");
+  const std::uint64_t n = records.size() / record_bytes;
+  RunWriter w(region, 0, record_bytes, rpb);
+  for (std::uint64_t i = 0; i < n; ++i)
+    w.push(records.subspan(i * record_bytes, record_bytes));
+  w.finish();
+  return probe.ios();
+}
+
+std::vector<std::byte> read_records(StripedView region,
+                                    std::uint64_t num_records,
+                                    std::size_t record_bytes) {
+  const std::uint64_t rpb =
+      records_per_logical_block(region.geometry(), record_bytes);
+  std::vector<std::byte> out;
+  out.reserve(num_records * record_bytes);
+  const std::uint64_t total_blocks = (num_records + rpb - 1) / rpb;
+  std::uint64_t remaining = num_records;
+  for (std::uint64_t b = 0; b < total_blocks; ++b) {
+    std::vector<std::byte> block = region.read(b);
+    std::uint64_t here = std::min<std::uint64_t>(rpb, remaining);
+    out.insert(out.end(), block.begin(),
+               block.begin() + static_cast<std::ptrdiff_t>(here * record_bytes));
+    remaining -= here;
+  }
+  return out;
+}
+
+}  // namespace pddict::pdm

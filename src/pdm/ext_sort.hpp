@@ -1,0 +1,56 @@
+// External multiway mergesort in the parallel disk model (striped).
+//
+// Theorem 6 charges the static dictionary construction to "the time it takes
+// to sort nd records"; this module is that sorting substrate, and the
+// bench_thm6_static benchmark compares construction I/Os against its cost.
+//
+// Records are fixed-size byte strings packed into striped logical blocks
+// (block size B·D). The sort is the classical run-formation + k-way merge
+// with fan-in limited by the internal memory capacity, achieving
+// O((n/BD) log_{M/BD} (n/BD)) parallel I/Os.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "pdm/io_stats.hpp"
+#include "pdm/striped_view.hpp"
+
+namespace pddict::pdm {
+
+/// Extracts the sort key from one record.
+using SortKeyFn = std::function<std::uint64_t(std::span<const std::byte>)>;
+
+struct SortStats {
+  std::uint64_t initial_runs = 0;
+  std::uint64_t merge_passes = 0;
+  IoStats io;  // I/O spent by the sort alone
+};
+
+/// Records per striped logical block for a given record size.
+std::uint64_t records_per_logical_block(const Geometry& geom,
+                                        std::size_t record_bytes);
+
+/// Sorts `num_records` records of `record_bytes` bytes each, stored packed in
+/// the `input` region, using `scratch` (a disjoint region of at least equal
+/// size) as temporary space. `memory_bytes` bounds internal memory. The sorted
+/// records end up packed in `input`. Ties are kept in original order (stable).
+SortStats external_sort(StripedView input, StripedView scratch,
+                        std::uint64_t num_records, std::size_t record_bytes,
+                        const SortKeyFn& key, std::size_t memory_bytes);
+
+// ---- convenience record I/O over striped regions ----
+
+/// Writes records packed into the region starting at logical block 0.
+/// Returns parallel I/Os spent.
+std::uint64_t write_records(StripedView region,
+                            std::span<const std::byte> records,
+                            std::size_t record_bytes);
+
+/// Reads `num_records` packed records back out of the region.
+std::vector<std::byte> read_records(StripedView region,
+                                    std::uint64_t num_records,
+                                    std::size_t record_bytes);
+
+}  // namespace pddict::pdm

@@ -1,0 +1,46 @@
+#include "pdm/extent_store.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pddict::pdm {
+
+ExtentStore::ExtentStore(StripedView region) : region_(std::move(region)) {}
+
+std::uint64_t ExtentStore::append(std::span<const std::byte> bytes) {
+  if (bytes.empty()) throw std::invalid_argument("empty extent");
+  const std::size_t lbb = region_.logical_block_bytes();
+  std::uint64_t blocks = util::ceil_div<std::uint64_t>(bytes.size(), lbb);
+  std::uint64_t id = directory_.size();
+  directory_.push_back({next_block_, bytes.size()});
+  std::vector<std::byte> block(lbb, std::byte{0});
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::size_t off = b * lbb;
+    std::size_t take = std::min(lbb, bytes.size() - off);
+    std::fill(block.begin(), block.end(), std::byte{0});
+    std::memcpy(block.data(), bytes.data() + off, take);
+    region_.write(next_block_++, block);
+  }
+  return id;
+}
+
+std::vector<std::byte> ExtentStore::read(std::uint64_t id) {
+  if (id >= directory_.size()) throw std::out_of_range("unknown extent");
+  const Extent& e = directory_[id];
+  const std::size_t lbb = region_.logical_block_bytes();
+  std::uint64_t blocks = util::ceil_div<std::uint64_t>(e.size_bytes, lbb);
+  std::vector<std::byte> out;
+  out.reserve(e.size_bytes);
+  for (std::uint64_t b = 0; b < blocks; ++b) {
+    std::vector<std::byte> block = region_.read(e.first_block + b);
+    std::size_t off = b * lbb;
+    std::size_t take = std::min(lbb, e.size_bytes - off);
+    out.insert(out.end(), block.begin(),
+               block.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace pddict::pdm

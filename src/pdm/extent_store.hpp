@@ -1,0 +1,48 @@
+// Extent store: allocate-once bulk satellite storage.
+//
+// Section 4.1: "Larger satellite data can be retrieved in one additional I/O
+// by following a pointer" — and generally "one can always use the dictionary
+// to retrieve a pointer to satellite information of size BD, which can then
+// be retrieved in an extra I/O". The extent store is the target of those
+// pointers: an append-only region of striped extents, each spanning one or
+// more logical blocks, addressed by a stable 64-bit extent id. Extents are
+// never moved once written (the paper's reference-stability property).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdm/striped_view.hpp"
+
+namespace pddict::pdm {
+
+class ExtentStore {
+ public:
+  /// Extents are carved from `region` starting at logical block 0.
+  explicit ExtentStore(StripedView region);
+
+  /// Appends `bytes` as a new extent; returns its id. Costs
+  /// ceil(bytes / (B·D)) parallel write I/Os.
+  std::uint64_t append(std::span<const std::byte> bytes);
+
+  /// Reads extent `id` back. Costs ceil(size / (B·D)) parallel read I/Os —
+  /// exactly one I/O for extents up to a full stripe.
+  std::vector<std::byte> read(std::uint64_t id);
+
+  std::uint64_t num_extents() const { return directory_.size(); }
+  std::uint64_t blocks_used() const { return next_block_; }
+
+ private:
+  struct Extent {
+    std::uint64_t first_block;
+    std::uint64_t size_bytes;
+  };
+  StripedView region_;
+  std::uint64_t next_block_ = 0;
+  // The directory is internal-memory metadata (block index + length per
+  // extent); dictionaries store the extent id as their satellite value.
+  std::vector<Extent> directory_;
+};
+
+}  // namespace pddict::pdm

@@ -1,0 +1,37 @@
+// File-backed block storage: one sparse file per simulated disk.
+//
+// Block b of disk d lives at byte offset b·block_bytes in <dir>/disk_<d>.bin.
+// Reads past the end of file (or over never-written holes) return zeros,
+// matching the simulator's fresh-disk semantics, so every structure in the
+// library runs unchanged — and persistently — on this backend.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pdm/backend.hpp"
+
+namespace pddict::pdm {
+
+class FileBackend final : public BlockBackend {
+ public:
+  /// Opens (creating if necessary) `<directory>/disk_<i>.bin` for each disk.
+  /// The directory must exist.
+  FileBackend(const Geometry& geom, const std::string& directory);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  Block load(const BlockAddr& addr) override;
+  void store(const BlockAddr& addr, const Block& block) override;
+  void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
+                   std::uint64_t base, std::uint64_t count) override;
+  std::uint64_t blocks_in_use() const override;
+
+ private:
+  std::size_t block_bytes_;
+  std::vector<int> fds_;
+};
+
+}  // namespace pddict::pdm

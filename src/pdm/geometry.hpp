@@ -1,0 +1,47 @@
+// Geometry of a parallel disk model instance (Vitter–Shriver).
+//
+// There are D storage devices, each an array of blocks with capacity for B
+// data items; one parallel I/O moves one block of B items from/to each of the
+// D disks. An item is "sufficiently large to hold a pointer value or a key
+// value" (paper, Section 1); we make the item size explicit in bytes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace pddict::pdm {
+
+struct Geometry {
+  std::uint32_t num_disks = 1;       // D
+  std::uint32_t block_items = 1;     // B
+  std::uint32_t item_bytes = 8;      // size of one data item
+  std::uint64_t blocks_per_disk = 0; // capacity; 0 = unbounded (grow on write)
+
+  constexpr std::size_t block_bytes() const {
+    return static_cast<std::size_t>(block_items) * item_bytes;
+  }
+  /// Bytes moved by one full-width parallel I/O.
+  constexpr std::size_t stripe_bytes() const {
+    return block_bytes() * num_disks;
+  }
+  /// Items moved by one full-width parallel I/O (the "BD" of the paper).
+  constexpr std::uint64_t stripe_items() const {
+    return static_cast<std::uint64_t>(block_items) * num_disks;
+  }
+
+  constexpr bool valid() const {
+    return num_disks >= 1 && block_items >= 1 && item_bytes >= 1;
+  }
+};
+
+/// Address of one physical block.
+struct BlockAddr {
+  std::uint32_t disk = 0;
+  std::uint64_t block = 0;
+
+  friend constexpr bool operator==(const BlockAddr&, const BlockAddr&) = default;
+  friend constexpr auto operator<=>(const BlockAddr&, const BlockAddr&) = default;
+};
+
+}  // namespace pddict::pdm

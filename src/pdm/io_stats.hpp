@@ -1,0 +1,58 @@
+// I/O accounting for the parallel disk model.
+//
+// The performance metric of every algorithm in the paper is the number of
+// parallel I/Os, so the counters here are the "measurement instrument" of the
+// whole reproduction. A parallel I/O round is counted whenever the disk array
+// performs a batch step that touches at most one block per disk (or, in
+// parallel-disk-head mode, at most D blocks total).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pddict::pdm {
+
+struct IoStats {
+  std::uint64_t parallel_ios = 0;   // total rounds (read + write)
+  std::uint64_t read_rounds = 0;
+  std::uint64_t write_rounds = 0;
+  std::uint64_t blocks_read = 0;    // physical blocks transferred
+  std::uint64_t blocks_written = 0;
+
+  IoStats& operator+=(const IoStats& o) {
+    parallel_ios += o.parallel_ios;
+    read_rounds += o.read_rounds;
+    write_rounds += o.write_rounds;
+    blocks_read += o.blocks_read;
+    blocks_written += o.blocks_written;
+    return *this;
+  }
+  friend IoStats operator-(IoStats a, const IoStats& b) {
+    a.parallel_ios -= b.parallel_ios;
+    a.read_rounds -= b.read_rounds;
+    a.write_rounds -= b.write_rounds;
+    a.blocks_read -= b.blocks_read;
+    a.blocks_written -= b.blocks_written;
+    return a;
+  }
+  friend bool operator==(const IoStats&, const IoStats&) = default;
+};
+
+class DiskArray;  // fwd
+
+/// RAII probe measuring the parallel I/Os spent in a scope.
+/// Usage:  IoProbe probe(disks);  ... ;  auto cost = probe.delta();
+class IoProbe {
+ public:
+  explicit IoProbe(const DiskArray& disks);
+  IoStats delta() const;
+  /// Parallel I/Os since construction (the paper's metric).
+  std::uint64_t ios() const { return delta().parallel_ios; }
+  void reset();
+
+ private:
+  const DiskArray* disks_;
+  IoStats start_;
+};
+
+}  // namespace pddict::pdm

@@ -1,0 +1,65 @@
+#include "pdm/record_stream.hpp"
+
+#include <cassert>
+
+#include "pdm/ext_sort.hpp"
+
+namespace pddict::pdm {
+
+RecordWriter::RecordWriter(StripedView& view, std::uint64_t first_block,
+                           std::size_t record_bytes)
+    : view_(&view),
+      first_block_(first_block),
+      next_block_(first_block),
+      record_bytes_(record_bytes),
+      rpb_(records_per_logical_block(view.geometry(), record_bytes)),
+      buffer_(view.logical_block_bytes(), std::byte{0}) {}
+
+void RecordWriter::push(std::span<const std::byte> record) {
+  assert(record.size() == record_bytes_);
+  std::memcpy(buffer_.data() + fill_ * record_bytes_, record.data(),
+              record_bytes_);
+  ++records_;
+  if (++fill_ == rpb_) {
+    view_->write(next_block_++, buffer_);
+    std::fill(buffer_.begin(), buffer_.end(), std::byte{0});
+    fill_ = 0;
+  }
+}
+
+void RecordWriter::finish() {
+  if (fill_ > 0) {
+    view_->write(next_block_++, buffer_);
+    std::fill(buffer_.begin(), buffer_.end(), std::byte{0});
+    fill_ = 0;
+  }
+}
+
+RecordReader::RecordReader(StripedView& view, std::uint64_t first_block,
+                           std::uint64_t num_records, std::size_t record_bytes)
+    : view_(&view),
+      first_block_(first_block),
+      num_records_(num_records),
+      record_bytes_(record_bytes),
+      rpb_(records_per_logical_block(view.geometry(), record_bytes)) {}
+
+void RecordReader::fill() {
+  assert(!exhausted());
+  if (!buffer_valid_) {
+    buffer_ = view_->read(first_block_ + consumed_ / rpb_);
+    buffer_valid_ = true;
+  }
+}
+
+std::span<const std::byte> RecordReader::head() {
+  fill();
+  std::size_t idx = consumed_ % rpb_;
+  return {buffer_.data() + idx * record_bytes_, record_bytes_};
+}
+
+void RecordReader::pop() {
+  ++consumed_;
+  if (consumed_ % rpb_ == 0) buffer_valid_ = false;
+}
+
+}  // namespace pddict::pdm

@@ -1,0 +1,66 @@
+// Sequential record streams over striped regions.
+//
+// The static dictionary construction (Theorem 6) is a pipeline of scans and
+// sorts over files of fixed-size records; these classes provide the buffered
+// scan halves. One logical block of buffering per stream, so a scan over r
+// records costs ceil(r / records_per_block) parallel I/Os.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "pdm/striped_view.hpp"
+
+namespace pddict::pdm {
+
+class RecordWriter {
+ public:
+  RecordWriter(StripedView& view, std::uint64_t first_block,
+               std::size_t record_bytes);
+
+  void push(std::span<const std::byte> record);
+  /// Flush the trailing partial block. Must be called before reading back.
+  void finish();
+
+  std::uint64_t records_written() const { return records_; }
+  std::uint64_t blocks_used() const { return next_block_ - first_block_; }
+
+ private:
+  StripedView* view_;
+  std::uint64_t first_block_;
+  std::uint64_t next_block_;
+  std::size_t record_bytes_;
+  std::uint64_t rpb_;
+  std::vector<std::byte> buffer_;
+  std::uint64_t fill_ = 0;
+  std::uint64_t records_ = 0;
+};
+
+class RecordReader {
+ public:
+  RecordReader(StripedView& view, std::uint64_t first_block,
+               std::uint64_t num_records, std::size_t record_bytes);
+
+  bool exhausted() const { return consumed_ == num_records_; }
+  std::uint64_t remaining() const { return num_records_ - consumed_; }
+
+  /// View of the record at the head of the stream (valid until pop()).
+  std::span<const std::byte> head();
+  void pop();
+
+ private:
+  void fill();
+
+  StripedView* view_;
+  std::uint64_t first_block_;
+  std::uint64_t num_records_;
+  std::size_t record_bytes_;
+  std::uint64_t rpb_;
+  std::uint64_t consumed_ = 0;
+  std::vector<std::byte> buffer_;
+  bool buffer_valid_ = false;
+};
+
+}  // namespace pddict::pdm

@@ -1,0 +1,50 @@
+#include "pdm/striped_view.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace pddict::pdm {
+
+StripedView::StripedView(DiskArray& disks, std::uint64_t base_block,
+                         std::uint64_t num_logical_blocks)
+    : disks_(&disks), base_(base_block), num_blocks_(num_logical_blocks) {}
+
+void StripedView::check(std::uint64_t j, std::size_t bytes_needed) const {
+  if (num_blocks_ != 0 && j >= num_blocks_)
+    throw std::out_of_range("striped view: logical block out of range");
+  if (bytes_needed != 0 && bytes_needed != logical_block_bytes())
+    throw std::invalid_argument("striped view: logical block size mismatch");
+}
+
+std::vector<std::byte> StripedView::read(std::uint64_t j) {
+  check(j, 0);
+  const Geometry& g = disks_->geometry();
+  std::vector<BlockAddr> addrs;
+  addrs.reserve(g.num_disks);
+  for (std::uint32_t d = 0; d < g.num_disks; ++d)
+    addrs.push_back({d, base_ + j});
+  std::vector<Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  std::vector<std::byte> out(logical_block_bytes());
+  for (std::uint32_t d = 0; d < g.num_disks; ++d)
+    std::memcpy(out.data() + static_cast<std::size_t>(d) * g.block_bytes(),
+                blocks[d].data(), g.block_bytes());
+  return out;
+}
+
+void StripedView::write(std::uint64_t j, std::span<const std::byte> bytes) {
+  check(j, bytes.size());
+  const Geometry& g = disks_->geometry();
+  std::vector<std::pair<BlockAddr, Block>> writes;
+  writes.reserve(g.num_disks);
+  for (std::uint32_t d = 0; d < g.num_disks; ++d) {
+    Block b(g.block_bytes());
+    std::memcpy(b.data(),
+                bytes.data() + static_cast<std::size_t>(d) * g.block_bytes(),
+                g.block_bytes());
+    writes.emplace_back(BlockAddr{d, base_ + j}, std::move(b));
+  }
+  disks_->write_batch(writes);
+}
+
+}  // namespace pddict::pdm

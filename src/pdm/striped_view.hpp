@@ -1,0 +1,48 @@
+// Disk striping: treating D disks as a single disk with block size B·D.
+//
+// "In our setting, having D parallel disks can be exploited by striping, i.e.,
+// considering the disks as a single disk with block size BD" (paper, §1.1).
+// Logical block j of a StripedView maps to physical block (base + j) on every
+// disk, so reading or writing one logical block is exactly one parallel I/O.
+// The hashing baselines, the B-tree and the external sort are built on this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pdm/disk_array.hpp"
+
+namespace pddict::pdm {
+
+class StripedView {
+ public:
+  /// A region of `num_logical_blocks` stripes starting at physical block
+  /// `base_block` on every disk. `num_logical_blocks == 0` means unbounded.
+  StripedView(DiskArray& disks, std::uint64_t base_block,
+              std::uint64_t num_logical_blocks);
+
+  const Geometry& geometry() const { return disks_->geometry(); }
+  std::uint64_t size_blocks() const { return num_blocks_; }
+  /// Bytes per logical block (= B·D·item_bytes).
+  std::size_t logical_block_bytes() const {
+    return disks_->geometry().stripe_bytes();
+  }
+
+  /// Read logical block j. Exactly one parallel I/O.
+  std::vector<std::byte> read(std::uint64_t j);
+
+  /// Write logical block j (must be logical_block_bytes() long). One I/O.
+  void write(std::uint64_t j, std::span<const std::byte> bytes);
+
+  DiskArray& disks() { return *disks_; }
+
+ private:
+  void check(std::uint64_t j, std::size_t bytes_needed) const;
+
+  DiskArray* disks_;
+  std::uint64_t base_;
+  std::uint64_t num_blocks_;
+};
+
+}  // namespace pddict::pdm

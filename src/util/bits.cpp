@@ -1,0 +1,112 @@
+#include "util/bits.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pddict::util {
+
+void BitVector::clear_all() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::uint64_t BitVector::get_field(std::size_t pos, unsigned width) const {
+  assert(width >= 1 && width <= 64);
+  assert(pos + width <= num_bits_);
+  std::size_t word = pos >> 6;
+  unsigned offset = pos & 63;
+  std::uint64_t lo = words_[word] >> offset;
+  if (offset + width > 64) {
+    lo |= words_[word + 1] << (64 - offset);
+  }
+  if (width == 64) return lo;
+  return lo & ((std::uint64_t{1} << width) - 1);
+}
+
+void BitVector::set_field(std::size_t pos, unsigned width, std::uint64_t value) {
+  assert(width >= 1 && width <= 64);
+  assert(pos + width <= num_bits_);
+  if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+  std::size_t word = pos >> 6;
+  unsigned offset = pos & 63;
+  std::uint64_t lo_mask =
+      (width == 64 && offset == 0) ? ~std::uint64_t{0}
+      : ((offset + width >= 64)
+             ? (~std::uint64_t{0} << offset)
+             : (((std::uint64_t{1} << width) - 1) << offset));
+  words_[word] = (words_[word] & ~lo_mask) | ((value << offset) & lo_mask);
+  if (offset + width > 64) {
+    unsigned hi_bits = offset + width - 64;
+    std::uint64_t hi_mask = (std::uint64_t{1} << hi_bits) - 1;
+    words_[word + 1] =
+        (words_[word + 1] & ~hi_mask) | ((value >> (64 - offset)) & hi_mask);
+  }
+}
+
+namespace {
+
+std::uint64_t load_bits_from_bytes(const std::byte* src, std::size_t bit,
+                                   unsigned width) {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    std::size_t p = bit + i;
+    std::uint64_t b =
+        (static_cast<std::uint64_t>(src[p >> 3]) >> (p & 7)) & 1u;
+    v |= b << i;
+  }
+  return v;
+}
+
+void store_bits_to_bytes(std::byte* dst, std::size_t bit, unsigned width,
+                         std::uint64_t v) {
+  for (unsigned i = 0; i < width; ++i) {
+    std::size_t p = bit + i;
+    std::byte mask = std::byte{1} << (p & 7);
+    if ((v >> i) & 1u)
+      dst[p >> 3] |= mask;
+    else
+      dst[p >> 3] &= ~mask;
+  }
+}
+
+}  // namespace
+
+void copy_bits_from_bytes(const std::byte* src, std::size_t src_bit,
+                          BitVector& dst, std::size_t dst_bit,
+                          std::size_t nbits) {
+  std::size_t done = 0;
+  while (done < nbits) {
+    unsigned chunk = static_cast<unsigned>(std::min<std::size_t>(64, nbits - done));
+    dst.set_field(dst_bit + done, chunk,
+                  load_bits_from_bytes(src, src_bit + done, chunk));
+    done += chunk;
+  }
+}
+
+void copy_bits_to_bytes(const BitVector& src, std::size_t src_bit,
+                        std::byte* dst, std::size_t dst_bit,
+                        std::size_t nbits) {
+  std::size_t done = 0;
+  while (done < nbits) {
+    unsigned chunk = static_cast<unsigned>(std::min<std::size_t>(64, nbits - done));
+    store_bits_to_bytes(dst, dst_bit + done, chunk,
+                        src.get_field(src_bit + done, chunk));
+    done += chunk;
+  }
+}
+
+std::uint64_t BitReader::read_unary() {
+  std::uint64_t n = 0;
+  while (pos_ < end_ && bv_->get_bit(pos_)) {
+    ++n;
+    ++pos_;
+  }
+  assert(pos_ < end_ && "unary code missing terminator");
+  ++pos_;  // consume the terminating 0-bit
+  return n;
+}
+
+void BitWriter::write_unary(std::uint64_t n) {
+  assert(pos_ + n + 1 <= end_ && "unary code overflows region");
+  for (std::uint64_t i = 0; i < n; ++i) bv_->set_bit(pos_++, true);
+  bv_->set_bit(pos_++, false);
+}
+
+}  // namespace pddict::util

@@ -1,0 +1,123 @@
+// Bit-level storage used by the field arrays of the Section 4.2 dictionaries.
+//
+// BitVector stores a flat sequence of bits and supports reading/writing
+// fixed-width fields (up to 64 bits) at arbitrary bit offsets. BitReader /
+// BitWriter provide sequential access for the variable-length encodings of the
+// paper (the unary relative pointers of Theorem 6 case (a)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pddict::util {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  std::size_t size_bits() const { return num_bits_; }
+  std::size_t size_words() const { return words_.size(); }
+
+  void resize(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+  void clear_all();
+
+  bool get_bit(std::size_t pos) const {
+    return (words_[pos >> 6] >> (pos & 63)) & 1u;
+  }
+
+  void set_bit(std::size_t pos, bool value) {
+    std::uint64_t mask = std::uint64_t{1} << (pos & 63);
+    if (value)
+      words_[pos >> 6] |= mask;
+    else
+      words_[pos >> 6] &= ~mask;
+  }
+
+  /// Read `width` bits (0 < width <= 64) starting at bit offset `pos`.
+  std::uint64_t get_field(std::size_t pos, unsigned width) const;
+
+  /// Write the low `width` bits of `value` at bit offset `pos`.
+  void set_field(std::size_t pos, unsigned width, std::uint64_t value);
+
+  /// Raw word access (serialization onto disk blocks).
+  const std::uint64_t* data() const { return words_.data(); }
+  std::uint64_t* data() { return words_.data(); }
+
+  bool operator==(const BitVector&) const = default;
+
+ private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Copy `nbits` bits from a raw byte buffer (bit offset `src_bit`, LSB-first
+/// within each byte) into a BitVector at `dst_bit`. Used to lift bit-packed
+/// fields out of disk blocks.
+void copy_bits_from_bytes(const std::byte* src, std::size_t src_bit,
+                          BitVector& dst, std::size_t dst_bit,
+                          std::size_t nbits);
+
+/// Copy `nbits` bits from a BitVector into a raw byte buffer.
+void copy_bits_to_bytes(const BitVector& src, std::size_t src_bit,
+                        std::byte* dst, std::size_t dst_bit, std::size_t nbits);
+
+/// Sequential reader over a BitVector region.
+class BitReader {
+ public:
+  BitReader(const BitVector& bv, std::size_t start_bit, std::size_t end_bit)
+      : bv_(&bv), pos_(start_bit), end_(end_bit) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return end_ - pos_; }
+
+  bool read_bit() { return bv_->get_bit(pos_++); }
+
+  std::uint64_t read_field(unsigned width) {
+    std::uint64_t v = bv_->get_field(pos_, width);
+    pos_ += width;
+    return v;
+  }
+
+  /// Unary code: `n` one-bits followed by a zero-bit decodes to n.
+  /// Returns the decoded value; consumes the terminating zero.
+  std::uint64_t read_unary();
+
+ private:
+  const BitVector* bv_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+/// Sequential writer over a BitVector region.
+class BitWriter {
+ public:
+  BitWriter(BitVector& bv, std::size_t start_bit, std::size_t end_bit)
+      : bv_(&bv), pos_(start_bit), end_(end_bit) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return end_ - pos_; }
+
+  void write_bit(bool b) { bv_->set_bit(pos_++, b); }
+
+  void write_field(unsigned width, std::uint64_t value) {
+    bv_->set_field(pos_, width, value);
+    pos_ += width;
+  }
+
+  /// Unary code matching BitReader::read_unary.
+  void write_unary(std::uint64_t n);
+
+ private:
+  BitVector* bv_;
+  std::size_t pos_;
+  std::size_t end_;
+};
+
+}  // namespace pddict::util

@@ -1,0 +1,28 @@
+#include "util/hash.hpp"
+
+#include <cassert>
+
+namespace pddict::util {
+
+PolyHash::PolyHash(unsigned independence, std::uint64_t range,
+                   std::uint64_t seed)
+    : range_(range) {
+  assert(independence >= 1);
+  assert(range >= 1);
+  SplitMix64 rng(seed);
+  coeffs_.resize(independence);
+  for (auto& c : coeffs_) c = rng.next() % kMersenne61;
+  // Force full degree so independence is genuinely k-wise.
+  if (coeffs_.back() == 0) coeffs_.back() = 1;
+}
+
+std::uint64_t PolyHash::operator()(std::uint64_t x) const {
+  std::uint64_t xm = x % kMersenne61;
+  std::uint64_t acc = 0;
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) {
+    acc = addmod61(mulmod61(acc, xm), *it);
+  }
+  return acc % range_;
+}
+
+}  // namespace pddict::util

@@ -1,0 +1,62 @@
+// Hash families used by the randomized baselines and the seeded expanders.
+//
+// The paper's external-memory setting assumes internal memory can hold
+// O(log n) keys, which permits O(log n)-wise independent hash functions
+// (Section 1.1). PolyHash implements exactly that: a degree-(k-1) polynomial
+// over the Mersenne-prime field Z_{2^61-1}, evaluated by Horner's rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace pddict::util {
+
+/// The Mersenne prime 2^61 - 1.
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// (a * b) mod (2^61 - 1) without overflow, via 128-bit intermediate.
+constexpr std::uint64_t mulmod61(std::uint64_t a, std::uint64_t b) {
+  unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  std::uint64_t lo = static_cast<std::uint64_t>(p & kMersenne61);
+  std::uint64_t hi = static_cast<std::uint64_t>(p >> 61);
+  std::uint64_t s = lo + hi;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+constexpr std::uint64_t addmod61(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a + b;
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// k-wise independent polynomial hash family over Z_{2^61-1}.
+///
+/// h(x) = (c_{k-1} x^{k-1} + ... + c_1 x + c_0 mod p) mod range.
+/// Coefficients are drawn deterministically from `seed`; the leading
+/// coefficient is forced nonzero so the polynomial has full degree.
+class PolyHash {
+ public:
+  /// `independence` = k (>= 2 for pairwise, typically ceil(log2 n) for the
+  /// baselines); `range` = size of the output domain.
+  PolyHash(unsigned independence, std::uint64_t range, std::uint64_t seed);
+
+  std::uint64_t operator()(std::uint64_t x) const;
+
+  std::uint64_t range() const { return range_; }
+  unsigned independence() const { return static_cast<unsigned>(coeffs_.size()); }
+
+ private:
+  std::vector<std::uint64_t> coeffs_;  // c_0 .. c_{k-1}
+  std::uint64_t range_;
+};
+
+/// Cheap strongly-mixed hash for one 64-bit key and a salt; used where full
+/// independence is not required (e.g. seeded expander neighbor functions).
+constexpr std::uint64_t salted_mix(std::uint64_t x, std::uint64_t salt) {
+  return mix64(mix64(x ^ 0x2545f4914f6cdd1dULL) ^ salt);
+}
+
+}  // namespace pddict::util

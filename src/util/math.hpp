@@ -1,0 +1,57 @@
+// Integer math helpers shared across the library.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+
+namespace pddict::util {
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+  requires std::is_unsigned_v<T>
+constexpr T ceil_div(T a, T b) {
+  assert(b != 0);
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned floor_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)) for x >= 1. ceil_log2(1) == 0.
+constexpr unsigned ceil_log2(std::uint64_t x) {
+  assert(x >= 1);
+  return x == 1 ? 0u : floor_log2(x - 1) + 1u;
+}
+
+/// Number of bits needed to store values in [0, n). bits_for(1) == 1 so that a
+/// field always has positive width.
+constexpr unsigned bits_for(std::uint64_t n) {
+  assert(n >= 1);
+  return n == 1 ? 1u : ceil_log2(n);
+}
+
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+constexpr std::uint64_t round_up_pow2(std::uint64_t x) {
+  return x <= 1 ? 1 : std::uint64_t{1} << ceil_log2(x);
+}
+
+/// Round `x` up to the next multiple of `m` (m > 0).
+constexpr std::uint64_t round_up(std::uint64_t x, std::uint64_t m) {
+  assert(m != 0);
+  return ceil_div(x, m) * m;
+}
+
+/// Integer power with 64-bit wraparound semantics (inputs kept small by callers).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp--) r *= base;
+  return r;
+}
+
+}  // namespace pddict::util

@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in this library must be reproducible run-to-run, so no
+// std::random_device is used anywhere; all randomness flows from explicit
+// 64-bit seeds through SplitMix64 (a full-period, well-mixed generator that is
+// also our hash finalizer).
+#pragma once
+
+#include <cstdint>
+
+namespace pddict::util {
+
+/// SplitMix64 finalizer: bijective 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Minimal deterministic PRNG (SplitMix64 stream).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() { return mix64(state_ += 0x9e3779b97f4a7c15ULL); }
+
+  /// Uniform value in [0, bound) with negligible modulo bias for bound << 2^64.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // UniformRandomBitGenerator interface, so the PRNG plugs into <algorithm>.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+  constexpr result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace pddict::util

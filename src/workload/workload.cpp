@@ -1,0 +1,134 @@
+#include "workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/prng.hpp"
+
+namespace pddict::workload {
+
+using util::SplitMix64;
+
+std::vector<core::Key> generate_keys(KeyPattern pattern, std::uint64_t n,
+                                     std::uint64_t universe,
+                                     std::uint64_t seed) {
+  if (n > universe / 2)
+    throw std::invalid_argument("key set too dense for this universe");
+  SplitMix64 rng(seed);
+  std::vector<core::Key> keys;
+  keys.reserve(n);
+  switch (pattern) {
+    case KeyPattern::kDenseSequential: {
+      std::uint64_t base = rng.next_below(universe - n);
+      for (std::uint64_t i = 0; i < n; ++i) keys.push_back(base + i);
+      break;
+    }
+    case KeyPattern::kSparseRandom: {
+      std::unordered_set<core::Key> seen;
+      while (seen.size() < n) {
+        core::Key k = rng.next_below(universe);
+        if (k != core::kTombstone && seen.insert(k).second) keys.push_back(k);
+      }
+      break;
+    }
+    case KeyPattern::kClustered: {
+      std::uint64_t clusters = std::max<std::uint64_t>(1, n / 256);
+      std::uint64_t per = (n + clusters - 1) / clusters;
+      std::unordered_set<core::Key> seen;
+      while (keys.size() < n) {
+        std::uint64_t base = rng.next_below(universe - per - 1);
+        for (std::uint64_t i = 0; i < per && keys.size() < n; ++i) {
+          if (seen.insert(base + i).second) keys.push_back(base + i);
+        }
+      }
+      break;
+    }
+    case KeyPattern::kSharedLowBits: {
+      // All keys congruent mod 2^12: adversarial for weak modulo hashing.
+      std::uint64_t stride = std::uint64_t{1} << 12;
+      std::uint64_t low = rng.next_below(stride);
+      std::unordered_set<core::Key> seen;
+      while (keys.size() < n) {
+        std::uint64_t q = rng.next_below(universe / stride - 1);
+        core::Key k = q * stride + low;
+        if (seen.insert(k).second) keys.push_back(k);
+      }
+      break;
+    }
+  }
+  return keys;
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed)
+    : state_(seed) {
+  if (n == 0) throw std::invalid_argument("Zipf over empty support");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::uint64_t ZipfSampler::next() {
+  SplitMix64 rng(state_);
+  double u = rng.next_double();
+  state_ = rng.next();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+QueryTrace make_query_trace(std::span<const core::Key> present,
+                            std::uint64_t universe, std::uint64_t n_queries,
+                            double hit_fraction, double zipf_theta,
+                            std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  ZipfSampler zipf(std::max<std::uint64_t>(1, present.size()), zipf_theta,
+                   seed ^ 0x5a5a);
+  std::unordered_set<core::Key> member(present.begin(), present.end());
+  QueryTrace trace;
+  trace.queries.reserve(n_queries);
+  for (std::uint64_t q = 0; q < n_queries; ++q) {
+    if (!present.empty() && rng.next_double() < hit_fraction) {
+      trace.queries.push_back(present[zipf.next()]);
+      ++trace.expected_hits;
+    } else {
+      core::Key k;
+      do {
+        k = rng.next_below(universe);
+      } while (k == core::kTombstone || member.contains(k));
+      trace.queries.push_back(k);
+    }
+  }
+  return trace;
+}
+
+FileSystemTrace make_fs_trace(std::uint64_t num_files,
+                              std::uint64_t mean_blocks_per_file,
+                              std::uint64_t num_accesses, double zipf_theta,
+                              std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  FileSystemTrace trace;
+  trace.num_files = num_files;
+  std::vector<std::uint64_t> file_sizes(num_files);
+  for (std::uint64_t f = 0; f < num_files; ++f) {
+    // Sizes spread around the mean (half to double).
+    file_sizes[f] = std::max<std::uint64_t>(
+        1, mean_blocks_per_file / 2 + rng.next_below(mean_blocks_per_file + 1));
+    for (std::uint64_t b = 0; b < file_sizes[f]; ++b)
+      trace.all_blocks.push_back((f << 24) | b);
+  }
+  ZipfSampler popular(num_files, zipf_theta, seed ^ 0xf11e);
+  trace.accesses.reserve(num_accesses);
+  for (std::uint64_t a = 0; a < num_accesses; ++a) {
+    std::uint64_t f = popular.next();
+    std::uint64_t b = rng.next_below(file_sizes[f]);
+    trace.accesses.push_back((f << 24) | b);
+  }
+  return trace;
+}
+
+}  // namespace pddict::workload

@@ -1,0 +1,66 @@
+// Deterministic workload generators for the experiments.
+//
+// Everything is seeded: the same (pattern, n, universe, seed) tuple always
+// produces the same keys, queries and traces, so benchmark output is
+// reproducible run-to-run (there is no global randomness anywhere in this
+// library).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dictionary.hpp"
+
+namespace pddict::workload {
+
+enum class KeyPattern {
+  kDenseSequential,  // 0..n-1 shifted to a random base
+  kSparseRandom,     // uniform over the universe
+  kClustered,        // a few dense runs scattered over the universe
+  kSharedLowBits,    // keys agreeing on low bits (stress for weak hashing)
+};
+
+/// n distinct keys from [0, universe), per the pattern.
+std::vector<core::Key> generate_keys(KeyPattern pattern, std::uint64_t n,
+                                     std::uint64_t universe,
+                                     std::uint64_t seed);
+
+/// Zipf(θ) sampler over ranks [0, n) via the classic inverse-CDF table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta, std::uint64_t seed);
+  std::uint64_t next();
+
+ private:
+  std::vector<double> cdf_;
+  std::uint64_t state_;
+};
+
+struct QueryTrace {
+  std::vector<core::Key> queries;
+  std::uint64_t expected_hits = 0;
+};
+
+/// `n_queries` lookups, a `hit_fraction` of which target `present` keys
+/// (Zipf-skewed over the key set), the rest uniform misses.
+QueryTrace make_query_trace(std::span<const core::Key> present,
+                            std::uint64_t universe, std::uint64_t n_queries,
+                            double hit_fraction, double zipf_theta,
+                            std::uint64_t seed);
+
+/// File-system workload (paper §1.2): a key is (inode << 24) | block_number,
+/// and accesses are random blocks of Zipf-popular files — the webmail / http
+/// server pattern the paper motivates.
+struct FileSystemTrace {
+  std::vector<core::Key> all_blocks;   // every (file, block) key
+  std::vector<core::Key> accesses;     // random-access reads
+  std::uint64_t num_files = 0;
+};
+
+FileSystemTrace make_fs_trace(std::uint64_t num_files,
+                              std::uint64_t mean_blocks_per_file,
+                              std::uint64_t num_accesses, double zipf_theta,
+                              std::uint64_t seed);
+
+}  // namespace pddict::workload

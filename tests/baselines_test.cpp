@@ -1,0 +1,328 @@
+// Tests for the randomized baselines of Figure 1 and the B-tree comparator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/btree.hpp"
+#include "baselines/cuckoo_dict.hpp"
+#include "baselines/dhp_dict.hpp"
+#include "baselines/striped_hash.hpp"
+#include "baselines/trick_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/io_stats.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::baselines {
+namespace {
+
+using core::Key;
+using core::value_for_key;
+
+pdm::DiskArray make_disks(std::uint32_t d = 8, std::uint32_t items = 32,
+                          std::uint32_t item_bytes = 16) {
+  return pdm::DiskArray(pdm::Geometry{d, items, item_bytes, 0});
+}
+
+// ---- StripedHashDict ----
+
+TEST(StripedHash, RoundTripAndTypicalCosts) {
+  auto disks = make_disks();
+  StripedHashParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 1000;
+  p.value_bytes = 8;
+  StripedHashDict dict(disks, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      1000, std::uint64_t{1} << 32, 4);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  EXPECT_EQ(dict.size(), 1000u);
+  std::uint64_t lookup_ios = 0;
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, value_for_key(k, 8));
+    lookup_ios += probe.ios();
+  }
+  // 1 I/O whp: the average stays essentially 1 (no or few overflows).
+  EXPECT_LE(static_cast<double>(lookup_ios) / keys.size(), 1.1);
+  EXPECT_FALSE(dict.insert(keys[0], value_for_key(keys[0], 8)));
+  EXPECT_TRUE(dict.erase(keys[0]));
+  EXPECT_FALSE(dict.lookup(keys[0]).found);
+}
+
+TEST(StripedHash, OverflowChainsFormWhenOverfull) {
+  // Cram far beyond the configured capacity: chains must form and the whp
+  // guarantee visibly degrade — the failure mode Figure 1 footnotes.
+  auto disks = make_disks(4, 8, 16);
+  StripedHashParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 64;
+  p.value_bytes = 8;
+  p.fill_target = 0.9;
+  StripedHashDict dict(disks, 0, p);
+  for (Key k = 1; k <= 500; ++k) dict.insert(k, value_for_key(k, 8));
+  EXPECT_GT(dict.overflow_blocks_allocated(), 0u);
+  EXPECT_GT(dict.longest_chain(), 1u);
+  for (Key k = 1; k <= 500; ++k) ASSERT_TRUE(dict.lookup(k).found);
+}
+
+// ---- DhpDict ----
+
+TEST(Dhp, LookupAlwaysOneIo) {
+  auto disks = make_disks();
+  DhpDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 800;
+  p.value_bytes = 16;
+  DhpDict dict(disks, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 800,
+                                      std::uint64_t{1} << 32, 6);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 16)));
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    ASSERT_TRUE(dict.lookup(k).found);
+    EXPECT_EQ(probe.ios(), 1u);
+  }
+  pdm::IoProbe probe(disks);
+  EXPECT_FALSE(dict.lookup(12345678).found);
+  EXPECT_EQ(probe.ios(), 1u);
+}
+
+TEST(Dhp, RebuildOnOverflowKeepsEverything) {
+  // A tiny table with aggressive fill forces bucket overflows → rebuilds.
+  auto disks = make_disks(2, 4, 16);
+  DhpDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 40;
+  p.value_bytes = 8;
+  p.fill_target = 0.95;
+  DhpDict dict(disks, 0, p);
+  for (Key k = 1; k <= 40; ++k) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  for (Key k = 1; k <= 40; ++k) ASSERT_TRUE(dict.lookup(k).found);
+  // Erase and reinsert still fine after whatever rebuilds happened.
+  EXPECT_TRUE(dict.erase(7));
+  EXPECT_FALSE(dict.lookup(7).found);
+  EXPECT_TRUE(dict.insert(7, value_for_key(7, 8)));
+}
+
+// ---- CuckooDict ----
+
+TEST(Cuckoo, OneIoLookupsAndBandwidth) {
+  auto disks = make_disks(8, 32, 16);  // stripe 4096 B, cell 2048 B
+  CuckooDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 400;
+  p.value_bytes = 1500;  // close to the BD/2 bandwidth
+  ASSERT_LE(p.value_bytes, CuckooDict::max_bandwidth(disks.geometry()));
+  CuckooDict dict(disks, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 400,
+                                      std::uint64_t{1} << 32, 8);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 1500)));
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k);
+    EXPECT_EQ(probe.ios(), 1u) << "cuckoo lookup reads both cells at once";
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, value_for_key(k, 1500));
+  }
+  EXPECT_FALSE(dict.lookup(999999999).found);
+  EXPECT_FALSE(dict.insert(keys[0], value_for_key(keys[0], 1500)));
+  EXPECT_TRUE(dict.erase(keys[0]));
+  EXPECT_FALSE(dict.lookup(keys[0]).found);
+}
+
+TEST(Cuckoo, SurvivesHighLoadWithEvictionsOrRehashes) {
+  auto disks = make_disks(4, 8, 16);
+  CuckooDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 300;
+  p.value_bytes = 8;
+  p.load_factor = 0.48;  // close to the cuckoo threshold
+  CuckooDict dict(disks, 0, p);
+  for (Key k = 1; k <= 300; ++k)
+    ASSERT_TRUE(dict.insert(k, value_for_key(k, 8))) << k;
+  for (Key k = 1; k <= 300; ++k) ASSERT_TRUE(dict.lookup(k).found);
+  EXPECT_GT(dict.longest_walk(), 0u);  // evictions definitely happened
+}
+
+TEST(Cuckoo, RejectsOversizeRecordsAndOddDisks) {
+  auto disks = make_disks(8, 4, 16);  // cell = 4*64/2... 4 disks/side × 64 B
+  CuckooDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 10;
+  p.value_bytes = 4096;
+  EXPECT_THROW(CuckooDict(disks, 0, p), std::invalid_argument);
+  pdm::DiskArray odd(pdm::Geometry{3, 8, 16, 0});
+  p.value_bytes = 8;
+  EXPECT_THROW(CuckooDict(odd, 0, p), std::invalid_argument);
+}
+
+// ---- TrickDict ----
+
+TEST(Trick, AverageCloseToOneIoAndFullBandwidth) {
+  auto disks = make_disks(8, 32, 16);
+  TrickDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 500;
+  p.value_bytes = 2000;  // Θ(BD) bandwidth: most of a 4 KiB stripe
+  p.epsilon = 0.25;
+  ASSERT_LE(p.value_bytes, TrickDict::max_bandwidth(disks.geometry()));
+  pdm::DiskAllocator alloc;
+  std::uint64_t front_base = alloc.reserve(1 << 20);
+  std::uint64_t back_base = alloc.reserve(1 << 20);
+  TrickDict dict(disks, front_base, back_base, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 500,
+                                      std::uint64_t{1} << 32, 10);
+  pdm::IoProbe insert_probe(disks);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 2000)));
+  double avg_insert =
+      static_cast<double>(insert_probe.ios()) / keys.size();
+  EXPECT_LE(avg_insert, 2.0 + 2 * p.epsilon);
+
+  pdm::IoProbe lookup_probe(disks);
+  for (Key k : keys) {
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, value_for_key(k, 2000));
+  }
+  double avg_lookup =
+      static_cast<double>(lookup_probe.ios()) / keys.size();
+  EXPECT_LE(avg_lookup, 1.0 + 2 * p.epsilon);
+  EXPECT_GE(avg_lookup, 1.0);
+  // Misses, duplicates, erases.
+  EXPECT_FALSE(dict.lookup(42424242).found);
+  EXPECT_FALSE(dict.insert(keys[0], value_for_key(keys[0], 2000)));
+  EXPECT_TRUE(dict.erase(keys[0]));
+  EXPECT_FALSE(dict.lookup(keys[0]).found);
+}
+
+TEST(Trick, CollisionsLandInBackstop) {
+  auto disks = make_disks(4, 8, 16);
+  TrickDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 64;
+  p.value_bytes = 8;
+  p.epsilon = 1.0;  // tiny front table → plenty of collisions
+  TrickDict dict(disks, 0, 1 << 20, p);
+  for (Key k = 1; k <= 64; ++k) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  EXPECT_GT(dict.marked_cells(), 0u);
+  EXPECT_GT(dict.backstop_size(), 0u);
+  for (Key k = 1; k <= 64; ++k) ASSERT_TRUE(dict.lookup(k).found) << k;
+}
+
+// ---- BTreeDict ----
+
+TEST(BTree, SortedAndRandomInsertLookup) {
+  auto disks = make_disks(8, 16, 16);
+  BTreeParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.value_bytes = 16;
+  BTreeDict tree(disks, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      3000, std::uint64_t{1} << 32, 12);
+  for (Key k : keys) ASSERT_TRUE(tree.insert(k, value_for_key(k, 16)));
+  EXPECT_EQ(tree.size(), 3000u);
+  for (Key k : keys) {
+    auto r = tree.lookup(k);
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, value_for_key(k, 16));
+  }
+  EXPECT_FALSE(tree.lookup(keys[0] ^ 1).found | tree.lookup(4).found);
+}
+
+TEST(BTree, SequentialInsertionSplitsCorrectly) {
+  auto disks = make_disks(4, 8, 16);  // small fanout → deep tree
+  BTreeParams p;
+  p.universe_size = 1 << 24;
+  p.value_bytes = 8;
+  BTreeDict tree(disks, 0, p);
+  for (Key k = 1; k <= 2000; ++k)
+    ASSERT_TRUE(tree.insert(k, value_for_key(k, 8))) << k;
+  EXPECT_GE(tree.height(), 2u);
+  for (Key k = 1; k <= 2000; ++k) ASSERT_TRUE(tree.lookup(k).found) << k;
+  EXPECT_FALSE(tree.lookup(2001).found);
+}
+
+TEST(BTree, LookupCostIsHeight) {
+  auto disks = make_disks(8, 16, 16);
+  BTreeParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.value_bytes = 8;
+  BTreeDict tree(disks, 0, p);
+  for (Key k = 1; k <= 5000; ++k) tree.insert(k * 2, value_for_key(k, 8));
+  for (Key probe_key : {Key{2}, Key{5000}, Key{9998}}) {
+    pdm::IoProbe probe(disks);
+    tree.lookup(probe_key);
+    EXPECT_EQ(probe.ios(), tree.height());
+  }
+  // Height matches the Θ(log_{BD} n) shape.
+  double fanout = tree.internal_fanout();
+  double expected =
+      std::ceil(std::log(5000.0 / tree.leaf_capacity()) / std::log(fanout)) + 1;
+  EXPECT_LE(tree.height(), static_cast<std::uint32_t>(expected) + 1);
+}
+
+TEST(BTree, EraseIsLazyAndReinsertRevives) {
+  auto disks = make_disks(4, 16, 16);
+  BTreeParams p;
+  p.universe_size = 1 << 24;
+  p.value_bytes = 8;
+  BTreeDict tree(disks, 0, p);
+  for (Key k = 1; k <= 100; ++k) tree.insert(k, value_for_key(k, 8));
+  EXPECT_TRUE(tree.erase(50));
+  EXPECT_FALSE(tree.erase(50));
+  EXPECT_FALSE(tree.lookup(50).found);
+  EXPECT_EQ(tree.size(), 99u);
+  EXPECT_TRUE(tree.insert(50, value_for_key(50, 8, 3)));
+  EXPECT_EQ(tree.lookup(50).value, value_for_key(50, 8, 3));
+}
+
+TEST(BTree, RangeScanSortedAndComplete) {
+  auto disks = make_disks(4, 16, 16);
+  BTreeParams p;
+  p.universe_size = 1 << 24;
+  p.value_bytes = 8;
+  BTreeDict tree(disks, 0, p);
+  // Insert even keys 2..4000 in shuffled order.
+  std::vector<Key> keys;
+  for (Key k = 2; k <= 4000; k += 2) keys.push_back(k);
+  util::SplitMix64 rng(4);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (Key k : keys) tree.insert(k, value_for_key(k, 8));
+  tree.erase(100);  // dead records are skipped
+
+  auto hits = tree.range(51, 199);
+  // Even keys in [52,198] minus the erased 100 → 74 - 1 = 73.
+  ASSERT_EQ(hits.size(), 73u);
+  Key prev = 0;
+  for (const auto& [k, v] : hits) {
+    EXPECT_GT(k, prev) << "range output must be sorted";
+    EXPECT_GE(k, 51u);
+    EXPECT_LE(k, 199u);
+    EXPECT_NE(k, 100u);
+    EXPECT_EQ(v, value_for_key(k, 8));
+    prev = k;
+  }
+  // Edge windows.
+  EXPECT_EQ(tree.range(0, 1).size(), 0u);
+  EXPECT_EQ(tree.range(4000, 4000).size(), 1u);
+  EXPECT_EQ(tree.range(2, 4000).size(), 1999u);  // all minus erased 100
+  EXPECT_EQ(tree.range(10, 5).size(), 0u);
+}
+
+TEST(BTree, DuplicateRejected) {
+  auto disks = make_disks(4, 16, 16);
+  BTreeParams p;
+  p.universe_size = 1 << 24;
+  p.value_bytes = 8;
+  BTreeDict tree(disks, 0, p);
+  EXPECT_TRUE(tree.insert(9, value_for_key(9, 8)));
+  EXPECT_FALSE(tree.insert(9, value_for_key(9, 8, 1)));
+  EXPECT_EQ(tree.lookup(9).value, value_for_key(9, 8));
+}
+
+}  // namespace
+}  // namespace pddict::baselines

@@ -1,0 +1,291 @@
+// Tests for the Section 4.1 basic dictionary: correctness, the 1-I/O lookup /
+// 2-I/O update guarantees, the small-B bucket variant, and the wide
+// (full-bandwidth) variant.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/basic_dict.hpp"
+#include "core/bucket_dict.hpp"
+#include "core/wide_dict.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+pdm::DiskArray make_disks(std::uint32_t d = 16, std::uint32_t block_items = 32,
+                          std::uint32_t item_bytes = 16) {
+  return pdm::DiskArray(pdm::Geometry{d, block_items, item_bytes, 0});
+}
+
+BasicDictParams small_params(std::uint64_t capacity = 1000,
+                             std::size_t value_bytes = 8,
+                             std::uint32_t degree = 16) {
+  BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = capacity;
+  p.value_bytes = value_bytes;
+  p.degree = degree;
+  return p;
+}
+
+TEST(BasicDict, InsertLookupRoundTrip) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params());
+  for (Key k : {Key{1}, Key{77}, Key{1u << 30}}) {
+    EXPECT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  }
+  EXPECT_EQ(dict.size(), 3u);
+  for (Key k : {Key{1}, Key{77}, Key{1u << 30}}) {
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, value_for_key(k, 8));
+  }
+  EXPECT_FALSE(dict.lookup(2).found);
+}
+
+TEST(BasicDict, DuplicateInsertRejected) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params());
+  EXPECT_TRUE(dict.insert(5, value_for_key(5, 8)));
+  EXPECT_FALSE(dict.insert(5, value_for_key(5, 8, 1)));
+  EXPECT_EQ(dict.size(), 1u);
+  // Original value intact.
+  EXPECT_EQ(dict.lookup(5).value, value_for_key(5, 8));
+}
+
+TEST(BasicDict, LookupIsOneParallelIoInsertIsTwo) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params());
+  for (Key k = 0; k < 200; ++k) dict.insert(k * 17, value_for_key(k * 17, 8));
+  for (Key k = 0; k < 200; ++k) {
+    pdm::IoProbe probe(disks);
+    dict.lookup(k * 17);
+    EXPECT_EQ(probe.ios(), 1u) << "lookup must be exactly one parallel I/O";
+  }
+  {
+    pdm::IoProbe probe(disks);
+    dict.lookup(999999);  // miss
+    EXPECT_EQ(probe.ios(), 1u);
+  }
+  pdm::IoProbe probe(disks);
+  dict.insert(424242, value_for_key(424242, 8));
+  EXPECT_EQ(probe.ios(), 2u) << "insert = 1 read + 1 write";
+}
+
+TEST(BasicDict, EraseMarksWithoutMoving) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params());
+  for (Key k = 100; k < 120; ++k) dict.insert(k, value_for_key(k, 8));
+  EXPECT_TRUE(dict.erase(110));
+  EXPECT_FALSE(dict.erase(110));
+  EXPECT_FALSE(dict.lookup(110).found);
+  EXPECT_EQ(dict.size(), 19u);
+  // Every other key unaffected.
+  for (Key k = 100; k < 120; ++k)
+    if (k != 110) {
+      EXPECT_TRUE(dict.lookup(k).found);
+    }
+  // Erase costs 1 read + 1 write.
+  pdm::IoProbe probe(disks);
+  dict.erase(111);
+  EXPECT_EQ(probe.ios(), 2u);
+  // Reinsert after erase works.
+  EXPECT_TRUE(dict.insert(110, value_for_key(110, 8, 9)));
+  EXPECT_EQ(dict.lookup(110).value, value_for_key(110, 8, 9));
+}
+
+TEST(BasicDict, TombstoneSlotsReusedAcrossEraseInsertCycles) {
+  auto disks = make_disks();
+  const std::uint64_t n = 500;
+  BasicDict dict(disks, 0, 0, small_params(n));
+  for (Key k = 1; k <= n; ++k) dict.insert(k, value_for_key(k, 8));
+  std::uint32_t baseline = dict.peek_max_load();
+  // Many erase/reinsert cycles: without slot reuse the bucket counts would
+  // inflate by one per cycle and eventually overflow.
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    for (Key k = 1; k <= n; ++k) ASSERT_TRUE(dict.erase(k));
+    for (Key k = 1; k <= n; ++k)
+      ASSERT_TRUE(dict.insert(k, value_for_key(k, 8, cycle)));
+  }
+  EXPECT_EQ(dict.peek_max_load(), baseline)
+      << "erase/insert cycles must not inflate bucket loads";
+  for (Key k = 1; k <= n; ++k)
+    EXPECT_EQ(dict.lookup(k).value, value_for_key(k, 8, 19));
+}
+
+TEST(BasicDict, RejectsBadInputs) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params());
+  EXPECT_THROW(dict.insert(kTombstone, value_for_key(1, 8)),
+               std::invalid_argument);
+  EXPECT_THROW(dict.lookup(std::uint64_t{1} << 33), std::invalid_argument);
+  EXPECT_THROW(dict.insert(1, value_for_key(1, 4)), std::invalid_argument);
+  BasicDictParams p = small_params();
+  p.degree = 64;  // more stripes than disks
+  EXPECT_THROW(BasicDict(disks, 0, 0, p), std::invalid_argument);
+}
+
+TEST(BasicDict, CapacityEnforced) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params(10));
+  for (Key k = 0; k < 10; ++k) EXPECT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  EXPECT_THROW(dict.insert(10, value_for_key(10, 8)), CapacityError);
+  EXPECT_FALSE(dict.insert(3, value_for_key(3, 8)));  // dup still detected
+}
+
+TEST(BasicDict, FullCapacityLoadStaysBounded) {
+  // Fill to capacity; the deterministic balancing must keep every bucket
+  // within its block (no overflow, i.e. no CapacityError).
+  auto disks = make_disks(16, 64, 16);
+  const std::uint64_t n = 4000;
+  BasicDict dict(disks, 0, 0, small_params(n));
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 7);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  for (Key k : keys) ASSERT_TRUE(dict.lookup(k).found);
+  EXPECT_LE(dict.peek_max_load(), dict.bucket_capacity());
+  // Average load sanity: max is average plus the Lemma 3 log-term slack.
+  double avg = static_cast<double>(n) / dict.num_buckets();
+  EXPECT_LE(dict.peek_max_load(), avg + 12);
+}
+
+TEST(BasicDict, AdversarialKeyPatternsStillWork) {
+  for (auto pattern :
+       {workload::KeyPattern::kDenseSequential,
+        workload::KeyPattern::kClustered, workload::KeyPattern::kSharedLowBits}) {
+    auto disks = make_disks();
+    const std::uint64_t n = 1500;
+    BasicDict dict(disks, 0, 0, small_params(n));
+    auto keys =
+        workload::generate_keys(pattern, n, std::uint64_t{1} << 32, 11);
+    for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+    for (Key k : keys) EXPECT_TRUE(dict.lookup(k).found);
+  }
+}
+
+TEST(BasicDict, ZeroValueBytesMembershipOnly) {
+  auto disks = make_disks();
+  BasicDict dict(disks, 0, 0, small_params(100, 0));
+  EXPECT_TRUE(dict.insert(42, {}));
+  EXPECT_TRUE(dict.lookup(42).found);
+  EXPECT_TRUE(dict.lookup(42).value.empty());
+}
+
+TEST(BasicDict, OffsetPlacementIsolation) {
+  // Two dictionaries on the same disks at different bases don't interfere.
+  auto disks = make_disks();
+  BasicDict a(disks, 0, 0, small_params(100));
+  BasicDict b(disks, 0, 10000, small_params(100));
+  a.insert(7, value_for_key(7, 8, 1));
+  b.insert(7, value_for_key(7, 8, 2));
+  EXPECT_EQ(a.lookup(7).value, value_for_key(7, 8, 1));
+  EXPECT_EQ(b.lookup(7).value, value_for_key(7, 8, 2));
+  a.erase(7);
+  EXPECT_TRUE(b.lookup(7).found);
+}
+
+// ---- small-B variant (bucket_dict) ----
+
+TEST(BucketDict, WorksWithTinyBlocks) {
+  // Blocks of 2 items × 16 bytes: far below log N — the atomic-heap regime.
+  pdm::DiskArray disks(pdm::Geometry{16, 2, 16, 0});
+  auto dict =
+      make_bucket_dict(disks, 0, 0, std::uint64_t{1} << 32, 500, 8, 16, 16);
+  EXPECT_GT(dict.bucket_blocks(), 1u);
+  for (Key k = 0; k < 500; ++k)
+    ASSERT_TRUE(dict.insert(k * 3 + 1, value_for_key(k * 3 + 1, 8)));
+  for (Key k = 0; k < 500; ++k)
+    EXPECT_TRUE(dict.lookup(k * 3 + 1).found);
+  // O(1) I/Os: exactly bucket_blocks rounds per lookup.
+  pdm::IoProbe probe(disks);
+  dict.lookup(1);
+  EXPECT_EQ(probe.ios(), dict.bucket_blocks());
+}
+
+TEST(BucketDict, ParamsComputeConstantBlocks) {
+  pdm::Geometry tiny{16, 1, 16, 0};
+  auto p = bucket_dict_params(1 << 20, 1000, 8, tiny, 16);
+  EXPECT_GE(p.bucket_blocks, 16u);  // 1 record per block → ~17 blocks
+  EXPECT_LE(p.bucket_blocks, 32u);
+}
+
+// ---- wide (full-bandwidth) variant ----
+
+TEST(WideDict, LargeSatelliteRoundTripInOneIo) {
+  auto disks = make_disks(16, 64, 16);  // stripe = 16 KiB
+  WideDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 200;
+  p.degree = 16;
+  p.value_bytes = 400;  // needs k=8 fragments of 50 bytes
+  WideDict dict(disks, 0, 0, p);
+  EXPECT_EQ(dict.fragments(), 8u);
+  for (Key k = 0; k < 200; ++k)
+    ASSERT_TRUE(dict.insert(k * 5 + 2, value_for_key(k * 5 + 2, 400)));
+  for (Key k = 0; k < 200; ++k) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k * 5 + 2);
+    EXPECT_EQ(probe.ios(), 1u) << "full record in one parallel I/O";
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, value_for_key(k * 5 + 2, 400));
+  }
+  EXPECT_FALSE(dict.lookup(3).found);
+}
+
+TEST(WideDict, InsertIsTwoIos) {
+  auto disks = make_disks(16, 64, 16);
+  WideDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 100;
+  p.degree = 16;
+  p.value_bytes = 256;
+  WideDict dict(disks, 0, 0, p);
+  pdm::IoProbe probe(disks);
+  dict.insert(1, value_for_key(1, 256));
+  EXPECT_EQ(probe.ios(), 2u);
+  EXPECT_FALSE(dict.insert(1, value_for_key(1, 256)));
+}
+
+TEST(WideDict, EraseRemovesAllFragments) {
+  auto disks = make_disks(16, 64, 16);
+  WideDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 100;
+  p.degree = 16;
+  p.value_bytes = 200;
+  WideDict dict(disks, 0, 0, p);
+  dict.insert(9, value_for_key(9, 200));
+  dict.insert(10, value_for_key(10, 200));
+  EXPECT_TRUE(dict.erase(9));
+  EXPECT_FALSE(dict.erase(9));
+  EXPECT_FALSE(dict.lookup(9).found);
+  EXPECT_EQ(dict.lookup(10).value, value_for_key(10, 200));
+}
+
+TEST(WideDict, BandwidthLimitEnforced) {
+  pdm::DiskArray disks(pdm::Geometry{16, 4, 16, 0});  // tiny blocks: 64 B
+  WideDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 100;
+  p.degree = 16;
+  p.value_bytes = 4096;  // fragment of 512 B cannot fit a 64-B block
+  EXPECT_THROW(WideDict(disks, 0, 0, p), std::invalid_argument);
+  EXPECT_GT(WideDict::max_bandwidth(pdm::Geometry{16, 64, 16, 0}, 16, 1000),
+            0u);
+}
+
+TEST(WideDict, RejectsKNotBelowD) {
+  auto disks = make_disks();
+  WideDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 10;
+  p.degree = 16;
+  p.fragments = 16;
+  p.value_bytes = 64;
+  EXPECT_THROW(WideDict(disks, 0, 0, p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,306 @@
+// Dictionary conformance suite: one reference-model battery applied to EVERY
+// dynamic Dictionary implementation in the library — the paper's structures
+// and all baselines. Each implementation must behave exactly like a
+// std::unordered_map under an arbitrary seeded interleaving of inserts,
+// lookups and erases (where supported).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/btree.hpp"
+#include "baselines/cuckoo_dict.hpp"
+#include "baselines/dhp_dict.hpp"
+#include "baselines/striped_hash.hpp"
+#include "baselines/trick_dict.hpp"
+#include "core/basic_dict.hpp"
+#include "core/bucket_dict.hpp"
+#include "core/dynamic_dict.hpp"
+#include "core/full_dict.hpp"
+#include "core/full_dynamic_dict.hpp"
+#include "core/multilevel_wide.hpp"
+#include "core/parallel_group.hpp"
+#include "core/wide_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "util/prng.hpp"
+
+namespace pddict {
+namespace {
+
+constexpr std::uint64_t kUniverse = std::uint64_t{1} << 36;
+constexpr std::uint64_t kCapacity = 512;
+constexpr std::size_t kValueBytes = 16;
+
+struct Fixture {
+  std::unique_ptr<pdm::DiskArray> disks;
+  std::unique_ptr<pdm::DiskAllocator> alloc;
+  std::unique_ptr<core::Dictionary> dict;
+};
+
+struct Impl {
+  const char* name;
+  std::function<Fixture()> make;
+};
+
+Fixture make_disks_fixture(std::uint32_t num_disks) {
+  Fixture f;
+  f.disks = std::make_unique<pdm::DiskArray>(
+      pdm::Geometry{num_disks, 64, 16, 0});
+  f.alloc = std::make_unique<pdm::DiskAllocator>();
+  return f;
+}
+
+const Impl kImpls[] = {
+    {"BasicDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       core::BasicDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       p.degree = 16;
+       f.dict = std::make_unique<core::BasicDict>(*f.disks, 0, 0, p);
+       return f;
+     }},
+    {"BucketDict",
+     [] {
+       Fixture f;
+       f.disks = std::make_unique<pdm::DiskArray>(pdm::Geometry{16, 4, 16, 0});
+       f.alloc = std::make_unique<pdm::DiskAllocator>();
+       f.dict = std::make_unique<core::BasicDict>(
+           *f.disks, 0, 0,
+           core::bucket_dict_params(kUniverse, kCapacity, kValueBytes,
+                                    f.disks->geometry(), 16, 16));
+       return f;
+     }},
+    {"WideDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       core::WideDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       p.degree = 16;
+       f.dict = std::make_unique<core::WideDict>(*f.disks, 0, 0, p);
+       return f;
+     }},
+    {"DynamicDict",
+     [] {
+       Fixture f = make_disks_fixture(48);
+       core::DynamicDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       p.degree = 24;
+       f.dict = std::make_unique<core::DynamicDict>(*f.disks, 0, *f.alloc, p);
+       return f;
+     }},
+    {"FullDict",
+     [] {
+       Fixture f = make_disks_fixture(32);
+       core::FullDictParams p;
+       p.universe_size = kUniverse;
+       p.value_bytes = kValueBytes;
+       p.degree = 16;
+       f.dict = std::make_unique<core::FullDict>(*f.disks, 0, *f.alloc, p);
+       return f;
+     }},
+    {"MultiLevelWide",
+     [] {
+       Fixture f = make_disks_fixture(48);
+       core::MultiLevelWideParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       p.degree = 16;
+       f.dict =
+           std::make_unique<core::MultiLevelWideDict>(*f.disks, 0, *f.alloc, p);
+       return f;
+     }},
+    {"ParallelDictGroup",
+     [] {
+       Fixture f = make_disks_fixture(32);
+       core::ParallelGroupParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       p.degree = 16;
+       p.instances = 2;
+       f.dict =
+           std::make_unique<core::ParallelDictGroup>(*f.disks, 0, *f.alloc, p);
+       return f;
+     }},
+    {"FullDynamicDict",
+     [] {
+       Fixture f = make_disks_fixture(96);
+       core::FullDynamicParams p;
+       p.universe_size = kUniverse;
+       p.value_bytes = kValueBytes;
+       p.degree = 24;
+       f.dict =
+           std::make_unique<core::FullDynamicDict>(*f.disks, 0, *f.alloc, p);
+       return f;
+     }},
+    {"StripedHashDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       baselines::StripedHashParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       f.dict = std::make_unique<baselines::StripedHashDict>(*f.disks, 0, p);
+       return f;
+     }},
+    {"DhpDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       baselines::DhpDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       f.dict = std::make_unique<baselines::DhpDict>(*f.disks, 0, p);
+       return f;
+     }},
+    {"CuckooDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       baselines::CuckooDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       f.dict = std::make_unique<baselines::CuckooDict>(*f.disks, 0, p);
+       return f;
+     }},
+    {"TrickDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       baselines::TrickDictParams p;
+       p.universe_size = kUniverse;
+       p.capacity = kCapacity;
+       p.value_bytes = kValueBytes;
+       f.dict = std::make_unique<baselines::TrickDict>(
+           *f.disks, 0, std::uint64_t{1} << 24, p);
+       return f;
+     }},
+    {"BTreeDict",
+     [] {
+       Fixture f = make_disks_fixture(16);
+       baselines::BTreeParams p;
+       p.universe_size = kUniverse;
+       p.value_bytes = kValueBytes;
+       f.dict = std::make_unique<baselines::BTreeDict>(*f.disks, 0, p);
+       return f;
+     }},
+};
+
+class Conformance : public ::testing::TestWithParam<Impl> {};
+
+TEST_P(Conformance, MatchesReferenceModelUnderRandomOps) {
+  Fixture f = GetParam().make();
+  std::unordered_map<core::Key, std::vector<std::byte>> reference;
+  util::SplitMix64 rng(0xc0f0);
+  const std::uint64_t key_space = 400;  // dense enough for hits and misses
+
+  for (int op = 0; op < 3000; ++op) {
+    core::Key k = 1 + rng.next_below(key_space);
+    switch (rng.next_below(4)) {
+      case 0:    // insert
+      case 1: {  // (weighted 2x)
+        if (reference.size() >= kCapacity - 8) break;  // stay under N
+        auto value = core::value_for_key(k, kValueBytes, rng.next_below(7));
+        bool inserted = f.dict->insert(k, value);
+        bool expected = !reference.contains(k);
+        ASSERT_EQ(inserted, expected) << GetParam().name << " op " << op;
+        if (inserted) reference.emplace(k, value);
+        break;
+      }
+      case 2: {  // erase
+        bool erased = f.dict->erase(k);
+        ASSERT_EQ(erased, reference.erase(k) > 0)
+            << GetParam().name << " op " << op;
+        break;
+      }
+      default: {  // lookup
+        auto r = f.dict->lookup(k);
+        auto it = reference.find(k);
+        ASSERT_EQ(r.found, it != reference.end())
+            << GetParam().name << " op " << op << " key " << k;
+        if (r.found) {
+          ASSERT_EQ(r.value, it->second) << GetParam().name;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(f.dict->size(), reference.size()) << GetParam().name;
+  }
+  // Final sweep: every reference entry answered correctly.
+  for (const auto& [k, v] : reference) {
+    auto r = f.dict->lookup(k);
+    ASSERT_TRUE(r.found) << GetParam().name;
+    ASSERT_EQ(r.value, v) << GetParam().name;
+  }
+}
+
+TEST_P(Conformance, MissesOutsideKeySpaceNeverFound) {
+  Fixture f = GetParam().make();
+  for (core::Key k = 1; k <= 100; ++k)
+    f.dict->insert(k, core::value_for_key(k, kValueBytes));
+  util::SplitMix64 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    core::Key miss = 1000 + rng.next_below(kUniverse - 2000);
+    EXPECT_FALSE(f.dict->lookup(miss).found) << GetParam().name;
+  }
+}
+
+TEST_P(Conformance, ValueBytesReported) {
+  Fixture f = GetParam().make();
+  EXPECT_EQ(f.dict->value_bytes(), kValueBytes) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, Conformance,
+                         ::testing::ValuesIn(kImpls),
+                         [](const ::testing::TestParamInfo<Impl>& info) {
+                           return info.param.name;
+                         });
+
+// ---- the "no data movement" property (paper, Section 1.1) ----
+// "If we fix the capacity of the data structure and there are no deletions,
+// no piece of data is ever moved, once inserted."
+
+TEST(NoDataMovement, BasicDictRecordsNeverMove) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  core::BasicDictParams p;
+  p.universe_size = kUniverse;
+  p.capacity = 2000;
+  p.value_bytes = 8;
+  p.degree = 16;
+  core::BasicDict dict(disks, 0, 0, p);
+
+  auto locate = [&](core::Key k) {
+    auto addrs = dict.probe_addrs(k);
+    std::vector<pdm::Block> blocks;
+    blocks.reserve(addrs.size());
+    for (const auto& a : addrs) blocks.push_back(disks.peek(a));
+    auto probe = dict.inspect(k, blocks);
+    EXPECT_TRUE(probe.found);
+    return probe.found_stripe;
+  };
+
+  std::vector<core::Key> watched;
+  std::vector<std::uint32_t> homes;
+  for (core::Key k = 1; k <= 50; ++k) {
+    dict.insert(k, core::value_for_key(k, 8));
+    watched.push_back(k);
+    homes.push_back(locate(k));
+  }
+  // Flood with 1900 more insertions; the watched records must not move.
+  for (core::Key k = 1000; k < 2900; ++k)
+    dict.insert(k, core::value_for_key(k, 8));
+  for (std::size_t i = 0; i < watched.size(); ++i)
+    EXPECT_EQ(locate(watched[i]), homes[i])
+        << "record moved after later insertions";
+}
+
+}  // namespace
+}  // namespace pddict

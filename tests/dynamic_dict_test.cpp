@@ -1,0 +1,166 @@
+// Tests for the Section 4.3 dynamic dictionary (Theorem 7).
+#include <gtest/gtest.h>
+
+#include "core/dynamic_dict.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+pdm::DiskArray make_disks(std::uint32_t d = 64) {
+  return pdm::DiskArray(pdm::Geometry{d, 64, 16, 0});
+}
+
+DynamicDictParams params_for(std::uint64_t capacity, std::size_t value_bytes,
+                             double epsilon = 0.5) {
+  DynamicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = capacity;
+  p.value_bytes = value_bytes;
+  p.epsilon_op = epsilon;
+  p.degree = 24;  // > 6(1 + 1/0.5) = 18
+  return p;
+}
+
+TEST(DynamicDict, InsertLookupEraseRoundTrip) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(500, 32));
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 500,
+                                      std::uint64_t{1} << 32, 1);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 32)));
+  EXPECT_EQ(dict.size(), 500u);
+  for (Key k : keys) {
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, value_for_key(k, 32));
+  }
+  for (Key k : keys) EXPECT_TRUE(dict.erase(k));
+  EXPECT_EQ(dict.size(), 0u);
+  for (Key k : keys) EXPECT_FALSE(dict.lookup(k).found);
+}
+
+TEST(DynamicDict, UnsuccessfulSearchIsOneIo) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(300, 16));
+  for (Key k = 0; k < 300; ++k) dict.insert(k * 7 + 1, value_for_key(k, 16));
+  for (Key probe_key : {Key{2}, Key{100000}, Key{5}}) {
+    pdm::IoProbe probe(disks);
+    EXPECT_FALSE(dict.lookup(probe_key).found);
+    EXPECT_EQ(probe.ios(), 1u) << "Theorem 7: unsuccessful search = 1 I/O";
+  }
+}
+
+TEST(DynamicDict, AverageLookupWithinOnePlusEpsilon) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const double eps = 0.5;
+  const std::uint64_t n = 1000;
+  DynamicDict dict(disks, 0, alloc, params_for(n, 16, eps));
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 3);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 16)));
+  pdm::IoProbe probe(disks);
+  for (Key k : keys) ASSERT_TRUE(dict.lookup(k).found);
+  double avg = static_cast<double>(probe.ios()) / n;
+  EXPECT_LE(avg, 1.0 + eps) << "Theorem 7: successful lookups 1+eps average";
+  EXPECT_GE(avg, 1.0);
+}
+
+TEST(DynamicDict, AverageInsertWithinTwoPlusEpsilon) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const double eps = 0.5;
+  const std::uint64_t n = 1000;
+  DynamicDict dict(disks, 0, alloc, params_for(n, 16, eps));
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 9);
+  pdm::IoProbe probe(disks);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 16)));
+  double avg = static_cast<double>(probe.ios()) / n;
+  EXPECT_LE(avg, 2.0 + eps) << "Theorem 7: updates 2+eps average";
+  EXPECT_GE(avg, 2.0);
+}
+
+TEST(DynamicDict, MostElementsLiveInLevelOne) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 1000;
+  DynamicDict dict(disks, 0, alloc, params_for(n, 16));
+  for (Key k = 0; k < n; ++k) dict.insert(k * 3 + 5, value_for_key(k, 16));
+  const auto& pop = dict.level_population();
+  // The Lemma 5 cascade: spill fraction per level is at most ~6ε < 1.
+  EXPECT_GE(pop[0], n * 7 / 10);
+  std::uint64_t total = 0;
+  for (auto c : pop) total += c;
+  EXPECT_EQ(total, n);
+}
+
+TEST(DynamicDict, DuplicateCostsOneIo) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(100, 8));
+  dict.insert(7, value_for_key(7, 8));
+  pdm::IoProbe probe(disks);
+  EXPECT_FALSE(dict.insert(7, value_for_key(7, 8)));
+  EXPECT_EQ(probe.ios(), 1u);
+}
+
+TEST(DynamicDict, EraseFreesFieldsForReuse) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 200;
+  DynamicDict dict(disks, 0, alloc, params_for(n, 16));
+  // Fill, erase, refill repeatedly: space must be reused, not leak levels.
+  for (int round = 0; round < 4; ++round) {
+    for (Key k = 0; k < n; ++k)
+      ASSERT_TRUE(dict.insert(k + round * 100000, value_for_key(k, 16)))
+          << "round " << round;
+    for (Key k = 0; k < n; ++k)
+      ASSERT_TRUE(dict.erase(k + round * 100000));
+  }
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(DynamicDict, GeometricLevelSizes) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(4000, 8));
+  EXPECT_GE(dict.levels(), 2u);
+  EXPECT_LT(dict.shrink_ratio(), 1.0 / (1.0 + 1.0 / 0.5));
+  EXPECT_GT(dict.shrink_ratio(), 0.0);
+}
+
+TEST(DynamicDict, DegreeRequirementEnforced) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDictParams p = params_for(100, 8, 0.1);  // needs d > 66
+  p.degree = 32;
+  EXPECT_THROW(DynamicDict(disks, 0, alloc, p), std::invalid_argument);
+  p.degree = 0;  // auto: must pick d > 66
+  EXPECT_GT(DynamicDict::degree_for(p), 66u);
+}
+
+TEST(DynamicDict, ZeroValueBytes) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(100, 0));
+  EXPECT_TRUE(dict.insert(11, {}));
+  EXPECT_TRUE(dict.lookup(11).found);
+  EXPECT_FALSE(dict.lookup(12).found);
+  EXPECT_TRUE(dict.erase(11));
+}
+
+TEST(DynamicDict, CapacityEnforced) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  DynamicDict dict(disks, 0, alloc, params_for(16, 8));
+  for (Key k = 0; k < 16; ++k)
+    ASSERT_TRUE(dict.insert(k + 1, value_for_key(k, 8)));
+  EXPECT_THROW(dict.insert(99, value_for_key(99, 8)), CapacityError);
+}
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,295 @@
+// Tests for the expander-graph substrate: neighbor functions, stripes,
+// expansion verification, unique-neighbor lemmas, the telescope product and
+// the semi-explicit construction.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <cmath>
+#include <set>
+
+#include "expander/neighbor_function.hpp"
+#include "expander/preprocessed.hpp"
+#include "expander/seeded_expander.hpp"
+#include "expander/semi_explicit.hpp"
+#include "expander/table_expander.hpp"
+#include "expander/telescope.hpp"
+#include "expander/verify.hpp"
+
+namespace pddict::expander {
+namespace {
+
+TEST(SeededExpander, StripedStructureHolds) {
+  SeededExpander g(1 << 20, 16 * 64, 16, 7);
+  EXPECT_TRUE(g.striped());
+  EXPECT_EQ(g.stripe_size(), 64u);
+  for (std::uint64_t x : {0ull, 1ull, 999999ull}) {
+    for (std::uint32_t i = 0; i < g.degree(); ++i) {
+      std::uint64_t y = g.neighbor(x, i);
+      EXPECT_GE(y, g.stripe_begin(i));
+      EXPECT_LT(y, g.stripe_begin(i) + g.stripe_size());
+      EXPECT_EQ(g.stripe_local(x, i), y - g.stripe_begin(i));
+    }
+  }
+}
+
+TEST(SeededExpander, DeterministicPerSeed) {
+  SeededExpander a(1000, 80, 8, 1), b(1000, 80, 8, 1), c(1000, 80, 8, 2);
+  int diff = 0;
+  for (std::uint64_t x = 0; x < 100; ++x)
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      EXPECT_EQ(a.neighbor(x, i), b.neighbor(x, i));
+      diff += a.neighbor(x, i) != c.neighbor(x, i);
+    }
+  EXPECT_GT(diff, 500);  // different seeds give an essentially different graph
+}
+
+TEST(SeededExpander, RejectsBadShape) {
+  EXPECT_THROW(SeededExpander(10, 33, 8, 0), std::invalid_argument);
+  EXPECT_THROW(SeededExpander(10, 0, 8, 0), std::invalid_argument);
+  EXPECT_THROW(SeededExpander(10, 8, 0, 0), std::invalid_argument);
+}
+
+TEST(RecommendedDegree, GrowsLogarithmically) {
+  EXPECT_EQ(recommended_degree(1ull << 8), 8u);    // floor at 8
+  EXPECT_EQ(recommended_degree(1ull << 20), 20u);
+  EXPECT_EQ(recommended_degree(1ull << 40), 40u);
+  EXPECT_EQ(recommended_degree(1ull << 20, 2.0), 40u);
+}
+
+TEST(TableExpander, ValidatesNeighborsAndStripes) {
+  // 2 left vertices, degree 2, v = 4 (stripe size 2).
+  std::vector<std::uint64_t> good{0, 2, 1, 3};
+  TableExpander g(4, 2, good, true);
+  EXPECT_EQ(g.neighbor(0, 0), 0u);
+  EXPECT_EQ(g.neighbor(1, 1), 3u);
+  std::vector<std::uint64_t> out_of_range{0, 4, 1, 3};
+  EXPECT_THROW(TableExpander(4, 2, out_of_range, true), std::invalid_argument);
+  std::vector<std::uint64_t> stripe_violation{2, 2, 1, 3};
+  EXPECT_THROW(TableExpander(4, 2, stripe_violation, true),
+               std::invalid_argument);
+  TableExpander ok_unstriped(4, 2, stripe_violation, false);
+  EXPECT_EQ(ok_unstriped.neighbor(0, 0), 2u);
+}
+
+TEST(TableExpander, RandomGraphHasValidShape) {
+  auto g = TableExpander::random(100, 40, 8, true, 3);
+  EXPECT_EQ(g.left_size(), 100u);
+  EXPECT_EQ(g.right_size(), 40u);
+  for (std::uint64_t x = 0; x < 100; ++x)
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      EXPECT_GE(g.neighbor(x, i), i * 5u);
+      EXPECT_LT(g.neighbor(x, i), (i + 1) * 5u);
+    }
+}
+
+TEST(Verify, NeighborhoodSizeExact) {
+  // Handcrafted: x0 -> {0,2}, x1 -> {0,3}: Γ({x0,x1}) = {0,2,3}.
+  std::vector<std::uint64_t> table{0, 2, 0, 3};
+  TableExpander g(4, 2, table, true);
+  std::vector<std::uint64_t> s{0, 1};
+  EXPECT_EQ(neighborhood_size(g, s), 3u);
+}
+
+TEST(Verify, ExhaustiveCatchesBadExpansion) {
+  // All left vertices share the same neighbors: worst possible graph.
+  std::vector<std::uint64_t> table;
+  for (int x = 0; x < 8; ++x) {
+    table.push_back(0);
+    table.push_back(2);
+  }
+  TableExpander bad(4, 2, table, true);
+  auto report = check_expansion_exhaustive(bad, 4);
+  EXPECT_FALSE(report.meets(0.5));
+  EXPECT_LT(report.min_ratio, 0.3);
+
+  // A truly random small graph should expand decently for small sets.
+  auto good = TableExpander::random(12, 64, 8, true, 11);
+  auto report2 = check_expansion_exhaustive(good, 3);
+  EXPECT_GT(report2.min_ratio, 0.6);
+  EXPECT_GT(report2.sets_checked, 0u);
+}
+
+TEST(Verify, SampledAndGreedyRunOnSeededGraphs) {
+  SeededExpander g(1 << 16, 16 * 1024, 16, 5);
+  std::vector<std::uint64_t> sizes{4, 16, 64, 256};
+  auto sampled = check_expansion_sampled(g, sizes, 20, 99);
+  EXPECT_EQ(sampled.sets_checked, sizes.size() * 20);
+  // Random sets on a pseudorandom graph of these parameters expand well.
+  EXPECT_TRUE(sampled.meets(1.0 / 6));
+  auto greedy = check_expansion_greedy(g, 256, 32, 99);
+  EXPECT_GT(greedy.sets_checked, 0u);
+  EXPECT_TRUE(greedy.meets(0.5));  // adversarial ratio degrades but not badly
+}
+
+TEST(Verify, UniqueNeighborsHandcrafted) {
+  // x0 -> {0,2}, x1 -> {0,3}: Φ = {2,3}; each x has 1 unique neighbor.
+  std::vector<std::uint64_t> table{0, 2, 0, 3};
+  TableExpander g(4, 2, table, true);
+  std::vector<std::uint64_t> s{0, 1};
+  auto phi = unique_neighbor_nodes(g, s);
+  EXPECT_EQ(phi, (std::vector<std::uint64_t>{2, 3}));
+  auto counts = unique_neighbor_counts(g, s);
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{1, 1}));
+  // λ = 1/2 → threshold (1-λ)d = 1 → both qualify.
+  EXPECT_DOUBLE_EQ(lemma5_fraction(g, s, 0.5), 1.0);
+  // λ = 1/4 → threshold 1.5 → none qualify.
+  EXPECT_DOUBLE_EQ(lemma5_fraction(g, s, 0.25), 0.0);
+}
+
+TEST(Verify, Lemma4HoldsOnRandomGraphs) {
+  // |Φ(S)| >= (1-2ε)d|S| with the empirical ε of the sampled check.
+  SeededExpander g(1 << 16, 16 * 2048, 16, 21);
+  util::SplitMix64 rng(3);
+  std::vector<std::uint64_t> s;
+  std::set<std::uint64_t> chosen;
+  while (chosen.size() < 512) chosen.insert(rng.next_below(g.left_size()));
+  s.assign(chosen.begin(), chosen.end());
+  auto phi = unique_neighbor_nodes(g, s);
+  double eps = 1.0 / 6;
+  EXPECT_GE(static_cast<double>(phi.size()),
+            (1 - 2 * eps) * g.degree() * s.size());
+}
+
+TEST(Verify, Lemma5FractionHighOnSizedGraphs)
+{
+  // With v = 4·N·d (the static dictionary's sizing), most keys have >= 2d/3
+  // unique neighbors.
+  const std::uint64_t n = 1000;
+  SeededExpander g(1 << 20, 18 * 4 * n, 18, 77);
+  std::vector<std::uint64_t> s(n);
+  std::iota(s.begin(), s.end(), 5000);
+  EXPECT_GE(lemma5_fraction(g, s, 1.0 / 3), 0.5);  // Lemma 5's guarantee
+}
+
+TEST(Telescope, ComposesDegreesAndDeduplicates) {
+  auto f1 = std::make_shared<TableExpander>(
+      TableExpander::random(1 << 12, 256, 4, false, 1));
+  auto f2 = std::make_shared<TableExpander>(
+      TableExpander::random(256, 128, 4, false, 2));
+  TelescopeProduct t(f1, f2);
+  EXPECT_EQ(t.degree(), 16u);
+  EXPECT_EQ(t.left_size(), std::uint64_t{1} << 12);
+  EXPECT_EQ(t.right_size(), 128u);
+  for (std::uint64_t x : {0ull, 77ull, 4000ull}) {
+    auto ns = t.neighbors(x);
+    std::set<std::uint64_t> uniq(ns.begin(), ns.end());
+    EXPECT_EQ(uniq.size(), ns.size()) << "multi-edges must be re-mapped";
+    for (auto y : ns) EXPECT_LT(y, 128u);
+    // Deterministic.
+    EXPECT_EQ(ns, t.neighbors(x));
+    EXPECT_EQ(t.neighbor(x, 5), ns[5]);
+  }
+}
+
+TEST(Telescope, RejectsImpossibleComposition) {
+  auto f1 = std::make_shared<TableExpander>(
+      TableExpander::random(100, 64, 8, false, 1));
+  auto f2 = std::make_shared<TableExpander>(
+      TableExpander::random(64, 32, 8, false, 2));
+  // degree 64 > v2=32: dedup impossible.
+  EXPECT_THROW(TelescopeProduct(f1, f2), std::invalid_argument);
+  auto f3 = std::make_shared<TableExpander>(
+      TableExpander::random(32, 512, 8, false, 2));
+  // V1=64 > left of f3=32.
+  EXPECT_THROW(TelescopeProduct(f1, f3), std::invalid_argument);
+}
+
+TEST(TrivialStripe, CopiesRightSidePerStripe) {
+  auto base = std::make_shared<TableExpander>(
+      TableExpander::random(1000, 50, 5, false, 9));
+  TrivialStripe s(base);
+  EXPECT_TRUE(s.striped());
+  EXPECT_EQ(s.right_size(), 250u);  // factor d space increase (paper, §5 end)
+  EXPECT_EQ(s.stripe_size(), 50u);
+  for (std::uint64_t x = 0; x < 100; ++x)
+    for (std::uint32_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(s.neighbor(x, i), i * 50 + base->neighbor(x, i));
+      EXPECT_EQ(s.stripe_local(x, i), base->neighbor(x, i));
+    }
+}
+
+TEST(Preprocessed, BudgetFollowsCorollary1Formula) {
+  // u/v = 2^10, c = 2, eps = 1/2 → (2^10)^2 / (1/2)^2 = 2^22 words, clamped.
+  PreprocessedExpander big(1 << 20, 1 << 10, 8, 0.5, 1);
+  EXPECT_EQ(big.internal_memory_words(), std::uint64_t{1} << 22);
+  // Balanced graph → minimum budget.
+  PreprocessedExpander small(1 << 10, 1 << 10, 8, 0.5, 1);
+  EXPECT_EQ(small.internal_memory_words(), 64u);
+  // More unbalanced → more memory.
+  PreprocessedExpander mid(1 << 16, 1 << 10, 8, 0.5, 1);
+  EXPECT_GT(mid.internal_memory_words(), small.internal_memory_words());
+  EXPECT_LT(mid.internal_memory_words(), big.internal_memory_words());
+}
+
+TEST(Preprocessed, NeighborsInRangeAndDeterministic) {
+  PreprocessedExpander g(1 << 16, 1 << 10, 8, 0.25, 42);
+  PreprocessedExpander g2(1 << 16, 1 << 10, 8, 0.25, 42);
+  for (std::uint64_t x = 0; x < 200; ++x)
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      EXPECT_LT(g.neighbor(x, i), std::uint64_t{1} << 10);
+      EXPECT_EQ(g.neighbor(x, i), g2.neighbor(x, i));
+    }
+}
+
+TEST(SemiExplicit, ReachesTargetSizeWithPolylogDegree) {
+  SemiExplicitParams p;
+  p.universe_size = std::uint64_t{1} << 36;  // u = N^3
+  p.capacity = std::uint64_t{1} << 12;       // N
+  p.beta = 0.5;
+  p.epsilon = 1.0 / 12;
+  SemiExplicitExpander g(p);
+  EXPECT_GE(g.levels(), 1u);
+  EXPECT_LE(g.right_size(),
+            p.capacity * static_cast<std::uint64_t>(g.degree()));
+  // Degree follows the Lemma 11 formula d_k = poly(log u / ε′)^k with the
+  // per-level degree ceil(log2 u / ε′).
+  double per_level = std::ceil(36.0 / g.per_level_epsilon());
+  EXPECT_LE(static_cast<double>(g.degree()),
+            std::pow(per_level, g.levels()) * 1.01);
+  // Internal memory is o(N · degree) words: the whole point of Theorem 12.
+  EXPECT_LT(g.internal_memory_words(),
+            p.capacity * static_cast<std::uint64_t>(g.degree()));
+  // Neighbors valid and deterministic.
+  auto ns = g.neighbors(123456789);
+  EXPECT_EQ(ns.size(), g.degree());
+  for (auto y : ns) EXPECT_LT(y, g.right_size());
+  EXPECT_EQ(ns, SemiExplicitExpander(p).neighbors(123456789));
+}
+
+TEST(SemiExplicit, LevelAccountingConsistent) {
+  SemiExplicitParams p;
+  p.universe_size = std::uint64_t{1} << 30;
+  p.capacity = 1 << 10;
+  p.beta = 0.4;
+  SemiExplicitExpander g(p);
+  const auto& levels = g.level_info();
+  ASSERT_EQ(levels.size(), g.levels());
+  std::uint64_t mem = 0;
+  std::uint64_t expected_degree = 1;
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(levels[i].left_size, levels[i - 1].right_size);
+    }
+    EXPECT_LT(levels[i].right_size, levels[i].left_size);
+    mem += levels[i].internal_memory_words;
+    expected_degree *= levels[i].degree;
+  }
+  EXPECT_EQ(mem, g.internal_memory_words());
+  EXPECT_EQ(expected_degree, g.degree());
+  EXPECT_GT(g.per_level_epsilon(), 0.0);
+}
+
+TEST(SemiExplicit, RejectsDegenerateParameters) {
+  SemiExplicitParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 1 << 10;
+  p.beta = 1.5;
+  EXPECT_THROW(SemiExplicitExpander{p}, std::invalid_argument);
+  p.beta = 0.5;
+  p.epsilon = 0.0;
+  EXPECT_THROW(SemiExplicitExpander{p}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pddict::expander

@@ -1,0 +1,202 @@
+// Tests for the extension structures: the Section 6 multi-level wide
+// dictionary (1-I/O full-bandwidth lookups AND updates), the Section 4 intro
+// parallel-instances group (batch insertion at single-insert cost), and the
+// disk cost model.
+#include <gtest/gtest.h>
+
+#include "core/multilevel_wide.hpp"
+#include "core/parallel_group.hpp"
+#include "pdm/cost_model.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+// ---- MultiLevelWideDict (Section 6 sketch) ----
+
+pdm::DiskArray wide_disks() {
+  return pdm::DiskArray(pdm::Geometry{48, 64, 16, 0});  // 3 levels x 16 disks
+}
+
+MultiLevelWideParams ml_params(std::uint64_t n, std::size_t sigma) {
+  MultiLevelWideParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = n;
+  p.value_bytes = sigma;
+  p.degree = 16;
+  p.levels = 3;
+  return p;
+}
+
+TEST(MultiLevelWide, FullBandwidthOneIoLookupAndUpdate) {
+  auto disks = wide_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 600;
+  MultiLevelWideDict dict(disks, 0, alloc, ml_params(n, 400));
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 40, 3);
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    ASSERT_TRUE(dict.insert(k, value_for_key(k, 400)));
+    EXPECT_EQ(probe.ios(), 2u) << "Section 6 goal: constant-I/O updates";
+  }
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k);
+    EXPECT_EQ(probe.ios(), 1u) << "one-probe full-bandwidth lookup";
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, value_for_key(k, 400));
+  }
+  pdm::IoProbe probe(disks);
+  EXPECT_FALSE(dict.lookup(123456789).found);
+  EXPECT_EQ(probe.ios(), 1u);
+}
+
+TEST(MultiLevelWide, SpillsCascadeThroughLevels) {
+  auto disks = wide_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 1200;
+  auto p = ml_params(n, 64);
+  p.cap_fraction = 0.3;  // tight caps force spills
+  MultiLevelWideDict dict(disks, 0, alloc, p);
+  for (Key k = 1; k <= n; ++k)
+    ASSERT_TRUE(dict.insert(k, value_for_key(k, 64)));
+  const auto& pop = dict.level_population();
+  EXPECT_GT(pop[0], pop[1]);
+  std::uint64_t total = 0;
+  for (auto c : pop) total += c;
+  EXPECT_EQ(total, n);
+  for (Key k = 1; k <= n; ++k) ASSERT_TRUE(dict.lookup(k).found) << k;
+}
+
+TEST(MultiLevelWide, EraseAndDuplicates) {
+  auto disks = wide_disks();
+  pdm::DiskAllocator alloc;
+  MultiLevelWideDict dict(disks, 0, alloc, ml_params(100, 128));
+  EXPECT_TRUE(dict.insert(5, value_for_key(5, 128)));
+  EXPECT_FALSE(dict.insert(5, value_for_key(5, 128, 1)));
+  EXPECT_TRUE(dict.erase(5));
+  EXPECT_FALSE(dict.erase(5));
+  EXPECT_FALSE(dict.lookup(5).found);
+  EXPECT_TRUE(dict.insert(5, value_for_key(5, 128, 2)));
+  EXPECT_EQ(dict.lookup(5).value, value_for_key(5, 128, 2));
+}
+
+TEST(MultiLevelWide, RejectsBadShapes) {
+  auto disks = wide_disks();
+  pdm::DiskAllocator alloc;
+  auto p = ml_params(100, 64);
+  p.levels = 1;
+  EXPECT_THROW(MultiLevelWideDict(disks, 0, alloc, p), std::invalid_argument);
+  p.levels = 4;  // 4*16 = 64 > 48 disks
+  EXPECT_THROW(MultiLevelWideDict(disks, 0, alloc, p), std::invalid_argument);
+}
+
+// ---- ParallelDictGroup (Section 4 intro) ----
+
+TEST(ParallelGroup, BatchInsertCostsOneInsertion) {
+  pdm::DiskArray disks(pdm::Geometry{64, 64, 16, 0});  // 4 instances x 16
+  pdm::DiskAllocator alloc;
+  ParallelGroupParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = 4000;
+  p.value_bytes = 8;
+  p.degree = 16;
+  p.instances = 4;
+  ParallelDictGroup group(disks, 0, alloc, p);
+
+  // Find 4 keys with pairwise distinct instances.
+  std::vector<ParallelDictGroup::BatchItem> batch;
+  std::vector<std::vector<std::byte>> values;
+  std::vector<bool> seen(4, false);
+  for (Key k = 1; batch.size() < 4; ++k) {
+    std::uint32_t inst = group.instance_of(k);
+    if (seen[inst]) continue;
+    seen[inst] = true;
+    values.push_back(value_for_key(k, 8));
+    batch.push_back({k, values.back()});
+  }
+  pdm::IoProbe probe(disks);
+  auto results = group.insert_batch(batch);
+  EXPECT_EQ(probe.ios(), 2u)
+      << "c keys on distinct instances = cost of ONE insertion";
+  for (bool ok : results) EXPECT_TRUE(ok);
+  for (const auto& item : batch) {
+    pdm::IoProbe lp(disks);
+    auto r = group.lookup(item.key);
+    EXPECT_EQ(lp.ios(), 1u);
+    ASSERT_TRUE(r.found);
+  }
+}
+
+TEST(ParallelGroup, CollidingBatchSerializesPerWave) {
+  pdm::DiskArray disks(pdm::Geometry{32, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  ParallelGroupParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = 1000;
+  p.value_bytes = 8;
+  p.degree = 16;
+  p.instances = 2;
+  ParallelDictGroup group(disks, 0, alloc, p);
+  // Three keys forced onto the same instance → 2 waves minimum for 3 items...
+  std::vector<Key> same;
+  for (Key k = 1; same.size() < 3; ++k)
+    if (group.instance_of(k) == 0) same.push_back(k);
+  std::vector<std::vector<std::byte>> values;
+  std::vector<ParallelDictGroup::BatchItem> batch;
+  for (Key k : same) {
+    values.push_back(value_for_key(k, 8));
+    batch.push_back({k, values.back()});
+  }
+  pdm::IoProbe probe(disks);
+  auto results = group.insert_batch(batch);
+  EXPECT_EQ(probe.ios(), 6u) << "3 colliding items = 3 waves of 2 I/Os";
+  for (bool ok : results) EXPECT_TRUE(ok);
+}
+
+TEST(ParallelGroup, StandardDictionarySemantics) {
+  pdm::DiskArray disks(pdm::Geometry{32, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  ParallelGroupParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = 2000;
+  p.value_bytes = 16;
+  p.degree = 16;
+  p.instances = 2;
+  ParallelDictGroup group(disks, 0, alloc, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      1000, std::uint64_t{1} << 40, 5);
+  for (Key k : keys) ASSERT_TRUE(group.insert(k, value_for_key(k, 16)));
+  EXPECT_EQ(group.size(), 1000u);
+  for (Key k : keys) EXPECT_EQ(group.lookup(k).value, value_for_key(k, 16));
+  EXPECT_FALSE(group.insert(keys[0], value_for_key(keys[0], 16)));
+  EXPECT_TRUE(group.erase(keys[0]));
+  EXPECT_FALSE(group.lookup(keys[0]).found);
+  // Duplicate detection inside insert_batch too.
+  std::vector<std::vector<std::byte>> vals{value_for_key(keys[1], 16)};
+  std::vector<ParallelDictGroup::BatchItem> batch{{keys[1], vals[0]}};
+  auto res = group.insert_batch(batch);
+  EXPECT_FALSE(res[0]);
+}
+
+// ---- DiskCostModel ----
+
+TEST(CostModel, TranslatesRoundsToTime) {
+  pdm::Geometry geom{16, 64, 16, 0};  // 1 KiB blocks
+  pdm::IoStats io;
+  io.parallel_ios = 100;
+  auto spin = pdm::DiskCostModel::spinning();
+  auto nvme = pdm::DiskCostModel::nvme();
+  double spin_ms = spin.elapsed_ms(io, geom);
+  double nvme_ms = nvme.elapsed_ms(io, geom);
+  // 100 rounds x (8ms + 6.7ms * 1/1024) ≈ 800ms on spinning disks.
+  EXPECT_NEAR(spin_ms, 100 * (8.0 + 6.7 / 1024.0), 1e-9);
+  EXPECT_LT(nvme_ms, spin_ms / 50);
+  // Zero I/O → zero time.
+  EXPECT_EQ(spin.elapsed_ms(pdm::IoStats{}, geom), 0.0);
+}
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,134 @@
+// Tests for the file-backed block storage: raw backend semantics, identical
+// I/O accounting, and dictionary persistence across "process restarts"
+// (reopening the same directory with the same deterministic parameters).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/basic_dict.hpp"
+#include "pdm/file_backend.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::pdm {
+namespace {
+
+class FileBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pddict_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->line()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileBackendTest, RawRoundTripAndFreshZeroSemantics) {
+  Geometry geom{4, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  Block b(geom.block_bytes(), std::byte{0x5a});
+  backend.store({2, 100}, b);
+  EXPECT_EQ(backend.load({2, 100}), b);
+  // Never-written blocks (including holes before EOF) read zero.
+  Block zero(geom.block_bytes(), std::byte{0});
+  EXPECT_EQ(backend.load({2, 50}), zero);
+  EXPECT_EQ(backend.load({3, 0}), zero);
+  // Erase restores zero.
+  backend.erase_range(2, 1, 100, 1);
+  EXPECT_EQ(backend.load({2, 100}), zero);
+}
+
+TEST_F(FileBackendTest, AccountingIdenticalToMemoryBackend) {
+  Geometry geom{4, 16, 8, 0};
+  DiskArray file_disks(geom, Model::kParallelDisks,
+                       std::make_unique<FileBackend>(geom, dir_.string()));
+  DiskArray mem_disks(geom);
+  std::vector<BlockAddr> addrs{{0, 0}, {1, 0}, {1, 1}, {3, 7}};
+  std::vector<Block> out;
+  EXPECT_EQ(file_disks.read_batch(addrs, out),
+            mem_disks.read_batch(addrs, out));
+  EXPECT_EQ(file_disks.stats().parallel_ios, mem_disks.stats().parallel_ios);
+}
+
+TEST_F(FileBackendTest, DataSurvivesReopen) {
+  Geometry geom{4, 16, 8, 0};
+  Block b(geom.block_bytes(), std::byte{0x7e});
+  {
+    FileBackend backend(geom, dir_.string());
+    backend.store({1, 42}, b);
+  }  // closed
+  FileBackend reopened(geom, dir_.string());
+  EXPECT_EQ(reopened.load({1, 42}), b);
+  EXPECT_GT(reopened.blocks_in_use(), 0u);
+}
+
+TEST_F(FileBackendTest, DictionaryPersistsAcrossRestart) {
+  Geometry geom{16, 64, 16, 0};
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 500;
+  p.value_bytes = 8;
+  p.degree = 16;
+  p.seed = 0xfeed;  // the structure is deterministic in (params, seed)
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 400,
+                                      p.universe_size, 6);
+  {
+    DiskArray disks(geom, Model::kParallelDisks,
+                    std::make_unique<FileBackend>(geom, dir_.string()));
+    core::BasicDict dict(disks, 0, 0, p);
+    for (auto k : keys) ASSERT_TRUE(dict.insert(k, core::value_for_key(k, 8)));
+  }  // "process exits"
+
+  DiskArray disks(geom, Model::kParallelDisks,
+                  std::make_unique<FileBackend>(geom, dir_.string()));
+  core::BasicDict dict(disks, 0, 0, p);  // same params + seed + layout
+  dict.recover_size();
+  EXPECT_EQ(dict.size(), 400u);
+  for (auto k : keys) {
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, core::value_for_key(k, 8));
+  }
+  EXPECT_FALSE(dict.lookup(999999999).found);
+  // And it remains fully operational.
+  EXPECT_TRUE(dict.insert(424243, core::value_for_key(424243, 8)));
+  EXPECT_TRUE(dict.erase(keys[0]));
+}
+
+TEST_F(FileBackendTest, WrongSeedFindsNothing) {
+  // Determinism cuts both ways: reopening with a different expander seed
+  // probes different buckets and must simply miss (not crash).
+  Geometry geom{16, 64, 16, 0};
+  core::BasicDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 50;
+  p.value_bytes = 8;
+  p.degree = 16;
+  p.seed = 1;
+  {
+    DiskArray disks(geom, Model::kParallelDisks,
+                    std::make_unique<FileBackend>(geom, dir_.string()));
+    core::BasicDict dict(disks, 0, 0, p);
+    dict.insert(7, core::value_for_key(7, 8));
+  }
+  p.seed = 2;
+  DiskArray disks(geom, Model::kParallelDisks,
+                  std::make_unique<FileBackend>(geom, dir_.string()));
+  core::BasicDict dict(disks, 0, 0, p);
+  // May or may not find it (one colliding bucket is possible); must not
+  // return a wrong value if found.
+  auto r = dict.lookup(7);
+  if (r.found) {
+    EXPECT_EQ(r.value, core::value_for_key(7, 8));
+  }
+}
+
+}  // namespace
+}  // namespace pddict::pdm

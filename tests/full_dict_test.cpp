@@ -1,0 +1,118 @@
+// Tests for the global-rebuilding wrapper (unbounded size + deletions).
+#include <gtest/gtest.h>
+
+#include "core/full_dict.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+pdm::DiskArray make_disks() {
+  return pdm::DiskArray(pdm::Geometry{32, 64, 16, 0});
+}
+
+FullDictParams params_for(std::size_t value_bytes = 8) {
+  FullDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.value_bytes = value_bytes;
+  p.degree = 16;
+  p.initial_capacity = 32;
+  return p;
+}
+
+TEST(FullDict, GrowsFarBeyondInitialCapacity) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  FullDict dict(disks, 0, alloc, params_for());
+  const std::uint64_t n = 2000;  // 62× the initial capacity
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 2);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  EXPECT_EQ(dict.size(), n);
+  EXPECT_GE(dict.rebuilds(), 4u);
+  for (Key k : keys) {
+    auto r = dict.lookup(k);
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, value_for_key(k, 8));
+  }
+}
+
+TEST(FullDict, OperationsHaveConstantWorstCaseIo) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  auto p = params_for();
+  FullDict dict(disks, 0, alloc, p);
+  std::uint64_t worst_insert = 0, worst_lookup = 0;
+  for (Key k = 1; k <= 3000; ++k) {
+    pdm::IoProbe probe(disks);
+    dict.insert(k, value_for_key(k, 8));
+    worst_insert = std::max(worst_insert, probe.ios());
+  }
+  for (Key k = 1; k <= 3000; k += 7) {
+    pdm::IoProbe probe(disks);
+    dict.lookup(k);
+    worst_lookup = std::max(worst_lookup, probe.ios());
+  }
+  EXPECT_EQ(worst_lookup, 1u) << "combined two-structure probe is 1 I/O";
+  // Insert: probe (1) + write (1) + migration of moves_per_op buckets, each a
+  // drain (2) + per-record inserts (2 each, bucket loads are small constants).
+  EXPECT_LE(worst_insert, 2u + 3u * p.moves_per_op * 4u);
+}
+
+TEST(FullDict, DeleteThenResurrectionImpossible) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  FullDict dict(disks, 0, alloc, params_for());
+  // Force interleaved deletes during migrations.
+  for (Key k = 1; k <= 500; ++k) dict.insert(k, value_for_key(k, 8));
+  for (Key k = 1; k <= 500; k += 2) EXPECT_TRUE(dict.erase(k));
+  for (Key k = 1; k <= 500; ++k) {
+    bool expected = (k % 2) == 0;
+    EXPECT_EQ(dict.lookup(k).found, expected) << k;
+  }
+  // Keep mutating so any pending migration completes; deleted keys must
+  // never reappear.
+  for (Key k = 1000; k < 1600; ++k) dict.insert(k, value_for_key(k, 8));
+  for (Key k = 1; k <= 500; k += 2) EXPECT_FALSE(dict.lookup(k).found) << k;
+}
+
+TEST(FullDict, TombstoneDominanceTriggersShrinkRebuild) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  FullDict dict(disks, 0, alloc, params_for());
+  for (Key k = 1; k <= 600; ++k) dict.insert(k, value_for_key(k, 8));
+  std::uint64_t before = dict.rebuilds();
+  for (Key k = 1; k <= 590; ++k) dict.erase(k);
+  EXPECT_GT(dict.rebuilds(), before);
+  for (Key k = 591; k <= 600; ++k) EXPECT_TRUE(dict.lookup(k).found);
+  EXPECT_EQ(dict.size(), 10u);
+}
+
+TEST(FullDict, ReinsertAfterEraseAcrossRebuilds) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  FullDict dict(disks, 0, alloc, params_for());
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 1; k <= 300; ++k)
+      EXPECT_TRUE(dict.insert(k, value_for_key(k, 8, round))) << round;
+    for (Key k = 1; k <= 300; ++k)
+      EXPECT_EQ(dict.lookup(k).value, value_for_key(k, 8, round));
+    for (Key k = 1; k <= 300; ++k) EXPECT_TRUE(dict.erase(k));
+  }
+  EXPECT_EQ(dict.size(), 0u);
+}
+
+TEST(FullDict, DuplicateRejectedAcrossStructures) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  FullDict dict(disks, 0, alloc, params_for());
+  for (Key k = 1; k <= 40; ++k) dict.insert(k, value_for_key(k, 8));
+  // Likely mid-migration now; duplicates must be caught wherever they live.
+  for (Key k = 1; k <= 40; ++k)
+    EXPECT_FALSE(dict.insert(k, value_for_key(k, 8, 1)));
+  EXPECT_EQ(dict.size(), 40u);
+}
+
+}  // namespace
+}  // namespace pddict::core

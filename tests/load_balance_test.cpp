@@ -1,0 +1,94 @@
+// Tests for the Section 3 deterministic load balancing scheme and Lemma 3.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/load_balance.hpp"
+#include "expander/seeded_expander.hpp"
+#include "expander/table_expander.hpp"
+
+namespace pddict::core {
+namespace {
+
+TEST(LoadBalancer, GreedyPicksLeastLoaded) {
+  // x has neighbors {0, 2} and {1, 3}; after loading bucket 0 manually via
+  // another vertex, x must avoid it.
+  std::vector<std::uint64_t> table{0, 2, 0, 3, 1, 2};
+  expander::TableExpander g(4, 2, table, true);
+  LoadBalancer lb(g, 1);
+  EXPECT_EQ(lb.assign(0), (std::vector<std::uint64_t>{0}));  // ties → lowest
+  EXPECT_EQ(lb.assign(1), (std::vector<std::uint64_t>{3}));  // avoids 0
+  EXPECT_EQ(lb.assign(2), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(lb.max_load(), 1u);
+  EXPECT_EQ(lb.total_items(), 3u);
+}
+
+TEST(LoadBalancer, MultipleItemsMaySharebucket) {
+  // One vertex, k=3 items, d=2 buckets: loads must be {2,1} or {1,2}.
+  std::vector<std::uint64_t> table{0, 1};
+  expander::TableExpander g(2, 2, table, true);
+  LoadBalancer lb(g, 3);
+  auto placed = lb.assign(0);
+  EXPECT_EQ(placed.size(), 3u);
+  EXPECT_EQ(lb.load(0) + lb.load(1), 3u);
+  EXPECT_EQ(lb.max_load(), 2u);
+}
+
+TEST(LoadBalancer, RejectsZeroK) {
+  auto g = expander::TableExpander::random(8, 4, 2, true, 1);
+  EXPECT_THROW(LoadBalancer(g, 0), std::invalid_argument);
+}
+
+TEST(Lemma3Bound, MatchesFormula) {
+  // kn/((1-δ)v)/(1-ε) + log_{(1-ε)d/k} v
+  double b = lemma3_bound(1000, 500, 16, 1, 0.25, 0.5);
+  double expected = (1000.0 / (0.5 * 500)) / 0.75 +
+                    std::log(500.0) / std::log(0.75 * 16);
+  EXPECT_NEAR(b, expected, 1e-9);
+  EXPECT_THROW(lemma3_bound(10, 10, 4, 4, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(lemma3_bound(10, 0, 4, 1, 0.1, 0.1), std::invalid_argument);
+}
+
+struct BalanceCase {
+  std::uint64_t n;
+  std::uint32_t d;
+  std::uint32_t k;
+};
+
+class BalanceSweep : public ::testing::TestWithParam<BalanceCase> {};
+
+TEST_P(BalanceSweep, MaxLoadWithinLemma3Bound) {
+  auto [n, d, k] = GetParam();
+  // v sized like the dictionaries do: enough buckets that average load is
+  // Θ(log n)-ish.
+  std::uint64_t v = std::max<std::uint64_t>(d, (k * n / 8 / d + 1) * d);
+  expander::SeededExpander g(std::uint64_t{1} << 30, v, d, 42 + n);
+  LoadBalancer lb(g, k);
+  util::SplitMix64 rng(n * 977 + d);
+  for (std::uint64_t i = 0; i < n; ++i) lb.assign(rng.next_below(g.left_size()));
+  // Compare against Lemma 3 with the ε/δ the paper's dictionaries use.
+  double bound = lemma3_bound(n, v, d, k, 1.0 / 6, 1.0 / 2);
+  EXPECT_LE(static_cast<double>(lb.max_load()), bound)
+      << "n=" << n << " d=" << d << " k=" << k << " v=" << v;
+  // And the trivial lower bound: max >= average.
+  EXPECT_GE(static_cast<double>(lb.max_load()),
+            static_cast<double>(k) * n / v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BalanceSweep,
+    ::testing::Values(BalanceCase{1 << 10, 8, 1}, BalanceCase{1 << 12, 8, 1},
+                      BalanceCase{1 << 14, 16, 1}, BalanceCase{1 << 12, 16, 4},
+                      BalanceCase{1 << 12, 16, 8}, BalanceCase{1 << 10, 32, 8},
+                      BalanceCase{1 << 13, 32, 16}));
+
+TEST(LoadBalancer, DeterministicAcrossRuns) {
+  expander::SeededExpander g(1 << 20, 16 * 256, 16, 9);
+  LoadBalancer a(g, 2), b(g, 2);
+  for (std::uint64_t x = 0; x < 500; ++x) EXPECT_EQ(a.assign(x), b.assign(x));
+  EXPECT_EQ(a.loads(), b.loads());
+}
+
+}  // namespace
+}  // namespace pddict::core

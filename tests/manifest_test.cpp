@@ -1,0 +1,105 @@
+// Tests for the store manifest (superblock) and open/close lifecycle.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/manifest.hpp"
+#include "pdm/file_backend.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::core {
+namespace {
+
+BasicDictParams cli_params() {
+  BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = 5000;
+  p.value_bytes = 16;
+  p.degree = 16;
+  p.seed = 0xabc;
+  return p;
+}
+
+TEST(Manifest, RoundTripAllFields) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  StoreManifest m;
+  m.params = cli_params();
+  m.params.load_headroom = 1.75;
+  m.params.bucket_blocks = 2;
+  m.base_block = 7;
+  m.record_count = 1234;
+  m.count_valid = true;
+  write_manifest(disks, m);
+  auto back = read_manifest(disks);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+TEST(Manifest, FreshDiskHasNone) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  EXPECT_FALSE(read_manifest(disks).has_value());
+}
+
+TEST(Manifest, OpenCreatesThenReopensWithPersistedParams) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  {
+    BasicDict store = open_store(disks, cli_params());
+    store.insert(1, value_for_key(1, 16));
+    store.insert(2, value_for_key(2, 16));
+    close_store(disks, store);
+  }
+  // Reopen with DIFFERENT fresh params: the persisted manifest must win.
+  BasicDictParams other = cli_params();
+  other.seed = 0xdead;
+  other.capacity = 99;
+  BasicDict store = open_store(disks, other);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.lookup(1).value, value_for_key(1, 16));
+  EXPECT_EQ(store.lookup(2).value, value_for_key(2, 16));
+}
+
+TEST(Manifest, CleanCloseSkipsRecoveryScanCrashDoesNot) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  {
+    BasicDict store = open_store(disks, cli_params());
+    for (Key k = 1; k <= 100; ++k) store.insert(k, value_for_key(k, 16));
+    close_store(disks, store);
+  }
+  {
+    pdm::IoProbe probe(disks);
+    BasicDict store = open_store(disks, cli_params());
+    EXPECT_EQ(store.size(), 100u);
+    EXPECT_LE(probe.ios(), 3u) << "clean open must not scan";
+    // "Crash": destroy without close_store.
+    store.insert(500, value_for_key(500, 16));
+  }
+  {
+    pdm::IoProbe probe(disks);
+    BasicDict store = open_store(disks, cli_params());
+    EXPECT_EQ(store.size(), 101u) << "crash recovery must rescan";
+    EXPECT_GT(probe.ios(), 10u);
+  }
+}
+
+TEST(Manifest, WorksOnFileBackendAcrossReopen) {
+  auto dir = std::filesystem::temp_directory_path() / "pddict_manifest_test";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  pdm::Geometry geom{16, 64, 16, 0};
+  {
+    pdm::DiskArray disks(geom, pdm::Model::kParallelDisks,
+                         std::make_unique<pdm::FileBackend>(geom, dir));
+    BasicDict store = open_store(disks, cli_params());
+    store.insert(77, value_for_key(77, 16));
+    close_store(disks, store);
+  }
+  pdm::DiskArray disks(geom, pdm::Model::kParallelDisks,
+                       std::make_unique<pdm::FileBackend>(geom, dir));
+  BasicDict store = open_store(disks, cli_params());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.lookup(77).found);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,310 @@
+// Tests for the parallel disk model simulator: I/O round accounting, striping,
+// record streams and the external sort.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "pdm/allocator.hpp"
+#include "pdm/block.hpp"
+#include "pdm/disk_array.hpp"
+#include "pdm/ext_sort.hpp"
+#include "pdm/record_stream.hpp"
+#include "pdm/striped_view.hpp"
+#include "util/prng.hpp"
+
+namespace pddict::pdm {
+namespace {
+
+Geometry small_geom(std::uint32_t disks = 4, std::uint32_t block_items = 8,
+                    std::uint32_t item_bytes = 8) {
+  return Geometry{disks, block_items, item_bytes, 0};
+}
+
+TEST(Geometry, DerivedQuantities) {
+  Geometry g{4, 16, 8, 0};
+  EXPECT_EQ(g.block_bytes(), 128u);
+  EXPECT_EQ(g.stripe_bytes(), 512u);
+  EXPECT_EQ(g.stripe_items(), 64u);
+  EXPECT_TRUE(g.valid());
+  EXPECT_FALSE((Geometry{0, 1, 1, 0}).valid());
+}
+
+TEST(DiskArray, ReadBackWhatWasWritten) {
+  DiskArray disks(small_geom());
+  Block b(disks.geometry().block_bytes(), std::byte{0});
+  store_pod<std::uint64_t>(b, 0, 0xdeadbeef);
+  disks.write_block({2, 5}, b);
+  Block r = disks.read_block({2, 5});
+  EXPECT_EQ(load_pod<std::uint64_t>(r, 0), 0xdeadbeefULL);
+}
+
+TEST(DiskArray, UnwrittenBlocksReadZero) {
+  DiskArray disks(small_geom());
+  Block r = disks.read_block({0, 1234});
+  for (auto byte : r) EXPECT_EQ(byte, std::byte{0});
+}
+
+TEST(DiskArray, OneBlockPerDiskIsOneParallelIo) {
+  DiskArray disks(small_geom(4));
+  std::vector<BlockAddr> addrs{{0, 0}, {1, 7}, {2, 3}, {3, 9}};
+  std::vector<Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 1u);
+  EXPECT_EQ(disks.stats().parallel_ios, 1u);
+  EXPECT_EQ(disks.stats().blocks_read, 4u);
+}
+
+TEST(DiskArray, SameDiskRequestsSerialize) {
+  DiskArray disks(small_geom(4));
+  std::vector<BlockAddr> addrs{{0, 0}, {0, 1}, {0, 2}, {1, 0}};
+  std::vector<Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 3u);  // three blocks on disk 0
+}
+
+TEST(DiskArray, DuplicateAddressesCountOnce) {
+  DiskArray disks(small_geom(4));
+  std::vector<BlockAddr> addrs{{0, 5}, {0, 5}, {0, 5}};
+  std::vector<Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 1u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(DiskArray, ParallelHeadModeCountsCeilOverD) {
+  DiskArray disks(small_geom(4), Model::kParallelHeads);
+  // 6 blocks, all on disk 0: the head model fetches any D=4 per round.
+  std::vector<BlockAddr> addrs;
+  for (std::uint64_t i = 0; i < 6; ++i) addrs.push_back({0, i});
+  std::vector<Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 2u);
+}
+
+TEST(DiskArray, WriteBatchLastWriteWins) {
+  DiskArray disks(small_geom());
+  Block b1(disks.geometry().block_bytes(), std::byte{1});
+  Block b2(disks.geometry().block_bytes(), std::byte{2});
+  std::vector<std::pair<BlockAddr, Block>> writes{{{1, 1}, b1}, {{1, 1}, b2}};
+  EXPECT_EQ(disks.write_batch(writes), 1u);
+  EXPECT_EQ(disks.peek({1, 1})[0], std::byte{2});
+}
+
+TEST(DiskArray, BoundsChecking) {
+  Geometry g{2, 4, 8, 10};
+  DiskArray disks(g);
+  EXPECT_THROW(disks.read_block({2, 0}), std::out_of_range);
+  EXPECT_THROW(disks.read_block({0, 10}), std::out_of_range);
+  EXPECT_THROW(disks.write_block({0, 0}, Block(3)), std::invalid_argument);
+}
+
+TEST(DiskArray, PeekAndPokeCostNoIo) {
+  DiskArray disks(small_geom());
+  disks.poke({0, 0}, Block(disks.geometry().block_bytes(), std::byte{7}));
+  Block b = disks.peek({0, 0});
+  EXPECT_EQ(b[0], std::byte{7});
+  EXPECT_EQ(disks.stats().parallel_ios, 0u);
+}
+
+TEST(DiskArray, DiscardReleasesBlocks) {
+  DiskArray disks(small_geom());
+  disks.poke({0, 3}, Block(disks.geometry().block_bytes(), std::byte{9}));
+  EXPECT_EQ(disks.blocks_in_use(), 1u);
+  disks.discard_blocks(0, 1, 3, 1);
+  EXPECT_EQ(disks.blocks_in_use(), 0u);
+  EXPECT_EQ(disks.peek({0, 3})[0], std::byte{0});
+}
+
+TEST(IoProbe, MeasuresDelta) {
+  DiskArray disks(small_geom());
+  disks.read_block({0, 0});
+  IoProbe probe(disks);
+  disks.read_block({0, 1});
+  disks.write_block({1, 0}, Block(disks.geometry().block_bytes()));
+  EXPECT_EQ(probe.ios(), 2u);
+  EXPECT_EQ(probe.delta().read_rounds, 1u);
+  EXPECT_EQ(probe.delta().write_rounds, 1u);
+  probe.reset();
+  EXPECT_EQ(probe.ios(), 0u);
+}
+
+TEST(StripedView, RoundTripAndCost) {
+  DiskArray disks(small_geom(4, 8, 8));
+  StripedView view(disks, 10, 5);
+  std::vector<std::byte> data(view.logical_block_bytes());
+  util::SplitMix64 rng(5);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next() & 0xff);
+  view.write(3, data);
+  EXPECT_EQ(disks.stats().parallel_ios, 1u);
+  EXPECT_EQ(view.read(3), data);
+  EXPECT_EQ(disks.stats().parallel_ios, 2u);
+  EXPECT_THROW(view.read(5), std::out_of_range);
+}
+
+TEST(RecordStream, WriteThenReadBack) {
+  DiskArray disks(small_geom(4, 8, 8));
+  StripedView view(disks, 0, 0);
+  const std::size_t rec = 24;
+  RecordWriter w(view, 0, rec);
+  std::vector<std::byte> buf(rec);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    std::memcpy(buf.data(), &i, 8);
+    w.push(buf);
+  }
+  w.finish();
+  RecordReader r(view, 0, 100, rec);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_FALSE(r.exhausted());
+    std::uint64_t got;
+    std::memcpy(&got, r.head().data(), 8);
+    EXPECT_EQ(got, i);
+    r.pop();
+  }
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Allocator, MonotonicNonOverlapping) {
+  DiskAllocator alloc(100);
+  EXPECT_EQ(alloc.reserve(10), 100u);
+  EXPECT_EQ(alloc.reserve(0), 110u);
+  EXPECT_EQ(alloc.reserve(5), 110u);
+  EXPECT_EQ(alloc.high_water_mark(), 115u);
+}
+
+// ---- external sort ----
+
+struct SortCase {
+  std::uint64_t num_records;
+  std::size_t record_bytes;
+  std::size_t memory_bytes;
+};
+
+class ExtSortTest : public ::testing::TestWithParam<SortCase> {};
+
+TEST_P(ExtSortTest, SortsArbitraryData) {
+  auto [n, rec, mem] = GetParam();
+  DiskArray disks(small_geom(4, 16, 8));
+  DiskAllocator alloc;
+  std::uint64_t blocks =
+      n / records_per_logical_block(disks.geometry(), rec) + 2;
+  StripedView in(disks, alloc.reserve(blocks), blocks);
+  StripedView scratch(disks, alloc.reserve(blocks), blocks);
+
+  util::SplitMix64 rng(n * 31 + rec);
+  std::vector<std::byte> data(n * rec);
+  std::vector<std::uint64_t> keys(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    keys[i] = rng.next_below(n / 2 + 1);  // force duplicates
+    std::memcpy(data.data() + i * rec, &keys[i], 8);
+    data[i * rec + 8] = static_cast<std::byte>(i & 0xff);  // payload marker
+  }
+  write_records(in, data, rec);
+  auto key_fn = [](std::span<const std::byte> r) {
+    std::uint64_t k;
+    std::memcpy(&k, r.data(), 8);
+    return k;
+  };
+  SortStats st = external_sort(in, scratch, n, rec, key_fn, mem);
+  EXPECT_GE(st.initial_runs, 1u);
+
+  std::vector<std::byte> out = read_records(in, n, rec);
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, out.data() + i * rec, 8);
+    EXPECT_GE(k, prev);
+    prev = k;
+  }
+  // Same multiset of keys.
+  std::vector<std::uint64_t> sorted_in = keys, sorted_out(n);
+  std::sort(sorted_in.begin(), sorted_in.end());
+  for (std::uint64_t i = 0; i < n; ++i)
+    std::memcpy(&sorted_out[i], out.data() + i * rec, 8);
+  EXPECT_EQ(sorted_in, sorted_out);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, ExtSortTest,
+    ::testing::Values(SortCase{1, 16, 4096}, SortCase{10, 16, 4096},
+                      SortCase{500, 16, 2048}, SortCase{500, 24, 2048},
+                      SortCase{2000, 16, 2048}, SortCase{333, 40, 1600},
+                      SortCase{4096, 16, 8192}));
+
+TEST(ExtSort, StableOnEqualKeys) {
+  DiskArray disks(small_geom(2, 8, 8));
+  DiskAllocator alloc;
+  const std::size_t rec = 16;
+  const std::uint64_t n = 300;
+  std::uint64_t blocks = n / records_per_logical_block(disks.geometry(), rec) + 2;
+  StripedView in(disks, alloc.reserve(blocks), blocks);
+  StripedView scratch(disks, alloc.reserve(blocks), blocks);
+  std::vector<std::byte> data(n * rec);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k = i % 3;  // heavy duplication
+    std::memcpy(data.data() + i * rec, &k, 8);
+    std::memcpy(data.data() + i * rec + 8, &i, 8);  // original index
+  }
+  write_records(in, data, rec);
+  external_sort(in, scratch, n, rec,
+                [](std::span<const std::byte> r) {
+                  std::uint64_t k;
+                  std::memcpy(&k, r.data(), 8);
+                  return k;
+                },
+                1024);
+  auto out = read_records(in, n, rec);
+  std::uint64_t prev_key = 0, prev_idx = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k, idx;
+    std::memcpy(&k, out.data() + i * rec, 8);
+    std::memcpy(&idx, out.data() + i * rec + 8, 8);
+    if (!first && k == prev_key) {
+      EXPECT_GT(idx, prev_idx) << "instability";
+    }
+    prev_key = k;
+    prev_idx = idx;
+    first = false;
+  }
+}
+
+TEST(ExtSort, IoScalesWithDataNotQuadratically) {
+  DiskArray disks(small_geom(4, 16, 8));
+  DiskAllocator alloc;
+  const std::size_t rec = 16;
+  const std::uint64_t n = 4000;
+  std::uint64_t blocks = n / records_per_logical_block(disks.geometry(), rec) + 2;
+  StripedView in(disks, alloc.reserve(blocks), blocks);
+  StripedView scratch(disks, alloc.reserve(blocks), blocks);
+  std::vector<std::byte> data(n * rec);
+  util::SplitMix64 rng(1);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k = rng.next();
+    std::memcpy(data.data() + i * rec, &k, 8);
+  }
+  write_records(in, data, rec);
+  SortStats st = external_sort(in, scratch, n, rec,
+                               [](std::span<const std::byte> r) {
+                                 std::uint64_t k;
+                                 std::memcpy(&k, r.data(), 8);
+                                 return k;
+                               },
+                               8192);
+  std::uint64_t data_blocks =
+      n / records_per_logical_block(disks.geometry(), rec) + 1;
+  // Each pass reads + writes the data once; a handful of passes at most.
+  EXPECT_LE(st.io.parallel_ios, 2 * data_blocks * (st.merge_passes + 2));
+  EXPECT_LE(st.merge_passes, 6u);
+}
+
+TEST(ExtSort, EmptyAndRecordTooLarge) {
+  DiskArray disks(small_geom(2, 4, 8));
+  DiskAllocator alloc;
+  StripedView in(disks, alloc.reserve(4), 4);
+  StripedView scratch(disks, alloc.reserve(4), 4);
+  auto key_fn = [](std::span<const std::byte>) { return std::uint64_t{0}; };
+  SortStats st = external_sort(in, scratch, 0, 16, key_fn, 1024);
+  EXPECT_EQ(st.io.parallel_ios, 0u);
+  EXPECT_THROW(records_per_logical_block(disks.geometry(), 100000),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pddict::pdm

@@ -1,0 +1,265 @@
+// Property-style parameterized sweeps over the library's invariants:
+// codec round-trips under random operation sequences, statistical properties
+// of the hash family, sorting under adversarial input orders, and
+// static-dictionary invariants across its parameter space.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "core/static_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/ext_sort.hpp"
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict {
+namespace {
+
+// ---- BitVector fuzz: random field writes vs. a reference bit model ----
+
+class BitVectorFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVectorFuzz, MatchesReferenceModel) {
+  util::SplitMix64 rng(GetParam());
+  const std::size_t bits = 777;
+  util::BitVector bv(bits);
+  std::vector<bool> ref(bits, false);
+  for (int op = 0; op < 2000; ++op) {
+    unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
+    std::size_t pos = rng.next_below(bits - width);
+    std::uint64_t value = rng.next();
+    if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+    bv.set_field(pos, width, value);
+    for (unsigned i = 0; i < width; ++i) ref[pos + i] = (value >> i) & 1;
+    // Verify a random window.
+    unsigned w2 = 1 + static_cast<unsigned>(rng.next_below(64));
+    std::size_t p2 = rng.next_below(bits - w2);
+    std::uint64_t got = bv.get_field(p2, w2);
+    for (unsigned i = 0; i < w2; ++i)
+      ASSERT_EQ((got >> i) & 1, static_cast<std::uint64_t>(ref[p2 + i]))
+          << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitVectorFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 99, 1234));
+
+// ---- unary + field mixed codec fuzz ----
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, WriterReaderAgreeOnRandomStreams) {
+  util::SplitMix64 rng(GetParam());
+  util::BitVector bv(4096);
+  struct Item {
+    bool unary;
+    std::uint64_t value;
+    unsigned width;
+  };
+  std::vector<Item> items;
+  util::BitWriter w(bv, 7, 4096);
+  while (w.remaining() > 128) {
+    if (rng.next_below(2)) {
+      std::uint64_t v = rng.next_below(40);
+      w.write_unary(v);
+      items.push_back({true, v, 0});
+    } else {
+      unsigned width = 1 + static_cast<unsigned>(rng.next_below(64));
+      std::uint64_t v = rng.next();
+      if (width < 64) v &= (std::uint64_t{1} << width) - 1;
+      w.write_field(width, v);
+      items.push_back({false, v, width});
+    }
+  }
+  util::BitReader r(bv, 7, 4096);
+  for (const auto& item : items) {
+    if (item.unary)
+      ASSERT_EQ(r.read_unary(), item.value);
+    else
+      ASSERT_EQ(r.read_field(item.width), item.value);
+  }
+  EXPECT_EQ(r.position(), w.position());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Values(11, 22, 33, 44));
+
+// ---- PolyHash: empirical pairwise independence ----
+
+TEST(PolyHashProperty, PairwiseCollisionRateMatchesUniform) {
+  // For a 2-wise independent family, Pr[h(x) = h(y)] = 1/range for x != y.
+  const std::uint64_t range = 256;
+  const int trials = 60000;
+  util::SplitMix64 rng(5);
+  int collisions = 0;
+  util::PolyHash h(2, range, 777);
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t x = rng.next(), y = rng.next();
+    if (x == y) continue;
+    collisions += (h(x) == h(y));
+  }
+  double rate = static_cast<double>(collisions) / trials;
+  EXPECT_NEAR(rate, 1.0 / range, 1.5e-3);
+}
+
+TEST(PolyHashProperty, HigherIndependenceStillUniformPerBucket) {
+  const std::uint64_t range = 32;
+  util::PolyHash h(16, range, 9);
+  std::vector<int> counts(range, 0);
+  for (std::uint64_t x = 0; x < 32000; ++x) ++counts[h(x * 2654435761u)];
+  for (int c : counts) EXPECT_NEAR(c, 1000, 250);
+}
+
+// ---- external sort under adversarial input orders ----
+
+class SortOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SortOrderTest, SortsRegardlessOfInputOrder) {
+  pdm::DiskArray disks(pdm::Geometry{4, 16, 8, 0});
+  pdm::DiskAllocator alloc;
+  const std::size_t rec = 16;
+  const std::uint64_t n = 1500;
+  std::uint64_t blocks =
+      n / pdm::records_per_logical_block(disks.geometry(), rec) + 2;
+  pdm::StripedView in(disks, alloc.reserve(blocks), blocks);
+  pdm::StripedView scratch(disks, alloc.reserve(blocks), blocks);
+  std::vector<std::uint64_t> keys(n);
+  switch (GetParam()) {
+    case 0:  // already sorted
+      for (std::uint64_t i = 0; i < n; ++i) keys[i] = i;
+      break;
+    case 1:  // reverse sorted
+      for (std::uint64_t i = 0; i < n; ++i) keys[i] = n - i;
+      break;
+    case 2:  // all equal
+      std::fill(keys.begin(), keys.end(), 7);
+      break;
+    case 3: {  // organ pipe
+      for (std::uint64_t i = 0; i < n; ++i)
+        keys[i] = i < n / 2 ? i : n - i;
+      break;
+    }
+    default: {  // few distinct values
+      util::SplitMix64 rng(3);
+      for (auto& k : keys) k = rng.next_below(4);
+      break;
+    }
+  }
+  std::vector<std::byte> data(n * rec);
+  for (std::uint64_t i = 0; i < n; ++i)
+    std::memcpy(data.data() + i * rec, &keys[i], 8);
+  pdm::write_records(in, data, rec);
+  pdm::external_sort(in, scratch, n, rec,
+                     [](std::span<const std::byte> r) {
+                       std::uint64_t k;
+                       std::memcpy(&k, r.data(), 8);
+                       return k;
+                     },
+                     1024);
+  auto out = pdm::read_records(in, n, rec);
+  std::sort(keys.begin(), keys.end());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k;
+    std::memcpy(&k, out.data() + i * rec, 8);
+    ASSERT_EQ(k, keys[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, SortOrderTest, ::testing::Range(0, 5));
+
+// ---- static dictionary invariants across its parameter space ----
+
+struct StaticParamCase {
+  double stripe_factor;
+  core::BuildAlgorithm algorithm;
+  core::StaticLayout layout;
+  std::uint32_t degree;
+};
+
+class StaticParamSweep : public ::testing::TestWithParam<StaticParamCase> {};
+
+TEST_P(StaticParamSweep, OneProbeInvariantAcrossParameterSpace) {
+  auto [factor, algorithm, layout, degree] = GetParam();
+  pdm::DiskArray disks(pdm::Geometry{2 * degree, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  core::StaticDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 400;
+  p.value_bytes = 16;
+  p.degree = degree;
+  p.layout = layout;
+  p.algorithm = algorithm;
+  p.stripe_factor = factor;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 400,
+                                      p.universe_size, degree * 7);
+  std::vector<std::byte> values;
+  for (auto k : keys) {
+    auto v = core::value_for_key(k, 16);
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  core::StaticDict dict(disks, 0, alloc, p, keys, values);
+  for (auto k : keys) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k);
+    ASSERT_EQ(probe.ios(), 1u);
+    ASSERT_TRUE(r.found);
+    ASSERT_EQ(r.value, core::value_for_key(k, 16));
+  }
+  // Uniqueness of field ownership: total assigned fields = n * need.
+  EXPECT_EQ(dict.build_stats().assigned_fields,
+            400u * dict.fields_required());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, StaticParamSweep,
+    ::testing::Values(
+        StaticParamCase{8.0, core::BuildAlgorithm::kSortBased,
+                        core::StaticLayout::kIdentifiers, 16},
+        StaticParamCase{4.0, core::BuildAlgorithm::kSortBased,
+                        core::StaticLayout::kHeadPointers, 16},
+        StaticParamCase{2.5, core::BuildAlgorithm::kSortBased,
+                        core::StaticLayout::kIdentifiers, 16},
+        StaticParamCase{4.0, core::BuildAlgorithm::kDirect,
+                        core::StaticLayout::kIdentifiers, 16},
+        StaticParamCase{4.0, core::BuildAlgorithm::kDirect,
+                        core::StaticLayout::kHeadPointers, 16},
+        StaticParamCase{4.0, core::BuildAlgorithm::kSortBased,
+                        core::StaticLayout::kIdentifiers, 24},
+        StaticParamCase{4.0, core::BuildAlgorithm::kDirect,
+                        core::StaticLayout::kIdentifiers, 32}));
+
+// ---- workload determinism across modules ----
+
+TEST(Determinism, EndToEndRunsAreBitIdentical) {
+  // Two complete runs of the same seeded pipeline must produce identical
+  // disk images — the property every EXPERIMENTS.md number relies on.
+  auto run = [] {
+    pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+    core::BasicDictParams p;
+    p.universe_size = 1 << 24;
+    p.capacity = 500;
+    p.value_bytes = 8;
+    p.degree = 16;
+    core::BasicDict dict(disks, 0, 0, p);
+    auto keys = workload::generate_keys(workload::KeyPattern::kClustered, 500,
+                                        1 << 24, 42);
+    for (auto k : keys) dict.insert(k, core::value_for_key(k, 8));
+    for (auto k : keys)
+      if (k % 3 == 0) dict.erase(k);
+    // Serialize the reachable image.
+    std::vector<std::byte> image;
+    for (std::uint32_t d = 0; d < 16; ++d)
+      for (std::uint64_t b = 0; b < dict.blocks_per_disk(); ++b) {
+        auto blk = disks.peek({d, b});
+        image.insert(image.end(), blk.begin(), blk.end());
+      }
+    return image;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pddict

@@ -1,0 +1,175 @@
+// Robustness and failure-injection tests: corrupted on-disk state must be
+// detected (not silently decoded), capacity-bounded disks must surface
+// errors, and the structures must behave across a sweep of PDM geometries.
+#include <gtest/gtest.h>
+
+#include "core/basic_dict.hpp"
+#include "core/dynamic_dict.hpp"
+#include "core/static_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+// ---- corruption injection ----
+
+TEST(Corruption, StaticDictDetectsMangledFields) {
+  pdm::DiskArray disks(pdm::Geometry{32, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  StaticDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 200;
+  p.value_bytes = 16;
+  p.degree = 16;
+  p.layout = StaticLayout::kIdentifiers;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 200,
+                                      p.universe_size, 9);
+  std::vector<std::byte> values;
+  for (Key k : keys) {
+    auto v = value_for_key(k, 16);
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  StaticDict dict(disks, 0, alloc, p, keys, values);
+  ASSERT_TRUE(dict.lookup(keys[0]).found);
+
+  // Zero one of keys[0]'s field blocks: one slice disappears, so the
+  // identifier loses its strict majority count of exactly need fields.
+  // The decoder must notice the inconsistency rather than return garbage.
+  bool detected_or_missing = false;
+  for (std::uint32_t disk = 0; disk < 16 && !detected_or_missing; ++disk) {
+    // Find a block on this disk holding data (sparse store): mangle the
+    // first one the structure wrote.
+    pdm::Block zero(disks.geometry().block_bytes(), std::byte{0});
+    // Probe blocks of keys[0] live at its neighbor addresses; zero them one
+    // at a time until decoding changes behaviour.
+    // (Addresses are internal; we reach them by brute force over the field
+    // array region: block 0..4 of each disk.)
+    for (std::uint64_t b = 0; b < 5; ++b) {
+      pdm::Block orig = disks.peek({disk, b});
+      disks.poke({disk, b}, zero);
+      try {
+        auto r = dict.lookup(keys[0]);
+        if (!r.found || r.value != value_for_key(keys[0], 16))
+          detected_or_missing = true;  // corruption changed the answer shape
+      } catch (const std::logic_error&) {
+        detected_or_missing = true;    // or was detected loudly — also fine
+      }
+      disks.poke({disk, b}, orig);
+    }
+  }
+  EXPECT_TRUE(detected_or_missing)
+      << "zeroing field blocks must not be silently survivable";
+  // After restoring everything, lookups are intact.
+  EXPECT_EQ(dict.lookup(keys[0]).value, value_for_key(keys[0], 16));
+}
+
+TEST(Corruption, BasicDictCountFieldMangled) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  BasicDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 100;
+  p.value_bytes = 8;
+  p.degree = 16;
+  BasicDict dict(disks, 0, 0, p);
+  dict.insert(5, value_for_key(5, 8));
+  // Zeroing the bucket that holds key 5 makes it a miss, never a crash.
+  for (std::uint32_t disk = 0; disk < 16; ++disk)
+    for (std::uint64_t b = 0; b < dict.blocks_per_disk(); ++b)
+      disks.poke({disk, b},
+                 pdm::Block(disks.geometry().block_bytes(), std::byte{0}));
+  EXPECT_FALSE(dict.lookup(5).found);
+}
+
+// ---- bounded disks surface errors ----
+
+TEST(BoundedDisks, StructuresFailLoudlyBeyondCapacity) {
+  // Disk with only 2 blocks per disk: the dictionary needs more.
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 2});
+  BasicDictParams p;
+  p.universe_size = 1 << 20;
+  p.capacity = 10000;  // needs many buckets per stripe
+  p.value_bytes = 8;
+  p.degree = 16;
+  BasicDict dict(disks, 0, 0, p);
+  EXPECT_THROW(
+      {
+        for (Key k = 1; k < 5000; ++k) dict.insert(k, value_for_key(k, 8));
+      },
+      std::out_of_range);
+}
+
+// ---- geometry sweep (property-style) ----
+
+struct GeomCase {
+  std::uint32_t disks, block_items, item_bytes;
+  std::uint64_t n;
+};
+
+class GeometrySweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(GeometrySweep, BasicDictHoldsGuaranteesEverywhere) {
+  auto [d, items, item_bytes, n] = GetParam();
+  pdm::DiskArray disks(pdm::Geometry{d, items, item_bytes, 0});
+  BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = n;
+  p.value_bytes = 8;
+  p.degree = d;
+  BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      p.universe_size, d * 1000 + items);
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+    ASSERT_EQ(probe.ios(), 2u) << "d=" << d << " B=" << items;
+  }
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    ASSERT_TRUE(dict.lookup(k).found);
+    ASSERT_EQ(probe.ios(), 1u);
+  }
+  EXPECT_LE(dict.peek_max_load(), dict.bucket_capacity());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweep,
+    ::testing::Values(GeomCase{8, 64, 16, 1000},   // few big-block disks
+                      GeomCase{16, 64, 16, 2000},  // baseline
+                      GeomCase{32, 64, 16, 2000},  // many disks
+                      GeomCase{16, 16, 16, 1000},  // small blocks
+                      GeomCase{16, 128, 8, 2000},  // small items
+                      GeomCase{16, 32, 64, 800},   // fat items
+                      GeomCase{64, 8, 32, 500}));  // extreme width
+
+class DynamicGeometrySweep : public ::testing::TestWithParam<GeomCase> {};
+
+TEST_P(DynamicGeometrySweep, DynamicDictHoldsGuaranteesEverywhere) {
+  auto [d_half, items, item_bytes, n] = GetParam();
+  std::uint32_t d = d_half;
+  pdm::DiskArray disks(pdm::Geometry{2 * d, items, item_bytes, 0});
+  pdm::DiskAllocator alloc;
+  DynamicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = n;
+  p.value_bytes = 8;
+  p.degree = d;
+  p.epsilon_op = 1.0;  // requires d > 12
+  DynamicDict dict(disks, 0, alloc, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kClustered, n,
+                                      p.universe_size, d + items);
+  pdm::IoProbe ins(disks);
+  for (Key k : keys) ASSERT_TRUE(dict.insert(k, value_for_key(k, 8)));
+  EXPECT_LE(static_cast<double>(ins.ios()) / n, 3.0);
+  pdm::IoProbe look(disks);
+  for (Key k : keys) ASSERT_TRUE(dict.lookup(k).found);
+  EXPECT_LE(static_cast<double>(look.ios()) / n, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DynamicGeometrySweep,
+    ::testing::Values(GeomCase{16, 64, 16, 1000}, GeomCase{24, 64, 16, 1500},
+                      GeomCase{16, 32, 16, 800}, GeomCase{16, 128, 8, 1500}));
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,211 @@
+// Tests for the Section 4.2 one-probe static dictionary (Theorem 6),
+// both case (b) (identifiers) and case (a) (head pointers).
+#include <gtest/gtest.h>
+
+#include "core/static_dict.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+struct StaticCase {
+  StaticLayout layout;
+  std::uint64_t n;
+  std::size_t value_bytes;
+};
+
+pdm::DiskArray make_disks(std::uint32_t d = 32) {
+  return pdm::DiskArray(pdm::Geometry{d, 64, 16, 0});
+}
+
+StaticDictParams params_for(StaticLayout layout, std::uint64_t n,
+                            std::size_t value_bytes) {
+  StaticDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = n;
+  p.value_bytes = value_bytes;
+  p.degree = 16;
+  p.layout = layout;
+  p.memory_bytes = 1 << 16;
+  return p;
+}
+
+class StaticDictSweep : public ::testing::TestWithParam<StaticCase> {};
+
+TEST_P(StaticDictSweep, BuildsAndAnswersEverything) {
+  auto [layout, n, vb] = GetParam();
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 31 + n);
+  std::vector<std::byte> values;
+  for (Key k : keys) {
+    auto v = value_for_key(k, vb);
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  StaticDict dict(disks, 0, alloc, params_for(layout, n, vb), keys, values);
+  EXPECT_EQ(dict.size(), n);
+  EXPECT_GE(dict.build_stats().levels, 1u);
+
+  // Every member found with the right satellite data, in EXACTLY one I/O.
+  for (Key k : keys) {
+    pdm::IoProbe probe(disks);
+    auto r = dict.lookup(k);
+    EXPECT_EQ(probe.ios(), 1u) << "one-probe violated";
+    ASSERT_TRUE(r.found) << k;
+    EXPECT_EQ(r.value, value_for_key(k, vb));
+  }
+  // Non-members rejected, also in one I/O.
+  auto trace = workload::make_query_trace(keys, std::uint64_t{1} << 32, 300,
+                                          0.0, 1.0, 5);
+  for (Key q : trace.queries) {
+    pdm::IoProbe probe(disks);
+    EXPECT_FALSE(dict.lookup(q).found) << q;
+    EXPECT_EQ(probe.ios(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, StaticDictSweep,
+    ::testing::Values(
+        StaticCase{StaticLayout::kIdentifiers, 64, 8},
+        StaticCase{StaticLayout::kIdentifiers, 500, 16},
+        StaticCase{StaticLayout::kIdentifiers, 500, 0},    // membership only
+        StaticCase{StaticLayout::kIdentifiers, 2000, 32},
+        StaticCase{StaticLayout::kIdentifiers, 500, 100},  // wide satellite
+        StaticCase{StaticLayout::kHeadPointers, 64, 8},
+        StaticCase{StaticLayout::kHeadPointers, 500, 16},
+        StaticCase{StaticLayout::kHeadPointers, 2000, 32},
+        StaticCase{StaticLayout::kHeadPointers, 500, 100}));
+
+TEST(StaticDict, DirectConstructionEquivalentToSortBased) {
+  // Both Theorem 6 construction procedures must produce a working one-probe
+  // dictionary; the direct one costs O(n) I/Os (a read+write round pair per
+  // key plus membership work), the sort-based one Θ(sort(nd)).
+  for (auto layout :
+       {StaticLayout::kIdentifiers, StaticLayout::kHeadPointers}) {
+    auto disks = make_disks();
+    pdm::DiskAllocator alloc;
+    const std::uint64_t n = 800;
+    auto p = params_for(layout, n, 24);
+    p.algorithm = BuildAlgorithm::kDirect;
+    auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                        n, p.universe_size, 55);
+    std::vector<std::byte> values;
+    for (Key k : keys) {
+      auto v = value_for_key(k, 24);
+      values.insert(values.end(), v.begin(), v.end());
+    }
+    StaticDict dict(disks, 0, alloc, p, keys, values);
+    for (Key k : keys) {
+      pdm::IoProbe probe(disks);
+      auto r = dict.lookup(k);
+      ASSERT_EQ(probe.ios(), 1u);
+      ASSERT_TRUE(r.found);
+      ASSERT_EQ(r.value, value_for_key(k, 24));
+    }
+    EXPECT_FALSE(dict.lookup(keys[0] ^ 0x80000000).found);
+    // O(n) I/Os: ~2 rounds per key (+2n membership for case (a)).
+    std::uint64_t bound = layout == StaticLayout::kIdentifiers ? 3 * n : 6 * n;
+    EXPECT_LE(dict.build_stats().total_io.parallel_ios, bound);
+  }
+}
+
+TEST(StaticDict, DirectConstructionRejectsDuplicates) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  auto p = params_for(StaticLayout::kIdentifiers, 4, 8);
+  p.algorithm = BuildAlgorithm::kDirect;
+  std::vector<Key> dup{5, 5};
+  std::vector<std::byte> vals(16);
+  EXPECT_THROW(StaticDict(disks, 0, alloc, p, dup, vals),
+               std::invalid_argument);
+}
+
+TEST(StaticDict, EmptySetAnswersNo) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  StaticDict dict(disks, 0, alloc,
+                  params_for(StaticLayout::kIdentifiers, 16, 8), {}, {});
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_FALSE(dict.lookup(123).found);
+}
+
+TEST(StaticDict, SingleKey) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  std::vector<Key> keys{42};
+  auto v = value_for_key(42, 24);
+  StaticDict dict(disks, 0, alloc,
+                  params_for(StaticLayout::kIdentifiers, 4, 24), keys, v);
+  EXPECT_EQ(dict.lookup(42).value, v);
+  EXPECT_FALSE(dict.lookup(43).found);
+}
+
+TEST(StaticDict, RejectsDuplicatesAndBadParams) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  std::vector<Key> dup{5, 5};
+  std::vector<std::byte> vals(16);
+  EXPECT_THROW(StaticDict(disks, 0, alloc,
+                          params_for(StaticLayout::kIdentifiers, 4, 8), dup,
+                          vals),
+               std::invalid_argument);
+  auto p = params_for(StaticLayout::kIdentifiers, 4, 8);
+  p.degree = 12;  // Theorem 6 requires d > 12
+  std::vector<Key> one{5};
+  std::vector<std::byte> v8(8);
+  EXPECT_THROW(StaticDict(disks, 0, alloc, p, one, v8),
+               std::invalid_argument);
+  auto p2 = params_for(StaticLayout::kHeadPointers, 4, 8);
+  // 2d = 32 disks exist, but starting at disk 8 exceeds the array.
+  EXPECT_THROW(StaticDict(disks, 8, alloc, p2, one, v8),
+               std::invalid_argument);
+}
+
+TEST(StaticDict, ConstructionIoProportionalToSorting) {
+  // Theorem 6: construction ≍ sorting nd records. Verify the I/O count is
+  // within a small constant of the measured sort cost share.
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 2000;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      std::uint64_t{1} << 32, 3);
+  std::vector<std::byte> values(n * 16);
+  StaticDict dict(disks, 0, alloc,
+                  params_for(StaticLayout::kIdentifiers, n, 16), keys, values);
+  const auto& st = dict.build_stats();
+  EXPECT_GT(st.sort_io.parallel_ios, 0u);
+  // Sorting dominates: everything else is linear scans of the same data.
+  EXPECT_LE(st.total_io.parallel_ios, 8 * st.sort_io.parallel_ios);
+  EXPECT_LE(st.levels, 8u);
+  EXPECT_EQ(st.assigned_fields, n * dict.fields_required());
+}
+
+TEST(StaticDict, DisksNeededByLayout) {
+  auto p = params_for(StaticLayout::kIdentifiers, 16, 8);
+  EXPECT_EQ(StaticDict::disks_needed(p), 16u);
+  p.layout = StaticLayout::kHeadPointers;
+  EXPECT_EQ(StaticDict::disks_needed(p), 32u);
+}
+
+TEST(StaticDict, DenseSequentialKeys) {
+  auto disks = make_disks();
+  pdm::DiskAllocator alloc;
+  const std::uint64_t n = 1000;
+  auto keys = workload::generate_keys(workload::KeyPattern::kDenseSequential,
+                                      n, std::uint64_t{1} << 32, 17);
+  std::vector<std::byte> values;
+  for (Key k : keys) {
+    auto v = value_for_key(k, 8);
+    values.insert(values.end(), v.begin(), v.end());
+  }
+  StaticDict dict(disks, 0, alloc,
+                  params_for(StaticLayout::kHeadPointers, n, 8), keys, values);
+  for (Key k : keys) EXPECT_TRUE(dict.lookup(k).found);
+  EXPECT_FALSE(dict.lookup(keys.front() - 1).found);
+}
+
+}  // namespace
+}  // namespace pddict::core

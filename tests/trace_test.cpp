@@ -1,0 +1,108 @@
+// Trace-level verification: the one-probe property, disk balance and the
+// composable-batch structure are checked on the actual I/O event stream,
+// not just on round counts.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/basic_dict.hpp"
+#include "core/dynamic_dict.hpp"
+#include "core/static_dict.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict::core {
+namespace {
+
+TEST(Trace, BasicDictLookupIsOneBatchAcrossAllItsDisks) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  BasicDictParams p;
+  p.universe_size = 1 << 30;
+  p.capacity = 100;
+  p.value_bytes = 8;
+  p.degree = 16;
+  BasicDict dict(disks, 0, 0, p);
+  dict.insert(7, value_for_key(7, 8));
+  disks.enable_trace();
+  dict.lookup(7);
+  disks.disable_trace();
+  const auto& trace = disks.trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_FALSE(trace[0].write);
+  EXPECT_EQ(trace[0].rounds, 1u);
+  ASSERT_EQ(trace[0].addrs.size(), 16u);
+  std::set<std::uint32_t> disks_touched;
+  for (const auto& a : trace[0].addrs) disks_touched.insert(a.disk);
+  EXPECT_EQ(disks_touched.size(), 16u) << "one block per disk = striping";
+}
+
+TEST(Trace, StaticDictOneProbeAtEventLevel) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  StaticDictParams p;
+  p.universe_size = 1 << 30;
+  p.capacity = 300;
+  p.value_bytes = 16;
+  p.degree = 16;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 300,
+                                      p.universe_size, 2);
+  std::vector<std::byte> values(300 * 16, std::byte{1});
+  StaticDict dict(disks, 0, alloc, p, keys, values);
+  disks.enable_trace();
+  dict.lookup(keys[5]);
+  const auto& trace = disks.trace();
+  ASSERT_EQ(trace.size(), 1u) << "exactly one read batch";
+  EXPECT_EQ(trace[0].rounds, 1u);
+  std::set<std::uint32_t> disks_touched;
+  for (const auto& a : trace[0].addrs) disks_touched.insert(a.disk);
+  EXPECT_EQ(disks_touched.size(), trace[0].addrs.size())
+      << "no two probe blocks share a disk";
+}
+
+TEST(Trace, DynamicDictInsertIsReadBatchesThenOneWriteBatch) {
+  pdm::DiskArray disks(pdm::Geometry{48, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  DynamicDictParams p;
+  p.universe_size = 1 << 30;
+  p.capacity = 100;
+  p.value_bytes = 16;
+  p.degree = 24;
+  DynamicDict dict(disks, 0, alloc, p);
+  disks.enable_trace();
+  dict.insert(42, value_for_key(42, 16));
+  const auto& trace = disks.trace();
+  ASSERT_GE(trace.size(), 2u);
+  // Every event except the last is a read; the last is the single combined
+  // write batch (fields + membership on disjoint halves, 1 round).
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i)
+    EXPECT_FALSE(trace[i].write) << i;
+  EXPECT_TRUE(trace.back().write);
+  EXPECT_EQ(trace.back().rounds, 1u);
+}
+
+TEST(Trace, WorkloadSpreadsAcrossDisksEvenly) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 3000;
+  p.value_bytes = 8;
+  p.degree = 16;
+  BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      3000, p.universe_size, 3);
+  disks.enable_trace();
+  for (Key k : keys) dict.insert(k, value_for_key(k, 8));
+  std::vector<std::uint64_t> per_disk(16, 0);
+  for (const auto& ev : disks.trace())
+    for (const auto& a : ev.addrs) ++per_disk[a.disk];
+  std::uint64_t total = 0, max_disk = 0;
+  for (auto c : per_disk) {
+    total += c;
+    max_disk = std::max(max_disk, c);
+  }
+  double avg = static_cast<double>(total) / 16.0;
+  EXPECT_LT(max_disk, avg * 1.1)
+      << "striping must balance traffic across disks";
+}
+
+}  // namespace
+}  // namespace pddict::core

@@ -1,0 +1,215 @@
+// Unit tests for the util layer: integer math, PRNG, bit storage, hashing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "util/bits.hpp"
+#include "util/hash.hpp"
+#include "util/math.hpp"
+#include "util/prng.hpp"
+
+namespace pddict::util {
+namespace {
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div<std::uint64_t>(0, 3), 0u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1, 3), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(3, 3), 1u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(4, 3), 2u);
+  EXPECT_EQ(ceil_div<std::uint64_t>(~std::uint64_t{0} - 1, 2),
+            (~std::uint64_t{0}) / 2);
+}
+
+TEST(Math, Logs) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+  EXPECT_EQ(ceil_log2(1025), 11u);
+}
+
+TEST(Math, BitsFor) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(Math, Pow2Helpers) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(63));
+  EXPECT_EQ(round_up_pow2(0), 1u);
+  EXPECT_EQ(round_up_pow2(5), 8u);
+  EXPECT_EQ(round_up(13, 5), 15u);
+}
+
+TEST(Prng, DeterministicAndDispersed) {
+  SplitMix64 a(42), b(42), c(43);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t x = a.next();
+    EXPECT_EQ(x, b.next());
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(Prng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Bits, SetGetSingleBits) {
+  BitVector bv(130);
+  bv.set_bit(0, true);
+  bv.set_bit(63, true);
+  bv.set_bit(64, true);
+  bv.set_bit(129, true);
+  EXPECT_TRUE(bv.get_bit(0));
+  EXPECT_TRUE(bv.get_bit(63));
+  EXPECT_TRUE(bv.get_bit(64));
+  EXPECT_TRUE(bv.get_bit(129));
+  EXPECT_FALSE(bv.get_bit(1));
+  bv.set_bit(63, false);
+  EXPECT_FALSE(bv.get_bit(63));
+}
+
+TEST(Bits, FieldRoundTripAcrossWordBoundaries) {
+  // Property sweep: every width at several straddling offsets.
+  for (unsigned width = 1; width <= 64; ++width) {
+    for (std::size_t pos : {std::size_t{0}, std::size_t{1}, std::size_t{60},
+                            std::size_t{63}, std::size_t{64}, std::size_t{100},
+                            std::size_t{127}}) {
+      BitVector bv(256);
+      std::uint64_t value = 0x123456789abcdef0ULL;
+      if (width < 64) value &= (std::uint64_t{1} << width) - 1;
+      bv.set_field(pos, width, value);
+      EXPECT_EQ(bv.get_field(pos, width), value)
+          << "width=" << width << " pos=" << pos;
+      // Neighbors untouched.
+      if (pos > 0) {
+        EXPECT_FALSE(bv.get_bit(pos - 1));
+      }
+      EXPECT_FALSE(bv.get_bit(pos + width));
+    }
+  }
+}
+
+TEST(Bits, FieldOverwriteClearsOldBits) {
+  BitVector bv(128);
+  bv.set_field(10, 20, 0xFFFFF);
+  bv.set_field(10, 20, 0x1);
+  EXPECT_EQ(bv.get_field(10, 20), 0x1u);
+}
+
+TEST(Bits, UnaryCodec) {
+  BitVector bv(256);
+  BitWriter w(bv, 0, 256);
+  for (std::uint64_t n : {0u, 1u, 2u, 7u, 31u}) w.write_unary(n);
+  BitReader r(bv, 0, 256);
+  for (std::uint64_t n : {0u, 1u, 2u, 7u, 31u}) EXPECT_EQ(r.read_unary(), n);
+  EXPECT_EQ(r.position(), w.position());
+}
+
+TEST(Bits, ReaderWriterMixedFields) {
+  BitVector bv(512);
+  BitWriter w(bv, 3, 512);
+  w.write_bit(true);
+  w.write_unary(5);
+  w.write_field(17, 0x1ABCD);
+  w.write_unary(0);
+  w.write_field(33, 0x123456789ULL);
+  BitReader r(bv, 3, 512);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_unary(), 5u);
+  EXPECT_EQ(r.read_field(17), 0x1ABCDu);
+  EXPECT_EQ(r.read_unary(), 0u);
+  EXPECT_EQ(r.read_field(33), 0x123456789ULL);
+}
+
+TEST(Bits, CopyBitsBytesRoundTrip) {
+  // Property: bytes -> BitVector -> bytes is the identity on the copied
+  // window, for many offsets and lengths.
+  std::vector<std::byte> src(64);
+  SplitMix64 rng(99);
+  for (auto& b : src) b = static_cast<std::byte>(rng.next() & 0xff);
+  for (std::size_t src_bit : {0u, 1u, 5u, 13u, 64u, 250u}) {
+    for (std::size_t nbits : {1u, 7u, 8u, 63u, 64u, 65u, 200u}) {
+      BitVector mid(512);
+      copy_bits_from_bytes(src.data(), src_bit, mid, 3, nbits);
+      std::vector<std::byte> dst(64, std::byte{0});
+      copy_bits_to_bytes(mid, 3, dst.data(), src_bit, nbits);
+      for (std::size_t i = 0; i < nbits; ++i) {
+        std::size_t p = src_bit + i;
+        bool sb = (std::to_integer<unsigned>(src[p >> 3]) >> (p & 7)) & 1;
+        bool db = (std::to_integer<unsigned>(dst[p >> 3]) >> (p & 7)) & 1;
+        EXPECT_EQ(sb, db) << "src_bit=" << src_bit << " nbits=" << nbits
+                          << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Hash, Mulmod61Matches128BitReference) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::uint64_t a = rng.next() % kMersenne61;
+    std::uint64_t b = rng.next() % kMersenne61;
+    unsigned __int128 ref =
+        (static_cast<unsigned __int128>(a) * b) % kMersenne61;
+    EXPECT_EQ(mulmod61(a, b), static_cast<std::uint64_t>(ref));
+  }
+}
+
+TEST(Hash, PolyHashDeterministicWithinRange) {
+  PolyHash h(8, 1000, 123);
+  PolyHash h2(8, 1000, 123);
+  for (std::uint64_t x = 0; x < 500; ++x) {
+    EXPECT_LT(h(x), 1000u);
+    EXPECT_EQ(h(x), h2(x));
+  }
+}
+
+TEST(Hash, PolyHashSpreadsUniformly) {
+  // Chi-square-flavoured sanity check: bucket occupancy close to uniform.
+  const std::uint64_t range = 64;
+  const int n = 64000;
+  PolyHash h(8, range, 2024);
+  std::vector<int> counts(range, 0);
+  for (int x = 0; x < n; ++x) ++counts[h(static_cast<std::uint64_t>(x))];
+  double expected = static_cast<double>(n) / range;
+  for (auto c : counts) {
+    EXPECT_GT(c, expected * 0.7);
+    EXPECT_LT(c, expected * 1.3);
+  }
+}
+
+TEST(Hash, DifferentSeedsDiffer) {
+  PolyHash a(4, 1 << 20, 1), b(4, 1 << 20, 2);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) same += (a(x) == b(x));
+  EXPECT_LT(same, 10);
+}
+
+TEST(Hash, SaltedMixDependsOnBothInputs) {
+  EXPECT_NE(salted_mix(1, 2), salted_mix(1, 3));
+  EXPECT_NE(salted_mix(1, 2), salted_mix(2, 2));
+  EXPECT_EQ(salted_mix(77, 88), salted_mix(77, 88));
+}
+
+}  // namespace
+}  // namespace pddict::util

@@ -1,0 +1,102 @@
+// Tests for the deterministic workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/workload.hpp"
+
+namespace pddict::workload {
+namespace {
+
+TEST(KeyGen, AllPatternsProduceDistinctKeysInUniverse) {
+  const std::uint64_t n = 2000, u = std::uint64_t{1} << 32;
+  for (auto pattern :
+       {KeyPattern::kDenseSequential, KeyPattern::kSparseRandom,
+        KeyPattern::kClustered, KeyPattern::kSharedLowBits}) {
+    auto keys = generate_keys(pattern, n, u, 5);
+    EXPECT_EQ(keys.size(), n);
+    std::set<core::Key> uniq(keys.begin(), keys.end());
+    EXPECT_EQ(uniq.size(), n) << "duplicates in pattern";
+    for (auto k : keys) {
+      EXPECT_LT(k, u);
+      EXPECT_NE(k, core::kTombstone);
+    }
+  }
+}
+
+TEST(KeyGen, DeterministicPerSeed) {
+  auto a = generate_keys(KeyPattern::kSparseRandom, 100, 1 << 20, 7);
+  auto b = generate_keys(KeyPattern::kSparseRandom, 100, 1 << 20, 7);
+  auto c = generate_keys(KeyPattern::kSparseRandom, 100, 1 << 20, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(KeyGen, SharedLowBitsReallyShareThem) {
+  auto keys = generate_keys(KeyPattern::kSharedLowBits, 500,
+                            std::uint64_t{1} << 40, 3);
+  std::uint64_t low = keys[0] & 0xfff;
+  for (auto k : keys) EXPECT_EQ(k & 0xfff, low);
+}
+
+TEST(KeyGen, RejectsOverDenseRequest) {
+  EXPECT_THROW(generate_keys(KeyPattern::kSparseRandom, 600, 1000, 1),
+               std::invalid_argument);
+}
+
+TEST(Zipf, SkewedTowardLowRanks) {
+  ZipfSampler z(1000, 1.1, 9);
+  std::uint64_t low = 0, total = 20000;
+  for (std::uint64_t i = 0; i < total; ++i)
+    if (z.next() < 10) ++low;
+  // Top-10 ranks should carry far more than the uniform 1% of the mass.
+  EXPECT_GT(low, total / 20);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  ZipfSampler z(100, 0.0, 9);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[z.next()];
+  for (int c : counts) {
+    EXPECT_GT(c, 250);
+    EXPECT_LT(c, 900);
+  }
+}
+
+TEST(QueryTrace, HitFractionRespected) {
+  auto keys = generate_keys(KeyPattern::kSparseRandom, 500,
+                            std::uint64_t{1} << 32, 2);
+  auto trace =
+      make_query_trace(keys, std::uint64_t{1} << 32, 4000, 0.75, 1.0, 11);
+  EXPECT_EQ(trace.queries.size(), 4000u);
+  std::unordered_set<core::Key> members(keys.begin(), keys.end());
+  std::uint64_t hits = 0;
+  for (auto q : trace.queries) hits += members.contains(q);
+  EXPECT_EQ(hits, trace.expected_hits);
+  EXPECT_NEAR(static_cast<double>(hits) / 4000.0, 0.75, 0.05);
+}
+
+TEST(QueryTrace, PureMissTrace) {
+  auto keys = generate_keys(KeyPattern::kSparseRandom, 100,
+                            std::uint64_t{1} << 32, 2);
+  auto trace =
+      make_query_trace(keys, std::uint64_t{1} << 32, 500, 0.0, 1.0, 11);
+  EXPECT_EQ(trace.expected_hits, 0u);
+  std::unordered_set<core::Key> members(keys.begin(), keys.end());
+  for (auto q : trace.queries) EXPECT_FALSE(members.contains(q));
+}
+
+TEST(FsTrace, AccessesHitExistingBlocks) {
+  auto trace = make_fs_trace(200, 16, 5000, 1.0, 13);
+  EXPECT_EQ(trace.num_files, 200u);
+  EXPECT_GT(trace.all_blocks.size(), 200u);
+  std::unordered_set<core::Key> blocks(trace.all_blocks.begin(),
+                                       trace.all_blocks.end());
+  EXPECT_EQ(blocks.size(), trace.all_blocks.size()) << "block keys distinct";
+  for (auto a : trace.accesses)
+    EXPECT_TRUE(blocks.contains(a)) << "access to a non-existent block";
+}
+
+}  // namespace
+}  // namespace pddict::workload
