@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_construction"
+  "../bench/bench_ablation_construction.pdb"
+  "CMakeFiles/bench_ablation_construction.dir/bench_ablation_construction.cpp.o"
+  "CMakeFiles/bench_ablation_construction.dir/bench_ablation_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_striping"
+  "../bench/bench_ablation_striping.pdb"
+  "CMakeFiles/bench_ablation_striping.dir/bench_ablation_striping.cpp.o"
+  "CMakeFiles/bench_ablation_striping.dir/bench_ablation_striping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bandwidth_curve"
+  "../bench/bench_bandwidth_curve.pdb"
+  "CMakeFiles/bench_bandwidth_curve.dir/bench_bandwidth_curve.cpp.o"
+  "CMakeFiles/bench_bandwidth_curve.dir/bench_bandwidth_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bandwidth_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_btree_vs_dict"
+  "../bench/bench_btree_vs_dict.pdb"
+  "CMakeFiles/bench_btree_vs_dict.dir/bench_btree_vs_dict.cpp.o"
+  "CMakeFiles/bench_btree_vs_dict.dir/bench_btree_vs_dict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_btree_vs_dict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

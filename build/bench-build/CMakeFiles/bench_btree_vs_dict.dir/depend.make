@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_btree_vs_dict.
+# This may be replaced when dependencies are built.

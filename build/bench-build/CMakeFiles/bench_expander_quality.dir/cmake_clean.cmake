@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_expander_quality"
+  "../bench/bench_expander_quality.pdb"
+  "CMakeFiles/bench_expander_quality.dir/bench_expander_quality.cpp.o"
+  "CMakeFiles/bench_expander_quality.dir/bench_expander_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expander_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

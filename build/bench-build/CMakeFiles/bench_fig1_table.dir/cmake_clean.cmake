@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_table"
+  "../bench/bench_fig1_table.pdb"
+  "CMakeFiles/bench_fig1_table.dir/bench_fig1_table.cpp.o"
+  "CMakeFiles/bench_fig1_table.dir/bench_fig1_table.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma3_load"
+  "../bench/bench_lemma3_load.pdb"
+  "CMakeFiles/bench_lemma3_load.dir/bench_lemma3_load.cpp.o"
+  "CMakeFiles/bench_lemma3_load.dir/bench_lemma3_load.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma3_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

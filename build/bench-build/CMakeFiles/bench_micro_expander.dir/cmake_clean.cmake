@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_expander"
+  "../bench/bench_micro_expander.pdb"
+  "CMakeFiles/bench_micro_expander.dir/bench_micro_expander.cpp.o"
+  "CMakeFiles/bench_micro_expander.dir/bench_micro_expander.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm12_expander"
+  "../bench/bench_thm12_expander.pdb"
+  "CMakeFiles/bench_thm12_expander.dir/bench_thm12_expander.cpp.o"
+  "CMakeFiles/bench_thm12_expander.dir/bench_thm12_expander.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm12_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm6_static"
+  "../bench/bench_thm6_static.pdb"
+  "CMakeFiles/bench_thm6_static.dir/bench_thm6_static.cpp.o"
+  "CMakeFiles/bench_thm6_static.dir/bench_thm6_static.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm6_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm7_dynamic"
+  "../bench/bench_thm7_dynamic.pdb"
+  "CMakeFiles/bench_thm7_dynamic.dir/bench_thm7_dynamic.cpp.o"
+  "CMakeFiles/bench_thm7_dynamic.dir/bench_thm7_dynamic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm7_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

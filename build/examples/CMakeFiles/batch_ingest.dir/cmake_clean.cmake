@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_ingest.dir/batch_ingest.cpp.o"
+  "CMakeFiles/batch_ingest.dir/batch_ingest.cpp.o.d"
+  "batch_ingest"
+  "batch_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_system.dir/file_system.cpp.o"
+  "CMakeFiles/file_system.dir/file_system.cpp.o.d"
+  "file_system"
+  "file_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

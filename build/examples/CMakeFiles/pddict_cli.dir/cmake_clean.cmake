@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_cli.dir/pddict_cli.cpp.o"
+  "CMakeFiles/pddict_cli.dir/pddict_cli.cpp.o.d"
+  "pddict_cli"
+  "pddict_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

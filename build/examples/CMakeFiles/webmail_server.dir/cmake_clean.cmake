@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webmail_server.dir/webmail_server.cpp.o"
+  "CMakeFiles/webmail_server.dir/webmail_server.cpp.o.d"
+  "webmail_server"
+  "webmail_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webmail_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/btree.cpp" "src/baselines/CMakeFiles/pddict_baselines.dir/btree.cpp.o" "gcc" "src/baselines/CMakeFiles/pddict_baselines.dir/btree.cpp.o.d"
+  "/root/repo/src/baselines/cuckoo_dict.cpp" "src/baselines/CMakeFiles/pddict_baselines.dir/cuckoo_dict.cpp.o" "gcc" "src/baselines/CMakeFiles/pddict_baselines.dir/cuckoo_dict.cpp.o.d"
+  "/root/repo/src/baselines/dhp_dict.cpp" "src/baselines/CMakeFiles/pddict_baselines.dir/dhp_dict.cpp.o" "gcc" "src/baselines/CMakeFiles/pddict_baselines.dir/dhp_dict.cpp.o.d"
+  "/root/repo/src/baselines/striped_hash.cpp" "src/baselines/CMakeFiles/pddict_baselines.dir/striped_hash.cpp.o" "gcc" "src/baselines/CMakeFiles/pddict_baselines.dir/striped_hash.cpp.o.d"
+  "/root/repo/src/baselines/trick_dict.cpp" "src/baselines/CMakeFiles/pddict_baselines.dir/trick_dict.cpp.o" "gcc" "src/baselines/CMakeFiles/pddict_baselines.dir/trick_dict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pddict_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/pddict_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddict_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/expander/CMakeFiles/pddict_expander.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_baselines.dir/btree.cpp.o"
+  "CMakeFiles/pddict_baselines.dir/btree.cpp.o.d"
+  "CMakeFiles/pddict_baselines.dir/cuckoo_dict.cpp.o"
+  "CMakeFiles/pddict_baselines.dir/cuckoo_dict.cpp.o.d"
+  "CMakeFiles/pddict_baselines.dir/dhp_dict.cpp.o"
+  "CMakeFiles/pddict_baselines.dir/dhp_dict.cpp.o.d"
+  "CMakeFiles/pddict_baselines.dir/striped_hash.cpp.o"
+  "CMakeFiles/pddict_baselines.dir/striped_hash.cpp.o.d"
+  "CMakeFiles/pddict_baselines.dir/trick_dict.cpp.o"
+  "CMakeFiles/pddict_baselines.dir/trick_dict.cpp.o.d"
+  "libpddict_baselines.a"
+  "libpddict_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpddict_baselines.a"
+)

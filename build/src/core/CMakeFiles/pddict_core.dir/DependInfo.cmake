@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basic_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/basic_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/basic_dict.cpp.o.d"
+  "/root/repo/src/core/bucket_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/bucket_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/bucket_dict.cpp.o.d"
+  "/root/repo/src/core/dictionary.cpp" "src/core/CMakeFiles/pddict_core.dir/dictionary.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/dictionary.cpp.o.d"
+  "/root/repo/src/core/dynamic_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/dynamic_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/dynamic_dict.cpp.o.d"
+  "/root/repo/src/core/field_array.cpp" "src/core/CMakeFiles/pddict_core.dir/field_array.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/field_array.cpp.o.d"
+  "/root/repo/src/core/full_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/full_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/full_dict.cpp.o.d"
+  "/root/repo/src/core/full_dynamic_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/full_dynamic_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/full_dynamic_dict.cpp.o.d"
+  "/root/repo/src/core/load_balance.cpp" "src/core/CMakeFiles/pddict_core.dir/load_balance.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/load_balance.cpp.o.d"
+  "/root/repo/src/core/manifest.cpp" "src/core/CMakeFiles/pddict_core.dir/manifest.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/manifest.cpp.o.d"
+  "/root/repo/src/core/multilevel_wide.cpp" "src/core/CMakeFiles/pddict_core.dir/multilevel_wide.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/multilevel_wide.cpp.o.d"
+  "/root/repo/src/core/parallel_group.cpp" "src/core/CMakeFiles/pddict_core.dir/parallel_group.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/parallel_group.cpp.o.d"
+  "/root/repo/src/core/pointer_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/pointer_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/pointer_dict.cpp.o.d"
+  "/root/repo/src/core/static_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/static_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/static_dict.cpp.o.d"
+  "/root/repo/src/core/wide_dict.cpp" "src/core/CMakeFiles/pddict_core.dir/wide_dict.cpp.o" "gcc" "src/core/CMakeFiles/pddict_core.dir/wide_dict.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdm/CMakeFiles/pddict_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/expander/CMakeFiles/pddict_expander.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_core.dir/basic_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/basic_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/bucket_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/bucket_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/dictionary.cpp.o"
+  "CMakeFiles/pddict_core.dir/dictionary.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/dynamic_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/dynamic_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/field_array.cpp.o"
+  "CMakeFiles/pddict_core.dir/field_array.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/full_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/full_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/full_dynamic_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/full_dynamic_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/load_balance.cpp.o"
+  "CMakeFiles/pddict_core.dir/load_balance.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/manifest.cpp.o"
+  "CMakeFiles/pddict_core.dir/manifest.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/multilevel_wide.cpp.o"
+  "CMakeFiles/pddict_core.dir/multilevel_wide.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/parallel_group.cpp.o"
+  "CMakeFiles/pddict_core.dir/parallel_group.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/pointer_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/pointer_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/static_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/static_dict.cpp.o.d"
+  "CMakeFiles/pddict_core.dir/wide_dict.cpp.o"
+  "CMakeFiles/pddict_core.dir/wide_dict.cpp.o.d"
+  "libpddict_core.a"
+  "libpddict_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/expander/preprocessed.cpp" "src/expander/CMakeFiles/pddict_expander.dir/preprocessed.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/preprocessed.cpp.o.d"
+  "/root/repo/src/expander/seeded_expander.cpp" "src/expander/CMakeFiles/pddict_expander.dir/seeded_expander.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/seeded_expander.cpp.o.d"
+  "/root/repo/src/expander/semi_explicit.cpp" "src/expander/CMakeFiles/pddict_expander.dir/semi_explicit.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/semi_explicit.cpp.o.d"
+  "/root/repo/src/expander/table_expander.cpp" "src/expander/CMakeFiles/pddict_expander.dir/table_expander.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/table_expander.cpp.o.d"
+  "/root/repo/src/expander/telescope.cpp" "src/expander/CMakeFiles/pddict_expander.dir/telescope.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/telescope.cpp.o.d"
+  "/root/repo/src/expander/verify.cpp" "src/expander/CMakeFiles/pddict_expander.dir/verify.cpp.o" "gcc" "src/expander/CMakeFiles/pddict_expander.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

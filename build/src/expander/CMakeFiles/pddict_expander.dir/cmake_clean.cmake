@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_expander.dir/preprocessed.cpp.o"
+  "CMakeFiles/pddict_expander.dir/preprocessed.cpp.o.d"
+  "CMakeFiles/pddict_expander.dir/seeded_expander.cpp.o"
+  "CMakeFiles/pddict_expander.dir/seeded_expander.cpp.o.d"
+  "CMakeFiles/pddict_expander.dir/semi_explicit.cpp.o"
+  "CMakeFiles/pddict_expander.dir/semi_explicit.cpp.o.d"
+  "CMakeFiles/pddict_expander.dir/table_expander.cpp.o"
+  "CMakeFiles/pddict_expander.dir/table_expander.cpp.o.d"
+  "CMakeFiles/pddict_expander.dir/telescope.cpp.o"
+  "CMakeFiles/pddict_expander.dir/telescope.cpp.o.d"
+  "CMakeFiles/pddict_expander.dir/verify.cpp.o"
+  "CMakeFiles/pddict_expander.dir/verify.cpp.o.d"
+  "libpddict_expander.a"
+  "libpddict_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdm/disk_array.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/disk_array.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/disk_array.cpp.o.d"
+  "/root/repo/src/pdm/ext_sort.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/ext_sort.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/ext_sort.cpp.o.d"
+  "/root/repo/src/pdm/extent_store.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/extent_store.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/extent_store.cpp.o.d"
+  "/root/repo/src/pdm/file_backend.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/file_backend.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/file_backend.cpp.o.d"
+  "/root/repo/src/pdm/record_stream.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/record_stream.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/record_stream.cpp.o.d"
+  "/root/repo/src/pdm/striped_view.cpp" "src/pdm/CMakeFiles/pddict_pdm.dir/striped_view.cpp.o" "gcc" "src/pdm/CMakeFiles/pddict_pdm.dir/striped_view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

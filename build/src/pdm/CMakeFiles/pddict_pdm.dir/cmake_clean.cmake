@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_pdm.dir/disk_array.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/disk_array.cpp.o.d"
+  "CMakeFiles/pddict_pdm.dir/ext_sort.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/ext_sort.cpp.o.d"
+  "CMakeFiles/pddict_pdm.dir/extent_store.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/extent_store.cpp.o.d"
+  "CMakeFiles/pddict_pdm.dir/file_backend.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/file_backend.cpp.o.d"
+  "CMakeFiles/pddict_pdm.dir/record_stream.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/record_stream.cpp.o.d"
+  "CMakeFiles/pddict_pdm.dir/striped_view.cpp.o"
+  "CMakeFiles/pddict_pdm.dir/striped_view.cpp.o.d"
+  "libpddict_pdm.a"
+  "libpddict_pdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_pdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_util.dir/bits.cpp.o"
+  "CMakeFiles/pddict_util.dir/bits.cpp.o.d"
+  "CMakeFiles/pddict_util.dir/hash.cpp.o"
+  "CMakeFiles/pddict_util.dir/hash.cpp.o.d"
+  "libpddict_util.a"
+  "libpddict_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

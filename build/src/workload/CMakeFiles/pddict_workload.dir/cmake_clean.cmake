@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pddict_workload.dir/workload.cpp.o"
+  "CMakeFiles/pddict_workload.dir/workload.cpp.o.d"
+  "libpddict_workload.a"
+  "libpddict_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pddict_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

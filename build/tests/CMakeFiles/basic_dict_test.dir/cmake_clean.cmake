@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basic_dict_test.dir/basic_dict_test.cpp.o"
+  "CMakeFiles/basic_dict_test.dir/basic_dict_test.cpp.o.d"
+  "basic_dict_test"
+  "basic_dict_test.pdb"
+  "basic_dict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basic_dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

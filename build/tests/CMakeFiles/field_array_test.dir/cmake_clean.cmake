@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_array_test.dir/field_array_test.cpp.o"
+  "CMakeFiles/field_array_test.dir/field_array_test.cpp.o.d"
+  "field_array_test"
+  "field_array_test.pdb"
+  "field_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_backend_test.dir/file_backend_test.cpp.o"
+  "CMakeFiles/file_backend_test.dir/file_backend_test.cpp.o.d"
+  "file_backend_test"
+  "file_backend_test.pdb"
+  "file_backend_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/full_dict_test.cpp" "tests/CMakeFiles/full_dict_test.dir/full_dict_test.cpp.o" "gcc" "tests/CMakeFiles/full_dict_test.dir/full_dict_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/pddict_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pddict_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pddict_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/expander/CMakeFiles/pddict_expander.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdm/CMakeFiles/pddict_pdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pddict_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_dict_test.dir/full_dict_test.cpp.o"
+  "CMakeFiles/full_dict_test.dir/full_dict_test.cpp.o.d"
+  "full_dict_test"
+  "full_dict_test.pdb"
+  "full_dict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

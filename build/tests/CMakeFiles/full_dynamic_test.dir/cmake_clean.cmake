@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_dynamic_test.dir/full_dynamic_test.cpp.o"
+  "CMakeFiles/full_dynamic_test.dir/full_dynamic_test.cpp.o.d"
+  "full_dynamic_test"
+  "full_dynamic_test.pdb"
+  "full_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

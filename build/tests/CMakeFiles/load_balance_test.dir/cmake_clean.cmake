@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balance_test.dir/load_balance_test.cpp.o"
+  "CMakeFiles/load_balance_test.dir/load_balance_test.cpp.o.d"
+  "load_balance_test"
+  "load_balance_test.pdb"
+  "load_balance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdm_test.dir/pdm_test.cpp.o"
+  "CMakeFiles/pdm_test.dir/pdm_test.cpp.o.d"
+  "pdm_test"
+  "pdm_test.pdb"
+  "pdm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_dict_test.dir/pointer_dict_test.cpp.o"
+  "CMakeFiles/pointer_dict_test.dir/pointer_dict_test.cpp.o.d"
+  "pointer_dict_test"
+  "pointer_dict_test.pdb"
+  "pointer_dict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

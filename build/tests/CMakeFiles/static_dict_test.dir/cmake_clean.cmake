@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/static_dict_test.dir/static_dict_test.cpp.o"
+  "CMakeFiles/static_dict_test.dir/static_dict_test.cpp.o.d"
+  "static_dict_test"
+  "static_dict_test.pdb"
+  "static_dict_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/static_dict_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

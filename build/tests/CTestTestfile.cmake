@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/pdm_test[1]_include.cmake")
+include("/root/repo/build/tests/expander_test[1]_include.cmake")
+include("/root/repo/build/tests/load_balance_test[1]_include.cmake")
+include("/root/repo/build/tests/basic_dict_test[1]_include.cmake")
+include("/root/repo/build/tests/static_dict_test[1]_include.cmake")
+include("/root/repo/build/tests/dynamic_dict_test[1]_include.cmake")
+include("/root/repo/build/tests/full_dict_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/field_array_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/pointer_dict_test[1]_include.cmake")
+include("/root/repo/build/tests/file_backend_test[1]_include.cmake")
+include("/root/repo/build/tests/concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/full_dynamic_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/manifest_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")
