@@ -21,9 +21,11 @@
 #include "pdm/allocator.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_ablation_expander");
   const std::uint64_t n = 1 << 12;
+  report.param("n", n);
   const std::uint64_t universe = std::uint64_t{1} << 40;
   auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
                                       universe, 21);
@@ -39,6 +41,16 @@ int main() {
     core::LoadBalancer lb(g, 1);
     for (auto k : keys) lb.assign(k);
     double avg = static_cast<double>(n) / v;
+    {
+      char name[32];
+      std::snprintf(name, sizeof(name), "A1.1 d=%u", d);
+      auto& row = report.add_row(name);
+      row.set("degree", d);
+      row.set("v", v);
+      row.set("max_load", lb.max_load());
+      row.set("avg_load", avg);
+      row.set("max_over_avg", lb.max_load() / avg);
+    }
     std::printf("%6u | %10llu %10.2f %14.2f\n", d,
                 static_cast<unsigned long long>(lb.max_load()), avg,
                 lb.max_load() / avg);
@@ -67,13 +79,22 @@ int main() {
     p.seed = 31;
     p.max_levels = 24;
     std::vector<std::byte> values(n * 8, std::byte{0});
+    char name[48];
+    std::snprintf(name, sizeof(name), "A1.2 factor=%.3f", factor);
+    auto& row = report.add_row(name);
+    row.set("stripe_factor", factor);
+    row.set("lemma5_fraction", frac);
     try {
       core::StaticDict dict(disks, 0, alloc, p, keys, values);
+      row.set("levels", dict.build_stats().levels);
+      row.set("build_ios", dict.build_stats().total_io.parallel_ios);
+      row.set("outcome", "built ok");
       std::printf("%8.3f | %14.3f | %10u %12llu | built ok\n", factor, frac,
                   dict.build_stats().levels,
                   static_cast<unsigned long long>(
                       dict.build_stats().total_io.parallel_ios));
     } catch (const core::ConstructionError& e) {
+      row.set("outcome", std::string("FAILED: ") + e.what());
       std::printf("%8.3f | %14.3f | %10s %12s | FAILED: %s\n", factor, frac,
                   "-", "-", e.what());
     }
@@ -95,16 +116,28 @@ int main() {
     p.stripe_factor = factor;
     core::DynamicDict dict(disks, 0, alloc, p);
     std::uint64_t inserted = 0;
+    char name[48];
+    std::snprintf(name, sizeof(name), "A1.3 factor=%.2f", factor);
+    auto& row = report.add_row(name);
+    row.set("stripe_factor", factor);
     try {
       for (auto k : keys) {
         dict.insert(k, core::value_for_key(k, 8));
         ++inserted;
       }
+      row.set("levels", dict.levels());
+      obs::Json pops = obs::Json::array();
+      for (auto c : dict.level_population()) pops.push_back(c);
+      row.set("level_population", std::move(pops));
+      row.set("outcome", "ok");
       std::printf("%8.2f | %8u | ", factor, dict.levels());
       for (auto c : dict.level_population())
         std::printf("%llu ", static_cast<unsigned long long>(c));
       std::printf("\n");
     } catch (const core::CapacityError& e) {
+      row.set("levels", dict.levels());
+      row.set("inserted_before_failure", inserted);
+      row.set("outcome", std::string("FAILED: ") + e.what());
       std::printf("%8.2f | %8u | FAILED after %llu inserts: %s\n", factor,
                   dict.levels(), static_cast<unsigned long long>(inserted),
                   e.what());

@@ -14,9 +14,12 @@
 #include "core/basic_dict.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_ablation_hashing");
   const std::uint64_t n = 1 << 13;
+  report.param("n", n);
+  report.param("key_pattern", "shared-low-bits");
   std::printf("=== Hash quality under structured keys (all keys share their "
               "low 12 bits), n = %llu ===\n\n",
               static_cast<unsigned long long>(n));
@@ -61,6 +64,13 @@ int main() {
       });
       look = bench::measure(disks, keys,
                             [&](core::Key k) { dict.lookup(k); });
+    }
+    {
+      auto& row = report.add_row(name);
+      row.set("lookup", bench::to_json(look));
+      row.set("insert", bench::to_json(ins));
+      row.set("max_chain", chain);
+      row.set("disks", bench::to_json(disks));
     }
     std::printf("%-34s | %12.2f %12llu | %12.2f %12llu | %10llu\n", name,
                 look.average, static_cast<unsigned long long>(look.worst),

@@ -41,7 +41,12 @@ double run_fixed(core::Dictionary& dict, pdm::DiskArray& disks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_bandwidth_curve");
+  report.param("disks", kDisks);
+  report.param("block_items", kBlockItems);
+  report.param("item_bytes", kItemBytes);
+  report.param("n", kN);
   std::printf("=== Figure 1 bandwidth column as a curve: lookup I/Os vs "
               "satellite size ===\n");
   std::printf("D = %u disks, B = %u x %u B (stripe = %u B), n = %llu\n\n",
@@ -126,13 +131,24 @@ int main() {
   bench::rule();
   for (const auto& m : methods) {
     std::printf("%-22s %-20s |", m.name, m.paper_limit);
+    auto& row = report.add_row(m.name);
+    row.set("paper_bandwidth", m.paper_limit);
+    obs::Json curve = obs::Json::array();
     for (std::size_t s : sigmas) {
       double io = m.probe(s);
+      obs::Json point = obs::Json::object();
+      point.set("sigma_bytes", s);
+      if (io < 0)
+        point.set("lookup_avg", nullptr);  // structure rejects this size
+      else
+        point.set("lookup_avg", io);
+      curve.push_back(std::move(point));
       if (io < 0)
         std::printf(" %6s", "-");
       else
         std::printf(" %6.2f", io);
     }
+    row.set("curve", std::move(curve));
     std::printf("\n");
   }
   bench::rule();

@@ -15,8 +15,9 @@
 #include "pdm/allocator.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_btree_vs_dict");
   std::printf("=== B-tree vs. expander dictionary: random access cost ===\n\n");
   std::printf("%10s %4s %4s %8s | %12s %12s | %12s %8s\n", "n", "D", "B",
               "fanout BD", "B-tree I/Os", "height", "dict I/Os", "speedup");
@@ -71,6 +72,25 @@ int main() {
       auto dc =
           bench::measure(ddisks, queries, [&](core::Key k) { dict.lookup(k); });
       dict_cost = dc.average;
+    }
+    {
+      char name[64];
+      std::snprintf(name, sizeof(name), "n=%llu D=%u B=%u",
+                    static_cast<unsigned long long>(c.n), c.disks,
+                    c.block_items);
+      auto& row = report.add_row(name);
+      row.set("n", c.n);
+      row.set("disks", c.disks);
+      row.set("block_items", c.block_items);
+      row.set("paper_btree", "ceil(log_{BD} n)");
+      row.set("paper_dict", "1");
+      row.set("btree_lookup", bench::to_json(btree_cost));
+      row.set("btree_height", tree.height());
+      if (dict_cost >= 0) {
+        row.set("dict_lookup_avg", dict_cost);
+        row.set("speedup", dict_cost > 0 ? btree_cost.average / dict_cost
+                                         : 0.0);
+      }
     }
     std::printf("%10llu %4u %4u %8llu | %12.3f %12u | %12s %8s\n",
                 static_cast<unsigned long long>(c.n), c.disks, c.block_items,

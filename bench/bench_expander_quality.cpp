@@ -18,8 +18,9 @@
 #include "expander/telescope.hpp"
 #include "expander/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport json_report(argc, argv, "bench_expander_quality");
   std::printf("=== Empirical expansion by construction ===\n");
   std::printf("min |Gamma(S)| / (d|S|) over sampled and greedy-adversarial "
               "sets up to each graph's range |S| <= v/(2d).\nAt occupancy "
@@ -32,6 +33,7 @@ int main() {
   bench::rule('-', 100);
 
   const std::uint64_t N = 1 << 10;
+  json_report.param("n", N);
 
   auto report = [&](const char* name, const expander::NeighborFunction& g) {
     // Definition 2 only constrains sets with (1-eps)d|S| <= v, i.e.
@@ -51,6 +53,16 @@ int main() {
     // (de-duplication); only falling BELOW it is a failure.
     bool matches = random.min_ratio >= ideal - 0.02 &&
                    greedy.min_ratio >= ideal - 0.2;  // adversary gets a margin
+    {
+      auto& row = json_report.add_row(name);
+      row.set("degree", g.degree());
+      row.set("right_size", g.right_size());
+      row.set("max_set_size", max_set);
+      row.set("random_min_ratio", random.min_ratio);
+      row.set("greedy_min_ratio", greedy.min_ratio);
+      row.set("paper_ideal_ratio", ideal);
+      row.set("matches_ideal", matches);
+    }
     std::printf("%-34s %6u %10llu %8llu | %10.4f %10.4f %10.4f | %8s\n", name,
                 g.degree(), static_cast<unsigned long long>(g.right_size()),
                 static_cast<unsigned long long>(max_set), random.min_ratio,

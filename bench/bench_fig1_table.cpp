@@ -61,6 +61,23 @@ void print_row(const Row& r) {
               r.paper_bandwidth, r.bandwidth_bytes, r.conditions);
 }
 
+/// One report row: the Figure 1 paper bounds next to the full measured
+/// distributions, plus the per-disk utilization of this method's array.
+void report_row(bench::JsonReport& report, const Row& r,
+                const pdm::DiskArray& disks) {
+  auto& row = report.add_row(r.name);
+  row.set("paper_lookup", r.paper_lookup);
+  row.set("paper_update", r.paper_update);
+  row.set("paper_bandwidth", r.paper_bandwidth);
+  row.set("conditions", r.conditions);
+  row.set("static", r.is_static);
+  row.set("lookup_hit", bench::to_json(r.hit));
+  row.set("lookup_miss", bench::to_json(r.miss));
+  if (!r.is_static) row.set("update", bench::to_json(r.update));
+  row.set("bandwidth_bytes", static_cast<std::uint64_t>(r.bandwidth_bytes));
+  row.set("disks", bench::to_json(disks));
+}
+
 std::vector<core::Key> half(const std::vector<core::Key>& keys, bool first) {
   auto mid = keys.begin() + static_cast<std::ptrdiff_t>(keys.size() / 2);
   return first ? std::vector<core::Key>(keys.begin(), mid)
@@ -70,10 +87,18 @@ std::vector<core::Key> half(const std::vector<core::Key>& keys, bool first) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_fig1_table");
   const std::uint64_t n =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 14;
   const std::size_t sigma = 8;
   const std::uint64_t n_miss = 2000;
+  report.param("n", n);
+  report.param("universe_log2", 40);
+  report.param("block_items", kBlockItems);
+  report.param("item_bytes", kItemBytes);
+  report.param("degree", kDegree);
+  report.param("sigma_bytes", static_cast<std::uint64_t>(sigma));
+  report.param("n_miss", n_miss);
 
   std::printf("=== Figure 1: linear-space dictionaries, constant I/Os per "
               "operation ===\n");
@@ -116,6 +141,7 @@ int main(int argc, char** argv) {
         disks.geometry().stripe_bytes() /
         std::max<std::size_t>(2, util::ceil_log2(n));  // keep buckets Θ(log n)
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- Section 4.1 (this paper): 1 I/O lookup, 2 I/O update ----------
@@ -139,6 +165,7 @@ int main(int argc, char** argv) {
     row.bandwidth_bytes =
         core::WideDict::max_bandwidth(disks.geometry(), kDegree, n);
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- Hashing with striping: 1 whp / 2 whp ----------
@@ -162,6 +189,7 @@ int main(int argc, char** argv) {
         disks.geometry().stripe_bytes() /
         std::max<std::size_t>(2, util::ceil_log2(n));
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- Cuckoo hashing [13]: 1 lookup, amortized expected update -----
@@ -183,6 +211,7 @@ int main(int argc, char** argv) {
         bench::measure(disks, misses, [&](core::Key k) { dict.lookup(k); });
     row.bandwidth_bytes = baselines::CuckooDict::max_bandwidth(disks.geometry());
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- [7] + trick: 1+eps / 2+eps average ----------
@@ -208,6 +237,7 @@ int main(int argc, char** argv) {
         bench::measure(disks, misses, [&](core::Key k) { dict.lookup(k); });
     row.bandwidth_bytes = baselines::TrickDict::max_bandwidth(disks.geometry());
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- Section 4.3 (this paper): 1+eps / 2+eps average, det. --------
@@ -235,6 +265,7 @@ int main(int argc, char** argv) {
     row.bandwidth_bytes = baselines::TrickDict::max_bandwidth(
         pdm::Geometry{kDegree, kBlockItems, kItemBytes, 0});
     print_row(row);
+    report_row(report, row, disks);
   }
 
   // ---------- Section 4.2 (this paper): static one-probe ----------
@@ -262,6 +293,7 @@ int main(int argc, char** argv) {
     row.bandwidth_bytes =
         core::WideDict::max_bandwidth(disks.geometry(), kDegree, n);
     print_row(row);
+    report_row(report, row, disks);
   }
 
   bench::rule();

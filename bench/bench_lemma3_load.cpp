@@ -15,8 +15,11 @@
 #include "expander/seeded_expander.hpp"
 #include "util/prng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_lemma3_load");
+  report.param("eps", 1.0 / 6);
+  report.param("delta", 1.0 / 2);
   std::printf("=== Lemma 3: greedy d-choice load balancing on expanders ===\n");
   std::printf("(eps = 1/6, delta = 1/2 for the analytic bound)\n\n");
   std::printf("%10s %4s %4s %10s | %9s %9s %12s %12s | %7s\n", "n", "d", "k",
@@ -55,6 +58,21 @@ int main() {
     double bound = core::lemma3_bound(c.n, v, c.d, c.k, 1.0 / 6, 1.0 / 2);
     bool within = greedy.max_load() <= bound;
     all_within = all_within && within;
+    {
+      char name[64];
+      std::snprintf(name, sizeof(name), "n=%llu d=%u k=%u",
+                    static_cast<unsigned long long>(c.n), c.d, c.k);
+      auto& row = report.add_row(name);
+      row.set("n", c.n);
+      row.set("d", c.d);
+      row.set("k", c.k);
+      row.set("v", v);
+      row.set("avg_load", avg);
+      row.set("max_load", greedy.max_load());
+      row.set("paper_bound", bound);
+      row.set("single_choice_max", single_max);
+      row.set("within_bound", within);
+    }
     std::printf("%10llu %4u %4u %10llu | %9.2f %9llu %12.2f %12llu | %7s\n",
                 static_cast<unsigned long long>(c.n), c.d, c.k,
                 static_cast<unsigned long long>(v), avg,

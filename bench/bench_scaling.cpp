@@ -34,7 +34,8 @@ struct Series {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_scaling");
   std::printf("=== Update cost vs n: deterministic flatness vs randomized "
               "tails ===\n\n");
 
@@ -116,14 +117,22 @@ int main() {
   bench::rule();
   for (const auto& s : series) {
     std::printf("%-20s |", s.name);
+    auto& row = report.add_row(s.name);
+    obs::Json points = obs::Json::array();
     for (int e = 11; e <= 15; ++e) {
       std::uint64_t n = std::uint64_t{1} << e;
       auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
                                           n, std::uint64_t{1} << 40, n + e);
       auto cost = s.run(n, keys);
+      obs::Json point = obs::Json::object();
+      point.set("n", n);
+      point.set("update", bench::to_json(cost));
+      points.push_back(std::move(point));
       std::printf(" %5.2f /%5llu ", cost.average,
                   static_cast<unsigned long long>(cost.worst));
     }
+    row.set("paper_update", "flat in n for deterministic rows");
+    row.set("series", std::move(points));
     std::printf("\n");
   }
   bench::rule();

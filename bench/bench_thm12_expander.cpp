@@ -14,8 +14,9 @@
 #include "expander/semi_explicit.hpp"
 #include "expander/verify.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_thm12_expander");
   std::printf("=== Theorem 12: semi-explicit unbalanced expanders, "
               "u = poly(N) ===\n\n");
   std::printf("%8s %10s %5s %5s | %6s %10s %12s | %14s %10s | %12s %9s\n",
@@ -52,6 +53,24 @@ int main() {
         std::pow(static_cast<double>(p.capacity), c.beta * c.inv_alpha);
     double v_ratio = static_cast<double>(g.right_size()) /
                      (static_cast<double>(p.capacity) * g.degree());
+    {
+      char name[64];
+      std::snprintf(name, sizeof(name), "N=2^%u 1/a=%.1f beta=%.2f",
+                    c.log2_n, c.inv_alpha, c.beta);
+      auto& row = report.add_row(name);
+      row.set("n", p.capacity);
+      row.set("log2_u", log2_u);
+      row.set("inv_alpha", c.inv_alpha);
+      row.set("beta", c.beta);
+      row.set("levels", g.levels());
+      row.set("degree", g.degree());
+      row.set("paper_degree", "polylog(u)");
+      row.set("tashma_degree", tashma);
+      row.set("memory_words", g.internal_memory_words());
+      row.set("paper_memory", mem_target);
+      row.set("right_size", g.right_size());
+      row.set("v_over_nd", v_ratio);
+    }
     std::printf("%8llu %10.0f %5.1f %5.2f | %6u %10u %12.3g | %14llu %10.3g "
                 "| %12llu %9.3f\n",
                 static_cast<unsigned long long>(p.capacity),
@@ -76,6 +95,14 @@ int main() {
   expander::SemiExplicitExpander g(p);
   std::vector<std::uint64_t> sizes{2, 8, 32};
   auto rep = expander::check_expansion_sampled(g, sizes, 3, 99);
+  {
+    auto& row = report.add_row("empirical expansion N=2^12 u=2^24");
+    row.set("n", p.capacity);
+    row.set("log2_u", 24);
+    row.set("min_expansion_ratio", rep.min_ratio);
+    row.set("sets_checked", rep.sets_checked);
+    row.set("worst_set_size", rep.worst_set_size);
+  }
   std::printf("\nempirical expansion of the composed graph (N=%llu, u=2^24): "
               "min |Gamma(S)|/(d|S|) = %.3f over %llu sampled sets "
               "(worst at |S|=%llu)\n",

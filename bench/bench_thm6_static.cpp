@@ -51,7 +51,8 @@ std::uint64_t reference_sort_ios(std::uint64_t n, std::uint32_t d,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "bench_thm6_static");
   std::printf("=== Theorem 6: one-probe static dictionary ===\n\n");
   std::printf("%8s %6s %6s %-14s | %11s %11s | %10s %6s %10s %7s %6s | %9s\n",
               "n", "sigma", "disks", "layout", "hit avg/wc", "miss avg/wc",
@@ -62,6 +63,8 @@ int main() {
 
   const std::uint32_t d = 16;
   const std::size_t mem = std::size_t{1} << 18;
+  report.param("degree", d);
+  report.param("memory_bytes", mem);
   struct Case {
     std::uint64_t n;
     std::size_t sigma;
@@ -118,6 +121,31 @@ int main() {
     double sort_share =
         100.0 * static_cast<double>(dict.build_stats().sort_io.parallel_ios) /
         static_cast<double>(dict.build_stats().total_io.parallel_ios);
+    {
+      const char* layout_name = c.layout == core::StaticLayout::kIdentifiers
+                                    ? "b:identifiers"
+                                    : "a:head-ptrs";
+      char name[64];
+      std::snprintf(name, sizeof(name), "n=%llu sigma=%zu %s",
+                    static_cast<unsigned long long>(c.n), c.sigma, layout_name);
+      auto& row = report.add_row(name);
+      row.set("n", c.n);
+      row.set("sigma_bytes", c.sigma);
+      row.set("layout", layout_name);
+      row.set("disks_needed", core::StaticDict::disks_needed(p));
+      row.set("paper_lookup", "1");
+      row.set("paper_build", "O(sort(nd))");
+      row.set("lookup_hit", bench::to_json(hits));
+      row.set("lookup_miss", bench::to_json(miss));
+      row.set("build_ios", dict.build_stats().total_io.parallel_ios);
+      row.set("sort_share_pct", sort_share);
+      row.set("reference_sort_ios", sort_ios);
+      row.set("build_over_sort_ratio", ratio);
+      row.set("levels", dict.build_stats().levels);
+      row.set("bits_per_key", bits_per_key);
+      row.set("one_probe", hits.worst == 1 && miss.worst == 1);
+      row.set("disks", bench::to_json(disks));
+    }
     std::printf("%8llu %6zu %6u %-14s | %6.2f /%3llu %6.2f /%3llu | %10llu "
                 "%5.0f%% %10llu %7.2f %6u | %9.0f\n",
                 static_cast<unsigned long long>(c.n), c.sigma,

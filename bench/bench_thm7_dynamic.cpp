@@ -15,8 +15,9 @@
 #include "pdm/allocator.hpp"
 #include "workload/workload.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_thm7_dynamic");
   std::printf("=== Theorem 7: dynamic dictionary, 1+eps / 2+eps I/Os ===\n\n");
   std::printf("%6s %4s %7s | %13s %6s | %13s %6s | %13s %6s | %7s | %s\n",
               "eps", "d", "levels", "insert avg", "<=2+e", "hit avg", "<=1+e",
@@ -25,6 +26,7 @@ int main() {
   bench::rule();
 
   const std::uint64_t n = 1 << 13;
+  report.param("n", n);
   const double epsilons[] = {1.0, 0.5, 0.25, 0.1};
   bool all_ok = true;
   for (double eps : epsilons) {
@@ -56,6 +58,25 @@ int main() {
     bool ok = insert.average <= 2.0 + eps && hit.average <= 1.0 + eps &&
               miss.average == 1.0 && miss.worst == 1;
     all_ok = all_ok && ok;
+    {
+      char name[32];
+      std::snprintf(name, sizeof(name), "eps=%.2f", eps);
+      auto& row = report.add_row(name);
+      row.set("eps", eps);
+      row.set("degree", p.degree);
+      row.set("levels", dict.levels());
+      row.set("paper_insert", "2+eps avg");
+      row.set("paper_hit", "1+eps avg");
+      row.set("paper_miss", "1");
+      row.set("insert", bench::to_json(insert));
+      row.set("lookup_hit", bench::to_json(hit));
+      row.set("lookup_miss", bench::to_json(miss));
+      row.set("within_bounds", ok);
+      obs::Json pops_json = obs::Json::array();
+      for (auto c : dict.level_population()) pops_json.push_back(c);
+      row.set("level_population", std::move(pops_json));
+      row.set("disks", bench::to_json(disks));
+    }
     char pops[128] = {0};
     std::size_t off = 0;
     for (auto c : dict.level_population()) {

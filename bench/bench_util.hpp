@@ -5,43 +5,214 @@
 // workload, count I/O rounds through pdm::IoStats, and print the rows the
 // paper's Figure 1 / lemmas describe next to the measured values. (Wall-time
 // microbenchmarks of the expander evaluations live in bench_micro_expander,
-// which uses google-benchmark.)
+// which uses google-benchmark and its native --benchmark_format=json.)
+//
+// Every report bench also emits a machine-readable run artifact when invoked
+// with `--json <path>`: a pddict-bench-report document (schema documented in
+// docs/observability.md, validated in CI by tools/validate_bench_json) whose
+// rows carry paper-bound vs. measured values, so BENCH_*.json trajectories
+// can be diffed across PRs instead of eyeballing tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/dictionary.hpp"
+#include "obs/json.hpp"
 #include "pdm/disk_array.hpp"
 #include "pdm/io_stats.hpp"
 
 namespace pddict::bench {
 
+/// Distribution of per-operation parallel-I/O costs. Lemma 3 and Theorem 7
+/// are tail statements, so the percentiles are first-class alongside the
+/// average and the worst case.
 struct OpCost {
   double average = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
   std::uint64_t worst = 0;
   std::uint64_t count = 0;
 };
+
+/// Nearest-rank percentile of a sorted sample vector.
+inline std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
+                                double q) {
+  if (sorted.empty()) return 0;
+  std::size_t rank = static_cast<std::size_t>(q * sorted.size());
+  if (rank >= sorted.size()) rank = sorted.size() - 1;
+  return sorted[rank];
+}
 
 /// Runs `op` once per key, measuring parallel I/Os per call.
 inline OpCost measure(pdm::DiskArray& disks, std::span<const core::Key> keys,
                       const std::function<void(core::Key)>& op) {
   OpCost cost;
+  std::vector<std::uint64_t> samples;
+  samples.reserve(keys.size());
   std::uint64_t total = 0;
   for (core::Key k : keys) {
     pdm::IoProbe probe(disks);
     op(k);
     std::uint64_t ios = probe.ios();
     total += ios;
-    cost.worst = std::max(cost.worst, ios);
-    ++cost.count;
+    samples.push_back(ios);
   }
+  cost.count = samples.size();
   cost.average = cost.count ? static_cast<double>(total) / cost.count : 0.0;
+  std::sort(samples.begin(), samples.end());
+  cost.p50 = percentile(samples, 0.50);
+  cost.p95 = percentile(samples, 0.95);
+  cost.p99 = percentile(samples, 0.99);
+  cost.worst = samples.empty() ? 0 : samples.back();
   return cost;
 }
+
+inline obs::Json to_json(const OpCost& cost) {
+  obs::Json j = obs::Json::object();
+  j.set("avg", cost.average);
+  j.set("p50", cost.p50);
+  j.set("p95", cost.p95);
+  j.set("p99", cost.p99);
+  j.set("worst", cost.worst);
+  j.set("count", cost.count);
+  return j;
+}
+
+/// Snapshot of one disk array's accounting: global I/O counters, per-disk
+/// counters and the round-utilization histogram.
+inline obs::Json to_json(const pdm::DiskArray& disks) {
+  const pdm::Geometry& geom = disks.geometry();
+  obs::Json j = obs::Json::object();
+  obs::Json g = obs::Json::object();
+  g.set("num_disks", geom.num_disks);
+  g.set("block_items", geom.block_items);
+  g.set("item_bytes", geom.item_bytes);
+  j.set("geometry", std::move(g));
+  const pdm::IoStats& s = disks.stats();
+  obs::Json io = obs::Json::object();
+  io.set("parallel_ios", s.parallel_ios);
+  io.set("read_rounds", s.read_rounds);
+  io.set("write_rounds", s.write_rounds);
+  io.set("blocks_read", s.blocks_read);
+  io.set("blocks_written", s.blocks_written);
+  j.set("io", std::move(io));
+  j.set("mean_utilization", disks.mean_utilization());
+  obs::Json hist = obs::Json::array();
+  for (std::uint64_t h : disks.round_utilization()) hist.push_back(h);
+  j.set("round_utilization", std::move(hist));
+  obs::Json per_disk = obs::Json::array();
+  for (const pdm::DiskCounters& c : disks.disk_counters()) {
+    obs::Json d = obs::Json::object();
+    d.set("blocks_read", c.blocks_read);
+    d.set("blocks_written", c.blocks_written);
+    d.set("rounds_active", c.rounds_active);
+    d.set("idle_slots", c.idle_slots);
+    per_disk.push_back(std::move(d));
+  }
+  j.set("per_disk", std::move(per_disk));
+  return j;
+}
+
+/// Machine-readable experiment report ("pddict-bench-report" version 1).
+///
+///   JsonReport report(argc, argv, "bench_x");   // strips --json <path>
+///   report.param("n", n);
+///   auto& row = report.add_row("method A");
+///   row.set("paper_lookup", "1");
+///   row.set("lookup", bench::to_json(cost));
+///   ...                                          // dtor writes the file
+///
+/// With no --json flag every call is a cheap no-op on an in-memory tree that
+/// is simply never serialized.
+class JsonReport {
+ public:
+  JsonReport(int& argc, char** argv, std::string_view bench_name)
+      : bench_(bench_name) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        consumed = 2;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = std::string(arg.substr(7));
+        consumed = 1;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& path() const { return path_; }
+
+  template <typename V>
+  void param(std::string_view key, V value) {
+    params_.set(key, obs::Json(value));
+  }
+
+  /// Append a row; returns the row object for further set() calls. Every row
+  /// carries a "name" — the method / configuration it describes.
+  obs::Json& add_row(std::string_view name) {
+    obs::Json row = obs::Json::object();
+    row.set("name", name);
+    rows_.push_back(std::move(row));
+    return rows_.as_array().back();
+  }
+
+  /// Attach a named disk-array snapshot to the report-level "disks" section.
+  void add_disks(std::string_view name, const pdm::DiskArray& disks) {
+    disks_.set(name, to_json(disks));
+  }
+
+  /// Serialize now (idempotent; the destructor calls it). Returns false if
+  /// disabled or the file could not be written.
+  bool write() {
+    if (path_.empty() || written_) return written_;
+    obs::Json root = obs::Json::object();
+    root.set("schema", "pddict-bench-report");
+    root.set("version", 1);
+    root.set("bench", bench_);
+    root.set("params", params_);
+    root.set("rows", rows_);
+    if (!disks_.as_object().empty()) root.set("disks", disks_);
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    root.write(out, 2);
+    out << '\n';
+    written_ = true;
+    std::printf("\n[json report written to %s]\n", path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  obs::Json params_ = obs::Json::object();
+  obs::Json rows_ = obs::Json::array();
+  obs::Json disks_ = obs::Json::object();
+  bool written_ = false;
+};
 
 inline void rule(char c = '-', int width = 118) {
   for (int i = 0; i < width; ++i) std::putchar(c);

@@ -8,7 +8,8 @@
 //   put <key> <value-string>   insert (value padded/truncated to 48 bytes)
 //   get <key>                  lookup
 //   del <key>                  erase
-//   stats                      size + I/O counters + estimated latencies
+//   stats                      size + I/O counters + estimated latencies,
+//                              per-disk utilization and the session span tree
 //   help / quit
 //
 // The store is self-describing: its parameters live in a one-block manifest,
@@ -21,6 +22,7 @@
 #include <string>
 
 #include "core/manifest.hpp"
+#include "obs/span.hpp"
 #include "pdm/cost_model.hpp"
 #include "pdm/file_backend.hpp"
 
@@ -55,6 +57,7 @@ std::string decode_value(std::span<const std::byte> bytes) {
 }
 
 int run_command(core::BasicDict& store, pdm::DiskArray& disks,
+                obs::SpanAggregator& spans,
                 const std::vector<std::string>& args) {
   if (args.empty() || args[0] == "help") {
     std::printf("commands: put <key> <value> | get <key> | del <key> | "
@@ -62,12 +65,14 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
     return 0;
   }
   if (args[0] == "put" && args.size() >= 3) {
+    obs::Span span(disks, "cli_put");
     core::Key key = std::strtoull(args[1].c_str(), nullptr, 10);
     bool fresh = store.insert(key, encode_value(args[2]));
     std::printf("%s\n", fresh ? "OK" : "EXISTS");
     return 0;
   }
   if (args[0] == "get" && args.size() >= 2) {
+    obs::Span span(disks, "cli_get");
     core::Key key = std::strtoull(args[1].c_str(), nullptr, 10);
     auto r = store.lookup(key);
     if (r.found)
@@ -77,6 +82,7 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
     return r.found ? 0 : 1;
   }
   if (args[0] == "del" && args.size() >= 2) {
+    obs::Span span(disks, "cli_del");
     core::Key key = std::strtoull(args[1].c_str(), nullptr, 10);
     std::printf("%s\n", store.erase(key) ? "DELETED" : "NOT_FOUND");
     return 0;
@@ -96,6 +102,29 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
                 "(1 parallel I/O, guaranteed)\n",
                 spin.elapsed_ms(one_lookup, kGeom),
                 nvme.elapsed_ms(one_lookup, kGeom));
+
+    std::printf("\nper-disk utilization (mean %.3f of %u slots per round):\n",
+                disks.mean_utilization(), kGeom.num_disks);
+    std::printf("  %4s %12s %12s %12s %12s\n", "disk", "reads", "writes",
+                "rounds", "idle slots");
+    const auto& counters = disks.disk_counters();
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+      std::printf("  %4zu %12llu %12llu %12llu %12llu\n", i,
+                  static_cast<unsigned long long>(counters[i].blocks_read),
+                  static_cast<unsigned long long>(counters[i].blocks_written),
+                  static_cast<unsigned long long>(counters[i].rounds_active),
+                  static_cast<unsigned long long>(counters[i].idle_slots));
+    }
+    std::printf("round utilization histogram (slots used -> rounds):\n ");
+    const auto& hist = disks.round_utilization();
+    for (std::size_t k = 1; k < hist.size(); ++k)
+      if (hist[k]) std::printf(" %zu:%llu", k,
+                               static_cast<unsigned long long>(hist[k]));
+    std::printf("\n");
+
+    if (!spans.nodes().empty()) {
+      std::printf("\nsession span tree:\n%s", spans.render().c_str());
+    }
     return 0;
   }
   std::printf("unknown command (try 'help')\n");
@@ -113,11 +142,13 @@ int main(int argc, char** argv) {
   std::filesystem::create_directories(dir);
   pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,
                        std::make_unique<pdm::FileBackend>(kGeom, dir));
+  auto spans = std::make_shared<obs::SpanAggregator>();
+  disks.set_sink(spans);
   core::BasicDict store = core::open_store(disks, default_params());
 
   if (argc > 2) {  // one-shot
     std::vector<std::string> args(argv + 2, argv + argc);
-    int rc = run_command(store, disks, args);
+    int rc = run_command(store, disks, *spans, args);
     core::close_store(disks, store);  // fast reopen next time
     return rc;
   }
@@ -130,7 +161,7 @@ int main(int argc, char** argv) {
     std::string tok;
     while (iss >> tok) args.push_back(tok);
     if (!args.empty() && args[0] == "quit") break;
-    run_command(store, disks, args);
+    run_command(store, disks, *spans, args);
   }
   core::close_store(disks, store);
   return 0;

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <cstring>
 
+#include "obs/span.hpp"
 #include "pdm/block.hpp"
 #include "util/math.hpp"
 
@@ -207,6 +208,7 @@ BasicDict::plan_insert(Key key, std::span<const std::byte> value,
 }
 
 bool BasicDict::insert(Key key, std::span<const std::byte> value) {
+  obs::Span span(*disks_, "insert");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;
@@ -218,6 +220,7 @@ bool BasicDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult BasicDict::lookup(Key key) {
+  obs::Span span(*disks_, "lookup");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;
@@ -227,6 +230,7 @@ LookupResult BasicDict::lookup(Key key) {
 }
 
 bool BasicDict::erase(Key key) {
+  obs::Span span(*disks_, "erase");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;

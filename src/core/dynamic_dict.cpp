@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/span.hpp"
 #include "util/math.hpp"
 
 namespace pddict::core {
@@ -133,6 +134,7 @@ std::vector<std::byte> DynamicDict::decode(
 }
 
 bool DynamicDict::insert(Key key, std::span<const std::byte> value) {
+  obs::Span span(*disks_, "insert");
   check_key(key);
   if (value.size() != value_bytes_)
     throw std::invalid_argument("value size mismatch");
@@ -226,6 +228,7 @@ bool DynamicDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult DynamicDict::lookup(Key key) {
+  obs::Span span(*disks_, "lookup");
   check_key(key);
   std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
   const std::size_t mem_blocks = addrs.size();
@@ -253,6 +256,7 @@ LookupResult DynamicDict::lookup(Key key) {
 }
 
 bool DynamicDict::erase(Key key) {
+  obs::Span span(*disks_, "erase");
   check_key(key);
   std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
   const std::size_t mem_blocks = addrs.size();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace pddict::core {
 
 std::uint32_t FullDict::disks_needed(const FullDictParams& p) {
@@ -48,6 +50,7 @@ void FullDict::start_rebuild(std::uint64_t new_capacity) {
 
 void FullDict::migration_step() {
   if (!building_) return;
+  obs::Span span(*disks_, "rebuild");
   std::uint32_t moved = 0;
   while (moved < params_.moves_per_op &&
          scan_cursor_ < active_->num_buckets()) {
@@ -73,6 +76,7 @@ void FullDict::finish_rebuild() {
 }
 
 bool FullDict::insert(Key key, std::span<const std::byte> value) {
+  obs::Span span(*disks_, "insert");
   // Combined duplicate probe: both structures in one parallel I/O (disjoint
   // disk halves).
   auto addrs = active_->probe_addrs(key);
@@ -114,6 +118,7 @@ bool FullDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult FullDict::lookup(Key key) {
+  obs::Span span(*disks_, "lookup");
   auto addrs = active_->probe_addrs(key);
   std::size_t active_blocks = addrs.size();
   if (building_) {
@@ -130,6 +135,7 @@ LookupResult FullDict::lookup(Key key) {
 }
 
 bool FullDict::erase(Key key) {
+  obs::Span span(*disks_, "erase");
   bool erased = active_->erase(key);
   if (!erased && building_) erased = building_->erase(key);
   if (erased) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace pddict::core {
 
 std::uint32_t FullDynamicDict::disks_needed(const FullDynamicParams& p) {
@@ -50,6 +52,7 @@ void FullDynamicDict::start_rebuild(std::uint64_t new_capacity) {
 
 void FullDynamicDict::migration_step() {
   if (!building_) return;
+  obs::Span span(*disks_, "rebuild");
   auto records = active_->drain_some(params_.moves_per_op);
   for (auto& [key, value] : records) building_->insert(key, value);
   if (active_->size() == 0 && active_->drain_remaining_buckets() == 0) {

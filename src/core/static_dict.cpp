@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/span.hpp"
 #include "pdm/block.hpp"
 #include "pdm/ext_sort.hpp"
 #include "pdm/record_stream.hpp"
@@ -164,6 +165,7 @@ void StaticDict::build_direct(const StaticDictParams& params,
   // nodes of the remaining set (internal memory), pick any ⌈2d/3⌉ of them
   // for every qualifying key, and write those fields in place — a
   // read-modify-write round pair per key, O(n) parallel I/Os in total.
+  obs::Span span(*disks_, "build_direct");
   pdm::IoProbe probe(*disks_);
   stats_.input_records = n_;
   if (n_ == 0) {
@@ -249,6 +251,7 @@ void StaticDict::build(pdm::DiskAllocator& alloc,
     build_direct(params, keys, values);
     return;
   }
+  obs::Span span(*disks_, "build_sorted");
   pdm::IoProbe probe(*disks_);
   stats_.input_records = n_;
   if (n_ == 0) {

@@ -1,0 +1,108 @@
+// Minimal JSON value tree, serializer and parser.
+//
+// The observability layer emits machine-readable artifacts (metrics dumps,
+// span records, bench reports) and the CI schema gate reads them back, so the
+// repo needs a JSON round trip without an external dependency. This is a
+// deliberately small implementation: objects preserve insertion order (so
+// reports diff cleanly across runs), numbers are stored as double with an
+// exact-integer fast path, and the parser accepts strict RFC 8259 JSON.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pddict::obs {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered object: pairs, with lookup helpers below.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t i) : type_(Type::kInt), int_(i) {}
+  Json(std::uint64_t u)
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(u)) {}
+  Json(int i) : type_(Type::kInt), int_(i) {}
+  Json(unsigned i) : type_(Type::kInt), int_(i) {}
+  Json(double d) : type_(Type::kDouble), double_(d) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::kString), string_(s) {}
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return type_ == Type::kDouble ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& as_string() const { return string_; }
+  const JsonArray& as_array() const { return array_; }
+  const JsonObject& as_object() const { return object_; }
+  JsonArray& as_array() { return array_; }
+  JsonObject& as_object() { return object_; }
+
+  // ---- builders ----
+  /// Append to an array value (converts a null value to an array).
+  Json& push_back(Json v);
+  /// Set/overwrite a key on an object value (converts null to object).
+  Json& set(std::string_view key, Json v);
+
+  // ---- object lookup ----
+  /// Pointer to the member named `key`, or nullptr.
+  const Json* find(std::string_view key) const;
+
+  // ---- serialization ----
+  /// Compact one-line form.
+  std::string dump() const;
+  /// Pretty form with `indent` spaces per level.
+  std::string dump(int indent) const;
+  void write(std::ostream& os, int indent = -1, int depth = 0) const;
+
+  /// Escape and quote one string (exposed for streaming writers).
+  static void write_escaped(std::ostream& os, std::string_view s);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+/// Strict parse; returns std::nullopt on malformed input. `error` (optional)
+/// receives a one-line diagnostic with the byte offset.
+std::optional<Json> parse_json(std::string_view text,
+                               std::string* error = nullptr);
+
+}  // namespace pddict::obs

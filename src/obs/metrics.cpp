@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+namespace pddict::obs {
+
+void MetricsRegistry::count(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] += delta;
+}
+
+void MetricsRegistry::gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::histogram(std::string_view name,
+                                std::vector<std::uint64_t> buckets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histograms_[std::string(name)] = std::move(buckets);
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(std::string(name));
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge_value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::uint64_t> MetricsRegistry::histogram_value(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? std::vector<std::uint64_t>{} : it->second;
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Json MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json counters = Json::object();
+  for (const auto& [name, value] : counters_) counters.set(name, value);
+  Json gauges = Json::object();
+  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  Json histograms = Json::object();
+  for (const auto& [name, buckets] : histograms_) {
+    Json arr = Json::array();
+    for (std::uint64_t b : buckets) arr.push_back(b);
+    histograms.set(name, std::move(arr));
+  }
+  Json root = Json::object();
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+void MetricsRegistry::to_json(std::ostream& os, int indent) const {
+  to_json().write(os, indent);
+  os << '\n';
+}
+
+void MetricsRegistry::to_csv(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "kind,name,index,value\n";
+  for (const auto& [name, value] : counters_)
+    os << "counter," << name << ",," << value << '\n';
+  for (const auto& [name, value] : gauges_)
+    os << "gauge," << name << ",," << value << '\n';
+  for (const auto& [name, buckets] : histograms_)
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+      os << "histogram," << name << ',' << i << ',' << buckets[i] << '\n';
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,57 @@
+// MetricsRegistry: a flat, exportable namespace of counters, gauges and
+// histograms, in the style of a production metrics endpoint.
+//
+// Producers (the disk array, dictionaries, bench harnesses) write metrics
+// under dotted names ("pdm.disk.3.blocks_read"); exporters serialize the
+// whole registry as JSON (nested report consumption) or CSV (spreadsheet /
+// plotting consumption). Names are kept sorted so exports are deterministic
+// and diffable across runs — the property the BENCH_*.json trajectory
+// tracking relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pddict::obs {
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to a monotonically increasing counter (creates at 0).
+  void count(std::string_view name, std::uint64_t delta = 1);
+  /// Set a point-in-time value.
+  void gauge(std::string_view name, double value);
+  /// Set a whole histogram: bucket i holds `buckets[i]` observations. Used
+  /// for distributions with a natural small index domain (e.g. round
+  /// utilization, indexed by slots-in-use 0..D).
+  void histogram(std::string_view name, std::vector<std::uint64_t> buckets);
+
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  std::vector<std::uint64_t> histogram_value(std::string_view name) const;
+
+  bool empty() const;
+  void clear();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
+  /// sorted.
+  Json to_json() const;
+  void to_json(std::ostream& os, int indent = 2) const;
+  /// One row per scalar / per histogram bucket:
+  /// kind,name,index,value
+  void to_csv(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, std::vector<std::uint64_t>> histograms_;
+};
+
+}  // namespace pddict::obs

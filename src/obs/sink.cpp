@@ -1,0 +1,135 @@
+#include "obs/sink.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace pddict::obs {
+
+// ---------------------------------------------------------- RingBufferSink
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {}
+
+void RingBufferSink::on_io(const IoEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() == capacity_) {
+    events_.pop_front();
+    ++dropped_events_;
+  }
+  events_.push_back(event);
+}
+
+void RingBufferSink::on_span(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() == capacity_) {
+    spans_.pop_front();
+    ++dropped_spans_;
+  }
+  spans_.push_back(record);
+}
+
+std::vector<IoEvent> RingBufferSink::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<SpanRecord> RingBufferSink::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {spans_.begin(), spans_.end()};
+}
+
+std::uint64_t RingBufferSink::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_events_;
+}
+
+std::uint64_t RingBufferSink::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_spans_;
+}
+
+void RingBufferSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  spans_.clear();
+  dropped_events_ = 0;
+  dropped_spans_ = 0;
+}
+
+// ----------------------------------------------------------- JsonLinesSink
+
+Json io_event_to_json(const IoEvent& event, bool record_addrs) {
+  Json j = Json::object();
+  j.set("type", "io");
+  j.set("write", event.write);
+  j.set("rounds", event.rounds);
+  j.set("blocks", static_cast<std::uint64_t>(event.addrs.size()));
+  if (record_addrs) {
+    Json addrs = Json::array();
+    for (const auto& a : event.addrs) {
+      Json pair = Json::array();
+      pair.push_back(a.disk);
+      pair.push_back(a.block);
+      addrs.push_back(std::move(pair));
+    }
+    j.set("addrs", std::move(addrs));
+  }
+  return j;
+}
+
+Json span_record_to_json(const SpanRecord& record) {
+  Json j = Json::object();
+  j.set("type", "span");
+  j.set("path", record.path);
+  j.set("depth", record.depth);
+  j.set("parallel_ios", record.io.parallel_ios);
+  j.set("read_rounds", record.io.read_rounds);
+  j.set("write_rounds", record.io.write_rounds);
+  j.set("blocks_read", record.io.blocks_read);
+  j.set("blocks_written", record.io.blocks_written);
+  j.set("wall_ns", record.wall_ns);
+  return j;
+}
+
+struct JsonLinesSink::Impl {
+  std::ofstream out;
+  bool record_addrs = false;
+  mutable std::mutex mutex;
+  std::uint64_t lines = 0;
+};
+
+JsonLinesSink::JsonLinesSink(const std::string& path, bool record_addrs)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::out | std::ios::trunc);
+  if (!impl_->out)
+    throw std::runtime_error("JsonLinesSink: cannot open " + path);
+  impl_->record_addrs = record_addrs;
+}
+
+JsonLinesSink::~JsonLinesSink() = default;
+
+void JsonLinesSink::on_io(const IoEvent& event) {
+  Json j = io_event_to_json(event, impl_->record_addrs);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out << j.dump() << '\n';
+  ++impl_->lines;
+}
+
+void JsonLinesSink::on_span(const SpanRecord& record) {
+  Json j = span_record_to_json(record);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out << j.dump() << '\n';
+  ++impl_->lines;
+}
+
+void JsonLinesSink::flush() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out.flush();
+}
+
+std::uint64_t JsonLinesSink::lines_written() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->lines;
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,120 @@
+// Observability sinks: where the disk array's structured event stream goes.
+//
+// The simulator is the measurement instrument of this reproduction, so its
+// event stream (every batch it schedules, every instrumented span) is routed
+// through a pluggable Sink instead of an unbounded in-object vector:
+//
+//   * no sink attached  — the default; emitting is a null-pointer check, so
+//     uninstrumented runs pay nothing,
+//   * RingBufferSink    — keeps the last `capacity` events (bounded memory;
+//     what DiskArray tracing now runs on),
+//   * JsonLinesSink     — streams one JSON object per event to a file, for
+//     offline analysis of full runs,
+//   * SpanAggregator    — see span.hpp; folds span records into a tree.
+//
+// Sinks must be thread-safe: the concurrent dictionary issues batches from
+// many threads, and DiskArray calls on_io() under its own scheduling lock.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "pdm/geometry.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::obs {
+
+/// One batch scheduled by the disk array (the unit of parallel I/O
+/// accounting). `addrs` is the block list in submission order for reads and
+/// the deduplicated list for writes, matching the historical trace semantics.
+struct IoEvent {
+  bool write = false;
+  std::uint64_t rounds = 0;
+  std::vector<pdm::BlockAddr> addrs;
+};
+
+/// One closed span (see obs::Span): a named phase of an operation with the
+/// I/O and wall time spent between open and close. `path` is the
+/// slash-joined nesting chain ("insert/rebuild/ext_sort"); `depth` its level.
+struct SpanRecord {
+  std::string path;
+  std::uint32_t depth = 0;
+  pdm::IoStats io;
+  std::uint64_t wall_ns = 0;
+};
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_io(const IoEvent& event) = 0;
+  virtual void on_span(const SpanRecord& record) = 0;
+  virtual void flush() {}
+};
+
+/// Swallows everything. Attaching it is equivalent to (but measurably no
+/// cheaper than) attaching nothing; it exists so overhead can be measured and
+/// as a base class for sinks that only care about one event kind.
+class NullSink : public Sink {
+ public:
+  void on_io(const IoEvent&) override {}
+  void on_span(const SpanRecord&) override {}
+};
+
+/// Bounded in-memory sink: keeps the most recent `capacity` I/O events and
+/// span records, counting what it had to drop. This is the memory-safe
+/// replacement for the old DiskArray::trace_ vector, which grew without
+/// bound for the lifetime of the array.
+class RingBufferSink : public Sink {
+ public:
+  explicit RingBufferSink(std::size_t capacity);
+
+  void on_io(const IoEvent& event) override;
+  void on_span(const SpanRecord& record) override;
+
+  std::size_t capacity() const { return capacity_; }
+  /// Snapshots in arrival order (oldest first).
+  std::vector<IoEvent> events() const;
+  std::vector<SpanRecord> spans() const;
+  std::uint64_t dropped_events() const;
+  std::uint64_t dropped_spans() const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::deque<IoEvent> events_;
+  std::deque<SpanRecord> spans_;
+  std::uint64_t dropped_events_ = 0;
+  std::uint64_t dropped_spans_ = 0;
+};
+
+/// Streams every event as one JSON object per line (JSON-lines / ndjson):
+///   {"type":"io","write":false,"rounds":1,"blocks":16,"disks":[...]}
+///   {"type":"span","path":"insert","ios":2,...}
+/// Block addresses are emitted as [disk, block] pairs only when
+/// `record_addrs` is set — full address streams are large.
+class JsonLinesSink : public Sink {
+ public:
+  explicit JsonLinesSink(const std::string& path, bool record_addrs = false);
+  ~JsonLinesSink() override;
+
+  void on_io(const IoEvent& event) override;
+  void on_span(const SpanRecord& record) override;
+  void flush() override;
+
+  std::uint64_t lines_written() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// JSON shape shared by JsonLinesSink and tests.
+Json io_event_to_json(const IoEvent& event, bool record_addrs);
+Json span_record_to_json(const SpanRecord& record);
+
+}  // namespace pddict::obs

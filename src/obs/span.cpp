@@ -1,0 +1,136 @@
+#include "obs/span.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace pddict::obs {
+
+namespace {
+// Active span paths of this thread, innermost last. Spans are strictly
+// RAII-scoped, so closes happen in LIFO order per thread.
+std::vector<std::string>& span_stack() {
+  thread_local std::vector<std::string> stack;
+  return stack;
+}
+}  // namespace
+
+Span::Span(Sink* sink, const pdm::IoStats& live, std::string_view name) {
+  if (!sink) return;  // inactive: this check is the whole null-sink cost
+  sink_ = sink;
+  live_ = &live;
+  start_ = live;
+  start_time_ = std::chrono::steady_clock::now();
+  auto& stack = span_stack();
+  depth_ = static_cast<std::uint32_t>(stack.size());
+  if (stack.empty()) {
+    path_ = name;
+  } else {
+    path_ = stack.back();
+    path_ += '/';
+    path_ += name;
+  }
+  stack.push_back(path_);
+}
+
+Span::Span(Span&& other) noexcept
+    : sink_(other.sink_),
+      live_(other.live_),
+      start_(other.start_),
+      start_time_(other.start_time_),
+      path_(std::move(other.path_)),
+      depth_(other.depth_) {
+  other.sink_ = nullptr;
+}
+
+void Span::close() {
+  if (!sink_) return;
+  auto wall = std::chrono::steady_clock::now() - start_time_;
+  SpanRecord record;
+  record.path = std::move(path_);
+  record.depth = depth_;
+  record.io = *live_ - start_;
+  record.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  auto& stack = span_stack();
+  if (!stack.empty()) stack.pop_back();
+  Sink* sink = sink_;
+  sink_ = nullptr;
+  sink->on_span(record);
+}
+
+// ---------------------------------------------------------- SpanAggregator
+
+void SpanAggregator::on_io(const IoEvent&) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++io_events_;
+}
+
+void SpanAggregator::on_span(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Node& node = nodes_[record.path];
+  ++node.count;
+  node.io += record.io;
+  node.wall_ns += record.wall_ns;
+  node.depth = record.depth;
+}
+
+std::map<std::string, SpanAggregator::Node> SpanAggregator::nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_;
+}
+
+std::uint64_t SpanAggregator::io_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return io_events_;
+}
+
+std::string SpanAggregator::render() const {
+  auto snapshot = nodes();
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-40s %10s %12s %12s %10s\n", "span",
+                "count", "par. I/Os", "blocks", "wall ms");
+  os << line;
+  for (const auto& [path, node] : snapshot) {
+    // Indent by depth; show only the leaf segment of the path.
+    std::string label(static_cast<std::size_t>(node.depth) * 2, ' ');
+    auto slash = path.rfind('/');
+    label += slash == std::string::npos ? path : path.substr(slash + 1);
+    std::snprintf(line, sizeof(line), "%-40s %10llu %12llu %12llu %10.3f\n",
+                  label.c_str(), static_cast<unsigned long long>(node.count),
+                  static_cast<unsigned long long>(node.io.parallel_ios),
+                  static_cast<unsigned long long>(node.io.blocks_read +
+                                                  node.io.blocks_written),
+                  static_cast<double>(node.wall_ns) / 1e6);
+    os << line;
+  }
+  return os.str();
+}
+
+Json SpanAggregator::to_json() const {
+  auto snapshot = nodes();
+  Json arr = Json::array();
+  for (const auto& [path, node] : snapshot) {
+    Json j = Json::object();
+    j.set("path", path);
+    j.set("depth", node.depth);
+    j.set("count", node.count);
+    j.set("parallel_ios", node.io.parallel_ios);
+    j.set("read_rounds", node.io.read_rounds);
+    j.set("write_rounds", node.io.write_rounds);
+    j.set("blocks_read", node.io.blocks_read);
+    j.set("blocks_written", node.io.blocks_written);
+    j.set("wall_ns", node.wall_ns);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+void SpanAggregator::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  nodes_.clear();
+  io_events_ = 0;
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,95 @@
+// Hierarchical RAII spans: structured attribution of parallel I/O to phases.
+//
+// A Span brackets one phase of work ("lookup", "insert", "rebuild",
+// "ext_sort", ...) against a disk array. On destruction it emits a SpanRecord
+// — the I/O-stats delta and wall time of the phase — to the array's sink.
+// Spans nest: a thread-local stack turns lexical nesting into slash-joined
+// paths ("insert/rebuild/ext_sort"), so a SpanAggregator sink can rebuild the
+// call tree of a whole run and show where every parallel I/O went.
+//
+// Cost discipline: when no sink is attached the constructor is one pointer
+// check and nothing else — no clock read, no string, no allocation — so the
+// dictionaries keep their spans compiled in unconditionally.
+//
+// Attribution caveat: deltas are taken from the array's global counters, so
+// under concurrent load a span charges all I/O the array performed during its
+// lifetime, not only its own thread's. Single-threaded runs are exact.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/sink.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::obs {
+
+class Span {
+ public:
+  /// Inactive unless `sink` is non-null. `live` must outlive the span and is
+  /// sampled at open and close (pass the owning DiskArray's stats).
+  Span(Sink* sink, const pdm::IoStats& live, std::string_view name);
+
+  /// Duck-typed convenience for anything exposing sink() and stats()
+  /// (pdm::DiskArray; avoids an obs -> pdm link dependency).
+  template <typename DiskArrayLike>
+  Span(DiskArrayLike& disks, std::string_view name)
+      : Span(disks.sink(), disks.stats(), name) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&&) = delete;
+
+  ~Span() { close(); }
+
+  bool active() const { return sink_ != nullptr; }
+  /// Close early (idempotent; the destructor calls it).
+  void close();
+
+ private:
+  Sink* sink_ = nullptr;
+  const pdm::IoStats* live_ = nullptr;
+  pdm::IoStats start_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::string path_;
+  std::uint32_t depth_ = 0;
+};
+
+/// Sink that folds span records into an aggregate tree keyed by path:
+/// per path, the number of times it closed and the summed I/O + wall time.
+/// I/O events are counted but not retained.
+class SpanAggregator : public Sink {
+ public:
+  struct Node {
+    std::uint64_t count = 0;
+    pdm::IoStats io;
+    std::uint64_t wall_ns = 0;
+    std::uint32_t depth = 0;
+  };
+
+  void on_io(const IoEvent& event) override;
+  void on_span(const SpanRecord& record) override;
+
+  /// Snapshot keyed by path; lexicographic order == preorder of the tree
+  /// ('/' sorts before alphanumerics), which is what render() relies on.
+  std::map<std::string, Node> nodes() const;
+  std::uint64_t io_events() const;
+
+  /// Human-readable indented tree with per-node count / I/O / wall columns.
+  std::string render() const;
+  /// Machine-readable: array of {path, depth, count, parallel_ios, ...}.
+  Json to_json() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Node> nodes_;
+  std::uint64_t io_events_ = 0;
+};
+
+}  // namespace pddict::obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace pddict::pdm {
 
 DiskArray::DiskArray(Geometry geom, Model model)
@@ -9,9 +11,20 @@ DiskArray::DiskArray(Geometry geom, Model model)
 
 DiskArray::DiskArray(Geometry geom, Model model,
                      std::unique_ptr<BlockBackend> backend)
-    : geom_(geom), model_(model), backend_(std::move(backend)) {
+    : geom_(geom),
+      model_(model),
+      disk_counters_(geom.num_disks),
+      round_hist_(static_cast<std::size_t>(geom.num_disks) + 1, 0),
+      backend_(std::move(backend)) {
   if (!geom_.valid()) throw std::invalid_argument("invalid PDM geometry");
   if (!backend_) throw std::invalid_argument("null block backend");
+}
+
+void DiskArray::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = IoStats{};
+  std::fill(disk_counters_.begin(), disk_counters_.end(), DiskCounters{});
+  std::fill(round_hist_.begin(), round_hist_.end(), 0);
 }
 
 void DiskArray::check_addr(const BlockAddr& addr) const {
@@ -21,25 +34,154 @@ void DiskArray::check_addr(const BlockAddr& addr) const {
     throw std::out_of_range("block index beyond disk capacity");
 }
 
-std::uint64_t DiskArray::rounds_for(std::span<const BlockAddr> addrs) const {
-  if (addrs.empty()) return 0;
+DiskArray::BatchPlan DiskArray::plan_batch(
+    std::span<const BlockAddr> addrs) const {
+  BatchPlan plan;
+  plan.per_disk.assign(geom_.num_disks, 0);
+  if (addrs.empty()) return plan;
+  plan.uniq.assign(addrs.begin(), addrs.end());
+  std::sort(plan.uniq.begin(), plan.uniq.end());
+  plan.uniq.erase(std::unique(plan.uniq.begin(), plan.uniq.end()),
+                  plan.uniq.end());
+  for (const auto& a : plan.uniq) ++plan.per_disk[a.disk];
   if (model_ == Model::kParallelHeads) {
     // D heads over one address space: ceil(#blocks / D) rounds. Duplicates
     // within the batch still occupy a head slot only once.
-    std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    return (uniq.size() + geom_.num_disks - 1) / geom_.num_disks;
+    plan.rounds = (plan.uniq.size() + geom_.num_disks - 1) / geom_.num_disks;
+  } else {
+    // PDM: the round count is the maximum number of distinct blocks
+    // requested on any single disk.
+    for (std::uint32_t c : plan.per_disk)
+      plan.rounds = std::max<std::uint64_t>(plan.rounds, c);
   }
-  // PDM: the round count is the maximum number of distinct blocks requested
-  // on any single disk.
-  std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
-  std::sort(uniq.begin(), uniq.end());
-  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-  std::vector<std::uint64_t> per_disk(geom_.num_disks, 0);
-  std::uint64_t worst = 0;
-  for (const auto& a : uniq) worst = std::max(worst, ++per_disk[a.disk]);
-  return worst;
+  return plan;
+}
+
+void DiskArray::account_batch(const BatchPlan& plan, bool write,
+                              std::span<const BlockAddr> submitted) {
+  const std::uint64_t distinct = plan.uniq.size();
+  stats_.parallel_ios += plan.rounds;
+  (write ? stats_.write_rounds : stats_.read_rounds) += plan.rounds;
+  (write ? stats_.blocks_written : stats_.blocks_read) += distinct;
+
+  for (std::uint32_t disk = 0; disk < geom_.num_disks; ++disk) {
+    DiskCounters& c = disk_counters_[disk];
+    std::uint32_t moved = plan.per_disk[disk];
+    (write ? c.blocks_written : c.blocks_read) += moved;
+    c.rounds_active += moved;
+    if (model_ == Model::kParallelDisks) c.idle_slots += plan.rounds - moved;
+  }
+
+  // Utilization histogram: how many of the D slots each of this batch's
+  // rounds used. PDM: round t serves every disk with > t pending blocks, so
+  // the number of rounds using exactly k slots falls out of the per-disk
+  // load multiset via one suffix sum. Head model: every round moves D blocks
+  // except a final partial round.
+  if (plan.rounds > 0) {
+    if (model_ == Model::kParallelDisks) {
+      std::vector<std::uint64_t> disks_with_load(plan.rounds + 1, 0);
+      for (std::uint32_t c : plan.per_disk)
+        if (c > 0) ++disks_with_load[c];
+      std::uint64_t busy = 0;  // disks with >= t pending blocks
+      for (std::uint64_t t = plan.rounds; t >= 1; --t) {
+        busy += disks_with_load[t];
+        ++round_hist_[busy];
+      }
+    } else {
+      std::uint64_t tail = distinct % geom_.num_disks;
+      round_hist_[geom_.num_disks] += plan.rounds - (tail ? 1 : 0);
+      if (tail) ++round_hist_[tail];
+    }
+  }
+
+  if (tracing_ || sink_) {
+    obs::IoEvent event;
+    event.write = write;
+    event.rounds = plan.rounds;
+    // Reads historically traced the submitted order (duplicates included),
+    // writes the deduplicated set; preserved for trace-level tests.
+    event.addrs = write ? plan.uniq
+                        : std::vector<BlockAddr>(submitted.begin(),
+                                                 submitted.end());
+    if (tracing_ && trace_ring_) trace_ring_->on_io(event);
+    if (sink_) sink_->on_io(event);
+  }
+}
+
+std::vector<DiskCounters> DiskArray::disk_counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return disk_counters_;
+}
+
+std::vector<std::uint64_t> DiskArray::round_utilization() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return round_hist_;
+}
+
+double DiskArray::mean_utilization() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t rounds = 0, slots_used = 0;
+  for (std::size_t k = 1; k < round_hist_.size(); ++k) {
+    rounds += round_hist_[k];
+    slots_used += k * round_hist_[k];
+  }
+  if (rounds == 0) return 1.0;
+  return static_cast<double>(slots_used) /
+         (static_cast<double>(rounds) * geom_.num_disks);
+}
+
+void DiskArray::export_metrics(obs::MetricsRegistry& registry,
+                               std::string_view prefix) const {
+  std::string p(prefix);
+  IoStats stats;
+  std::vector<DiskCounters> disks;
+  std::vector<std::uint64_t> hist;
+  std::uint64_t in_use = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats = stats_;
+    disks = disk_counters_;
+    hist = round_hist_;
+    in_use = backend_->blocks_in_use();
+  }
+  registry.count(p + ".parallel_ios", stats.parallel_ios);
+  registry.count(p + ".read_rounds", stats.read_rounds);
+  registry.count(p + ".write_rounds", stats.write_rounds);
+  registry.count(p + ".blocks_read", stats.blocks_read);
+  registry.count(p + ".blocks_written", stats.blocks_written);
+  registry.gauge(p + ".blocks_in_use", static_cast<double>(in_use));
+  registry.gauge(p + ".mean_utilization", mean_utilization());
+  registry.histogram(p + ".round_utilization", std::move(hist));
+  for (std::uint32_t d = 0; d < disks.size(); ++d) {
+    std::string dp = p + ".disk." + std::to_string(d);
+    registry.count(dp + ".blocks_read", disks[d].blocks_read);
+    registry.count(dp + ".blocks_written", disks[d].blocks_written);
+    registry.count(dp + ".rounds_active", disks[d].rounds_active);
+    registry.count(dp + ".idle_slots", disks[d].idle_slots);
+  }
+}
+
+void DiskArray::enable_trace(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!trace_ring_ || trace_ring_->capacity() != capacity)
+    trace_ring_ = std::make_shared<obs::RingBufferSink>(capacity);
+  tracing_ = true;
+}
+
+std::vector<DiskArray::TraceEvent> DiskArray::trace() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!trace_ring_) return {};
+  return trace_ring_->events();
+}
+
+std::uint64_t DiskArray::trace_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return trace_ring_ ? trace_ring_->dropped_events() : 0;
+}
+
+void DiskArray::clear_trace() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (trace_ring_) trace_ring_->clear();
 }
 
 std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
@@ -48,22 +190,10 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   out.reserve(addrs.size());
   for (const auto& a : addrs) check_addr(a);
   std::lock_guard<std::mutex> lock(mutex_);
-  std::uint64_t rounds = rounds_for(addrs);
-  std::uint64_t distinct = 0;
-  {
-    std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
-    std::sort(uniq.begin(), uniq.end());
-    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
-    distinct = uniq.size();
-  }
+  BatchPlan plan = plan_batch(addrs);
   for (const auto& a : addrs) out.push_back(backend_->load(a));
-  stats_.parallel_ios += rounds;
-  stats_.read_rounds += rounds;
-  stats_.blocks_read += distinct;
-  if (tracing_)
-    trace_.push_back({false, rounds,
-                      std::vector<BlockAddr>(addrs.begin(), addrs.end())});
-  return rounds;
+  account_batch(plan, /*write=*/false, addrs);
+  return plan.rounds;
 }
 
 std::uint64_t DiskArray::write_batch(
@@ -77,15 +207,10 @@ std::uint64_t DiskArray::write_batch(
     addrs.push_back(a);
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  std::uint64_t rounds = rounds_for(addrs);
-  std::sort(addrs.begin(), addrs.end());
-  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  BatchPlan plan = plan_batch(addrs);
   for (const auto& [a, b] : writes) backend_->store(a, b);
-  stats_.parallel_ios += rounds;
-  stats_.write_rounds += rounds;
-  stats_.blocks_written += addrs.size();
-  if (tracing_) trace_.push_back({true, rounds, addrs});
-  return rounds;
+  account_batch(plan, /*write=*/true, addrs);
+  return plan.rounds;
 }
 
 Block DiskArray::read_block(BlockAddr addr) {

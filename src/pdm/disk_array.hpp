@@ -7,6 +7,14 @@
 // Section 5 discussion of unstriped expanders). Every round increments the
 // parallel-I/O counter — the paper's sole performance metric.
 //
+// Observability: beyond the global IoStats the array keeps per-disk counters
+// (blocks moved, rounds in which the disk transferred, slots it sat idle) and
+// a round-utilization histogram — how many of the D per-round slots each
+// round actually used. Full utilization is exactly what deterministic
+// striping buys (§5), so the histogram is the direct measurement of it. A
+// pluggable obs::Sink receives every scheduled batch and every closed
+// obs::Span; with no sink attached emission is a pointer check.
+//
 // Storage is sparse (hash map per disk) so petabyte-scale address spaces cost
 // memory only proportional to blocks actually written. Unwritten blocks read
 // back as all-zero bytes, matching a freshly formatted disk.
@@ -17,13 +25,19 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "obs/sink.hpp"
 #include "pdm/backend.hpp"
 #include "pdm/block.hpp"
 #include "pdm/geometry.hpp"
 #include "pdm/io_stats.hpp"
+
+namespace pddict::obs {
+class MetricsRegistry;
+}  // namespace pddict::obs
 
 namespace pddict::pdm {
 
@@ -31,6 +45,17 @@ namespace pddict::pdm {
 enum class Model {
   kParallelDisks,  // one block per disk per round (the PDM; default)
   kParallelHeads,  // D arbitrary blocks per round (parallel disk head model)
+};
+
+/// Per-disk accounting (all monotonically increasing; reset_stats() zeroes).
+struct DiskCounters {
+  std::uint64_t blocks_read = 0;     // distinct blocks transferred in
+  std::uint64_t blocks_written = 0;  // distinct blocks transferred out
+  std::uint64_t rounds_active = 0;   // rounds in which this disk transferred
+  /// Rounds this disk sat idle while some other disk transferred — the
+  /// striping-inefficiency measure (PDM mode only; the head model has no
+  /// per-disk slots, so it accrues none).
+  std::uint64_t idle_slots = 0;
 };
 
 class DiskArray {
@@ -46,22 +71,61 @@ class DiskArray {
   const Geometry& geometry() const { return geom_; }
   Model model() const { return model_; }
   const IoStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = IoStats{}; }
+  /// Zeroes the global counters, the per-disk counters and the
+  /// round-utilization histogram (sink and trace contents are untouched).
+  void reset_stats();
+
+  // ---- per-disk metrics ----
+
+  /// Snapshot of the per-disk counters (index = disk).
+  std::vector<DiskCounters> disk_counters() const;
+
+  /// Round-utilization histogram: entry k (1 <= k <= D) counts the rounds
+  /// that transferred exactly k blocks; entry 0 is always 0. Invariant:
+  /// sum over k of k * hist[k] == blocks_read + blocks_written.
+  std::vector<std::uint64_t> round_utilization() const;
+
+  /// Mean fraction of the D slots used per round, in [0, 1]; 1.0 when no
+  /// rounds have happened (vacuously fully utilized).
+  double mean_utilization() const;
+
+  /// Dump global + per-disk counters and the utilization histogram into a
+  /// registry under `prefix` ("pdm.parallel_ios", "pdm.disk.3.blocks_read",
+  /// "pdm.round_utilization", ...).
+  void export_metrics(obs::MetricsRegistry& registry,
+                      std::string_view prefix = "pdm") const;
+
+  // ---- observability sink ----
+
+  /// Attach a sink receiving every scheduled batch (obs::IoEvent) and every
+  /// span closed against this array. Pass nullptr to detach. The array
+  /// shares ownership; emission happens under the scheduling lock, so sinks
+  /// must not call back into the array.
+  void set_sink(std::shared_ptr<obs::Sink> sink) { sink_ = std::move(sink); }
+  obs::Sink* sink() const { return sink_.get(); }
 
   // ---- I/O tracing (debugging / verification instrumentation) ----
+  //
+  // Tracing now runs on a bounded obs::RingBufferSink: the last `capacity`
+  // batches are retained, older ones are dropped (and counted). The
+  // unbounded trace vector this replaced grew without limit over the life of
+  // the array.
 
-  /// One batch submitted to the array: its direction, the rounds it cost,
-  /// and every block address touched.
-  struct TraceEvent {
-    bool write = false;
-    std::uint64_t rounds = 0;
-    std::vector<BlockAddr> addrs;
-  };
-  /// Start recording every batch. Tracing is off by default (it allocates).
-  void enable_trace() { tracing_ = true; }
+  /// One batch submitted to the array (alias of obs::IoEvent): direction,
+  /// rounds it cost, every block address touched.
+  using TraceEvent = obs::IoEvent;
+
+  static constexpr std::size_t kDefaultTraceCapacity = 1 << 16;
+
+  /// Start recording batches into a fresh ring of `capacity` events.
+  /// Tracing is off by default (it allocates).
+  void enable_trace(std::size_t capacity = kDefaultTraceCapacity);
   void disable_trace() { tracing_ = false; }
-  const std::vector<TraceEvent>& trace() const { return trace_; }
-  void clear_trace() { trace_.clear(); }
+  /// Snapshot of the retained events, oldest first.
+  std::vector<TraceEvent> trace() const;
+  /// Batches evicted from the ring since enable_trace().
+  std::uint64_t trace_dropped() const;
+  void clear_trace();
 
   // ---- batched parallel I/O (the primary interface) ----
 
@@ -101,16 +165,29 @@ class DiskArray {
  private:
   void check_addr(const BlockAddr& addr) const;
 
-  /// Rounds needed to transfer `addrs` (≤1/disk in PDM mode, ≤D total in
-  /// head mode).
-  std::uint64_t rounds_for(std::span<const BlockAddr> addrs) const;
+  /// One batch analyzed: round cost plus the per-disk distinct-block loads
+  /// that the accounting and the utilization histogram are derived from.
+  struct BatchPlan {
+    std::uint64_t rounds = 0;
+    std::vector<BlockAddr> uniq;          // sorted distinct addresses
+    std::vector<std::uint32_t> per_disk;  // distinct blocks per disk
+  };
+  BatchPlan plan_batch(std::span<const BlockAddr> addrs) const;
+
+  /// Folds one planned batch into stats_/disk_counters_/round_hist_ and
+  /// emits it to the trace ring and the sink. Caller holds mutex_.
+  void account_batch(const BatchPlan& plan, bool write,
+                     std::span<const BlockAddr> submitted);
 
   Geometry geom_;
   Model model_;
   IoStats stats_;
+  std::vector<DiskCounters> disk_counters_;
+  std::vector<std::uint64_t> round_hist_;  // index = slots used, size D+1
   std::unique_ptr<BlockBackend> backend_;
   bool tracing_ = false;
-  std::vector<TraceEvent> trace_;
+  std::shared_ptr<obs::RingBufferSink> trace_ring_;
+  std::shared_ptr<obs::Sink> sink_;
   /// Batches are atomic with respect to each other, so concurrent structure
   /// wrappers (core/concurrent_dict.hpp) can issue I/O from several threads;
   /// higher-level operation atomicity is the wrapper's bucket locks' job.

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace pddict::pdm {
 
 namespace {
@@ -112,6 +114,7 @@ SortStats external_sort(StripedView input, StripedView scratch,
                         std::uint64_t num_records, std::size_t record_bytes,
                         const SortKeyFn& key, std::size_t memory_bytes) {
   SortStats st;
+  obs::Span span(input.disks(), "ext_sort");
   IoProbe probe(input.disks());
   const std::uint64_t rpb =
       records_per_logical_block(input.geometry(), record_bytes);

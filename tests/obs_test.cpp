@@ -1,0 +1,428 @@
+// Observability layer verification: per-disk accounting, the
+// round-utilization histogram invariant, span nesting, sink bounding and the
+// JSON round trip the CI schema gate depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "core/concurrent_dict.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/span.hpp"
+#include "pdm/disk_array.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict {
+namespace {
+
+pdm::Block zero_block(const pdm::Geometry& g) {
+  return pdm::Block(g.block_bytes(), std::byte{0});
+}
+
+// ---- per-disk counters ----
+
+TEST(DiskCounters, MatchManualAccounting) {
+  pdm::DiskArray disks(pdm::Geometry{4, 8, 8, 0});
+  // Round 1: one block on each of disks 0..2; disk 3 idle.
+  std::vector<pdm::BlockAddr> addrs{{0, 0}, {1, 0}, {2, 0}};
+  std::vector<pdm::Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 1u);
+  // Two blocks on disk 0 -> two rounds; disk 1 busy in one of them.
+  std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes{
+      {{0, 1}, zero_block(disks.geometry())},
+      {{0, 2}, zero_block(disks.geometry())},
+      {{1, 1}, zero_block(disks.geometry())}};
+  EXPECT_EQ(disks.write_batch(writes), 2u);
+
+  auto c = disks.disk_counters();
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c[0].blocks_read, 1u);
+  EXPECT_EQ(c[0].blocks_written, 2u);
+  EXPECT_EQ(c[0].rounds_active, 3u);
+  EXPECT_EQ(c[0].idle_slots, 0u);
+  EXPECT_EQ(c[1].blocks_read, 1u);
+  EXPECT_EQ(c[1].blocks_written, 1u);
+  EXPECT_EQ(c[1].rounds_active, 2u);
+  EXPECT_EQ(c[1].idle_slots, 1u);  // idle in one of the two write rounds
+  EXPECT_EQ(c[2].blocks_read, 1u);
+  EXPECT_EQ(c[2].rounds_active, 1u);
+  EXPECT_EQ(c[2].idle_slots, 2u);
+  EXPECT_EQ(c[3].blocks_read, 0u);
+  EXPECT_EQ(c[3].rounds_active, 0u);
+  EXPECT_EQ(c[3].idle_slots, 3u);  // idle in all three rounds
+}
+
+TEST(DiskCounters, DuplicateReadsCountOneTransfer) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  std::vector<pdm::BlockAddr> addrs{{0, 5}, {0, 5}, {0, 5}};
+  std::vector<pdm::Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 1u);
+  EXPECT_EQ(disks.disk_counters()[0].blocks_read, 1u);
+}
+
+TEST(DiskCounters, ResetStatsZeroesEverything) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  std::vector<pdm::BlockAddr> addrs{{0, 0}, {1, 0}};
+  std::vector<pdm::Block> out;
+  disks.read_batch(addrs, out);
+  disks.reset_stats();
+  EXPECT_EQ(disks.stats().parallel_ios, 0u);
+  for (const auto& c : disks.disk_counters()) {
+    EXPECT_EQ(c.blocks_read, 0u);
+    EXPECT_EQ(c.rounds_active, 0u);
+    EXPECT_EQ(c.idle_slots, 0u);
+  }
+  for (std::uint64_t h : disks.round_utilization()) EXPECT_EQ(h, 0u);
+}
+
+// ---- round-utilization histogram ----
+
+// The histogram invariant: sum over k of k * hist[k] equals the number of
+// blocks transferred, in both machine models and for any batch mix.
+void expect_histogram_invariant(const pdm::DiskArray& disks) {
+  auto hist = disks.round_utilization();
+  ASSERT_EQ(hist.size(), disks.geometry().num_disks + 1u);
+  EXPECT_EQ(hist[0], 0u);
+  std::uint64_t weighted = 0, rounds = 0;
+  for (std::size_t k = 0; k < hist.size(); ++k) {
+    weighted += k * hist[k];
+    rounds += hist[k];
+  }
+  EXPECT_EQ(weighted, disks.stats().blocks_read + disks.stats().blocks_written);
+  EXPECT_EQ(rounds, disks.stats().parallel_ios);
+}
+
+TEST(RoundUtilization, InvariantHoldsOnMixedBatches) {
+  pdm::DiskArray disks(pdm::Geometry{8, 8, 8, 0});
+  std::vector<pdm::Block> out;
+  // Full-width batch: one round using all 8 slots.
+  std::vector<pdm::BlockAddr> full;
+  for (std::uint32_t d = 0; d < 8; ++d) full.push_back({d, 0});
+  disks.read_batch(full, out);
+  // Skewed batch: 3 blocks on disk 0, 1 on disk 1 -> rounds of width 2,1,1.
+  std::vector<pdm::BlockAddr> skew{{0, 1}, {0, 2}, {0, 3}, {1, 1}};
+  disks.read_batch(skew, out);
+  auto hist = disks.round_utilization();
+  EXPECT_EQ(hist[8], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[1], 2u);
+  expect_histogram_invariant(disks);
+  EXPECT_NEAR(disks.mean_utilization(), (8 + 2 + 1 + 1) / (4.0 * 8), 1e-9);
+}
+
+TEST(RoundUtilization, InvariantHoldsInHeadModel) {
+  pdm::DiskArray disks(pdm::Geometry{4, 8, 8, 0}, pdm::Model::kParallelHeads);
+  std::vector<pdm::Block> out;
+  // 6 distinct blocks, all on disk 0: head model moves any 4 per round ->
+  // one full round (4) + one partial (2).
+  std::vector<pdm::BlockAddr> addrs;
+  for (std::uint64_t b = 0; b < 6; ++b) addrs.push_back({0, b});
+  EXPECT_EQ(disks.read_batch(addrs, out), 2u);
+  auto hist = disks.round_utilization();
+  EXPECT_EQ(hist[4], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  expect_histogram_invariant(disks);
+  // The head model has no per-disk slots, so no idle accrues.
+  for (const auto& c : disks.disk_counters()) EXPECT_EQ(c.idle_slots, 0u);
+}
+
+TEST(RoundUtilization, InvariantHoldsUnderDictionaryWorkload) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 500;
+  p.value_bytes = 8;
+  p.degree = 16;
+  core::BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 500,
+                                      p.universe_size, 17);
+  for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 8));
+  for (core::Key k : keys) dict.lookup(k);
+  expect_histogram_invariant(disks);
+}
+
+// ---- spans ----
+
+TEST(Span, NoSinkMeansInactive) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  obs::Span span(disks, "lookup");
+  EXPECT_FALSE(span.active());
+}
+
+TEST(Span, NestingProducesSlashJoinedPaths) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  auto ring = std::make_shared<obs::RingBufferSink>(16);
+  disks.set_sink(ring);
+  {
+    obs::Span outer(disks, "insert");
+    {
+      obs::Span inner(disks, "rebuild");
+      std::vector<pdm::BlockAddr> addrs{{0, 0}};
+      std::vector<pdm::Block> out;
+      disks.read_batch(addrs, out);
+    }
+  }
+  auto spans = ring->spans();
+  ASSERT_EQ(spans.size(), 2u);  // inner closes first
+  EXPECT_EQ(spans[0].path, "insert/rebuild");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[0].io.parallel_ios, 1u);
+  EXPECT_EQ(spans[1].path, "insert");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[1].io.parallel_ios, 1u);  // outer charged the nested I/O
+  disks.set_sink(nullptr);
+}
+
+TEST(Span, AggregatorFoldsRepeatsAndRendersTree) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  auto agg = std::make_shared<obs::SpanAggregator>();
+  disks.set_sink(agg);
+  for (int i = 0; i < 3; ++i) {
+    obs::Span outer(disks, "op");
+    obs::Span inner(disks, "phase");
+    std::vector<pdm::BlockAddr> addrs{{0, static_cast<std::uint64_t>(i)}};
+    std::vector<pdm::Block> out;
+    disks.read_batch(addrs, out);
+  }
+  auto nodes = agg->nodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes.at("op").count, 3u);
+  EXPECT_EQ(nodes.at("op").io.parallel_ios, 3u);
+  EXPECT_EQ(nodes.at("op/phase").count, 3u);
+  EXPECT_EQ(nodes.at("op/phase").depth, 1u);
+  EXPECT_EQ(agg->io_events(), 3u);
+  std::string tree = agg->render();
+  EXPECT_NE(tree.find("op"), std::string::npos);
+  EXPECT_NE(tree.find("  phase"), std::string::npos) << tree;
+  // to_json: one entry per path.
+  obs::Json j = agg->to_json();
+  ASSERT_TRUE(j.is_array());
+  EXPECT_EQ(j.as_array().size(), 2u);
+  disks.set_sink(nullptr);
+}
+
+TEST(Span, MoveTransfersOwnershipOfClose) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  auto ring = std::make_shared<obs::RingBufferSink>(4);
+  disks.set_sink(ring);
+  {
+    obs::Span a(disks, "moved");
+    obs::Span b(std::move(a));
+    EXPECT_FALSE(a.active());
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(ring->spans().size(), 1u);  // closed exactly once
+  disks.set_sink(nullptr);
+}
+
+// ---- ring buffer bounding (the trace_ growth fix) ----
+
+TEST(RingBufferSink, BoundsMemoryAndCountsDrops) {
+  obs::RingBufferSink ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    obs::IoEvent ev;
+    ev.rounds = i;
+    ring.on_io(ev);
+  }
+  auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().rounds, 6u);  // oldest retained
+  EXPECT_EQ(events.back().rounds, 9u);
+  EXPECT_EQ(ring.dropped_events(), 6u);
+}
+
+TEST(RingBufferSink, DiskArrayTraceIsBounded) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  disks.enable_trace(3);
+  std::vector<pdm::Block> out;
+  for (std::uint64_t b = 0; b < 8; ++b) {
+    std::vector<pdm::BlockAddr> addrs{{0, b}};
+    disks.read_batch(addrs, out);
+  }
+  auto trace = disks.trace();
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.back().addrs[0].block, 7u);
+  EXPECT_EQ(disks.trace_dropped(), 5u);
+  disks.clear_trace();
+  EXPECT_TRUE(disks.trace().empty());
+}
+
+// ---- JSON-lines sink ----
+
+TEST(JsonLinesSink, EmitsOneParseableObjectPerLine) {
+  auto path = std::filesystem::temp_directory_path() / "pddict_obs_test.jsonl";
+  {
+    pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+    auto sink = std::make_shared<obs::JsonLinesSink>(path.string(), true);
+    disks.set_sink(sink);
+    {
+      obs::Span span(disks, "phase");
+      std::vector<pdm::BlockAddr> addrs{{0, 1}, {1, 2}};
+      std::vector<pdm::Block> out;
+      disks.read_batch(addrs, out);
+    }
+    disks.set_sink(nullptr);  // destroys the sink, flushing the file
+    EXPECT_EQ(sink->lines_written(), 2u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int io_lines = 0, span_lines = 0;
+  while (std::getline(in, line)) {
+    std::string err;
+    auto parsed = obs::parse_json(line, &err);
+    ASSERT_TRUE(parsed.has_value()) << err << " in: " << line;
+    const obs::Json* type = parsed->find("type");
+    ASSERT_NE(type, nullptr);
+    if (type->as_string() == "io") {
+      ++io_lines;
+      EXPECT_EQ(parsed->find("blocks")->as_int(), 2);
+      ASSERT_NE(parsed->find("addrs"), nullptr);
+    } else if (type->as_string() == "span") {
+      ++span_lines;
+      EXPECT_EQ(parsed->find("path")->as_string(), "phase");
+    }
+  }
+  EXPECT_EQ(io_lines, 1);
+  EXPECT_EQ(span_lines, 1);
+  std::filesystem::remove(path);
+}
+
+// ---- metrics registry ----
+
+TEST(MetricsRegistry, ExportsJsonAndCsv) {
+  obs::MetricsRegistry reg;
+  reg.count("ops.lookup", 3);
+  reg.count("ops.lookup", 2);
+  reg.gauge("utilization", 0.75);
+  reg.histogram("rounds", {0, 4, 2});
+  EXPECT_EQ(reg.counter_value("ops.lookup"), 5u);
+  EXPECT_EQ(reg.gauge_value("utilization"), 0.75);
+  EXPECT_EQ(reg.histogram_value("rounds").size(), 3u);
+
+  obs::Json j = reg.to_json();
+  EXPECT_EQ(j.find("counters")->find("ops.lookup")->as_int(), 5);
+  EXPECT_EQ(j.find("gauges")->find("utilization")->as_double(), 0.75);
+  EXPECT_EQ(j.find("histograms")->find("rounds")->as_array()[1].as_int(), 4);
+
+  std::ostringstream csv;
+  reg.to_csv(csv);
+  std::string text = csv.str();
+  EXPECT_NE(text.find("counter,ops.lookup,,5"), std::string::npos) << text;
+  EXPECT_NE(text.find("histogram,rounds,1,4"), std::string::npos) << text;
+}
+
+TEST(MetricsRegistry, DiskArrayExportUsesPrefix) {
+  pdm::DiskArray disks(pdm::Geometry{2, 8, 8, 0});
+  std::vector<pdm::BlockAddr> addrs{{0, 0}, {1, 0}};
+  std::vector<pdm::Block> out;
+  disks.read_batch(addrs, out);
+  obs::MetricsRegistry reg;
+  disks.export_metrics(reg, "pdm");
+  EXPECT_EQ(reg.counter_value("pdm.parallel_ios"), 1u);
+  EXPECT_EQ(reg.counter_value("pdm.disk.0.blocks_read"), 1u);
+  EXPECT_EQ(reg.counter_value("pdm.disk.1.blocks_read"), 1u);
+  auto hist = reg.histogram_value("pdm.round_utilization");
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(reg.gauge_value("pdm.mean_utilization"), 1.0);
+}
+
+// ---- JSON round trip ----
+
+TEST(Json, RoundTripPreservesStructure) {
+  obs::Json root = obs::Json::object();
+  root.set("int", 42);
+  root.set("neg", -7);
+  root.set("float", 2.5);
+  root.set("bool", true);
+  root.set("null", nullptr);
+  root.set("str", "quote\" backslash\\ newline\n unicode\x01");
+  obs::Json arr = obs::Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  root.set("arr", std::move(arr));
+
+  for (int indent : {-1, 2}) {
+    std::string text = indent < 0 ? root.dump() : root.dump(indent);
+    std::string err;
+    auto parsed = obs::parse_json(text, &err);
+    ASSERT_TRUE(parsed.has_value()) << err;
+    EXPECT_EQ(parsed->find("int")->as_int(), 42);
+    EXPECT_EQ(parsed->find("neg")->as_int(), -7);
+    EXPECT_EQ(parsed->find("float")->as_double(), 2.5);
+    EXPECT_TRUE(parsed->find("bool")->as_bool());
+    EXPECT_TRUE(parsed->find("null")->is_null());
+    EXPECT_EQ(parsed->find("str")->as_string(),
+              "quote\" backslash\\ newline\n unicode\x01");
+    EXPECT_EQ(parsed->find("arr")->as_array()[1].as_string(), "two");
+    // Insertion order survives the round trip (diffable reports).
+    EXPECT_EQ(parsed->as_object().front().first, "int");
+  }
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1.2.3",
+                          "\"unterminated", "{\"a\":1} trailing", "nan",
+                          "{'single':1}"}) {
+    std::string err;
+    EXPECT_FALSE(obs::parse_json(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(Json, ParserAcceptsUnicodeEscapes) {
+  auto parsed = obs::parse_json("\"a\\u00e9b\\u0041\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->as_string(), "a\xc3\xa9"
+                                 "bA");
+}
+
+// ---- thread safety under concurrent dictionary load ----
+
+TEST(SinkThreadSafety, ConcurrentDictWithAggregatorAndTrace) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  auto agg = std::make_shared<obs::SpanAggregator>();
+  disks.set_sink(agg);
+  disks.enable_trace(64);  // small ring: forces constant eviction
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 2000;
+  p.value_bytes = 8;
+  p.degree = 16;
+  core::ConcurrentBasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      1600, p.universe_size, 23);
+  constexpr int kThreads = 4;
+  const std::size_t per_thread = keys.size() / kThreads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        obs::Span span(disks, "worker_insert");
+        dict.insert(keys[i], core::value_for_key(keys[i], 8));
+      }
+      for (std::size_t i = t * per_thread; i < (t + 1) * per_thread; ++i) {
+        obs::Span span(disks, "worker_lookup");
+        EXPECT_TRUE(dict.lookup(keys[i]).found);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  auto nodes = agg->nodes();
+  EXPECT_EQ(nodes.at("worker_insert").count, keys.size() / kThreads * kThreads);
+  EXPECT_EQ(nodes.at("worker_lookup").count, keys.size() / kThreads * kThreads);
+  EXPECT_GT(agg->io_events(), 0u);
+  // The bounded trace stayed bounded under load.
+  EXPECT_LE(disks.trace().size(), 64u);
+  EXPECT_GT(disks.trace_dropped(), 0u);
+  expect_histogram_invariant(disks);
+  disks.set_sink(nullptr);
+}
+
+}  // namespace
+}  // namespace pddict

@@ -1,0 +1,157 @@
+// validate_bench_json — the CI schema gate for pddict-bench-report files.
+//
+//   ./validate_bench_json <report.json> [<report.json> ...]
+//
+// Parses each file with the same strict JSON parser the obs layer uses and
+// checks it against the "pddict-bench-report" version-1 schema documented in
+// docs/observability.md. Exit status is non-zero on the first drift, so a
+// CTest step can gate on it: if a bench binary's report shape changes, either
+// the docs and this validator move with it, or CI fails.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using pddict::obs::Json;
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), message.c_str());
+  ++g_errors;
+}
+
+/// One disk-array snapshot: geometry + io + per_disk + round_utilization,
+/// with the histogram invariant checked (sum k*hist[k] == blocks moved).
+void check_disks_snapshot(const std::string& file, const std::string& where,
+                          const Json& snap) {
+  if (!snap.is_object()) {
+    fail(file, where + ": disks snapshot is not an object");
+    return;
+  }
+  const Json* geom = snap.find("geometry");
+  const Json* io = snap.find("io");
+  const Json* hist = snap.find("round_utilization");
+  const Json* per_disk = snap.find("per_disk");
+  if (!geom || !geom->find("num_disks"))
+    return fail(file, where + ": missing geometry.num_disks");
+  if (!io || !io->find("parallel_ios") || !io->find("blocks_read") ||
+      !io->find("blocks_written"))
+    return fail(file, where + ": missing io counters");
+  if (!hist || !hist->is_array())
+    return fail(file, where + ": missing round_utilization histogram");
+  if (!per_disk || !per_disk->is_array())
+    return fail(file, where + ": missing per_disk array");
+  auto num_disks = static_cast<std::size_t>(geom->find("num_disks")->as_int());
+  if (hist->as_array().size() != num_disks + 1)
+    return fail(file, where + ": round_utilization must have D+1 entries");
+  if (per_disk->as_array().size() != num_disks)
+    return fail(file, where + ": per_disk must have one entry per disk");
+  std::int64_t weighted = 0;
+  for (std::size_t k = 0; k < hist->as_array().size(); ++k)
+    weighted += static_cast<std::int64_t>(k) * hist->as_array()[k].as_int();
+  std::int64_t moved =
+      io->find("blocks_read")->as_int() + io->find("blocks_written")->as_int();
+  if (weighted != moved)
+    return fail(file, where + ": histogram invariant violated (sum k*hist[k] " +
+                          std::to_string(weighted) + " != blocks moved " +
+                          std::to_string(moved) + ")");
+  for (const Json& d : per_disk->as_array())
+    if (!d.find("blocks_read") || !d.find("blocks_written") ||
+        !d.find("rounds_active") || !d.find("idle_slots"))
+      return fail(file, where + ": per_disk entry missing a counter");
+}
+
+/// An operation-cost distribution: {avg, p50, p95, p99, worst, count} with
+/// ordered percentiles.
+bool is_op_cost(const Json& v) {
+  return v.is_object() && v.find("avg") && v.find("p50") && v.find("p95") &&
+         v.find("p99") && v.find("worst") && v.find("count");
+}
+
+void check_op_cost(const std::string& file, const std::string& where,
+                   const Json& v) {
+  if (!is_op_cost(v)) return fail(file, where + ": malformed OpCost object");
+  std::int64_t p50 = v.find("p50")->as_int(), p95 = v.find("p95")->as_int(),
+               p99 = v.find("p99")->as_int(), worst = v.find("worst")->as_int();
+  if (!(p50 <= p95 && p95 <= p99 && p99 <= worst))
+    fail(file, where + ": percentiles out of order");
+  if (v.find("count")->as_int() <= 0) fail(file, where + ": empty sample");
+}
+
+void check_report(const std::string& file, const Json& root) {
+  const Json* schema = root.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "pddict-bench-report")
+    return fail(file, "schema field must be \"pddict-bench-report\"");
+  const Json* version = root.find("version");
+  if (!version || version->as_int() != 1)
+    return fail(file, "unsupported report version");
+  const Json* bench = root.find("bench");
+  if (!bench || !bench->is_string() || bench->as_string().empty())
+    return fail(file, "missing bench name");
+  const Json* params = root.find("params");
+  if (!params || !params->is_object())
+    return fail(file, "params must be an object");
+  const Json* rows = root.find("rows");
+  if (!rows || !rows->is_array() || rows->as_array().empty())
+    return fail(file, "rows must be a non-empty array");
+  std::size_t index = 0;
+  for (const Json& row : rows->as_array()) {
+    std::string where = "rows[" + std::to_string(index++) + "]";
+    const Json* name = row.find("name");
+    if (!row.is_object() || !name || !name->is_string() ||
+        name->as_string().empty()) {
+      fail(file, where + ": every row needs a non-empty name");
+      continue;
+    }
+    where += " (" + name->as_string() + ")";
+    // Recursively validate any embedded OpCost distributions and disk
+    // snapshots, wherever the bench chose to put them.
+    for (const auto& [key, value] : row.as_object()) {
+      if (is_op_cost(value)) check_op_cost(file, where + "." + key, value);
+      if (value.is_object() && value.find("round_utilization"))
+        check_disks_snapshot(file, where + "." + key, value);
+    }
+  }
+  if (const Json* disks = root.find("disks")) {
+    if (!disks->is_object()) return fail(file, "disks must be an object");
+    for (const auto& [name, snap] : disks->as_object())
+      check_disks_snapshot(file, "disks." + name, snap);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <report.json> [...]\n", argv[0]);
+    return 2;
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string file = argv[i];
+    std::ifstream in(file);
+    if (!in) {
+      fail(file, "cannot open");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string err;
+    auto parsed = pddict::obs::parse_json(buf.str(), &err);
+    if (!parsed) {
+      fail(file, "not valid JSON: " + err);
+      continue;
+    }
+    int before = g_errors;
+    check_report(file, *parsed);
+    if (g_errors == before)
+      std::printf("%s: ok (%zu rows)\n", file.c_str(),
+                  parsed->find("rows")->as_array().size());
+  }
+  return g_errors ? 1 : 0;
+}
