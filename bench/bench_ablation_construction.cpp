@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_construction");
+  bench::TraceSession trace(argc, argv);
   std::printf("=== Theorem 6 construction: direct (first version) vs "
               "sort-based (improved) ===\n\n");
   std::printf("%8s | %12s %14s | %12s %14s | %8s\n", "n", "direct I/Os",

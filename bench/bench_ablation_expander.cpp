@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_expander");
+  bench::TraceSession trace(argc, argv);
   const std::uint64_t n = 1 << 12;
   report.param("n", n);
   const std::uint64_t universe = std::uint64_t{1} << 40;

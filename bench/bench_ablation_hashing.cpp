@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_hashing");
+  bench::TraceSession trace(argc, argv);
   const std::uint64_t n = 1 << 13;
   report.param("n", n);
   report.param("key_pattern", "shared-low-bits");

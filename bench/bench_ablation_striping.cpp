@@ -24,6 +24,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_striping");
+  bench::TraceSession trace(argc, argv);
   const std::uint32_t d = 16;
   const std::uint64_t n = 1 << 12;
   report.param("degree", d);

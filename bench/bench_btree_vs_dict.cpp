@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_btree_vs_dict");
+  bench::TraceSession trace(argc, argv);
   std::printf("=== B-tree vs. expander dictionary: random access cost ===\n\n");
   std::printf("%10s %4s %4s %8s | %12s %12s | %12s %8s\n", "n", "D", "B",
               "fanout BD", "B-tree I/Os", "height", "dict I/Os", "speedup");

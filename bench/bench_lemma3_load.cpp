@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_lemma3_load");
+  bench::TraceSession trace(argc, argv);
   report.param("eps", 1.0 / 6);
   report.param("delta", 1.0 / 2);
   std::printf("=== Lemma 3: greedy d-choice load balancing on expanders ===\n");

@@ -36,6 +36,7 @@ struct Series {
 
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_scaling");
+  bench::TraceSession trace(argc, argv);
   std::printf("=== Update cost vs n: deterministic flatness vs randomized "
               "tails ===\n\n");
 

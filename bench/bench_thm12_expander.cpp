@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_thm12_expander");
+  bench::TraceSession trace(argc, argv);
   std::printf("=== Theorem 12: semi-explicit unbalanced expanders, "
               "u = poly(N) ===\n\n");
   std::printf("%8s %10s %5s %5s | %6s %10s %12s | %14s %10s | %12s %9s\n",

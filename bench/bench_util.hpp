@@ -17,8 +17,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -26,6 +28,8 @@
 
 #include "core/dictionary.hpp"
 #include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace_event.hpp"
 #include "pdm/disk_array.hpp"
 #include "pdm/io_stats.hpp"
 
@@ -218,5 +222,106 @@ inline void rule(char c = '-', int width = 118) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Opt-in I/O tracing for a whole bench run ("consolidated-report hook").
+///
+///   JsonReport report(argc, argv, "bench_x");
+///   TraceSession trace(argc, argv);   // strips --trace / --trace-event
+///   ...                               // dtor writes the trace files
+///
+/// Flags (all no-ops when absent — the bench then runs sink-free):
+///   --trace <path>           stream every I/O event and span as JSON-lines
+///   --trace-event <path>     Chrome/Perfetto timeline of the last
+///                            --trace-capacity events (default 4096): one
+///                            track per simulated disk + one per span path
+///   --trace-capacity <n>     ring size for --trace-event (each retained
+///                            batch expands to one slice per busy disk, so
+///                            keep this modest on wide-geometry benches)
+///
+/// The session publishes its sink through obs::set_default_sink(), so every
+/// DiskArray the bench constructs afterwards — including ones deep inside
+/// experiment helpers — attaches automatically. Benches that build several
+/// arrays concatenate on the exported timeline (the exporter re-bases each
+/// array's round counter).
+class TraceSession {
+ public:
+  TraceSession(int& argc, char** argv) {
+    std::size_t capacity = 4096;
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--trace" && i + 1 < argc) {
+        trace_path_ = argv[i + 1];
+        consumed = 2;
+      } else if (arg.rfind("--trace=", 0) == 0) {
+        trace_path_ = std::string(arg.substr(8));
+        consumed = 1;
+      } else if (arg == "--trace-event" && i + 1 < argc) {
+        trace_event_path_ = argv[i + 1];
+        consumed = 2;
+      } else if (arg.rfind("--trace-event=", 0) == 0) {
+        trace_event_path_ = std::string(arg.substr(14));
+        consumed = 1;
+      } else if (arg == "--trace-capacity" && i + 1 < argc) {
+        capacity = static_cast<std::size_t>(
+            std::strtoull(argv[i + 1], nullptr, 10));
+        consumed = 2;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+    std::vector<std::shared_ptr<obs::Sink>> sinks;
+    if (!trace_path_.empty()) {
+      jsonl_ = std::make_shared<obs::JsonLinesSink>(trace_path_,
+                                                    /*record_addrs=*/false);
+      sinks.push_back(jsonl_);
+    }
+    if (!trace_event_path_.empty()) {
+      ring_ = std::make_shared<obs::RingBufferSink>(capacity ? capacity : 1);
+      sinks.push_back(ring_);
+    }
+    if (sinks.empty()) return;
+    obs::set_default_sink(
+        sinks.size() == 1
+            ? sinks.front()
+            : std::make_shared<obs::MultiSink>(std::move(sinks)));
+    active_ = true;
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  ~TraceSession() {
+    if (!active_) return;
+    obs::set_default_sink(nullptr);
+    if (jsonl_) {
+      jsonl_->flush();
+      std::printf("[trace written to %s (%llu lines)]\n", trace_path_.c_str(),
+                  static_cast<unsigned long long>(jsonl_->lines_written()));
+    }
+    if (ring_) {
+      auto events = ring_->events();
+      auto spans = ring_->spans();
+      if (obs::write_trace_event_file(trace_event_path_, events, spans))
+        std::printf("[trace-event timeline written to %s (%zu events, "
+                    "%zu spans, %llu dropped)]\n",
+                    trace_event_path_.c_str(), events.size(), spans.size(),
+                    static_cast<unsigned long long>(ring_->dropped_events() +
+                                                    ring_->dropped_spans()));
+    }
+  }
+
+  bool enabled() const { return active_; }
+
+ private:
+  std::string trace_path_;
+  std::string trace_event_path_;
+  std::shared_ptr<obs::JsonLinesSink> jsonl_;
+  std::shared_ptr<obs::RingBufferSink> ring_;
+  bool active_ = false;
+};
 
 }  // namespace pddict::bench

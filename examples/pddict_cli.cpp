@@ -10,7 +10,13 @@
 //   del <key>                  erase
 //   stats                      size + I/O counters + estimated latencies,
 //                              per-disk utilization and the session span tree
+//   profile                    I/O flame table (self vs. child attribution)
 //   help / quit
+//
+// Observability flags (may appear anywhere on the command line):
+//   --trace <path>        stream every I/O event + span as JSON-lines
+//   --trace-event <path>  write a Chrome/Perfetto timeline of the session
+//                         at exit (chrome://tracing or ui.perfetto.dev)
 //
 // The store is self-describing: its parameters live in a one-block manifest,
 // so any later invocation on the same directory reopens it.
@@ -18,11 +24,15 @@
 #include <cstring>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/manifest.hpp"
+#include "obs/profile.hpp"
 #include "obs/span.hpp"
+#include "obs/trace_event.hpp"
 #include "pdm/cost_model.hpp"
 #include "pdm/file_backend.hpp"
 
@@ -61,7 +71,7 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
                 const std::vector<std::string>& args) {
   if (args.empty() || args[0] == "help") {
     std::printf("commands: put <key> <value> | get <key> | del <key> | "
-                "stats | quit\n");
+                "stats | profile | quit\n");
     return 0;
   }
   if (args[0] == "put" && args.size() >= 3) {
@@ -127,6 +137,13 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
     }
     return 0;
   }
+  if (args[0] == "profile") {
+    if (spans.nodes().empty())
+      std::printf("no spans recorded yet\n");
+    else
+      std::fputs(spans.profile().render_flame(20).c_str(), stdout);
+    return 0;
+  }
   std::printf("unknown command (try 'help')\n");
   return 2;
 }
@@ -134,22 +151,68 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <directory> [command args...]\n", argv[0]);
+  // Strip --trace / --trace-event before positional parsing.
+  std::string trace_path, trace_event_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc)
+      trace_path = argv[++i];
+    else if (arg.rfind("--trace=", 0) == 0)
+      trace_path = arg.substr(8);
+    else if (arg == "--trace-event" && i + 1 < argc)
+      trace_event_path = argv[++i];
+    else if (arg.rfind("--trace-event=", 0) == 0)
+      trace_event_path = arg.substr(14);
+    else
+      positional.push_back(std::move(arg));
+  }
+  if (positional.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--trace <path>] [--trace-event <path>] "
+                 "<directory> [command args...]\n",
+                 argv[0]);
     return 2;
   }
-  std::filesystem::path dir = argv[1];
+  std::filesystem::path dir = positional[0];
   std::filesystem::create_directories(dir);
   pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,
                        std::make_unique<pdm::FileBackend>(kGeom, dir));
   auto spans = std::make_shared<obs::SpanAggregator>();
-  disks.set_sink(spans);
+  std::shared_ptr<obs::JsonLinesSink> jsonl;
+  std::shared_ptr<obs::RingBufferSink> ring;
+  std::vector<std::shared_ptr<obs::Sink>> sinks{spans};
+  if (!trace_path.empty()) {
+    jsonl = std::make_shared<obs::JsonLinesSink>(trace_path,
+                                                 /*record_addrs=*/true);
+    sinks.push_back(jsonl);
+  }
+  if (!trace_event_path.empty()) {
+    ring = std::make_shared<obs::RingBufferSink>(std::size_t{1} << 16);
+    sinks.push_back(ring);
+  }
+  disks.set_sink(sinks.size() == 1
+                     ? std::static_pointer_cast<obs::Sink>(spans)
+                     : std::make_shared<obs::MultiSink>(std::move(sinks)));
+  auto finish_traces = [&] {
+    if (jsonl) {
+      jsonl->flush();
+      std::printf("[trace written to %s (%llu lines)]\n", trace_path.c_str(),
+                  static_cast<unsigned long long>(jsonl->lines_written()));
+    }
+    if (ring &&
+        obs::write_trace_event_file(trace_event_path, ring->events(),
+                                    ring->spans(), kGeom.num_disks))
+      std::printf("[trace-event timeline written to %s]\n",
+                  trace_event_path.c_str());
+  };
   core::BasicDict store = core::open_store(disks, default_params());
 
-  if (argc > 2) {  // one-shot
-    std::vector<std::string> args(argv + 2, argv + argc);
+  if (positional.size() > 1) {  // one-shot
+    std::vector<std::string> args(positional.begin() + 1, positional.end());
     int rc = run_command(store, disks, *spans, args);
     core::close_store(disks, store);  // fast reopen next time
+    finish_traces();
     return rc;
   }
   std::printf("pddict store at %s (%llu records). 'help' for commands.\n",
@@ -164,5 +227,6 @@ int main(int argc, char** argv) {
     run_command(store, disks, *spans, args);
   }
   core::close_store(disks, store);
+  finish_traces();
   return 0;
 }

@@ -1,0 +1,266 @@
+#include "obs/bench_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace pddict::obs {
+
+namespace {
+
+/// Top-level / per-report keys that are provenance, not measurements.
+bool is_metadata_key(const std::string& key) {
+  return key == "schema" || key == "version" || key == "git_rev" ||
+         key == "label" || key == "generated_by" || key == "bench";
+}
+
+void flatten_value(const std::string& prefix, const Json& v,
+                   std::vector<FlatMetric>& out) {
+  switch (v.type()) {
+    case Json::Type::kInt:
+    case Json::Type::kDouble:
+      out.push_back({prefix, true, v.as_double(), {}});
+      return;
+    case Json::Type::kBool:
+      // Booleans are pass/fail verdicts (within_bounds, ...): flatten
+      // numerically so true -> false registers with a direction.
+      out.push_back({prefix, true, v.as_bool() ? 1.0 : 0.0, {}});
+      return;
+    case Json::Type::kString:
+      out.push_back({prefix, false, 0.0, v.as_string()});
+      return;
+    case Json::Type::kNull:
+      out.push_back({prefix, false, 0.0, "null"});
+      return;
+    case Json::Type::kArray: {
+      const JsonArray& arr = v.as_array();
+      for (std::size_t i = 0; i < arr.size(); ++i)
+        flatten_value(prefix + "/" + std::to_string(i), arr[i], out);
+      return;
+    }
+    case Json::Type::kObject:
+      for (const auto& [key, child] : v.as_object()) {
+        if (is_metadata_key(key)) continue;
+        if (key == "rows" && child.is_array()) {
+          // Rows are matched by name, not index, so reordering them (or
+          // inserting one) does not shift every later row's diff.
+          for (const Json& row : child.as_array()) {
+            const Json* name = row.find("name");
+            std::string label =
+                name && name->is_string() ? name->as_string() : "?";
+            flatten_value(prefix + "/rows[" + label + "]", row, out);
+          }
+          continue;
+        }
+        flatten_value(prefix + "/" + key, child, out);
+      }
+      return;
+  }
+}
+
+std::string last_segment(const std::string& path) {
+  auto slash = path.rfind('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  std::string_view sv(suffix);
+  return s.size() >= sv.size() &&
+         s.compare(s.size() - sv.size(), sv.size(), sv) == 0;
+}
+
+bool is_wall_metric(const std::string& path) {
+  std::string leaf = last_segment(path);
+  return leaf.find("wall") != std::string::npos || ends_with(leaf, "_ms") ||
+         ends_with(leaf, "_ns") || ends_with(leaf, "_us");
+}
+
+/// Metrics where a larger value is the better one.
+bool is_higher_better(const std::string& path) {
+  static const std::set<std::string> kHigherBetter = {
+      "mean_utilization", "utilization",   "expansion",
+      "min_expansion",    "bandwidth",     "speedup",
+      "unique_fraction",  "within_bounds", "ok",
+      "passed",           "bits_saved"};
+  return kHigherBetter.count(last_segment(path)) > 0;
+}
+
+/// Configuration values: any drift invalidates the comparison, so it gates
+/// like a regression instead of masquerading as an improvement (halving n
+/// halves every I/O count).
+bool is_structural(const std::string& path) {
+  if (path.find("/params/") != std::string::npos) return true;
+  if (path.find("/geometry/") != std::string::npos) return true;
+  static const std::set<std::string> kStructural = {
+      "count", "n", "num_disks", "block_items", "item_bytes",
+      "eps",   "degree", "capacity", "value_bytes", "seed"};
+  return kStructural.count(last_segment(path)) > 0;
+}
+
+double relative_delta(double before, double after) {
+  if (before == after) return 0.0;
+  if (before == 0.0) return after > 0 ? 1e30 : -1e30;
+  return (after - before) / std::fabs(before);
+}
+
+int rank_of(DiffKind kind) {
+  switch (kind) {
+    case DiffKind::kRegression: return 0;
+    case DiffKind::kRemoved: return 1;
+    case DiffKind::kImprovement: return 2;
+    case DiffKind::kChange: return 3;
+    case DiffKind::kAdded: return 4;
+  }
+  return 5;
+}
+
+const char* kind_name(DiffKind kind) {
+  switch (kind) {
+    case DiffKind::kRegression: return "REGRESSION";
+    case DiffKind::kRemoved: return "REMOVED";
+    case DiffKind::kImprovement: return "improvement";
+    case DiffKind::kChange: return "change";
+    case DiffKind::kAdded: return "added";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<FlatMetric> flatten_baseline(const Json& root) {
+  if (!root.is_object())
+    throw std::runtime_error("baseline document is not a JSON object");
+  std::vector<FlatMetric> out;
+  const Json* benches = root.find("benches");
+  if (benches && benches->is_object()) {
+    // Consolidated baseline: one subtree per bench, keyed by bench name.
+    for (const auto& [name, entry] : benches->as_object())
+      flatten_value(name, entry, out);
+    if (const Json* suite = root.find("suite"))
+      flatten_value("suite", *suite, out);
+  } else {
+    // A single pddict-bench-report compares too.
+    const Json* bench = root.find("bench");
+    std::string prefix =
+        bench && bench->is_string() ? bench->as_string() : "report";
+    flatten_value(prefix, root, out);
+  }
+  return out;
+}
+
+DiffResult diff_baselines(const Json& before, const Json& after,
+                          const DiffOptions& options) {
+  std::map<std::string, FlatMetric> old_map, new_map;
+  for (FlatMetric& m : flatten_baseline(before))
+    old_map.emplace(m.path, std::move(m));
+  for (FlatMetric& m : flatten_baseline(after))
+    new_map.emplace(m.path, std::move(m));
+
+  DiffResult result;
+  auto add = [&](DiffEntry entry) { result.entries.push_back(std::move(entry)); };
+
+  for (const auto& [path, old_metric] : old_map) {
+    auto it = new_map.find(path);
+    if (it == new_map.end()) {
+      // A measurement that vanished gates: silently dropping a metric is
+      // how a regression hides from a numeric diff.
+      add({path, DiffKind::kRemoved, is_wall_metric(path),
+           old_metric.is_number ? old_metric.number : 0.0, 0.0, 0.0});
+      ++result.regressions;
+      continue;
+    }
+    const FlatMetric& new_metric = it->second;
+    ++result.compared;
+    if (!old_metric.is_number || !new_metric.is_number) {
+      bool same = old_metric.is_number == new_metric.is_number &&
+                  old_metric.text == new_metric.text;
+      if (!same) add({path, DiffKind::kChange, false, 0.0, 0.0, 0.0});
+      continue;
+    }
+    double a = old_metric.number, b = new_metric.number;
+    double rel = relative_delta(a, b);
+    if (is_wall_metric(path)) {
+      if (std::fabs(rel) * 100.0 <= options.wall_tol_pct) continue;
+      DiffKind kind = b > a ? DiffKind::kRegression : DiffKind::kImprovement;
+      if (kind == DiffKind::kRegression && !options.gate_wall)
+        kind = DiffKind::kChange;
+      if (kind == DiffKind::kRegression) ++result.regressions;
+      if (kind == DiffKind::kImprovement) ++result.improvements;
+      add({path, kind, true, a, b, rel});
+      continue;
+    }
+    // Deterministic metrics: exact up to float formatting noise.
+    double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+    if (std::fabs(a - b) <= options.float_eps * scale) continue;
+    DiffKind kind;
+    if (is_structural(path)) {
+      kind = DiffKind::kRegression;  // config drift invalidates the compare
+    } else if (is_higher_better(path)) {
+      kind = b < a ? DiffKind::kRegression : DiffKind::kImprovement;
+    } else {
+      kind = b > a ? DiffKind::kRegression : DiffKind::kImprovement;
+    }
+    if (kind == DiffKind::kRegression) ++result.regressions;
+    if (kind == DiffKind::kImprovement) ++result.improvements;
+    add({path, kind, false, a, b, rel});
+  }
+  for (const auto& [path, new_metric] : new_map) {
+    if (old_map.count(path)) continue;
+    add({path, DiffKind::kAdded, is_wall_metric(path), 0.0,
+         new_metric.is_number ? new_metric.number : 0.0, 0.0});
+  }
+
+  std::sort(result.entries.begin(), result.entries.end(),
+            [](const DiffEntry& x, const DiffEntry& y) {
+              int rx = rank_of(x.kind), ry = rank_of(y.kind);
+              if (rx != ry) return rx < ry;
+              double dx = std::fabs(x.rel), dy = std::fabs(y.rel);
+              if (dx != dy) return dx > dy;
+              return x.path < y.path;
+            });
+  return result;
+}
+
+std::string render_diff(const DiffResult& result, std::size_t top_k) {
+  std::ostringstream os;
+  char line[512];
+  std::snprintf(line, sizeof(line), "%-11s %-78s %14s %14s %9s\n", "kind",
+                "metric", "before", "after", "delta");
+  os << line;
+  std::size_t shown = 0;
+  for (const DiffEntry& e : result.entries) {
+    if (top_k && shown >= top_k) {
+      std::snprintf(line, sizeof(line), "... (%zu more)\n",
+                    result.entries.size() - shown);
+      os << line;
+      break;
+    }
+    ++shown;
+    char delta[32];
+    if (e.kind == DiffKind::kAdded || e.kind == DiffKind::kRemoved ||
+        e.kind == DiffKind::kChange) {
+      std::snprintf(delta, sizeof(delta), "-");
+    } else if (std::fabs(e.rel) >= 1e29) {
+      std::snprintf(delta, sizeof(delta), "new!=0");
+    } else {
+      std::snprintf(delta, sizeof(delta), "%+.2f%%", e.rel * 100.0);
+    }
+    std::snprintf(line, sizeof(line), "%-11s %-78s %14.6g %14.6g %9s\n",
+                  kind_name(e.kind), e.path.c_str(), e.before, e.after, delta);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu compared, %zu regression(s), %zu improvement(s), "
+                "%zu other change(s)\n",
+                result.compared, result.regressions, result.improvements,
+                result.entries.size() - result.regressions -
+                    result.improvements);
+  os << line;
+  return os.str();
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,89 @@
+// Consolidated bench baselines ("pddict-bench-baseline" v1) and their diff.
+//
+// tools/bench_runner merges the 13 per-bench pddict-bench-report documents
+// into one baseline file (BENCH_PR<k>.json at the repo root); this module is
+// the comparison engine behind tools/bench_diff and the CTest regression
+// gate. The rules reflect what the numbers are:
+//
+//   * parallel-I/O counts and everything derived from them are
+//     deterministic in (parameters, seed) — they must match EXACTLY; any
+//     increase is a regression, any decrease an improvement;
+//   * wall-clock metrics (key contains "wall" or ends in _ms/_ns/_us) are
+//     noisy — they compare within a percentage band and only gate when the
+//     caller asks (the CI gate passes --ignore-wall: machines differ);
+//   * metrics where bigger is better (mean_utilization, expansion, ...)
+//     regress downward instead of upward;
+//   * rows are matched by their "name" field, benches by their key, so
+//     reordering does not produce spurious diffs; added/removed entries are
+//     reported (a removed metric gates — silently dropping a measurement is
+//     how regressions hide).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pddict::obs {
+
+inline constexpr const char* kBaselineSchema = "pddict-bench-baseline";
+inline constexpr int kBaselineVersion = 1;
+
+enum class DiffKind {
+  kRegression,   // got worse beyond tolerance
+  kImprovement,  // got better
+  kChange,       // changed, direction unknown / non-gating
+  kAdded,        // present only in the new baseline
+  kRemoved,      // present only in the old baseline
+};
+
+struct DiffEntry {
+  std::string path;   // "bench_x/rows[name]/lookup/p95"
+  DiffKind kind = DiffKind::kChange;
+  bool wall = false;  // classified as a wall-clock metric
+  double before = 0.0;
+  double after = 0.0;
+  /// Relative delta (after-before)/|before|; +inf encoded as a large value
+  /// when before == 0.
+  double rel = 0.0;
+};
+
+struct DiffOptions {
+  /// Tolerance band for wall-clock metrics, in percent.
+  double wall_tol_pct = 50.0;
+  /// When false, wall-clock metrics never gate (still reported).
+  bool gate_wall = true;
+  /// Relative epsilon for floating-point metrics (avg, mean_utilization):
+  /// below this a difference is formatting noise, not a change.
+  double float_eps = 1e-9;
+};
+
+struct DiffResult {
+  std::vector<DiffEntry> entries;  // ranked: regressions first, by |rel|
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t compared = 0;  // metrics present on both sides
+  bool ok() const { return regressions == 0; }
+};
+
+/// Compare two baseline documents (or two single bench reports). Throws
+/// std::runtime_error when either document is structurally unusable.
+DiffResult diff_baselines(const Json& before, const Json& after,
+                          const DiffOptions& options = {});
+
+/// Ranked human-readable table; top_k = 0 prints every entry.
+std::string render_diff(const DiffResult& result, std::size_t top_k = 0);
+
+/// Flatten a baseline/report into path -> value pairs (exposed for tests).
+/// Non-numeric leaves are included with is_number == false so string drift
+/// (a changed paper-bound annotation) is visible as kChange.
+struct FlatMetric {
+  std::string path;
+  bool is_number = false;
+  double number = 0.0;
+  std::string text;  // non-numeric leaves, serialized
+};
+std::vector<FlatMetric> flatten_baseline(const Json& root);
+
+}  // namespace pddict::obs

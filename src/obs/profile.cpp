@@ -1,0 +1,144 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pddict::obs {
+
+namespace {
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+pdm::IoStats sat_sub(const pdm::IoStats& a, const pdm::IoStats& b) {
+  pdm::IoStats r;
+  r.parallel_ios = sat_sub(a.parallel_ios, b.parallel_ios);
+  r.read_rounds = sat_sub(a.read_rounds, b.read_rounds);
+  r.write_rounds = sat_sub(a.write_rounds, b.write_rounds);
+  r.blocks_read = sat_sub(a.blocks_read, b.blocks_read);
+  r.blocks_written = sat_sub(a.blocks_written, b.blocks_written);
+  return r;
+}
+
+/// True when `child` is a *direct* child path of `parent`
+/// ("a/b" of "a", but not "a/b/c").
+bool is_direct_child(const std::string& parent, const std::string& child) {
+  if (child.size() <= parent.size() + 1) return false;
+  if (child.compare(0, parent.size(), parent) != 0) return false;
+  if (child[parent.size()] != '/') return false;
+  return child.find('/', parent.size() + 1) == std::string::npos;
+}
+
+}  // namespace
+
+Profile Profile::from_nodes(
+    const std::map<std::string, SpanAggregator::Node>& nodes) {
+  Profile p;
+  p.nodes_.reserve(nodes.size());
+  for (const auto& [path, node] : nodes) {
+    ProfileNode out;
+    out.path = path;
+    out.depth = node.depth;
+    out.count = node.count;
+    out.total = node.io;
+    out.self = node.io;
+    out.wall_ns = node.wall_ns;
+    out.self_wall_ns = node.wall_ns;
+    p.nodes_.push_back(std::move(out));
+  }
+  // Subtract each node's direct children. The map iterates in path order, so
+  // a node's children follow it contiguously before the next sibling; a
+  // linear scan forward until the prefix no longer matches covers exactly
+  // the subtree.
+  for (std::size_t i = 0; i < p.nodes_.size(); ++i) {
+    ProfileNode& parent = p.nodes_[i];
+    for (std::size_t j = i + 1; j < p.nodes_.size(); ++j) {
+      const ProfileNode& cand = p.nodes_[j];
+      if (cand.path.compare(0, parent.path.size(), parent.path) != 0) break;
+      if (!is_direct_child(parent.path, cand.path)) continue;
+      parent.self = sat_sub(parent.self, cand.total);
+      parent.self_wall_ns = sat_sub(parent.self_wall_ns, cand.wall_ns);
+    }
+  }
+  return p;
+}
+
+std::vector<ProfileNode> Profile::hot_paths(std::size_t k) const {
+  std::vector<ProfileNode> ranked = nodes_;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const ProfileNode& a, const ProfileNode& b) {
+              if (a.self.parallel_ios != b.self.parallel_ios)
+                return a.self.parallel_ios > b.self.parallel_ios;
+              std::uint64_t ab = a.self.blocks_read + a.self.blocks_written;
+              std::uint64_t bb = b.self.blocks_read + b.self.blocks_written;
+              if (ab != bb) return ab > bb;
+              return a.path < b.path;
+            });
+  if (k != 0 && ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+pdm::IoStats Profile::self_sum() const {
+  pdm::IoStats sum;
+  for (const ProfileNode& n : nodes_) sum += n.self;
+  return sum;
+}
+
+std::string Profile::render_flame(std::size_t top_k) const {
+  auto ranked = hot_paths(top_k);
+  const pdm::IoStats grand = self_sum();
+  const double denom =
+      grand.parallel_ios ? static_cast<double>(grand.parallel_ios) : 1.0;
+  std::ostringstream os;
+  char line[320];
+  std::snprintf(line, sizeof(line), "%-44s %10s %10s %7s %7s %10s %12s\n",
+                "path (ranked by self I/Os)", "self I/Os", "total", "self%",
+                "cum%", "count", "self blocks");
+  os << line;
+  double cum = 0.0;
+  for (const ProfileNode& n : ranked) {
+    double share = 100.0 * static_cast<double>(n.self.parallel_ios) / denom;
+    cum += share;
+    std::snprintf(line, sizeof(line),
+                  "%-44s %10llu %10llu %6.1f%% %6.1f%% %10llu %12llu\n",
+                  n.path.c_str(),
+                  static_cast<unsigned long long>(n.self.parallel_ios),
+                  static_cast<unsigned long long>(n.total.parallel_ios), share,
+                  cum, static_cast<unsigned long long>(n.count),
+                  static_cast<unsigned long long>(n.self.blocks_read +
+                                                  n.self.blocks_written));
+    os << line;
+  }
+  std::snprintf(line, sizeof(line), "%-44s %10llu\n", "(self total)",
+                static_cast<unsigned long long>(grand.parallel_ios));
+  os << line;
+  return os.str();
+}
+
+Json Profile::to_json(std::size_t top_k) const {
+  Json arr = Json::array();
+  for (const ProfileNode& n : hot_paths(top_k)) {
+    Json j = Json::object();
+    j.set("path", n.path);
+    j.set("depth", n.depth);
+    j.set("count", n.count);
+    j.set("self_parallel_ios", n.self.parallel_ios);
+    j.set("self_blocks_read", n.self.blocks_read);
+    j.set("self_blocks_written", n.self.blocks_written);
+    j.set("self_wall_ns", n.self_wall_ns);
+    j.set("total_parallel_ios", n.total.parallel_ios);
+    j.set("total_blocks_read", n.total.blocks_read);
+    j.set("total_blocks_written", n.total.blocks_written);
+    j.set("total_wall_ns", n.wall_ns);
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+// Defined here (not span.cpp) so the aggregator's profile entry point lives
+// with the rollup math.
+Profile SpanAggregator::profile() const { return Profile::from_nodes(nodes()); }
+
+}  // namespace pddict::obs

@@ -1,0 +1,72 @@
+// Per-span I/O attribution profiles: self-vs-child rollups and hot paths.
+//
+// A SpanAggregator's tree charges every node the *total* I/O of its subtree
+// (an outer span's delta includes everything nested inside it). For "where
+// do the parallel I/Os actually go?" the interesting number is the *self*
+// cost — total minus what the direct children already account for. This
+// module computes that rollup and exports the top-k hot paths as an
+// "I/O flame": the flamegraph-style table in which the self columns of all
+// paths sum exactly to the whole run's IoStats delta (tested; this is the
+// reconciliation property that makes the profile trustworthy).
+//
+// Caveat inherited from Span: under concurrent load a child can be charged
+// I/O that another thread issued, so a child's total may exceed its parent's;
+// self subtraction saturates at zero instead of underflowing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/span.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::obs {
+
+/// One span path with its subtree totals and its self (exclusive) share.
+struct ProfileNode {
+  std::string path;
+  std::uint32_t depth = 0;
+  std::uint64_t count = 0;
+  pdm::IoStats total;           // everything between open and close
+  pdm::IoStats self;            // total minus direct children (saturating)
+  std::uint64_t wall_ns = 0;    // subtree wall time
+  std::uint64_t self_wall_ns = 0;
+};
+
+/// Aggregated attribution profile over a span tree.
+class Profile {
+ public:
+  /// Build from a SpanAggregator snapshot (path-keyed totals). Self costs
+  /// are derived here: node.self = node.total - sum(direct children's
+  /// totals), clamped at zero per field.
+  static Profile from_nodes(const std::map<std::string, SpanAggregator::Node>& nodes);
+
+  /// Preorder (lexicographic by path, '/' sorts before alphanumerics).
+  const std::vector<ProfileNode>& nodes() const { return nodes_; }
+
+  /// The k paths with the largest self parallel-I/O cost (ties broken by
+  /// self blocks moved, then path, for determinism). k = 0 means all.
+  std::vector<ProfileNode> hot_paths(std::size_t k) const;
+
+  /// Sum of the self columns over all nodes == the run's IoStats delta, as
+  /// long as every I/O happened under some span (roots absorb the rest of
+  /// their subtree by construction).
+  pdm::IoStats self_sum() const;
+
+  /// "I/O flame" table: one row per path, ranked by self parallel I/Os,
+  /// with self / total / self-share / cumulative-share columns.
+  /// top_k = 0 renders every path.
+  std::string render_flame(std::size_t top_k = 0) const;
+
+  /// Machine-readable: array of {path, depth, count, self_*, total_*, ...}
+  /// ranked like render_flame.
+  Json to_json(std::size_t top_k = 0) const;
+
+ private:
+  std::vector<ProfileNode> nodes_;
+};
+
+}  // namespace pddict::obs

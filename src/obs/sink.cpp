@@ -1,9 +1,18 @@
 #include "obs/sink.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 
 namespace pddict::obs {
+
+std::uint64_t trace_now_ns() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
 
 // ---------------------------------------------------------- RingBufferSink
 
@@ -56,6 +65,43 @@ void RingBufferSink::clear() {
   dropped_spans_ = 0;
 }
 
+// --------------------------------------------------------------- MultiSink
+
+MultiSink::MultiSink(std::vector<std::shared_ptr<Sink>> children)
+    : children_(std::move(children)) {}
+
+void MultiSink::on_io(const IoEvent& event) {
+  for (const auto& child : children_)
+    if (child) child->on_io(event);
+}
+
+void MultiSink::on_span(const SpanRecord& record) {
+  for (const auto& child : children_)
+    if (child) child->on_span(record);
+}
+
+void MultiSink::flush() {
+  for (const auto& child : children_)
+    if (child) child->flush();
+}
+
+// ------------------------------------------------------------ default sink
+
+namespace {
+std::mutex g_default_sink_mutex;
+std::shared_ptr<Sink> g_default_sink;
+}  // namespace
+
+void set_default_sink(std::shared_ptr<Sink> sink) {
+  std::lock_guard<std::mutex> lock(g_default_sink_mutex);
+  g_default_sink = std::move(sink);
+}
+
+std::shared_ptr<Sink> default_sink() {
+  std::lock_guard<std::mutex> lock(g_default_sink_mutex);
+  return g_default_sink;
+}
+
 // ----------------------------------------------------------- JsonLinesSink
 
 Json io_event_to_json(const IoEvent& event, bool record_addrs) {
@@ -64,6 +110,14 @@ Json io_event_to_json(const IoEvent& event, bool record_addrs) {
   j.set("write", event.write);
   j.set("rounds", event.rounds);
   j.set("blocks", static_cast<std::uint64_t>(event.addrs.size()));
+  j.set("seq", event.seq);
+  j.set("ts_ns", event.ts_ns);
+  j.set("start_round", event.start_round);
+  if (record_addrs && !event.per_disk.empty()) {
+    Json per_disk = Json::array();
+    for (std::uint32_t c : event.per_disk) per_disk.push_back(c);
+    j.set("per_disk", std::move(per_disk));
+  }
   if (record_addrs) {
     Json addrs = Json::array();
     for (const auto& a : event.addrs) {
@@ -88,6 +142,8 @@ Json span_record_to_json(const SpanRecord& record) {
   j.set("blocks_read", record.io.blocks_read);
   j.set("blocks_written", record.io.blocks_written);
   j.set("wall_ns", record.wall_ns);
+  j.set("start_ns", record.start_ns);
+  j.set("start_round", record.start_round);
   return j;
 }
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -28,6 +29,11 @@
 
 namespace pddict::obs {
 
+/// Nanoseconds since a process-wide steady epoch (the first call). All event
+/// timestamps share this epoch so different arrays' streams interleave on one
+/// timeline (trace_event.hpp renders it).
+std::uint64_t trace_now_ns();
+
 /// One batch scheduled by the disk array (the unit of parallel I/O
 /// accounting). `addrs` is the block list in submission order for reads and
 /// the deduplicated list for writes, matching the historical trace semantics.
@@ -35,6 +41,16 @@ struct IoEvent {
   bool write = false;
   std::uint64_t rounds = 0;
   std::vector<pdm::BlockAddr> addrs;
+  /// Monotone per-array emission index (0-based).
+  std::uint64_t seq = 0;
+  /// Emission time (trace_now_ns() epoch).
+  std::uint64_t ts_ns = 0;
+  /// The array's cumulative parallel_ios *before* this batch — the batch
+  /// occupies virtual rounds [start_round, start_round + rounds).
+  std::uint64_t start_round = 0;
+  /// Distinct blocks this batch moved on each disk (size = D). In PDM mode
+  /// per_disk[d] is also the number of rounds disk d is busy.
+  std::vector<std::uint32_t> per_disk;
 };
 
 /// One closed span (see obs::Span): a named phase of an operation with the
@@ -45,6 +61,11 @@ struct SpanRecord {
   std::uint32_t depth = 0;
   pdm::IoStats io;
   std::uint64_t wall_ns = 0;
+  /// Open time (trace_now_ns() epoch) and the array's cumulative
+  /// parallel_ios at open — the span covers virtual rounds
+  /// [start_round, start_round + io.parallel_ios).
+  std::uint64_t start_ns = 0;
+  std::uint64_t start_round = 0;
 };
 
 class Sink {
@@ -112,6 +133,29 @@ class JsonLinesSink : public Sink {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Fans every event out to a fixed set of child sinks (aggregate + stream +
+/// ring at once). The child list is immutable after construction, so the
+/// fan-out itself needs no lock; children do their own locking.
+class MultiSink : public Sink {
+ public:
+  explicit MultiSink(std::vector<std::shared_ptr<Sink>> children);
+
+  void on_io(const IoEvent& event) override;
+  void on_span(const SpanRecord& record) override;
+  void flush() override;
+
+ private:
+  std::vector<std::shared_ptr<Sink>> children_;
+};
+
+/// Process-wide default sink: a DiskArray constructed while one is set
+/// attaches it automatically. This is how the bench trace harness
+/// (bench_util's TraceSession) observes arrays created deep inside the
+/// experiment functions without threading a sink through every signature.
+/// Pass nullptr to clear. Affects only arrays constructed afterwards.
+void set_default_sink(std::shared_ptr<Sink> sink);
+std::shared_ptr<Sink> default_sink();
 
 /// JSON shape shared by JsonLinesSink and tests.
 Json io_event_to_json(const IoEvent& event, bool record_addrs);

@@ -20,6 +20,7 @@ Span::Span(Sink* sink, const pdm::IoStats& live, std::string_view name) {
   sink_ = sink;
   live_ = &live;
   start_ = live;
+  start_ns_ = trace_now_ns();
   start_time_ = std::chrono::steady_clock::now();
   auto& stack = span_stack();
   depth_ = static_cast<std::uint32_t>(stack.size());
@@ -38,6 +39,7 @@ Span::Span(Span&& other) noexcept
       live_(other.live_),
       start_(other.start_),
       start_time_(other.start_time_),
+      start_ns_(other.start_ns_),
       path_(std::move(other.path_)),
       depth_(other.depth_) {
   other.sink_ = nullptr;
@@ -52,6 +54,8 @@ void Span::close() {
   record.io = *live_ - start_;
   record.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  record.start_ns = start_ns_;
+  record.start_round = start_.parallel_ios;
   auto& stack = span_stack();
   if (!stack.empty()) stack.pop_back();
   Sink* sink = sink_;

@@ -55,9 +55,12 @@ class Span {
   const pdm::IoStats* live_ = nullptr;
   pdm::IoStats start_;
   std::chrono::steady_clock::time_point start_time_;
+  std::uint64_t start_ns_ = 0;
   std::string path_;
   std::uint32_t depth_ = 0;
 };
+
+class Profile;  // profile.hpp — self-vs-child rollups over the span tree
 
 /// Sink that folds span records into an aggregate tree keyed by path:
 /// per path, the number of times it closed and the summed I/O + wall time.
@@ -83,6 +86,10 @@ class SpanAggregator : public Sink {
   std::string render() const;
   /// Machine-readable: array of {path, depth, count, parallel_ios, ...}.
   Json to_json() const;
+
+  /// Self-vs-child I/O attribution over the current snapshot (profile.hpp):
+  /// each path's exclusive cost, top-k hot paths, the I/O-flame table.
+  Profile profile() const;
 
   void clear();
 

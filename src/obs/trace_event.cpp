@@ -1,0 +1,236 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace pddict::obs {
+
+namespace {
+
+Json meta_event(const char* name, int pid, Json args) {
+  Json j = Json::object();
+  j.set("name", name);
+  j.set("ph", "M");
+  j.set("pid", pid);
+  j.set("args", std::move(args));
+  return j;
+}
+
+Json thread_name_event(int pid, std::int64_t tid, const std::string& name) {
+  Json args = Json::object();
+  args.set("name", name);
+  Json j = Json::object();
+  j.set("name", "thread_name");
+  j.set("ph", "M");
+  j.set("pid", pid);
+  j.set("tid", tid);
+  j.set("args", std::move(args));
+  return j;
+}
+
+/// Maps the sawtooth of per-array round counters onto one increasing virtual
+/// clock: a backwards jump of the raw counter opens a new epoch after the
+/// latest end seen so far.
+class VirtualClock {
+ public:
+  /// Virtual start of an interval [raw, raw + dur) of rounds.
+  std::uint64_t map(std::uint64_t raw, std::uint64_t dur) {
+    if (raw < last_raw_) base_ = end_;  // counter restarted: new epoch
+    last_raw_ = raw;
+    std::uint64_t ts = base_ + raw;
+    end_ = std::max(end_, ts + dur);
+    return ts;
+  }
+
+ private:
+  std::uint64_t base_ = 0;      // virtual offset of the current epoch
+  std::uint64_t last_raw_ = 0;  // raw counter high-water mark of the epoch
+  std::uint64_t end_ = 0;       // latest virtual end seen
+};
+
+}  // namespace
+
+Json trace_events_to_json(std::span<const IoEvent> events,
+                          std::span<const SpanRecord> spans,
+                          std::uint32_t num_disks) {
+  if (num_disks == 0) {
+    for (const IoEvent& e : events) {
+      num_disks = std::max(num_disks,
+                           static_cast<std::uint32_t>(e.per_disk.size()));
+      for (const auto& a : e.addrs) num_disks = std::max(num_disks, a.disk + 1);
+    }
+  }
+
+  Json out = Json::array();
+
+  // ---- track metadata ----
+  {
+    Json disks_name = Json::object();
+    disks_name.set("name", "disks (simulated)");
+    out.push_back(meta_event("process_name", kTraceDiskPid,
+                             std::move(disks_name)));
+    Json disks_sort = Json::object();
+    disks_sort.set("sort_index", kTraceDiskPid);
+    out.push_back(meta_event("process_sort_index", kTraceDiskPid,
+                             std::move(disks_sort)));
+    for (std::uint32_t d = 0; d < num_disks; ++d)
+      out.push_back(thread_name_event(kTraceDiskPid, d,
+                                      "disk " + std::to_string(d)));
+    Json spans_name = Json::object();
+    spans_name.set("name", "spans");
+    out.push_back(meta_event("process_name", kTraceSpanPid,
+                             std::move(spans_name)));
+    Json spans_sort = Json::object();
+    spans_sort.set("sort_index", kTraceSpanPid);
+    out.push_back(meta_event("process_sort_index", kTraceSpanPid,
+                             std::move(spans_sort)));
+  }
+
+  // ---- disk tracks: one complete event per (batch, busy disk) ----
+  VirtualClock disk_clock;
+  std::vector<std::uint64_t> disk_cursor(num_disks, 0);
+  for (const IoEvent& e : events) {
+    std::uint64_t ts = disk_clock.map(e.start_round, e.rounds);
+    for (std::uint32_t d = 0; d < e.per_disk.size(); ++d) {
+      std::uint32_t moved = e.per_disk[d];
+      if (moved == 0) continue;
+      // PDM: a disk with `moved` pending blocks is busy the first `moved`
+      // rounds of the batch; in the head model rounds can be fewer.
+      std::uint64_t dur = std::min<std::uint64_t>(moved, e.rounds);
+      std::uint64_t tts = std::max(ts, disk_cursor[d]);
+      disk_cursor[d] = tts;
+      Json j = Json::object();
+      j.set("name", e.write ? "write" : "read");
+      j.set("cat", "io");
+      j.set("ph", "X");
+      j.set("ts", tts);
+      j.set("dur", dur);
+      j.set("pid", kTraceDiskPid);
+      j.set("tid", d);
+      Json args = Json::object();
+      args.set("seq", e.seq);
+      args.set("rounds", e.rounds);
+      args.set("batch_blocks", static_cast<std::uint64_t>(e.addrs.size()));
+      args.set("disk_blocks", moved);
+      args.set("wall_ts_ns", e.ts_ns);
+      j.set("args", std::move(args));
+      out.push_back(std::move(j));
+    }
+  }
+
+  // ---- span tracks: one track per path, one complete event per close ----
+  VirtualClock span_clock;
+  std::map<std::string, std::int64_t> span_tid;  // path -> track
+  std::map<std::int64_t, std::uint64_t> span_cursor;
+  for (const SpanRecord& s : spans) {
+    auto [it, fresh] = span_tid.try_emplace(
+        s.path, static_cast<std::int64_t>(span_tid.size()));
+    if (fresh) out.push_back(thread_name_event(kTraceSpanPid, it->second,
+                                               s.path));
+    std::uint64_t ts = span_clock.map(s.start_round, s.io.parallel_ios);
+    std::uint64_t& cursor = span_cursor[it->second];
+    ts = std::max(ts, cursor);
+    cursor = ts;
+    std::string leaf = s.path.substr(s.path.rfind('/') + 1);
+    Json j = Json::object();
+    j.set("name", leaf);
+    j.set("cat", "span");
+    j.set("ph", "X");
+    j.set("ts", ts);
+    j.set("dur", s.io.parallel_ios);
+    j.set("pid", kTraceSpanPid);
+    j.set("tid", it->second);
+    Json args = Json::object();
+    args.set("path", s.path);
+    args.set("depth", s.depth);
+    args.set("parallel_ios", s.io.parallel_ios);
+    args.set("blocks_read", s.io.blocks_read);
+    args.set("blocks_written", s.io.blocks_written);
+    args.set("wall_ns", s.wall_ns);
+    j.set("args", std::move(args));
+    out.push_back(std::move(j));
+  }
+
+  return out;
+}
+
+bool write_trace_event_file(const std::string& path,
+                            std::span<const IoEvent> events,
+                            std::span<const SpanRecord> spans,
+                            std::uint32_t num_disks) {
+  Json doc = trace_events_to_json(events, spans, num_disks);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "trace_event: cannot write %s\n", path.c_str());
+    return false;
+  }
+  doc.write(out);
+  out << '\n';
+  return out.good();
+}
+
+bool validate_trace_events(const Json& root, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error) *error = message;
+    return false;
+  };
+  if (!root.is_array()) return fail("trace document is not a JSON array");
+  // ts high-water mark and name per (pid, tid) track.
+  std::map<std::pair<std::int64_t, std::int64_t>, double> cursor;
+  std::map<std::pair<std::int64_t, std::int64_t>, bool> named;
+  std::size_t index = 0;
+  for (const Json& e : root.as_array()) {
+    std::string where = "event[" + std::to_string(index++) + "]";
+    if (!e.is_object()) return fail(where + ": not an object");
+    const Json* ph = e.find("ph");
+    const Json* pid = e.find("pid");
+    if (!ph || !ph->is_string()) return fail(where + ": missing ph");
+    if (!pid || !pid->is_number()) return fail(where + ": missing pid");
+    if (ph->as_string() == "M") {
+      const Json* name = e.find("name");
+      if (!name || !name->is_string())
+        return fail(where + ": metadata without name");
+      if (name->as_string() == "thread_name") {
+        const Json* tid = e.find("tid");
+        const Json* args = e.find("args");
+        if (!tid || !tid->is_number())
+          return fail(where + ": thread_name without tid");
+        if (!args || !args->find("name"))
+          return fail(where + ": thread_name without args.name");
+        named[{pid->as_int(), tid->as_int()}] = true;
+      }
+      continue;
+    }
+    if (ph->as_string() != "X")
+      return fail(where + ": unexpected phase \"" + ph->as_string() + "\"");
+    const Json* name = e.find("name");
+    const Json* ts = e.find("ts");
+    const Json* dur = e.find("dur");
+    const Json* tid = e.find("tid");
+    if (!name || !name->is_string() || name->as_string().empty())
+      return fail(where + ": X event without name");
+    if (!ts || !ts->is_number() || ts->as_double() < 0)
+      return fail(where + ": X event without non-negative ts");
+    if (!dur || !dur->is_number() || dur->as_double() < 0)
+      return fail(where + ": X event without non-negative dur");
+    if (!tid || !tid->is_number()) return fail(where + ": X event without tid");
+    auto track = std::make_pair(pid->as_int(), tid->as_int());
+    auto it = cursor.find(track);
+    if (it != cursor.end() && ts->as_double() < it->second)
+      return fail(where + ": ts goes backwards on track pid=" +
+                  std::to_string(track.first) +
+                  " tid=" + std::to_string(track.second));
+    cursor[track] = ts->as_double();
+    if (!named.count(track))
+      return fail(where + ": track pid=" + std::to_string(track.first) +
+                  " tid=" + std::to_string(track.second) +
+                  " has no thread_name metadata");
+  }
+  return true;
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,59 @@
+// Chrome/Perfetto trace-event export of the I/O event stream.
+//
+// Renders a RingBufferSink's retained IoEvents and SpanRecords as a
+// chrome://tracing "JSON array format" timeline (load the file in Perfetto or
+// chrome://tracing directly):
+//
+//   * one track (thread) per simulated disk under a "disks" process — each
+//     batch paints the disks it kept busy;
+//   * one track per span path under a "spans" process — each closed span is
+//     one complete event.
+//
+// The clock is *virtual*: one parallel I/O round = 1 µs of trace time, taken
+// from the start_round / parallel_ios fields the array stamps on events.
+// Wall time would render a simulated disk as a zero-width blip; round time is
+// the paper's own metric, so the timeline shows exactly what the I/O bounds
+// claim. Wall timestamps survive into each event's args for reference.
+//
+// Streams from several DiskArrays (their round counters restart at 0) are
+// concatenated: a backwards jump of the round counter starts a new virtual
+// epoch after the latest end seen so far. Timestamps per track are clamped
+// monotone, which the structural validator below re-checks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace pddict::obs {
+
+/// Process ids used in the exported trace.
+inline constexpr int kTraceDiskPid = 1;
+inline constexpr int kTraceSpanPid = 2;
+
+/// Build the trace-event JSON array. `num_disks` sizes the disk-track
+/// metadata (one track per disk, transferring or not); pass 0 to derive it
+/// from the events (max per_disk size / address disk id seen).
+Json trace_events_to_json(std::span<const IoEvent> events,
+                          std::span<const SpanRecord> spans,
+                          std::uint32_t num_disks = 0);
+
+/// Serialize trace_events_to_json() to `path`. Returns false (with a message
+/// on stderr) if the file cannot be written.
+bool write_trace_event_file(const std::string& path,
+                            std::span<const IoEvent> events,
+                            std::span<const SpanRecord> spans,
+                            std::uint32_t num_disks = 0);
+
+/// Structural validator shared by the unit tests and the CI gate
+/// (validate_bench_json --trace-event): the document must be a JSON array of
+/// event objects; every "X" event carries name/ts/dur/pid/tid with ts
+/// monotone (non-decreasing) per (pid, tid) track; every track used by an
+/// "X" event is named by a thread_name metadata event. On failure returns
+/// false and stores a one-line diagnostic in `error`.
+bool validate_trace_events(const Json& root, std::string* error);
+
+}  // namespace pddict::obs

@@ -15,7 +15,8 @@ DiskArray::DiskArray(Geometry geom, Model model,
       model_(model),
       disk_counters_(geom.num_disks),
       round_hist_(static_cast<std::size_t>(geom.num_disks) + 1, 0),
-      backend_(std::move(backend)) {
+      backend_(std::move(backend)),
+      sink_(obs::default_sink()) {
   if (!geom_.valid()) throw std::invalid_argument("invalid PDM geometry");
   if (!backend_) throw std::invalid_argument("null block backend");
 }
@@ -60,6 +61,7 @@ DiskArray::BatchPlan DiskArray::plan_batch(
 void DiskArray::account_batch(const BatchPlan& plan, bool write,
                               std::span<const BlockAddr> submitted) {
   const std::uint64_t distinct = plan.uniq.size();
+  const std::uint64_t start_round = stats_.parallel_ios;
   stats_.parallel_ios += plan.rounds;
   (write ? stats_.write_rounds : stats_.read_rounds) += plan.rounds;
   (write ? stats_.blocks_written : stats_.blocks_read) += distinct;
@@ -94,6 +96,15 @@ void DiskArray::account_batch(const BatchPlan& plan, bool write,
     }
   }
 
+  // Documented round-utilization invariant (docs/observability.md): entry 0
+  // counts rounds that moved zero blocks, which cannot exist — every round
+  // the scheduler emits transfers at least one block. Enforced always (not
+  // an NDEBUG-stripped assert): it guards the accounting the whole
+  // reproduction's measurements rest on, and it is one load per batch.
+  if (round_hist_[0] != 0)
+    throw std::logic_error(
+        "DiskArray: round-utilization invariant violated (h[0] != 0)");
+
   if (tracing_ || sink_) {
     obs::IoEvent event;
     event.write = write;
@@ -103,6 +114,10 @@ void DiskArray::account_batch(const BatchPlan& plan, bool write,
     event.addrs = write ? plan.uniq
                         : std::vector<BlockAddr>(submitted.begin(),
                                                  submitted.end());
+    event.seq = event_seq_++;
+    event.ts_ns = obs::trace_now_ns();
+    event.start_round = start_round;
+    event.per_disk = plan.per_disk;
     if (tracing_ && trace_ring_) trace_ring_->on_io(event);
     if (sink_) sink_->on_io(event);
   }

@@ -100,7 +100,10 @@ class DiskArray {
   /// Attach a sink receiving every scheduled batch (obs::IoEvent) and every
   /// span closed against this array. Pass nullptr to detach. The array
   /// shares ownership; emission happens under the scheduling lock, so sinks
-  /// must not call back into the array.
+  /// must not call back into the array. An array constructed while
+  /// obs::set_default_sink() holds a sink attaches it automatically (the
+  /// bench trace harness uses this to observe arrays created inside
+  /// experiment helpers).
   void set_sink(std::shared_ptr<obs::Sink> sink) { sink_ = std::move(sink); }
   obs::Sink* sink() const { return sink_.get(); }
 
@@ -188,6 +191,7 @@ class DiskArray {
   bool tracing_ = false;
   std::shared_ptr<obs::RingBufferSink> trace_ring_;
   std::shared_ptr<obs::Sink> sink_;
+  std::uint64_t event_seq_ = 0;  // emission index stamped on IoEvents
   /// Batches are atomic with respect to each other, so concurrent structure
   /// wrappers (core/concurrent_dict.hpp) can issue I/O from several threads;
   /// higher-level operation atomicity is the wrapper's bucket locks' job.

@@ -1,0 +1,217 @@
+// Baseline diff engine: flattening (name-keyed rows), the tolerance
+// taxonomy (exact for deterministic I/O counts, % bands for wall time,
+// direction flips for higher-better metrics, structural gating for
+// configuration drift), and the synthetic-regression property the CTest
+// perf gate relies on: +1 parallel I/O must flip the diff to failing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_baseline.hpp"
+#include "obs/json.hpp"
+
+namespace pddict {
+namespace {
+
+using obs::DiffKind;
+using obs::Json;
+
+Json parse(const std::string& text) {
+  std::string err;
+  auto parsed = obs::parse_json(text, &err);
+  EXPECT_TRUE(parsed.has_value()) << err << " in: " << text;
+  return parsed ? *parsed : Json();
+}
+
+/// Minimal single-bench report with one tweakable lookup cost.
+std::string report_text(int parallel_ios, double wall_ms = 100.0,
+                        double utilization = 0.9, int capacity = 4096,
+                        const char* row_name = "dict") {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                R"({"schema":"pddict-bench-report","version":1,
+                    "bench":"bench_x","params":{"capacity":%d},
+                    "rows":[{"name":"%s","parallel_ios":%d,
+                             "mean_utilization":%g,"build_wall_ms":%g}]})",
+                capacity, row_name, parallel_ios, utilization, wall_ms);
+  return buf;
+}
+
+const obs::DiffEntry* find_entry(const obs::DiffResult& result,
+                                 const std::string& needle) {
+  for (const auto& e : result.entries)
+    if (e.path.find(needle) != std::string::npos) return &e;
+  return nullptr;
+}
+
+TEST(BenchBaseline, FlattenKeysRowsByNameNotIndex) {
+  Json doc = parse(
+      R"({"bench":"b","rows":[{"name":"alpha","ios":1},
+                              {"name":"beta","ios":2}]})");
+  auto flat = obs::flatten_baseline(doc);
+  bool saw_alpha = false, saw_beta = false;
+  for (const auto& m : flat) {
+    if (m.path == "b/rows[alpha]/ios") {
+      saw_alpha = true;
+      EXPECT_EQ(m.number, 1.0);
+    }
+    if (m.path == "b/rows[beta]/ios") saw_beta = true;
+  }
+  EXPECT_TRUE(saw_alpha);
+  EXPECT_TRUE(saw_beta);
+
+  // Same rows, reordered: identical flat set -> empty diff.
+  Json reordered = parse(
+      R"({"bench":"b","rows":[{"name":"beta","ios":2},
+                              {"name":"alpha","ios":1}]})");
+  auto result = obs::diff_baselines(doc, reordered);
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(BenchBaseline, IdenticalReportsDiffClean) {
+  Json a = parse(report_text(7));
+  auto result = obs::diff_baselines(a, a);
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_GT(result.compared, 0u);
+}
+
+TEST(BenchBaseline, OneExtraParallelIoIsARegression) {
+  // The property the CI gate is built on: deterministic I/O counts compare
+  // exactly, so a single extra round anywhere fails the diff.
+  Json before = parse(report_text(7));
+  Json after = parse(report_text(8));
+  auto result = obs::diff_baselines(before, after);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 1u);
+  const obs::DiffEntry* e = find_entry(result, "parallel_ios");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kRegression);
+  EXPECT_EQ(e->before, 7.0);
+  EXPECT_EQ(e->after, 8.0);
+  // Ranked first and rendered in the table.
+  EXPECT_EQ(result.entries.front().kind, DiffKind::kRegression);
+  std::string table = obs::render_diff(result);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos) << table;
+  EXPECT_NE(table.find("parallel_ios"), std::string::npos) << table;
+
+  // The same delta downward is an improvement, not a failure.
+  auto better = obs::diff_baselines(after, before);
+  EXPECT_TRUE(better.ok());
+  EXPECT_EQ(better.improvements, 1u);
+}
+
+TEST(BenchBaseline, HigherBetterMetricsRegressDownward) {
+  Json before = parse(report_text(7, 100.0, /*utilization=*/0.9));
+  Json after = parse(report_text(7, 100.0, /*utilization=*/0.5));
+  auto result = obs::diff_baselines(before, after);
+  EXPECT_FALSE(result.ok());
+  const obs::DiffEntry* e = find_entry(result, "mean_utilization");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kRegression);
+  // And upward movement is an improvement.
+  EXPECT_TRUE(obs::diff_baselines(after, before).ok());
+}
+
+TEST(BenchBaseline, WallTimeComparesWithinBandOnly) {
+  Json before = parse(report_text(7, /*wall_ms=*/100.0));
+  Json inside = parse(report_text(7, /*wall_ms=*/130.0));   // +30% < 50%
+  Json outside = parse(report_text(7, /*wall_ms=*/200.0));  // +100%
+
+  EXPECT_TRUE(obs::diff_baselines(before, inside).entries.empty());
+
+  auto gated = obs::diff_baselines(before, outside);
+  EXPECT_FALSE(gated.ok());
+  const obs::DiffEntry* e = find_entry(gated, "build_wall_ms");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->wall);
+
+  // --ignore-wall: still reported, no longer gating.
+  obs::DiffOptions lenient;
+  lenient.gate_wall = false;
+  auto reported = obs::diff_baselines(before, outside, lenient);
+  EXPECT_TRUE(reported.ok());
+  e = find_entry(reported, "build_wall_ms");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kChange);
+
+  // Tighter band flips the inside case.
+  obs::DiffOptions strict;
+  strict.wall_tol_pct = 10.0;
+  EXPECT_FALSE(obs::diff_baselines(before, inside, strict).ok());
+}
+
+TEST(BenchBaseline, ConfigurationDriftGatesEvenWhenNumbersImprove) {
+  // Halving the workload halves every I/O count; without structural gating
+  // that would read as a spectacular improvement.
+  Json before = parse(report_text(7, 100.0, 0.9, /*capacity=*/4096));
+  Json after = parse(report_text(3, 100.0, 0.9, /*capacity=*/2048));
+  auto result = obs::diff_baselines(before, after);
+  EXPECT_FALSE(result.ok());
+  const obs::DiffEntry* e = find_entry(result, "params/capacity");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kRegression);
+}
+
+TEST(BenchBaseline, RemovedMetricGatesAddedDoesNot) {
+  Json before = parse(report_text(7));
+  Json renamed = parse(report_text(7, 100.0, 0.9, 4096, "dict_v2"));
+  // Renaming the row removes every old metric and adds new ones: the
+  // removals gate (a vanished measurement is how regressions hide).
+  auto result = obs::diff_baselines(before, renamed);
+  EXPECT_FALSE(result.ok());
+  const obs::DiffEntry* removed = find_entry(result, "rows[dict]/");
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(removed->kind, DiffKind::kRemoved);
+  const obs::DiffEntry* added = find_entry(result, "rows[dict_v2]/");
+  ASSERT_NE(added, nullptr);
+  EXPECT_EQ(added->kind, DiffKind::kAdded);
+
+  // Pure addition (extra metric in the new baseline) does not gate.
+  Json extra = parse(
+      R"({"bench":"bench_x","params":{"capacity":4096},
+          "rows":[{"name":"dict","parallel_ios":7,"mean_utilization":0.9,
+                   "build_wall_ms":100,"p99":3}]})");
+  auto grown = obs::diff_baselines(before, extra);
+  EXPECT_TRUE(grown.ok());
+  ASSERT_EQ(grown.entries.size(), 1u);
+  EXPECT_EQ(grown.entries.front().kind, DiffKind::kAdded);
+}
+
+TEST(BenchBaseline, ConsolidatedBaselinesComparePerBench) {
+  auto baseline = [&](int ios_a, int ios_b) {
+    return parse(std::string(R"({"schema":"pddict-bench-baseline","version":1,
+        "git_rev":"abc","benches":{
+          "bench_a":{"wall_ms":5,"report":)") + report_text(ios_a) +
+                 R"(},"bench_b":{"wall_ms":6,"report":)" + report_text(ios_b) +
+                 "}}}");
+  };
+  Json before = baseline(7, 9);
+  Json after = baseline(7, 10);  // only bench_b regressed
+  auto result = obs::diff_baselines(before, after, {.gate_wall = false});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.regressions, 1u);
+  const obs::DiffEntry* e = find_entry(result, "bench_b/");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kRegression);
+  EXPECT_EQ(find_entry(result, "git_rev"), nullptr);  // provenance not diffed
+}
+
+TEST(BenchBaseline, StringDriftIsAVisibleChange) {
+  Json before =
+      parse(R"js({"bench":"b","rows":[{"name":"r","bound":"O(1)"}]})js");
+  Json after =
+      parse(R"js({"bench":"b","rows":[{"name":"r","bound":"O(log n)"}]})js");
+  auto result = obs::diff_baselines(before, after);
+  EXPECT_TRUE(result.ok());  // annotations don't gate...
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries.front().kind, DiffKind::kChange);  // ...but show
+}
+
+TEST(BenchBaseline, MalformedDocumentThrows) {
+  EXPECT_THROW(obs::diff_baselines(Json(42), Json(42)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pddict

@@ -1,0 +1,194 @@
+// I/O attribution profiles: IoProbe reset/delta arithmetic, the
+// self-vs-child rollup, hot-path ranking and the reconciliation property —
+// the flame table's self column sums exactly to the run's IoStats delta.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/basic_dict.hpp"
+#include "obs/profile.hpp"
+#include "obs/span.hpp"
+#include "pdm/disk_array.hpp"
+#include "pdm/io_stats.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict {
+namespace {
+
+void read_one(pdm::DiskArray& disks, std::uint32_t disk, std::uint64_t block) {
+  std::vector<pdm::BlockAddr> addrs{{disk, block}};
+  std::vector<pdm::Block> out;
+  disks.read_batch(addrs, out);
+}
+
+// ---- IoProbe ----
+
+TEST(IoProbe, DeltaAndResetRebase) {
+  pdm::DiskArray disks(pdm::Geometry{4, 8, 8, 0});
+  read_one(disks, 0, 0);  // history before the probe must not count
+  pdm::IoProbe probe(disks);
+  read_one(disks, 1, 0);
+  read_one(disks, 2, 0);
+  EXPECT_EQ(probe.ios(), 2u);
+  EXPECT_EQ(probe.delta().blocks_read, 2u);
+  probe.reset();
+  EXPECT_EQ(probe.ios(), 0u);
+  EXPECT_EQ(probe.delta(), pdm::IoStats{});
+  read_one(disks, 3, 0);
+  EXPECT_EQ(probe.ios(), 1u);  // only post-reset I/O
+  EXPECT_EQ(probe.delta().read_rounds, 1u);
+}
+
+TEST(IoStats, DifferenceIsFieldwise) {
+  pdm::IoStats a{10, 6, 4, 100, 50};
+  pdm::IoStats b{3, 2, 1, 40, 10};
+  pdm::IoStats d = a - b;
+  EXPECT_EQ(d.parallel_ios, 7u);
+  EXPECT_EQ(d.read_rounds, 4u);
+  EXPECT_EQ(d.write_rounds, 3u);
+  EXPECT_EQ(d.blocks_read, 60u);
+  EXPECT_EQ(d.blocks_written, 40u);
+  b += d;
+  EXPECT_EQ(b, a);  // (a - b) + b round-trips
+}
+
+// ---- self-vs-child rollup on hand-built trees ----
+
+obs::SpanAggregator::Node node(std::uint64_t ios, std::uint64_t blocks,
+                               std::uint32_t depth, std::uint64_t count = 1,
+                               std::uint64_t wall_ns = 0) {
+  obs::SpanAggregator::Node n;
+  n.count = count;
+  n.io.parallel_ios = ios;
+  n.io.read_rounds = ios;
+  n.io.blocks_read = blocks;
+  n.wall_ns = wall_ns;
+  n.depth = depth;
+  return n;
+}
+
+TEST(Profile, SelfIsTotalMinusDirectChildren) {
+  std::map<std::string, obs::SpanAggregator::Node> nodes;
+  nodes["a"] = node(10, 100, 0, 1, 1000);
+  nodes["a/b"] = node(4, 40, 1, 2, 300);
+  nodes["a/b/c"] = node(1, 10, 2, 1, 50);
+  nodes["a/x"] = node(3, 30, 1, 1, 200);
+  nodes["d"] = node(5, 50, 0);
+  auto profile = obs::Profile::from_nodes(nodes);
+
+  std::map<std::string, obs::ProfileNode> by_path;
+  for (const auto& n : profile.nodes()) by_path[n.path] = n;
+  ASSERT_EQ(by_path.size(), 5u);
+  EXPECT_EQ(by_path["a"].self.parallel_ios, 3u);    // 10 - 4 - 3
+  EXPECT_EQ(by_path["a"].self.blocks_read, 30u);    // 100 - 40 - 30
+  EXPECT_EQ(by_path["a"].self_wall_ns, 500u);       // 1000 - 300 - 200
+  EXPECT_EQ(by_path["a/b"].self.parallel_ios, 3u);  // 4 - 1 (grandchild
+  EXPECT_EQ(by_path["a/b/c"].self.parallel_ios, 1u);  // charged to b, not a)
+  EXPECT_EQ(by_path["a/x"].self.parallel_ios, 3u);  // leaf: self == total
+  EXPECT_EQ(by_path["d"].self.parallel_ios, 5u);
+
+  // Reconciliation: selves sum back to the roots' totals.
+  EXPECT_EQ(profile.self_sum().parallel_ios, 15u);
+  EXPECT_EQ(profile.self_sum().blocks_read, 150u);
+}
+
+TEST(Profile, SelfSubtractionSaturatesAtZero) {
+  // Concurrent attribution can charge a child more than its parent (another
+  // thread's I/O lands in the child's delta); self must clamp, not wrap.
+  std::map<std::string, obs::SpanAggregator::Node> nodes;
+  nodes["p"] = node(2, 20, 0);
+  nodes["p/q"] = node(5, 50, 1);
+  auto profile = obs::Profile::from_nodes(nodes);
+  for (const auto& n : profile.nodes()) {
+    if (n.path == "p") {
+      EXPECT_EQ(n.self.parallel_ios, 0u);
+      EXPECT_EQ(n.self.blocks_read, 0u);
+    }
+    if (n.path == "p/q") {
+      EXPECT_EQ(n.self.parallel_ios, 5u);
+    }
+  }
+}
+
+TEST(Profile, SimilarPrefixIsNotAChild) {
+  // "ab" must not be treated as a child of "a" (prefix without slash).
+  std::map<std::string, obs::SpanAggregator::Node> nodes;
+  nodes["a"] = node(4, 0, 0);
+  nodes["ab"] = node(3, 0, 0);
+  nodes["a/b"] = node(1, 0, 1);
+  auto profile = obs::Profile::from_nodes(nodes);
+  for (const auto& n : profile.nodes()) {
+    if (n.path == "a") {
+      EXPECT_EQ(n.self.parallel_ios, 3u);  // 4 - 1
+    }
+    if (n.path == "ab") {
+      EXPECT_EQ(n.self.parallel_ios, 3u);  // untouched
+    }
+  }
+  EXPECT_EQ(profile.self_sum().parallel_ios, 7u);  // two roots: 4 + 3
+}
+
+TEST(Profile, HotPathsRankBySelfCost) {
+  std::map<std::string, obs::SpanAggregator::Node> nodes;
+  nodes["op"] = node(12, 0, 0);       // self 12 - 10 = 2
+  nodes["op/hot"] = node(10, 90, 1);  // self 10
+  nodes["cold"] = node(1, 5, 0);      // self 1
+  auto profile = obs::Profile::from_nodes(nodes);
+  auto top = profile.hot_paths(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "op/hot");
+  EXPECT_EQ(top[1].path, "op");
+  EXPECT_EQ(profile.hot_paths(0).size(), 3u);  // k = 0 -> everything
+  // Machine-readable export preserves the ranking.
+  obs::Json j = profile.to_json(2);
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.as_array().size(), 2u);
+  EXPECT_EQ(j.as_array()[0].find("path")->as_string(), "op/hot");
+  EXPECT_EQ(j.as_array()[0].find("self_parallel_ios")->as_int(), 10);
+  EXPECT_EQ(j.as_array()[0].find("total_parallel_ios")->as_int(), 10);
+}
+
+// ---- reconciliation against a real dictionary workload ----
+
+TEST(Profile, FlameTotalsReconcileWithIoStatsDelta) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  auto agg = std::make_shared<obs::SpanAggregator>();
+  disks.set_sink(agg);
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 800;
+  p.value_bytes = 8;
+  p.degree = 16;
+  pdm::IoStats before = disks.stats();
+  core::BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 600,
+                                      p.universe_size, 31);
+  {
+    obs::Span session(disks, "session");  // root span covers everything
+    {
+      obs::Span phase(disks, "inserts");
+      for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 8));
+    }
+    {
+      obs::Span phase(disks, "lookups");
+      for (core::Key k : keys) EXPECT_TRUE(dict.lookup(k).found);
+    }
+  }
+  pdm::IoStats delta = disks.stats() - before;
+  auto profile = agg->profile();
+  // Every I/O ran under the root span, so the self columns must sum exactly
+  // to the run's IoStats delta — the property that makes the flame table a
+  // partition of the real cost rather than an estimate.
+  EXPECT_EQ(profile.self_sum(), delta);
+  std::string flame = profile.render_flame(10);
+  EXPECT_NE(flame.find("session/inserts"), std::string::npos) << flame;
+  EXPECT_NE(flame.find("session/lookups"), std::string::npos) << flame;
+  // SpanAggregator::profile() and Profile::from_nodes agree.
+  auto direct = obs::Profile::from_nodes(agg->nodes());
+  EXPECT_EQ(direct.self_sum(), profile.self_sum());
+  disks.set_sink(nullptr);
+}
+
+}  // namespace
+}  // namespace pddict

@@ -1,0 +1,219 @@
+// Chrome/Perfetto trace-event export: structure of the emitted JSON array,
+// the virtual round clock (including multi-array epoch rebasing), per-track
+// monotonicity, and the shared structural validator on both good and
+// tampered documents.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/basic_dict.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_event.hpp"
+#include "pdm/disk_array.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict {
+namespace {
+
+using obs::Json;
+
+obs::IoEvent io_event(std::uint64_t seq, std::uint64_t start_round,
+                      std::uint64_t rounds,
+                      std::vector<std::uint32_t> per_disk, bool write = false) {
+  obs::IoEvent e;
+  e.write = write;
+  e.rounds = rounds;
+  e.seq = seq;
+  e.start_round = start_round;
+  e.per_disk = std::move(per_disk);
+  return e;
+}
+
+/// Collects the "X" events of one (pid, tid) track in document order.
+std::vector<const Json*> track_events(const Json& doc, int pid, int tid) {
+  std::vector<const Json*> out;
+  for (const Json& e : doc.as_array()) {
+    const Json* ph = e.find("ph");
+    if (!ph || ph->as_string() != "X") continue;
+    if (e.find("pid")->as_int() == pid && e.find("tid")->as_int() == tid)
+      out.push_back(&e);
+  }
+  return out;
+}
+
+std::size_t count_thread_names(const Json& doc, int pid) {
+  std::size_t n = 0;
+  for (const Json& e : doc.as_array()) {
+    const Json* name = e.find("name");
+    if (name && name->is_string() && name->as_string() == "thread_name" &&
+        e.find("pid")->as_int() == pid)
+      ++n;
+  }
+  return n;
+}
+
+TEST(TraceEvent, SyntheticBatchesRenderOneSlicePerBusyDisk) {
+  std::vector<obs::IoEvent> events;
+  // Batch 0: rounds [0,2), disk 0 busy both rounds, disk 2 busy one.
+  events.push_back(io_event(0, 0, 2, {2, 0, 1, 0}));
+  // Batch 1: rounds [2,3), disks 1 and 3.
+  events.push_back(io_event(1, 2, 1, {0, 1, 0, 1}, /*write=*/true));
+  std::vector<obs::SpanRecord> spans;
+  obs::SpanRecord s;
+  s.path = "op";
+  s.io.parallel_ios = 3;
+  s.start_round = 0;
+  spans.push_back(s);
+
+  Json doc = obs::trace_events_to_json(events, spans, 4);
+  std::string err;
+  EXPECT_TRUE(obs::validate_trace_events(doc, &err)) << err;
+
+  // One named track per disk, busy or not, plus one per span path.
+  EXPECT_EQ(count_thread_names(doc, obs::kTraceDiskPid), 4u);
+  EXPECT_EQ(count_thread_names(doc, obs::kTraceSpanPid), 1u);
+
+  auto disk0 = track_events(doc, obs::kTraceDiskPid, 0);
+  ASSERT_EQ(disk0.size(), 1u);
+  EXPECT_EQ(disk0[0]->find("name")->as_string(), "read");
+  EXPECT_EQ(disk0[0]->find("ts")->as_int(), 0);
+  EXPECT_EQ(disk0[0]->find("dur")->as_int(), 2);
+  auto disk1 = track_events(doc, obs::kTraceDiskPid, 1);
+  ASSERT_EQ(disk1.size(), 1u);
+  EXPECT_EQ(disk1[0]->find("name")->as_string(), "write");
+  EXPECT_EQ(disk1[0]->find("ts")->as_int(), 2);  // second batch starts there
+  auto disk2 = track_events(doc, obs::kTraceDiskPid, 2);
+  ASSERT_EQ(disk2.size(), 1u);
+  EXPECT_EQ(disk2[0]->find("dur")->as_int(), 1);  // busy 1 of the 2 rounds
+
+  auto span_track = track_events(doc, obs::kTraceSpanPid, 0);
+  ASSERT_EQ(span_track.size(), 1u);
+  EXPECT_EQ(span_track[0]->find("dur")->as_int(), 3);
+  EXPECT_EQ(span_track[0]->find("args")->find("path")->as_string(), "op");
+}
+
+TEST(TraceEvent, CounterRestartOpensNewEpoch) {
+  // Two arrays' streams concatenated: the second starts back at round 0 and
+  // must land *after* the first on the virtual clock, keeping ts monotone.
+  std::vector<obs::IoEvent> events;
+  events.push_back(io_event(0, 0, 3, {3}));
+  events.push_back(io_event(1, 3, 2, {2}));  // first array ends at round 5
+  events.push_back(io_event(0, 0, 4, {4}));  // second array restarts at 0
+  Json doc = obs::trace_events_to_json(events, {}, 1);
+  std::string err;
+  EXPECT_TRUE(obs::validate_trace_events(doc, &err)) << err;
+  auto disk0 = track_events(doc, obs::kTraceDiskPid, 0);
+  ASSERT_EQ(disk0.size(), 3u);
+  EXPECT_EQ(disk0[0]->find("ts")->as_int(), 0);
+  EXPECT_EQ(disk0[1]->find("ts")->as_int(), 3);
+  EXPECT_EQ(disk0[2]->find("ts")->as_int(), 5);  // rebased past epoch end
+}
+
+TEST(TraceEvent, DerivesDiskCountFromEvents) {
+  std::vector<obs::IoEvent> events;
+  events.push_back(io_event(0, 0, 1, {0, 0, 0, 0, 0, 1}));  // widest: 6 disks
+  events.push_back(io_event(1, 1, 1, {1}));
+  Json doc = obs::trace_events_to_json(events, {}, /*num_disks=*/0);
+  EXPECT_EQ(count_thread_names(doc, obs::kTraceDiskPid), 6u);
+}
+
+TEST(TraceEvent, ValidatorRejectsTamperedDocuments) {
+  std::vector<obs::IoEvent> events;
+  events.push_back(io_event(0, 0, 1, {1, 1}));
+  Json good = obs::trace_events_to_json(events, {}, 2);
+  std::string err;
+  ASSERT_TRUE(obs::validate_trace_events(good, &err)) << err;
+
+  Json not_array = Json::object();
+  EXPECT_FALSE(obs::validate_trace_events(not_array, &err));
+
+  // ts going backwards on a track.
+  std::vector<obs::IoEvent> back{io_event(0, 5, 1, {1}),
+                                 io_event(1, 6, 1, {1})};
+  Json doc = obs::trace_events_to_json(back, {}, 1);
+  for (Json& e : doc.as_array())
+    if (const Json* ph = e.find("ph"); ph && ph->as_string() == "X") {
+      if (e.find("ts")->as_int() == 6) e.set("ts", 1);  // tamper second slice
+    }
+  EXPECT_FALSE(obs::validate_trace_events(doc, &err));
+  EXPECT_NE(err.find("backwards"), std::string::npos) << err;
+
+  // An X event on a track no thread_name metadata introduced.
+  Json orphan = obs::trace_events_to_json(events, {}, 2);
+  Json stray = Json::object();
+  stray.set("name", "read");
+  stray.set("ph", "X");
+  stray.set("ts", 99);
+  stray.set("dur", 1);
+  stray.set("pid", obs::kTraceDiskPid);
+  stray.set("tid", 7);  // only disks 0..1 are named
+  orphan.push_back(std::move(stray));
+  EXPECT_FALSE(obs::validate_trace_events(orphan, &err));
+  EXPECT_NE(err.find("thread_name"), std::string::npos) << err;
+}
+
+TEST(TraceEvent, RealWorkloadExportsValidTimeline) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  auto ring = std::make_shared<obs::RingBufferSink>(1 << 12);
+  disks.set_sink(ring);
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 36;
+  p.capacity = 800;
+  p.value_bytes = 8;
+  p.degree = 16;
+  core::BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 500,
+                                      p.universe_size, 41);
+  {
+    obs::Span insert_phase(disks, "inserts");
+    for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 8));
+  }
+  {
+    obs::Span lookup_phase(disks, "lookups");
+    for (core::Key k : keys) dict.lookup(k);
+  }
+  disks.set_sink(nullptr);
+
+  auto events = ring->events();
+  auto spans = ring->spans();
+  ASSERT_FALSE(events.empty());
+  // The dictionary instruments its own operations, so alongside the two
+  // phase spans there are ~2 per key; the phases must be among them.
+  ASSERT_GE(spans.size(), 2u);
+  bool saw_inserts = false, saw_lookups = false;
+  for (const auto& s : spans) {
+    saw_inserts |= s.path == "inserts";
+    saw_lookups |= s.path == "lookups";
+  }
+  EXPECT_TRUE(saw_inserts);
+  EXPECT_TRUE(saw_lookups);
+  Json doc = obs::trace_events_to_json(events, spans, 16);
+  std::string err;
+  EXPECT_TRUE(obs::validate_trace_events(doc, &err)) << err;
+  EXPECT_EQ(count_thread_names(doc, obs::kTraceDiskPid), 16u);
+  for (const Json& e : doc.as_array()) {
+    const Json* ph = e.find("ph");
+    if (ph && ph->as_string() == "X" &&
+        e.find("pid")->as_int() == obs::kTraceDiskPid) {
+      EXPECT_LT(e.find("tid")->as_int(), 16);
+    }
+  }
+
+  // The file round trip stays strict JSON and re-validates after parsing.
+  auto path = std::filesystem::temp_directory_path() / "pddict_trace_test.json";
+  ASSERT_TRUE(obs::write_trace_event_file(path.string(), events, spans, 16));
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto parsed = obs::parse_json(buf.str(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_TRUE(obs::validate_trace_events(*parsed, &err)) << err;
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pddict

@@ -1,0 +1,103 @@
+// bench_diff — compares two pddict-bench-baseline files (or two single bench
+// reports) and exits nonzero on regression; the CTest perf gate runs it as
+//
+//   ./bench_diff BENCH_PR1.json BENCH_HEAD.json --ignore-wall
+//
+// Tolerance rules live in src/obs/bench_baseline.cpp: parallel-I/O counts
+// are deterministic and must match exactly (any increase regresses, any
+// decrease improves); wall-clock metrics compare within --wall-tol percent
+// and gate only without --ignore-wall; a removed metric or drifted
+// configuration (params/geometry) always gates.
+//
+// Exit status: 0 no regressions, 1 regression(s), 2 usage/parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_baseline.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using pddict::obs::Json;
+
+std::optional<Json> read_json_file(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return pddict::obs::parse_json(buf.str(), error);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <before.json> <after.json> [--wall-tol <pct>] "
+               "[--ignore-wall] [--top <k>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string before_path, after_path;
+  pddict::obs::DiffOptions options;
+  std::size_t top_k = 40;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--wall-tol" && i + 1 < argc) {
+      options.wall_tol_pct = std::atof(argv[++i]);
+    } else if (arg == "--ignore-wall") {
+      options.gate_wall = false;
+    } else if (arg == "--top" && i + 1 < argc) {
+      top_k = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (before_path.empty()) {
+      before_path = arg;
+    } else if (after_path.empty()) {
+      after_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (before_path.empty() || after_path.empty()) return usage(argv[0]);
+
+  std::string error;
+  auto before = read_json_file(before_path, &error);
+  if (!before) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", before_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  auto after = read_json_file(after_path, &error);
+  if (!after) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", after_path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  try {
+    auto result = pddict::obs::diff_baselines(*before, *after, options);
+    if (result.entries.empty()) {
+      std::printf("bench_diff: identical (%zu metrics compared)\n",
+                  result.compared);
+      return 0;
+    }
+    std::fputs(pddict::obs::render_diff(result, top_k).c_str(), stdout);
+    if (!result.ok()) {
+      std::fprintf(stderr, "bench_diff: FAIL — %zu regression(s) vs %s\n",
+                   result.regressions, before_path.c_str());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}

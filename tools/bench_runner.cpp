@@ -1,0 +1,179 @@
+// bench_runner — executes the full report-bench suite and consolidates the
+// 13 per-bench pddict-bench-report documents into one schema-versioned
+// "pddict-bench-baseline" file (the BENCH_PR<k>.json artifact every later
+// perf PR is measured against; compared by tools/bench_diff).
+//
+//   ./bench_runner --bench-dir build/bench --out BENCH_PR1.json
+//                  [--keep-reports <dir>] [--label <text>] [--only <bench>]
+//
+// Every bench runs with its committed default parameters, so the embedded
+// parallel-I/O counts are deterministic in (parameters, seed) and two
+// baselines from different machines differ only in the wall_ms fields. A
+// bench exiting nonzero (its self-checked paper bound failed) fails the
+// whole run: a baseline must never capture a broken suite.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_baseline.hpp"
+#include "obs/json.hpp"
+
+namespace {
+
+using pddict::obs::Json;
+
+/// The report-bench suite (every bench_* binary except bench_micro_expander,
+/// which speaks google-benchmark's own JSON). Order is the baseline's
+/// document order.
+const char* kReportBenches[] = {
+    "bench_fig1_table",         "bench_lemma3_load",
+    "bench_thm6_static",        "bench_thm7_dynamic",
+    "bench_thm12_expander",     "bench_btree_vs_dict",
+    "bench_ablation_expander",  "bench_ablation_striping",
+    "bench_bandwidth_curve",    "bench_ablation_construction",
+    "bench_scaling",            "bench_ablation_hashing",
+    "bench_expander_quality",
+};
+
+std::string git_rev() {
+  FILE* pipe = popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (!pipe) return "unknown";
+  char buf[64] = {0};
+  std::string rev;
+  if (fgets(buf, sizeof(buf), pipe)) rev = buf;
+  pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r'))
+    rev.pop_back();
+  return rev.empty() ? "unknown" : rev;
+}
+
+std::optional<Json> read_json_file(const std::string& path,
+                                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return pddict::obs::parse_json(buf.str(), error);
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --bench-dir <dir> [--out <path>] "
+               "[--keep-reports <dir>] [--label <text>] [--only <bench>]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_dir, out_path = "BENCH.json", keep_dir, label, only;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--bench-dir") {
+      if (const char* v = next()) bench_dir = v; else return usage(argv[0]);
+    } else if (arg == "--out") {
+      if (const char* v = next()) out_path = v; else return usage(argv[0]);
+    } else if (arg == "--keep-reports") {
+      if (const char* v = next()) keep_dir = v; else return usage(argv[0]);
+    } else if (arg == "--label") {
+      if (const char* v = next()) label = v; else return usage(argv[0]);
+    } else if (arg == "--only") {
+      if (const char* v = next()) only = v; else return usage(argv[0]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (bench_dir.empty()) return usage(argv[0]);
+
+  namespace fs = std::filesystem;
+  fs::path report_dir = keep_dir.empty()
+                            ? fs::temp_directory_path() / "pddict_bench_runner"
+                            : fs::path(keep_dir);
+  std::error_code ec;
+  fs::create_directories(report_dir, ec);
+
+  Json benches = Json::object();
+  double total_wall_ms = 0.0;
+  std::size_t ran = 0;
+  for (const char* name : kReportBenches) {
+    if (!only.empty() && only != name) continue;
+    fs::path binary = fs::path(bench_dir) / name;
+    if (!fs::exists(binary)) {
+      std::fprintf(stderr, "bench_runner: missing binary %s\n",
+                   binary.c_str());
+      return 1;
+    }
+    fs::path report_path = report_dir / (std::string(name) + ".json");
+    std::string command = std::string("\"") + binary.string() +
+                          "\" --json \"" + report_path.string() +
+                          "\" > /dev/null";
+    std::fprintf(stderr, "bench_runner: running %s ...\n", name);
+    auto start = std::chrono::steady_clock::now();
+    int rc = std::system(command.c_str());
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (rc != 0) {
+      std::fprintf(stderr,
+                   "bench_runner: %s exited with status %d — a baseline must "
+                   "not capture a failing suite\n",
+                   name, rc);
+      return 1;
+    }
+    std::string error;
+    auto report = read_json_file(report_path.string(), &error);
+    if (!report) {
+      std::fprintf(stderr, "bench_runner: bad report from %s: %s\n", name,
+                   error.c_str());
+      return 1;
+    }
+    Json entry = Json::object();
+    entry.set("wall_ms", wall_ms);
+    entry.set("report", std::move(*report));
+    benches.set(name, std::move(entry));
+    total_wall_ms += wall_ms;
+    ++ran;
+    if (keep_dir.empty()) fs::remove(report_path, ec);
+  }
+  if (ran == 0) {
+    std::fprintf(stderr, "bench_runner: no benches matched\n");
+    return 1;
+  }
+
+  Json root = Json::object();
+  root.set("schema", pddict::obs::kBaselineSchema);
+  root.set("version", pddict::obs::kBaselineVersion);
+  root.set("generated_by", "bench_runner");
+  root.set("git_rev", git_rev());
+  if (!label.empty()) root.set("label", label);
+  Json suite = Json::object();
+  suite.set("benches", static_cast<std::uint64_t>(ran));
+  suite.set("total_wall_ms", total_wall_ms);
+  root.set("suite", std::move(suite));
+  root.set("benches", std::move(benches));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "bench_runner: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  root.write(out, 2);
+  out << '\n';
+  std::printf("bench_runner: %zu benches -> %s (%.0f ms total)\n", ran,
+              out_path.c_str(), total_wall_ms);
+  return 0;
+}

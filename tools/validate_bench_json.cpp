@@ -1,18 +1,24 @@
-// validate_bench_json — the CI schema gate for pddict-bench-report files.
+// validate_bench_json — the CI schema gate for the observability artifacts.
 //
 //   ./validate_bench_json <report.json> [<report.json> ...]
+//   ./validate_bench_json --trace-event <trace.json> [...]
 //
 // Parses each file with the same strict JSON parser the obs layer uses and
-// checks it against the "pddict-bench-report" version-1 schema documented in
-// docs/observability.md. Exit status is non-zero on the first drift, so a
-// CTest step can gate on it: if a bench binary's report shape changes, either
-// the docs and this validator move with it, or CI fails.
+// checks it against its documented schema (docs/observability.md):
+// "pddict-bench-report" v1, the consolidated "pddict-bench-baseline" v1
+// (dispatched on the schema field), or — after --trace-event — the Chrome
+// trace-event structural rules (strict JSON array, monotone ts per track,
+// named tracks). Exit status is non-zero on the first drift, so a CTest step
+// can gate on it: if an emitter's shape changes, either the docs and this
+// validator move with it, or CI fails.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "obs/bench_baseline.hpp"
 #include "obs/json.hpp"
+#include "obs/trace_event.hpp"
 
 namespace {
 
@@ -49,6 +55,11 @@ void check_disks_snapshot(const std::string& file, const std::string& where,
   auto num_disks = static_cast<std::size_t>(geom->find("num_disks")->as_int());
   if (hist->as_array().size() != num_disks + 1)
     return fail(file, where + ": round_utilization must have D+1 entries");
+  // Documented invariant (also enforced inside DiskArray::account_batch):
+  // no round moves zero blocks, so entry 0 must be 0.
+  if (hist->as_array()[0].as_int() != 0)
+    return fail(file, where + ": round_utilization[0] must be 0 (a round "
+                              "that moved no blocks cannot exist)");
   if (per_disk->as_array().size() != num_disks)
     return fail(file, where + ": per_disk must have one entry per disk");
   std::int64_t weighted = 0;
@@ -125,15 +136,55 @@ void check_report(const std::string& file, const Json& root) {
   }
 }
 
+/// Consolidated baseline: provenance fields plus one embedded report per
+/// bench, each re-validated against the report schema.
+void check_baseline(const std::string& file, const Json& root) {
+  const Json* version = root.find("version");
+  if (!version || version->as_int() != pddict::obs::kBaselineVersion)
+    return fail(file, "unsupported baseline version");
+  if (!root.find("git_rev")) return fail(file, "missing git_rev");
+  const Json* benches = root.find("benches");
+  if (!benches || !benches->is_object() || benches->as_object().empty())
+    return fail(file, "benches must be a non-empty object");
+  for (const auto& [name, entry] : benches->as_object()) {
+    const Json* wall = entry.find("wall_ms");
+    const Json* report = entry.find("report");
+    if (!wall || !wall->is_number())
+      return fail(file, "benches." + name + ": missing wall_ms");
+    if (!report || !report->is_object())
+      return fail(file, "benches." + name + ": missing embedded report");
+    check_report(file + " [" + name + "]", *report);
+    const Json* bench_field = report->find("bench");
+    if (bench_field && bench_field->is_string() &&
+        bench_field->as_string() != name)
+      fail(file, "benches." + name + ": embedded report names itself \"" +
+                     bench_field->as_string() + "\"");
+  }
+}
+
+void check_document(const std::string& file, const Json& root) {
+  const Json* schema = root.find("schema");
+  if (schema && schema->is_string() &&
+      schema->as_string() == pddict::obs::kBaselineSchema)
+    return check_baseline(file, root);
+  check_report(file, root);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s <report.json> [...]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s [--trace-event] <artifact.json> [...]\n", argv[0]);
     return 2;
   }
+  bool trace_mode = false;
   for (int i = 1; i < argc; ++i) {
     std::string file = argv[i];
+    if (file == "--trace-event") {
+      trace_mode = true;  // later files validate as Chrome trace-event docs
+      continue;
+    }
     std::ifstream in(file);
     if (!in) {
       fail(file, "cannot open");
@@ -148,10 +199,26 @@ int main(int argc, char** argv) {
       continue;
     }
     int before = g_errors;
-    check_report(file, *parsed);
-    if (g_errors == before)
-      std::printf("%s: ok (%zu rows)\n", file.c_str(),
-                  parsed->find("rows")->as_array().size());
+    if (trace_mode) {
+      std::string trace_err;
+      if (!pddict::obs::validate_trace_events(*parsed, &trace_err))
+        fail(file, trace_err);
+      else
+        std::printf("%s: ok (%zu trace events)\n", file.c_str(),
+                    parsed->as_array().size());
+      continue;
+    }
+    check_document(file, *parsed);
+    if (g_errors == before) {
+      const Json* rows = parsed->find("rows");
+      const Json* benches = parsed->find("benches");
+      if (rows)
+        std::printf("%s: ok (%zu rows)\n", file.c_str(),
+                    rows->as_array().size());
+      else
+        std::printf("%s: ok (%zu benches)\n", file.c_str(),
+                    benches ? benches->as_object().size() : 0);
+    }
   }
   return g_errors ? 1 : 0;
 }
