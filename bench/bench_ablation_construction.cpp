@@ -20,6 +20,8 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_construction");
   bench::TraceSession trace(argc, argv);
+  report.set_seed(1 << 11);  // per-case key seed = n; smallest case echoed
+  report.set_geometry(pdm::Geometry{16, 64, 16, 0});
   std::printf("=== Theorem 6 construction: direct (first version) vs "
               "sort-based (improved) ===\n\n");
   std::printf("%8s | %12s %14s | %12s %14s | %8s\n", "n", "direct I/Os",

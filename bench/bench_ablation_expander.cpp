@@ -25,6 +25,8 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_expander");
   bench::TraceSession trace(argc, argv);
+  report.set_seed(21);
+  report.set_geometry(pdm::Geometry{32, 64, 16, 0});
   const std::uint64_t n = 1 << 12;
   report.param("n", n);
   const std::uint64_t universe = std::uint64_t{1} << 40;

@@ -18,6 +18,8 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_ablation_hashing");
   bench::TraceSession trace(argc, argv);
+  report.set_seed(77);
+  report.set_geometry(pdm::Geometry{16, 64, 16, 0});
   const std::uint64_t n = 1 << 13;
   report.param("n", n);
   report.param("key_pattern", "shared-low-bits");

@@ -29,6 +29,8 @@ int main(int argc, char** argv) {
   const std::uint64_t n = 1 << 12;
   report.param("degree", d);
   report.param("n", n);
+  report.set_seed(3);  // trial-address rng seed (graph seed is 7)
+  report.set_geometry(pdm::Geometry{d, 64, 16, 0});
   const std::uint64_t universe = std::uint64_t{1} << 40;
 
   // Unstriped graph: neighbors land on arbitrary disks; a "lookup" must fetch

@@ -44,6 +44,8 @@ double run_fixed(core::Dictionary& dict, pdm::DiskArray& disks,
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_bandwidth_curve");
   bench::TraceSession trace(argc, argv);
+  report.set_seed(9);
+  report.set_geometry(pdm::Geometry{kDisks, kBlockItems, kItemBytes, 0});
   report.param("disks", kDisks);
   report.param("block_items", kBlockItems);
   report.param("item_bytes", kItemBytes);

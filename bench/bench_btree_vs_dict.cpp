@@ -19,6 +19,8 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_btree_vs_dict");
   bench::TraceSession trace(argc, argv);
+  report.set_seed((1 << 12) + 1);  // per-case key seed = n + 1
+  report.set_geometry(pdm::Geometry{16, 16, 16, 0});
   std::printf("=== B-tree vs. expander dictionary: random access cost ===\n\n");
   std::printf("%10s %4s %4s %8s | %12s %12s | %12s %8s\n", "n", "D", "B",
               "fanout BD", "B-tree I/Os", "height", "dict I/Os", "speedup");

@@ -89,6 +89,8 @@ std::vector<core::Key> half(const std::vector<core::Key>& keys, bool first) {
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_fig1_table");
   bench::TraceSession trace(argc, argv);
+  report.set_seed(1);
+  report.set_geometry(pdm::Geometry{kDegree, kBlockItems, kItemBytes, 0});
   const std::uint64_t n =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 14;
   const std::size_t sigma = 8;

@@ -37,6 +37,8 @@ struct Series {
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_scaling");
   bench::TraceSession trace(argc, argv);
+  report.set_seed((1 << 11) + 11);  // per-point key seed = n + log2(n)
+  report.set_geometry(pdm::Geometry{16, 64, 16, 0});
   std::printf("=== Update cost vs n: deterministic flatness vs randomized "
               "tails ===\n\n");
 

@@ -10,8 +10,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include <memory>
+
 #include "bench_util.hpp"
 #include "core/static_dict.hpp"
+#include "obs/bound_monitor.hpp"
 #include "pdm/allocator.hpp"
 #include "pdm/ext_sort.hpp"
 #include "workload/workload.hpp"
@@ -64,8 +67,14 @@ int main(int argc, char** argv) {
 
   const std::uint32_t d = 16;
   const std::size_t mem = std::size_t{1} << 18;
+  report.set_seed(3);  // per-case key seeds are 3 + n
+  report.set_geometry(pdm::Geometry{2 * d, 64, 16, 0});
   report.param("degree", d);
   report.param("memory_bytes", mem);
+  // One Theorem 6 monitor across all cases: every lookup op record (hit or
+  // miss, either layout) must cost exactly one parallel I/O.
+  auto monitor = std::make_shared<obs::BoundMonitor>("static_dict",
+                                                     obs::thm6_rules());
   struct Case {
     std::uint64_t n;
     std::size_t sigma;
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
   bool one_probe_everywhere = true;
   for (const auto& c : cases) {
     pdm::DiskArray disks(pdm::Geometry{2 * d, 64, 16, 0});
+    disks.add_sink(monitor);
     pdm::DiskAllocator alloc;
     core::StaticDictParams p;
     p.universe_size = std::uint64_t{1} << 40;
@@ -161,6 +171,9 @@ int main(int argc, char** argv) {
                 dict.build_stats().levels, bits_per_key);
   }
   bench::rule();
+  one_probe_everywhere = one_probe_everywhere && monitor->violations() == 0;
+  report.add_bounds("static_dict", monitor->report());
+  std::printf("\n%s", monitor->render().c_str());
   std::printf("\nTheorem 6 claims: lookups in exactly one parallel I/O (%s); "
               "construction within a constant\nfactor of sorting nd records "
               "(the ratio column); space O(n(log u + sigma)) bits in case "

@@ -9,9 +9,11 @@
 //   * the level populations, whose geometric decay (ratio ≈ 6ε) is the
 //     Lemma 5 cascade that drives all three bounds.
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "core/dynamic_dict.hpp"
+#include "obs/bound_monitor.hpp"
 #include "pdm/allocator.hpp"
 #include "workload/workload.hpp"
 
@@ -27,9 +29,11 @@ int main(int argc, char** argv) {
   bench::rule();
 
   const std::uint64_t n = 1 << 13;
+  report.set_seed(11);
   report.param("n", n);
   const double epsilons[] = {1.0, 0.5, 0.25, 0.1};
   bool all_ok = true;
+  bool geometry_echoed = false;
   for (double eps : epsilons) {
     core::DynamicDictParams p;
     p.universe_size = std::uint64_t{1} << 40;
@@ -41,8 +45,18 @@ int main(int argc, char** argv) {
     p.stripe_factor = 2.0;
     p.degree = core::DynamicDict::degree_for(p);
     pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
+    if (!geometry_echoed) {
+      report.set_geometry(disks.geometry());
+      geometry_echoed = true;
+    }
     pdm::DiskAllocator alloc;
     core::DynamicDict dict(disks, 0, alloc, p);
+    // Live Theorem 7 monitor: every op record the dictionary emits is checked
+    // against the per-op worst cases and the amortized 1+eps / 2+eps
+    // averages, instantiated for this eps and level count.
+    auto monitor = std::make_shared<obs::BoundMonitor>(
+        "dynamic_dict", obs::thm7_rules(eps, dict.levels()));
+    disks.add_sink(monitor);
 
     auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
                                         p.universe_size, 11);
@@ -57,11 +71,13 @@ int main(int argc, char** argv) {
         bench::measure(disks, missq, [&](core::Key k) { dict.lookup(k); });
 
     bool ok = insert.average <= 2.0 + eps && hit.average <= 1.0 + eps &&
-              miss.average == 1.0 && miss.worst == 1;
+              miss.average == 1.0 && miss.worst == 1 &&
+              monitor->violations() == 0;
     all_ok = all_ok && ok;
     {
       char name[32];
       std::snprintf(name, sizeof(name), "eps=%.2f", eps);
+      report.add_bounds(name, monitor->report());
       auto& row = report.add_row(name);
       row.set("eps", eps);
       row.set("degree", p.degree);

@@ -126,7 +126,7 @@ inline obs::Json to_json(const pdm::DiskArray& disks) {
   return j;
 }
 
-/// Machine-readable experiment report ("pddict-bench-report" version 1).
+/// Machine-readable experiment report ("pddict-bench-report" version 2).
 ///
 ///   JsonReport report(argc, argv, "bench_x");   // strips --json <path>
 ///   report.param("n", n);
@@ -186,17 +186,46 @@ class JsonReport {
     disks_.set(name, to_json(disks));
   }
 
+  /// Echo the workload seed at the report top level (version 2 field):
+  /// bench_diff's config-drift gating reads it from the document itself
+  /// instead of trusting file naming conventions.
+  void set_seed(std::uint64_t seed) { seed_ = seed; }
+
+  /// Echo the primary geometry {D, B} at the report top level (version 2
+  /// field). Benches that sweep geometries echo the first / reference one;
+  /// per-case geometry stays in the "disks" snapshots.
+  void set_geometry(const pdm::Geometry& geom) {
+    geometry_ = obs::Json::object();
+    geometry_.set("num_disks", geom.num_disks);
+    geometry_.set("block_items", geom.block_items);
+  }
+
+  /// Embed a bound monitor's report ({"schema":"pddict-bound-report",...})
+  /// under the top-level "bounds" section, keyed by structure/case name.
+  void add_bounds(std::string_view name, obs::Json bound_report) {
+    bounds_.set(name, std::move(bound_report));
+  }
+
   /// Serialize now (idempotent; the destructor calls it). Returns false if
   /// disabled or the file could not be written.
   bool write() {
     if (path_.empty() || written_) return written_;
     obs::Json root = obs::Json::object();
     root.set("schema", "pddict-bench-report");
-    root.set("version", 1);
+    root.set("version", 2);
     root.set("bench", bench_);
+    root.set("seed", seed_);
+    if (geometry_.as_object().empty()) {
+      // Benches with no disk array (pure balancer / expander experiments)
+      // echo {0, 0} rather than omitting the field.
+      geometry_.set("num_disks", 0);
+      geometry_.set("block_items", 0);
+    }
+    root.set("geometry", geometry_);
     root.set("params", params_);
     root.set("rows", rows_);
     if (!disks_.as_object().empty()) root.set("disks", disks_);
+    if (!bounds_.as_object().empty()) root.set("bounds", bounds_);
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
@@ -212,9 +241,12 @@ class JsonReport {
  private:
   std::string bench_;
   std::string path_;
+  std::uint64_t seed_ = 0;
   obs::Json params_ = obs::Json::object();
   obs::Json rows_ = obs::Json::array();
   obs::Json disks_ = obs::Json::object();
+  obs::Json bounds_ = obs::Json::object();
+  obs::Json geometry_ = obs::Json::object();
   bool written_ = false;
 };
 

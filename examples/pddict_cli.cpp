@@ -13,6 +13,15 @@
 //   profile                    I/O flame table (self vs. child attribution)
 //   help / quit
 //
+// Diagnostic mode (no store directory):
+//   ./pddict_cli doctor [--n <keys>] [--bound-report <path>]
+// runs a small Theorem 7 workload on the dynamic dictionary with the
+// operation attributor and the instantiated paper-bound monitor attached,
+// prints the per-op histograms, the worst-op ring and the bound margin
+// table, and exits nonzero if any bound was violated. --bound-report writes
+// the pddict-bound-report JSON (with the op attribution embedded) for
+// tools/validate_bench_json.
+//
 // Observability flags (may appear anywhere on the command line):
 //   --trace <path>        stream every I/O event + span as JSON-lines
 //   --trace-event <path>  write a Chrome/Perfetto timeline of the session
@@ -23,18 +32,24 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/dynamic_dict.hpp"
 #include "core/manifest.hpp"
+#include "obs/bound_monitor.hpp"
+#include "obs/op_attribution.hpp"
 #include "obs/profile.hpp"
 #include "obs/span.hpp"
 #include "obs/trace_event.hpp"
+#include "pdm/allocator.hpp"
 #include "pdm/cost_model.hpp"
 #include "pdm/file_backend.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 
@@ -148,11 +163,74 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
   return 2;
 }
 
+/// `pddict_cli doctor` — self-check of the observability layer against the
+/// paper bounds: a small Theorem 7 workload on the dynamic dictionary with
+/// the OpAttributor and the instantiated BoundMonitor attached live.
+int run_doctor(std::uint64_t n, const std::string& report_path) {
+  const double eps = 0.5;
+  core::DynamicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = n;
+  p.value_bytes = 16;
+  p.epsilon_op = eps;
+  p.stripe_factor = 2.0;
+  p.degree = core::DynamicDict::degree_for(p);
+  pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  core::DynamicDict dict(disks, 0, alloc, p);
+
+  auto attributor = std::make_shared<obs::OpAttributor>();
+  auto monitor = std::make_shared<obs::BoundMonitor>(
+      "dynamic_dict", obs::thm7_rules(eps, dict.levels()));
+  disks.add_sink(attributor);
+  disks.add_sink(monitor);
+
+  std::printf("=== pddict doctor: Theorem 7 workload on the dynamic "
+              "dictionary ===\n");
+  std::printf("n = %llu keys, eps = %.2f, degree d = %u, %u levels, "
+              "D = %u disks\n\n",
+              static_cast<unsigned long long>(n), eps, p.degree,
+              dict.levels(), 2 * p.degree);
+
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      p.universe_size, 0xd0c);
+  for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 16));
+  for (core::Key k : keys) dict.lookup(k);
+  auto misses = workload::make_query_trace(keys, p.universe_size,
+                                           n / 2 ? n / 2 : 1, 0.0, 1.0, 4)
+                    .queries;
+  for (core::Key k : misses) dict.lookup(k);
+  for (std::size_t i = 0; i < keys.size(); i += 4) dict.erase(keys[i]);
+
+  std::fputs(attributor->render().c_str(), stdout);
+  std::printf("\n");
+  std::fputs(monitor->render().c_str(), stdout);
+
+  if (!report_path.empty()) {
+    obs::Json report = monitor->report();
+    report.set("op_attribution", attributor->to_json());
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "doctor: cannot write %s\n", report_path.c_str());
+      return 2;
+    }
+    report.write(out, 2);
+    out << '\n';
+    std::printf("\n[bound report written to %s]\n", report_path.c_str());
+  }
+  bool ok = monitor->violations() == 0;
+  std::printf("\ndoctor verdict: %s\n",
+              ok ? "all instantiated paper bounds hold"
+                 : "BOUND VIOLATION — see margin table above");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --trace / --trace-event before positional parsing.
-  std::string trace_path, trace_event_path;
+  // Strip --trace / --trace-event / doctor flags before positional parsing.
+  std::string trace_path, trace_event_path, bound_report_path;
+  std::uint64_t doctor_n = 1500;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -164,16 +242,27 @@ int main(int argc, char** argv) {
       trace_event_path = argv[++i];
     else if (arg.rfind("--trace-event=", 0) == 0)
       trace_event_path = arg.substr(14);
+    else if (arg == "--bound-report" && i + 1 < argc)
+      bound_report_path = argv[++i];
+    else if (arg.rfind("--bound-report=", 0) == 0)
+      bound_report_path = arg.substr(15);
+    else if (arg == "--n" && i + 1 < argc)
+      doctor_n = std::strtoull(argv[++i], nullptr, 10);
+    else if (arg.rfind("--n=", 0) == 0)
+      doctor_n = std::strtoull(arg.c_str() + 4, nullptr, 10);
     else
       positional.push_back(std::move(arg));
   }
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--trace <path>] [--trace-event <path>] "
-                 "<directory> [command args...]\n",
-                 argv[0]);
+                 "<directory> [command args...]\n"
+                 "       %s doctor [--n <keys>] [--bound-report <path>]\n",
+                 argv[0], argv[0]);
     return 2;
   }
+  if (positional[0] == "doctor")
+    return run_doctor(doctor_n ? doctor_n : 1, bound_report_path);
   std::filesystem::path dir = positional[0];
   std::filesystem::create_directories(dir);
   pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,

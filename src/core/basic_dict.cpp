@@ -5,6 +5,7 @@
 #include <tuple>
 #include <cstring>
 
+#include "obs/op_context.hpp"
 #include "obs/span.hpp"
 #include "pdm/block.hpp"
 #include "util/math.hpp"
@@ -208,6 +209,7 @@ BasicDict::plan_insert(Key key, std::span<const std::byte> value,
 }
 
 bool BasicDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "basic_dict");
   obs::Span span(*disks_, "insert");
   check_key(key);
   auto addrs = probe_addrs(key);
@@ -220,16 +222,19 @@ bool BasicDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult BasicDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "basic_dict");
   obs::Span span(*disks_, "lookup");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;
   disks_->read_batch(addrs, blocks);
   Probe probe = inspect(key, blocks);
+  op.set_outcome(probe.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
   return {probe.found, std::move(probe.value)};
 }
 
 bool BasicDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "basic_dict");
   obs::Span span(*disks_, "erase");
   check_key(key);
   auto addrs = probe_addrs(key);

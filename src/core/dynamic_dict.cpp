@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/op_context.hpp"
 #include "obs/span.hpp"
 #include "util/math.hpp"
 
@@ -134,6 +135,7 @@ std::vector<std::byte> DynamicDict::decode(
 }
 
 bool DynamicDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "dynamic_dict");
   obs::Span span(*disks_, "insert");
   check_key(key);
   if (value.size() != value_bytes_)
@@ -228,6 +230,7 @@ bool DynamicDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult DynamicDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "dynamic_dict");
   obs::Span span(*disks_, "lookup");
   check_key(key);
   std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);
@@ -240,7 +243,11 @@ LookupResult DynamicDict::lookup(Key key) {
   disks_->read_batch(addrs, blocks);
   BasicDict::Probe probe =
       membership_->inspect(key, std::span(blocks).subspan(0, mem_blocks));
-  if (!probe.found) return {};  // unsuccessful search: exactly one I/O
+  if (!probe.found) {
+    op.set_outcome(obs::OpOutcome::kMiss);
+    return {};  // unsuccessful search: exactly one I/O
+  }
+  op.set_outcome(obs::OpOutcome::kHit);
 
   auto head = static_cast<std::uint8_t>(probe.value.at(0));
   auto level = static_cast<std::uint8_t>(probe.value.at(1));
@@ -256,6 +263,7 @@ LookupResult DynamicDict::lookup(Key key) {
 }
 
 bool DynamicDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "dynamic_dict");
   obs::Span span(*disks_, "erase");
   check_key(key);
   std::vector<pdm::BlockAddr> addrs = membership_->probe_addrs(key);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/op_context.hpp"
 #include "obs/span.hpp"
 
 namespace pddict::core {
@@ -50,6 +51,7 @@ void FullDict::start_rebuild(std::uint64_t new_capacity) {
 
 void FullDict::migration_step() {
   if (!building_) return;
+  obs::OpScope op(*disks_, obs::OpKind::kRebuild, "full_dict");
   obs::Span span(*disks_, "rebuild");
   std::uint32_t moved = 0;
   while (moved < params_.moves_per_op &&
@@ -76,6 +78,7 @@ void FullDict::finish_rebuild() {
 }
 
 bool FullDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "full_dict");
   obs::Span span(*disks_, "insert");
   // Combined duplicate probe: both structures in one parallel I/O (disjoint
   // disk halves).
@@ -118,6 +121,7 @@ bool FullDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult FullDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "full_dict");
   obs::Span span(*disks_, "lookup");
   auto addrs = active_->probe_addrs(key);
   std::size_t active_blocks = addrs.size();
@@ -131,10 +135,12 @@ LookupResult FullDict::lookup(Key key) {
       active_->inspect(key, std::span(blocks).subspan(0, active_blocks));
   if (!probe.found && building_)
     probe = building_->inspect(key, std::span(blocks).subspan(active_blocks));
+  op.set_outcome(probe.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
   return {probe.found, std::move(probe.value)};
 }
 
 bool FullDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "full_dict");
   obs::Span span(*disks_, "erase");
   bool erased = active_->erase(key);
   if (!erased && building_) erased = building_->erase(key);

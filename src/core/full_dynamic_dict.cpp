@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/op_context.hpp"
 #include "obs/span.hpp"
 
 namespace pddict::core {
@@ -52,6 +53,7 @@ void FullDynamicDict::start_rebuild(std::uint64_t new_capacity) {
 
 void FullDynamicDict::migration_step() {
   if (!building_) return;
+  obs::OpScope op(*disks_, obs::OpKind::kRebuild, "full_dynamic_dict");
   obs::Span span(*disks_, "rebuild");
   auto records = active_->drain_some(params_.moves_per_op);
   for (auto& [key, value] : records) building_->insert(key, value);
@@ -68,6 +70,8 @@ void FullDynamicDict::migration_step() {
 }
 
 bool FullDynamicDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "full_dynamic_dict");
+  obs::Span span(*disks_, "insert");
   if (lookup(key).found) return false;
   if (!building_ && active_->size() >= active_capacity_)
     start_rebuild(active_capacity_ * 2);
@@ -78,12 +82,16 @@ bool FullDynamicDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult FullDynamicDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "full_dynamic_dict");
   auto r = active_->lookup(key);
   if (!r.found && building_) r = building_->lookup(key);
+  op.set_outcome(r.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
   return r;
 }
 
 bool FullDynamicDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "full_dynamic_dict");
+  obs::Span span(*disks_, "erase");
   bool erased = active_->erase(key);
   if (!erased && building_) erased = building_->erase(key);
   if (erased) {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/bound_monitor.hpp"
+
 namespace pddict::core {
 
 LoadBalancer::LoadBalancer(const expander::NeighborFunction& graph,
@@ -26,15 +28,25 @@ std::vector<std::uint64_t> LoadBalancer::assign(std::uint64_t x) {
       if (loads_[c] < loads_[best] || (loads_[c] == loads_[best] && c < best))
         best = c;
     ++loads_[best];
+    max_load_ = std::max(max_load_, loads_[best]);
     chosen.push_back(best);
   }
   total_items_ += k_;
   ++vertices_;
+  if (monitor_) {
+    monitor_->observe(
+        "max_load", static_cast<double>(max_load_),
+        lemma3_bound(vertices_, loads_.size(), graph_->degree(), k_,
+                     monitor_epsilon_, monitor_delta_));
+  }
   return chosen;
 }
 
-std::uint64_t LoadBalancer::max_load() const {
-  return loads_.empty() ? 0 : *std::max_element(loads_.begin(), loads_.end());
+void LoadBalancer::attach_monitor(obs::BoundMonitor* monitor, double epsilon,
+                                  double delta) {
+  monitor_ = monitor;
+  monitor_epsilon_ = epsilon;
+  monitor_delta_ = delta;
 }
 
 double lemma3_bound(std::uint64_t n, std::uint64_t v, std::uint32_t d,

@@ -18,6 +18,10 @@
 
 #include "expander/neighbor_function.hpp"
 
+namespace pddict::obs {
+class BoundMonitor;
+}  // namespace pddict::obs
+
 namespace pddict::core {
 
 class LoadBalancer {
@@ -32,11 +36,20 @@ class LoadBalancer {
   std::vector<std::uint64_t> assign(std::uint64_t x);
 
   std::uint64_t load(std::uint64_t bucket) const { return loads_[bucket]; }
-  std::uint64_t max_load() const;
+  std::uint64_t max_load() const { return max_load_; }
   std::uint64_t total_items() const { return total_items_; }
   std::uint64_t vertices_placed() const { return vertices_; }
   const std::vector<std::uint64_t>& loads() const { return loads_; }
   std::uint32_t items_per_vertex() const { return k_; }
+
+  /// Attach a live Lemma 3 monitor (obs::lemma3_rules()). After every
+  /// assign() the balancer pushes (max load, instantiated bound for the
+  /// current vertex count) to the monitor's "max_load" gauge, so the margin
+  /// tracks the worst point of the whole arrival sequence, not just the end
+  /// state. `epsilon`/`delta` are the expansion parameters the graph is
+  /// assumed to have (the caller certifies them; the balancer cannot).
+  void attach_monitor(obs::BoundMonitor* monitor, double epsilon,
+                      double delta);
 
  private:
   const expander::NeighborFunction* graph_;
@@ -44,6 +57,10 @@ class LoadBalancer {
   std::vector<std::uint64_t> loads_;
   std::uint64_t total_items_ = 0;
   std::uint64_t vertices_ = 0;
+  std::uint64_t max_load_ = 0;  // maintained incrementally by assign()
+  obs::BoundMonitor* monitor_ = nullptr;
+  double monitor_epsilon_ = 0.0;
+  double monitor_delta_ = 0.0;
 };
 
 /// The Lemma 3 bound:  kn/((1−δ)v)/(1−ε) + log_{(1−ε)d/k}(v),

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/op_context.hpp"
 #include "pdm/block.hpp"
 #include "util/math.hpp"
 
@@ -91,6 +92,7 @@ std::vector<pdm::BlockAddr> MultiLevelWideDict::probe_addrs(Key key) const {
 }
 
 bool MultiLevelWideDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "multilevel_wide");
   check_key(key);
   if (value.size() != value_bytes_)
     throw std::invalid_argument("value size mismatch");
@@ -163,6 +165,7 @@ bool MultiLevelWideDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult MultiLevelWideDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "multilevel_wide");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;
@@ -183,12 +186,17 @@ LookupResult MultiLevelWideDict::lookup(Key key) {
       ++found;
     }
   }
-  if (found == 0) return {};
+  if (found == 0) {
+    op.set_outcome(obs::OpOutcome::kMiss);
+    return {};
+  }
   if (found != k_) throw std::logic_error("partial record on disk");
+  op.set_outcome(obs::OpOutcome::kHit);
   return {true, std::move(value)};
 }
 
 bool MultiLevelWideDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "multilevel_wide");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;

@@ -1,5 +1,6 @@
 #include "core/pointer_dict.hpp"
 
+#include "obs/op_context.hpp"
 #include "pdm/block.hpp"
 
 namespace pddict::core {
@@ -23,6 +24,7 @@ PointerDict::PointerDict(pdm::DiskArray& disks, std::uint32_t first_disk,
 }
 
 bool PointerDict::insert(Key key, std::span<const std::byte> record) {
+  obs::OpScope op(index_->disks(), obs::OpKind::kInsert, "pointer_dict");
   // Composable probe: duplicate check and index insert share one read round,
   // so the total is 1 read + extent write(s) + 1 index write.
   auto addrs = index_->probe_addrs(key);
@@ -39,12 +41,20 @@ bool PointerDict::insert(Key key, std::span<const std::byte> record) {
 }
 
 LookupResult PointerDict::lookup(Key key) {
+  obs::OpScope op(index_->disks(), obs::OpKind::kLookup, "pointer_dict");
   LookupResult pointer = index_->lookup(key);
-  if (!pointer.found) return {};
+  if (!pointer.found) {
+    op.set_outcome(obs::OpOutcome::kMiss);
+    return {};
+  }
+  op.set_outcome(obs::OpOutcome::kHit);
   std::uint64_t id = pdm::load_pod<std::uint64_t>(pointer.value, 0);
   return {true, extents_->read(id)};
 }
 
-bool PointerDict::erase(Key key) { return index_->erase(key); }
+bool PointerDict::erase(Key key) {
+  obs::OpScope op(index_->disks(), obs::OpKind::kErase, "pointer_dict");
+  return index_->erase(key);
+}
 
 }  // namespace pddict::core

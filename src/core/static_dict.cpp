@@ -5,6 +5,7 @@
 #include <cstring>
 #include <unordered_map>
 
+#include "obs/op_context.hpp"
 #include "obs/span.hpp"
 #include "pdm/block.hpp"
 #include "pdm/ext_sort.hpp"
@@ -165,6 +166,7 @@ void StaticDict::build_direct(const StaticDictParams& params,
   // nodes of the remaining set (internal memory), pick any ⌈2d/3⌉ of them
   // for every qualifying key, and write those fields in place — a
   // read-modify-write round pair per key, O(n) parallel I/Os in total.
+  obs::OpScope op(*disks_, obs::OpKind::kBuild, "static_dict");
   obs::Span span(*disks_, "build_direct");
   pdm::IoProbe probe(*disks_);
   stats_.input_records = n_;
@@ -251,6 +253,7 @@ void StaticDict::build(pdm::DiskAllocator& alloc,
     build_direct(params, keys, values);
     return;
   }
+  obs::OpScope op(*disks_, obs::OpKind::kBuild, "static_dict");
   obs::Span span(*disks_, "build_sorted");
   pdm::IoProbe probe(*disks_);
   stats_.input_records = n_;
@@ -572,11 +575,15 @@ LookupResult StaticDict::decode_head_pointers(
 LookupResult StaticDict::lookup(Key key) {
   if (key == kTombstone || key >= universe_size_)
     throw std::invalid_argument("key outside universe");
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "static_dict");
+  obs::Span span(*disks_, "lookup");
   const std::uint32_t d = graph_->degree();
   if (layout_ == StaticLayout::kIdentifiers) {
     std::vector<std::uint64_t> gamma = graph_->neighbors(key);
     std::vector<util::BitVector> field_bits = fields_->read_fields(gamma);
-    return decode_identifiers(field_bits);
+    LookupResult r = decode_identifiers(field_bits);
+    op.set_outcome(r.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
+    return r;
   }
   // Case (a): probe the membership dictionary and the retrieval array in the
   // same parallel I/O (they live on disjoint disks).
@@ -585,7 +592,9 @@ LookupResult StaticDict::lookup(Key key) {
     addrs.push_back(fields_->addr_of(graph_->neighbor(key, i)));
   std::vector<pdm::Block> blocks;
   disks_->read_batch(addrs, blocks);
-  return decode_head_pointers(key, blocks);
+  LookupResult r = decode_head_pointers(key, blocks);
+  op.set_outcome(r.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
+  return r;
 }
 
 }  // namespace pddict::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/op_context.hpp"
 #include "pdm/block.hpp"
 #include "util/math.hpp"
 
@@ -83,6 +84,7 @@ std::vector<pdm::BlockAddr> WideDict::probe_addrs(Key key) const {
 }
 
 bool WideDict::insert(Key key, std::span<const std::byte> value) {
+  obs::OpScope op(*disks_, obs::OpKind::kInsert, "wide_dict");
   check_key(key);
   if (value.size() != value_bytes_)
     throw std::invalid_argument("value size mismatch");
@@ -133,6 +135,7 @@ bool WideDict::insert(Key key, std::span<const std::byte> value) {
 }
 
 LookupResult WideDict::lookup(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kLookup, "wide_dict");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;
@@ -153,13 +156,18 @@ LookupResult WideDict::lookup(Key key) {
       ++found_frags;
     }
   }
-  if (found_frags == 0) return {};
+  if (found_frags == 0) {
+    op.set_outcome(obs::OpOutcome::kMiss);
+    return {};
+  }
   if (found_frags != k_)
     throw std::logic_error("wide dictionary: partial record on disk");
+  op.set_outcome(obs::OpOutcome::kHit);
   return {true, std::move(value)};
 }
 
 bool WideDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "wide_dict");
   check_key(key);
   auto addrs = probe_addrs(key);
   std::vector<pdm::Block> blocks;

@@ -101,6 +101,19 @@ bool is_structural(const std::string& path) {
   return kStructural.count(last_segment(path)) > 0;
 }
 
+/// Bound-monitor leaves (pddict-bound-report rules embedded in a report's
+/// "bounds" section, or standalone). A margin is measured/bound: above 1.0
+/// the paper bound itself is violated, which gates regardless of history.
+bool is_margin_leaf(const std::string& path) {
+  return last_segment(path) == "margin";
+}
+
+bool is_violations_leaf(const std::string& path) {
+  return last_segment(path) == "violations";
+}
+
+constexpr double kMarginViolation = 1.0 + 1e-9;
+
 double relative_delta(double before, double after) {
   if (before == after) return 0.0;
   if (before == 0.0) return after > 0 ? 1e30 : -1e30;
@@ -183,6 +196,33 @@ DiffResult diff_baselines(const Json& before, const Json& after,
     }
     double a = old_metric.number, b = new_metric.number;
     double rel = relative_delta(a, b);
+    if (is_violations_leaf(path)) {
+      // A bound violation on the new side gates even if the old baseline had
+      // it too: the gate stays red until the bound holds again.
+      if (b > 0) {
+        ++result.regressions;
+        add({path, DiffKind::kRegression, false, a, b, rel});
+      } else if (a > 0) {
+        ++result.improvements;
+        add({path, DiffKind::kImprovement, false, a, b, rel});
+      }
+      continue;
+    }
+    if (is_margin_leaf(path)) {
+      if (b > kMarginViolation) {
+        ++result.regressions;
+        add({path, DiffKind::kRegression, false, a, b, rel});
+        continue;
+      }
+      // Within the guarantee: tolerate small drift, gate on a real march
+      // toward the bound, credit movement away from it.
+      if (std::fabs(rel) * 100.0 <= options.margin_tol_pct) continue;
+      DiffKind kind = b > a ? DiffKind::kRegression : DiffKind::kImprovement;
+      if (kind == DiffKind::kRegression) ++result.regressions;
+      if (kind == DiffKind::kImprovement) ++result.improvements;
+      add({path, kind, false, a, b, rel});
+      continue;
+    }
     if (is_wall_metric(path)) {
       if (std::fabs(rel) * 100.0 <= options.wall_tol_pct) continue;
       DiffKind kind = b > a ? DiffKind::kRegression : DiffKind::kImprovement;
@@ -210,6 +250,14 @@ DiffResult diff_baselines(const Json& before, const Json& after,
   }
   for (const auto& [path, new_metric] : new_map) {
     if (old_map.count(path)) continue;
+    // Added metrics never gate — except a bound already violated on arrival.
+    if (new_metric.is_number &&
+        ((is_margin_leaf(path) && new_metric.number > kMarginViolation) ||
+         (is_violations_leaf(path) && new_metric.number > 0))) {
+      ++result.regressions;
+      add({path, DiffKind::kRegression, false, 0.0, new_metric.number, 1e30});
+      continue;
+    }
     add({path, DiffKind::kAdded, is_wall_metric(path), 0.0,
          new_metric.is_number ? new_metric.number : 0.0, 0.0});
   }

@@ -57,6 +57,13 @@ struct DiffOptions {
   /// Relative epsilon for floating-point metrics (avg, mean_utilization):
   /// below this a difference is formatting noise, not a change.
   double float_eps = 1e-9;
+  /// Drift band for bound-monitor "margin" leaves, in percent: margins are
+  /// measured/bound ratios, so small movement is expected; drift toward the
+  /// bound beyond this band gates even while the bound still holds.
+  /// Independently of the band, ANY new-side margin above 1.0 (the paper
+  /// bound itself violated) and any new-side "violations" count above zero
+  /// gate unconditionally — including on entries the old baseline lacks.
+  double margin_tol_pct = 5.0;
 };
 
 struct DiffResult {

@@ -1,0 +1,160 @@
+// Live monitors comparing measured cost against the paper's proven bounds.
+//
+// Every structure in this reproduction carries a theorem: Lemma 3 bounds the
+// greedy balancer's max load, Theorem 6 gives the static dictionary
+// one-probe lookups, Theorem 7 gives the dynamic dictionary its per-op and
+// amortized I/O budget, Theorem 12 gives the semi-explicit expander its
+// expansion/degree/memory guarantees. A BoundMonitor instantiates those
+// bounds with the run's actual parameters and checks every operation (or
+// gauge observation) against them as it happens, exporting:
+//
+//   * margin gauges — measured/bound for upper bounds, bound/measured for
+//     lower bounds, so margin <= 1.0 always means "inside the guarantee" and
+//     the headroom is 1 - margin,
+//   * a violation counter plus bounded structured violation events,
+//   * a per-run bound report ({"schema":"pddict-bound-report",...}) that
+//     benches embed in pddict-bench-report and tools/bench_diff gates on.
+//
+// The monitor is a Sink: attach it to a DiskArray (add_sink) and it sees
+// every OpRecord the structure's OpScopes emit. Costs come from OpRecord::io
+// (exact single-threaded); quantities without an operation stream — max
+// load, expansion, degree — are pushed directly via observe().
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace pddict::obs {
+
+class MetricsRegistry;
+
+enum class BoundMode : std::uint8_t {
+  kPerOp,    // every matching op must satisfy the bound individually
+  kAverage,  // the running mean over matching ops must satisfy it
+  kGauge,    // externally observed quantity (observe()), worst value kept
+};
+
+enum class BoundDirection : std::uint8_t {
+  kUpperLimit,  // measured must stay <= bound
+  kLowerLimit,  // measured must stay >= bound (expansion)
+};
+
+/// One instantiated inequality from the paper.
+struct BoundRule {
+  std::string name;        // stable key ("lookup_miss", "max_load", ...)
+  std::string theorem;     // provenance ("Lemma 3", "Theorem 7", ...)
+  std::string expression;  // human form of the instantiation ("2 + eps")
+  BoundMode mode = BoundMode::kPerOp;
+  BoundDirection direction = BoundDirection::kUpperLimit;
+  /// Instantiated numeric bound. Gauge rules may override it per
+  /// observation (Lemma 3's bound moves with the number of placed vertices).
+  double bound = 0.0;
+  /// Filters for per-op / average rules; a rule matches an OpRecord when the
+  /// kinds are equal, the outcome filter is kUnknown or equal, and the
+  /// structure filter is empty or equal.
+  OpKind kind = OpKind::kNone;
+  OpOutcome outcome = OpOutcome::kUnknown;
+  std::string structure;
+};
+
+struct BoundViolation {
+  std::string rule;
+  double measured = 0.0;
+  double bound = 0.0;
+  std::uint64_t op_id = 0;  // 0 for gauge observations
+  OpKind kind = OpKind::kNone;
+  std::uint64_t ts_ns = 0;
+};
+
+class BoundMonitor : public Sink {
+ public:
+  /// `structure` labels the report ("dynamic_dict", "load_balancer", ...).
+  BoundMonitor(std::string structure, std::vector<BoundRule> rules);
+
+  void on_io(const IoEvent&) override {}
+  void on_span(const SpanRecord&) override {}
+  void on_op(const OpRecord& record) override;
+
+  /// Push a gauge observation against rule `rule` (must be kGauge), using
+  /// the rule's static bound or an explicit per-observation `bound`.
+  void observe(std::string_view rule, double measured);
+  void observe(std::string_view rule, double measured, double bound);
+
+  /// Worst margin a rule has seen (0 when it never matched). margin =
+  /// measured/bound for upper bounds, bound/measured for lower bounds;
+  /// <= 1.0 means the guarantee held.
+  double margin(std::string_view rule) const;
+  /// Max margin across all rules that matched at least once.
+  double worst_margin() const;
+  std::uint64_t violations() const;
+  /// The most recent violations, capped at kMaxViolationLog.
+  std::vector<BoundViolation> violation_log() const;
+
+  /// {"schema":"pddict-bound-report","version":1,"structure":...,
+  ///  "rules":[{name,theorem,mode,bound,...,margin,violations}],
+  ///  "violations":[...]}  — the shape tools/validate_bench_json checks and
+  /// benches embed under "bounds".
+  Json report() const;
+  /// Human-readable margin table (pddict_cli doctor prints this).
+  std::string render() const;
+  /// Gauges "<prefix>.<structure>.<rule>.margin" plus a violation counter.
+  void export_metrics(MetricsRegistry& registry,
+                      std::string_view prefix = "bound") const;
+
+  static constexpr std::size_t kMaxViolationLog = 64;
+
+  /// True when `margin` exceeds 1 beyond float tolerance.
+  static bool is_violation(double margin);
+
+ private:
+  struct RuleState {
+    BoundRule rule;
+    std::uint64_t matched = 0;      // ops or observations seen
+    double sum = 0.0;               // for kAverage
+    double worst_measured = 0.0;
+    double worst_margin = 0.0;
+    double last_bound = 0.0;        // bound at the worst observation
+    std::uint64_t violations = 0;
+  };
+
+  void apply(RuleState& st, double measured, double bound, std::uint64_t op_id,
+             OpKind kind, std::uint64_t ts_ns);
+
+  const std::string structure_;
+  mutable std::mutex mutex_;
+  std::vector<RuleState> rules_;
+  std::uint64_t violations_ = 0;
+  std::vector<BoundViolation> log_;
+};
+
+// ---- instantiated rule sets (pure numbers in, no core-layer types) ----
+
+/// Lemma 3: greedy max load <= kn/((1-delta)v)/(1-eps) + log_{(1-eps)d/k}(v).
+/// One gauge rule "max_load"; the balancer pushes (measured, bound) pairs.
+std::vector<BoundRule> lemma3_rules();
+
+/// Theorem 6: static dictionary lookups take exactly one parallel I/O.
+std::vector<BoundRule> thm6_rules();
+
+/// Theorem 7: dynamic dictionary with `levels` size classes and slack eps.
+/// Per-op: miss == 1, hit <= 2, insert <= levels + 1, erase <= 5 (the O(1)
+/// bound instantiated at the implementation's structural worst case).
+/// Amortized: miss avg <= 1, hit avg <= 1 + eps, insert avg <= 2 + eps.
+std::vector<BoundRule> thm7_rules(double eps, std::uint32_t levels);
+
+/// Theorem 12 gauges for the semi-explicit expander: "expansion" (lower,
+/// >= (1-eps) * d * |S| pushed per sample), "degree" and "memory_words"
+/// (upper, bound pushed per observation).
+std::vector<BoundRule> thm12_rules(double eps);
+
+/// Section 4.1 dictionary running on a Theorem 12 expander: lookup <= 1,
+/// insert <= 2, erase <= 2 parallel I/Os per key batch.
+std::vector<BoundRule> expander_dict_rules();
+
+}  // namespace pddict::obs

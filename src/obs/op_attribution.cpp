@@ -1,0 +1,233 @@
+#include "obs/op_attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pddict::obs {
+
+OpAttributor::OpAttributor(std::size_t worst_k)
+    : worst_k_(worst_k ? worst_k : 1) {}
+
+void OpAttributor::on_io(const IoEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (event.op_id == 0) {
+    ++untagged_;
+    return;
+  }
+  OpenOp& op = open_[event.op_id];
+  op.parallel_ios += event.rounds;
+  if (op.per_disk.size() < event.per_disk.size())
+    op.per_disk.resize(event.per_disk.size(), 0);
+  for (std::size_t d = 0; d < event.per_disk.size(); ++d) {
+    op.per_disk[d] += event.per_disk[d];
+    op.blocks += event.per_disk[d];
+  }
+}
+
+void OpAttributor::on_span(const SpanRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (record.op_id == 0) return;
+  OpenOp& op = open_[record.op_id];
+  if (op.spans.size() < kMaxSpansPerOp)
+    op.spans.emplace_back(record.path, record.io.parallel_ios);
+  // Amortization: charge spans whose leaf segment is "rebuild". Rebuild
+  // spans never nest inside each other, so this never double-counts.
+  auto slash = record.path.rfind('/');
+  std::string_view leaf =
+      slash == std::string::npos
+          ? std::string_view(record.path)
+          : std::string_view(record.path).substr(slash + 1);
+  if (leaf == "rebuild") {
+    op.rebuild_ios += record.io.parallel_ios;
+    ++op.rebuild_spans;
+  }
+}
+
+void OpAttributor::on_op(const OpRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  OpenOp op;
+  auto it = open_.find(record.id);
+  if (it != open_.end()) {
+    op = std::move(it->second);
+    open_.erase(it);
+  }
+  ++finished_;
+
+  KindStats& ks = kinds_[op_kind_name(record.kind)];
+  if (ks.hist.empty()) ks.hist.assign(kHistBuckets, 0);
+  ++ks.ops;
+  ks.parallel_ios += op.parallel_ios;
+  ks.blocks += op.blocks;
+  ks.rebuild_ios += op.rebuild_ios;
+  ks.rebuild_spans += op.rebuild_spans;
+  std::size_t bucket = static_cast<std::size_t>(
+      std::min<std::uint64_t>(op.parallel_ios, kHistBuckets - 1));
+  ++ks.hist[bucket];
+
+  // Worst-K ring: sorted by exact cost descending, ties broken by id
+  // ascending so the retained set is deterministic.
+  bool belongs = worst_.size() < worst_k_ ||
+                 op.parallel_ios > worst_.back().parallel_ios ||
+                 (op.parallel_ios == worst_.back().parallel_ios &&
+                  record.id < worst_.back().record.id);
+  if (!belongs) return;
+  WorstOp w;
+  w.record = record;
+  w.parallel_ios = op.parallel_ios;
+  w.blocks = op.blocks;
+  w.per_disk = std::move(op.per_disk);
+  w.spans = std::move(op.spans);
+  auto pos = std::upper_bound(
+      worst_.begin(), worst_.end(), w, [](const WorstOp& a, const WorstOp& b) {
+        if (a.parallel_ios != b.parallel_ios)
+          return a.parallel_ios > b.parallel_ios;
+        return a.record.id < b.record.id;
+      });
+  worst_.insert(pos, std::move(w));
+  if (worst_.size() > worst_k_) worst_.pop_back();
+}
+
+std::map<std::string, OpAttributor::KindStats> OpAttributor::kind_stats()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kinds_;
+}
+
+std::vector<OpAttributor::WorstOp> OpAttributor::worst_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return worst_;
+}
+
+std::uint64_t OpAttributor::finished_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return finished_;
+}
+
+std::uint64_t OpAttributor::untagged_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return untagged_;
+}
+
+void OpAttributor::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  open_.clear();
+  kinds_.clear();
+  worst_.clear();
+  finished_ = 0;
+  untagged_ = 0;
+}
+
+std::string OpAttributor::render() const {
+  auto kinds = kind_stats();
+  auto worst = worst_ops();
+  std::ostringstream os;
+  char line[256];
+  os << "per-operation parallel I/O\n";
+  std::snprintf(line, sizeof(line), "%-10s %10s %12s %10s %14s\n", "kind",
+                "ops", "par. I/Os", "avg", "rebuild share");
+  os << line;
+  for (const auto& [name, ks] : kinds) {
+    double avg = ks.ops ? static_cast<double>(ks.parallel_ios) /
+                              static_cast<double>(ks.ops)
+                        : 0.0;
+    double share = ks.parallel_ios
+                       ? static_cast<double>(ks.rebuild_ios) /
+                             static_cast<double>(ks.parallel_ios)
+                       : 0.0;
+    std::snprintf(line, sizeof(line), "%-10s %10llu %12llu %10.3f %13.1f%%\n",
+                  name.c_str(), static_cast<unsigned long long>(ks.ops),
+                  static_cast<unsigned long long>(ks.parallel_ios), avg,
+                  share * 100.0);
+    os << line;
+    // Histogram: only the populated buckets, as "cost: count" pairs.
+    os << "  hist:";
+    for (std::size_t i = 0; i < ks.hist.size(); ++i) {
+      if (ks.hist[i] == 0) continue;
+      std::snprintf(line, sizeof(line), " %zu%s:%llu", i,
+                    i + 1 == kHistBuckets ? "+" : "",
+                    static_cast<unsigned long long>(ks.hist[i]));
+      os << line;
+    }
+    os << '\n';
+  }
+  os << "worst operations (exact per-op cost from tagged events)\n";
+  for (const auto& w : worst) {
+    std::snprintf(line, sizeof(line),
+                  "  op %llu %s%s%s: %llu par. I/Os, %llu blocks\n",
+                  static_cast<unsigned long long>(w.record.id),
+                  op_kind_name(w.record.kind),
+                  w.record.outcome == OpOutcome::kUnknown ? "" : "/",
+                  w.record.outcome == OpOutcome::kUnknown
+                      ? ""
+                      : op_outcome_name(w.record.outcome),
+                  static_cast<unsigned long long>(w.parallel_ios),
+                  static_cast<unsigned long long>(w.blocks));
+    os << line;
+    for (const auto& [path, ios] : w.spans) {
+      std::snprintf(line, sizeof(line), "    %-40s %llu\n", path.c_str(),
+                    static_cast<unsigned long long>(ios));
+      os << line;
+    }
+  }
+  std::snprintf(line, sizeof(line), "untagged I/O events: %llu\n",
+                static_cast<unsigned long long>(untagged_events()));
+  os << line;
+  return os.str();
+}
+
+Json OpAttributor::to_json() const {
+  auto kinds = kind_stats();
+  auto worst = worst_ops();
+  Json j = Json::object();
+  Json jkinds = Json::object();
+  for (const auto& [name, ks] : kinds) {
+    Json k = Json::object();
+    k.set("ops", ks.ops);
+    k.set("parallel_ios", ks.parallel_ios);
+    k.set("blocks", ks.blocks);
+    double avg = ks.ops ? static_cast<double>(ks.parallel_ios) /
+                              static_cast<double>(ks.ops)
+                        : 0.0;
+    k.set("avg_parallel_ios", avg);
+    k.set("rebuild_parallel_ios", ks.rebuild_ios);
+    k.set("rebuild_spans", ks.rebuild_spans);
+    Json hist = Json::array();
+    // Trailing zero buckets are trimmed to keep reports small.
+    std::size_t last = ks.hist.size();
+    while (last > 1 && ks.hist[last - 1] == 0) --last;
+    for (std::size_t i = 0; i < last; ++i) hist.push_back(ks.hist[i]);
+    k.set("hist", std::move(hist));
+    jkinds.set(name, std::move(k));
+  }
+  j.set("kinds", std::move(jkinds));
+  Json jworst = Json::array();
+  for (const auto& w : worst) {
+    Json o = Json::object();
+    o.set("id", w.record.id);
+    o.set("kind", op_kind_name(w.record.kind));
+    if (w.record.outcome != OpOutcome::kUnknown)
+      o.set("outcome", op_outcome_name(w.record.outcome));
+    if (!w.record.structure.empty()) o.set("structure", w.record.structure);
+    o.set("parallel_ios", w.parallel_ios);
+    o.set("blocks", w.blocks);
+    Json per_disk = Json::array();
+    for (std::uint64_t c : w.per_disk) per_disk.push_back(c);
+    o.set("per_disk", std::move(per_disk));
+    Json spans = Json::array();
+    for (const auto& [path, ios] : w.spans) {
+      Json s = Json::object();
+      s.set("path", path);
+      s.set("parallel_ios", ios);
+      spans.push_back(std::move(s));
+    }
+    o.set("spans", std::move(spans));
+    jworst.push_back(std::move(o));
+  }
+  j.set("worst_ops", std::move(jworst));
+  j.set("finished_ops", finished_ops());
+  j.set("untagged_events", untagged_events());
+  return j;
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,105 @@
+// Per-operation I/O attribution: histograms, worst-op ring, amortization.
+//
+// OpAttributor is a Sink that correlates the three event streams by op id:
+//
+//   * on_io   — folds every tagged batch into the open operation's exact
+//     per-op cost (rounds, blocks, per-disk block counts),
+//   * on_span — remembers the span subtree that ran under the operation (and
+//     the I/O of "rebuild" spans, for amortized accounting of the Theorem 7
+//     dynamic dictionary's global-rebuilding phases),
+//   * on_op   — finalizes the operation: updates the per-kind parallel-I/O
+//     histogram and totals, and keeps it if it ranks among the K worst.
+//
+// Unlike OpRecord::io (a global-counter delta, exact only single-threaded),
+// the per-op costs here are reconstructed from the tagged IoEvents of the
+// operation's own thread, so they stay exact under concurrency. Events with
+// op_id == 0 are counted as `untagged_events` — the observability gap meter.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+
+namespace pddict::obs {
+
+class OpAttributor : public Sink {
+ public:
+  /// One finished operation retained in the worst-K ring.
+  struct WorstOp {
+    OpRecord record;
+    /// Exact parallel I/Os reconstructed from this op's tagged events.
+    std::uint64_t parallel_ios = 0;
+    std::uint64_t blocks = 0;
+    /// Distinct blocks the op moved on each disk (grown on demand).
+    std::vector<std::uint64_t> per_disk;
+    /// Span subtree that closed under the op: (path, parallel_ios) in
+    /// close order, capped at kMaxSpansPerOp.
+    std::vector<std::pair<std::string, std::uint64_t>> spans;
+  };
+
+  /// Per-kind aggregate over all finished operations of that kind.
+  struct KindStats {
+    std::uint64_t ops = 0;
+    std::uint64_t parallel_ios = 0;  // from tagged events (exact)
+    std::uint64_t blocks = 0;
+    /// Parallel I/Os spent inside "rebuild" spans under ops of this kind —
+    /// the numerator of the amortized rebuild share (Thm 7 accounting).
+    std::uint64_t rebuild_ios = 0;
+    std::uint64_t rebuild_spans = 0;
+    /// Histogram of per-op parallel I/Os: index i counts ops that cost
+    /// exactly i rounds; the last bucket absorbs >= kHistBuckets - 1.
+    std::vector<std::uint64_t> hist;
+  };
+
+  static constexpr std::size_t kDefaultWorstK = 8;
+  static constexpr std::size_t kHistBuckets = 65;
+  static constexpr std::size_t kMaxSpansPerOp = 32;
+
+  explicit OpAttributor(std::size_t worst_k = kDefaultWorstK);
+
+  void on_io(const IoEvent& event) override;
+  void on_span(const SpanRecord& record) override;
+  void on_op(const OpRecord& record) override;
+
+  /// Aggregates keyed by kind name ("lookup", "insert", ...).
+  std::map<std::string, KindStats> kind_stats() const;
+  /// The K worst finished ops, most expensive first (ties: lower id first).
+  std::vector<WorstOp> worst_ops() const;
+  std::uint64_t finished_ops() const;
+  /// IoEvents seen with op_id == 0 (ran outside any operation).
+  std::uint64_t untagged_events() const;
+
+  /// Human-readable tables: per-kind histogram + averages, then the ring.
+  std::string render() const;
+  /// {"kinds": {...}, "worst_ops": [...], "untagged_events": n, ...}
+  Json to_json() const;
+
+  void clear();
+
+ private:
+  struct OpenOp {
+    std::uint64_t parallel_ios = 0;
+    std::uint64_t blocks = 0;
+    std::vector<std::uint64_t> per_disk;
+    std::vector<std::pair<std::string, std::uint64_t>> spans;
+    std::uint64_t rebuild_ios = 0;
+    std::uint64_t rebuild_spans = 0;
+  };
+
+  const std::size_t worst_k_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, OpenOp> open_;
+  std::map<std::string, KindStats> kinds_;
+  std::vector<WorstOp> worst_;  // kept sorted, most expensive first
+  std::uint64_t finished_ = 0;
+  std::uint64_t untagged_ = 0;
+};
+
+}  // namespace pddict::obs

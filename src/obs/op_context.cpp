@@ -1,0 +1,72 @@
+#include "obs/op_context.hpp"
+
+#include <atomic>
+
+namespace pddict::obs {
+
+namespace {
+
+// Process-wide id allocator. Starts at 1: id 0 is reserved for "no
+// operation", which the acceptance checks rely on (every IoEvent emitted
+// during a dictionary operation carries a non-zero op id).
+std::atomic<std::uint64_t> g_next_op_id{1};
+
+struct CurrentOp {
+  std::uint64_t id = 0;
+  OpKind kind = OpKind::kNone;
+};
+
+CurrentOp& current_op() {
+  thread_local CurrentOp op;
+  return op;
+}
+
+}  // namespace
+
+std::uint64_t current_op_id() { return current_op().id; }
+OpKind current_op_kind() { return current_op().kind; }
+
+OpScope::OpScope(Sink* sink, const pdm::IoStats& live, OpKind kind,
+                 const char* structure, std::uint32_t batch) {
+  if (!sink) return;  // inactive: this check is the whole null-sink cost
+  CurrentOp& op = current_op();
+  if (op.id != 0) return;  // nested: inherit the outer operation, emit nothing
+  owner_ = true;
+  sink_ = sink;
+  live_ = &live;
+  start_ = live;
+  start_time_ = std::chrono::steady_clock::now();
+  record_.id = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
+  record_.kind = kind;
+  record_.batch = batch ? batch : 1;
+  record_.structure = structure ? structure : "";
+  record_.ts_ns = trace_now_ns();
+  record_.start_round = start_.parallel_ios;
+  op.id = record_.id;
+  op.kind = kind;
+}
+
+std::uint64_t OpScope::id() const {
+  return owner_ ? record_.id : current_op_id();
+}
+
+void OpScope::set_outcome(OpOutcome outcome) {
+  if (owner_) record_.outcome = outcome;
+}
+
+void OpScope::close() {
+  if (!owner_) return;
+  owner_ = false;
+  auto wall = std::chrono::steady_clock::now() - start_time_;
+  record_.io = *live_ - start_;
+  record_.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+  CurrentOp& op = current_op();
+  op.id = 0;
+  op.kind = OpKind::kNone;
+  Sink* sink = sink_;
+  sink_ = nullptr;
+  sink->on_op(record_);
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,78 @@
+// Operation context: attribution of the event stream to user-facing calls.
+//
+// Spans (span.hpp) say *what phase* an I/O belongs to; the OpContext says
+// *which operation* caused it. An OpScope brackets one user-facing call
+// (lookup / insert / erase / build / assign) against a disk array. While the
+// scope is open, a thread-local context carries its id; DiskArray stamps that
+// id onto every IoEvent the thread submits and Span stamps it onto every
+// SpanRecord that closes. On destruction the scope emits one OpRecord — the
+// call's total I/O delta, wall time, batch size and hit/miss outcome — to the
+// array's sink.
+//
+// Ownership rule: only the *outermost* scope on a thread owns the operation.
+// A dictionary method called from inside another operation (FullDict::insert
+// delegating to BasicDict::insert, rebuild phases re-inserting keys) opens a
+// scope that silently inherits the outer id and emits nothing, so each
+// user-facing call maps to exactly one OpRecord and attribution follows the
+// caller the user actually invoked.
+//
+// Cost discipline matches Span: with no sink attached the constructor is one
+// pointer check and nothing else, so the dictionaries keep their scopes
+// compiled in unconditionally.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/sink.hpp"
+#include "pdm/io_stats.hpp"
+
+namespace pddict::obs {
+
+/// Id of the operation currently open on this thread (0 = none). Ids are
+/// process-wide unique and start at 1, so 0 unambiguously means "untagged".
+std::uint64_t current_op_id();
+OpKind current_op_kind();
+
+class OpScope {
+ public:
+  /// Inactive unless `sink` is non-null. `live` must outlive the scope and
+  /// is sampled at open and close (pass the owning DiskArray's stats).
+  OpScope(Sink* sink, const pdm::IoStats& live, OpKind kind,
+          const char* structure = "", std::uint32_t batch = 1);
+
+  /// Duck-typed convenience for anything exposing sink() and stats()
+  /// (pdm::DiskArray; avoids an obs -> pdm link dependency).
+  template <typename DiskArrayLike>
+  OpScope(DiskArrayLike& disks, OpKind kind, const char* structure = "",
+          std::uint32_t batch = 1)
+      : OpScope(disks.sink(), disks.stats(), kind, structure, batch) {}
+
+  OpScope(const OpScope&) = delete;
+  OpScope& operator=(const OpScope&) = delete;
+
+  ~OpScope() { close(); }
+
+  /// True when this scope owns the operation (outermost, sink attached).
+  bool owner() const { return owner_; }
+  /// The operation id events opened under this scope are tagged with
+  /// (0 when no sink is attached anywhere up the chain).
+  std::uint64_t id() const;
+
+  /// Record the hit/miss disposition (lookups; inherited scopes forward to
+  /// nothing — the owner's outcome wins).
+  void set_outcome(OpOutcome outcome);
+
+  /// Close early (idempotent; the destructor calls it).
+  void close();
+
+ private:
+  bool owner_ = false;
+  Sink* sink_ = nullptr;
+  const pdm::IoStats* live_ = nullptr;
+  pdm::IoStats start_;
+  std::chrono::steady_clock::time_point start_time_;
+  OpRecord record_;
+};
+
+}  // namespace pddict::obs

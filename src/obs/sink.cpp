@@ -14,6 +14,29 @@ std::uint64_t trace_now_ns() {
           .count());
 }
 
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kNone: return "none";
+    case OpKind::kLookup: return "lookup";
+    case OpKind::kInsert: return "insert";
+    case OpKind::kErase: return "erase";
+    case OpKind::kBuild: return "build";
+    case OpKind::kRebuild: return "rebuild";
+    case OpKind::kAssign: return "assign";
+    case OpKind::kOther: return "other";
+  }
+  return "none";
+}
+
+const char* op_outcome_name(OpOutcome outcome) {
+  switch (outcome) {
+    case OpOutcome::kUnknown: return "unknown";
+    case OpOutcome::kHit: return "hit";
+    case OpOutcome::kMiss: return "miss";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------- RingBufferSink
 
 RingBufferSink::RingBufferSink(std::size_t capacity)
@@ -37,9 +60,28 @@ void RingBufferSink::on_span(const SpanRecord& record) {
   spans_.push_back(record);
 }
 
+void RingBufferSink::on_op(const OpRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ops_.size() == capacity_) {
+    ops_.pop_front();
+    ++dropped_ops_;
+  }
+  ops_.push_back(record);
+}
+
 std::vector<IoEvent> RingBufferSink::events() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {events_.begin(), events_.end()};
+}
+
+std::vector<OpRecord> RingBufferSink::ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {ops_.begin(), ops_.end()};
+}
+
+std::uint64_t RingBufferSink::dropped_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_ops_;
 }
 
 std::vector<SpanRecord> RingBufferSink::spans() const {
@@ -61,27 +103,72 @@ void RingBufferSink::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
   spans_.clear();
+  ops_.clear();
   dropped_events_ = 0;
   dropped_spans_ = 0;
+  dropped_ops_ = 0;
 }
 
 // --------------------------------------------------------------- MultiSink
 
 MultiSink::MultiSink(std::vector<std::shared_ptr<Sink>> children)
-    : children_(std::move(children)) {}
+    : children_(std::make_shared<const Children>(std::move(children))) {}
+
+std::shared_ptr<const MultiSink::Children> MultiSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return children_;
+}
+
+void MultiSink::add(std::shared_ptr<Sink> child) {
+  if (!child) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto next = std::make_shared<Children>(*children_);
+  next->push_back(std::move(child));
+  children_ = std::move(next);
+}
+
+bool MultiSink::remove(const Sink* child) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto next = std::make_shared<Children>(*children_);
+  bool found = false;
+  for (auto it = next->begin(); it != next->end();) {
+    if (it->get() == child) {
+      it = next->erase(it);
+      found = true;
+    } else {
+      ++it;
+    }
+  }
+  if (found) children_ = std::move(next);
+  return found;
+}
+
+std::size_t MultiSink::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return children_->size();
+}
 
 void MultiSink::on_io(const IoEvent& event) {
-  for (const auto& child : children_)
+  auto children = snapshot();
+  for (const auto& child : *children)
     if (child) child->on_io(event);
 }
 
 void MultiSink::on_span(const SpanRecord& record) {
-  for (const auto& child : children_)
+  auto children = snapshot();
+  for (const auto& child : *children)
     if (child) child->on_span(record);
 }
 
+void MultiSink::on_op(const OpRecord& record) {
+  auto children = snapshot();
+  for (const auto& child : *children)
+    if (child) child->on_op(record);
+}
+
 void MultiSink::flush() {
-  for (const auto& child : children_)
+  auto children = snapshot();
+  for (const auto& child : *children)
     if (child) child->flush();
 }
 
@@ -113,6 +200,10 @@ Json io_event_to_json(const IoEvent& event, bool record_addrs) {
   j.set("seq", event.seq);
   j.set("ts_ns", event.ts_ns);
   j.set("start_round", event.start_round);
+  if (event.op_id != 0) {
+    j.set("op_id", event.op_id);
+    j.set("op_kind", op_kind_name(event.op_kind));
+  }
   if (record_addrs && !event.per_disk.empty()) {
     Json per_disk = Json::array();
     for (std::uint32_t c : event.per_disk) per_disk.push_back(c);
@@ -144,6 +235,30 @@ Json span_record_to_json(const SpanRecord& record) {
   j.set("wall_ns", record.wall_ns);
   j.set("start_ns", record.start_ns);
   j.set("start_round", record.start_round);
+  if (record.op_id != 0) {
+    j.set("op_id", record.op_id);
+    j.set("op_kind", op_kind_name(record.op_kind));
+  }
+  return j;
+}
+
+Json op_record_to_json(const OpRecord& record) {
+  Json j = Json::object();
+  j.set("type", "op");
+  j.set("id", record.id);
+  j.set("kind", op_kind_name(record.kind));
+  if (record.outcome != OpOutcome::kUnknown)
+    j.set("outcome", op_outcome_name(record.outcome));
+  j.set("batch", record.batch);
+  if (!record.structure.empty()) j.set("structure", record.structure);
+  j.set("parallel_ios", record.io.parallel_ios);
+  j.set("read_rounds", record.io.read_rounds);
+  j.set("write_rounds", record.io.write_rounds);
+  j.set("blocks_read", record.io.blocks_read);
+  j.set("blocks_written", record.io.blocks_written);
+  j.set("wall_ns", record.wall_ns);
+  j.set("ts_ns", record.ts_ns);
+  j.set("start_round", record.start_round);
   return j;
 }
 
@@ -173,6 +288,13 @@ void JsonLinesSink::on_io(const IoEvent& event) {
 
 void JsonLinesSink::on_span(const SpanRecord& record) {
   Json j = span_record_to_json(record);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out << j.dump() << '\n';
+  ++impl_->lines;
+}
+
+void JsonLinesSink::on_op(const OpRecord& record) {
+  Json j = op_record_to_json(record);
   std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->out << j.dump() << '\n';
   ++impl_->lines;

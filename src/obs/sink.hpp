@@ -34,6 +34,31 @@ namespace pddict::obs {
 /// timeline (trace_event.hpp renders it).
 std::uint64_t trace_now_ns();
 
+/// Kind of the user-facing dictionary / balancer operation an event belongs
+/// to. Stamped on IoEvents and SpanRecords via the thread-local OpContext
+/// (op_context.hpp); kNone means the event ran outside any operation.
+enum class OpKind : std::uint8_t {
+  kNone = 0,
+  kLookup,
+  kInsert,
+  kErase,
+  kBuild,    // static construction (StaticDict build, expander setup)
+  kRebuild,  // global rebuilding phases of the dynamic dictionaries
+  kAssign,   // load-balancer placement
+  kOther,
+};
+
+/// Hit/miss disposition of an operation, for bounds that distinguish them
+/// (Thm 7: a miss costs exactly 1 I/O, a hit averages 1 + epsilon).
+enum class OpOutcome : std::uint8_t {
+  kUnknown = 0,  // not reported (inserts) or used as "match any" in filters
+  kHit,
+  kMiss,
+};
+
+const char* op_kind_name(OpKind kind);
+const char* op_outcome_name(OpOutcome outcome);
+
 /// One batch scheduled by the disk array (the unit of parallel I/O
 /// accounting). `addrs` is the block list in submission order for reads and
 /// the deduplicated list for writes, matching the historical trace semantics.
@@ -51,6 +76,11 @@ struct IoEvent {
   /// Distinct blocks this batch moved on each disk (size = D). In PDM mode
   /// per_disk[d] is also the number of rounds disk d is busy.
   std::vector<std::uint32_t> per_disk;
+  /// Operation that caused this batch (0 / kNone when none was open on the
+  /// submitting thread). Attribution is exact even under concurrency: the
+  /// id is read from the submitting thread's own context.
+  std::uint64_t op_id = 0;
+  OpKind op_kind = OpKind::kNone;
 };
 
 /// One closed span (see obs::Span): a named phase of an operation with the
@@ -66,6 +96,31 @@ struct SpanRecord {
   /// [start_round, start_round + io.parallel_ios).
   std::uint64_t start_ns = 0;
   std::uint64_t start_round = 0;
+  /// Operation this span closed under (0 when none; see IoEvent::op_id).
+  std::uint64_t op_id = 0;
+  OpKind op_kind = OpKind::kNone;
+};
+
+/// One closed operation (see obs::OpScope): a user-facing dictionary or
+/// balancer call with its total I/O delta and wall time. Emitted once, when
+/// the outermost scope of the operation closes.
+struct OpRecord {
+  std::uint64_t id = 0;
+  OpKind kind = OpKind::kNone;
+  OpOutcome outcome = OpOutcome::kUnknown;
+  /// Keys the operation covered (1 for point ops, n for batched ops); bounds
+  /// are per key, so monitors divide by this.
+  std::uint32_t batch = 1;
+  /// Owning structure ("dynamic_dict", "static_dict", ...).
+  std::string structure;
+  /// I/O delta of the owning array over the operation. Exact when the array
+  /// serves one thread; under concurrency it may over-charge (same caveat as
+  /// SpanRecord) — OpAttributor reconstructs exact per-op cost from the
+  /// tagged IoEvents instead.
+  pdm::IoStats io;
+  std::uint64_t wall_ns = 0;
+  std::uint64_t ts_ns = 0;       // open time (trace_now_ns() epoch)
+  std::uint64_t start_round = 0; // array parallel_ios at open
 };
 
 class Sink {
@@ -73,6 +128,9 @@ class Sink {
   virtual ~Sink() = default;
   virtual void on_io(const IoEvent& event) = 0;
   virtual void on_span(const SpanRecord& record) = 0;
+  /// Operation records are a later addition; sinks that do not care inherit
+  /// this no-op so every pre-existing Sink subclass stays source-compatible.
+  virtual void on_op(const OpRecord& record) { (void)record; }
   virtual void flush() {}
 };
 
@@ -95,13 +153,16 @@ class RingBufferSink : public Sink {
 
   void on_io(const IoEvent& event) override;
   void on_span(const SpanRecord& record) override;
+  void on_op(const OpRecord& record) override;
 
   std::size_t capacity() const { return capacity_; }
   /// Snapshots in arrival order (oldest first).
   std::vector<IoEvent> events() const;
   std::vector<SpanRecord> spans() const;
+  std::vector<OpRecord> ops() const;
   std::uint64_t dropped_events() const;
   std::uint64_t dropped_spans() const;
+  std::uint64_t dropped_ops() const;
   void clear();
 
  private:
@@ -109,8 +170,10 @@ class RingBufferSink : public Sink {
   mutable std::mutex mutex_;
   std::deque<IoEvent> events_;
   std::deque<SpanRecord> spans_;
+  std::deque<OpRecord> ops_;
   std::uint64_t dropped_events_ = 0;
   std::uint64_t dropped_spans_ = 0;
+  std::uint64_t dropped_ops_ = 0;
 };
 
 /// Streams every event as one JSON object per line (JSON-lines / ndjson):
@@ -125,6 +188,7 @@ class JsonLinesSink : public Sink {
 
   void on_io(const IoEvent& event) override;
   void on_span(const SpanRecord& record) override;
+  void on_op(const OpRecord& record) override;
   void flush() override;
 
   std::uint64_t lines_written() const;
@@ -134,19 +198,34 @@ class JsonLinesSink : public Sink {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Fans every event out to a fixed set of child sinks (aggregate + stream +
-/// ring at once). The child list is immutable after construction, so the
-/// fan-out itself needs no lock; children do their own locking.
+/// Fans every event out to a set of child sinks (aggregate + stream + ring at
+/// once). The child list may change while events are in flight: emission
+/// walks an immutable snapshot taken under the lock, so add()/remove() are
+/// cheap copy-on-write swaps. Teardown-order guarantee: once remove(child)
+/// returns, no *new* event delivery to that child starts; a delivery already
+/// iterating an older snapshot may still complete, and the snapshot's shared
+/// ownership keeps the child alive until it does (no use-after-free).
+/// Children do their own locking.
 class MultiSink : public Sink {
  public:
   explicit MultiSink(std::vector<std::shared_ptr<Sink>> children);
 
+  void add(std::shared_ptr<Sink> child);
+  /// Detach `child`; returns false if it was not attached.
+  bool remove(const Sink* child);
+  std::size_t size() const;
+
   void on_io(const IoEvent& event) override;
   void on_span(const SpanRecord& record) override;
+  void on_op(const OpRecord& record) override;
   void flush() override;
 
  private:
-  std::vector<std::shared_ptr<Sink>> children_;
+  using Children = std::vector<std::shared_ptr<Sink>>;
+  std::shared_ptr<const Children> snapshot() const;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Children> children_;
 };
 
 /// Process-wide default sink: a DiskArray constructed while one is set
@@ -160,5 +239,6 @@ std::shared_ptr<Sink> default_sink();
 /// JSON shape shared by JsonLinesSink and tests.
 Json io_event_to_json(const IoEvent& event, bool record_addrs);
 Json span_record_to_json(const SpanRecord& record);
+Json op_record_to_json(const OpRecord& record);
 
 }  // namespace pddict::obs

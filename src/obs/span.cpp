@@ -4,6 +4,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/op_context.hpp"
+
 namespace pddict::obs {
 
 namespace {
@@ -56,6 +58,8 @@ void Span::close() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
   record.start_ns = start_ns_;
   record.start_round = start_.parallel_ios;
+  record.op_id = current_op_id();
+  record.op_kind = current_op_kind();
   auto& stack = span_stack();
   if (!stack.empty()) stack.pop_back();
   Sink* sink = sink_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.hpp"
+#include "obs/op_context.hpp"
 
 namespace pddict::pdm {
 
@@ -118,6 +119,10 @@ void DiskArray::account_batch(const BatchPlan& plan, bool write,
     event.ts_ns = obs::trace_now_ns();
     event.start_round = start_round;
     event.per_disk = plan.per_disk;
+    // Operation attribution reads the *submitting thread's* context, so it
+    // stays exact even when several threads share the array.
+    event.op_id = obs::current_op_id();
+    event.op_kind = obs::current_op_kind();
     if (tracing_ && trace_ring_) trace_ring_->on_io(event);
     if (sink_) sink_->on_io(event);
   }
@@ -265,11 +270,74 @@ std::uint64_t DiskArray::blocks_in_use() const {
   return backend_->blocks_in_use();
 }
 
+void DiskArray::add_sink(std::shared_ptr<obs::Sink> sink) {
+  if (!sink) return;
+  if (!sink_) {
+    sink_ = std::move(sink);
+    return;
+  }
+  if (auto multi = std::dynamic_pointer_cast<obs::MultiSink>(sink_)) {
+    multi->add(std::move(sink));
+    return;
+  }
+  sink_ = std::make_shared<obs::MultiSink>(
+      std::vector<std::shared_ptr<obs::Sink>>{sink_, std::move(sink)});
+}
+
+namespace {
+// Open probes of this thread, innermost last (all arrays mixed; the parent
+// search matches on the array). Probes are scope-bound in practice, so LIFO
+// per thread holds; a probe destroyed out of order is simply skipped here.
+std::vector<IoProbe*>& probe_stack() {
+  thread_local std::vector<IoProbe*> stack;
+  return stack;
+}
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
 IoProbe::IoProbe(const DiskArray& disks)
-    : disks_(&disks), start_(disks.stats()) {}
+    : disks_(&disks), start_(disks.stats()) {
+  auto& stack = probe_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if ((*it)->disks_ == disks_) {
+      parent_ = *it;
+      break;
+    }
+  }
+  stack.push_back(this);
+}
+
+IoProbe::~IoProbe() {
+  auto& stack = probe_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == this) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  if (parent_) parent_->nested_ += delta();
+}
 
 IoStats IoProbe::delta() const { return disks_->stats() - start_; }
 
-void IoProbe::reset() { start_ = disks_->stats(); }
+IoStats IoProbe::exclusive() const {
+  IoStats d = delta();
+  // Saturating: a child may legitimately have measured more than the parent
+  // has left (reset() rebases the parent but not already-closed children).
+  d.parallel_ios = sat_sub(d.parallel_ios, nested_.parallel_ios);
+  d.read_rounds = sat_sub(d.read_rounds, nested_.read_rounds);
+  d.write_rounds = sat_sub(d.write_rounds, nested_.write_rounds);
+  d.blocks_read = sat_sub(d.blocks_read, nested_.blocks_read);
+  d.blocks_written = sat_sub(d.blocks_written, nested_.blocks_written);
+  return d;
+}
+
+void IoProbe::reset() {
+  start_ = disks_->stats();
+  nested_ = IoStats{};
+}
 
 }  // namespace pddict::pdm

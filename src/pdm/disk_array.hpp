@@ -107,6 +107,12 @@ class DiskArray {
   void set_sink(std::shared_ptr<obs::Sink> sink) { sink_ = std::move(sink); }
   obs::Sink* sink() const { return sink_.get(); }
 
+  /// Attach an *additional* sink without displacing what is already there:
+  /// wraps the current sink and `sink` into an obs::MultiSink (or appends to
+  /// an existing one). This is how monitors piggyback on an array that a
+  /// trace session already observes.
+  void add_sink(std::shared_ptr<obs::Sink> sink);
+
   // ---- I/O tracing (debugging / verification instrumentation) ----
   //
   // Tracing now runs on a bounded obs::RingBufferSink: the last `capacity`

@@ -42,17 +42,35 @@ class DiskArray;  // fwd
 
 /// RAII probe measuring the parallel I/Os spent in a scope.
 /// Usage:  IoProbe probe(disks);  ... ;  auto cost = probe.delta();
+///
+/// Probes nest: a probe opened inside another probe *on the same array*
+/// registers with it (thread-local), and on destruction folds its delta into
+/// the parent's nested-I/O accumulator. delta() stays inclusive (everything
+/// since construction/reset), while exclusive() subtracts what closed child
+/// probes already measured — so summing exclusive() over a probe tree counts
+/// every round exactly once instead of double-counting nested scopes.
 class IoProbe {
  public:
   explicit IoProbe(const DiskArray& disks);
+  ~IoProbe();
+  IoProbe(const IoProbe&) = delete;
+  IoProbe& operator=(const IoProbe&) = delete;
+
+  /// Inclusive I/O since construction (or the last reset()).
   IoStats delta() const;
+  /// delta() minus the I/O measured by child probes that have already
+  /// closed (saturating per field, never wraps).
+  IoStats exclusive() const;
   /// Parallel I/Os since construction (the paper's metric).
   std::uint64_t ios() const { return delta().parallel_ios; }
+  /// Rebase to now; also clears the closed-children accumulator.
   void reset();
 
  private:
   const DiskArray* disks_;
   IoStats start_;
+  IoStats nested_;            // summed deltas of closed child probes
+  IoProbe* parent_ = nullptr; // innermost enclosing probe on the same array
 };
 
 }  // namespace pddict::pdm

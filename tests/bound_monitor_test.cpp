@@ -1,0 +1,357 @@
+// BoundMonitor: rule matching and margin arithmetic on synthetic OpRecords,
+// violation detection and logging, gauge directions, live attachment to the
+// real structures (each paper bound holds on its own workload), and the
+// bench_diff gating path — an injected over-budget operation must surface as
+// a regression when the embedding bench reports are diffed.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/basic_dict.hpp"
+#include "core/dynamic_dict.hpp"
+#include "core/load_balance.hpp"
+#include "core/static_dict.hpp"
+#include "expander/seeded_expander.hpp"
+#include "obs/bench_baseline.hpp"
+#include "obs/bound_monitor.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/disk_array.hpp"
+#include "util/prng.hpp"
+#include "workload/workload.hpp"
+
+namespace pddict {
+namespace {
+
+obs::BoundRule upper_rule(std::string name, obs::OpKind kind, double bound,
+                          obs::BoundMode mode = obs::BoundMode::kPerOp,
+                          obs::OpOutcome outcome = obs::OpOutcome::kUnknown,
+                          std::string structure = "") {
+  obs::BoundRule r;
+  r.name = std::move(name);
+  r.theorem = "test";
+  r.mode = mode;
+  r.kind = kind;
+  r.outcome = outcome;
+  r.structure = std::move(structure);
+  r.bound = bound;
+  return r;
+}
+
+obs::OpRecord op(obs::OpKind kind, std::uint64_t parallel_ios,
+                 obs::OpOutcome outcome = obs::OpOutcome::kUnknown,
+                 const char* structure = "test_dict",
+                 std::uint32_t batch = 1) {
+  obs::OpRecord r;
+  static std::uint64_t next_id = 1;
+  r.id = next_id++;
+  r.kind = kind;
+  r.outcome = outcome;
+  r.structure = structure;
+  r.batch = batch;
+  r.io.parallel_ios = parallel_ios;
+  return r;
+}
+
+// ---- matching and margin arithmetic ----
+
+TEST(BoundMonitor, MatchesOnKindOutcomeAndStructure) {
+  obs::BoundMonitor m(
+      "test_dict",
+      {upper_rule("lookup_any", obs::OpKind::kLookup, 2.0),
+       upper_rule("lookup_hit", obs::OpKind::kLookup, 2.0,
+                  obs::BoundMode::kPerOp, obs::OpOutcome::kHit),
+       upper_rule("other_struct", obs::OpKind::kLookup, 2.0,
+                  obs::BoundMode::kPerOp, obs::OpOutcome::kUnknown,
+                  "somewhere_else")});
+  m.on_op(op(obs::OpKind::kLookup, 1, obs::OpOutcome::kMiss));
+  m.on_op(op(obs::OpKind::kLookup, 1, obs::OpOutcome::kHit));
+  m.on_op(op(obs::OpKind::kInsert, 1));  // wrong kind: matches nothing
+  // kUnknown outcome filter is a wildcard; "lookup_hit" saw only the hit;
+  // a structure filter naming another dictionary never matches.
+  EXPECT_EQ(m.margin("lookup_any"), 0.5);
+  EXPECT_EQ(m.margin("lookup_hit"), 0.5);
+  EXPECT_EQ(m.margin("other_struct"), 0.0);
+  EXPECT_EQ(m.violations(), 0u);
+}
+
+TEST(BoundMonitor, PerOpTracksWorstAndBatchDividesCost) {
+  obs::BoundMonitor m("test_dict",
+                      {upper_rule("insert", obs::OpKind::kInsert, 4.0)});
+  m.on_op(op(obs::OpKind::kInsert, 2));
+  EXPECT_EQ(m.margin("insert"), 0.5);
+  m.on_op(op(obs::OpKind::kInsert, 3));
+  EXPECT_EQ(m.margin("insert"), 0.75);
+  m.on_op(op(obs::OpKind::kInsert, 1));   // better op: worst margin keeps
+  EXPECT_EQ(m.margin("insert"), 0.75);
+  // Bounds are per key: a 4-key batch costing 8 rounds is 2 rounds/key.
+  m.on_op(op(obs::OpKind::kInsert, 8, obs::OpOutcome::kUnknown, "test_dict",
+             4));
+  EXPECT_EQ(m.margin("insert"), 0.75);
+  EXPECT_EQ(m.violations(), 0u);
+  EXPECT_EQ(m.worst_margin(), 0.75);
+}
+
+TEST(BoundMonitor, AverageModeBoundsTheRunningMean) {
+  obs::BoundMonitor m(
+      "test_dict", {upper_rule("insert_avg", obs::OpKind::kInsert, 2.0,
+                               obs::BoundMode::kAverage)});
+  m.on_op(op(obs::OpKind::kInsert, 1));  // mean 1
+  m.on_op(op(obs::OpKind::kInsert, 3));  // mean 2: at the bound, no violation
+  EXPECT_DOUBLE_EQ(m.margin("insert_avg"), 1.0);
+  EXPECT_EQ(m.violations(), 0u);
+  m.on_op(op(obs::OpKind::kInsert, 8));  // mean 4: over
+  EXPECT_DOUBLE_EQ(m.margin("insert_avg"), 2.0);
+  EXPECT_EQ(m.violations(), 1u);
+}
+
+TEST(BoundMonitor, ViolationIsCountedAndLogged) {
+  obs::BoundMonitor m("test_dict",
+                      {upper_rule("lookup", obs::OpKind::kLookup, 1.0)});
+  m.on_op(op(obs::OpKind::kLookup, 1));
+  EXPECT_EQ(m.violations(), 0u);  // margin exactly 1.0 is inside the bound
+  obs::OpRecord bad = op(obs::OpKind::kLookup, 3);
+  m.on_op(bad);
+  EXPECT_EQ(m.violations(), 1u);
+  EXPECT_DOUBLE_EQ(m.margin("lookup"), 3.0);
+  auto log = m.violation_log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].rule, "lookup");
+  EXPECT_EQ(log[0].measured, 3.0);
+  EXPECT_EQ(log[0].bound, 1.0);
+  EXPECT_EQ(log[0].op_id, bad.id);
+  EXPECT_EQ(log[0].kind, obs::OpKind::kLookup);
+}
+
+TEST(BoundMonitor, IsViolationUsesFloatTolerance) {
+  EXPECT_FALSE(obs::BoundMonitor::is_violation(1.0));
+  EXPECT_FALSE(obs::BoundMonitor::is_violation(1.0 + 1e-12));
+  EXPECT_TRUE(obs::BoundMonitor::is_violation(1.0 + 1e-6));
+}
+
+TEST(BoundMonitor, GaugeLowerDirectionInvertsTheRatio) {
+  obs::BoundRule r;
+  r.name = "expansion";
+  r.theorem = "test";
+  r.mode = obs::BoundMode::kGauge;
+  r.direction = obs::BoundDirection::kLowerLimit;
+  r.bound = 0.8;
+  obs::BoundMonitor m("expander", {r});
+  m.observe("expansion", 1.0);  // above the floor: margin 0.8
+  EXPECT_DOUBLE_EQ(m.margin("expansion"), 0.8);
+  EXPECT_EQ(m.violations(), 0u);
+  m.observe("expansion", 0.5);  // below the floor: margin 1.6
+  EXPECT_DOUBLE_EQ(m.margin("expansion"), 1.6);
+  EXPECT_EQ(m.violations(), 1u);
+}
+
+TEST(BoundMonitor, GaugeAcceptsPerObservationBound) {
+  obs::BoundRule r;
+  r.name = "max_load";
+  r.theorem = "test";
+  r.mode = obs::BoundMode::kGauge;
+  obs::BoundMonitor m("balancer", {r});
+  m.observe("max_load", 3.0, 10.0);  // Lemma 3 style: bound moves per call
+  m.observe("max_load", 4.0, 5.0);
+  EXPECT_DOUBLE_EQ(m.margin("max_load"), 0.8);
+  EXPECT_EQ(m.violations(), 0u);
+}
+
+TEST(BoundMonitor, ObserveUnknownRuleThrows) {
+  obs::BoundMonitor m("test_dict",
+                      {upper_rule("lookup", obs::OpKind::kLookup, 1.0)});
+  EXPECT_THROW(m.observe("no_such_rule", 1.0), std::invalid_argument);
+  EXPECT_THROW(m.observe("no_such_rule", 1.0, 2.0), std::invalid_argument);
+}
+
+TEST(BoundMonitor, ReportCarriesSchemaRulesAndViolationLog) {
+  obs::BoundMonitor m("test_dict",
+                      {upper_rule("lookup", obs::OpKind::kLookup, 1.0)});
+  m.on_op(op(obs::OpKind::kLookup, 2));
+  obs::Json j = m.report();
+  EXPECT_EQ(j.find("schema")->as_string(), "pddict-bound-report");
+  EXPECT_EQ(j.find("structure")->as_string(), "test_dict");
+  EXPECT_EQ(j.find("violations")->as_int(), 1);
+  const auto& rules = j.find("rules")->as_array();
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].find("name")->as_string(), "lookup");
+  EXPECT_EQ(rules[0].find("margin")->as_double(), 2.0);
+  EXPECT_EQ(rules[0].find("violations")->as_int(), 1);
+  EXPECT_EQ(j.find("violation_log")->as_array().size(), 1u);
+  EXPECT_NE(m.render().find("total violations: 1"), std::string::npos);
+}
+
+// ---- the paper's bounds hold live on the real structures ----
+
+TEST(BoundMonitorLive, DynamicDictSatisfiesTheorem7) {
+  core::DynamicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = 400;
+  p.value_bytes = 16;
+  p.epsilon_op = 0.5;
+  p.stripe_factor = 2.0;
+  p.degree = core::DynamicDict::degree_for(p);
+  pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  core::DynamicDict dict(disks, 0, alloc, p);
+  auto monitor = std::make_shared<obs::BoundMonitor>(
+      "dynamic_dict", obs::thm7_rules(p.epsilon_op, dict.levels()));
+  disks.add_sink(monitor);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom,
+                                      400, p.universe_size, 23);
+  for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 16));
+  for (core::Key k : keys) dict.lookup(k);
+  for (std::uint64_t i = 0; i < 100; ++i)
+    dict.lookup(p.universe_size - 1 - i);  // misses
+  for (std::size_t i = 0; i < keys.size(); i += 4) dict.erase(keys[i]);
+  EXPECT_EQ(monitor->violations(), 0u)
+      << monitor->render();  // every Thm 7 budget held, per-op and amortized
+  EXPECT_DOUBLE_EQ(monitor->margin("lookup_miss"), 1.0);  // exactly 1 I/O
+  EXPECT_GT(monitor->margin("insert"), 0.0);
+  EXPECT_GT(monitor->margin("erase"), 0.0);
+  EXPECT_LE(monitor->worst_margin(), 1.0);
+}
+
+TEST(BoundMonitorLive, StaticDictSatisfiesTheorem6) {
+  pdm::DiskArray disks(pdm::Geometry{16, 64, 16, 0});
+  pdm::DiskAllocator alloc;
+  core::StaticDictParams p;
+  p.universe_size = 1 << 30;
+  p.capacity = 300;
+  p.value_bytes = 16;
+  p.degree = 16;
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 300,
+                                      p.universe_size, 2);
+  std::vector<std::byte> values(300 * 16, std::byte{1});
+  core::StaticDict dict(disks, 0, alloc, p, keys, values);
+  auto monitor =
+      std::make_shared<obs::BoundMonitor>("static_dict", obs::thm6_rules());
+  disks.add_sink(monitor);
+  for (core::Key k : keys) dict.lookup(k);
+  dict.lookup(p.universe_size - 1);  // misses are one probe too
+  EXPECT_EQ(monitor->violations(), 0u) << monitor->render();
+  EXPECT_DOUBLE_EQ(monitor->margin("lookup"), 1.0);  // exactly one I/O
+}
+
+TEST(BoundMonitorLive, BasicDictSatisfiesSection41Bounds) {
+  pdm::DiskArray disks(pdm::Geometry{16, 32, 16, 0});
+  auto monitor = std::make_shared<obs::BoundMonitor>(
+      "basic_dict", obs::expander_dict_rules());
+  disks.add_sink(monitor);
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 32;
+  p.capacity = 500;
+  p.value_bytes = 8;
+  p.degree = 16;
+  core::BasicDict dict(disks, 0, 0, p);
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, 300,
+                                      p.universe_size, 31);
+  for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 8));
+  for (core::Key k : keys) dict.lookup(k);
+  for (std::size_t i = 0; i < keys.size(); i += 2) dict.erase(keys[i]);
+  EXPECT_EQ(monitor->violations(), 0u) << monitor->render();
+  EXPECT_DOUBLE_EQ(monitor->margin("lookup"), 1.0);
+  EXPECT_DOUBLE_EQ(monitor->margin("insert"), 1.0);  // read + write = 2
+}
+
+TEST(BoundMonitorLive, LoadBalancerSatisfiesLemma3) {
+  const std::uint32_t d = 16;
+  const std::uint64_t v = 16 * 256;
+  expander::SeededExpander g(std::uint64_t{1} << 30, v, d, 42);
+  core::LoadBalancer lb(g, 1);
+  obs::BoundMonitor monitor("load_balancer", obs::lemma3_rules());
+  lb.attach_monitor(&monitor, 1.0 / 6, 1.0 / 2);
+  util::SplitMix64 rng(7);
+  for (std::uint64_t i = 0; i < 4000; ++i)
+    lb.assign(rng.next_below(g.left_size()));
+  EXPECT_EQ(monitor.violations(), 0u) << monitor.render();
+  double margin = monitor.margin("max_load");
+  EXPECT_GT(margin, 0.0);  // the gauge really was pushed per assignment
+  EXPECT_LE(margin, 1.0);
+}
+
+// ---- gating: an over-budget op must fail the bench_diff gate ----
+
+obs::Json wrap_report(const obs::BoundMonitor& monitor) {
+  obs::Json j = obs::Json::object();
+  j.set("schema", "pddict-bench-report");
+  j.set("bench", "bound_gate_test");
+  obs::Json bounds = obs::Json::object();
+  bounds.set("test_dict", monitor.report());
+  j.set("bounds", std::move(bounds));
+  return j;
+}
+
+TEST(BoundGating, InjectedViolationFailsTheDiffGate) {
+  std::vector<obs::BoundRule> rules = {
+      upper_rule("lookup", obs::OpKind::kLookup, 1.0)};
+  obs::BoundMonitor clean("test_dict", rules);
+  clean.on_op(op(obs::OpKind::kLookup, 1));
+  obs::BoundMonitor violated("test_dict", rules);
+  violated.on_op(op(obs::OpKind::kLookup, 1));
+  violated.on_op(op(obs::OpKind::kLookup, 3));  // the injected over-budget op
+  ASSERT_EQ(violated.violations(), 1u);
+
+  auto result =
+      obs::diff_baselines(wrap_report(clean), wrap_report(violated));
+  EXPECT_GT(result.regressions, 0u) << obs::render_diff(result);
+  EXPECT_FALSE(result.ok());
+
+  // The gate stays red even when the old baseline already had the violation:
+  // a margin above 1.0 on the new side always gates.
+  auto still_red =
+      obs::diff_baselines(wrap_report(violated), wrap_report(violated));
+  EXPECT_GT(still_red.regressions, 0u);
+
+  // And a violation introduced on a path the old baseline lacks (kAdded)
+  // gates too — new structures don't get a free pass.
+  obs::Json empty = obs::Json::object();
+  empty.set("schema", "pddict-bench-report");
+  empty.set("bench", "bound_gate_test");
+  auto added = obs::diff_baselines(empty, wrap_report(violated));
+  EXPECT_GT(added.regressions, 0u);
+}
+
+TEST(BoundGating, MarginDriftGatesOnlyBeyondTheBand) {
+  std::vector<obs::BoundRule> rules = {
+      upper_rule("lookup", obs::OpKind::kLookup, 100.0)};
+  obs::BoundMonitor base("test_dict", rules);
+  base.on_op(op(obs::OpKind::kLookup, 50));  // margin 0.50
+  obs::BoundMonitor near("test_dict", rules);
+  near.on_op(op(obs::OpKind::kLookup, 52));  // margin 0.52: 4% drift
+  obs::BoundMonitor far("test_dict", rules);
+  far.on_op(op(obs::OpKind::kLookup, 60));  // margin 0.60: 20% drift
+
+  obs::DiffOptions options;  // margin_tol_pct = 5 by default
+  auto within =
+      obs::diff_baselines(wrap_report(base), wrap_report(near), options);
+  // 50 -> 52 also moves the "measured" leaf (deterministic I/O count), which
+  // legitimately gates; the margin leaf itself must NOT contribute.
+  for (const auto& e : within.entries) {
+    if (e.kind == obs::DiffKind::kRegression) {
+      EXPECT_EQ(e.path.find("margin"), std::string::npos) << e.path;
+    }
+  }
+
+  auto beyond =
+      obs::diff_baselines(wrap_report(base), wrap_report(far), options);
+  bool margin_gated = false;
+  for (const auto& e : beyond.entries)
+    if (e.kind == obs::DiffKind::kRegression &&
+        e.path.find("margin") != std::string::npos)
+      margin_gated = true;
+  EXPECT_TRUE(margin_gated) << obs::render_diff(beyond);
+
+  // Drift away from the bound is an improvement, not a regression.
+  auto relaxed =
+      obs::diff_baselines(wrap_report(far), wrap_report(base), options);
+  for (const auto& e : relaxed.entries) {
+    if (e.kind == obs::DiffKind::kRegression) {
+      EXPECT_EQ(e.path.find("margin"), std::string::npos) << e.path;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pddict

@@ -40,6 +40,50 @@ TEST(IoProbe, DeltaAndResetRebase) {
   EXPECT_EQ(probe.delta().read_rounds, 1u);
 }
 
+TEST(IoProbe, NestedProbesDoNotDoubleCount) {
+  // Regression test: summing sibling scopes' costs used to double-count the
+  // rounds a nested probe measured. exclusive() subtracts closed children,
+  // so a probe tree partitions the run's I/O exactly once.
+  pdm::DiskArray disks(pdm::Geometry{4, 8, 8, 0});
+  pdm::IoProbe outer(disks);
+  read_one(disks, 0, 0);  // outer's own work: 1 round
+  {
+    pdm::IoProbe inner(disks);
+    read_one(disks, 1, 0);
+    read_one(disks, 2, 0);
+    EXPECT_EQ(inner.ios(), 2u);
+    EXPECT_EQ(inner.exclusive().parallel_ios, 2u);  // no children of its own
+  }
+  read_one(disks, 3, 0);  // more of outer's own work
+  EXPECT_EQ(outer.ios(), 4u);                       // delta() stays inclusive
+  EXPECT_EQ(outer.exclusive().parallel_ios, 2u);    // child's 2 rounds excluded
+  EXPECT_EQ(outer.exclusive().blocks_read, 2u);
+
+  // reset() rebases and forgets closed children.
+  outer.reset();
+  read_one(disks, 0, 1);
+  EXPECT_EQ(outer.exclusive().parallel_ios, 1u);
+}
+
+TEST(IoProbe, ExclusiveHandlesGrandchildren) {
+  // A child that itself had children folds its *inclusive* delta into the
+  // parent exactly once — grandchild I/O must not be subtracted twice.
+  pdm::DiskArray disks(pdm::Geometry{4, 8, 8, 0});
+  pdm::IoProbe outer(disks);
+  {
+    pdm::IoProbe mid(disks);
+    read_one(disks, 0, 0);
+    {
+      pdm::IoProbe leaf(disks);
+      read_one(disks, 1, 0);
+    }
+    EXPECT_EQ(mid.exclusive().parallel_ios, 1u);
+  }
+  read_one(disks, 2, 0);
+  EXPECT_EQ(outer.ios(), 3u);
+  EXPECT_EQ(outer.exclusive().parallel_ios, 1u);  // only its own round
+}
+
 TEST(IoStats, DifferenceIsFieldwise) {
   pdm::IoStats a{10, 6, 4, 100, 50};
   pdm::IoStats b{3, 2, 1, 40, 10};

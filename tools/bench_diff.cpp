@@ -7,7 +7,11 @@
 // are deterministic and must match exactly (any increase regresses, any
 // decrease improves); wall-clock metrics compare within --wall-tol percent
 // and gate only without --ignore-wall; a removed metric or drifted
-// configuration (params/geometry) always gates.
+// configuration (params/geometry) always gates. Bound-monitor leaves gate on
+// their own rules: any new-side "margin" above 1.0 or "violations" above
+// zero is a regression outright (even when the old baseline lacks the
+// entry), and margins still inside the bound gate when they drift toward it
+// by more than --margin-tol percent.
 //
 // Exit status: 0 no regressions, 1 regression(s), 2 usage/parse error.
 #include <cstdio>
@@ -39,7 +43,7 @@ std::optional<Json> read_json_file(const std::string& path,
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <before.json> <after.json> [--wall-tol <pct>] "
-               "[--ignore-wall] [--top <k>]\n",
+               "[--ignore-wall] [--margin-tol <pct>] [--top <k>]\n",
                argv0);
   return 2;
 }
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
       options.wall_tol_pct = std::atof(argv[++i]);
     } else if (arg == "--ignore-wall") {
       options.gate_wall = false;
+    } else if (arg == "--margin-tol" && i + 1 < argc) {
+      options.margin_tol_pct = std::atof(argv[++i]);
     } else if (arg == "--top" && i + 1 < argc) {
       top_k = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (before_path.empty()) {

@@ -94,14 +94,86 @@ void check_op_cost(const std::string& file, const std::string& where,
   if (v.find("count")->as_int() <= 0) fail(file, where + ": empty sample");
 }
 
+/// A "pddict-bound-report" document: the paper-bound margin table a
+/// BoundMonitor emits (standalone from `pddict_cli doctor --bound-report`, or
+/// embedded under a bench report's "bounds" section).
+void check_bound_report(const std::string& file, const std::string& where,
+                        const Json& root) {
+  const Json* schema = root.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "pddict-bound-report")
+    return fail(file, where + ": schema must be \"pddict-bound-report\"");
+  const Json* version = root.find("version");
+  if (!version || version->as_int() != 1)
+    return fail(file, where + ": unsupported bound-report version");
+  const Json* structure = root.find("structure");
+  if (!structure || !structure->is_string())
+    return fail(file, where + ": missing structure name");
+  const Json* rules = root.find("rules");
+  if (!rules || !rules->is_array() || rules->as_array().empty())
+    return fail(file, where + ": rules must be a non-empty array");
+  std::size_t index = 0;
+  for (const Json& rule : rules->as_array()) {
+    std::string at = where + ".rules[" + std::to_string(index++) + "]";
+    const Json* name = rule.find("name");
+    if (!rule.is_object() || !name || !name->is_string())
+      return fail(file, at + ": every rule needs a name");
+    at += " (" + name->as_string() + ")";
+    if (!rule.find("theorem")) return fail(file, at + ": missing theorem");
+    const Json* mode = rule.find("mode");
+    if (!mode || !mode->is_string() ||
+        (mode->as_string() != "per_op" && mode->as_string() != "average" &&
+         mode->as_string() != "gauge"))
+      return fail(file, at + ": mode must be per_op|average|gauge");
+    const Json* direction = rule.find("direction");
+    if (!direction || !direction->is_string() ||
+        (direction->as_string() != "upper" &&
+         direction->as_string() != "lower"))
+      return fail(file, at + ": direction must be upper|lower");
+    for (const char* key : {"bound", "ops", "measured", "margin", "violations"})
+      if (!rule.find(key) || !rule.find(key)->is_number())
+        return fail(file, at + std::string(": missing numeric ") + key);
+    if (rule.find("margin")->as_double() < 0.0)
+      return fail(file, at + ": negative margin");
+  }
+  const Json* violations = root.find("violations");
+  if (!violations || !violations->is_number())
+    return fail(file, where + ": missing total violations count");
+  const Json* log = root.find("violation_log");
+  if (!log || !log->is_array())
+    return fail(file, where + ": missing violation_log array");
+  for (const Json& v : log->as_array())
+    if (!v.find("rule") || !v.find("measured") || !v.find("bound"))
+      return fail(file, where + ": malformed violation_log entry");
+  // Optional embedded per-operation attribution (doctor --bound-report).
+  if (const Json* attr = root.find("op_attribution")) {
+    const Json* kinds = attr->find("kinds");
+    if (!attr->is_object() || !kinds || !kinds->is_object() ||
+        !attr->find("finished_ops"))
+      return fail(file, where + ": malformed op_attribution section");
+  }
+}
+
 void check_report(const std::string& file, const Json& root) {
   const Json* schema = root.find("schema");
   if (!schema || !schema->is_string() ||
       schema->as_string() != "pddict-bench-report")
     return fail(file, "schema field must be \"pddict-bench-report\"");
   const Json* version = root.find("version");
-  if (!version || version->as_int() != 1)
+  if (!version || (version->as_int() != 1 && version->as_int() != 2))
     return fail(file, "unsupported report version");
+  if (version->as_int() >= 2) {
+    // Version 2 reports echo the workload seed and the primary geometry at
+    // the top level, so config drift is visible in the document itself.
+    const Json* seed = root.find("seed");
+    if (!seed || !seed->is_number())
+      return fail(file, "version 2 report missing numeric seed");
+    const Json* geom = root.find("geometry");
+    if (!geom || !geom->is_object() || !geom->find("num_disks") ||
+        !geom->find("block_items"))
+      return fail(file, "version 2 report missing geometry {num_disks, "
+                        "block_items}");
+  }
   const Json* bench = root.find("bench");
   if (!bench || !bench->is_string() || bench->as_string().empty())
     return fail(file, "missing bench name");
@@ -133,6 +205,11 @@ void check_report(const std::string& file, const Json& root) {
     if (!disks->is_object()) return fail(file, "disks must be an object");
     for (const auto& [name, snap] : disks->as_object())
       check_disks_snapshot(file, "disks." + name, snap);
+  }
+  if (const Json* bounds = root.find("bounds")) {
+    if (!bounds->is_object()) return fail(file, "bounds must be an object");
+    for (const auto& [name, rep] : bounds->as_object())
+      check_bound_report(file, "bounds." + name, rep);
   }
 }
 
@@ -167,6 +244,9 @@ void check_document(const std::string& file, const Json& root) {
   if (schema && schema->is_string() &&
       schema->as_string() == pddict::obs::kBaselineSchema)
     return check_baseline(file, root);
+  if (schema && schema->is_string() &&
+      schema->as_string() == "pddict-bound-report")
+    return check_bound_report(file, "bound-report", root);
   check_report(file, root);
 }
 
@@ -212,9 +292,13 @@ int main(int argc, char** argv) {
     if (g_errors == before) {
       const Json* rows = parsed->find("rows");
       const Json* benches = parsed->find("benches");
+      const Json* rules = parsed->find("rules");
       if (rows)
         std::printf("%s: ok (%zu rows)\n", file.c_str(),
                     rows->as_array().size());
+      else if (rules)
+        std::printf("%s: ok (%zu bound rules)\n", file.c_str(),
+                    rules->as_array().size());
       else
         std::printf("%s: ok (%zu benches)\n", file.c_str(),
                     benches ? benches->as_object().size() : 0);
