@@ -91,8 +91,21 @@ inline obs::Json to_json(const OpCost& cost) {
   return j;
 }
 
+inline obs::Json to_json(const pdm::CacheStats& c) {
+  obs::Json j = obs::Json::object();
+  j.set("hits", c.hits);
+  j.set("misses", c.misses);
+  j.set("evictions", c.evictions);
+  j.set("dirty_evictions", c.dirty_evictions);
+  j.set("flushed_blocks", c.flushed_blocks);
+  j.set("flush_rounds", c.flush_rounds);
+  return j;
+}
+
 /// Snapshot of one disk array's accounting: global I/O counters, per-disk
-/// counters and the round-utilization histogram.
+/// counters and the round-utilization histogram. When a buffer-pool cache is
+/// enabled the snapshot grows a "cache" section; uncached arrays produce the
+/// exact pre-cache document, so committed baselines stay diffable.
 inline obs::Json to_json(const pdm::DiskArray& disks) {
   const pdm::Geometry& geom = disks.geometry();
   obs::Json j = obs::Json::object();
@@ -123,8 +136,58 @@ inline obs::Json to_json(const pdm::DiskArray& disks) {
     per_disk.push_back(std::move(d));
   }
   j.set("per_disk", std::move(per_disk));
+  if (disks.cache_enabled()) {
+    obs::Json cache = to_json(disks.cache_stats());
+    cache.set("frames", disks.cache_frames());
+    j.set("cache", std::move(cache));
+  }
   return j;
 }
+
+/// Strips `--cache-frames <n>` / `--cache-frames=<n>` (also a comma list
+/// `--cache-frames 0,128,512`) from argv. A single value is the knob form —
+/// "run this bench with an M/B-frame buffer pool"; the list form lets
+/// bench_cache_curve sweep a caller-chosen frame ladder. Absent flag =>
+/// empty list => the bench keeps its default (usually uncached) behavior.
+class CacheFramesOption {
+ public:
+  CacheFramesOption(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--cache-frames" && i + 1 < argc) {
+        parse(argv[i + 1]);
+        consumed = 2;
+      } else if (arg.rfind("--cache-frames=", 0) == 0) {
+        parse(std::string(arg.substr(15)).c_str());
+        consumed = 1;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+  }
+
+  bool set() const { return !frames_.empty(); }
+  const std::vector<std::size_t>& frames() const { return frames_; }
+  /// The knob form: first (usually only) value; 0 when the flag is absent.
+  std::size_t single() const { return frames_.empty() ? 0 : frames_.front(); }
+
+ private:
+  void parse(const char* text) {
+    const char* p = text;
+    while (*p) {
+      char* end = nullptr;
+      frames_.push_back(static_cast<std::size_t>(std::strtoull(p, &end, 10)));
+      if (end == p) break;  // not a number: stop rather than loop forever
+      p = *end == ',' ? end + 1 : end;
+    }
+  }
+
+  std::vector<std::size_t> frames_;
+};
 
 /// Machine-readable experiment report ("pddict-bench-report" version 2).
 ///

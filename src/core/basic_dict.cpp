@@ -233,17 +233,11 @@ LookupResult BasicDict::lookup(Key key) {
   return {probe.found, std::move(probe.value)};
 }
 
-bool BasicDict::erase(Key key) {
-  obs::OpScope op(*disks_, obs::OpKind::kErase, "basic_dict");
-  obs::Span span(*disks_, "erase");
-  check_key(key);
-  auto addrs = probe_addrs(key);
-  std::vector<pdm::Block> blocks;
-  disks_->read_batch(addrs, blocks);
+std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>>
+BasicDict::plan_erase(Key key, std::span<pdm::Block> blocks) {
   for (std::uint32_t i = 0; i < degree(); ++i) {
-    std::span<pdm::Block> bucket =
-        std::span(blocks).subspan(static_cast<std::size_t>(i) * bucket_blocks_,
-                                  bucket_blocks_);
+    std::span<pdm::Block> bucket = blocks.subspan(
+        static_cast<std::size_t>(i) * bucket_blocks_, bucket_blocks_);
     std::uint32_t count = bucket_count(bucket[0]);
     if (auto slot = find_slot(key, bucket, count)) {
       // Mark deleted without moving other records (paper, Section 4): the
@@ -251,14 +245,29 @@ bool BasicDict::erase(Key key) {
       SlotRef ref = slot_ref(*slot);
       pdm::store_pod<Key>(bucket[ref.block], ref.offset, kTombstone);
       std::uint64_t local = graph_->stripe_local(key, i);
-      disks_->write_block(
-          {first_disk_ + i, base_block_ + local * bucket_blocks_ + ref.block},
+      std::vector<std::pair<pdm::BlockAddr, pdm::Block>> writes;
+      writes.emplace_back(
+          pdm::BlockAddr{first_disk_ + i,
+                         base_block_ + local * bucket_blocks_ + ref.block},
           bucket[ref.block]);
       --size_;
-      return true;
+      return writes;
     }
   }
-  return false;
+  return std::nullopt;
+}
+
+bool BasicDict::erase(Key key) {
+  obs::OpScope op(*disks_, obs::OpKind::kErase, "basic_dict");
+  obs::Span span(*disks_, "erase");
+  check_key(key);
+  auto addrs = probe_addrs(key);
+  std::vector<pdm::Block> blocks;
+  disks_->read_batch(addrs, blocks);
+  auto writes = plan_erase(key, blocks);
+  if (!writes) return false;
+  disks_->write_batch(*writes);
+  return true;
 }
 
 std::vector<std::pair<Key, std::vector<std::byte>>> BasicDict::scan_bucket(

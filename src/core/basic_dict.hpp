@@ -84,6 +84,15 @@ class BasicDict final : public Dictionary {
   plan_insert(Key key, std::span<const std::byte> value,
               std::span<pdm::Block> blocks);
 
+  /// Given the probe blocks, plan the block write that tombstones `key`'s
+  /// slot. Returns std::nullopt when the key is absent; otherwise mutates
+  /// `blocks` in place, decrements the size counter and returns the (addr,
+  /// block) pair(s) the caller must write. The read–plan–write counterpart
+  /// of plan_insert: concurrent wrappers keep their metadata lock around
+  /// this in-memory step only, never across the disk I/O.
+  std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>>
+  plan_erase(Key key, std::span<pdm::Block> blocks);
+
   // ---- geometry / introspection ----
   std::uint32_t degree() const { return graph_->degree(); }
   std::uint32_t num_disks_used() const { return graph_->degree(); }

@@ -59,8 +59,21 @@ class ConcurrentBasicDict {
 
   bool erase(Key key) {
     auto guard = lock_buckets<std::unique_lock<std::shared_mutex>>(key);
-    std::lock_guard<std::mutex> meta(meta_);
-    return dict_.erase(key);
+    auto addrs = dict_.probe_addrs(key);
+    std::vector<pdm::Block> blocks;
+    dict_.disks().read_batch(addrs, blocks);
+    std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>> writes;
+    {
+      // Same read–plan–write shape as insert: meta_ covers only the
+      // in-memory planning (which mutates the size counter), never the disk
+      // I/O. Holding it across dict_.erase()'s read+write rounds serialized
+      // every erase in the system and stalled size()/insert planning.
+      std::lock_guard<std::mutex> meta(meta_);
+      writes = dict_.plan_erase(key, blocks);
+    }
+    if (!writes) return false;
+    dict_.disks().write_batch(*writes);
+    return true;
   }
 
   std::uint64_t size() {

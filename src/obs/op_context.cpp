@@ -29,21 +29,38 @@ OpKind current_op_kind() { return current_op().kind; }
 OpScope::OpScope(Sink* sink, const pdm::IoStats& live, OpKind kind,
                  const char* structure, std::uint32_t batch) {
   if (!sink) return;  // inactive: this check is the whole null-sink cost
-  CurrentOp& op = current_op();
-  if (op.id != 0) return;  // nested: inherit the outer operation, emit nothing
-  owner_ = true;
+  if (!open(kind, structure, batch)) return;  // nested: inherit, emit nothing
   sink_ = sink;
   live_ = &live;
   start_ = live;
+  record_.start_round = start_.parallel_ios;
+}
+
+OpScope::OpScope(std::shared_ptr<Sink> sink, const void* src, StatsFn sample,
+                 OpKind kind, const char* structure, std::uint32_t batch) {
+  if (!sink) return;  // inactive: this check is the whole null-sink cost
+  if (!open(kind, structure, batch)) return;  // nested: inherit, emit nothing
+  owned_ = std::move(sink);
+  sink_ = owned_.get();
+  src_ = src;
+  sample_ = sample;
+  start_ = sample_(src_);
+  record_.start_round = start_.parallel_ios;
+}
+
+bool OpScope::open(OpKind kind, const char* structure, std::uint32_t batch) {
+  CurrentOp& op = current_op();
+  if (op.id != 0) return false;
+  owner_ = true;
   start_time_ = std::chrono::steady_clock::now();
   record_.id = g_next_op_id.fetch_add(1, std::memory_order_relaxed);
   record_.kind = kind;
   record_.batch = batch ? batch : 1;
   record_.structure = structure ? structure : "";
   record_.ts_ns = trace_now_ns();
-  record_.start_round = start_.parallel_ios;
   op.id = record_.id;
   op.kind = kind;
+  return true;
 }
 
 std::uint64_t OpScope::id() const {
@@ -58,7 +75,9 @@ void OpScope::close() {
   if (!owner_) return;
   owner_ = false;
   auto wall = std::chrono::steady_clock::now() - start_time_;
-  record_.io = *live_ - start_;
+  // Saturating: reset_stats() may rebase the counters below start_ while the
+  // scope is open (see pdm/io_stats.hpp).
+  record_.io = pdm::saturating_sub(sample_ ? sample_(src_) : *live_, start_);
   record_.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
   CurrentOp& op = current_op();
@@ -67,6 +86,7 @@ void OpScope::close() {
   Sink* sink = sink_;
   sink_ = nullptr;
   sink->on_op(record_);
+  owned_.reset();
 }
 
 }  // namespace pddict::obs

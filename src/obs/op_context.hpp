@@ -16,13 +16,14 @@
 // user-facing call maps to exactly one OpRecord and attribution follows the
 // caller the user actually invoked.
 //
-// Cost discipline matches Span: with no sink attached the constructor is one
-// pointer check and nothing else, so the dictionaries keep their scopes
-// compiled in unconditionally.
+// Cost discipline matches Span: with no sink attached the constructor does
+// one locked sink load and a pointer check, nothing else, so the
+// dictionaries keep their scopes compiled in unconditionally.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 #include "obs/sink.hpp"
 #include "pdm/io_stats.hpp"
@@ -36,17 +37,31 @@ OpKind current_op_kind();
 
 class OpScope {
  public:
-  /// Inactive unless `sink` is non-null. `live` must outlive the scope and
-  /// is sampled at open and close (pass the owning DiskArray's stats).
+  /// Type-erased locked counter sampler (see Span::StatsFn).
+  using StatsFn = pdm::IoStats (*)(const void* src);
+
+  /// Inactive unless `sink` is non-null. Legacy, *unsynchronized* form:
+  /// `live` must outlive the scope and is read raw at open and close —
+  /// single-threaded use only.
   OpScope(Sink* sink, const pdm::IoStats& live, OpKind kind,
           const char* structure = "", std::uint32_t batch = 1);
 
-  /// Duck-typed convenience for anything exposing sink() and stats()
-  /// (pdm::DiskArray; avoids an obs -> pdm link dependency).
+  /// Thread-safe form: shares ownership of the sink and samples counters via
+  /// `sample(src)`, which must be internally synchronized
+  /// (DiskArray::stats_snapshot).
+  OpScope(std::shared_ptr<Sink> sink, const void* src, StatsFn sample,
+          OpKind kind, const char* structure = "", std::uint32_t batch = 1);
+
+  /// Duck-typed convenience for anything exposing sink() (shared_ptr) and
+  /// stats_snapshot() (pdm::DiskArray; avoids an obs -> pdm link dependency).
   template <typename DiskArrayLike>
   OpScope(DiskArrayLike& disks, OpKind kind, const char* structure = "",
           std::uint32_t batch = 1)
-      : OpScope(disks.sink(), disks.stats(), kind, structure, batch) {}
+      : OpScope(disks.sink(), &disks,
+                [](const void* p) {
+                  return static_cast<const DiskArrayLike*>(p)->stats_snapshot();
+                },
+                kind, structure, batch) {}
 
   OpScope(const OpScope&) = delete;
   OpScope& operator=(const OpScope&) = delete;
@@ -67,9 +82,16 @@ class OpScope {
   void close();
 
  private:
+  /// Shared tail of the constructors: claims ownership of the thread's
+  /// operation slot and stamps the record. Returns false when nested.
+  bool open(OpKind kind, const char* structure, std::uint32_t batch);
+
   bool owner_ = false;
-  Sink* sink_ = nullptr;
-  const pdm::IoStats* live_ = nullptr;
+  Sink* sink_ = nullptr;               // active flag; points into owned_ when set
+  std::shared_ptr<Sink> owned_;        // keeps a detached sink alive until close
+  const pdm::IoStats* live_ = nullptr; // legacy unsynchronized sampling
+  const void* src_ = nullptr;          // synchronized sampling: sample_(src_)
+  StatsFn sample_ = nullptr;
   pdm::IoStats start_;
   std::chrono::steady_clock::time_point start_time_;
   OpRecord record_;

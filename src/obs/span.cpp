@@ -22,6 +22,21 @@ Span::Span(Sink* sink, const pdm::IoStats& live, std::string_view name) {
   sink_ = sink;
   live_ = &live;
   start_ = live;
+  open(name);
+}
+
+Span::Span(std::shared_ptr<Sink> sink, const void* src, StatsFn sample,
+           std::string_view name) {
+  if (!sink) return;  // inactive: this check is the whole null-sink cost
+  owned_ = std::move(sink);
+  sink_ = owned_.get();
+  src_ = src;
+  sample_ = sample;
+  start_ = sample_(src_);
+  open(name);
+}
+
+void Span::open(std::string_view name) {
   start_ns_ = trace_now_ns();
   start_time_ = std::chrono::steady_clock::now();
   auto& stack = span_stack();
@@ -38,7 +53,10 @@ Span::Span(Sink* sink, const pdm::IoStats& live, std::string_view name) {
 
 Span::Span(Span&& other) noexcept
     : sink_(other.sink_),
+      owned_(std::move(other.owned_)),
       live_(other.live_),
+      src_(other.src_),
+      sample_(other.sample_),
       start_(other.start_),
       start_time_(other.start_time_),
       start_ns_(other.start_ns_),
@@ -53,7 +71,9 @@ void Span::close() {
   SpanRecord record;
   record.path = std::move(path_);
   record.depth = depth_;
-  record.io = *live_ - start_;
+  // Saturating: reset_stats() may rebase the counters below start_ while the
+  // span is open (see pdm/io_stats.hpp).
+  record.io = pdm::saturating_sub(sample_ ? sample_(src_) : *live_, start_);
   record.wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
   record.start_ns = start_ns_;
@@ -65,6 +85,7 @@ void Span::close() {
   Sink* sink = sink_;
   sink_ = nullptr;
   sink->on_span(record);
+  owned_.reset();
 }
 
 // ---------------------------------------------------------- SpanAggregator

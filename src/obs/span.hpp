@@ -7,9 +7,12 @@
 // paths ("insert/rebuild/ext_sort"), so a SpanAggregator sink can rebuild the
 // call tree of a whole run and show where every parallel I/O went.
 //
-// Cost discipline: when no sink is attached the constructor is one pointer
-// check and nothing else — no clock read, no string, no allocation — so the
-// dictionaries keep their spans compiled in unconditionally.
+// Cost discipline: when no sink is attached the constructor does one locked
+// sink load and a pointer check, nothing else — no clock read, no string, no
+// allocation — so the dictionaries keep their spans compiled in
+// unconditionally. (The lock is the array's scheduling mutex; sampling the
+// sink and counters unlocked was a data race against set_sink/reset_stats
+// under concurrent traffic.)
 //
 // Attribution caveat: deltas are taken from the array's global counters, so
 // under concurrent load a span charges all I/O the array performed during its
@@ -19,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -29,15 +33,32 @@ namespace pddict::obs {
 
 class Span {
  public:
-  /// Inactive unless `sink` is non-null. `live` must outlive the span and is
-  /// sampled at open and close (pass the owning DiskArray's stats).
+  /// Type-erased locked sampler of an array's counters: called with `src` at
+  /// open and close. Type-erasing through a function pointer keeps this
+  /// header free of a pdm::DiskArray dependency (the template ctor below
+  /// supplies a capture-free lambda).
+  using StatsFn = pdm::IoStats (*)(const void* src);
+
+  /// Inactive unless `sink` is non-null. Legacy, *unsynchronized* form:
+  /// `live` must outlive the span and is read raw at open and close —
+  /// single-threaded use only.
   Span(Sink* sink, const pdm::IoStats& live, std::string_view name);
 
-  /// Duck-typed convenience for anything exposing sink() and stats()
-  /// (pdm::DiskArray; avoids an obs -> pdm link dependency).
+  /// Thread-safe form: the span shares ownership of the sink (it survives a
+  /// concurrent set_sink(nullptr)) and samples counters via `sample(src)`,
+  /// which must be internally synchronized (DiskArray::stats_snapshot).
+  Span(std::shared_ptr<Sink> sink, const void* src, StatsFn sample,
+       std::string_view name);
+
+  /// Duck-typed convenience for anything exposing sink() (shared_ptr) and
+  /// stats_snapshot() (pdm::DiskArray; avoids an obs -> pdm link dependency).
   template <typename DiskArrayLike>
   Span(DiskArrayLike& disks, std::string_view name)
-      : Span(disks.sink(), disks.stats(), name) {}
+      : Span(disks.sink(), &disks,
+             [](const void* p) {
+               return static_cast<const DiskArrayLike*>(p)->stats_snapshot();
+             },
+             name) {}
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -51,8 +72,14 @@ class Span {
   void close();
 
  private:
-  Sink* sink_ = nullptr;
-  const pdm::IoStats* live_ = nullptr;
+  /// Shared tail of the constructors: clock reads + path-stack push.
+  void open(std::string_view name);
+
+  Sink* sink_ = nullptr;               // active flag; points into owned_ when set
+  std::shared_ptr<Sink> owned_;        // keeps a detached sink alive until close
+  const pdm::IoStats* live_ = nullptr; // legacy unsynchronized sampling
+  const void* src_ = nullptr;          // synchronized sampling: sample_(src_)
+  StatsFn sample_ = nullptr;
   pdm::IoStats start_;
   std::chrono::steady_clock::time_point start_time_;
   std::uint64_t start_ns_ = 0;

@@ -9,6 +9,7 @@
 //     the same geometry on the same directory restores the store.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -50,9 +51,22 @@ class MemoryBackend final : public BlockBackend {
 
   void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
                    std::uint64_t base, std::uint64_t count) override {
-    for (std::uint32_t d = first_disk;
-         d < first_disk + num_disks && d < disks_.size(); ++d)
-      for (std::uint64_t b = base; b < base + count; ++b) disks_[d].erase(b);
+    // Checked arithmetic: `first_disk + num_disks` can wrap uint32_t and
+    // `base + count` can wrap uint64_t, and the old upper-bound comparisons
+    // then made the whole discard a silent no-op. Widen the disk bound and
+    // test block membership subtractively (wrap-free); iterating the sparse
+    // map keeps a huge `count` at O(blocks in use), not O(count).
+    std::uint64_t end_disk = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(first_disk) + num_disks, disks_.size());
+    for (std::uint64_t d = first_disk; d < end_disk; ++d) {
+      auto& disk = disks_[static_cast<std::size_t>(d)];
+      for (auto it = disk.begin(); it != disk.end();) {
+        if (it->first >= base && it->first - base < count)
+          it = disk.erase(it);
+        else
+          ++it;
+      }
+    }
   }
 
   std::uint64_t blocks_in_use() const override {

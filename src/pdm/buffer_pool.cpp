@@ -1,0 +1,235 @@
+#include "pdm/buffer_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pddict::pdm {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+BufferPool::BufferPool(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("buffer pool needs at least one frame");
+  std::size_t n = std::clamp<std::size_t>(
+      shards, 1, std::max<std::size_t>(1, capacity / kMinFramesPerShard));
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute capacity round-robin so the shard capacities sum exactly.
+    shard->capacity = capacity / n + (s < capacity % n ? 1 : 0);
+    shard->frames.reserve(shard->capacity);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+BufferPool::Shard& BufferPool::shard_for(const BlockAddr& addr) {
+  return *shards_[AddrHash{}(addr) % shards_.size()];
+}
+
+const BufferPool::Shard& BufferPool::shard_for(const BlockAddr& addr) const {
+  return *shards_[AddrHash{}(addr) % shards_.size()];
+}
+
+std::size_t BufferPool::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    total += shard->frames.size();
+  }
+  return total;
+}
+
+std::size_t BufferPool::Shard::clock_victim() {
+  if (frames.empty()) return kNpos;
+  // Two sweeps suffice: the first clears reference bits, the second must
+  // find an unpinned unreferenced frame unless everything is pinned.
+  for (std::size_t step = 0; step < 2 * frames.size(); ++step) {
+    Frame& f = frames[clock_hand];
+    std::size_t at = clock_hand;
+    clock_hand = (clock_hand + 1) % frames.size();
+    if (f.pins > 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    return at;
+  }
+  return kNpos;  // every frame pinned
+}
+
+bool BufferPool::lookup(const BlockAddr& addr, Block& out) {
+  Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  auto it = shard.index.find(addr);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  Frame& f = shard.frames[it->second];
+  f.referenced = true;
+  out = f.data;
+  ++shard.hits;
+  return true;
+}
+
+bool BufferPool::contains(const BlockAddr& addr) const {
+  const Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  return shard.index.contains(addr);
+}
+
+bool BufferPool::peek(const BlockAddr& addr, Block& out) const {
+  const Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  auto it = shard.index.find(addr);
+  if (it == shard.index.end()) return false;
+  out = shard.frames[it->second].data;
+  return true;
+}
+
+std::vector<std::pair<BlockAddr, Block>> BufferPool::put(const BlockAddr& addr,
+                                                         Block data,
+                                                         bool dirty) {
+  Shard& shard = shard_for(addr);
+  std::vector<std::pair<BlockAddr, Block>> evicted_dirty;
+  std::lock_guard<std::mutex> lock(shard.latch);
+
+  if (auto it = shard.index.find(addr); it != shard.index.end()) {
+    Frame& f = shard.frames[it->second];
+    f.data = std::move(data);
+    f.dirty = f.dirty || dirty;  // never lose an unflushed write
+    f.referenced = true;
+    return evicted_dirty;
+  }
+
+  std::size_t slot;
+  if (shard.frames.size() < shard.capacity) {
+    slot = shard.frames.size();
+    shard.frames.emplace_back();
+  } else {
+    slot = shard.clock_victim();
+    if (slot == kNpos) {
+      // Every frame pinned: exceed capacity temporarily rather than
+      // deadlock (documented policy; pins are short-lived).
+      slot = shard.frames.size();
+      shard.frames.emplace_back();
+    } else {
+      Frame& victim = shard.frames[slot];
+      ++shard.evictions;
+      if (victim.dirty) {
+        ++shard.dirty_evictions;
+        evicted_dirty.emplace_back(victim.addr, std::move(victim.data));
+      }
+      shard.index.erase(victim.addr);
+    }
+  }
+  Frame& f = shard.frames[slot];
+  f.addr = addr;
+  f.data = std::move(data);
+  f.dirty = dirty;
+  f.referenced = true;
+  f.pins = 0;
+  shard.index.emplace(addr, slot);
+  return evicted_dirty;
+}
+
+bool BufferPool::pin(const BlockAddr& addr) {
+  Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  auto it = shard.index.find(addr);
+  if (it == shard.index.end()) return false;
+  ++shard.frames[it->second].pins;
+  return true;
+}
+
+bool BufferPool::unpin(const BlockAddr& addr) {
+  Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  auto it = shard.index.find(addr);
+  if (it == shard.index.end() || shard.frames[it->second].pins == 0)
+    return false;
+  --shard.frames[it->second].pins;
+  return true;
+}
+
+std::vector<std::pair<BlockAddr, Block>> BufferPool::take_dirty() {
+  std::vector<std::pair<BlockAddr, Block>> dirty;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    for (Frame& f : shard->frames) {
+      if (!f.dirty) continue;
+      dirty.emplace_back(f.addr, f.data);  // stays resident, now clean
+      f.dirty = false;
+    }
+  }
+  return dirty;
+}
+
+void BufferPool::invalidate(const BlockAddr& addr) {
+  Shard& shard = shard_for(addr);
+  std::lock_guard<std::mutex> lock(shard.latch);
+  auto it = shard.index.find(addr);
+  if (it == shard.index.end()) return;
+  std::size_t slot = it->second;
+  shard.index.erase(it);
+  // Swap-remove keeps the frame array dense; re-index the moved frame.
+  std::size_t last = shard.frames.size() - 1;
+  if (slot != last) {
+    shard.frames[slot] = std::move(shard.frames[last]);
+    shard.index[shard.frames[slot].addr] = slot;
+  }
+  shard.frames.pop_back();
+  if (shard.clock_hand >= shard.frames.size()) shard.clock_hand = 0;
+}
+
+void BufferPool::invalidate_range(std::uint32_t first_disk,
+                                  std::uint32_t num_disks, std::uint64_t base,
+                                  std::uint64_t count) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    for (std::size_t slot = 0; slot < shard->frames.size();) {
+      const BlockAddr& a = shard->frames[slot].addr;
+      // Wrap-safe membership: disk - first_disk < num_disks catches both
+      // the in-range case and (via unsigned wrap) disk < first_disk.
+      bool hit = a.disk - first_disk < num_disks && a.block >= base &&
+                 a.block - base < count;
+      if (!hit) {
+        ++slot;
+        continue;
+      }
+      shard->index.erase(a);
+      std::size_t last = shard->frames.size() - 1;
+      if (slot != last) {
+        shard->frames[slot] = std::move(shard->frames[last]);
+        shard->index[shard->frames[slot].addr] = slot;
+      }
+      shard->frames.pop_back();  // re-examine `slot` (now the moved frame)
+    }
+    if (shard->clock_hand >= shard->frames.size()) shard->clock_hand = 0;
+  }
+}
+
+CacheStats BufferPool::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.dirty_evictions += shard->dirty_evictions;
+  }
+  return total;
+}
+
+void BufferPool::reset_stats() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    shard->hits = shard->misses = shard->evictions = shard->dirty_evictions =
+        0;
+  }
+}
+
+}  // namespace pddict::pdm

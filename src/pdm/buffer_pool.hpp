@@ -1,0 +1,167 @@
+// Buffer-pool cache: the PDM's internal memory M made concrete.
+//
+// The Vitter–Shriver model charges every algorithm's I/O bound against an
+// internal memory of M items (M/B block frames); a block resident in that
+// memory is touched for free. The simulator historically charged a parallel
+// I/O round for *every* block touch, so hot blocks — expander probe sets,
+// the Theorem 7 level roots — were re-fetched at full cost. BufferPool is
+// the missing substrate: a bounded cache of M/B block frames with CLOCK
+// (second-chance) eviction, pin/unpin, and write-back dirty tracking.
+//
+// Division of labor (and the locking contract):
+//   * BufferPool performs NO backend I/O. Frame latches are sharded by
+//     address hash and are only ever held across in-memory work; eviction
+//     hands the dirty victims *back to the caller*, who flushes them outside
+//     any pool latch. No lock is therefore ever held across backend I/O by
+//     construction.
+//   * DiskArray (when a cache is enabled, see enable_cache()) consults the
+//     pool inside read_batch/write_batch: hits cost zero parallel I/Os,
+//     misses are planned into rounds exactly as before, and the dirty blocks
+//     evicted by a batch are coalesced into one batched write-back flush.
+//   * CachedDiskArray (below) is the facade form: a DiskArray constructed
+//     with the cache already enabled, so read_batch/write_batch callers are
+//     unchanged — it *is* a DiskArray.
+//
+// The pool is thread-safe standalone (sharded std::mutex latches, atomic
+// stats) so it also composes with core::ConcurrentBasicDict.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "pdm/block.hpp"
+#include "pdm/geometry.hpp"
+
+namespace pddict::pdm {
+
+/// Cache accounting. The pool maintains hit/miss/eviction counters; the
+/// integration layer (DiskArray) fills in the flush fields, which only it
+/// can know (flush rounds come out of the round planner). All counters are
+/// monotone; DiskArray::reset_stats() zeroes them together with IoStats so
+/// the reconciliation invariants below survive mid-run rebasing.
+///
+/// Reconciliation invariants while a cache is enabled (from a common reset):
+///   * IoStats.blocks_read == misses        (every miss is one backend read)
+///   * IoStats.blocks_written == flushed_blocks  (writes reach the disk only
+///     through dirty write-back)
+///   * hits + misses == distinct blocks requested across all read batches
+///     (writes install frames without a lookup, so they count toward
+///     neither; they surface as flushed_blocks when written back)
+struct CacheStats {
+  std::uint64_t hits = 0;             // distinct requested blocks served from frames
+  std::uint64_t misses = 0;           // distinct requested blocks fetched from backend
+  std::uint64_t evictions = 0;        // frames reclaimed (clean + dirty)
+  std::uint64_t dirty_evictions = 0;  // reclaimed frames that needed write-back
+  std::uint64_t flushed_blocks = 0;   // dirty blocks written back to the backend
+  std::uint64_t flush_rounds = 0;     // parallel write rounds spent on write-back
+};
+
+class BufferPool {
+ public:
+  /// `capacity` = number of block frames (the model's M/B). Frames are
+  /// partitioned over `shards` independently latched CLOCK rings. The shard
+  /// count is clamped so every shard keeps at least kMinFramesPerShard
+  /// frames: a small pool split into near-empty shards would turn address
+  /// hash collisions into spurious conflict evictions, breaking the "M/B
+  /// resident blocks" reading of the capacity.
+  explicit BufferPool(std::size_t capacity, std::size_t shards = 8);
+
+  static constexpr std::size_t kMinFramesPerShard = 16;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t shards() const { return shards_.size(); }
+  /// Blocks currently resident (sums shard sizes; racy-exact under churn).
+  std::size_t size() const;
+
+  /// Copy a resident block into `out`, set its reference bit and count a
+  /// hit; returns false (and counts a miss) when absent. A dirty frame
+  /// serves its cached — newest — contents.
+  bool lookup(const BlockAddr& addr, Block& out);
+
+  /// True when resident, without touching stats or the reference bit.
+  bool contains(const BlockAddr& addr) const;
+
+  /// Accounting-free copy of a resident block (no hit/miss counting, no
+  /// reference bit) — the cache-aware analogue of DiskArray::peek.
+  bool peek(const BlockAddr& addr, Block& out) const;
+
+  /// Insert or update the frame for `addr`. May evict unpinned frames (CLOCK
+  /// second-chance) to stay within the shard's capacity; evicted *dirty*
+  /// blocks are returned for the caller to write back outside the latch.
+  /// Updating an existing frame ORs `dirty` into its dirty bit (an unflushed
+  /// write is never lost by a subsequent clean fill). If every frame of the
+  /// shard is pinned the shard temporarily exceeds its capacity rather than
+  /// deadlock or throw.
+  std::vector<std::pair<BlockAddr, Block>> put(const BlockAddr& addr,
+                                               Block data, bool dirty);
+
+  /// Pin `addr` against eviction (counted; returns false when absent).
+  bool pin(const BlockAddr& addr);
+  /// Drop one pin; returns false when absent or not pinned.
+  bool unpin(const BlockAddr& addr);
+
+  /// Detach every dirty block (they remain resident, now clean) and return
+  /// them for the caller to write back — the coalesced flush primitive.
+  std::vector<std::pair<BlockAddr, Block>> take_dirty();
+
+  /// Drop the frame for `addr` if resident, discarding dirty contents
+  /// (deallocation semantics; does not count as an eviction).
+  void invalidate(const BlockAddr& addr);
+  /// Drop every resident frame in blocks [base, base+count) of disks
+  /// [first_disk, first_disk+num_disks), wrap-safe (mirrors
+  /// DiskArray::discard_blocks).
+  void invalidate_range(std::uint32_t first_disk, std::uint32_t num_disks,
+                        std::uint64_t base, std::uint64_t count);
+
+  /// Pool-side counters (flush fields are always zero here; the caller that
+  /// performs the write-back owns them).
+  CacheStats stats() const;
+  void reset_stats();
+
+ private:
+  struct Frame {
+    BlockAddr addr;
+    Block data;
+    bool dirty = false;
+    bool referenced = false;  // CLOCK second-chance bit
+    std::uint32_t pins = 0;
+  };
+
+  struct AddrHash {
+    std::size_t operator()(const BlockAddr& a) const {
+      std::uint64_t x = (static_cast<std::uint64_t>(a.disk) << 48) ^ a.block;
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  struct Shard {
+    mutable std::mutex latch;
+    std::vector<Frame> frames;  // frame slots; index is stable between ops
+    std::unordered_map<BlockAddr, std::size_t, AddrHash> index;
+    std::size_t clock_hand = 0;
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t dirty_evictions = 0;
+
+    /// Evict one unpinned frame by CLOCK; returns its index or npos when all
+    /// frames are pinned. The caller harvests the victim before reuse.
+    std::size_t clock_victim();
+  };
+
+  Shard& shard_for(const BlockAddr& addr);
+  const Shard& shard_for(const BlockAddr& addr) const;
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pddict::pdm

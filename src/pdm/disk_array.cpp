@@ -22,11 +22,65 @@ DiskArray::DiskArray(Geometry geom, Model model,
   if (!backend_) throw std::invalid_argument("null block backend");
 }
 
+DiskArray::~DiskArray() {
+  // Durability, not accounting: dirty cached blocks reach the backend (file
+  // backends persist them), but a dying array charges no rounds.
+  if (!cache_) return;
+  for (auto& [addr, block] : cache_->take_dirty())
+    backend_->store(addr, std::move(block));
+}
+
 void DiskArray::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
   stats_ = IoStats{};
   std::fill(disk_counters_.begin(), disk_counters_.end(), DiskCounters{});
   std::fill(round_hist_.begin(), round_hist_.end(), 0);
+  if (cache_) cache_->reset_stats();
+  cache_flushed_blocks_ = 0;
+  cache_flush_rounds_ = 0;
+}
+
+void DiskArray::enable_cache(std::size_t frames, std::size_t shards) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_) {
+    // Replacing (or disabling) an active cache must not lose writes: charge
+    // one final coalesced flush for whatever is still dirty.
+    auto dirty = cache_->take_dirty();
+    flush_victims_locked(dirty);
+  }
+  cache_ = frames ? std::make_unique<BufferPool>(frames, shards) : nullptr;
+  cache_flushed_blocks_ = 0;
+  cache_flush_rounds_ = 0;
+}
+
+std::uint64_t DiskArray::flush_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cache_) return 0;
+  auto dirty = cache_->take_dirty();
+  return flush_victims_locked(dirty);
+}
+
+CacheStats DiskArray::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!cache_) return CacheStats{};
+  CacheStats s = cache_->stats();
+  s.flushed_blocks = cache_flushed_blocks_;
+  s.flush_rounds = cache_flush_rounds_;
+  return s;
+}
+
+std::uint64_t DiskArray::flush_victims_locked(
+    std::vector<std::pair<BlockAddr, Block>>& victims) {
+  if (victims.empty()) return 0;
+  std::vector<BlockAddr> addrs;
+  addrs.reserve(victims.size());
+  for (const auto& [addr, block] : victims) addrs.push_back(addr);
+  BatchPlan plan = plan_batch(addrs);
+  for (auto& [addr, block] : victims) backend_->store(addr, std::move(block));
+  account_batch(plan, /*write=*/true, addrs);
+  cache_flushed_blocks_ += plan.uniq.size();
+  cache_flush_rounds_ += plan.rounds;
+  return plan.rounds;
 }
 
 void DiskArray::check_addr(const BlockAddr& addr) const {
@@ -157,12 +211,36 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
   std::vector<DiskCounters> disks;
   std::vector<std::uint64_t> hist;
   std::uint64_t in_use = 0;
+  bool cached = false;
+  CacheStats cache;
+  std::size_t cache_capacity = 0, cache_resident = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats = stats_;
     disks = disk_counters_;
     hist = round_hist_;
     in_use = backend_->blocks_in_use();
+    if (cache_) {
+      cached = true;
+      cache = cache_->stats();
+      cache.flushed_blocks = cache_flushed_blocks_;
+      cache.flush_rounds = cache_flush_rounds_;
+      cache_capacity = cache_->capacity();
+      cache_resident = cache_->size();
+    }
+  }
+  if (cached) {
+    registry.count(p + ".cache.hits", cache.hits);
+    registry.count(p + ".cache.misses", cache.misses);
+    registry.count(p + ".cache.evictions", cache.evictions);
+    registry.count(p + ".cache.dirty_evictions", cache.dirty_evictions);
+    registry.count(p + ".cache.flushed_blocks", cache.flushed_blocks);
+    registry.count(p + ".cache.flush_rounds", cache.flush_rounds);
+    registry.gauge(p + ".cache.frames", static_cast<double>(cache_capacity));
+    registry.gauge(p + ".cache.resident", static_cast<double>(cache_resident));
+    double total = static_cast<double>(cache.hits + cache.misses);
+    registry.gauge(p + ".cache.hit_rate",
+                   total > 0 ? static_cast<double>(cache.hits) / total : 0.0);
   }
   registry.count(p + ".parallel_ios", stats.parallel_ios);
   registry.count(p + ".read_rounds", stats.read_rounds);
@@ -210,10 +288,58 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   out.reserve(addrs.size());
   for (const auto& a : addrs) check_addr(a);
   std::lock_guard<std::mutex> lock(mutex_);
-  BatchPlan plan = plan_batch(addrs);
-  for (const auto& a : addrs) out.push_back(backend_->load(a));
-  account_batch(plan, /*write=*/false, addrs);
-  return plan.rounds;
+  if (!cache_) {
+    BatchPlan plan = plan_batch(addrs);
+    for (const auto& a : addrs) out.push_back(backend_->load(a));
+    account_batch(plan, /*write=*/false, addrs);
+    return plan.rounds;
+  }
+
+  // Cached path. Deduplicate first so every distinct block is looked up —
+  // and hence hit/miss-counted — exactly once per batch, which is what makes
+  // the reconciliation invariant blocks_read == misses exact.
+  std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+  std::vector<std::pair<BlockAddr, Block>> resolved;
+  resolved.reserve(uniq.size());
+  std::vector<BlockAddr> missed;
+  for (const auto& a : uniq) {
+    Block b;
+    if (cache_->lookup(a, b))
+      resolved.emplace_back(a, std::move(b));
+    else
+      missed.push_back(a);
+  }
+
+  std::uint64_t rounds = 0;
+  std::vector<std::pair<BlockAddr, Block>> victims;
+  if (!missed.empty()) {
+    BatchPlan plan = plan_batch(missed);
+    for (const auto& a : missed) {
+      Block b = backend_->load(a);
+      // Installing the fetched block may evict dirty frames; collect them
+      // and write them back as ONE coalesced batch after the reads. (A
+      // victim can never itself be in `missed`: it was resident, so its
+      // lookup above was a hit.)
+      for (auto& v : cache_->put(a, b, /*dirty=*/false))
+        victims.push_back(std::move(v));
+      resolved.emplace_back(a, std::move(b));
+    }
+    account_batch(plan, /*write=*/false, missed);
+    rounds = plan.rounds;
+  }
+
+  std::sort(resolved.begin(), resolved.end(),
+            [](const auto& x, const auto& y) { return x.first < y.first; });
+  for (const auto& a : addrs) {
+    auto it = std::lower_bound(
+        resolved.begin(), resolved.end(), a,
+        [](const auto& p, const BlockAddr& key) { return p.first < key; });
+    out.push_back(it->second);
+  }
+  return rounds + flush_victims_locked(victims);
 }
 
 std::uint64_t DiskArray::write_batch(
@@ -227,10 +353,21 @@ std::uint64_t DiskArray::write_batch(
     addrs.push_back(a);
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  BatchPlan plan = plan_batch(addrs);
-  for (const auto& [a, b] : writes) backend_->store(a, b);
-  account_batch(plan, /*write=*/true, addrs);
-  return plan.rounds;
+  if (!cache_) {
+    BatchPlan plan = plan_batch(addrs);
+    for (const auto& [a, b] : writes) backend_->store(a, b);
+    account_batch(plan, /*write=*/true, addrs);
+    return plan.rounds;
+  }
+
+  // Cached path: install every write dirty (in submission order, so a
+  // duplicate address keeps the last write) for zero I/Os. The only rounds
+  // charged are the coalesced write-back of whatever this batch evicted.
+  std::vector<std::pair<BlockAddr, Block>> victims;
+  for (const auto& [a, b] : writes)
+    for (auto& v : cache_->put(a, b, /*dirty=*/true))
+      victims.push_back(std::move(v));
+  return flush_victims_locked(victims);
 }
 
 Block DiskArray::read_block(BlockAddr addr) {
@@ -247,6 +384,12 @@ void DiskArray::write_block(BlockAddr addr, Block block) {
 Block DiskArray::peek(BlockAddr addr) const {
   check_addr(addr);
   std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_) {
+    // A dirty frame holds newer contents than the backend; serve it
+    // (accounting-free, like the rest of peek).
+    Block b;
+    if (cache_->peek(addr, b)) return b;
+  }
   return backend_->load(addr);
 }
 
@@ -255,6 +398,9 @@ void DiskArray::poke(BlockAddr addr, Block block) {
   if (block.size() != geom_.block_bytes())
     throw std::invalid_argument("block size mismatch");
   std::lock_guard<std::mutex> lock(mutex_);
+  // Drop any cached frame so a stale dirty copy cannot overwrite the poked
+  // contents on a later flush.
+  if (cache_) cache_->invalidate(addr);
   backend_->store(addr, block);
 }
 
@@ -262,6 +408,7 @@ void DiskArray::discard_blocks(std::uint32_t first_disk,
                                std::uint32_t num_disks, std::uint64_t base,
                                std::uint64_t count) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (cache_) cache_->invalidate_range(first_disk, num_disks, base, count);
   backend_->erase_range(first_disk, num_disks, base, count);
 }
 
@@ -270,8 +417,17 @@ std::uint64_t DiskArray::blocks_in_use() const {
   return backend_->blocks_in_use();
 }
 
+void DiskArray::set_sink(std::shared_ptr<obs::Sink> sink) {
+  // account_batch reads sink_ under mutex_; mutating it unlocked here was a
+  // data race whenever a monitor was attached mid-run under concurrent
+  // traffic (the ConcurrentBasicDict + BoundMonitor combination).
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = std::move(sink);
+}
+
 void DiskArray::add_sink(std::shared_ptr<obs::Sink> sink) {
   if (!sink) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   if (!sink_) {
     sink_ = std::move(sink);
     return;
@@ -299,7 +455,7 @@ std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
 }  // namespace
 
 IoProbe::IoProbe(const DiskArray& disks)
-    : disks_(&disks), start_(disks.stats()) {
+    : disks_(&disks), start_(disks.stats_snapshot()) {
   auto& stack = probe_stack();
   for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
     if ((*it)->disks_ == disks_) {
@@ -321,7 +477,12 @@ IoProbe::~IoProbe() {
   if (parent_) parent_->nested_ += delta();
 }
 
-IoStats IoProbe::delta() const { return disks_->stats() - start_; }
+// Saturating, not wrapping: DiskArray::reset_stats() run mid-probe rebases
+// the live counters below start_, and a wrapped delta poisons every bench
+// report computed from it (see io_stats.hpp).
+IoStats IoProbe::delta() const {
+  return saturating_sub(disks_->stats_snapshot(), start_);
+}
 
 IoStats IoProbe::exclusive() const {
   IoStats d = delta();
@@ -336,7 +497,7 @@ IoStats IoProbe::exclusive() const {
 }
 
 void IoProbe::reset() {
-  start_ = disks_->stats();
+  start_ = disks_->stats_snapshot();
   nested_ = IoStats{};
 }
 

@@ -32,6 +32,7 @@
 #include "obs/sink.hpp"
 #include "pdm/backend.hpp"
 #include "pdm/block.hpp"
+#include "pdm/buffer_pool.hpp"
 #include "pdm/geometry.hpp"
 #include "pdm/io_stats.hpp"
 
@@ -68,12 +69,61 @@ class DiskArray {
   DiskArray(Geometry geom, Model model,
             std::unique_ptr<BlockBackend> backend);
 
+  /// Flushes any dirty cached blocks straight to the backend (accounting-free
+  /// — the array is going away, there is nobody left to charge).
+  ~DiskArray();
+
   const Geometry& geometry() const { return geom_; }
   Model model() const { return model_; }
+  /// Borrowed reference to the live counters. Single-threaded convenience:
+  /// reading it while another thread issues batches is a race — concurrent
+  /// readers (probes, spans) must use stats_snapshot().
   const IoStats& stats() const { return stats_; }
-  /// Zeroes the global counters, the per-disk counters and the
-  /// round-utilization histogram (sink and trace contents are untouched).
+  /// Locked copy of the counters, safe against concurrent batches.
+  IoStats stats_snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  /// Zeroes the global counters, the per-disk counters, the
+  /// round-utilization histogram and the cache counters (sink and trace
+  /// contents are untouched).
   void reset_stats();
+
+  // ---- buffer-pool cache (the PDM's internal memory M) ----
+  //
+  // Off by default: every batch is planned and charged exactly as before.
+  // enable_cache(frames) interposes a BufferPool of `frames` block frames
+  // (the model's M/B) on the batch paths:
+  //   * read_batch serves resident blocks for zero parallel I/Os and plans
+  //     only the misses into rounds; fetched blocks are installed clean.
+  //   * write_batch installs blocks dirty for zero I/Os; the disk is charged
+  //     when dirty blocks are written back (eviction or flush_cache()), with
+  //     all the dirty blocks a batch evicts coalesced into one batched
+  //     write-back flush.
+  // Both paths emit the usual tagged IoEvents for what they actually charge,
+  // so OpAttributor/BoundMonitor reconcile against IoStats unchanged.
+
+  /// Interpose a cache of `frames` block frames (flushing and discarding any
+  /// previous cache first). frames == 0 disables. Not thread-safe against
+  /// in-flight batches on *other* threads' unlocked fast paths; enable before
+  /// spawning workers (the pool itself is thread-safe once installed).
+  void enable_cache(std::size_t frames, std::size_t shards = 8);
+  void disable_cache() { enable_cache(0); }
+  bool cache_enabled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_ != nullptr;
+  }
+  /// Frame capacity of the enabled cache (0 when disabled).
+  std::size_t cache_frames() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_ ? cache_->capacity() : 0;
+  }
+  /// Write back every dirty cached block as one batched flush; returns the
+  /// rounds charged. No-op (0) when the cache is off or clean.
+  std::uint64_t flush_cache();
+  /// Cache counters with the flush fields filled in (all zero when the cache
+  /// is off). See buffer_pool.hpp for the reconciliation invariants.
+  CacheStats cache_stats() const;
 
   // ---- per-disk metrics ----
 
@@ -103,9 +153,16 @@ class DiskArray {
   /// must not call back into the array. An array constructed while
   /// obs::set_default_sink() holds a sink attaches it automatically (the
   /// bench trace harness uses this to observe arrays created inside
-  /// experiment helpers).
-  void set_sink(std::shared_ptr<obs::Sink> sink) { sink_ = std::move(sink); }
-  obs::Sink* sink() const { return sink_.get(); }
+  /// experiment helpers). Attach/detach/replace takes the scheduling lock,
+  /// so swapping a monitor mid-run under concurrent batch traffic is safe.
+  void set_sink(std::shared_ptr<obs::Sink> sink);
+  /// Shared-ownership snapshot of the current sink (may be null). Returning
+  /// the shared_ptr rather than a raw pointer keeps the sink alive for a
+  /// caller (e.g. an open obs::Span) even if another thread detaches it.
+  std::shared_ptr<obs::Sink> sink() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sink_;
+  }
 
   /// Attach an *additional* sink without displacing what is already there:
   /// wraps the current sink and `sink` into an obs::MultiSink (or appends to
@@ -139,12 +196,15 @@ class DiskArray {
   // ---- batched parallel I/O (the primary interface) ----
 
   /// Read all addressed blocks. Duplicate addresses are served by one
-  /// transfer. Returns blocks in request order and the number of rounds used.
+  /// transfer. Returns blocks in request order and the number of rounds used
+  /// (with a cache: miss rounds plus any write-back rounds the batch's
+  /// evictions caused; 0 when every distinct block hit).
   std::uint64_t read_batch(std::span<const BlockAddr> addrs,
                            std::vector<Block>& out);
 
   /// Write all (address, block) pairs. A duplicate address keeps the last
-  /// write. Returns the number of rounds used.
+  /// write. Returns the number of rounds used (with a cache: only the
+  /// write-back rounds for dirty blocks the batch evicted; often 0).
   std::uint64_t write_batch(
       std::span<const std::pair<BlockAddr, Block>> writes);
 
@@ -161,7 +221,9 @@ class DiskArray {
   /// charge construction separately must NOT use this; tests may).
   void poke(BlockAddr addr, Block block);
 
-  /// Number of distinct blocks ever written (space accounting).
+  /// Number of distinct blocks ever written to the *backend* (space
+  /// accounting). Dirty cached blocks not yet written back are not counted;
+  /// flush_cache() first for an exact figure.
   std::uint64_t blocks_in_use() const;
 
   /// Release the storage of blocks [base, base+count) on disks
@@ -188,12 +250,21 @@ class DiskArray {
   void account_batch(const BatchPlan& plan, bool write,
                      std::span<const BlockAddr> submitted);
 
+  /// Plans `victims` as one batched write-back flush, stores them to the
+  /// backend (in order, so a later duplicate wins) and accounts the batch as
+  /// writes. Returns the rounds charged. Caller holds mutex_.
+  std::uint64_t flush_victims_locked(
+      std::vector<std::pair<BlockAddr, Block>>& victims);
+
   Geometry geom_;
   Model model_;
   IoStats stats_;
   std::vector<DiskCounters> disk_counters_;
   std::vector<std::uint64_t> round_hist_;  // index = slots used, size D+1
   std::unique_ptr<BlockBackend> backend_;
+  std::unique_ptr<BufferPool> cache_;  // null = cache off (the default)
+  std::uint64_t cache_flushed_blocks_ = 0;
+  std::uint64_t cache_flush_rounds_ = 0;
   bool tracing_ = false;
   std::shared_ptr<obs::RingBufferSink> trace_ring_;
   std::shared_ptr<obs::Sink> sink_;
@@ -202,6 +273,26 @@ class DiskArray {
   /// wrappers (core/concurrent_dict.hpp) can issue I/O from several threads;
   /// higher-level operation atomicity is the wrapper's bucket locks' job.
   mutable std::mutex mutex_;
+};
+
+/// The facade form of the buffer pool: a DiskArray born with its cache
+/// enabled, so code written against DiskArray& — every dictionary in
+/// src/core/ — gets the PDM's internal memory by substitution, with
+/// read_batch/write_batch call sites unchanged.
+class CachedDiskArray : public DiskArray {
+ public:
+  /// `frames` = M/B, the number of blocks of internal memory the array
+  /// simulates (e.g. Geometry-derived: memory_items / block_items).
+  CachedDiskArray(Geometry geom, std::size_t frames,
+                  Model model = Model::kParallelDisks)
+      : DiskArray(geom, model) {
+    enable_cache(frames);
+  }
+  CachedDiskArray(Geometry geom, std::size_t frames, Model model,
+                  std::unique_ptr<BlockBackend> backend)
+      : DiskArray(geom, model, std::move(backend)) {
+    enable_cache(frames);
+  }
 };
 
 }  // namespace pddict::pdm

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
@@ -58,16 +59,22 @@ void FileBackend::erase_range(std::uint32_t first_disk,
                               std::uint32_t num_disks, std::uint64_t base,
                               std::uint64_t count) {
   Block zero(block_bytes_, std::byte{0});
-  for (std::uint32_t d = first_disk;
-       d < first_disk + num_disks && d < fds_.size(); ++d) {
+  // Checked arithmetic, mirroring MemoryBackend: the unclamped
+  // `first_disk + num_disks` / `base + count` bounds wrapped and turned the
+  // discard into a no-op. Clamp the block range to EOF first so the loop
+  // bound `base + n` provably cannot overflow.
+  std::uint64_t end_disk = std::min<std::uint64_t>(
+      static_cast<std::uint64_t>(first_disk) + num_disks, fds_.size());
+  for (std::uint64_t d = first_disk; d < end_disk; ++d) {
     struct stat st{};
     if (::fstat(fds_[d], &st) != 0) throw_errno("fstat");
-    for (std::uint64_t b = base; b < base + count; ++b) {
-      off_t offset =
-          static_cast<off_t>(b) * static_cast<off_t>(block_bytes_);
-      if (offset >= st.st_size) break;  // beyond EOF: already zero
-      store({d, b}, zero);
-    }
+    std::uint64_t eof_blocks =
+        (static_cast<std::uint64_t>(st.st_size) + block_bytes_ - 1) /
+        block_bytes_;
+    if (base >= eof_blocks) continue;  // beyond EOF: already zero
+    std::uint64_t n = std::min(count, eof_blocks - base);
+    for (std::uint64_t b = base; b < base + n; ++b)
+      store({static_cast<std::uint32_t>(d), b}, zero);
   }
 }
 

@@ -38,6 +38,23 @@ struct IoStats {
   friend bool operator==(const IoStats&, const IoStats&) = default;
 };
 
+/// Field-wise saturating subtraction: each counter clamps at zero instead of
+/// wrapping. Deltas between two snapshots of live counters must use this
+/// whenever the counters can be rebased in between — DiskArray::reset_stats()
+/// zeroes the live stats, so a probe (or span) opened before the reset and
+/// closed after it would otherwise compute `small - large` and wrap to
+/// astronomically large counts, poisoning every report downstream.
+inline IoStats saturating_sub(const IoStats& a, const IoStats& b) {
+  auto sat = [](std::uint64_t x, std::uint64_t y) { return x > y ? x - y : 0; };
+  IoStats d;
+  d.parallel_ios = sat(a.parallel_ios, b.parallel_ios);
+  d.read_rounds = sat(a.read_rounds, b.read_rounds);
+  d.write_rounds = sat(a.write_rounds, b.write_rounds);
+  d.blocks_read = sat(a.blocks_read, b.blocks_read);
+  d.blocks_written = sat(a.blocks_written, b.blocks_written);
+  return d;
+}
+
 class DiskArray;  // fwd
 
 /// RAII probe measuring the parallel I/Os spent in a scope.

@@ -1,0 +1,313 @@
+// Tests for the buffer-pool cache: standalone BufferPool semantics (CLOCK
+// eviction, pin/unpin, dirty write-back hand-off) and the cached DiskArray —
+// zero-cost hits, miss/flush round accounting, and the exact reconciliation
+// invariants between CacheStats and IoStats the bench gate relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/basic_dict.hpp"
+#include "pdm/buffer_pool.hpp"
+#include "pdm/disk_array.hpp"
+#include "util/prng.hpp"
+
+namespace pddict::pdm {
+namespace {
+
+Geometry small_geom(std::uint32_t disks = 4, std::uint32_t block_items = 8,
+                    std::uint32_t item_bytes = 8) {
+  return Geometry{disks, block_items, item_bytes, 0};
+}
+
+Block filled(const Geometry& g, std::byte v) {
+  return Block(g.block_bytes(), v);
+}
+
+TEST(BufferPool, LookupHitMissCounting) {
+  BufferPool pool(4, 1);
+  Geometry g = small_geom();
+  Block out;
+  EXPECT_FALSE(pool.lookup({0, 0}, out));
+  pool.put({0, 0}, filled(g, std::byte{1}), false);
+  EXPECT_TRUE(pool.lookup({0, 0}, out));
+  EXPECT_EQ(out[0], std::byte{1});
+  CacheStats s = pool.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(BufferPool, EvictsAtCapacityAndReturnsDirtyVictims) {
+  BufferPool pool(2, 1);
+  Geometry g = small_geom();
+  EXPECT_TRUE(pool.put({0, 0}, filled(g, std::byte{1}), true).empty());
+  EXPECT_TRUE(pool.put({0, 1}, filled(g, std::byte{2}), false).empty());
+  // Third insert must evict one of the two (both unreferenced after the
+  // CLOCK sweep clears their bits); only the dirty one comes back.
+  auto v1 = pool.put({0, 2}, filled(g, std::byte{3}), false);
+  auto v2 = pool.put({0, 3}, filled(g, std::byte{4}), false);
+  std::size_t dirty_back = v1.size() + v2.size();
+  EXPECT_EQ(dirty_back, 1u);
+  const auto& victim = v1.empty() ? v2[0] : v1[0];
+  EXPECT_EQ(victim.first, (BlockAddr{0, 0}));
+  EXPECT_EQ(victim.second[0], std::byte{1});
+  CacheStats s = pool.stats();
+  EXPECT_EQ(s.evictions, 2u);
+  EXPECT_EQ(s.dirty_evictions, 1u);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(BufferPool, ClockGivesSecondChanceToReferencedFrames) {
+  BufferPool pool(2, 1);
+  Geometry g = small_geom();
+  pool.put({0, 0}, filled(g, std::byte{1}), false);
+  pool.put({0, 1}, filled(g, std::byte{2}), false);
+  // Inserting a third block sweeps both reference bits clear and evicts
+  // {0,0} (first under the hand); the newly installed {0,2} enters with its
+  // bit set.
+  pool.put({0, 2}, filled(g, std::byte{3}), false);
+  EXPECT_FALSE(pool.contains({0, 0}));
+  // The next eviction must pass over {0,2} (second chance: bit still set)
+  // and take {0,1}, whose bit the previous sweep cleared.
+  pool.put({0, 3}, filled(g, std::byte{4}), false);
+  EXPECT_TRUE(pool.contains({0, 2}));
+  EXPECT_FALSE(pool.contains({0, 1}));
+}
+
+TEST(BufferPool, PinnedFramesAreNotEvicted) {
+  BufferPool pool(2, 1);
+  Geometry g = small_geom();
+  pool.put({0, 0}, filled(g, std::byte{1}), false);
+  pool.put({0, 1}, filled(g, std::byte{2}), false);
+  ASSERT_TRUE(pool.pin({0, 0}));
+  pool.put({0, 2}, filled(g, std::byte{3}), false);
+  EXPECT_TRUE(pool.contains({0, 0}));
+  // All pinned: the shard grows past capacity rather than deadlock.
+  ASSERT_TRUE(pool.pin({0, 2}));
+  pool.put({0, 3}, filled(g, std::byte{4}), false);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_TRUE(pool.unpin({0, 0}));
+  EXPECT_FALSE(pool.unpin({0, 0}));  // pin count already zero
+  EXPECT_FALSE(pool.pin({1, 7}));    // absent
+}
+
+TEST(BufferPool, DirtyBitSurvivesCleanOverwrite) {
+  BufferPool pool(2, 1);
+  Geometry g = small_geom();
+  pool.put({0, 0}, filled(g, std::byte{1}), true);
+  pool.put({0, 0}, filled(g, std::byte{2}), false);  // clean re-fill
+  auto dirty = pool.take_dirty();
+  ASSERT_EQ(dirty.size(), 1u);
+  EXPECT_EQ(dirty[0].second[0], std::byte{2});  // newest contents, still dirty
+  EXPECT_TRUE(pool.take_dirty().empty());       // now clean, still resident
+  EXPECT_TRUE(pool.contains({0, 0}));
+}
+
+TEST(BufferPool, InvalidateRangeIsWrapSafe) {
+  BufferPool pool(8, 2);
+  Geometry g = small_geom();
+  pool.put({0, 1}, filled(g, std::byte{1}), true);
+  pool.put({1, 5}, filled(g, std::byte{2}), true);
+  pool.put({3, 9}, filled(g, std::byte{3}), true);
+  pool.invalidate_range(1, std::numeric_limits<std::uint32_t>::max(), 4,
+                        std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(pool.contains({0, 1}));   // disk below range
+  EXPECT_FALSE(pool.contains({1, 5}));
+  EXPECT_FALSE(pool.contains({3, 9}));
+  pool.invalidate({0, 1});
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_TRUE(pool.take_dirty().empty());  // invalidate discards dirty data
+}
+
+TEST(BufferPool, RejectsZeroCapacity) {
+  EXPECT_THROW(BufferPool(0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cached DiskArray integration.
+
+TEST(CachedDiskArray, HitsCostZeroParallelIos) {
+  CachedDiskArray disks(small_geom(), /*frames=*/8);
+  ASSERT_TRUE(disks.cache_enabled());
+  EXPECT_EQ(disks.cache_frames(), 8u);
+  std::vector<BlockAddr> addrs{{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  std::vector<Block> out;
+  EXPECT_EQ(disks.read_batch(addrs, out), 1u);  // cold: one round of misses
+  EXPECT_EQ(disks.stats().parallel_ios, 1u);
+  EXPECT_EQ(disks.read_batch(addrs, out), 0u);  // warm: all hits, free
+  EXPECT_EQ(disks.stats().parallel_ios, 1u);
+  CacheStats c = disks.cache_stats();
+  EXPECT_EQ(c.misses, 4u);
+  EXPECT_EQ(c.hits, 4u);
+}
+
+TEST(CachedDiskArray, WritesAreDeferredUntilFlush) {
+  CachedDiskArray disks(small_geom(), /*frames=*/8);
+  Geometry g = disks.geometry();
+  std::vector<std::pair<BlockAddr, Block>> writes;
+  for (std::uint32_t d = 0; d < 4; ++d)
+    writes.emplace_back(BlockAddr{d, 0},
+                        filled(g, static_cast<std::byte>(d)));
+  EXPECT_EQ(disks.write_batch(writes), 0u);  // absorbed by the pool
+  EXPECT_EQ(disks.stats().parallel_ios, 0u);
+  EXPECT_EQ(disks.blocks_in_use(), 0u);      // backend untouched
+  // peek serves the dirty frames (newest data), accounting-free.
+  EXPECT_EQ(disks.peek({2, 0})[0], std::byte{2});
+  EXPECT_EQ(disks.flush_cache(), 1u);        // one coalesced write-back round
+  EXPECT_EQ(disks.stats().write_rounds, 1u);
+  EXPECT_EQ(disks.blocks_in_use(), 4u);
+  EXPECT_EQ(disks.flush_cache(), 0u);        // nothing dirty anymore
+  CacheStats c = disks.cache_stats();
+  EXPECT_EQ(c.flushed_blocks, 4u);
+  EXPECT_EQ(c.flush_rounds, 1u);
+}
+
+TEST(CachedDiskArray, ReadBackMatchesUncachedSemantics) {
+  // Same operation sequence against a cached and an uncached array must
+  // produce identical data (only the round accounting differs).
+  Geometry g = small_geom();
+  DiskArray plain(g);
+  CachedDiskArray cached(g, /*frames=*/3);  // small: constant eviction churn
+  util::SplitMix64 rng(42);
+  std::map<std::uint64_t, std::byte> reference;
+  for (int step = 0; step < 500; ++step) {
+    BlockAddr a{static_cast<std::uint32_t>(rng.next() % 4), rng.next() % 16};
+    if (rng.next() % 2 == 0) {
+      auto v = static_cast<std::byte>(rng.next() % 251 + 1);
+      std::pair<BlockAddr, Block> w{a, filled(g, v)};
+      plain.write_batch({&w, 1});
+      cached.write_batch({&w, 1});
+      reference[a.disk * 1000 + a.block] = v;
+    } else {
+      std::vector<Block> p, c;
+      plain.read_batch({&a, 1}, p);
+      cached.read_batch({&a, 1}, c);
+      EXPECT_EQ(p[0], c[0]) << "step " << step;
+      auto it = reference.find(a.disk * 1000 + a.block);
+      EXPECT_EQ(c[0][0], it == reference.end() ? std::byte{0} : it->second);
+    }
+  }
+  // The cache can only help: never more rounds than the uncached run.
+  EXPECT_LE(cached.stats().parallel_ios, plain.stats().parallel_ios);
+}
+
+TEST(CachedDiskArray, ReconciliationInvariantsHoldExactly) {
+  CachedDiskArray disks(small_geom(), /*frames=*/3);
+  util::SplitMix64 rng(7);
+  Geometry g = disks.geometry();
+  std::uint64_t distinct_read_requests = 0;
+  for (int step = 0; step < 300; ++step) {
+    std::vector<BlockAddr> addrs;
+    for (int i = 0; i < 3; ++i)
+      addrs.push_back({static_cast<std::uint32_t>(rng.next() % 4),
+                       rng.next() % 8});
+    if (rng.next() % 2 == 0) {
+      std::vector<Block> out;
+      disks.read_batch(addrs, out);
+      std::sort(addrs.begin(), addrs.end());
+      distinct_read_requests += static_cast<std::uint64_t>(
+          std::unique(addrs.begin(), addrs.end()) - addrs.begin());
+    } else {
+      std::vector<std::pair<BlockAddr, Block>> writes;
+      for (const auto& a : addrs)
+        writes.emplace_back(a, filled(g, std::byte{1}));
+      disks.write_batch(writes);
+    }
+  }
+  disks.flush_cache();
+  CacheStats c = disks.cache_stats();
+  const IoStats& io = disks.stats();
+  EXPECT_EQ(io.blocks_read, c.misses);
+  EXPECT_EQ(io.blocks_written, c.flushed_blocks);
+  EXPECT_EQ(c.hits + c.misses, distinct_read_requests);
+  EXPECT_EQ(io.write_rounds, c.flush_rounds);
+}
+
+TEST(CachedDiskArray, PokeInvalidatesAndDiscardDropsFrames) {
+  CachedDiskArray disks(small_geom(), /*frames=*/8);
+  Geometry g = disks.geometry();
+  std::pair<BlockAddr, Block> w{{1, 2}, filled(g, std::byte{5})};
+  disks.write_batch({&w, 1});  // dirty frame
+  disks.poke({1, 2}, filled(g, std::byte{9}));
+  // The stale dirty frame must not overwrite the poked contents.
+  disks.flush_cache();
+  EXPECT_EQ(disks.peek({1, 2})[0], std::byte{9});
+
+  disks.write_batch({&w, 1});
+  disks.discard_blocks(1, 1, 2, 1);
+  disks.flush_cache();
+  EXPECT_EQ(disks.peek({1, 2})[0], std::byte{0});  // dirty frame discarded
+  EXPECT_EQ(disks.blocks_in_use(), 0u);  // backend copy released as well
+}
+
+TEST(CachedDiskArray, ResetStatsZeroesCacheCounters) {
+  CachedDiskArray disks(small_geom(), /*frames=*/4);
+  std::vector<BlockAddr> addrs{{0, 0}, {1, 1}};
+  std::vector<Block> out;
+  disks.read_batch(addrs, out);
+  disks.read_batch(addrs, out);
+  ASSERT_GT(disks.cache_stats().hits, 0u);
+  disks.reset_stats();
+  CacheStats c = disks.cache_stats();
+  EXPECT_EQ(c.hits + c.misses + c.evictions + c.flushed_blocks, 0u);
+  // Invariants hold from the fresh epoch.
+  disks.read_batch(addrs, out);
+  EXPECT_EQ(disks.stats().blocks_read, disks.cache_stats().misses);
+}
+
+TEST(CachedDiskArray, EnableDisableFlushesAndPreservesData) {
+  DiskArray disks(small_geom());
+  Geometry g = disks.geometry();
+  EXPECT_FALSE(disks.cache_enabled());
+  disks.enable_cache(4);
+  std::pair<BlockAddr, Block> w{{0, 1}, filled(g, std::byte{6})};
+  disks.write_batch({&w, 1});
+  disks.disable_cache();  // must flush the dirty frame, charging rounds
+  EXPECT_FALSE(disks.cache_enabled());
+  EXPECT_EQ(disks.cache_frames(), 0u);
+  EXPECT_EQ(disks.peek({0, 1})[0], std::byte{6});
+  EXPECT_EQ(disks.stats().blocks_written, 1u);
+}
+
+TEST(CachedDiskArray, BasicDictWorksUnchangedAndCheaper) {
+  // The facade claim: BasicDict takes a DiskArray&, so handing it a
+  // CachedDiskArray must work verbatim — and cost no more I/O.
+  Geometry g = small_geom(4, 64, 16);
+  core::BasicDictParams params;
+  params.universe_size = 1u << 16;
+  params.capacity = 256;
+  params.value_bytes = 8;
+  params.degree = 4;
+
+  DiskArray plain(g);
+  CachedDiskArray cached(g, /*frames=*/64);
+  core::BasicDict d1(plain, 0, 0, params);
+  core::BasicDict d2(cached, 0, 0, params);
+  std::vector<std::byte> value(8, std::byte{0xab});
+  for (core::Key k = 1; k <= 200; ++k) {
+    ASSERT_TRUE(d1.insert(k, value));
+    ASSERT_TRUE(d2.insert(k, value));
+  }
+  for (core::Key k = 1; k <= 200; ++k) {
+    auto r1 = d1.lookup(k);
+    auto r2 = d2.lookup(k);
+    ASSERT_TRUE(r1.found && r2.found);
+    EXPECT_EQ(r1.value, r2.value);
+  }
+  EXPECT_FALSE(d2.lookup(5000).found);
+  EXPECT_TRUE(d2.erase(7));
+  EXPECT_FALSE(d2.lookup(7).found);
+  EXPECT_EQ(d1.size(), d2.size() + 1);
+  cached.flush_cache();
+  EXPECT_LE(cached.stats().parallel_ios, plain.stats().parallel_ios);
+  // And the reconciliation invariants hold across a real workload too.
+  CacheStats c = cached.cache_stats();
+  EXPECT_EQ(cached.stats().blocks_read, c.misses);
+  EXPECT_EQ(cached.stats().blocks_written, c.flushed_blocks);
+}
+
+}  // namespace
+}  // namespace pddict::pdm

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "core/basic_dict.hpp"
 #include "pdm/file_backend.hpp"
@@ -43,6 +44,25 @@ TEST_F(FileBackendTest, RawRoundTripAndFreshZeroSemantics) {
   // Erase restores zero.
   backend.erase_range(2, 1, 100, 1);
   EXPECT_EQ(backend.load({2, 100}), zero);
+}
+
+TEST_F(FileBackendTest, EraseRangeOverflowClamps) {
+  // Regression: wrapping first_disk + num_disks / base + count bounds used
+  // to make the erase a silent no-op (mirrors MemoryBackend).
+  Geometry geom{4, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  Block b(geom.block_bytes(), std::byte{0x5a});
+  Block zero(geom.block_bytes(), std::byte{0});
+  backend.store({0, 3}, b);
+  backend.store({3, 9}, b);
+  backend.erase_range(0, std::numeric_limits<std::uint32_t>::max(), 2,
+                      std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(backend.load({0, 3}), zero);
+  EXPECT_EQ(backend.load({3, 9}), zero);
+  // Blocks below `base` survive a wrapping-count erase.
+  backend.store({1, 1}, b);
+  backend.erase_range(1, 1, 2, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(backend.load({1, 1}), b);
 }
 
 TEST_F(FileBackendTest, AccountingIdenticalToMemoryBackend) {

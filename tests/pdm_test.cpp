@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "pdm/allocator.hpp"
 #include "pdm/block.hpp"
@@ -112,6 +113,33 @@ TEST(DiskArray, DiscardReleasesBlocks) {
   EXPECT_EQ(disks.peek({0, 3})[0], std::byte{0});
 }
 
+TEST(DiskArray, DiscardRangeOverflowClamps) {
+  // Regression: first_disk + num_disks wrapping uint32_t (and base + count
+  // wrapping uint64_t) used to turn the discard into a silent no-op.
+  DiskArray disks(small_geom());
+  disks.poke({0, 3}, Block(disks.geometry().block_bytes(), std::byte{9}));
+  disks.poke({3, 7}, Block(disks.geometry().block_bytes(), std::byte{9}));
+  EXPECT_EQ(disks.blocks_in_use(), 2u);
+  disks.discard_blocks(0, std::numeric_limits<std::uint32_t>::max(), 0,
+                       std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(disks.blocks_in_use(), 0u);
+  EXPECT_EQ(disks.peek({0, 3})[0], std::byte{0});
+  EXPECT_EQ(disks.peek({3, 7})[0], std::byte{0});
+
+  // Wrapping base + count with a nonzero base.
+  disks.poke({1, 5}, Block(disks.geometry().block_bytes(), std::byte{8}));
+  disks.discard_blocks(1, 1, 4,
+                       std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_EQ(disks.blocks_in_use(), 0u);
+
+  // Blocks outside the range stay put.
+  disks.poke({2, 1}, Block(disks.geometry().block_bytes(), std::byte{7}));
+  disks.discard_blocks(2, std::numeric_limits<std::uint32_t>::max(), 2,
+                       std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(disks.blocks_in_use(), 1u);
+  EXPECT_EQ(disks.peek({2, 1})[0], std::byte{7});
+}
+
 TEST(IoProbe, MeasuresDelta) {
   DiskArray disks(small_geom());
   disks.read_block({0, 0});
@@ -123,6 +151,28 @@ TEST(IoProbe, MeasuresDelta) {
   EXPECT_EQ(probe.delta().write_rounds, 1u);
   probe.reset();
   EXPECT_EQ(probe.ios(), 0u);
+}
+
+TEST(IoProbe, SaturatesAcrossStatsReset) {
+  // Regression: reset_stats() mid-probe rebased the live counters below the
+  // probe's start snapshot; the wrapping subtraction then reported ~2^64
+  // parallel I/Os and poisoned every report derived from the delta.
+  DiskArray disks(small_geom());
+  disks.read_block({0, 0});
+  disks.read_block({0, 1});
+  IoProbe probe(disks);
+  disks.read_block({0, 2});
+  disks.reset_stats();
+  IoStats d = probe.delta();
+  EXPECT_EQ(d.parallel_ios, 0u);
+  EXPECT_EQ(d.read_rounds, 0u);
+  EXPECT_EQ(d.blocks_read, 0u);
+  // The probe keeps measuring sensibly from the rebased counters upward.
+  disks.read_block({1, 0});
+  EXPECT_EQ(probe.delta().parallel_ios, 0u);  // still below the old start
+  probe.reset();
+  disks.read_block({1, 1});
+  EXPECT_EQ(probe.ios(), 1u);
 }
 
 TEST(StripedView, RoundTripAndCost) {
