@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_cache_curve");
   bench::TraceSession trace(argc, argv);
+  bench::IoThreadsOption io_threads(argc, argv);
   bench::CacheFramesOption cache_opt(argc, argv);
 
   const std::uint64_t n = 1 << 12;

@@ -89,6 +89,9 @@ std::vector<core::Key> half(const std::vector<core::Key>& keys, bool first) {
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_fig1_table");
   bench::TraceSession trace(argc, argv);
+  // Execution knob only: the CTest gate bench_json_report_identical checks
+  // the report is byte-identical under any --io-threads value.
+  bench::IoThreadsOption io_threads(argc, argv);
   report.set_seed(1);
   report.set_geometry(pdm::Geometry{kDegree, kBlockItems, kItemBytes, 0});
   const std::uint64_t n =

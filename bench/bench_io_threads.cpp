@@ -1,0 +1,221 @@
+// Experiment E — executing parallel rounds in parallel (the io_executor).
+//
+// The PDM charges one unit per parallel I/O because the D disks transfer
+// concurrently. DiskArray's accounting always modeled that; this bench
+// demonstrates that the *execution* now does too. It runs the Theorem 7
+// dynamic dictionary (build + Zipf lookups) on a FileBackend whose simulated
+// seek latency makes each positioned-I/O syscall cost real wall time — the
+// regime the model describes, where transfer latency dominates CPU — and
+// sweeps the per-disk worker count: 0 (serial, the exact historical path),
+// 1, 4 and D.
+//
+// Two things are reported per configuration:
+//   * wall_ns_per_round — measured wall time divided by the accounted
+//     parallel I/Os, i.e. what one "round" costs on the clock;
+//   * speedup_wall — serial wall time over this configuration's wall time.
+// And one thing is ASSERTED (nonzero exit, run by the CTest gate
+// `bench_io_threads_gate`): every accounting counter — parallel I/Os,
+// blocks read/written, per-disk counters — is byte-identical across the
+// whole sweep. Thread count changes when transfers happen, never what the
+// model charges.
+//
+// This bench measures wall time, so unlike the report benches it is NOT part
+// of bench_runner's committed-baseline suite; its JSON report exists for
+// ad-hoc comparison (bench_diff treats the wall fields as %-band metrics).
+//
+// Flags: --io-threads <t1,t2,...> overrides the swept ladder (0 always
+// prepended as the baseline); --seek-latency-us <n> the simulated device
+// latency (default 100); --json as elsewhere. Positional: n_keys (default
+// 256 — the serial baseline pays every seek on the clock, so the default
+// workload is kept small enough for the CI gate).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/dynamic_dict.hpp"
+#include "pdm/allocator.hpp"
+#include "pdm/file_backend.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RunResult {
+  std::uint64_t wall_ns = 0;
+  pddict::pdm::IoStats io;
+  std::vector<pddict::pdm::DiskCounters> per_disk;
+  pddict::pdm::IoExecutor::Stats exec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_io_threads");
+  // The sweep applies each value itself; don't publish a process default.
+  bench::IoThreadsOption threads_opt(argc, argv, /*publish_default=*/false);
+
+  std::uint32_t seek_latency_us = 100;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--seek-latency-us" && i + 1 < argc) {
+      seek_latency_us =
+          static_cast<std::uint32_t>(std::strtoul(argv[i + 1], nullptr, 10));
+      for (int j = i; j + 2 <= argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      --i;
+    }
+  }
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 8;
+  const std::uint64_t n_queries = n * 2;
+  const double eps = 0.5;
+  const double zipf_theta = 0.8;
+  const std::uint64_t seed = 23;
+
+  core::DynamicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = n;
+  p.value_bytes = 16;
+  p.epsilon_op = eps;
+  p.stripe_factor = 2.0;
+  p.degree = core::DynamicDict::degree_for(p);
+  const pdm::Geometry geom{2 * p.degree, 64, 16, 0};
+  const std::uint32_t D = geom.num_disks;
+
+  std::vector<std::size_t> ladder = {0, 1, 4, D};
+  if (threads_opt.set()) {
+    ladder.assign(1, 0);
+    for (std::size_t t : threads_opt.threads())
+      if (t) ladder.push_back(t);
+  }
+
+  report.set_seed(seed);
+  report.set_geometry(geom);
+  report.param("n", n);
+  report.param("n_queries", n_queries);
+  report.param("eps", eps);
+  report.param("zipf_theta", zipf_theta);
+  report.param("seek_latency_us", seek_latency_us);
+  report.param("backend", "file");
+
+  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                      p.universe_size, seed);
+  auto queries = workload::make_query_trace(keys, p.universe_size, n_queries,
+                                            /*hit_fraction=*/1.0, zipf_theta,
+                                            seed + 1)
+                     .queries;
+
+  std::printf("=== I/O thread sweep: wall time of parallel rounds "
+              "(FileBackend, %u us simulated seek) ===\n\n",
+              seek_latency_us);
+  std::printf("Theorem 7 dictionary, n = %llu keys + %llu Zipf(%.2f) lookups, "
+              "D = %u disks\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(n_queries), zipf_theta, D);
+  std::printf("%10s | %12s %12s %14s | %12s %10s\n", "io-threads",
+              "parallel I/O", "wall ms", "wall ns/round", "speedup", "counts");
+  bench::rule();
+
+  auto base_dir = std::filesystem::temp_directory_path() /
+                  ("pddict_bench_io_threads_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(base_dir, ec);
+
+  std::vector<RunResult> results;
+  bool counts_identical = true;
+  for (std::size_t idx = 0; idx < ladder.size(); ++idx) {
+    std::size_t threads = ladder[idx];
+    auto dir = base_dir / ("t" + std::to_string(threads));
+    std::filesystem::create_directories(dir);
+
+    RunResult r;
+    {
+      pdm::DiskArray disks(geom, pdm::Model::kParallelDisks,
+                           std::make_unique<pdm::FileBackend>(
+                               geom, dir.string(), seek_latency_us));
+      disks.set_io_threads(threads);
+      pdm::DiskAllocator alloc;
+      core::DynamicDict dict(disks, 0, alloc, p);
+
+      std::uint64_t start = now_ns();
+      for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 16));
+      for (core::Key k : queries) dict.lookup(k);
+      r.wall_ns = now_ns() - start;
+      r.io = disks.stats_snapshot();
+      r.per_disk = disks.disk_counters();
+      r.exec = disks.exec_stats();
+    }
+    std::filesystem::remove_all(dir, ec);
+
+    const RunResult& base = results.empty() ? r : results.front();
+    bool match = r.io.parallel_ios == base.io.parallel_ios &&
+                 r.io.read_rounds == base.io.read_rounds &&
+                 r.io.write_rounds == base.io.write_rounds &&
+                 r.io.blocks_read == base.io.blocks_read &&
+                 r.io.blocks_written == base.io.blocks_written;
+    for (std::uint32_t d = 0; match && d < D; ++d)
+      match = r.per_disk[d].blocks_read == base.per_disk[d].blocks_read &&
+              r.per_disk[d].blocks_written == base.per_disk[d].blocks_written &&
+              r.per_disk[d].rounds_active == base.per_disk[d].rounds_active &&
+              r.per_disk[d].idle_slots == base.per_disk[d].idle_slots;
+    counts_identical = counts_identical && match;
+
+    double wall_per_round =
+        r.io.parallel_ios
+            ? static_cast<double>(r.wall_ns) /
+                  static_cast<double>(r.io.parallel_ios)
+            : 0.0;
+    double speedup = results.empty()
+                         ? 1.0
+                         : static_cast<double>(base.wall_ns) /
+                               static_cast<double>(r.wall_ns);
+    std::printf("%10zu | %12llu %12.1f %14.0f | %11.2fx %10s%s\n", threads,
+                static_cast<unsigned long long>(r.io.parallel_ios),
+                static_cast<double>(r.wall_ns) / 1e6, wall_per_round, speedup,
+                match ? "same" : "DRIFT",
+                match ? "" : "   <-- accounting changed with thread count");
+
+    auto& row = report.add_row("io_threads=" + std::to_string(threads));
+    row.set("io_threads", static_cast<std::uint64_t>(threads));
+    row.set("paper_model",
+            "D disks transfer concurrently; one round costs one unit");
+    row.set("parallel_ios", r.io.parallel_ios);
+    row.set("blocks_read", r.io.blocks_read);
+    row.set("blocks_written", r.io.blocks_written);
+    row.set("wall_ns", r.wall_ns);
+    row.set("wall_ns_per_round", wall_per_round);
+    row.set("speedup_wall", speedup);
+    row.set("counts_match", match);
+    if (threads) {
+      row.set("exec_batches", r.exec.batches);
+      row.set("exec_jobs", r.exec.jobs);
+      row.set("exec_wall_ns", r.exec.wall_ns);
+      row.set("exec_max_queue_depth", r.exec.max_queue_depth);
+    }
+    results.push_back(std::move(r));
+  }
+  std::filesystem::remove_all(base_dir, ec);
+  bench::rule();
+
+  double best = 1.0;
+  for (std::size_t i = 1; i < results.size(); ++i)
+    best = std::max(best, static_cast<double>(results.front().wall_ns) /
+                              static_cast<double>(results[i].wall_ns));
+  std::printf("\naccounting byte-identical across the sweep: %s\n"
+              "best wall speedup over serial execution:    %.2fx\n",
+              counts_identical ? "yes" : "NO", best);
+  return counts_identical ? 0 : 1;
+}

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_thm7_dynamic");
   bench::TraceSession trace(argc, argv);
+  bench::IoThreadsOption io_threads(argc, argv);
   std::printf("=== Theorem 7: dynamic dictionary, 1+eps / 2+eps I/Os ===\n\n");
   std::printf("%6s %4s %7s | %13s %6s | %13s %6s | %13s %6s | %7s | %s\n",
               "eps", "d", "levels", "insert avg", "<=2+e", "hit avg", "<=1+e",

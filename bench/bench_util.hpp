@@ -31,6 +31,7 @@
 #include "obs/sink.hpp"
 #include "obs/trace_event.hpp"
 #include "pdm/disk_array.hpp"
+#include "pdm/io_executor.hpp"
 #include "pdm/io_stats.hpp"
 
 namespace pddict::bench {
@@ -187,6 +188,63 @@ class CacheFramesOption {
   }
 
   std::vector<std::size_t> frames_;
+};
+
+/// Strips `--io-threads <n|auto>` / `--io-threads=<...>` (also a comma list
+/// `--io-threads 0,1,4,8`) from argv. The knob form publishes the value
+/// through pdm::set_default_io_threads() so arrays constructed deep inside
+/// experiment helpers pick it up; `auto` means min(D, hardware_concurrency).
+/// The list form is for sweep benches (bench_io_threads), which apply each
+/// value themselves. Absent flag => serial execution, today's exact behavior.
+/// Execution threads never change the round accounting — reports produced
+/// under any --io-threads value are byte-identical; only wall time moves.
+class IoThreadsOption {
+ public:
+  IoThreadsOption(int& argc, char** argv, bool publish_default = true) {
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--io-threads" && i + 1 < argc) {
+        parse(argv[i + 1]);
+        consumed = 2;
+      } else if (arg.rfind("--io-threads=", 0) == 0) {
+        parse(std::string(arg.substr(13)).c_str());
+        consumed = 1;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+    if (publish_default && !threads_.empty())
+      pdm::set_default_io_threads(threads_.front());
+  }
+
+  bool set() const { return !threads_.empty(); }
+  const std::vector<std::size_t>& threads() const { return threads_; }
+  /// The knob form: first (usually only) value; 0 when the flag is absent.
+  std::size_t single() const { return threads_.empty() ? 0 : threads_.front(); }
+
+ private:
+  void parse(const char* text) {
+    const char* p = text;
+    while (*p) {
+      if (std::string_view(p).rfind("auto", 0) == 0) {
+        threads_.push_back(pdm::kAutoIoThreads);
+        p += 4;
+      } else {
+        char* end = nullptr;
+        threads_.push_back(
+            static_cast<std::size_t>(std::strtoull(p, &end, 10)));
+        if (end == p) break;  // not a number: stop rather than loop forever
+        p = end;
+      }
+      if (*p == ',') ++p;
+    }
+  }
+
+  std::vector<std::size_t> threads_;
 };
 
 /// Machine-readable experiment report ("pddict-bench-report" version 2).

@@ -250,6 +250,11 @@ int main(int argc, char** argv) {
   std::string trace_path, trace_event_path, bound_report_path;
   std::uint64_t doctor_n = 1500;
   std::size_t cache_frames = 0;
+  std::size_t io_threads = 0;
+  auto parse_io_threads = [](const char* text) -> std::size_t {
+    if (std::string_view(text) == "auto") return pdm::kAutoIoThreads;
+    return std::strtoull(text, nullptr, 10);
+  };
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -273,13 +278,18 @@ int main(int argc, char** argv) {
       cache_frames = std::strtoull(argv[++i], nullptr, 10);
     else if (arg.rfind("--cache-frames=", 0) == 0)
       cache_frames = std::strtoull(arg.c_str() + 15, nullptr, 10);
+    else if (arg == "--io-threads" && i + 1 < argc)
+      io_threads = parse_io_threads(argv[++i]);
+    else if (arg.rfind("--io-threads=", 0) == 0)
+      io_threads = parse_io_threads(arg.c_str() + 13);
     else
       positional.push_back(std::move(arg));
   }
   if (positional.empty()) {
     std::fprintf(stderr,
                  "usage: %s [--trace <path>] [--trace-event <path>] "
-                 "[--cache-frames <n>] <directory> [command args...]\n"
+                 "[--cache-frames <n>] [--io-threads <n|auto>] "
+                 "<directory> [command args...]\n"
                  "       %s doctor [--n <keys>] [--bound-report <path>]\n",
                  argv[0], argv[0]);
     return 2;
@@ -291,6 +301,9 @@ int main(int argc, char** argv) {
   pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,
                        std::make_unique<pdm::FileBackend>(kGeom, dir));
   if (cache_frames) disks.enable_cache(cache_frames);
+  // Execution knob only: every count the CLI prints is identical for any
+  // thread count — parallel workers change wall time, not rounds.
+  if (io_threads) disks.set_io_threads(io_threads);
   auto spans = std::make_shared<obs::SpanAggregator>();
   std::shared_ptr<obs::JsonLinesSink> jsonl;
   std::shared_ptr<obs::RingBufferSink> ring;

@@ -75,8 +75,12 @@ bool ends_with(const std::string& s, const char* suffix) {
 
 bool is_wall_metric(const std::string& path) {
   std::string leaf = last_segment(path);
+  // queue_depth rides with the wall metrics: like wall time it reflects
+  // execution scheduling (how transfers landed on workers), not the
+  // deterministic round accounting, so it gets the %-band treatment.
   return leaf.find("wall") != std::string::npos || ends_with(leaf, "_ms") ||
-         ends_with(leaf, "_ns") || ends_with(leaf, "_us");
+         ends_with(leaf, "_ns") || ends_with(leaf, "_us") ||
+         ends_with(leaf, "queue_depth");
 }
 
 /// Metrics where a larger value is the better one.
@@ -84,8 +88,8 @@ bool is_higher_better(const std::string& path) {
   static const std::set<std::string> kHigherBetter = {
       "mean_utilization", "utilization",   "expansion",
       "min_expansion",    "bandwidth",     "speedup",
-      "unique_fraction",  "within_bounds", "ok",
-      "passed",           "bits_saved"};
+      "speedup_wall",     "unique_fraction", "within_bounds",
+      "ok",               "passed",        "bits_saved"};
   return kHigherBetter.count(last_segment(path)) > 0;
 }
 
@@ -225,7 +229,10 @@ DiffResult diff_baselines(const Json& before, const Json& after,
     }
     if (is_wall_metric(path)) {
       if (std::fabs(rel) * 100.0 <= options.wall_tol_pct) continue;
-      DiffKind kind = b > a ? DiffKind::kRegression : DiffKind::kImprovement;
+      // speedup_wall and friends are wall-derived but higher-better: a DROP
+      // is the regression there (e.g. the executor losing its overlap).
+      bool worse = is_higher_better(path) ? b < a : b > a;
+      DiffKind kind = worse ? DiffKind::kRegression : DiffKind::kImprovement;
       if (kind == DiffKind::kRegression && !options.gate_wall)
         kind = DiffKind::kChange;
       if (kind == DiffKind::kRegression) ++result.regressions;

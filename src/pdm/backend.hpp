@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +20,19 @@
 
 namespace pddict::pdm {
 
+/// One block transfer of a batched backend call. The executor (io_executor)
+/// hands each disk worker a span of these; `out` / `block` point into
+/// caller-owned storage that stays alive for the duration of the call.
+struct BlockRead {
+  BlockAddr addr;
+  Block* out;
+};
+
+struct BlockWrite {
+  BlockAddr addr;
+  const Block* block;
+};
+
 class BlockBackend {
  public:
   virtual ~BlockBackend() = default;
@@ -26,6 +40,28 @@ class BlockBackend {
   /// Read a block; blocks never written read back as all-zero.
   virtual Block load(const BlockAddr& addr) = 0;
   virtual void store(const BlockAddr& addr, const Block& block) = 0;
+
+  // ---- batched transfers (the executor's entry points) ----
+  //
+  // Contract shared by both directions:
+  //   * Addresses within one call are DISTINCT (DiskArray dedups first, so a
+  //     backend may reorder the span in place — FileBackend sorts it to merge
+  //     contiguous blocks into single preadv/pwritev calls).
+  //   * Concurrent batched calls are only ever issued for DISJOINT disks (the
+  //     per-disk worker engine guarantees this), so a backend is safe iff its
+  //     per-disk state is independent — true for MemoryBackend's per-disk
+  //     maps and FileBackend's per-disk fds.
+  // The default implementations loop over the virtual single-block hooks, so
+  // existing backends keep working unmodified.
+
+  virtual void load_batch(std::span<BlockRead> reads) {
+    for (BlockRead& r : reads) *r.out = load(r.addr);
+  }
+
+  virtual void store_batch(std::span<BlockWrite> writes) {
+    for (const BlockWrite& w : writes) store(w.addr, *w.block);
+  }
+
   /// Release blocks [base, base+count) on the given disks (read as zero
   /// afterwards).
   virtual void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
@@ -47,6 +83,25 @@ class MemoryBackend final : public BlockBackend {
 
   void store(const BlockAddr& addr, const Block& block) override {
     disks_[addr.disk][addr.block] = block;
+  }
+
+  // Batched forms walk the per-disk sharded maps directly: one virtual call
+  // per disk run instead of one per block, and no temporary Block per load.
+  // Disjoint-disk concurrency is safe because each disk owns its own map.
+  void load_batch(std::span<BlockRead> reads) override {
+    for (BlockRead& r : reads) {
+      const auto& disk = disks_[r.addr.disk];
+      auto it = disk.find(r.addr.block);
+      if (it == disk.end())
+        r.out->assign(block_bytes_, std::byte{0});
+      else
+        *r.out = it->second;
+    }
+  }
+
+  void store_batch(std::span<BlockWrite> writes) override {
+    for (const BlockWrite& w : writes)
+      disks_[w.addr.disk][w.addr.block] = *w.block;
   }
 
   void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,

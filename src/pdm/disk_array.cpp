@@ -20,14 +20,30 @@ DiskArray::DiskArray(Geometry geom, Model model,
       sink_(obs::default_sink()) {
   if (!geom_.valid()) throw std::invalid_argument("invalid PDM geometry");
   if (!backend_) throw std::invalid_argument("null block backend");
+  std::size_t threads =
+      IoExecutor::resolve_threads(default_io_threads(), geom_.num_disks);
+  if (threads) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, threads);
 }
 
 DiskArray::~DiskArray() {
   // Durability, not accounting: dirty cached blocks reach the backend (file
   // backends persist them), but a dying array charges no rounds.
   if (!cache_) return;
-  for (auto& [addr, block] : cache_->take_dirty())
-    backend_->store(addr, std::move(block));
+  auto dirty = cache_->take_dirty();
+  std::vector<BlockWrite> writes;
+  writes.reserve(dirty.size());
+  for (auto& [addr, block] : dirty) writes.push_back({addr, &block});
+  backend_->store_batch(writes);
+}
+
+void DiskArray::set_io_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t resolved = IoExecutor::resolve_threads(threads, geom_.num_disks);
+  if (exec_ && exec_->threads() == resolved) return;
+  // Destroying the old engine joins its (idle — we hold the scheduling lock,
+  // so no batch is mid-execution) workers before the new one spawns.
+  exec_.reset();
+  if (resolved) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, resolved);
 }
 
 void DiskArray::reset_stats() {
@@ -36,6 +52,7 @@ void DiskArray::reset_stats() {
   std::fill(disk_counters_.begin(), disk_counters_.end(), DiskCounters{});
   std::fill(round_hist_.begin(), round_hist_.end(), 0);
   if (cache_) cache_->reset_stats();
+  if (exec_) exec_->reset_stats();
   cache_flushed_blocks_ = 0;
   cache_flush_rounds_ = 0;
 }
@@ -69,6 +86,49 @@ CacheStats DiskArray::cache_stats() const {
   return s;
 }
 
+std::size_t DiskArray::uniq_index(const std::vector<BlockAddr>& uniq,
+                                  const BlockAddr& addr) {
+  return static_cast<std::size_t>(
+      std::lower_bound(uniq.begin(), uniq.end(), addr) - uniq.begin());
+}
+
+void DiskArray::fetch_blocks_locked(const std::vector<BlockAddr>& uniq,
+                                    std::vector<Block>& blocks) {
+  blocks.resize(uniq.size());
+  if (uniq.empty()) return;
+  if (!exec_) {
+    // Serial: one flat batched backend call (FileBackend still coalesces
+    // contiguous runs into single preadv calls) on the submitting thread.
+    std::vector<BlockRead> reads;
+    reads.reserve(uniq.size());
+    for (std::size_t i = 0; i < uniq.size(); ++i)
+      reads.push_back({uniq[i], &blocks[i]});
+    backend_->load_batch(reads);
+    return;
+  }
+  std::vector<std::vector<BlockRead>> per_disk(geom_.num_disks);
+  for (std::size_t i = 0; i < uniq.size(); ++i)
+    per_disk[uniq[i].disk].push_back({uniq[i], &blocks[i]});
+  exec_->execute_reads(*backend_, per_disk);
+}
+
+void DiskArray::store_blocks_locked(const std::vector<BlockAddr>& uniq,
+                                    const std::vector<const Block*>& src) {
+  if (uniq.empty()) return;
+  if (!exec_) {
+    std::vector<BlockWrite> writes;
+    writes.reserve(uniq.size());
+    for (std::size_t i = 0; i < uniq.size(); ++i)
+      writes.push_back({uniq[i], src[i]});
+    backend_->store_batch(writes);
+    return;
+  }
+  std::vector<std::vector<BlockWrite>> per_disk(geom_.num_disks);
+  for (std::size_t i = 0; i < uniq.size(); ++i)
+    per_disk[uniq[i].disk].push_back({uniq[i], src[i]});
+  exec_->execute_writes(*backend_, per_disk);
+}
+
 std::uint64_t DiskArray::flush_victims_locked(
     std::vector<std::pair<BlockAddr, Block>>& victims) {
   if (victims.empty()) return 0;
@@ -76,7 +136,14 @@ std::uint64_t DiskArray::flush_victims_locked(
   addrs.reserve(victims.size());
   for (const auto& [addr, block] : victims) addrs.push_back(addr);
   BatchPlan plan = plan_batch(addrs);
-  for (auto& [addr, block] : victims) backend_->store(addr, std::move(block));
+  // One executed round batch over the distinct victims. A duplicate address
+  // (a block evicted dirty, refilled and evicted dirty again within one
+  // batch) keeps its LAST contents, exactly like the sequential stores this
+  // replaces.
+  std::vector<const Block*> src(plan.uniq.size(), nullptr);
+  for (const auto& [addr, block] : victims)
+    src[uniq_index(plan.uniq, addr)] = &block;
+  store_blocks_locked(plan.uniq, src);
   account_batch(plan, /*write=*/true, addrs);
   cache_flushed_blocks_ += plan.uniq.size();
   cache_flush_rounds_ += plan.rounds;
@@ -214,6 +281,9 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
   bool cached = false;
   CacheStats cache;
   std::size_t cache_capacity = 0, cache_resident = 0;
+  bool parallel = false;
+  std::size_t exec_threads = 0;
+  IoExecutor::Stats exec;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stats = stats_;
@@ -227,6 +297,11 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
       cache.flush_rounds = cache_flush_rounds_;
       cache_capacity = cache_->capacity();
       cache_resident = cache_->size();
+    }
+    if (exec_) {
+      parallel = true;
+      exec_threads = exec_->threads();
+      exec = exec_->stats();
     }
   }
   if (cached) {
@@ -256,6 +331,21 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
     registry.count(dp + ".blocks_written", disks[d].blocks_written);
     registry.count(dp + ".rounds_active", disks[d].rounds_active);
     registry.count(dp + ".idle_slots", disks[d].idle_slots);
+  }
+  // Execution-engine metrics exist only when a parallel engine is attached,
+  // so serial (io_threads = 0) exports stay byte-identical to the seed.
+  if (parallel) {
+    registry.gauge(p + ".exec.io_threads", static_cast<double>(exec_threads));
+    registry.count(p + ".exec.batches", exec.batches);
+    registry.count(p + ".exec.jobs", exec.jobs);
+    registry.count(p + ".exec.wall_ns", exec.wall_ns);
+    registry.gauge(p + ".exec.max_queue_depth",
+                   static_cast<double>(exec.max_queue_depth));
+    for (std::uint32_t d = 0; d < exec.disk_busy_ns.size(); ++d) {
+      std::string dp = p + ".exec.disk." + std::to_string(d);
+      registry.count(dp + ".busy_ns", exec.disk_busy_ns[d]);
+      registry.count(dp + ".jobs", exec.disk_jobs[d]);
+    }
   }
 }
 
@@ -289,9 +379,14 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   for (const auto& a : addrs) check_addr(a);
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cache_) {
+    // Load each DISTINCT block exactly once — the accounting always deduped
+    // them, but the execution used to hit the backend once per occurrence —
+    // and fan the fetched blocks out to the submitted order.
     BatchPlan plan = plan_batch(addrs);
-    for (const auto& a : addrs) out.push_back(backend_->load(a));
+    std::vector<Block> fetched;
+    fetch_blocks_locked(plan.uniq, fetched);
     account_batch(plan, /*write=*/false, addrs);
+    for (const auto& a : addrs) out.push_back(fetched[uniq_index(plan.uniq, a)]);
     return plan.rounds;
   }
 
@@ -316,16 +411,19 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   std::uint64_t rounds = 0;
   std::vector<std::pair<BlockAddr, Block>> victims;
   if (!missed.empty()) {
+    // `missed` preserves uniq's order, so it is already sorted + distinct:
+    // fetch all misses as one executed round batch, then install them.
     BatchPlan plan = plan_batch(missed);
-    for (const auto& a : missed) {
-      Block b = backend_->load(a);
+    std::vector<Block> fetched;
+    fetch_blocks_locked(missed, fetched);
+    for (std::size_t i = 0; i < missed.size(); ++i) {
       // Installing the fetched block may evict dirty frames; collect them
       // and write them back as ONE coalesced batch after the reads. (A
       // victim can never itself be in `missed`: it was resident, so its
       // lookup above was a hit.)
-      for (auto& v : cache_->put(a, b, /*dirty=*/false))
+      for (auto& v : cache_->put(missed[i], fetched[i], /*dirty=*/false))
         victims.push_back(std::move(v));
-      resolved.emplace_back(a, std::move(b));
+      resolved.emplace_back(missed[i], std::move(fetched[i]));
     }
     account_batch(plan, /*write=*/false, missed);
     rounds = plan.rounds;
@@ -355,7 +453,11 @@ std::uint64_t DiskArray::write_batch(
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cache_) {
     BatchPlan plan = plan_batch(addrs);
-    for (const auto& [a, b] : writes) backend_->store(a, b);
+    // Store each DISTINCT block once; a duplicate address keeps its LAST
+    // block, exactly like the sequential store loop this replaces.
+    std::vector<const Block*> src(plan.uniq.size(), nullptr);
+    for (const auto& [a, b] : writes) src[uniq_index(plan.uniq, a)] = &b;
+    store_blocks_locked(plan.uniq, src);
     account_batch(plan, /*write=*/true, addrs);
     return plan.rounds;
   }

@@ -18,6 +18,15 @@
 // Storage is sparse (hash map per disk) so petabyte-scale address spaces cost
 // memory only proportional to blocks actually written. Unwritten blocks read
 // back as all-zero bytes, matching a freshly formatted disk.
+//
+// Execution vs accounting: rounds are *accounted* by plan_batch/account_batch
+// (identical for every configuration), while the planned transfers are
+// *executed* either serially on the submitting thread (io_threads == 0, the
+// default) or concurrently by a persistent per-disk worker engine
+// (set_io_threads / pdm::IoExecutor) that joins before accounting — the
+// overlapped transfers the model's "one unit per parallel I/O" charge always
+// assumed. Measured counts are byte-identical either way; only wall time
+// changes.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +43,7 @@
 #include "pdm/block.hpp"
 #include "pdm/buffer_pool.hpp"
 #include "pdm/geometry.hpp"
+#include "pdm/io_executor.hpp"
 #include "pdm/io_stats.hpp"
 
 namespace pddict::obs {
@@ -124,6 +134,34 @@ class DiskArray {
   /// Cache counters with the flush fields filled in (all zero when the cache
   /// is off). See buffer_pool.hpp for the reconciliation invariants.
   CacheStats cache_stats() const;
+
+  // ---- parallel round execution (the per-disk worker engine) ----
+  //
+  // Round *accounting* (plan_batch / account_batch) is untouched by any of
+  // this: IoStats, cache counters, BoundMonitor margins and every committed
+  // bench baseline are byte-identical for all io_threads values — only the
+  // wall clock of executing a round changes. io_threads == 0 (the default,
+  // overridable process-wide via pdm::set_default_io_threads) executes a
+  // round's transfers serially on the submitting thread; io_threads >= 1
+  // hands each round's per-disk transfer lists to a persistent IoExecutor
+  // whose workers run them concurrently and join before accounting.
+
+  /// Install (or tear down, with 0) the per-disk worker engine.
+  /// kAutoIoThreads resolves to min(D, hardware_concurrency). Takes the
+  /// scheduling lock, so switching mid-run under concurrent batch traffic is
+  /// safe; in-flight batches complete on the engine they started with.
+  void set_io_threads(std::size_t threads);
+  /// Resolved worker count (0 = serial execution).
+  std::size_t io_threads() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return exec_ ? exec_->threads() : 0;
+  }
+  /// Execution-side timing counters (zeroed by reset_stats(); all zero when
+  /// serial). Purely observational — never feeds the round accounting.
+  IoExecutor::Stats exec_stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return exec_ ? exec_->stats() : IoExecutor::Stats{};
+  }
 
   // ---- per-disk metrics ----
 
@@ -251,10 +289,26 @@ class DiskArray {
                      std::span<const BlockAddr> submitted);
 
   /// Plans `victims` as one batched write-back flush, stores them to the
-  /// backend (in order, so a later duplicate wins) and accounts the batch as
-  /// writes. Returns the rounds charged. Caller holds mutex_.
+  /// backend (a later duplicate wins) and accounts the batch as writes.
+  /// Returns the rounds charged. Caller holds mutex_.
   std::uint64_t flush_victims_locked(
       std::vector<std::pair<BlockAddr, Block>>& victims);
+
+  /// Index of `addr` in a sorted distinct address list (plan_batch's uniq).
+  static std::size_t uniq_index(const std::vector<BlockAddr>& uniq,
+                                const BlockAddr& addr);
+
+  /// Fetch `uniq` (sorted distinct) from the backend into `blocks` as one
+  /// executed round batch: per-disk transfer lists run concurrently on the
+  /// worker engine, or one flat batched backend call when serial. Caller
+  /// holds mutex_.
+  void fetch_blocks_locked(const std::vector<BlockAddr>& uniq,
+                           std::vector<Block>& blocks);
+
+  /// Store `uniq[i] <- *src[i]` as one executed round batch (src entries are
+  /// never null: every distinct address has a source). Caller holds mutex_.
+  void store_blocks_locked(const std::vector<BlockAddr>& uniq,
+                           const std::vector<const Block*>& src);
 
   Geometry geom_;
   Model model_;
@@ -262,6 +316,7 @@ class DiskArray {
   std::vector<DiskCounters> disk_counters_;
   std::vector<std::uint64_t> round_hist_;  // index = slots used, size D+1
   std::unique_ptr<BlockBackend> backend_;
+  std::unique_ptr<IoExecutor> exec_;   // null = serial round execution
   std::unique_ptr<BufferPool> cache_;  // null = cache off (the default)
   std::uint64_t cache_flushed_blocks_ = 0;
   std::uint64_t cache_flush_rounds_ = 0;

@@ -2,7 +2,13 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
+#include <time.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <linux/falloc.h>  // FALLOC_FL_PUNCH_HOLE
+#endif
 
 #include <algorithm>
 #include <cerrno>
@@ -18,10 +24,14 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
+// Linux caps one vectored call at IOV_MAX (1024) segments; stay under it.
+constexpr std::size_t kMaxIov = 512;
+
 }  // namespace
 
-FileBackend::FileBackend(const Geometry& geom, const std::string& directory)
-    : block_bytes_(geom.block_bytes()) {
+FileBackend::FileBackend(const Geometry& geom, const std::string& directory,
+                         std::uint32_t seek_latency_us)
+    : block_bytes_(geom.block_bytes()), seek_latency_us_(seek_latency_us) {
   fds_.reserve(geom.num_disks);
   for (std::uint32_t d = 0; d < geom.num_disks; ++d) {
     std::string path = directory + "/disk_" + std::to_string(d) + ".bin";
@@ -36,7 +46,18 @@ FileBackend::~FileBackend() {
     if (fd >= 0) ::close(fd);
 }
 
+void FileBackend::simulate_seek() const {
+  if (seek_latency_us_ == 0) return;
+  struct timespec ts;
+  ts.tv_sec = seek_latency_us_ / 1000000;
+  ts.tv_nsec = static_cast<long>(seek_latency_us_ % 1000000) * 1000;
+  // Sleeping (not spinning) is the point: a simulated seek occupies the disk,
+  // not a CPU, so concurrent workers overlap seeks the way real disks do.
+  ::nanosleep(&ts, nullptr);
+}
+
 Block FileBackend::load(const BlockAddr& addr) {
+  simulate_seek();
   Block block(block_bytes_, std::byte{0});
   off_t offset = static_cast<off_t>(addr.block) *
                  static_cast<off_t>(block_bytes_);
@@ -48,6 +69,7 @@ Block FileBackend::load(const BlockAddr& addr) {
 }
 
 void FileBackend::store(const BlockAddr& addr, const Block& block) {
+  simulate_seek();
   off_t offset = static_cast<off_t>(addr.block) *
                  static_cast<off_t>(block_bytes_);
   ssize_t put = ::pwrite(fds_[addr.disk], block.data(), block.size(), offset);
@@ -55,14 +77,104 @@ void FileBackend::store(const BlockAddr& addr, const Block& block) {
     throw_errno("pwrite");
 }
 
+void FileBackend::load_batch(std::span<BlockRead> reads) {
+  std::sort(reads.begin(), reads.end(),
+            [](const BlockRead& x, const BlockRead& y) {
+              return x.addr < y.addr;
+            });
+  std::size_t i = 0;
+  while (i < reads.size()) {
+    // Extend a run of contiguous blocks on one disk.
+    std::size_t j = i + 1;
+    while (j < reads.size() && j - i < kMaxIov &&
+           reads[j].addr.disk == reads[i].addr.disk &&
+           reads[j].addr.block == reads[j - 1].addr.block + 1)
+      ++j;
+    std::vector<struct iovec> iov;
+    iov.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) {
+      reads[k].out->assign(block_bytes_, std::byte{0});
+      iov.push_back({reads[k].out->data(), block_bytes_});
+    }
+    simulate_seek();
+    int fd = fds_[reads[i].addr.disk];
+    off_t offset = static_cast<off_t>(reads[i].addr.block) *
+                   static_cast<off_t>(block_bytes_);
+    std::size_t done = 0;
+    const std::size_t total = (j - i) * block_bytes_;
+    std::size_t iov_at = 0;
+    while (done < total) {
+      ssize_t got = ::preadv(fd, iov.data() + iov_at,
+                             static_cast<int>(iov.size() - iov_at),
+                             offset + static_cast<off_t>(done));
+      if (got < 0) throw_errno("preadv");
+      if (got == 0) break;  // EOF: the pre-zeroed tail is fresh-disk zeros
+      done += static_cast<std::size_t>(got);
+      // Advance past fully transferred segments; resize a partial one so the
+      // next call continues exactly where this one stopped.
+      while (iov_at < iov.size() && iov[iov_at].iov_len <= static_cast<std::size_t>(got)) {
+        got -= static_cast<ssize_t>(iov[iov_at].iov_len);
+        ++iov_at;
+      }
+      if (iov_at < iov.size() && got > 0) {
+        iov[iov_at].iov_base = static_cast<char*>(iov[iov_at].iov_base) + got;
+        iov[iov_at].iov_len -= static_cast<std::size_t>(got);
+      }
+    }
+    i = j;
+  }
+}
+
+void FileBackend::store_batch(std::span<BlockWrite> writes) {
+  std::sort(writes.begin(), writes.end(),
+            [](const BlockWrite& x, const BlockWrite& y) {
+              return x.addr < y.addr;
+            });
+  std::size_t i = 0;
+  while (i < writes.size()) {
+    std::size_t j = i + 1;
+    while (j < writes.size() && j - i < kMaxIov &&
+           writes[j].addr.disk == writes[i].addr.disk &&
+           writes[j].addr.block == writes[j - 1].addr.block + 1)
+      ++j;
+    std::vector<struct iovec> iov;
+    iov.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k)
+      iov.push_back({const_cast<std::byte*>(writes[k].block->data()),
+                     writes[k].block->size()});
+    simulate_seek();
+    int fd = fds_[writes[i].addr.disk];
+    off_t offset = static_cast<off_t>(writes[i].addr.block) *
+                   static_cast<off_t>(block_bytes_);
+    std::size_t done = 0;
+    const std::size_t total = (j - i) * block_bytes_;
+    std::size_t iov_at = 0;
+    while (done < total) {
+      ssize_t put = ::pwritev(fd, iov.data() + iov_at,
+                              static_cast<int>(iov.size() - iov_at),
+                              offset + static_cast<off_t>(done));
+      if (put <= 0) throw_errno("pwritev");
+      done += static_cast<std::size_t>(put);
+      while (iov_at < iov.size() && iov[iov_at].iov_len <= static_cast<std::size_t>(put)) {
+        put -= static_cast<ssize_t>(iov[iov_at].iov_len);
+        ++iov_at;
+      }
+      if (iov_at < iov.size() && put > 0) {
+        iov[iov_at].iov_base = static_cast<char*>(iov[iov_at].iov_base) + put;
+        iov[iov_at].iov_len -= static_cast<std::size_t>(put);
+      }
+    }
+    i = j;
+  }
+}
+
 void FileBackend::erase_range(std::uint32_t first_disk,
                               std::uint32_t num_disks, std::uint64_t base,
                               std::uint64_t count) {
-  Block zero(block_bytes_, std::byte{0});
   // Checked arithmetic, mirroring MemoryBackend: the unclamped
   // `first_disk + num_disks` / `base + count` bounds wrapped and turned the
-  // discard into a no-op. Clamp the block range to EOF first so the loop
-  // bound `base + n` provably cannot overflow.
+  // discard into a no-op. Clamp the block range to EOF first so the byte
+  // extent `n * block_bytes_` provably cannot overflow.
   std::uint64_t end_disk = std::min<std::uint64_t>(
       static_cast<std::uint64_t>(first_disk) + num_disks, fds_.size());
   for (std::uint64_t d = first_disk; d < end_disk; ++d) {
@@ -73,6 +185,20 @@ void FileBackend::erase_range(std::uint32_t first_disk,
         block_bytes_;
     if (base >= eof_blocks) continue;  // beyond EOF: already zero
     std::uint64_t n = std::min(count, eof_blocks - base);
+#ifdef FALLOC_FL_PUNCH_HOLE
+    if (punch_hole_) {
+      // One hole-punch per disk instead of one zero-write per block; the
+      // punched extent reads back as zeros (fresh-disk semantics) and the
+      // file size is kept so blocks_in_use stays the same approximation the
+      // zero-write path produces.
+      if (::fallocate(fds_[d], FALLOC_FL_PUNCH_HOLE | FALLOC_FL_KEEP_SIZE,
+                      static_cast<off_t>(base * block_bytes_),
+                      static_cast<off_t>(n * block_bytes_)) == 0)
+        continue;
+      // EOPNOTSUPP & friends: fall through to the portable zero-write loop.
+    }
+#endif
+    Block zero(block_bytes_, std::byte{0});
     for (std::uint64_t b = base; b < base + n; ++b)
       store({static_cast<std::uint32_t>(d), b}, zero);
   }

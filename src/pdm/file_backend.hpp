@@ -4,8 +4,23 @@
 // Reads past the end of file (or over never-written holes) return zeros,
 // matching the simulator's fresh-disk semantics, so every structure in the
 // library runs unchanged — and persistently — on this backend.
+//
+// Batched transfers: load_batch/store_batch sort their span by (disk, block)
+// and merge runs of contiguous blocks on one disk into single preadv/pwritev
+// calls, so a round's per-disk transfer list costs one syscall per extent
+// instead of one per block. Per-disk state is just the fd, so the per-disk
+// worker engine (io_executor) may call batched transfers for disjoint disks
+// concurrently.
+//
+// Device-latency simulation: an optional per-transfer latency (one "seek")
+// charged per positioned-I/O syscall via nanosleep. Raw page-cache files
+// have no seek cost, which hides exactly the concurrency the PDM models;
+// with a latency the measured wall clock tracks the parallel round structure
+// (bench_io_threads uses this to demonstrate the executor's overlap
+// deterministically on any host). Default 0 = today's raw behavior.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,8 +31,10 @@ namespace pddict::pdm {
 class FileBackend final : public BlockBackend {
  public:
   /// Opens (creating if necessary) `<directory>/disk_<i>.bin` for each disk.
-  /// The directory must exist.
-  FileBackend(const Geometry& geom, const std::string& directory);
+  /// The directory must exist. `seek_latency_us` is slept once per
+  /// positioned-I/O syscall (0 = off).
+  FileBackend(const Geometry& geom, const std::string& directory,
+              std::uint32_t seek_latency_us = 0);
   ~FileBackend() override;
 
   FileBackend(const FileBackend&) = delete;
@@ -25,12 +42,24 @@ class FileBackend final : public BlockBackend {
 
   Block load(const BlockAddr& addr) override;
   void store(const BlockAddr& addr, const Block& block) override;
+  void load_batch(std::span<BlockRead> reads) override;
+  void store_batch(std::span<BlockWrite> writes) override;
   void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
                    std::uint64_t base, std::uint64_t count) override;
   std::uint64_t blocks_in_use() const override;
 
+  std::uint32_t seek_latency_us() const { return seek_latency_us_; }
+
+  /// Force erase_range onto the zero-write fallback even where
+  /// FALLOC_FL_PUNCH_HOLE is available (regression tests cover both paths).
+  void set_punch_hole_for_testing(bool enabled) { punch_hole_ = enabled; }
+
  private:
+  void simulate_seek() const;
+
   std::size_t block_bytes_;
+  std::uint32_t seek_latency_us_;
+  bool punch_hole_ = true;
   std::vector<int> fds_;
 };
 

@@ -1,0 +1,200 @@
+#include "pdm/io_executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pddict::pdm {
+
+namespace {
+
+std::atomic<std::size_t> g_default_io_threads{0};
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void bump_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t default_io_threads() {
+  return g_default_io_threads.load(std::memory_order_relaxed);
+}
+
+void set_default_io_threads(std::size_t threads) {
+  g_default_io_threads.store(threads, std::memory_order_relaxed);
+}
+
+std::size_t IoExecutor::resolve_threads(std::size_t requested,
+                                        std::uint32_t num_disks) {
+  if (requested == 0) return 0;
+  if (requested == kAutoIoThreads) {
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    requested = hw;
+  }
+  return std::min<std::size_t>(requested, num_disks);
+}
+
+IoExecutor::IoExecutor(std::uint32_t num_disks, std::size_t threads)
+    : num_disks_(num_disks),
+      disk_busy_ns_(num_disks),
+      disk_jobs_(num_disks) {
+  for (auto& v : disk_busy_ns_) v.store(0, std::memory_order_relaxed);
+  for (auto& v : disk_jobs_) v.store(0, std::memory_order_relaxed);
+  std::size_t n = resolve_threads(threads, num_disks);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  // Start threads only after every Worker slot exists: a worker index is
+  // also its disk-assignment key (disk % threads), which must be stable.
+  for (std::size_t i = 0; i < n; ++i)
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+}
+
+IoExecutor::~IoExecutor() {
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+    }
+    w->wake.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+}
+
+void IoExecutor::run_job(const Job& job) {
+  std::uint64_t start = now_ns();
+  if (job.reads)
+    job.backend->load_batch(*job.reads);
+  else
+    job.backend->store_batch(*job.writes);
+  disk_busy_ns_[job.disk].fetch_add(now_ns() - start,
+                                    std::memory_order_relaxed);
+  disk_jobs_[job.disk].fetch_add(1, std::memory_order_relaxed);
+}
+
+void IoExecutor::worker_loop(std::size_t index) {
+  Worker& me = *workers_[index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(me.mutex);
+      me.wake.wait(lock, [&] {
+        return !me.queue.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (me.queue.empty()) return;  // stopping and drained
+      job = me.queue.front();
+      me.queue.pop_front();
+    }
+    std::exception_ptr error;
+    try {
+      run_job(job);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.barrier->mutex);
+      if (error && !job.barrier->error) job.barrier->error = error;
+      if (--job.barrier->pending == 0) job.barrier->done.notify_all();
+    }
+  }
+}
+
+void IoExecutor::submit_and_wait(std::vector<Job>& jobs) {
+  if (jobs.empty()) return;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
+  std::uint64_t start = now_ns();
+
+  if (workers_.empty()) {
+    // Serial path: the calling thread executes disk by disk, in disk order.
+    for (const Job& job : jobs) run_job(job);
+    wall_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+    return;
+  }
+
+  Barrier barrier;
+  barrier.pending = jobs.size();
+  for (Job& job : jobs) {
+    job.barrier = &barrier;
+    Worker& w = *workers_[job.disk % workers_.size()];
+    std::size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(w.mutex);
+      w.queue.push_back(job);
+      depth = w.queue.size();
+    }
+    w.wake.notify_one();
+    bump_max(max_queue_depth_, depth);
+  }
+  {
+    std::unique_lock<std::mutex> lock(barrier.mutex);
+    barrier.done.wait(lock, [&] { return barrier.pending == 0; });
+  }
+  wall_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  if (barrier.error) std::rethrow_exception(barrier.error);
+}
+
+void IoExecutor::execute_reads(BlockBackend& backend,
+                               std::vector<std::vector<BlockRead>>& per_disk) {
+  std::vector<Job> jobs;
+  for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
+    if (per_disk[d].empty()) continue;
+    Job job;
+    job.backend = &backend;
+    job.reads = &per_disk[d];
+    job.disk = d;
+    jobs.push_back(job);
+  }
+  submit_and_wait(jobs);
+}
+
+void IoExecutor::execute_writes(
+    BlockBackend& backend, std::vector<std::vector<BlockWrite>>& per_disk) {
+  std::vector<Job> jobs;
+  for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
+    if (per_disk[d].empty()) continue;
+    Job job;
+    job.backend = &backend;
+    job.writes = &per_disk[d];
+    job.disk = d;
+    jobs.push_back(job);
+  }
+  submit_and_wait(jobs);
+}
+
+IoExecutor::Stats IoExecutor::stats() const {
+  Stats s;
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+  s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.disk_busy_ns.reserve(disk_busy_ns_.size());
+  s.disk_jobs.reserve(disk_jobs_.size());
+  for (const auto& v : disk_busy_ns_)
+    s.disk_busy_ns.push_back(v.load(std::memory_order_relaxed));
+  for (const auto& v : disk_jobs_)
+    s.disk_jobs.push_back(v.load(std::memory_order_relaxed));
+  return s;
+}
+
+void IoExecutor::reset_stats() {
+  batches_.store(0, std::memory_order_relaxed);
+  jobs_.store(0, std::memory_order_relaxed);
+  wall_ns_.store(0, std::memory_order_relaxed);
+  max_queue_depth_.store(0, std::memory_order_relaxed);
+  for (auto& v : disk_busy_ns_) v.store(0, std::memory_order_relaxed);
+  for (auto& v : disk_jobs_) v.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace pddict::pdm

@@ -142,6 +142,48 @@ TEST(BenchBaseline, WallTimeComparesWithinBandOnly) {
   EXPECT_FALSE(obs::diff_baselines(before, inside, strict).ok());
 }
 
+TEST(BenchBaseline, HigherBetterWallMetricsRegressDownwardWithinBand) {
+  // speedup_wall is wall-derived (%-band, never exact) but higher-better:
+  // losing the executor's overlap shows up as the speedup DROPPING.
+  auto doc = [](double speedup) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  R"({"schema":"pddict-bench-report","bench":"t","rows":[)"
+                  R"({"name":"r","speedup_wall":%g}]})",
+                  speedup);
+    return parse(buf);
+  };
+  // Within the 50% band: no entry at all.
+  EXPECT_TRUE(obs::diff_baselines(doc(4.0), doc(3.0)).entries.empty());
+  // A collapse to ~serial gates — and in the DOWNWARD direction.
+  auto result = obs::diff_baselines(doc(4.0), doc(1.1));
+  EXPECT_FALSE(result.ok());
+  const obs::DiffEntry* e = find_entry(result, "speedup_wall");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, DiffKind::kRegression);
+  EXPECT_TRUE(e->wall);
+  // The same move upward is an improvement, not a regression.
+  EXPECT_TRUE(obs::diff_baselines(doc(1.1), doc(4.0)).ok());
+}
+
+TEST(BenchBaseline, QueueDepthIsBandedLikeWallTime) {
+  // max_queue_depth reflects worker scheduling, not round accounting: small
+  // run-to-run drift must not gate.
+  auto doc = [](int depth) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  R"({"schema":"pddict-bench-report","bench":"t","rows":[)"
+                  R"({"name":"r","exec_max_queue_depth":%d}]})",
+                  depth);
+    return parse(buf);
+  };
+  EXPECT_TRUE(obs::diff_baselines(doc(8), doc(10)).entries.empty());
+  auto result = obs::diff_baselines(doc(8), doc(32));
+  const obs::DiffEntry* e = find_entry(result, "exec_max_queue_depth");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->wall);
+}
+
 TEST(BenchBaseline, ConfigurationDriftGatesEvenWhenNumbersImprove) {
   // Halving the workload halves every I/O count; without structural gating
   // that would read as a spectacular improvement.

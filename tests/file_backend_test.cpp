@@ -3,6 +3,7 @@
 // (reopening the same directory with the same deterministic parameters).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <limits>
@@ -63,6 +64,77 @@ TEST_F(FileBackendTest, EraseRangeOverflowClamps) {
   backend.store({1, 1}, b);
   backend.erase_range(1, 1, 2, std::numeric_limits<std::uint64_t>::max());
   EXPECT_EQ(backend.load({1, 1}), b);
+}
+
+TEST_F(FileBackendTest, EraseRangePunchHoleAndFallbackAgree) {
+  // erase_range has two implementations — FALLOC_FL_PUNCH_HOLE and the
+  // portable zero-write loop. Both must produce the same observable state:
+  // erased blocks read zero, untouched neighbors survive, blocks_in_use is
+  // unchanged (the hole keeps the file size).
+  Geometry geom{2, 16, 8, 0};
+  for (bool punch : {true, false}) {
+    auto sub = dir_ / (punch ? "punch" : "fallback");
+    std::filesystem::create_directories(sub);
+    FileBackend backend(geom, sub.string());
+    backend.set_punch_hole_for_testing(punch);
+    Block b(geom.block_bytes(), std::byte{0x5a});
+    Block zero(geom.block_bytes(), std::byte{0});
+    for (std::uint64_t blk : {0ull, 1ull, 2ull, 3ull, 4ull})
+      backend.store({0, blk}, b);
+    std::uint64_t in_use = backend.blocks_in_use();
+    backend.erase_range(0, 1, 1, 3);  // blocks 1..3
+    EXPECT_EQ(backend.load({0, 0}), b) << "punch=" << punch;
+    for (std::uint64_t blk : {1ull, 2ull, 3ull})
+      EXPECT_EQ(backend.load({0, blk}), zero) << "punch=" << punch;
+    EXPECT_EQ(backend.load({0, 4}), b) << "punch=" << punch;
+    EXPECT_EQ(backend.blocks_in_use(), in_use) << "punch=" << punch;
+  }
+}
+
+TEST_F(FileBackendTest, BatchedTransfersMatchPerBlockCalls) {
+  // load_batch/store_batch coalesce contiguous runs into preadv/pwritev;
+  // the result must equal per-block load/store for mixed patterns:
+  // contiguous runs, gaps, several disks, unwritten (EOF) blocks.
+  Geometry geom{3, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  std::vector<BlockAddr> addrs{{0, 5}, {0, 6}, {0, 7}, {0, 20},
+                               {1, 0}, {1, 2}, {2, 9}};
+  std::vector<Block> blocks;
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    blocks.emplace_back(geom.block_bytes(),
+                        std::byte{static_cast<unsigned char>(0x10 + i)});
+  std::vector<BlockWrite> writes;
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    writes.push_back({addrs[i], &blocks[i]});
+  backend.store_batch(writes);
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    EXPECT_EQ(backend.load(addrs[i]), blocks[i]) << i;
+
+  // Read back through the batched path, including never-written addresses
+  // (must come back zero) and out-of-order submission (the backend sorts).
+  std::vector<BlockAddr> raddrs{{2, 9}, {0, 7}, {0, 5}, {1, 1},
+                                {0, 6}, {2, 40}, {1, 0}, {1, 2}};
+  std::vector<Block> out(raddrs.size());
+  std::vector<BlockRead> reads;
+  for (std::size_t i = 0; i < raddrs.size(); ++i)
+    reads.push_back({raddrs[i], &out[i]});
+  backend.load_batch(reads);
+  // load_batch may reorder the span; check through the read entries.
+  for (const BlockRead& r : reads)
+    EXPECT_EQ(*r.out, backend.load(r.addr))
+        << r.addr.disk << ":" << r.addr.block;
+}
+
+TEST_F(FileBackendTest, SimulatedSeekLatencyCostsWallTime) {
+  Geometry geom{1, 16, 8, 0};
+  FileBackend backend(geom, dir_.string(), /*seek_latency_us=*/2000);
+  EXPECT_EQ(backend.seek_latency_us(), 2000u);
+  auto start = std::chrono::steady_clock::now();
+  backend.load({0, 0});
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            2000);
 }
 
 TEST_F(FileBackendTest, AccountingIdenticalToMemoryBackend) {

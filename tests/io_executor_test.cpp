@@ -1,0 +1,363 @@
+// Determinism suite for the per-disk I/O execution engine (io_executor).
+//
+// The invariant under test is the tentpole contract: the executor changes
+// WHEN transfers happen, never what the model charges or what the blocks
+// contain. Every accounting artifact — IoStats, per-disk counters, the
+// round-utilization histogram, cache hit/miss/flush counters — and every
+// block's final contents must be byte-identical for io_threads in
+// {0, 1, 4, D}, on both MemoryBackend and FileBackend, cached and uncached.
+//
+// Also covered here: the dedup semantics of the uncached batch paths (each
+// distinct block is loaded exactly once per batch; a duplicate write keeps
+// its last contents), executor error propagation, and exec_stats lifecycle.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "pdm/disk_array.hpp"
+#include "pdm/file_backend.hpp"
+#include "pdm/io_executor.hpp"
+
+namespace pddict::pdm {
+namespace {
+
+constexpr std::uint32_t kDisks = 8;
+const Geometry kGeom{kDisks, 16, 8, 0};
+
+Block pattern_block(std::uint64_t tag) {
+  Block b(kGeom.block_bytes());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    b[i] = static_cast<std::byte>((tag * 131 + i * 17) & 0xff);
+  return b;
+}
+
+/// Deterministic mixed workload: interleaved read/write batches with
+/// duplicate addresses, full stripes, skewed per-disk loads and re-reads of
+/// dirty blocks. Returns every read result concatenated, so callers can
+/// compare contents — not just counters — across configurations.
+std::vector<Block> run_workload(DiskArray& disks) {
+  std::vector<Block> all_reads;
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg](std::uint64_t mod) {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return (lcg >> 33) % mod;
+  };
+  for (int step = 0; step < 20; ++step) {
+    std::vector<std::pair<BlockAddr, Block>> writes;
+    std::size_t n_writes = 1 + next(2 * kDisks);
+    for (std::size_t i = 0; i < n_writes; ++i) {
+      BlockAddr a{static_cast<std::uint32_t>(next(kDisks)), next(24)};
+      writes.emplace_back(a, pattern_block(step * 1000 + i));
+    }
+    // Duplicate address within one batch: last write must win.
+    if (writes.size() > 1) writes.push_back(writes.front());
+    if (!writes.empty())
+      writes.back().second = pattern_block(step * 1000 + 999);
+    disks.write_batch(writes);
+
+    std::vector<BlockAddr> reads;
+    std::size_t n_reads = 1 + next(3 * kDisks);
+    for (std::size_t i = 0; i < n_reads; ++i)
+      reads.push_back({static_cast<std::uint32_t>(next(kDisks)), next(24)});
+    reads.push_back(reads.front());  // duplicate read
+    std::vector<Block> out;
+    disks.read_batch(reads, out);
+    for (Block& b : out) all_reads.push_back(std::move(b));
+  }
+  return all_reads;
+}
+
+struct Snapshot {
+  IoStats io;
+  std::vector<DiskCounters> per_disk;
+  std::vector<std::uint64_t> hist;
+  CacheStats cache;
+  std::vector<Block> read_contents;
+  std::vector<Block> final_contents;
+};
+
+bool same_counters(const std::vector<DiskCounters>& x,
+                   const std::vector<DiskCounters>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i].blocks_read != y[i].blocks_read ||
+        x[i].blocks_written != y[i].blocks_written ||
+        x[i].rounds_active != y[i].rounds_active ||
+        x[i].idle_slots != y[i].idle_slots)
+      return false;
+  return true;
+}
+
+Snapshot run_config(std::unique_ptr<BlockBackend> backend, std::size_t threads,
+                    std::size_t cache_frames) {
+  DiskArray disks(kGeom, Model::kParallelDisks, std::move(backend));
+  disks.set_io_threads(threads);
+  if (cache_frames) disks.enable_cache(cache_frames);
+  Snapshot s;
+  s.read_contents = run_workload(disks);
+  if (cache_frames) disks.flush_cache();
+  s.io = disks.stats_snapshot();
+  s.per_disk = disks.disk_counters();
+  s.hist = disks.round_utilization();
+  s.cache = disks.cache_stats();
+  for (std::uint32_t d = 0; d < kDisks; ++d)
+    for (std::uint64_t b = 0; b < 24; ++b)
+      s.final_contents.push_back(disks.peek({d, b}));
+  return s;
+}
+
+void expect_identical(const Snapshot& base, const Snapshot& got,
+                      const std::string& label) {
+  EXPECT_EQ(base.io.parallel_ios, got.io.parallel_ios) << label;
+  EXPECT_EQ(base.io.read_rounds, got.io.read_rounds) << label;
+  EXPECT_EQ(base.io.write_rounds, got.io.write_rounds) << label;
+  EXPECT_EQ(base.io.blocks_read, got.io.blocks_read) << label;
+  EXPECT_EQ(base.io.blocks_written, got.io.blocks_written) << label;
+  EXPECT_TRUE(same_counters(base.per_disk, got.per_disk)) << label;
+  EXPECT_EQ(base.hist, got.hist) << label;
+  EXPECT_EQ(base.cache.hits, got.cache.hits) << label;
+  EXPECT_EQ(base.cache.misses, got.cache.misses) << label;
+  EXPECT_EQ(base.cache.evictions, got.cache.evictions) << label;
+  EXPECT_EQ(base.cache.dirty_evictions, got.cache.dirty_evictions) << label;
+  EXPECT_EQ(base.cache.flushed_blocks, got.cache.flushed_blocks) << label;
+  EXPECT_EQ(base.cache.flush_rounds, got.cache.flush_rounds) << label;
+  EXPECT_EQ(base.read_contents, got.read_contents) << label;
+  EXPECT_EQ(base.final_contents, got.final_contents) << label;
+}
+
+class IoExecutorDeterminism : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "pddict_io_exec_test";
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<BlockBackend> make_backend(bool file, const std::string& sub) {
+    if (!file) return std::make_unique<MemoryBackend>(kGeom);
+    auto d = dir_ / sub;
+    std::filesystem::create_directories(d);
+    return std::make_unique<FileBackend>(kGeom, d.string());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoExecutorDeterminism, CountersAndContentsIdenticalAcrossThreadCounts) {
+  for (bool file : {false, true}) {
+    for (std::size_t frames : {std::size_t{0}, std::size_t{12}}) {
+      Snapshot base;
+      bool first = true;
+      for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                  std::size_t{4}, std::size_t{kDisks}}) {
+        std::string label = std::string(file ? "file" : "memory") +
+                            " frames=" + std::to_string(frames) +
+                            " threads=" + std::to_string(threads);
+        Snapshot got = run_config(
+            make_backend(file, "t" + std::to_string(threads) + "_f" +
+                                   std::to_string(frames)),
+            threads, frames);
+        if (first) {
+          base = std::move(got);
+          first = false;
+          continue;
+        }
+        expect_identical(base, got, label);
+      }
+    }
+  }
+}
+
+/// Wraps a MemoryBackend and counts block transfers (atomically — batched
+/// calls run concurrently on executor workers).
+class CountingBackend final : public BlockBackend {
+ public:
+  explicit CountingBackend(const Geometry& geom) : inner_(geom) {}
+
+  Block load(const BlockAddr& addr) override {
+    loads_.fetch_add(1);
+    return inner_.load(addr);
+  }
+  void store(const BlockAddr& addr, const Block& block) override {
+    stores_.fetch_add(1);
+    inner_.store(addr, block);
+  }
+  void load_batch(std::span<BlockRead> reads) override {
+    loads_.fetch_add(reads.size());
+    inner_.load_batch(reads);
+  }
+  void store_batch(std::span<BlockWrite> writes) override {
+    stores_.fetch_add(writes.size());
+    inner_.store_batch(writes);
+  }
+  void erase_range(std::uint32_t first_disk, std::uint32_t num_disks,
+                   std::uint64_t base, std::uint64_t count) override {
+    inner_.erase_range(first_disk, num_disks, base, count);
+  }
+  std::uint64_t blocks_in_use() const override {
+    return inner_.blocks_in_use();
+  }
+
+  std::uint64_t loads() const { return loads_.load(); }
+  std::uint64_t stores() const { return stores_.load(); }
+
+ private:
+  MemoryBackend inner_;
+  std::atomic<std::uint64_t> loads_{0};
+  std::atomic<std::uint64_t> stores_{0};
+};
+
+TEST(IoExecutorDedup, UncachedReadBatchLoadsEachDistinctBlockOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    auto backend = std::make_unique<CountingBackend>(kGeom);
+    CountingBackend* counter = backend.get();
+    DiskArray disks(kGeom, Model::kParallelDisks, std::move(backend));
+    disks.set_io_threads(threads);
+    disks.write_block({1, 5}, pattern_block(7));
+    std::uint64_t stores_before = counter->stores();
+    std::uint64_t loads_before = counter->loads();
+    // 6 submissions, 3 distinct.
+    std::vector<BlockAddr> addrs{{1, 5}, {0, 2}, {1, 5}, {0, 2},
+                                 {1, 5}, {3, 0}};
+    std::vector<Block> out;
+    disks.read_batch(addrs, out);
+    EXPECT_EQ(counter->loads() - loads_before, 3u) << "threads=" << threads;
+    EXPECT_EQ(counter->stores(), stores_before);
+    // Fan-out preserves submission order and duplicates see the same bytes.
+    ASSERT_EQ(out.size(), addrs.size());
+    EXPECT_EQ(out[0], pattern_block(7));
+    EXPECT_EQ(out[2], out[0]);
+    EXPECT_EQ(out[4], out[0]);
+    EXPECT_EQ(out[1], out[3]);
+    EXPECT_EQ(out[1], Block(kGeom.block_bytes(), std::byte{0}));
+  }
+}
+
+TEST(IoExecutorDedup, UncachedWriteBatchStoresLastDuplicateOnce) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    auto backend = std::make_unique<CountingBackend>(kGeom);
+    CountingBackend* counter = backend.get();
+    DiskArray disks(kGeom, Model::kParallelDisks, std::move(backend));
+    disks.set_io_threads(threads);
+    // 4 submissions, 2 distinct; {2,9} written twice — last must win.
+    std::vector<std::pair<BlockAddr, Block>> writes;
+    writes.emplace_back(BlockAddr{2, 9}, pattern_block(1));
+    writes.emplace_back(BlockAddr{5, 1}, pattern_block(2));
+    writes.emplace_back(BlockAddr{2, 9}, pattern_block(3));
+    writes.emplace_back(BlockAddr{5, 1}, pattern_block(4));
+    disks.write_batch(writes);
+    EXPECT_EQ(counter->stores(), 2u) << "threads=" << threads;
+    EXPECT_EQ(disks.peek({2, 9}), pattern_block(3)) << "threads=" << threads;
+    EXPECT_EQ(disks.peek({5, 1}), pattern_block(4)) << "threads=" << threads;
+    // The accounting still charges the submitted batch's plan.
+    EXPECT_EQ(disks.stats().blocks_written, 2u);
+  }
+}
+
+class ThrowingBackend final : public BlockBackend {
+ public:
+  explicit ThrowingBackend(const Geometry& geom) : inner_(geom) {}
+  Block load(const BlockAddr& addr) override {
+    if (addr.disk == 3) throw std::runtime_error("disk 3 is on fire");
+    return inner_.load(addr);
+  }
+  void store(const BlockAddr& addr, const Block& block) override {
+    inner_.store(addr, block);
+  }
+  void erase_range(std::uint32_t fd, std::uint32_t nd, std::uint64_t b,
+                   std::uint64_t c) override {
+    inner_.erase_range(fd, nd, b, c);
+  }
+  std::uint64_t blocks_in_use() const override {
+    return inner_.blocks_in_use();
+  }
+
+ private:
+  MemoryBackend inner_;
+};
+
+TEST(IoExecutorErrors, WorkerExceptionPropagatesToSubmitter) {
+  for (std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    DiskArray disks(kGeom, Model::kParallelDisks,
+                    std::make_unique<ThrowingBackend>(kGeom));
+    disks.set_io_threads(threads);
+    std::vector<BlockAddr> addrs{{0, 0}, {3, 0}, {5, 1}};
+    std::vector<Block> out;
+    EXPECT_THROW(disks.read_batch(addrs, out), std::runtime_error)
+        << "threads=" << threads;
+    // The array remains usable after the failed batch.
+    std::vector<BlockAddr> ok{{0, 1}, {1, 1}};
+    EXPECT_EQ(disks.read_batch(ok, out), 1u);
+  }
+}
+
+TEST(IoExecutorConfig, ResolveThreadsSemantics) {
+  EXPECT_EQ(IoExecutor::resolve_threads(0, 16), 0u);
+  EXPECT_EQ(IoExecutor::resolve_threads(3, 16), 3u);
+  EXPECT_EQ(IoExecutor::resolve_threads(64, 16), 16u);  // clamp to D
+  std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  EXPECT_EQ(IoExecutor::resolve_threads(kAutoIoThreads, 1000),
+            std::min<std::size_t>(hw, 1000));
+  EXPECT_EQ(IoExecutor::resolve_threads(kAutoIoThreads, 2),
+            std::min<std::size_t>(hw, 2));
+}
+
+TEST(IoExecutorConfig, SetIoThreadsReconfiguresAndDefaultPropagates) {
+  DiskArray serial(kGeom);
+  EXPECT_EQ(serial.io_threads(), 0u);
+
+  serial.set_io_threads(4);
+  EXPECT_EQ(serial.io_threads(), 4u);
+  serial.set_io_threads(100);  // clamped to D
+  EXPECT_EQ(serial.io_threads(), kDisks);
+  serial.set_io_threads(0);
+  EXPECT_EQ(serial.io_threads(), 0u);
+
+  // Process-wide default: new arrays pick it up at construction.
+  set_default_io_threads(2);
+  DiskArray defaulted(kGeom);
+  EXPECT_EQ(defaulted.io_threads(), 2u);
+  set_default_io_threads(0);
+  DiskArray back_to_serial(kGeom);
+  EXPECT_EQ(back_to_serial.io_threads(), 0u);
+}
+
+TEST(IoExecutorConfig, ExecStatsAccumulateAndReset) {
+  DiskArray disks(kGeom);
+  disks.set_io_threads(4);
+  std::vector<std::pair<BlockAddr, Block>> writes;
+  for (std::uint32_t d = 0; d < kDisks; ++d)
+    writes.emplace_back(BlockAddr{d, 0}, pattern_block(d));
+  disks.write_batch(writes);
+  std::vector<BlockAddr> addrs;
+  for (std::uint32_t d = 0; d < kDisks; ++d) addrs.push_back({d, 0});
+  std::vector<Block> out;
+  disks.read_batch(addrs, out);
+
+  IoExecutor::Stats s = disks.exec_stats();
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_EQ(s.jobs, 2u * kDisks);  // one per busy disk per batch
+  EXPECT_GT(s.wall_ns, 0u);
+  EXPECT_GE(s.max_queue_depth, 1u);
+  ASSERT_EQ(s.disk_jobs.size(), kDisks);
+  for (std::uint32_t d = 0; d < kDisks; ++d) EXPECT_EQ(s.disk_jobs[d], 2u);
+
+  disks.reset_stats();
+  s = disks.exec_stats();
+  EXPECT_EQ(s.batches, 0u);
+  EXPECT_EQ(s.jobs, 0u);
+  EXPECT_EQ(s.wall_ns, 0u);
+
+  // Serial arrays report empty exec stats.
+  DiskArray serial(kGeom);
+  EXPECT_EQ(serial.exec_stats().batches, 0u);
+  EXPECT_TRUE(serial.exec_stats().disk_jobs.empty());
+}
+
+}  // namespace
+}  // namespace pddict::pdm
