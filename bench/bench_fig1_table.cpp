@@ -89,6 +89,8 @@ std::vector<core::Key> half(const std::vector<core::Key>& keys, bool first) {
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_fig1_table");
   bench::TraceSession trace(argc, argv);
+  bench::TelemetrySession telemetry(argc, argv);
+  bench::ExactPercentilesOption exact(argc, argv);
   // Execution knob only: the CTest gate bench_json_report_identical checks
   // the report is byte-identical under any --io-threads value.
   bench::IoThreadsOption io_threads(argc, argv);

@@ -57,6 +57,8 @@ std::uint64_t reference_sort_ios(std::uint64_t n, std::uint32_t d,
 int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_thm6_static");
   bench::TraceSession trace(argc, argv);
+  bench::TelemetrySession telemetry(argc, argv);
+  bench::ExactPercentilesOption exact(argc, argv);
   std::printf("=== Theorem 6: one-probe static dictionary ===\n\n");
   std::printf("%8s %6s %6s %-14s | %11s %11s | %10s %6s %10s %7s %6s | %9s\n",
               "n", "sigma", "disks", "layout", "hit avg/wc", "miss avg/wc",

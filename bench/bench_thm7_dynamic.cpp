@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_thm7_dynamic");
   bench::TraceSession trace(argc, argv);
+  bench::TelemetrySession telemetry(argc, argv);
+  bench::ExactPercentilesOption exact(argc, argv);
   bench::IoThreadsOption io_threads(argc, argv);
   std::printf("=== Theorem 7: dynamic dictionary, 1+eps / 2+eps I/Os ===\n\n");
   std::printf("%6s %4s %7s | %13s %6s | %13s %6s | %13s %6s | %7s | %s\n",

@@ -21,14 +21,17 @@
 #include <fstream>
 #include <functional>
 #include <memory>
+#include <random>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/dictionary.hpp"
+#include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/sink.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_event.hpp"
 #include "pdm/disk_array.hpp"
 #include "pdm/io_executor.hpp"
@@ -46,6 +49,13 @@ struct OpCost {
   std::uint64_t p99 = 0;
   std::uint64_t worst = 0;
   std::uint64_t count = 0;
+  /// --exact-percentiles extras (absent from the JSON otherwise, so default
+  /// reports stay byte-identical to committed baselines).
+  bool exact = false;              // exact sample-vector percentiles captured
+  bool samples_truncated = false;  // reservoir cap hit; exact_* are estimates
+  std::uint64_t exact_p50 = 0;
+  std::uint64_t exact_p95 = 0;
+  std::uint64_t exact_p99 = 0;
 };
 
 /// Nearest-rank percentile of a sorted sample vector.
@@ -57,27 +67,68 @@ inline std::uint64_t percentile(const std::vector<std::uint64_t>& sorted,
   return sorted[rank];
 }
 
+/// Sample cap under --exact-percentiles: beyond this the vector degrades to
+/// a fixed-seed reservoir (Algorithm R) instead of growing without bound —
+/// the O(n) sample vector was the harness's one unbounded allocation.
+inline constexpr std::size_t kMaxExactSamples = std::size_t{1} << 20;
+
+/// Process-wide switch set by ExactPercentilesOption (below); read by
+/// measure(). Off by default: the streaming histogram is the only path.
+inline bool& exact_percentiles_enabled() {
+  static bool enabled = false;
+  return enabled;
+}
+
 /// Runs `op` once per key, measuring parallel I/Os per call.
+///
+/// Percentiles come from a streaming obs::LatencyHistogram in O(1) memory.
+/// Per-op I/O counts are far below the histogram's 2^kSubBucketBits
+/// unit-width range, so p50/p95/p99 (nearest-rank convention) and the
+/// average/worst are bit-identical to the sorted-vector computation this
+/// replaces — committed baselines do not move. Under --exact-percentiles a
+/// bounded sample vector (reservoir-capped at kMaxExactSamples) is kept too
+/// and its exact nearest-rank percentiles are reported alongside.
 inline OpCost measure(pdm::DiskArray& disks, std::span<const core::Key> keys,
                       const std::function<void(core::Key)>& op) {
   OpCost cost;
+  obs::LatencyHistogram hist;
+  const bool exact = exact_percentiles_enabled();
   std::vector<std::uint64_t> samples;
-  samples.reserve(keys.size());
-  std::uint64_t total = 0;
+  std::uint64_t seen = 0;
+  // Fixed seed: the reservoir's contents depend only on the sample sequence,
+  // so truncated exact percentiles are reproducible run to run.
+  std::mt19937_64 reservoir_rng(0x9e3779b97f4a7c15ULL);
+  if (exact) samples.reserve(std::min(keys.size(), kMaxExactSamples));
   for (core::Key k : keys) {
     pdm::IoProbe probe(disks);
     op(k);
     std::uint64_t ios = probe.ios();
-    total += ios;
-    samples.push_back(ios);
+    hist.record(ios);
+    if (exact) {
+      ++seen;
+      if (samples.size() < kMaxExactSamples) {
+        samples.push_back(ios);
+      } else {
+        cost.samples_truncated = true;
+        std::uint64_t slot = reservoir_rng() % seen;
+        if (slot < kMaxExactSamples)
+          samples[static_cast<std::size_t>(slot)] = ios;
+      }
+    }
   }
-  cost.count = samples.size();
-  cost.average = cost.count ? static_cast<double>(total) / cost.count : 0.0;
-  std::sort(samples.begin(), samples.end());
-  cost.p50 = percentile(samples, 0.50);
-  cost.p95 = percentile(samples, 0.95);
-  cost.p99 = percentile(samples, 0.99);
-  cost.worst = samples.empty() ? 0 : samples.back();
+  cost.count = hist.count();
+  cost.average = hist.mean();
+  cost.p50 = hist.p50();
+  cost.p95 = hist.p95();
+  cost.p99 = hist.p99();
+  cost.worst = hist.max();
+  if (exact) {
+    cost.exact = true;
+    std::sort(samples.begin(), samples.end());
+    cost.exact_p50 = percentile(samples, 0.50);
+    cost.exact_p95 = percentile(samples, 0.95);
+    cost.exact_p99 = percentile(samples, 0.99);
+  }
   return cost;
 }
 
@@ -89,6 +140,14 @@ inline obs::Json to_json(const OpCost& cost) {
   j.set("p99", cost.p99);
   j.set("worst", cost.worst);
   j.set("count", cost.count);
+  // Appended after the historical fields, and only under --exact-percentiles:
+  // default reports stay byte-identical to committed baselines.
+  if (cost.exact) {
+    j.set("exact_p50", cost.exact_p50);
+    j.set("exact_p95", cost.exact_p95);
+    j.set("exact_p99", cost.exact_p99);
+    j.set("samples_truncated", cost.samples_truncated);
+  }
   return j;
 }
 
@@ -475,6 +534,120 @@ class TraceSession {
   std::shared_ptr<obs::JsonLinesSink> jsonl_;
   std::shared_ptr<obs::RingBufferSink> ring_;
   bool active_ = false;
+};
+
+/// Strips `--exact-percentiles` from argv and, when present, switches
+/// measure() to additionally keep a (reservoir-capped) exact sample vector
+/// whose nearest-rank percentiles are reported as exact_p50/p95/p99 next to
+/// the streaming-histogram values. Off by default: the histogram is the
+/// always-on path and default reports carry no extra fields.
+class ExactPercentilesOption {
+ public:
+  ExactPercentilesOption(int& argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) != "--exact-percentiles") continue;
+      enabled_ = true;
+      for (int j = i; j + 1 <= argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      --i;
+    }
+    if (enabled_) exact_percentiles_enabled() = true;
+  }
+
+  ExactPercentilesOption(const ExactPercentilesOption&) = delete;
+  ExactPercentilesOption& operator=(const ExactPercentilesOption&) = delete;
+
+  ~ExactPercentilesOption() {
+    if (enabled_) exact_percentiles_enabled() = false;
+  }
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = false;
+};
+
+/// Opt-in live telemetry for a whole bench run.
+///
+///   JsonReport report(argc, argv, "bench_x");
+///   TelemetrySession telemetry(argc, argv);  // strips --telemetry flags
+///   ...                                      // dtor stops + reports
+///
+/// Flags (no-ops when absent — the bench then runs telemetry-free):
+///   --telemetry <path.jsonl>      stream pddict-telemetry-frame documents,
+///                                 one JSON line per frame (validated by
+///                                 tools/validate_telemetry)
+///   --telemetry-interval-ms <n>   sampling period (default 100)
+///
+/// The session publishes a TelemetrySampler (with a HealthWatchdog attached)
+/// through obs::set_default_telemetry(), so every DiskArray the bench
+/// constructs afterwards registers as a telemetry source and health probe
+/// automatically and emits a final frame when it dies — the JSONL series
+/// always ends on each array's exact end-of-run counters.
+///
+/// Only wire this into benches that never reset_stats() mid-run: the frame
+/// validator enforces per-source counter monotonicity.
+class TelemetrySession {
+ public:
+  TelemetrySession(int& argc, char** argv) {
+    std::uint64_t interval_ms = 100;
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--telemetry" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        consumed = 2;
+      } else if (arg.rfind("--telemetry=", 0) == 0) {
+        path_ = std::string(arg.substr(12));
+        consumed = 1;
+      } else if (arg == "--telemetry-interval-ms" && i + 1 < argc) {
+        interval_ms = std::strtoull(argv[i + 1], nullptr, 10);
+        consumed = 2;
+      } else if (arg.rfind("--telemetry-interval-ms=", 0) == 0) {
+        interval_ms = std::strtoull(arg.substr(24).data(), nullptr, 10);
+        consumed = 1;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+    if (path_.empty()) return;
+    obs::TelemetrySampler::Options opt;
+    opt.interval_ms = interval_ms ? interval_ms : 100;
+    opt.jsonl_path = path_;
+    sampler_ = std::make_shared<obs::TelemetrySampler>(opt);
+    sampler_->set_watchdog(std::make_shared<obs::HealthWatchdog>());
+    obs::set_default_telemetry(sampler_);
+    sampler_->start();
+  }
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  ~TelemetrySession() {
+    if (!sampler_) return;
+    obs::set_default_telemetry(nullptr);
+    sampler_->stop();
+    std::uint64_t alerts =
+        sampler_->watchdog() ? sampler_->watchdog()->total_alerts() : 0;
+    std::printf("[telemetry written to %s (%llu frames, %llu alerts)]\n",
+                path_.c_str(),
+                static_cast<unsigned long long>(sampler_->frames_emitted()),
+                static_cast<unsigned long long>(alerts));
+    if (alerts && sampler_->watchdog())
+      std::fputs(sampler_->watchdog()->render().c_str(), stdout);
+  }
+
+  bool enabled() const { return sampler_ != nullptr; }
+  const std::shared_ptr<obs::TelemetrySampler>& sampler() const {
+    return sampler_;
+  }
+
+ private:
+  std::string path_;
+  std::shared_ptr<obs::TelemetrySampler> sampler_;
 };
 
 }  // namespace pddict::bench

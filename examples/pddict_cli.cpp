@@ -13,14 +13,26 @@
 //   profile                    I/O flame table (self vs. child attribution)
 //   help / quit
 //
-// Diagnostic mode (no store directory):
+// Diagnostic modes (no store directory):
 //   ./pddict_cli doctor [--n <keys>] [--bound-report <path>]
 // runs a small Theorem 7 workload on the dynamic dictionary with the
 // operation attributor and the instantiated paper-bound monitor attached,
 // prints the per-op histograms, the worst-op ring and the bound margin
 // table, and exits nonzero if any bound was violated. --bound-report writes
 // the pddict-bound-report JSON (with the op attribution embedded) for
-// tools/validate_bench_json.
+// tools/validate_bench_json. The telemetry sampler + health watchdog run
+// throughout, so doctor also prints the watchdog verdict (worker stalls,
+// queue high water, dirty-frame floods, bound-margin breaches).
+//
+//   ./pddict_cli top [--n <keys>] [--rounds <r>] [--interval-ms <ms>]
+//                    [--telemetry <path>] [--inject-stall <ns>]
+// the live view: runs the same workload in slices and after each slice
+// prints a refreshed dashboard from the *telemetry path itself* — the
+// latest sampler frame (per-source cumulative I/O, cache and executor
+// state), a streaming log-linear histogram of per-op wall latencies, and
+// any watchdog alerts. --telemetry also appends every frame as JSONL.
+// --inject-stall <ns> delays every backend transfer by that much (a test
+// hook on the executor) to demonstrate a worker-stall alert end to end.
 //
 // Observability flags (may appear anywhere on the command line):
 //   --trace <path>        stream every I/O event + span as JSON-lines
@@ -34,6 +46,7 @@
 //
 // The store is self-describing: its parameters live in a one-block manifest,
 // so any later invocation on the same directory reopens it.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -47,9 +60,11 @@
 #include "core/dynamic_dict.hpp"
 #include "core/manifest.hpp"
 #include "obs/bound_monitor.hpp"
+#include "obs/histogram.hpp"
 #include "obs/op_attribution.hpp"
 #include "obs/profile.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace_event.hpp"
 #include "pdm/allocator.hpp"
 #include "pdm/cost_model.hpp"
@@ -181,11 +196,7 @@ int run_command(core::BasicDict& store, pdm::DiskArray& disks,
   return 2;
 }
 
-/// `pddict_cli doctor` — self-check of the observability layer against the
-/// paper bounds: a small Theorem 7 workload on the dynamic dictionary with
-/// the OpAttributor and the instantiated BoundMonitor attached live.
-int run_doctor(std::uint64_t n, const std::string& report_path) {
-  const double eps = 0.5;
+core::DynamicDictParams doctor_params(std::uint64_t n, double eps) {
   core::DynamicDictParams p;
   p.universe_size = std::uint64_t{1} << 40;
   p.capacity = n;
@@ -193,62 +204,222 @@ int run_doctor(std::uint64_t n, const std::string& report_path) {
   p.epsilon_op = eps;
   p.stripe_factor = 2.0;
   p.degree = core::DynamicDict::degree_for(p);
-  pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
-  pdm::DiskAllocator alloc;
-  core::DynamicDict dict(disks, 0, alloc, p);
+  return p;
+}
 
-  auto attributor = std::make_shared<obs::OpAttributor>();
-  auto monitor = std::make_shared<obs::BoundMonitor>(
-      "dynamic_dict", obs::thm7_rules(eps, dict.levels()));
-  disks.add_sink(attributor);
-  disks.add_sink(monitor);
+/// `pddict_cli doctor` — self-check of the observability layer against the
+/// paper bounds: a small Theorem 7 workload on the dynamic dictionary with
+/// the OpAttributor and the instantiated BoundMonitor attached live, plus
+/// the telemetry sampler + health watchdog watching the run from the side.
+int run_doctor(std::uint64_t n, const std::string& report_path) {
+  // Install the sampler *before* the array exists so it self-registers, and
+  // wire the watchdog in so every tick also evaluates the health rules.
+  auto watchdog = std::make_shared<obs::HealthWatchdog>();
+  obs::TelemetrySampler::Options topt;
+  topt.interval_ms = 25;
+  auto sampler = std::make_shared<obs::TelemetrySampler>(topt);
+  sampler->set_watchdog(watchdog);
+  obs::set_default_telemetry(sampler);
+  sampler->start();
 
-  std::printf("=== pddict doctor: Theorem 7 workload on the dynamic "
-              "dictionary ===\n");
-  std::printf("n = %llu keys, eps = %.2f, degree d = %u, %u levels, "
-              "D = %u disks\n\n",
-              static_cast<unsigned long long>(n), eps, p.degree,
-              dict.levels(), 2 * p.degree);
+  bool ok = false;
+  {
+    const double eps = 0.5;
+    core::DynamicDictParams p = doctor_params(n, eps);
+    pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
+    pdm::DiskAllocator alloc;
+    core::DynamicDict dict(disks, 0, alloc, p);
 
-  auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
-                                      p.universe_size, 0xd0c);
-  for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 16));
-  for (core::Key k : keys) dict.lookup(k);
-  auto misses = workload::make_query_trace(keys, p.universe_size,
-                                           n / 2 ? n / 2 : 1, 0.0, 1.0, 4)
-                    .queries;
-  for (core::Key k : misses) dict.lookup(k);
-  for (std::size_t i = 0; i < keys.size(); i += 4) dict.erase(keys[i]);
+    auto attributor = std::make_shared<obs::OpAttributor>();
+    auto monitor = std::make_shared<obs::BoundMonitor>(
+        "dynamic_dict", obs::thm7_rules(eps, dict.levels()));
+    disks.add_sink(attributor);
+    disks.add_sink(monitor);
+    // A second watchdog probe over the live bound margins: a margin > 1.0
+    // raises bound_margin_breach the moment it happens, not at exit.
+    std::uint64_t bounds_id = watchdog->add_source(
+        "paper_bounds", [monitor] {
+          obs::HealthSample h;
+          h.has_bounds = true;
+          h.worst_margin = monitor->worst_margin();
+          h.bound_violations = monitor->violations();
+          return h;
+        });
 
-  std::fputs(attributor->render().c_str(), stdout);
-  std::printf("\n");
-  std::fputs(monitor->render().c_str(), stdout);
+    std::printf("=== pddict doctor: Theorem 7 workload on the dynamic "
+                "dictionary ===\n");
+    std::printf("n = %llu keys, eps = %.2f, degree d = %u, %u levels, "
+                "D = %u disks\n\n",
+                static_cast<unsigned long long>(n), eps, p.degree,
+                dict.levels(), 2 * p.degree);
 
-  if (!report_path.empty()) {
-    obs::Json report = monitor->report();
-    report.set("op_attribution", attributor->to_json());
-    std::ofstream out(report_path);
-    if (!out) {
-      std::fprintf(stderr, "doctor: cannot write %s\n", report_path.c_str());
-      return 2;
+    auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                        p.universe_size, 0xd0c);
+    for (core::Key k : keys) dict.insert(k, core::value_for_key(k, 16));
+    for (core::Key k : keys) dict.lookup(k);
+    auto misses = workload::make_query_trace(keys, p.universe_size,
+                                             n / 2 ? n / 2 : 1, 0.0, 1.0, 4)
+                      .queries;
+    for (core::Key k : misses) dict.lookup(k);
+    for (std::size_t i = 0; i < keys.size(); i += 4) dict.erase(keys[i]);
+
+    std::fputs(attributor->render().c_str(), stdout);
+    std::printf("\n");
+    std::fputs(monitor->render().c_str(), stdout);
+
+    watchdog->check_now();
+    std::printf("\n");
+    std::fputs(watchdog->render().c_str(), stdout);
+    watchdog->remove_source(bounds_id);
+
+    if (!report_path.empty()) {
+      obs::Json report = monitor->report();
+      report.set("op_attribution", attributor->to_json());
+      std::ofstream out(report_path);
+      if (!out) {
+        std::fprintf(stderr, "doctor: cannot write %s\n", report_path.c_str());
+        obs::set_default_telemetry(nullptr);
+        return 2;
+      }
+      report.write(out, 2);
+      out << '\n';
+      std::printf("\n[bound report written to %s]\n", report_path.c_str());
     }
-    report.write(out, 2);
-    out << '\n';
-    std::printf("\n[bound report written to %s]\n", report_path.c_str());
+    ok = monitor->violations() == 0 && watchdog->total_alerts() == 0;
   }
-  bool ok = monitor->violations() == 0;
-  std::printf("\ndoctor verdict: %s\n",
-              ok ? "all instantiated paper bounds hold"
-                 : "BOUND VIOLATION — see margin table above");
+  obs::set_default_telemetry(nullptr);
+  sampler->stop();
+  std::printf("\ntelemetry: %llu frames sampled, %llu health alerts\n",
+              static_cast<unsigned long long>(sampler->frames_emitted()),
+              static_cast<unsigned long long>(watchdog->total_alerts()));
+  std::printf("doctor verdict: %s\n",
+              ok ? "all instantiated paper bounds hold, watchdog quiet"
+                 : "FAILURE — see margin table / health events above");
   return ok ? 0 : 1;
+}
+
+/// `pddict_cli top` — the live dashboard. Runs the doctor workload in
+/// slices; after each slice prints the latest telemetry frame's per-source
+/// counters, the streaming wall-latency histogram and any watchdog alerts.
+/// Everything shown flows through the same sampler a scraper would read.
+int run_top(std::uint64_t n, std::uint64_t rounds, std::uint64_t interval_ms,
+            const std::string& telemetry_path, std::uint64_t inject_stall_ns,
+            std::size_t io_threads) {
+  obs::WatchdogConfig wcfg;
+  if (inject_stall_ns) {
+    // Alert threshold well under the injected delay, so a sampler tick
+    // landing anywhere but the very start of an in-flight job trips the
+    // stall rule.
+    wcfg.stall_ns = std::max<std::uint64_t>(inject_stall_ns / 8, 1'000'000);
+  }
+  auto watchdog = std::make_shared<obs::HealthWatchdog>(wcfg);
+  obs::TelemetrySampler::Options topt;
+  topt.interval_ms = interval_ms ? interval_ms : 50;
+  topt.jsonl_path = telemetry_path;
+  auto sampler = std::make_shared<obs::TelemetrySampler>(topt);
+  sampler->set_watchdog(watchdog);
+  obs::set_default_telemetry(sampler);
+  sampler->start();
+  {
+    const double eps = 0.5;
+    core::DynamicDictParams p = doctor_params(n, eps);
+    pdm::DiskArray disks(pdm::Geometry{2 * p.degree, 64, 16, 0});
+    if (inject_stall_ns && !io_threads) io_threads = 2;
+    if (io_threads) disks.set_io_threads(io_threads);
+    pdm::DiskAllocator alloc;
+    core::DynamicDict dict(disks, 0, alloc, p);
+    // Inject the stall only once the dictionary exists: construction does
+    // orders of magnitude more transfers than the sliced workload, and the
+    // demo is about catching a slow disk mid-flight, not a slow build.
+    if (inject_stall_ns) disks.set_exec_job_delay_for_testing(inject_stall_ns);
+
+    auto keys = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                        p.universe_size, 0x701);
+    obs::LatencyHistogram lat;  // wall ns per dictionary operation
+    std::printf("=== pddict top: %llu keys over %llu rounds, sampling every "
+                "%llu ms ===\n",
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(topt.interval_ms));
+    if (rounds == 0) rounds = 1;
+    const std::size_t slice = (keys.size() + rounds - 1) / rounds;
+    std::size_t done = 0;
+    for (std::uint64_t r = 1; r <= rounds && done < keys.size(); ++r) {
+      std::size_t end = std::min(done + slice, keys.size());
+      for (; done < end; ++done) {
+        core::Key k = keys[done];
+        auto t0 = std::chrono::steady_clock::now();
+        dict.insert(k, core::value_for_key(k, 16));
+        dict.lookup(k);
+        lat.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()));
+      }
+      obs::Json frame = sampler->sample_now();
+      std::printf("\n-- round %llu/%llu · %zu/%zu keys · frame seq %lld · "
+                  "alerts %llu --\n",
+                  static_cast<unsigned long long>(r),
+                  static_cast<unsigned long long>(rounds), done, keys.size(),
+                  static_cast<long long>(frame.find("seq")->as_int()),
+                  static_cast<unsigned long long>(watchdog->total_alerts()));
+      if (const obs::Json* sources = frame.find("sources")) {
+        for (const auto& [name, snap] : sources->as_object()) {
+          const obs::Json* io = snap.find("io");
+          if (!io) continue;
+          std::printf("  %-8s %8lld parallel I/Os  %10lld read  %10lld "
+                      "written",
+                      name.c_str(), static_cast<long long>(
+                                        io->find("parallel_ios")->as_int()),
+                      static_cast<long long>(io->find("blocks_read")->as_int()),
+                      static_cast<long long>(
+                          io->find("blocks_written")->as_int()));
+          if (const obs::Json* exec = snap.find("exec"))
+            std::printf("  [%lld threads, %lld jobs]",
+                        static_cast<long long>(
+                            exec->find("io_threads")->as_int()),
+                        static_cast<long long>(exec->find("jobs")->as_int()));
+          std::printf("\n");
+        }
+      }
+      std::printf("  op wall ns: p50 %llu  p95 %llu  p99 %llu  max %llu  "
+                  "(%llu ops)\n",
+                  static_cast<unsigned long long>(lat.p50()),
+                  static_cast<unsigned long long>(lat.p95()),
+                  static_cast<unsigned long long>(lat.p99()),
+                  static_cast<unsigned long long>(lat.max()),
+                  static_cast<unsigned long long>(lat.count()));
+    }
+    if (watchdog->total_alerts()) {
+      std::printf("\n");
+      std::fputs(watchdog->render().c_str(), stdout);
+    }
+  }
+  obs::set_default_telemetry(nullptr);
+  sampler->stop();
+  std::printf("\n[%llu frames sampled (%llu dropped from ring), %llu health "
+              "alerts]\n",
+              static_cast<unsigned long long>(sampler->frames_emitted()),
+              static_cast<unsigned long long>(sampler->frames_dropped()),
+              static_cast<unsigned long long>(watchdog->total_alerts()));
+  if (!telemetry_path.empty())
+    std::printf("[telemetry written to %s]\n", telemetry_path.c_str());
+  // An injected stall MUST have been caught — exit nonzero if the watchdog
+  // missed it, so the demo doubles as an end-to-end check.
+  if (inject_stall_ns) return watchdog->total_alerts() ? 0 : 1;
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip --trace / --trace-event / doctor flags before positional parsing.
-  std::string trace_path, trace_event_path, bound_report_path;
+  // Strip --trace / --trace-event / doctor / top flags before positional
+  // parsing.
+  std::string trace_path, trace_event_path, bound_report_path, telemetry_path;
   std::uint64_t doctor_n = 1500;
+  std::uint64_t top_rounds = 8;
+  std::uint64_t top_interval_ms = 50;
+  std::uint64_t inject_stall_ns = 0;
   std::size_t cache_frames = 0;
   std::size_t io_threads = 0;
   auto parse_io_threads = [](const char* text) -> std::size_t {
@@ -282,6 +453,22 @@ int main(int argc, char** argv) {
       io_threads = parse_io_threads(argv[++i]);
     else if (arg.rfind("--io-threads=", 0) == 0)
       io_threads = parse_io_threads(arg.c_str() + 13);
+    else if (arg == "--telemetry" && i + 1 < argc)
+      telemetry_path = argv[++i];
+    else if (arg.rfind("--telemetry=", 0) == 0)
+      telemetry_path = arg.substr(12);
+    else if (arg == "--rounds" && i + 1 < argc)
+      top_rounds = std::strtoull(argv[++i], nullptr, 10);
+    else if (arg.rfind("--rounds=", 0) == 0)
+      top_rounds = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    else if (arg == "--interval-ms" && i + 1 < argc)
+      top_interval_ms = std::strtoull(argv[++i], nullptr, 10);
+    else if (arg.rfind("--interval-ms=", 0) == 0)
+      top_interval_ms = std::strtoull(arg.c_str() + 14, nullptr, 10);
+    else if (arg == "--inject-stall" && i + 1 < argc)
+      inject_stall_ns = std::strtoull(argv[++i], nullptr, 10);
+    else if (arg.rfind("--inject-stall=", 0) == 0)
+      inject_stall_ns = std::strtoull(arg.c_str() + 15, nullptr, 10);
     else
       positional.push_back(std::move(arg));
   }
@@ -290,12 +477,18 @@ int main(int argc, char** argv) {
                  "usage: %s [--trace <path>] [--trace-event <path>] "
                  "[--cache-frames <n>] [--io-threads <n|auto>] "
                  "<directory> [command args...]\n"
-                 "       %s doctor [--n <keys>] [--bound-report <path>]\n",
-                 argv[0], argv[0]);
+                 "       %s doctor [--n <keys>] [--bound-report <path>]\n"
+                 "       %s top [--n <keys>] [--rounds <r>] "
+                 "[--interval-ms <ms>] [--telemetry <path>] "
+                 "[--inject-stall <ns>] [--io-threads <n|auto>]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   if (positional[0] == "doctor")
     return run_doctor(doctor_n ? doctor_n : 1, bound_report_path);
+  if (positional[0] == "top")
+    return run_top(doctor_n ? doctor_n : 1, top_rounds, top_interval_ms,
+                   telemetry_path, inject_stall_ns, io_threads);
   std::filesystem::path dir = positional[0];
   std::filesystem::create_directories(dir);
   pdm::DiskArray disks(kGeom, pdm::Model::kParallelDisks,

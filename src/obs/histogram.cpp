@@ -1,0 +1,152 @@
+#include "obs/histogram.hpp"
+
+#include <bit>
+
+namespace pddict::obs {
+
+namespace {
+
+constexpr std::uint64_t kSub = std::uint64_t{1} << LatencyHistogram::kSubBucketBits;
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kNumBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  // Octave e = floor(log2 value) >= kSubBucketBits; the kSubBucketBits bits
+  // after the leading one select the linear sub-bucket within the octave.
+  unsigned e = 63 - static_cast<unsigned>(std::countl_zero(value));
+  std::uint64_t sub = (value >> (e - kSubBucketBits)) - kSub;
+  return static_cast<std::size_t>(
+      (std::uint64_t{e - kSubBucketBits + 1} << kSubBucketBits) + sub);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t index) {
+  std::size_t group = index >> kSubBucketBits;
+  std::uint64_t sub = index & (kSub - 1);
+  if (group == 0) return sub;
+  unsigned shift = static_cast<unsigned>(group - 1);
+  return (kSub << shift) + (sub << shift);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t index) {
+  std::size_t group = index >> kSubBucketBits;
+  if (group == 0) return bucket_lower(index);
+  std::uint64_t width = std::uint64_t{1} << (group - 1);
+  return bucket_lower(index) + width - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  buckets_[bucket_index(value)].fetch_add(weight, std::memory_order_relaxed);
+  count_.fetch_add(weight, std::memory_order_relaxed);
+  sum_.fetch_add(value * weight, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  std::uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  if (omin != ~std::uint64_t{0}) atomic_min(min_, omin);
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::min() const {
+  std::uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~std::uint64_t{0} ? 0 : m;
+}
+
+double LatencyHistogram::mean() const {
+  std::uint64_t c = count();
+  return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
+}
+
+std::uint64_t LatencyHistogram::value_at_quantile(double q) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  // Nearest rank matching bench::percentile: index floor(q*n) into the
+  // sorted sample vector, clamped to the last element.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative > rank) return bucket_upper(i);
+  }
+  return max();  // racy reader saw fewer bucket counts than count_
+}
+
+Json LatencyHistogram::to_json() const {
+  Json j = Json::object();
+  j.set("count", count());
+  j.set("sum", sum());
+  j.set("min", min());
+  j.set("max", max());
+  j.set("p50", p50());
+  j.set("p95", p95());
+  j.set("p99", p99());
+  j.set("p999", p999());
+  Json buckets = Json::array();
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (!c) continue;
+    Json pair = Json::array();
+    pair.push_back(static_cast<std::uint64_t>(i));
+    pair.push_back(c);
+    buckets.push_back(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+void LatencyHistogram::write_prometheus(std::ostream& os,
+                                        std::string_view name) const {
+  os << "# TYPE " << name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (!c) continue;
+    cumulative += c;
+    os << name << "_bucket{le=\"" << bucket_upper(i) << "\"} " << cumulative
+       << '\n';
+  }
+  os << name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+  os << name << "_sum " << sum() << '\n';
+  os << name << "_count " << count() << '\n';
+}
+
+}  // namespace pddict::obs

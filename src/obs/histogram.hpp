@@ -1,0 +1,103 @@
+// Streaming log-linear latency histogram (HDR-style) for always-on telemetry.
+//
+// The bench harness historically computed percentiles by sorting an unbounded
+// vector of per-operation samples — fine for a one-shot report, fatal for a
+// long-running server. LatencyHistogram is the bounded-memory replacement:
+// values are bucketed into 2^kSubBucketBits linear sub-buckets per power of
+// two, so memory is a fixed ~58 KiB regardless of sample count and any
+// quantile is answered in O(buckets) with relative error < 2^-kSubBucketBits.
+// Values below 2^kSubBucketBits land in unit-width buckets, which makes
+// quantiles over small integer domains — parallel-I/O counts per operation,
+// the repo's primary metric — *exact*, bit-identical to the nearest-rank
+// reference over the full sample vector.
+//
+// Concurrency: record() is lock-free (relaxed atomic adds; min/max via CAS),
+// so many worker threads share one histogram, or each keeps a shard and the
+// reader folds them with merge() — adds commute, so the merged result is
+// deterministic for a given multiset of recorded values regardless of thread
+// interleaving. Queries over a live histogram are racy-consistent (each
+// counter individually coherent); quiesce writers for exact totals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace pddict::obs {
+
+class LatencyHistogram {
+ public:
+  /// Linear sub-buckets per octave: 2^7 = 128 unit-exact values, < 0.79%
+  /// relative bucket width above that.
+  static constexpr unsigned kSubBucketBits = 7;
+  /// Total bucket count for the full uint64 value range: one unit-width
+  /// group below 2^kSubBucketBits plus one group per octave above it.
+  static constexpr std::size_t kNumBuckets =
+      (64 - kSubBucketBits + 1) * (std::size_t{1} << kSubBucketBits);
+
+  LatencyHistogram();
+
+  /// Fold `weight` observations of `value` in. Lock-free, callable from any
+  /// number of threads concurrently.
+  void record(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Fold another histogram (a per-thread shard) into this one. The result
+  /// equals recording both histograms' multisets into one — merge order and
+  /// recording interleaving never change it.
+  void merge(const LatencyHistogram& other);
+
+  /// Zero every counter (not thread-safe against concurrent record()).
+  void reset();
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Exact extremes of the recorded values (0 when empty).
+  std::uint64_t min() const;
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Nearest-rank quantile, matching bench::percentile's convention on a
+  /// sorted sample vector: the (floor(q*count)+1)-th smallest value, clamped
+  /// to the largest. Returns the highest value of the containing bucket, so
+  /// the answer is >= the exact order statistic and within one log-linear
+  /// bucket of it (equal whenever the bucket has unit width, i.e. for values
+  /// < 2^kSubBucketBits). 0 when empty.
+  std::uint64_t value_at_quantile(double q) const;
+  std::uint64_t p50() const { return value_at_quantile(0.50); }
+  std::uint64_t p95() const { return value_at_quantile(0.95); }
+  std::uint64_t p99() const { return value_at_quantile(0.99); }
+  std::uint64_t p999() const { return value_at_quantile(0.999); }
+
+  // ---- bucket geometry (exposed for tests and exporters) ----
+
+  /// Index of the bucket containing `value`.
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Lowest / highest value mapping to bucket `index`.
+  static std::uint64_t bucket_lower(std::size_t index);
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  /// {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p95":..,"p99":..,
+  ///  "p999":..,"buckets":[[index,count],...]} — buckets sparse, ascending.
+  Json to_json() const;
+
+  /// Prometheus text exposition: a classic cumulative histogram family
+  /// (`<name>_bucket{le="..."}` per non-empty bucket upper bound + "+Inf",
+  /// `<name>_sum`, `<name>_count`). `name` must already be a valid
+  /// Prometheus metric name (see telemetry.hpp's prometheus_name()).
+  void write_prometheus(std::ostream& os, std::string_view name) const;
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace pddict::obs

@@ -49,14 +49,19 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
-Json MetricsRegistry::to_json() const {
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  return Snapshot{counters_, gauges_, histograms_};
+}
+
+Json MetricsRegistry::to_json() const {
+  Snapshot snap = snapshot();
   Json counters = Json::object();
-  for (const auto& [name, value] : counters_) counters.set(name, value);
+  for (const auto& [name, value] : snap.counters) counters.set(name, value);
   Json gauges = Json::object();
-  for (const auto& [name, value] : gauges_) gauges.set(name, value);
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, value);
   Json histograms = Json::object();
-  for (const auto& [name, buckets] : histograms_) {
+  for (const auto& [name, buckets] : snap.histograms) {
     Json arr = Json::array();
     for (std::uint64_t b : buckets) arr.push_back(b);
     histograms.set(name, std::move(arr));
@@ -73,16 +78,41 @@ void MetricsRegistry::to_json(std::ostream& os, int indent) const {
   os << '\n';
 }
 
+namespace {
+// RFC 4180 quoting for names that would otherwise shift CSV columns.
+void write_csv_field(std::ostream& os, const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) {
+    os << s;
+    return;
+  }
+  os << '"';
+  for (char c : s) {
+    if (c == '"') os << '"';
+    os << c;
+  }
+  os << '"';
+}
+}  // namespace
+
 void MetricsRegistry::to_csv(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap = snapshot();
   os << "kind,name,index,value\n";
-  for (const auto& [name, value] : counters_)
-    os << "counter," << name << ",," << value << '\n';
-  for (const auto& [name, value] : gauges_)
-    os << "gauge," << name << ",," << value << '\n';
-  for (const auto& [name, buckets] : histograms_)
-    for (std::size_t i = 0; i < buckets.size(); ++i)
-      os << "histogram," << name << ',' << i << ',' << buckets[i] << '\n';
+  for (const auto& [name, value] : snap.counters) {
+    os << "counter,";
+    write_csv_field(os, name);
+    os << ",," << value << '\n';
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << "gauge,";
+    write_csv_field(os, name);
+    os << ",," << value << '\n';
+  }
+  for (const auto& [name, buckets] : snap.histograms)
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      os << "histogram,";
+      write_csv_field(os, name);
+      os << ',' << i << ',' << buckets[i] << '\n';
+    }
 }
 
 }  // namespace pddict::obs

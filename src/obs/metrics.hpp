@@ -39,12 +39,26 @@ class MetricsRegistry {
   bool empty() const;
   void clear();
 
+  /// Consistent point-in-time copy of the whole registry, taken under a
+  /// single lock acquisition — a sampler reading counters one by one could
+  /// otherwise see a torn set (counter A from before a producer's update,
+  /// gauge B from after it). Maps keep the keys sorted, so exports built
+  /// from a snapshot stay deterministic and diffable.
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, std::vector<std::uint64_t>> histograms;
+  };
+  Snapshot snapshot() const;
+
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}} with keys
-  /// sorted.
+  /// sorted and escaped by the JSON serializer.
   Json to_json() const;
   void to_json(std::ostream& os, int indent = 2) const;
   /// One row per scalar / per histogram bucket:
   /// kind,name,index,value
+  /// Names containing a comma, quote or newline are RFC 4180-quoted so a
+  /// hostile metric name cannot smuggle extra CSV columns.
   void to_csv(std::ostream& os) const;
 
  private:

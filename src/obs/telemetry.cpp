@@ -1,0 +1,543 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "obs/sink.hpp"  // trace_now_ns
+
+namespace pddict::obs {
+
+// ---- health events & watchdog ----
+
+Json health_event_to_json(const HealthEvent& event) {
+  Json j = Json::object();
+  j.set("schema", "pddict-health");
+  j.set("version", 1);
+  j.set("seq", event.seq);
+  j.set("ts_ns", event.ts_ns);
+  j.set("source", event.source);
+  j.set("kind", event.kind);
+  j.set("message", event.message);
+  j.set("measured", event.measured);
+  j.set("threshold", event.threshold);
+  return j;
+}
+
+HealthWatchdog::HealthWatchdog(WatchdogConfig config) : config_(config) {}
+
+std::uint64_t HealthWatchdog::add_source(std::string name,
+                                         std::function<HealthSample()> probe) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Source src;
+  src.id = next_id_++;
+  src.name = std::move(name);
+  src.probe = std::move(probe);
+  sources_.push_back(std::move(src));
+  return sources_.back().id;
+}
+
+void HealthWatchdog::remove_source(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(sources_, [&](const Source& s) { return s.id == id; });
+}
+
+void HealthWatchdog::raise(Source& src, std::string_view key, std::string kind,
+                           std::string message, double measured,
+                           double threshold, std::vector<HealthEvent>& out) {
+  bool& active = src.active[std::string(key)];
+  if (active) return;  // still bad since last check — already reported
+  active = true;
+  HealthEvent event;
+  event.seq = event_seq_++;
+  event.ts_ns = trace_now_ns();
+  event.source = src.name;
+  event.kind = std::move(kind);
+  event.message = std::move(message);
+  event.measured = measured;
+  event.threshold = threshold;
+  counts_[event.kind] += 1;
+  events_.push_back(event);
+  if (events_.size() > kMaxEvents) events_.pop_front();
+  out.push_back(std::move(event));
+}
+
+void HealthWatchdog::clear(Source& src, std::string_view key) {
+  auto it = src.active.find(std::string(key));
+  if (it != src.active.end()) it->second = false;
+}
+
+std::vector<HealthEvent> HealthWatchdog::check_now() {
+  std::vector<HealthEvent> fresh;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Source& src : sources_) {
+    HealthSample s = src.probe();
+
+    if (s.has_exec) {
+      for (std::size_t i = 0; i < s.workers.size(); ++i) {
+        const WorkerHealthSample& w = s.workers[i];
+        std::string stall_key = "worker_stall/" + std::to_string(i);
+        if (w.busy_ns > config_.stall_ns) {
+          raise(src, stall_key, "worker_stall",
+                "worker " + std::to_string(i) + " busy " +
+                    std::to_string(w.busy_ns / 1'000'000) + " ms on disk " +
+                    std::to_string(w.busy_disk),
+                static_cast<double>(w.busy_ns),
+                static_cast<double>(config_.stall_ns), fresh);
+        } else {
+          clear(src, stall_key);
+        }
+        std::string queue_key = "queue_depth/" + std::to_string(i);
+        if (w.queue_depth >= config_.queue_depth_high_water) {
+          raise(src, queue_key, "queue_depth_high_water",
+                "worker " + std::to_string(i) + " queue depth " +
+                    std::to_string(w.queue_depth),
+                static_cast<double>(w.queue_depth),
+                static_cast<double>(config_.queue_depth_high_water), fresh);
+        } else {
+          clear(src, queue_key);
+        }
+      }
+    }
+
+    if (s.has_cache && s.cache_capacity > 0) {
+      double fraction = static_cast<double>(s.cache_dirty_frames) /
+                        static_cast<double>(s.cache_capacity);
+      if (fraction > config_.dirty_frame_flood) {
+        raise(src, "dirty_frames", "dirty_frame_flood",
+              std::to_string(s.cache_dirty_frames) + "/" +
+                  std::to_string(s.cache_capacity) + " cache frames dirty",
+              fraction, config_.dirty_frame_flood, fresh);
+      } else {
+        clear(src, "dirty_frames");
+      }
+    }
+
+    if (s.has_bounds) {
+      // A new recorded violation re-arms the edge even if the margin never
+      // dipped back under the threshold between two checks.
+      if (s.bound_violations > src.seen_violations) clear(src, "bound_margin");
+      if (s.worst_margin > config_.margin_alert ||
+          s.bound_violations > src.seen_violations) {
+        raise(src, "bound_margin", "bound_margin_breach",
+              "worst bound margin " + std::to_string(s.worst_margin) + " (" +
+                  std::to_string(s.bound_violations) + " violations)",
+              s.worst_margin, config_.margin_alert, fresh);
+      } else {
+        clear(src, "bound_margin");
+      }
+      src.seen_violations = std::max(src.seen_violations, s.bound_violations);
+    }
+  }
+  return fresh;
+}
+
+std::vector<HealthEvent> HealthWatchdog::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<HealthEvent>(events_.begin(), events_.end());
+}
+
+std::map<std::string, std::uint64_t> HealthWatchdog::alert_counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+std::uint64_t HealthWatchdog::total_alerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return event_seq_;
+}
+
+Json HealthWatchdog::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json j = Json::object();
+  j.set("schema", "pddict-health");
+  j.set("version", 1);
+  j.set("total_alerts", event_seq_);
+  Json counts = Json::object();
+  for (const auto& [kind, n] : counts_) counts.set(kind, n);
+  j.set("counts", std::move(counts));
+  Json events = Json::array();
+  for (const HealthEvent& e : events_) events.push_back(health_event_to_json(e));
+  j.set("events", std::move(events));
+  return j;
+}
+
+std::string HealthWatchdog::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  if (event_seq_ == 0) {
+    os << "health: OK (no alerts)\n";
+    return os.str();
+  }
+  os << "health: " << event_seq_ << " alert" << (event_seq_ == 1 ? "" : "s");
+  const char* sep = " (";
+  for (const auto& [kind, n] : counts_) {
+    os << sep << kind << "=" << n;
+    sep = ", ";
+  }
+  os << ")\n";
+  for (const HealthEvent& e : events_) {
+    os << "  [" << e.seq << "] t+" << e.ts_ns / 1'000'000 << "ms " << e.source
+       << ": " << e.kind << " — " << e.message << "\n";
+  }
+  return os.str();
+}
+
+// ---- sampler ----
+
+TelemetrySampler::TelemetrySampler(Options options)
+    : options_(std::move(options)) {
+  if (!options_.jsonl_path.empty()) {
+    jsonl_ = std::make_unique<std::ofstream>(options_.jsonl_path,
+                                             std::ios::out | std::ios::trunc);
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+std::uint64_t TelemetrySampler::add_source(std::string name,
+                                           std::function<Json()> collect) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+    Source src;
+    src.id = id;
+    src.name = std::move(name) + "#" + std::to_string(id);
+    src.collect = std::move(collect);
+    sources_.push_back(std::move(src));
+  }
+  take_frame("source_added");
+  return id;
+}
+
+void TelemetrySampler::remove_source(std::uint64_t id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bool known = std::any_of(sources_.begin(), sources_.end(),
+                             [&](const Source& s) { return s.id == id; });
+    if (!known) return;
+  }
+  // Frame first, with the source still attached: the series must end on the
+  // source's exact final counters (the end-of-run == last-frame invariant the
+  // validator and tests rely on).
+  take_frame("source_removed");
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(sources_, [&](const Source& s) { return s.id == id; });
+}
+
+std::uint64_t TelemetrySampler::add_registry(std::string name,
+                                             const MetricsRegistry* registry) {
+  return add_source(std::move(name),
+                    [registry]() { return registry->to_json(); });
+}
+
+void TelemetrySampler::set_watchdog(std::shared_ptr<HealthWatchdog> watchdog) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  watchdog_ = std::move(watchdog);
+}
+
+std::shared_ptr<HealthWatchdog> TelemetrySampler::watchdog() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watchdog_;
+}
+
+void TelemetrySampler::start() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  take_frame("start");
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stopping_) {
+      bool woken = wake_.wait_for(
+          lock, std::chrono::milliseconds(options_.interval_ms),
+          [this] { return stopping_; });
+      if (woken) break;
+      lock.unlock();
+      take_frame("interval");
+      lock.lock();
+    }
+  });
+}
+
+void TelemetrySampler::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+    worker = std::move(thread_);
+  }
+  wake_.notify_all();
+  if (worker.joinable()) worker.join();
+  take_frame("final");
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+  if (jsonl_) jsonl_->flush();
+}
+
+bool TelemetrySampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+Json TelemetrySampler::sample_now(std::string_view reason) {
+  return take_frame(reason);
+}
+
+Json TelemetrySampler::take_frame(std::string_view reason) {
+  // Run the watchdog before taking the sampler lock: its probes reach into
+  // pdm objects that take their own locks, and keeping the chain
+  // watchdog→array disjoint from sampler→array means no thread ever holds
+  // both the sampler and watchdog mutexes at once.
+  std::shared_ptr<HealthWatchdog> dog;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    dog = watchdog_;
+  }
+  std::vector<HealthEvent> fresh;
+  if (dog) fresh = dog->check_now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json frame = Json::object();
+  frame.set("schema", kFrameSchema);
+  frame.set("version", kSchemaVersion);
+  frame.set("seq", seq_++);
+  std::uint64_t ts = trace_now_ns();
+  if (ts < last_ts_ns_) ts = last_ts_ns_;
+  last_ts_ns_ = ts;
+  frame.set("ts_ns", ts);
+  frame.set("reason", std::string(reason));
+  Json sources = Json::object();
+  for (const Source& src : sources_) sources.set(src.name, src.collect());
+  frame.set("sources", std::move(sources));
+  if (dog) {
+    Json alerts = Json::array();
+    for (const HealthEvent& e : fresh)
+      alerts.push_back(health_event_to_json(e));
+    frame.set("alerts", std::move(alerts));
+    Json counts = Json::object();
+    for (const auto& [kind, n] : dog->alert_counts()) counts.set(kind, n);
+    frame.set("alert_counts", std::move(counts));
+  }
+  if (jsonl_ && jsonl_->good()) {
+    frame.write(*jsonl_);
+    *jsonl_ << '\n';
+    jsonl_->flush();  // every line is a complete frame even if we die here
+  }
+  ring_.push_back(frame);
+  if (ring_.size() > options_.ring_capacity) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  return frame;
+}
+
+std::vector<Json> TelemetrySampler::frames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::vector<Json>(ring_.begin(), ring_.end());
+}
+
+std::uint64_t TelemetrySampler::frames_emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return seq_;
+}
+
+std::uint64_t TelemetrySampler::frames_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+namespace {
+
+void write_label_value(std::ostream& os, std::string_view value) {
+  for (char c : value) {
+    if (c == '\\' || c == '"') os << '\\';
+    if (c == '\n') {
+      os << "\\n";
+      continue;
+    }
+    os << c;
+  }
+}
+
+void write_number(std::ostream& os, const Json& v) {
+  if (v.type() == Json::Type::kInt) {
+    os << v.as_int();
+  } else {
+    os << v.as_double();
+  }
+}
+
+// Emit one Prometheus sample per numeric leaf of `v`, the JSON path joined
+// with '.' then sanitized. Arrays contribute their index as a path segment.
+void emit_numeric_leaves(std::ostream& os, const Json& v,
+                         const std::string& path, const std::string& source) {
+  if (v.is_number()) {
+    os << "pddict_" << prometheus_name(path) << "{source=\"";
+    write_label_value(os, source);
+    os << "\"} ";
+    write_number(os, v);
+    os << '\n';
+    return;
+  }
+  if (v.is_object()) {
+    for (const auto& [key, child] : v.as_object())
+      emit_numeric_leaves(os, child, path.empty() ? key : path + "." + key,
+                          source);
+    return;
+  }
+  if (v.is_array()) {
+    const JsonArray& arr = v.as_array();
+    for (std::size_t i = 0; i < arr.size(); ++i)
+      emit_numeric_leaves(os, arr[i], path + "." + std::to_string(i), source);
+  }
+}
+
+}  // namespace
+
+std::string TelemetrySampler::render_prometheus() const {
+  Json frame;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty()) return {};
+    frame = ring_.back();
+  }
+  std::ostringstream os;
+  const Json* sources = frame.find("sources");
+  if (sources && sources->is_object()) {
+    for (const auto& [name, snapshot] : sources->as_object())
+      emit_numeric_leaves(os, snapshot, "", name);
+  }
+  return os.str();
+}
+
+// ---- process-wide default sampler ----
+
+namespace {
+std::mutex g_default_telemetry_mutex;
+std::shared_ptr<TelemetrySampler> g_default_telemetry;
+}  // namespace
+
+void set_default_telemetry(std::shared_ptr<TelemetrySampler> sampler) {
+  std::lock_guard<std::mutex> lock(g_default_telemetry_mutex);
+  g_default_telemetry = std::move(sampler);
+}
+
+std::shared_ptr<TelemetrySampler> default_telemetry() {
+  std::lock_guard<std::mutex> lock(g_default_telemetry_mutex);
+  return g_default_telemetry;
+}
+
+// ---- Prometheus exposition of a MetricsRegistry snapshot ----
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+namespace {
+
+struct Sample {
+  std::string labels;  // rendered "{k=\"v\"}" or ""
+  std::string value;
+};
+
+// Split a dotted metric name, lifting a ".disk.<N>." segment pair into a
+// disk="N" label so all disks of a family share one Prometheus metric.
+void family_and_labels(std::string_view prefix, std::string_view name,
+                       std::string& family, std::string& labels) {
+  std::vector<std::string> segments;
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    std::size_t dot = name.find('.', start);
+    if (dot == std::string_view::npos) dot = name.size();
+    segments.emplace_back(name.substr(start, dot - start));
+    start = dot + 1;
+  }
+  std::string disk;
+  for (std::size_t i = 0; i + 1 < segments.size(); ++i) {
+    const std::string& next = segments[i + 1];
+    bool digits = !next.empty() && next.find_first_not_of("0123456789") ==
+                                       std::string::npos;
+    if (segments[i] == "disk" && digits) {
+      disk = next;
+      segments.erase(segments.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+      break;
+    }
+  }
+  std::string joined(prefix);
+  for (const std::string& seg : segments) {
+    joined += '_';
+    joined += seg;
+  }
+  family = prometheus_name(joined);
+  labels = disk.empty() ? "" : "{disk=\"" + disk + "\"}";
+}
+
+void write_families(
+    std::ostream& os, std::string_view type,
+    const std::map<std::string, std::vector<Sample>>& families) {
+  for (const auto& [family, samples] : families) {
+    os << "# TYPE " << family << ' ' << type << '\n';
+    for (const Sample& s : samples)
+      os << family << s.labels << ' ' << s.value << '\n';
+  }
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
+                      std::string_view prefix) {
+  std::map<std::string, std::vector<Sample>> counters;
+  for (const auto& [name, value] : snap.counters) {
+    std::string family, labels;
+    family_and_labels(prefix, name, family, labels);
+    counters[family + "_total"].push_back(
+        Sample{labels, std::to_string(value)});
+  }
+  write_families(os, "counter", counters);
+
+  std::map<std::string, std::vector<Sample>> gauges;
+  for (const auto& [name, value] : snap.gauges) {
+    std::string family, labels;
+    family_and_labels(prefix, name, family, labels);
+    std::ostringstream v;
+    v << value;
+    gauges[family].push_back(Sample{labels, v.str()});
+  }
+  write_families(os, "gauge", gauges);
+
+  // Registry histograms are small index-domain distributions (e.g. round
+  // utilization indexed by slots-in-use), not cumulative le-bucket families —
+  // expose each entry as a bucket="i"-labelled gauge.
+  std::map<std::string, std::vector<Sample>> hist;
+  for (const auto& [name, buckets] : snap.histograms) {
+    std::string family, labels;
+    family_and_labels(prefix, name, family, labels);
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+      std::string l = labels.empty()
+                          ? "{bucket=\"" + std::to_string(i) + "\"}"
+                          : labels.substr(0, labels.size() - 1) +
+                                ",bucket=\"" + std::to_string(i) + "\"}";
+      hist[family].push_back(Sample{l, std::to_string(buckets[i])});
+    }
+  }
+  write_families(os, "gauge", hist);
+}
+
+}  // namespace pddict::obs

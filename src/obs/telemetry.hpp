@@ -1,0 +1,282 @@
+// Live runtime telemetry: a background sampler producing schema-versioned
+// frames, and a health watchdog over the execution engine and caches.
+//
+// Everything observability built before this layer is post-hoc: metrics and
+// bound reports are exported once, at the end of a run. A long-running
+// dictionary service needs the opposite — always-on, bounded-memory
+// telemetry you can scrape *while it runs*, because under the paper's
+// deterministic guarantees a bound breach mid-run is a bug, not noise. Three
+// pieces:
+//
+//   * TelemetrySampler — a background thread that, every interval, asks each
+//     registered source for a JSON snapshot and assembles one
+//     "pddict-telemetry-frame" (schema v1): monotone seq + ts_ns, the
+//     per-source snapshots, and any watchdog alerts. Frames land in a
+//     bounded ring (live scraping) and, optionally, an append-only JSONL
+//     file (time series; validated by tools/validate_telemetry). The latest
+//     frame also renders as Prometheus text exposition.
+//
+//   * A process-wide default sampler (set_default_telemetry), mirroring
+//     obs::set_default_sink: a DiskArray constructed while one is installed
+//     registers itself as a source automatically and unregisters — after a
+//     final frame is taken, so the time series always ends on the exact
+//     end-of-run counters — when it dies. This is how the bench harness
+//     observes arrays created deep inside experiment helpers.
+//
+//   * HealthWatchdog — a passive rule engine over type-erased HealthSample
+//     probes (the pdm layer adapts DiskArray / IoExecutor / BufferPool /
+//     BoundMonitor into them, keeping this library free of a pdm link edge).
+//     check_now() evaluates every source against the configured thresholds
+//     and emits structured "pddict-health" events on rising edges: worker
+//     stalls (per-worker heartbeats), queue-depth high water, dirty-frame
+//     floods, paper-bound margin breaches. The sampler drives it each tick
+//     and embeds fresh alerts in the frame; `pddict_cli top` / `doctor`
+//     render the same events live.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace pddict::obs {
+
+// ---- health probes (type-erased view of the pdm layer) ----
+
+/// One execution worker's heartbeat, as seen at sampling time.
+struct WorkerHealthSample {
+  /// Nanoseconds the worker's *current* backend transfer has been running;
+  /// 0 when idle. A large value is a stalled (or very slow) disk.
+  std::uint64_t busy_ns = 0;
+  std::uint32_t busy_disk = 0;    // disk of the in-flight job (if busy)
+  std::size_t queue_depth = 0;    // jobs waiting on this worker
+  std::uint64_t jobs_done = 0;    // lifetime jobs completed
+};
+
+/// Point-in-time health of one watched source. Sections are optional so one
+/// struct serves arrays with/without a cache, engine, or bound monitor.
+struct HealthSample {
+  bool has_exec = false;
+  std::vector<WorkerHealthSample> workers;
+
+  bool has_cache = false;
+  std::size_t cache_capacity = 0;
+  std::size_t cache_dirty_frames = 0;
+
+  bool has_bounds = false;
+  double worst_margin = 0.0;          // > 1.0 means a guarantee was breached
+  std::uint64_t bound_violations = 0;
+};
+
+/// Alert thresholds. Defaults are conservative: they only fire on states
+/// that are certainly pathological for the simulated-disk workloads.
+struct WatchdogConfig {
+  /// A worker whose current job has run longer than this is stalled.
+  std::uint64_t stall_ns = 500'000'000;  // 500 ms
+  /// Alert when any worker's queue reaches this depth.
+  std::size_t queue_depth_high_water = 64;
+  /// Alert when dirty frames exceed this fraction of cache capacity.
+  double dirty_frame_flood = 0.9;
+  /// Alert when a bound margin exceeds this (1.0 = the proven guarantee).
+  double margin_alert = 1.0;
+};
+
+/// One structured "pddict-health" event (schema v1 when serialized).
+struct HealthEvent {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ns = 0;
+  std::string source;    // watchdog source name
+  std::string kind;      // worker_stall | queue_depth_high_water |
+                         // dirty_frame_flood | bound_margin_breach
+  std::string message;   // human one-liner
+  double measured = 0.0;
+  double threshold = 0.0;
+};
+
+Json health_event_to_json(const HealthEvent& event);
+
+class HealthWatchdog {
+ public:
+  explicit HealthWatchdog(WatchdogConfig config = {});
+
+  const WatchdogConfig& config() const { return config_; }
+
+  /// Register a probe. The callable is invoked from check_now() (the
+  /// sampler thread, usually) and must therefore be thread-safe and outlive
+  /// the watchdog or be removed first.
+  std::uint64_t add_source(std::string name,
+                           std::function<HealthSample()> probe);
+  void remove_source(std::uint64_t id);
+
+  /// Evaluate every source; returns the events newly raised by this check
+  /// (rising edge only — a condition that stays bad across consecutive
+  /// checks is reported once until it clears). Also appended to events().
+  std::vector<HealthEvent> check_now();
+
+  /// The most recent events (bounded ring of kMaxEvents), oldest first.
+  std::vector<HealthEvent> events() const;
+  /// Total events ever raised, per kind.
+  std::map<std::string, std::uint64_t> alert_counts() const;
+  std::uint64_t total_alerts() const;
+
+  /// {"schema":"pddict-health","version":1,"counts":{...},"events":[...]}.
+  Json to_json() const;
+  /// Human table for `pddict_cli doctor` / `top`.
+  std::string render() const;
+
+  static constexpr std::size_t kMaxEvents = 256;
+
+ private:
+  struct Source {
+    std::uint64_t id = 0;
+    std::string name;
+    std::function<HealthSample()> probe;
+    /// Rising-edge state per alert key ("worker_stall/3", "queue_depth", ...).
+    std::map<std::string, bool> active;
+    std::uint64_t seen_violations = 0;
+  };
+
+  void raise(Source& src, std::string_view key, std::string kind,
+             std::string message, double measured, double threshold,
+             std::vector<HealthEvent>& out);
+  void clear(Source& src, std::string_view key);
+
+  const WatchdogConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<Source> sources_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t event_seq_ = 0;
+  std::deque<HealthEvent> events_;
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+// ---- the sampler ----
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    /// Sampling period of the background thread.
+    std::uint64_t interval_ms = 100;
+    /// Frames retained in memory for live scraping.
+    std::size_t ring_capacity = 512;
+    /// Append every frame as one JSON line here ("" = no file).
+    std::string jsonl_path;
+  };
+
+  TelemetrySampler() : TelemetrySampler(Options()) {}
+  explicit TelemetrySampler(Options options);
+  ~TelemetrySampler();  // stop()s
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Register a source; its collector returns the JSON snapshot embedded in
+  /// every frame under "sources.<name>#<id>". Collectors run under the
+  /// sampler lock — they must not call back into the sampler. A frame is
+  /// taken immediately (reason "source_added") so even an instantaneous run
+  /// leaves a time series.
+  std::uint64_t add_source(std::string name, std::function<Json()> collect);
+  /// Take one final frame (reason "source_removed") with the source still
+  /// attached, then drop it — the series always ends on the source's exact
+  /// final counters.
+  void remove_source(std::uint64_t id);
+  /// Convenience: a MetricsRegistry source (single-lock snapshot per frame).
+  std::uint64_t add_registry(std::string name, const MetricsRegistry* registry);
+
+  /// Attach a watchdog: every frame embeds the alerts its check_now()
+  /// raised plus the cumulative per-kind counts.
+  void set_watchdog(std::shared_ptr<HealthWatchdog> watchdog);
+  std::shared_ptr<HealthWatchdog> watchdog() const;
+
+  /// Start / stop the background sampling thread. stop() takes a final
+  /// frame (reason "final"), joins and flushes the JSONL stream; safe to
+  /// call twice. The destructor stops implicitly.
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Take one frame synchronously (reason defaults to "manual"); returns it.
+  Json sample_now(std::string_view reason = "manual");
+
+  /// Ring snapshot, oldest first.
+  std::vector<Json> frames() const;
+  /// Total frames emitted (ring may have dropped early ones).
+  std::uint64_t frames_emitted() const;
+  std::uint64_t frames_dropped() const;
+  const Options& options() const { return options_; }
+
+  /// Prometheus text exposition of the latest frame: every numeric leaf of
+  /// every source becomes one sample, named
+  ///   pddict_<sanitized.json.path> {source="<name>#<id>"}
+  /// (see prometheus_name() for the sanitization rules). Empty when no
+  /// frame exists yet.
+  std::string render_prometheus() const;
+
+  static constexpr int kSchemaVersion = 1;
+  static constexpr std::string_view kFrameSchema = "pddict-telemetry-frame";
+
+ private:
+  struct Source {
+    std::uint64_t id = 0;
+    std::string name;  // unique key "name#id" precomputed
+    std::function<Json()> collect;
+  };
+
+  /// Build + record one frame. Caller must NOT hold mutex_.
+  Json take_frame(std::string_view reason);
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::vector<Source> sources_;
+  std::shared_ptr<HealthWatchdog> watchdog_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_ts_ns_ = 0;
+  std::deque<Json> ring_;
+  std::uint64_t dropped_ = 0;
+  std::unique_ptr<std::ostream> jsonl_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stopping_ = false;
+};
+
+/// Process-wide default sampler: a DiskArray constructed while one is set
+/// registers itself automatically (and unregisters on destruction). Pass
+/// nullptr to clear. Affects only arrays constructed afterwards.
+void set_default_telemetry(std::shared_ptr<TelemetrySampler> sampler);
+std::shared_ptr<TelemetrySampler> default_telemetry();
+
+// ---- Prometheus text-exposition helpers ----
+
+/// Sanitize an internal dotted metric name into a legal Prometheus metric
+/// name: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+/// digit is prefixed with '_'. "pdm.disk.3.blocks_read" →
+/// "pdm_disk_3_blocks_read" (write_prometheus below additionally lifts the
+/// per-disk index into a {disk="3"} label instead).
+std::string prometheus_name(std::string_view name);
+
+/// Render a MetricsRegistry snapshot as Prometheus text exposition, under
+/// `prefix` (default "pddict"). Mapping rules (documented in
+/// docs/observability.md):
+///   * counters  →  <prefix>_<sanitized>_total, # TYPE counter
+///   * gauges    →  <prefix>_<sanitized>,       # TYPE gauge
+///   * a ".disk.<N>." path segment pair is lifted into a disk="N" label
+///     ("pdm.disk.3.blocks_read" → pddict_pdm_disk_blocks_read{disk="3"})
+///   * registry histograms (small index domains, e.g. round utilization)
+///     →  <prefix>_<sanitized>{bucket="i"} gauges, one per entry.
+void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
+                      std::string_view prefix = "pddict");
+
+}  // namespace pddict::obs

@@ -42,6 +42,16 @@ std::size_t BufferPool::size() const {
   return total;
 }
 
+std::size_t BufferPool::dirty_frames() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->latch);
+    for (const Frame& frame : shard->frames)
+      if (frame.dirty) ++total;
+  }
+  return total;
+}
+
 std::size_t BufferPool::Shard::clock_victim() {
   if (frames.empty()) return kNpos;
   // Two sweeps suffice: the first clears reference bits, the second must

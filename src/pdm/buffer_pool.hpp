@@ -76,6 +76,10 @@ class BufferPool {
   std::size_t shards() const { return shards_.size(); }
   /// Blocks currently resident (sums shard sizes; racy-exact under churn).
   std::size_t size() const;
+  /// Resident frames with an unflushed write (sums shards; racy-exact under
+  /// churn). The health watchdog compares this against capacity(): a pool
+  /// that is almost all dirty has write-back falling behind.
+  std::size_t dirty_frames() const;
 
   /// Copy a resident block into `out`, set its reference bit and count a
   /// hit; returns false (and counts a miss) when absent. A dirty frame

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/op_context.hpp"
+#include "obs/telemetry.hpp"
 
 namespace pddict::pdm {
 
@@ -23,9 +24,28 @@ DiskArray::DiskArray(Geometry geom, Model model,
   std::size_t threads =
       IoExecutor::resolve_threads(default_io_threads(), geom_.num_disks);
   if (threads) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, threads);
+  // Last, with the object fully constructed: the sampler takes a frame the
+  // moment a source registers, so the collector must already work.
+  if (auto sampler = obs::default_telemetry()) {
+    telemetry_ = std::move(sampler);
+    if (auto dog = telemetry_->watchdog()) {
+      watchdog_ = std::move(dog);
+      watchdog_id_ =
+          watchdog_->add_source("pdm", [this] { return health_sample(); });
+    }
+    telemetry_id_ =
+        telemetry_->add_source("pdm", [this] { return telemetry_json(); });
+  }
 }
 
 DiskArray::~DiskArray() {
+  // Unregister from live telemetry first, while the array is fully alive:
+  // remove_source takes a final frame with this source still attached, so
+  // the time series ends on the exact end-of-run counters.
+  if (telemetry_) {
+    telemetry_->remove_source(telemetry_id_);
+    if (watchdog_) watchdog_->remove_source(watchdog_id_);
+  }
   // Durability, not accounting: dirty cached blocks reach the backend (file
   // backends persist them), but a dying array charges no rounds.
   if (!cache_) return;
@@ -41,7 +61,10 @@ void DiskArray::set_io_threads(std::size_t threads) {
   std::size_t resolved = IoExecutor::resolve_threads(threads, geom_.num_disks);
   if (exec_ && exec_->threads() == resolved) return;
   // Destroying the old engine joins its (idle — we hold the scheduling lock,
-  // so no batch is mid-execution) workers before the new one spawns.
+  // so no batch is mid-execution) workers before the new one spawns. The
+  // health probe reads exec_ under probe_mutex_ alone, so re-seating the
+  // pointer needs both locks.
+  std::lock_guard<std::mutex> probe_lock(probe_mutex_);
   exec_.reset();
   if (resolved) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, resolved);
 }
@@ -65,7 +88,11 @@ void DiskArray::enable_cache(std::size_t frames, std::size_t shards) {
     auto dirty = cache_->take_dirty();
     flush_victims_locked(dirty);
   }
-  cache_ = frames ? std::make_unique<BufferPool>(frames, shards) : nullptr;
+  {
+    // Health probes read cache_ under probe_mutex_ alone (see its comment).
+    std::lock_guard<std::mutex> probe_lock(probe_mutex_);
+    cache_ = frames ? std::make_unique<BufferPool>(frames, shards) : nullptr;
+  }
   cache_flushed_blocks_ = 0;
   cache_flush_rounds_ = 0;
 }
@@ -347,6 +374,89 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
       registry.count(dp + ".jobs", exec.disk_jobs[d]);
     }
   }
+}
+
+obs::Json DiskArray::telemetry_json() const {
+  // Sampler → array is the only permitted lock order, and this runs under
+  // the sampler lock — so take mutex_ exactly once and compute everything
+  // inline (public accessors like mean_utilization() lock again).
+  std::lock_guard<std::mutex> lock(mutex_);
+  obs::Json j = obs::Json::object();
+  obs::Json io = obs::Json::object();
+  io.set("parallel_ios", stats_.parallel_ios);
+  io.set("read_rounds", stats_.read_rounds);
+  io.set("write_rounds", stats_.write_rounds);
+  io.set("blocks_read", stats_.blocks_read);
+  io.set("blocks_written", stats_.blocks_written);
+  j.set("io", std::move(io));
+  j.set("disks", geom_.num_disks);
+  j.set("blocks_in_use", backend_->blocks_in_use());
+  std::uint64_t rounds = 0, slots_used = 0;
+  for (std::size_t k = 1; k < round_hist_.size(); ++k) {
+    rounds += round_hist_[k];
+    slots_used += k * round_hist_[k];
+  }
+  j.set("mean_utilization",
+        rounds == 0 ? 1.0
+                    : static_cast<double>(slots_used) /
+                          (static_cast<double>(rounds) * geom_.num_disks));
+  if (cache_) {
+    CacheStats cs = cache_->stats();
+    obs::Json cache = obs::Json::object();
+    cache.set("hits", cs.hits);
+    cache.set("misses", cs.misses);
+    cache.set("evictions", cs.evictions);
+    cache.set("dirty_evictions", cs.dirty_evictions);
+    cache.set("flushed_blocks", cache_flushed_blocks_);
+    cache.set("flush_rounds", cache_flush_rounds_);
+    cache.set("frames", static_cast<std::uint64_t>(cache_->capacity()));
+    cache.set("resident", static_cast<std::uint64_t>(cache_->size()));
+    cache.set("dirty", static_cast<std::uint64_t>(cache_->dirty_frames()));
+    j.set("cache", std::move(cache));
+  }
+  if (exec_) {
+    IoExecutor::Stats es = exec_->stats();
+    obs::Json exec = obs::Json::object();
+    exec.set("io_threads", static_cast<std::uint64_t>(exec_->threads()));
+    exec.set("batches", es.batches);
+    exec.set("jobs", es.jobs);
+    exec.set("wall_ns", es.wall_ns);
+    exec.set("max_queue_depth", es.max_queue_depth);
+    j.set("exec", std::move(exec));
+  }
+  return j;
+}
+
+obs::HealthSample DiskArray::health_sample() const {
+  // Deliberately NOT under mutex_ (see probe_mutex_'s comment): stall
+  // detection must run while a batch is stuck mid-execution holding the
+  // scheduling lock. Worker heartbeats are atomics and the pool's dirty scan
+  // uses its own shard latches, so bypassing mutex_ is safe once the
+  // pointers themselves are pinned.
+  std::lock_guard<std::mutex> lock(probe_mutex_);
+  obs::HealthSample s;
+  if (exec_) {
+    s.has_exec = true;
+    for (const IoExecutor::WorkerHealth& w : exec_->worker_health()) {
+      obs::WorkerHealthSample ws;
+      ws.busy_ns = w.busy_ns;
+      ws.busy_disk = w.busy_disk;
+      ws.queue_depth = w.queue_depth;
+      ws.jobs_done = w.jobs_done;
+      s.workers.push_back(ws);
+    }
+  }
+  if (cache_) {
+    s.has_cache = true;
+    s.cache_capacity = cache_->capacity();
+    s.cache_dirty_frames = cache_->dirty_frames();
+  }
+  return s;
+}
+
+void DiskArray::set_exec_job_delay_for_testing(std::uint64_t delay_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exec_) exec_->set_job_delay_for_testing(delay_ns);
 }
 
 void DiskArray::enable_trace(std::size_t capacity) {

@@ -48,6 +48,9 @@
 
 namespace pddict::obs {
 class MetricsRegistry;
+class TelemetrySampler;
+class HealthWatchdog;
+struct HealthSample;
 }  // namespace pddict::obs
 
 namespace pddict::pdm {
@@ -202,6 +205,29 @@ class DiskArray {
     return sink_;
   }
 
+  // ---- live telemetry (obs::TelemetrySampler / obs::HealthWatchdog) ----
+  //
+  // An array constructed while obs::set_default_telemetry() holds a sampler
+  // registers itself as a telemetry source (and, when the sampler carries a
+  // watchdog, as a health probe) automatically, mirroring the default-sink
+  // hook above. The destructor unregisters first thing — the sampler takes a
+  // final frame with the source still attached, so the emitted time series
+  // always ends on this array's exact end-of-run counters.
+
+  /// Point-in-time JSON snapshot for telemetry frames: cumulative IoStats
+  /// ("io.*", all monotone), geometry, utilization, and — when enabled —
+  /// cache and execution-engine counters. Single lock acquisition.
+  obs::Json telemetry_json() const;
+
+  /// Health probe for the watchdog: executor worker heartbeats and cache
+  /// dirty-frame pressure (bound margins are the BoundMonitor's own probe).
+  obs::HealthSample health_sample() const;
+
+  /// Test hook, forwarded to the execution engine (no-op when serial): every
+  /// backend transfer sleeps this long, making worker-stall detection
+  /// deterministic to exercise.
+  void set_exec_job_delay_for_testing(std::uint64_t delay_ns);
+
   /// Attach an *additional* sink without displacing what is already there:
   /// wraps the current sink and `sink` into an obs::MultiSink (or appends to
   /// an existing one). This is how monitors piggyback on an array that a
@@ -323,11 +349,24 @@ class DiskArray {
   bool tracing_ = false;
   std::shared_ptr<obs::RingBufferSink> trace_ring_;
   std::shared_ptr<obs::Sink> sink_;
+  // The sampler/watchdog this array auto-registered with at construction
+  // (shared ownership: unregistration in the destructor must reach the same
+  // sampler even if the process-wide default was swapped since).
+  std::shared_ptr<obs::TelemetrySampler> telemetry_;
+  std::shared_ptr<obs::HealthWatchdog> watchdog_;
+  std::uint64_t telemetry_id_ = 0;
+  std::uint64_t watchdog_id_ = 0;
   std::uint64_t event_seq_ = 0;  // emission index stamped on IoEvents
   /// Batches are atomic with respect to each other, so concurrent structure
   /// wrappers (core/concurrent_dict.hpp) can issue I/O from several threads;
   /// higher-level operation atomicity is the wrapper's bucket locks' job.
   mutable std::mutex mutex_;
+  /// Pins exec_/cache_ pointer stability for health_sample(), which must NOT
+  /// wait on mutex_: a batch holds the scheduling lock for its whole
+  /// execution, so a probe serialized behind it could never observe the
+  /// stalled worker it exists to detect. Mutators re-seat those pointers
+  /// under BOTH locks (order: mutex_ then probe_mutex_).
+  mutable std::mutex probe_mutex_;
 };
 
 /// The facade form of the buffer pool: a DiskArray born with its cache

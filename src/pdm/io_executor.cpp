@@ -72,12 +72,22 @@ IoExecutor::~IoExecutor() {
     if (w->thread.joinable()) w->thread.join();
 }
 
-void IoExecutor::run_job(const Job& job) {
+void IoExecutor::run_job(const Job& job, Worker* self) {
   std::uint64_t start = now_ns();
+  if (self) {
+    self->busy_disk.store(job.disk, std::memory_order_relaxed);
+    self->busy_since_ns.store(start, std::memory_order_release);
+  }
+  std::uint64_t delay = job_delay_ns_.load(std::memory_order_relaxed);
+  if (delay) std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
   if (job.reads)
     job.backend->load_batch(*job.reads);
   else
     job.backend->store_batch(*job.writes);
+  if (self) {
+    self->busy_since_ns.store(0, std::memory_order_release);
+    self->jobs_done.fetch_add(1, std::memory_order_relaxed);
+  }
   disk_busy_ns_[job.disk].fetch_add(now_ns() - start,
                                     std::memory_order_relaxed);
   disk_jobs_[job.disk].fetch_add(1, std::memory_order_relaxed);
@@ -98,8 +108,9 @@ void IoExecutor::worker_loop(std::size_t index) {
     }
     std::exception_ptr error;
     try {
-      run_job(job);
+      run_job(job, &me);
     } catch (...) {
+      me.busy_since_ns.store(0, std::memory_order_release);
       error = std::current_exception();
     }
     {
@@ -118,7 +129,7 @@ void IoExecutor::submit_and_wait(std::vector<Job>& jobs) {
 
   if (workers_.empty()) {
     // Serial path: the calling thread executes disk by disk, in disk order.
-    for (const Job& job : jobs) run_job(job);
+    for (const Job& job : jobs) run_job(job, nullptr);
     wall_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
     return;
   }
@@ -186,6 +197,31 @@ IoExecutor::Stats IoExecutor::stats() const {
   for (const auto& v : disk_jobs_)
     s.disk_jobs.push_back(v.load(std::memory_order_relaxed));
   return s;
+}
+
+std::vector<IoExecutor::WorkerHealth> IoExecutor::worker_health() const {
+  std::vector<WorkerHealth> out;
+  out.reserve(workers_.size());
+  std::uint64_t now = now_ns();
+  for (const auto& w : workers_) {
+    WorkerHealth h;
+    std::uint64_t since = w->busy_since_ns.load(std::memory_order_acquire);
+    // `since` can race past `now` if the job started between the two reads;
+    // clamp instead of wrapping around to a huge age.
+    if (since != 0 && since < now) h.busy_ns = now - since;
+    h.busy_disk = w->busy_disk.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(w->mutex);
+      h.queue_depth = w->queue.size();
+    }
+    h.jobs_done = w->jobs_done.load(std::memory_order_relaxed);
+    out.push_back(h);
+  }
+  return out;
+}
+
+void IoExecutor::set_job_delay_for_testing(std::uint64_t delay_ns) {
+  job_delay_ns_.store(delay_ns, std::memory_order_relaxed);
 }
 
 void IoExecutor::reset_stats() {

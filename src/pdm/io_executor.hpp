@@ -89,6 +89,24 @@ class IoExecutor {
   Stats stats() const;
   void reset_stats();
 
+  /// Point-in-time heartbeat of one worker, for the health watchdog.
+  struct WorkerHealth {
+    /// Age of the transfer currently in the backend (0 = idle). A worker
+    /// whose busy_ns keeps growing across health checks is stalled.
+    std::uint64_t busy_ns = 0;
+    std::uint32_t busy_disk = 0;  // disk of the in-flight job (if busy)
+    std::size_t queue_depth = 0;  // jobs waiting on this worker now
+    std::uint64_t jobs_done = 0;  // lifetime jobs completed
+  };
+  /// One entry per worker (empty on the serial path). Each worker's queue is
+  /// inspected under its own mutex; the heartbeat fields are atomics, so
+  /// sampling never blocks transfers beyond a queue-length read.
+  std::vector<WorkerHealth> worker_health() const;
+
+  /// Test hook: make every job sleep this long inside the backend call, so
+  /// watchdog stall detection can be exercised deterministically. 0 disables.
+  void set_job_delay_for_testing(std::uint64_t delay_ns);
+
  private:
   struct Barrier;
 
@@ -116,16 +134,22 @@ class IoExecutor {
     std::condition_variable wake;
     std::deque<Job> queue;
     std::thread thread;
+    // Heartbeat, written by the owning worker around each backend call and
+    // read by worker_health(). busy_since_ns == 0 means idle.
+    std::atomic<std::uint64_t> busy_since_ns{0};
+    std::atomic<std::uint32_t> busy_disk{0};
+    std::atomic<std::uint64_t> jobs_done{0};
   };
 
   void worker_loop(std::size_t index);
-  void run_job(const Job& job);
+  void run_job(const Job& job, Worker* self);
   /// Dispatch `jobs` across the workers and wait for all of them.
   void submit_and_wait(std::vector<Job>& jobs);
 
   std::uint32_t num_disks_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> job_delay_ns_{0};
 
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> jobs_{0};

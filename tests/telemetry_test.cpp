@@ -1,0 +1,406 @@
+// Tests for the live-telemetry layer (obs/histogram, obs/telemetry).
+//
+// Three contracts pinned here:
+//   * LatencyHistogram percentiles agree with the documented nearest-rank
+//     convention — exactly for values under the sub-bucket width (the per-op
+//     parallel-I/O domain the bench reports come from, so default reports
+//     stay byte-identical), and within one log-linear bucket (a 1/128
+//     relative error) everywhere else; concurrent recording and shard
+//     merging are both equivalent to one serial pass over the same multiset.
+//   * The sampler's time series always ends on a source's exact end-of-run
+//     counters: the "source_removed" frame taken by the DiskArray destructor
+//     must equal the IoStats read just before destruction, with gapless seq
+//     and documented reasons throughout.
+//   * The watchdog raises on rising edges only (with the bound-violation
+//     re-arm), and a genuinely stalled executor worker — forced through the
+//     job-delay test hook — is detected while the batch is still running.
+//
+// The chaos case at the bottom is the TSan target (-DPDDICT_SANITIZE=thread
+// build tree, like sink_stress_test): arrays registering/unregistering while
+// scrapers sample, render and check health concurrently.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/telemetry.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::obs {
+namespace {
+
+using pdm::Block;
+using pdm::BlockAddr;
+using pdm::DiskArray;
+using pdm::Geometry;
+
+constexpr Geometry kGeom{8, 16, 8, 0};
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The documented reference: nearest-rank with rank = floor(q*n), clamped.
+std::uint64_t nearest_rank(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  auto rank = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  if (rank >= v.size()) rank = v.size() - 1;
+  return v[rank];
+}
+
+/// A small deterministic batch workload against the raw PDM interface.
+void run_batches(DiskArray& disks, int steps) {
+  for (int step = 0; step < steps; ++step) {
+    std::vector<std::pair<BlockAddr, Block>> writes;
+    for (std::uint32_t d = 0; d < kGeom.num_disks; ++d) {
+      Block b(kGeom.block_bytes());
+      for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::byte>((step + d + i) & 0xff);
+      writes.emplace_back(BlockAddr{d, static_cast<std::uint64_t>(step % 8)},
+                          std::move(b));
+    }
+    disks.write_batch(writes);
+    std::vector<BlockAddr> reads;
+    for (std::uint32_t d = 0; d < kGeom.num_disks; ++d)
+      reads.push_back({d, static_cast<std::uint64_t>(step % 8)});
+    std::vector<Block> out;
+    disks.read_batch(reads, out);
+  }
+}
+
+// ---- histogram ----
+
+TEST(LatencyHistogramTest, SmallValuesMatchNearestRankExactly) {
+  // Values below the sub-bucket count (128) land in unit-width buckets, so
+  // every quantile must equal the nearest-rank answer exactly. This is the
+  // property that keeps default bench reports byte-identical after the
+  // sample-vector -> histogram switch.
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    std::uint64_t v = mix(i) % 128;
+    values.push_back(v);
+    hist.record(v);
+  }
+  for (double q : {0.0, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999})
+    EXPECT_EQ(hist.value_at_quantile(q), nearest_rank(values, q)) << "q=" << q;
+  EXPECT_EQ(hist.count(), values.size());
+  EXPECT_EQ(hist.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(hist.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogramTest, LargeValuesWithinOneLogLinearBucket) {
+  // Above the sub-bucket range the histogram may round up to its bucket's
+  // upper edge — never down, and never by more than the bucket width, which
+  // is a 1/128 relative error at 7 sub-bucket bits.
+  LatencyHistogram hist;
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    std::uint64_t v = 1 + mix(i) % 1'000'000'000;
+    values.push_back(v);
+    hist.record(v);
+  }
+  for (double q : {0.50, 0.90, 0.95, 0.99}) {
+    std::uint64_t exact = nearest_rank(values, q);
+    std::uint64_t approx = hist.value_at_quantile(q);
+    EXPECT_GE(approx, exact) << "q=" << q;
+    EXPECT_LE(approx, exact + exact / 128 + 1) << "q=" << q;
+  }
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : values) sum += v;
+  EXPECT_EQ(hist.sum(), sum);
+  EXPECT_EQ(hist.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordMatchesSerial) {
+  // record() is lock-free; any interleaving of the same multiset must yield
+  // the same histogram as a serial pass.
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20'000;
+  LatencyHistogram concurrent;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        concurrent.record(mix(t * kPerThread + i) % 500'000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  LatencyHistogram serial;
+  for (int t = 0; t < kThreads; ++t)
+    for (std::uint64_t i = 0; i < kPerThread; ++i)
+      serial.record(mix(t * kPerThread + i) % 500'000);
+
+  EXPECT_EQ(concurrent.count(), serial.count());
+  EXPECT_EQ(concurrent.sum(), serial.sum());
+  EXPECT_EQ(concurrent.min(), serial.min());
+  EXPECT_EQ(concurrent.max(), serial.max());
+  for (double q : {0.50, 0.95, 0.99, 0.999})
+    EXPECT_EQ(concurrent.value_at_quantile(q), serial.value_at_quantile(q));
+}
+
+TEST(LatencyHistogramTest, ShardMergeMatchesSingle) {
+  // Per-thread shards merged at the end are equivalent to one shared
+  // histogram — the aggregation pattern bench_util uses.
+  constexpr int kShards = 4;
+  constexpr std::uint64_t kPerShard = 10'000;
+  std::vector<LatencyHistogram> shards(kShards);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kShards; ++t) {
+    threads.emplace_back([&shards, t] {
+      for (std::uint64_t i = 0; i < kPerShard; ++i)
+        shards[static_cast<std::size_t>(t)].record(
+            mix(0xabc + t * kPerShard + i) % 1'000'000);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  LatencyHistogram merged;
+  for (const LatencyHistogram& shard : shards) merged.merge(shard);
+
+  LatencyHistogram single;
+  for (int t = 0; t < kShards; ++t)
+    for (std::uint64_t i = 0; i < kPerShard; ++i)
+      single.record(mix(0xabc + t * kPerShard + i) % 1'000'000);
+
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_EQ(merged.sum(), single.sum());
+  EXPECT_EQ(merged.min(), single.min());
+  EXPECT_EQ(merged.max(), single.max());
+  for (double q : {0.50, 0.95, 0.99})
+    EXPECT_EQ(merged.value_at_quantile(q), single.value_at_quantile(q));
+}
+
+// ---- watchdog rules ----
+
+TEST(HealthWatchdogTest, BoundMarginRisingEdgeAndViolationRearm) {
+  HealthWatchdog dog;
+  double margin = 0.5;
+  std::uint64_t violations = 0;
+  dog.add_source("bounds", [&] {
+    HealthSample h;
+    h.has_bounds = true;
+    h.worst_margin = margin;
+    h.bound_violations = violations;
+    return h;
+  });
+
+  EXPECT_TRUE(dog.check_now().empty());  // healthy
+
+  margin = 1.5;
+  violations = 1;
+  auto fresh = dog.check_now();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].kind, "bound_margin_breach");
+  EXPECT_EQ(fresh[0].source, "bounds");
+  EXPECT_DOUBLE_EQ(fresh[0].measured, 1.5);
+
+  // Unchanged bad state: rising edge already reported.
+  EXPECT_TRUE(dog.check_now().empty());
+
+  // A NEW violation re-arms the edge even though the margin never recovered.
+  violations = 2;
+  EXPECT_EQ(dog.check_now().size(), 1u);
+
+  // Recovery clears; the next breach is a fresh edge.
+  margin = 0.8;
+  EXPECT_TRUE(dog.check_now().empty());
+  margin = 1.2;
+  EXPECT_EQ(dog.check_now().size(), 1u);
+
+  EXPECT_EQ(dog.total_alerts(), 3u);
+  EXPECT_EQ(dog.alert_counts().at("bound_margin_breach"), 3u);
+}
+
+TEST(HealthWatchdogTest, DirtyFrameFloodRisingEdge) {
+  HealthWatchdog dog;
+  std::size_t dirty = 10;
+  std::uint64_t id = dog.add_source("cache", [&] {
+    HealthSample h;
+    h.has_cache = true;
+    h.cache_capacity = 10;
+    h.cache_dirty_frames = dirty;
+    return h;
+  });
+
+  auto fresh = dog.check_now();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].kind, "dirty_frame_flood");
+  EXPECT_TRUE(dog.check_now().empty());  // still flooded, already reported
+  dirty = 0;
+  EXPECT_TRUE(dog.check_now().empty());  // recovered
+  dirty = 10;
+  EXPECT_EQ(dog.check_now().size(), 1u);  // fresh edge
+
+  dog.remove_source(id);
+  EXPECT_TRUE(dog.check_now().empty());
+}
+
+TEST(HealthWatchdogTest, ForcedWorkerStallRaisesAlert) {
+  // The acceptance scenario: delay every backend transfer via the executor's
+  // test hook, then watch the watchdog catch a worker mid-stall while the
+  // batch is still executing. health_sample() deliberately bypasses the
+  // array's scheduling lock (held for the whole batch), so the probe works
+  // exactly when it is needed.
+  DiskArray disks(kGeom);
+  disks.set_io_threads(2);
+  disks.set_exec_job_delay_for_testing(20'000'000);  // 20 ms per transfer
+
+  WatchdogConfig cfg;
+  cfg.stall_ns = 2'000'000;  // 2 ms — every delayed job trips it
+  HealthWatchdog dog(cfg);
+  dog.add_source("pdm", [&] { return disks.health_sample(); });
+
+  std::thread writer([&] { run_batches(disks, 4); });
+  bool stalled = false;
+  for (int i = 0; i < 5000 && !stalled; ++i) {
+    for (const HealthEvent& e : dog.check_now())
+      if (e.kind == "worker_stall") stalled = true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+  disks.set_exec_job_delay_for_testing(0);
+  EXPECT_TRUE(stalled) << "watchdog missed a 20 ms transfer stall";
+  EXPECT_GE(dog.alert_counts().at("worker_stall"), 1u);
+}
+
+// ---- sampler ----
+
+TEST(TelemetrySamplerTest, SeriesEndsOnExactEndOfRunCounters) {
+  TelemetrySampler::Options opt;
+  opt.interval_ms = 5;
+  auto sampler = std::make_shared<TelemetrySampler>(opt);
+  sampler->set_watchdog(std::make_shared<HealthWatchdog>());
+  set_default_telemetry(sampler);
+  sampler->start();
+
+  pdm::IoStats end;
+  {
+    DiskArray disks(kGeom);  // self-registers with the default sampler
+    run_batches(disks, 16);
+    end = disks.stats();
+  }  // destructor takes the "source_removed" frame, then unregisters
+
+  set_default_telemetry(nullptr);
+  sampler->stop();
+
+  std::vector<Json> frames = sampler->frames();
+  ASSERT_GE(frames.size(), 4u);  // start, source_added, source_removed, final
+  EXPECT_EQ(frames.front().find("reason")->as_string(), "start");
+  EXPECT_EQ(frames.back().find("reason")->as_string(), "final");
+
+  // Gapless seq (ring never overflowed at this scale).
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    EXPECT_EQ(frames[i].find("seq")->as_int(), static_cast<std::int64_t>(i));
+
+  // The last frame still carrying the source is its end-of-run record.
+  const Json* final_snap = nullptr;
+  std::string reason;
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+    const Json* sources = it->find("sources");
+    if (!sources || sources->as_object().empty()) continue;
+    final_snap = &sources->as_object().begin()->second;
+    reason = it->find("reason")->as_string();
+    break;
+  }
+  ASSERT_NE(final_snap, nullptr);
+  EXPECT_EQ(reason, "source_removed");
+  const Json* io = final_snap->find("io");
+  ASSERT_NE(io, nullptr);
+  EXPECT_EQ(io->find("parallel_ios")->as_int(),
+            static_cast<std::int64_t>(end.parallel_ios));
+  EXPECT_EQ(io->find("read_rounds")->as_int(),
+            static_cast<std::int64_t>(end.read_rounds));
+  EXPECT_EQ(io->find("write_rounds")->as_int(),
+            static_cast<std::int64_t>(end.write_rounds));
+  EXPECT_EQ(io->find("blocks_read")->as_int(),
+            static_cast<std::int64_t>(end.blocks_read));
+  EXPECT_EQ(io->find("blocks_written")->as_int(),
+            static_cast<std::int64_t>(end.blocks_written));
+}
+
+TEST(TelemetrySamplerTest, PrometheusRenderCoversIoCounters) {
+  auto sampler = std::make_shared<TelemetrySampler>();
+  set_default_telemetry(sampler);
+  {
+    DiskArray disks(kGeom);
+    run_batches(disks, 2);
+    sampler->sample_now();
+    std::string text = sampler->render_prometheus();
+    EXPECT_NE(text.find("pddict_io_parallel_ios{source=\"pdm#"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("pddict_io_blocks_read{source=\"pdm#"),
+              std::string::npos);
+  }
+  set_default_telemetry(nullptr);
+}
+
+TEST(TelemetrySamplerTest, StartStopChaosUnderConcurrentScrapes) {
+  // The TSan case: arrays come and go (register/unregister + frames from
+  // their ctor/dtor), a scraper hammers sample_now/render/frames, a health
+  // poller drives the watchdog, and the main thread cycles start/stop.
+  TelemetrySampler::Options opt;
+  opt.interval_ms = 1;
+  opt.ring_capacity = 64;
+  auto sampler = std::make_shared<TelemetrySampler>(opt);
+  auto dog = std::make_shared<HealthWatchdog>();
+  sampler->set_watchdog(dog);
+  set_default_telemetry(sampler);
+  sampler->start();
+
+  std::atomic<bool> go{true};
+  std::thread arrays([&] {
+    for (int i = 0; i < 10; ++i) {
+      DiskArray disks(kGeom);
+      disks.set_io_threads(2);
+      run_batches(disks, 2);
+    }
+  });
+  std::thread scraper([&] {
+    while (go.load(std::memory_order_relaxed)) {
+      sampler->sample_now();
+      sampler->render_prometheus();
+      sampler->frames_emitted();
+      std::this_thread::yield();
+    }
+  });
+  std::thread health([&] {
+    while (go.load(std::memory_order_relaxed)) {
+      dog->check_now();
+      dog->alert_counts();
+      std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    sampler->stop();
+    sampler->start();
+  }
+  arrays.join();
+  go.store(false, std::memory_order_relaxed);
+  scraper.join();
+  health.join();
+  set_default_telemetry(nullptr);
+  sampler->stop();
+
+  // Every array contributed a source_added and a source_removed frame on top
+  // of whatever the interval thread and the scraper produced.
+  EXPECT_GE(sampler->frames_emitted(), 20u);
+  // The ring is bounded; overflow must be counted, not silent.
+  EXPECT_EQ(sampler->frames_emitted(),
+            sampler->frames_dropped() + sampler->frames().size());
+}
+
+}  // namespace
+}  // namespace pddict::obs

@@ -1,0 +1,181 @@
+// validate_telemetry — the CI schema gate for live-telemetry time series.
+//
+//   ./validate_telemetry [--min-frames N] <frames.jsonl> [<frames.jsonl> ...]
+//
+// Parses every line of each JSONL file with the repo's strict JSON parser
+// and checks the "pddict-telemetry-frame" v1 schema (docs/observability.md):
+//
+//   * every line is one frame with schema/version/seq/ts_ns/reason/sources
+//   * seq starts at 0 and increases by exactly 1 (no dropped writes)
+//   * ts_ns is nondecreasing across the file (one shared steady epoch)
+//   * reason is one of the documented enumerators
+//   * per source ("name#id" key), the cumulative "io.*" counters are
+//     monotone nondecreasing over that source's lifetime — execution
+//     threads, sampling jitter and cache hits must never make a cumulative
+//     counter move backwards
+//   * alerts, when present, are "pddict-health" v1 events
+//
+// --min-frames N additionally requires at least N frames per file (the CTest
+// gate uses this to assert a bench run actually produced a time series).
+// Exit status is non-zero on the first drift, so if the emitter's shape
+// changes, either the docs and this validator move with it, or CI fails.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using pddict::obs::Json;
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), message.c_str());
+  ++g_errors;
+}
+
+bool known_reason(const std::string& reason) {
+  return reason == "start" || reason == "interval" || reason == "manual" ||
+         reason == "source_added" || reason == "source_removed" ||
+         reason == "final";
+}
+
+void check_alert(const std::string& file, const std::string& where,
+                 const Json& alert) {
+  const Json* schema = alert.find("schema");
+  if (!schema || schema->as_string() != "pddict-health")
+    return fail(file, where + ": alert schema must be pddict-health");
+  const Json* version = alert.find("version");
+  if (!version || version->as_int() != 1)
+    return fail(file, where + ": alert version must be 1");
+  for (const char* key : {"seq", "ts_ns", "measured", "threshold"})
+    if (!alert.find(key) || !alert.find(key)->is_number())
+      return fail(file, where + ": alert missing numeric " + key);
+  for (const char* key : {"source", "kind", "message"})
+    if (!alert.find(key) || !alert.find(key)->is_string())
+      return fail(file, where + ": alert missing string " + key);
+}
+
+void check_file(const std::string& file, std::uint64_t min_frames) {
+  std::ifstream in(file);
+  if (!in) return fail(file, "cannot open");
+
+  std::uint64_t frames = 0;
+  std::uint64_t line_no = 0;
+  std::int64_t last_ts = -1;
+  // Last seen cumulative io counters per source key ("pdm#3"). A key is
+  // unique per registration, so monotonicity holds over a source's whole
+  // lifetime even when several arrays come and go.
+  std::map<std::string, std::map<std::string, std::int64_t>> last_io;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::string where = "line " + std::to_string(line_no);
+    std::string error;
+    auto parsed = pddict::obs::parse_json(line, &error);
+    if (!parsed) return fail(file, where + ": malformed JSON (" + error + ")");
+    const Json& frame = *parsed;
+
+    const Json* schema = frame.find("schema");
+    if (!schema || schema->as_string() != "pddict-telemetry-frame")
+      return fail(file, where + ": schema must be pddict-telemetry-frame");
+    const Json* version = frame.find("version");
+    if (!version || version->as_int() != 1)
+      return fail(file, where + ": version must be 1");
+
+    const Json* seq = frame.find("seq");
+    if (!seq || !seq->is_number())
+      return fail(file, where + ": missing numeric seq");
+    if (seq->as_int() != static_cast<std::int64_t>(frames))
+      return fail(file, where + ": seq " + std::to_string(seq->as_int()) +
+                            " != expected " + std::to_string(frames) +
+                            " (frames must be gapless and in order)");
+
+    const Json* ts = frame.find("ts_ns");
+    if (!ts || !ts->is_number())
+      return fail(file, where + ": missing numeric ts_ns");
+    if (ts->as_int() < last_ts)
+      return fail(file, where + ": ts_ns moved backwards (" +
+                            std::to_string(ts->as_int()) + " < " +
+                            std::to_string(last_ts) + ")");
+    last_ts = ts->as_int();
+
+    const Json* reason = frame.find("reason");
+    if (!reason || !reason->is_string() ||
+        !known_reason(reason->as_string()))
+      return fail(file, where + ": missing or unknown reason");
+
+    const Json* sources = frame.find("sources");
+    if (!sources || !sources->is_object())
+      return fail(file, where + ": missing sources object");
+    for (const auto& [name, snap] : sources->as_object()) {
+      if (!snap.is_object())
+        return fail(file, where + ": source " + name + " is not an object");
+      const Json* io = snap.find("io");
+      if (!io || !io->is_object())
+        return fail(file, where + ": source " + name + " missing io section");
+      auto& last = last_io[name];
+      for (const auto& [counter, value] : io->as_object()) {
+        if (!value.is_number())
+          return fail(file, where + ": io." + counter + " is not a number");
+        auto it = last.find(counter);
+        if (it != last.end() && value.as_int() < it->second)
+          return fail(file, where + ": source " + name + " io." + counter +
+                                " moved backwards (" +
+                                std::to_string(value.as_int()) + " < " +
+                                std::to_string(it->second) + ")");
+        last[counter] = value.as_int();
+      }
+    }
+
+    if (const Json* alerts = frame.find("alerts")) {
+      if (!alerts->is_array())
+        return fail(file, where + ": alerts must be an array");
+      for (const Json& alert : alerts->as_array())
+        check_alert(file, where, alert);
+    }
+    ++frames;
+  }
+
+  if (frames < min_frames)
+    return fail(file, "only " + std::to_string(frames) + " frames, need >= " +
+                          std::to_string(min_frames));
+  std::printf("%s: OK (%llu frames, %zu sources)\n", file.c_str(),
+              static_cast<unsigned long long>(frames), last_io.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t min_frames = 1;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--min-frames" && i + 1 < argc) {
+      min_frames = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--min-frames=", 0) == 0) {
+      min_frames = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: validate_telemetry [--min-frames N] <frames.jsonl> "
+                 "[...]\n");
+    return 2;
+  }
+  for (const std::string& file : files) check_file(file, min_frames);
+  if (g_errors) {
+    std::fprintf(stderr, "validate_telemetry: %d error(s)\n", g_errors);
+    return 1;
+  }
+  return 0;
+}
