@@ -34,6 +34,10 @@ int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_cache_curve");
   bench::TraceSession trace(argc, argv);
+  // Reset-safe since DiskArray folds pre-reset counters into the frames'
+  // io.* base — this bench reset_stats()s between cache-size cases.
+  bench::TelemetrySession telemetry(argc, argv);
+  bench::CostReportSession cost_report(argc, argv);
   bench::IoThreadsOption io_threads(argc, argv);
   bench::CacheFramesOption cache_opt(argc, argv);
 

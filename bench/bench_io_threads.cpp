@@ -64,6 +64,12 @@ struct RunResult {
 int main(int argc, char** argv) {
   using namespace pddict;
   bench::JsonReport report(argc, argv, "bench_io_threads");
+  bench::TelemetrySession telemetry(argc, argv);
+  // With --cost-report --cost-seek-us <n matching --seek-latency-us>, the
+  // conformance fit pins the seek term to the simulated latency and the
+  // report's predicted-vs-measured table checks the model against a device
+  // whose ground truth is known (see EXPERIMENTS.md).
+  bench::CostReportSession cost_report(argc, argv);
   // The sweep applies each value itself; don't publish a process default.
   bench::IoThreadsOption threads_opt(argc, argv, /*publish_default=*/false);
 

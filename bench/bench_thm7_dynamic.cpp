@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   bench::JsonReport report(argc, argv, "bench_thm7_dynamic");
   bench::TraceSession trace(argc, argv);
   bench::TelemetrySession telemetry(argc, argv);
+  bench::CostReportSession cost_report(argc, argv);
   bench::ExactPercentilesOption exact(argc, argv);
   bench::IoThreadsOption io_threads(argc, argv);
   std::printf("=== Theorem 7: dynamic dictionary, 1+eps / 2+eps I/Os ===\n\n");

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/dictionary.hpp"
+#include "obs/cost_conformance.hpp"
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/sink.hpp"
@@ -585,8 +586,10 @@ class ExactPercentilesOption {
 /// automatically and emits a final frame when it dies — the JSONL series
 /// always ends on each array's exact end-of-run counters.
 ///
-/// Only wire this into benches that never reset_stats() mid-run: the frame
-/// validator enforces per-source counter monotonicity.
+/// Safe in benches that reset_stats() mid-run (bench_cache_curve,
+/// bench_io_threads, ...): DiskArray folds the pre-reset counters into a
+/// telemetry base, so the io.* counters in frames stay monotone across
+/// resets — which is what the frame validator enforces per source.
 class TelemetrySession {
  public:
   TelemetrySession(int& argc, char** argv) {
@@ -648,6 +651,94 @@ class TelemetrySession {
  private:
   std::string path_;
   std::shared_ptr<obs::TelemetrySampler> sampler_;
+};
+
+/// Opt-in round-phase wall-time attribution + cost-model conformance for a
+/// whole bench run.
+///
+///   JsonReport report(argc, argv, "bench_x");
+///   CostReportSession cost(argc, argv);  // strips --cost-report flags
+///   ...                                  // dtor writes the report
+///
+/// Flags (no-ops when absent — the bench then records no phase samples):
+///   --cost-report <path.json>   write a pddict-cost-report v1 document
+///                               (validated by tools/validate_cost_report)
+///   --cost-seek-us <n>          hold the model's seek term fixed at this
+///                               latency (pass the FileBackend's simulated
+///                               --seek-latency-us); everything not pinned
+///                               is least-squares calibrated from the run
+///
+/// The session publishes a CostConformance through
+/// obs::set_default_cost_conformance(), so every DiskArray constructed
+/// afterwards records one RoundPhaseSample per executed batch. Phase timing
+/// is wall-clock only: counted I/O metrics and default bench reports are
+/// byte-identical with or without these flags.
+class CostReportSession {
+ public:
+  CostReportSession(int& argc, char** argv) {
+    std::uint64_t seek_us = 0;
+    for (int i = 1; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      int consumed = 0;
+      if (arg == "--cost-report" && i + 1 < argc) {
+        path_ = argv[i + 1];
+        consumed = 2;
+      } else if (arg.rfind("--cost-report=", 0) == 0) {
+        path_ = std::string(arg.substr(14));
+        consumed = 1;
+      } else if (arg == "--cost-seek-us" && i + 1 < argc) {
+        seek_us = std::strtoull(argv[i + 1], nullptr, 10);
+        consumed = 2;
+      } else if (arg.rfind("--cost-seek-us=", 0) == 0) {
+        seek_us = std::strtoull(std::string(arg.substr(15)).c_str(), nullptr,
+                                10);
+        consumed = 1;
+      }
+      if (consumed) {
+        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+        argc -= consumed;
+        --i;
+      }
+    }
+    if (path_.empty()) return;
+    obs::CostConformance::Options opt;
+    // Pin only what the caller asserted about the device; the rest is
+    // calibrated (DiskCostModel::conformance_options applies the same rule
+    // for library users with a full model in hand).
+    if (seek_us) opt.seek_ns = static_cast<double>(seek_us) * 1e3;
+    cc_ = std::make_shared<obs::CostConformance>(opt);
+    obs::set_default_cost_conformance(cc_);
+  }
+
+  CostReportSession(const CostReportSession&) = delete;
+  CostReportSession& operator=(const CostReportSession&) = delete;
+
+  ~CostReportSession() {
+    if (!cc_) return;
+    obs::set_default_cost_conformance(nullptr);
+    obs::Json doc = cc_->report();
+    std::ofstream out(path_);
+    if (out) {
+      doc.write(out, 2);
+      out << '\n';
+      std::printf("\n[cost report written to %s (%llu batches)]\n",
+                  path_.c_str(),
+                  static_cast<unsigned long long>(cc_->batches()));
+    } else {
+      std::fprintf(stderr, "CostReportSession: cannot write %s\n",
+                   path_.c_str());
+    }
+    std::fputs(cc_->render().c_str(), stdout);
+  }
+
+  bool enabled() const { return cc_ != nullptr; }
+  const std::shared_ptr<obs::CostConformance>& conformance() const {
+    return cc_;
+  }
+
+ private:
+  std::string path_;
+  std::shared_ptr<obs::CostConformance> cc_;
 };
 
 }  // namespace pddict::bench

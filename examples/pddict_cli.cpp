@@ -22,7 +22,9 @@
 // the pddict-bound-report JSON (with the op attribution embedded) for
 // tools/validate_bench_json. The telemetry sampler + health watchdog run
 // throughout, so doctor also prints the watchdog verdict (worker stalls,
-// queue high water, dirty-frame floods, bound-margin breaches).
+// queue high water, dirty-frame floods, bound-margin breaches, cost-model
+// divergence) plus the round-phase wall-time table and calibrated cost
+// model (obs/cost_conformance).
 //
 //   ./pddict_cli top [--n <keys>] [--rounds <r>] [--interval-ms <ms>]
 //                    [--telemetry <path>] [--inject-stall <ns>]
@@ -220,6 +222,11 @@ int run_doctor(std::uint64_t n, const std::string& report_path) {
   auto sampler = std::make_shared<obs::TelemetrySampler>(topt);
   sampler->set_watchdog(watchdog);
   obs::set_default_telemetry(sampler);
+  // Round-phase profiler: installed before the array exists so it attaches
+  // at construction; doctor prints the phase table + model fit at the end
+  // and the watchdog's model_divergence rule watches it live.
+  auto conformance = std::make_shared<obs::CostConformance>();
+  obs::set_default_cost_conformance(conformance);
   sampler->start();
 
   bool ok = false;
@@ -266,6 +273,8 @@ int run_doctor(std::uint64_t n, const std::string& report_path) {
     std::fputs(attributor->render().c_str(), stdout);
     std::printf("\n");
     std::fputs(monitor->render().c_str(), stdout);
+    std::printf("\n");
+    std::fputs(conformance->render().c_str(), stdout);
 
     watchdog->check_now();
     std::printf("\n");
@@ -287,6 +296,7 @@ int run_doctor(std::uint64_t n, const std::string& report_path) {
     }
     ok = monitor->violations() == 0 && watchdog->total_alerts() == 0;
   }
+  obs::set_default_cost_conformance(nullptr);
   obs::set_default_telemetry(nullptr);
   sampler->stop();
   std::printf("\ntelemetry: %llu frames sampled, %llu health alerts\n",
@@ -319,6 +329,9 @@ int run_top(std::uint64_t n, std::uint64_t rounds, std::uint64_t interval_ms,
   auto sampler = std::make_shared<obs::TelemetrySampler>(topt);
   sampler->set_watchdog(watchdog);
   obs::set_default_telemetry(sampler);
+  // Live round-phase attribution for the dashboard's per-slice phase line.
+  auto conformance = std::make_shared<obs::CostConformance>();
+  obs::set_default_cost_conformance(conformance);
   sampler->start();
   {
     const double eps = 0.5;
@@ -389,12 +402,14 @@ int run_top(std::uint64_t n, std::uint64_t rounds, std::uint64_t interval_ms,
                   static_cast<unsigned long long>(lat.p99()),
                   static_cast<unsigned long long>(lat.max()),
                   static_cast<unsigned long long>(lat.count()));
+      std::printf("  %s\n", conformance->render_line().c_str());
     }
     if (watchdog->total_alerts()) {
       std::printf("\n");
       std::fputs(watchdog->render().c_str(), stdout);
     }
   }
+  obs::set_default_cost_conformance(nullptr);
   obs::set_default_telemetry(nullptr);
   sampler->stop();
   std::printf("\n[%llu frames sampled (%llu dropped from ring), %llu health "

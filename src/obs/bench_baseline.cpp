@@ -89,8 +89,16 @@ bool is_higher_better(const std::string& path) {
       "mean_utilization", "utilization",   "expansion",
       "min_expansion",    "bandwidth",     "speedup",
       "speedup_wall",     "unique_fraction", "within_bounds",
-      "ok",               "passed",        "bits_saved"};
+      "ok",               "passed",        "bits_saved",
+      "within_2x_frac"};
   return kHigherBetter.count(last_segment(path)) > 0;
+}
+
+/// Cost-model conformance ratios (measured/predicted): 1.0 is perfect, so
+/// "worse" means farther from 1.0 in either direction, not simply larger.
+bool is_ratio_metric(const std::string& path) {
+  std::string leaf = last_segment(path);
+  return leaf == "ratio" || ends_with(leaf, "_ratio");
 }
 
 /// Configuration values: any drift invalidates the comparison, so it gates
@@ -225,6 +233,20 @@ DiffResult diff_baselines(const Json& before, const Json& after,
       if (kind == DiffKind::kRegression) ++result.regressions;
       if (kind == DiffKind::kImprovement) ++result.improvements;
       add({path, kind, false, a, b, rel});
+      continue;
+    }
+    if (is_ratio_metric(path)) {
+      if (std::fabs(rel) * 100.0 <= options.ratio_tol_pct) continue;
+      // Distance from the ideal 1.0 on a log scale, so 2.0 and 0.5 are
+      // equally bad and an 0.8 -> 1.1 move counts as an improvement.
+      double da = std::fabs(std::log(std::max(a, 1e-12)));
+      double db = std::fabs(std::log(std::max(b, 1e-12)));
+      DiffKind kind = db > da ? DiffKind::kRegression : DiffKind::kImprovement;
+      if (kind == DiffKind::kRegression && !options.gate_wall)
+        kind = DiffKind::kChange;
+      if (kind == DiffKind::kRegression) ++result.regressions;
+      if (kind == DiffKind::kImprovement) ++result.improvements;
+      add({path, kind, true, a, b, rel});
       continue;
     }
     if (is_wall_metric(path)) {

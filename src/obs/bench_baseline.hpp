@@ -64,6 +64,13 @@ struct DiffOptions {
   /// bound itself violated) and any new-side "violations" count above zero
   /// gate unconditionally — including on entries the old baseline lacks.
   double margin_tol_pct = 5.0;
+  /// Band for cost-model conformance ratios (measured/predicted leaves named
+  /// "ratio" / "*_ratio", from pddict-cost-report sections): 1.0 is a perfect
+  /// model, so drift within the band is machine noise and a change beyond it
+  /// gates only when the new value is FARTHER from 1.0 than the old one.
+  /// Ratios are wall-derived, so --ignore-wall (gate_wall=false) demotes
+  /// their regressions to non-gating changes too.
+  double ratio_tol_pct = 25.0;
 };
 
 struct DiffResult {

@@ -1,0 +1,432 @@
+#include "obs/cost_conformance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace pddict::obs {
+
+namespace {
+
+std::mutex g_default_mutex;
+std::shared_ptr<CostConformance> g_default;  // guarded by g_default_mutex
+
+/// Power-of-two rounds bucket: r1, r2, r3-4, r5-8, r9-16, ...
+std::string rounds_bucket(std::uint64_t rounds) {
+  if (rounds <= 2) return "r" + std::to_string(rounds);
+  std::uint64_t hi = 4;
+  while (hi < rounds) hi <<= 1;
+  return "r" + std::to_string(hi / 2 + 1) + "-" + std::to_string(hi);
+}
+
+/// Solve the k x k system a * x = rhs (k <= 3) by Gaussian elimination with
+/// partial pivoting. Returns false when a pivot is numerically zero relative
+/// to the matrix scale (collinear features).
+bool solve_normal(double a[3][3], double rhs[3], int k, double* x) {
+  double scale = 0.0;
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < k; ++j) scale = std::max(scale, std::fabs(a[i][j]));
+  if (scale == 0.0) return false;
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < k; ++col) {
+    int best = col;
+    for (int row = col + 1; row < k; ++row)
+      if (std::fabs(a[row][col]) > std::fabs(a[best][col])) best = row;
+    if (best != col) {
+      for (int j = 0; j < k; ++j) std::swap(a[col][j], a[best][j]);
+      std::swap(rhs[col], rhs[best]);
+      std::swap(perm[col], perm[best]);
+    }
+    if (std::fabs(a[col][col]) < 1e-9 * scale) return false;
+    for (int row = col + 1; row < k; ++row) {
+      double f = a[row][col] / a[col][col];
+      for (int j = col; j < k; ++j) a[row][j] -= f * a[col][j];
+      rhs[row] -= f * rhs[col];
+    }
+  }
+  for (int col = k - 1; col >= 0; --col) {
+    double v = rhs[col];
+    for (int j = col + 1; j < k; ++j) v -= a[col][j] * x[j];
+    x[col] = v / a[col][col];
+  }
+  (void)perm;
+  return true;
+}
+
+double pct(std::uint64_t part, std::uint64_t whole) {
+  return whole ? 100.0 * static_cast<double>(part) / static_cast<double>(whole)
+               : 0.0;
+}
+
+}  // namespace
+
+CostConformance::CostConformance() : CostConformance(Options{}) {}
+
+CostConformance::CostConformance(Options opt) : opt_(opt) {
+  if (opt_.window == 0) opt_.window = 1;
+}
+
+std::uint32_t CostConformance::class_index_locked(bool write, bool flush,
+                                                  std::uint64_t rounds) {
+  std::string name = (flush ? "flush" : write ? "write" : "read");
+  name += "/";
+  name += rounds_bucket(rounds);
+  for (std::uint32_t i = 0; i < classes_.size(); ++i)
+    if (classes_[i].name == name) return i;
+  classes_.push_back(ClassAccum{name, 0, 0, 0, 0, 0.0, 0.0});
+  return static_cast<std::uint32_t>(classes_.size() - 1);
+}
+
+void CostConformance::record(const RoundPhaseSample& sample) {
+  // The model charges the batch to its most-loaded worker: workers transfer
+  // concurrently, so the busiest one bounds the exec section. Ties prefer
+  // more runs (more positioning latency).
+  std::uint32_t runs = 0, blocks = 0;
+  for (std::size_t w = 0; w < sample.worker_blocks.size(); ++w) {
+    std::uint32_t wb = sample.worker_blocks[w];
+    std::uint32_t wr = w < sample.worker_runs.size() ? sample.worker_runs[w] : 0;
+    if (wb > blocks || (wb == blocks && wr > runs)) {
+      blocks = wb;
+      runs = wr;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  rounds_ += sample.rounds;
+  blocks_ += sample.blocks;
+
+  plan_.record(sample.plan_ns);
+  queue_.record(sample.queue_ns);
+  transfer_.record(sample.transfer_ns);
+  join_.record(sample.join_ns);
+  reconcile_.record(sample.reconcile_ns);
+  exec_.record(sample.exec_ns);
+  total_.record(sample.total_ns);
+
+  std::uint32_t cls =
+      class_index_locked(sample.write, sample.flush, sample.rounds);
+  ClassAccum& acc = classes_[cls];
+  ++acc.batches;
+  acc.rounds += sample.rounds;
+  acc.blocks += sample.blocks;
+  acc.exec_ns += sample.exec_ns;
+  acc.sum_runs += runs;
+  acc.sum_blocks += blocks;
+
+  window_.push_back(BatchRecord{batches_ - 1, cls, runs, blocks, sample.rounds,
+                                sample.exec_ns});
+  while (window_.size() > opt_.window) window_.pop_front();
+
+  double S = runs, B = blocks, y = static_cast<double>(sample.exec_ns);
+  n_ += 1;
+  s_ += S;
+  b_ += B;
+  ss_ += S * S;
+  sb_ += S * B;
+  bb_ += B * B;
+  y_ += y;
+  sy_ += S * y;
+  by_ += B * y;
+}
+
+std::uint64_t CostConformance::batches() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+
+CostConformance::Model CostConformance::fit_locked() const {
+  Model m;
+  m.overhead_ns = std::max(0.0, opt_.overhead_ns);
+  m.seek_ns = std::max(0.0, opt_.seek_ns);
+  m.transfer_ns_per_block = std::max(0.0, opt_.transfer_ns_per_block);
+  if (!opt_.calibrate || n_ == 0) return m;
+
+  const bool fix_o = opt_.overhead_ns >= 0;
+  const bool fix_s = opt_.seek_ns >= 0;
+  const bool fix_t = opt_.transfer_ns_per_block >= 0;
+  if (fix_o && fix_s && fix_t) return m;
+
+  // Subtract the fixed parameters' contribution from the target sums, then
+  // least-squares the unknowns. Gram sums of the features (1, S, B):
+  //   <1,1>=n  <1,S>=s  <1,B>=b  <S,S>=ss  <S,B>=sb  <B,B>=bb
+  double fo = fix_o ? m.overhead_ns : 0.0;
+  double fs = fix_s ? m.seek_ns : 0.0;
+  double ft = fix_t ? m.transfer_ns_per_block : 0.0;
+  double ry = y_ - fo * n_ - fs * s_ - ft * b_;
+  double rsy = sy_ - fo * s_ - fs * ss_ - ft * sb_;
+  double rby = by_ - fo * b_ - fs * sb_ - ft * bb_;
+
+  // Candidate unknown sets, in decreasing richness. The fallback chain
+  // handles collinear shapes: runs == blocks for every batch (seek-free
+  // backends) or constant shape across batches.
+  enum Feat { kOne, kSeek, kXfer };
+  const double gram[3][3] = {{n_, s_, b_}, {s_, ss_, sb_}, {b_, sb_, bb_}};
+  const double target[3] = {ry, rsy, rby};
+  std::vector<std::vector<Feat>> candidates;
+  {
+    std::vector<Feat> full;
+    if (!fix_o) full.push_back(kOne);
+    if (!fix_s) full.push_back(kSeek);
+    if (!fix_t) full.push_back(kXfer);
+    candidates.push_back(full);
+    if (!fix_s && full.size() > 1) {
+      std::vector<Feat> no_seek;
+      for (Feat f : full)
+        if (f != kSeek) no_seek.push_back(f);
+      candidates.push_back(no_seek);
+    }
+    if (!fix_t) candidates.push_back({kXfer});
+    if (!fix_o) candidates.push_back({kOne});
+  }
+
+  for (const std::vector<Feat>& feats : candidates) {
+    if (feats.empty()) continue;
+    int k = static_cast<int>(feats.size());
+    double a[3][3] = {};
+    double rhs[3] = {};
+    for (int i = 0; i < k; ++i) {
+      rhs[i] = target[feats[static_cast<std::size_t>(i)]];
+      for (int j = 0; j < k; ++j)
+        a[i][j] = gram[feats[static_cast<std::size_t>(i)]]
+                      [feats[static_cast<std::size_t>(j)]];
+    }
+    double x[3] = {};
+    if (!solve_normal(a, rhs, k, x)) continue;
+    Model fit = m;
+    if (!fix_o) fit.overhead_ns = 0.0;
+    if (!fix_s) fit.seek_ns = 0.0;
+    if (!fix_t) fit.transfer_ns_per_block = 0.0;
+    for (int i = 0; i < k; ++i) {
+      double v = std::max(0.0, x[i]);
+      switch (feats[static_cast<std::size_t>(i)]) {
+        case kOne: fit.overhead_ns = v; break;
+        case kSeek: fit.seek_ns = v; break;
+        case kXfer: fit.transfer_ns_per_block = v; break;
+      }
+    }
+    return fit;
+  }
+  return m;  // every fit degenerate: fixed/zero parameters
+}
+
+void CostConformance::refit_if_stale_locked() const {
+  // Refit lazily so the live divergence probe tracks a drifting workload
+  // without paying a solve per batch.
+  if (fitted_ && batches_ - fitted_at_ < 256) return;
+  model_ = fit_locked();
+  fitted_at_ = batches_;
+  fitted_ = true;
+}
+
+double CostConformance::recent_ratio_locked() const {
+  if (window_.size() < kMinRatioBatches) return 1.0;
+  refit_if_stale_locked();
+  double measured = 0.0, predicted = 0.0;
+  for (const BatchRecord& r : window_) {
+    measured += static_cast<double>(r.exec_ns);
+    predicted += predict(model_, r.runs, r.blocks);
+  }
+  if (predicted <= 0.0 || measured <= 0.0) return 1.0;
+  return measured / predicted;
+}
+
+double CostConformance::recent_ratio() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recent_ratio_locked();
+}
+
+Json CostConformance::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_ = fit_locked();  // report always reflects every recorded batch
+  fitted_at_ = batches_;
+  fitted_ = true;
+
+  Json j = Json::object();
+  j.set("schema", kSchema);
+  j.set("version", kVersion);
+  j.set("batches", batches_);
+  j.set("rounds", rounds_);
+  j.set("blocks", blocks_);
+
+  Json model = Json::object();
+  model.set("overhead_ns", model_.overhead_ns);
+  model.set("seek_ns", model_.seek_ns);
+  model.set("transfer_ns_per_block", model_.transfer_ns_per_block);
+  model.set("calibrated", opt_.calibrate);
+  Json fixed = Json::object();
+  fixed.set("overhead_ns", opt_.overhead_ns >= 0);
+  fixed.set("seek_ns", opt_.seek_ns >= 0);
+  fixed.set("transfer_ns_per_block", opt_.transfer_ns_per_block >= 0);
+  model.set("fixed", std::move(fixed));
+  j.set("model", std::move(model));
+
+  Json phases = Json::object();
+  phases.set("plan", plan_.to_json());
+  phases.set("queue", queue_.to_json());
+  phases.set("transfer", transfer_.to_json());
+  phases.set("join", join_.to_json());
+  phases.set("reconcile", reconcile_.to_json());
+  phases.set("exec", exec_.to_json());
+  phases.set("total", total_.to_json());
+  j.set("phases", std::move(phases));
+
+  // plan/exec/reconcile are disjoint sub-intervals of total on the same
+  // clock, so attributed <= total up to timer granularity; the validator
+  // gates the unattributed fraction.
+  std::uint64_t attributed = plan_.sum() + exec_.sum() + reconcile_.sum();
+  std::uint64_t total = total_.sum();
+  std::uint64_t unattributed = total > attributed ? total - attributed : 0;
+  Json attribution = Json::object();
+  attribution.set("attributed_ns", attributed);
+  attribution.set("total_ns", total);
+  attribution.set("unattributed_ns", unattributed);
+  attribution.set("unattributed_frac",
+                  total ? static_cast<double>(unattributed) /
+                              static_cast<double>(total)
+                        : 0.0);
+  j.set("attribution", std::move(attribution));
+
+  Json classes = Json::array();
+  for (const ClassAccum& acc : classes_) {
+    Json c = Json::object();
+    c.set("name", acc.name);
+    c.set("batches", acc.batches);
+    c.set("rounds", acc.rounds);
+    c.set("blocks", acc.blocks);
+    double predicted = model_.overhead_ns * static_cast<double>(acc.batches) +
+                       model_.seek_ns * acc.sum_runs +
+                       model_.transfer_ns_per_block * acc.sum_blocks;
+    c.set("measured_ns", acc.exec_ns);
+    c.set("predicted_ns", predicted);
+    c.set("ratio", predicted > 0.0 && acc.exec_ns > 0
+                       ? static_cast<double>(acc.exec_ns) / predicted
+                       : 1.0);
+    classes.push_back(std::move(c));
+  }
+  j.set("classes", std::move(classes));
+
+  // Worst-K divergent batches over the recent window (bounded memory — the
+  // list is windowed, not lifetime-global; see docs/observability.md).
+  std::vector<const BatchRecord*> ranked;
+  ranked.reserve(window_.size());
+  for (const BatchRecord& r : window_) ranked.push_back(&r);
+  auto divergence = [&](const BatchRecord& r) {
+    double p = std::max(1.0, predict(model_, r.runs, r.blocks));
+    double m = std::max(1.0, static_cast<double>(r.exec_ns));
+    double ratio = m / p;
+    return ratio >= 1.0 ? ratio : 1.0 / ratio;
+  };
+  std::size_t k = std::min(opt_.worst_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<long>(k),
+                    ranked.end(),
+                    [&](const BatchRecord* a, const BatchRecord* b) {
+                      return divergence(*a) > divergence(*b);
+                    });
+  std::uint64_t within = 0;
+  for (const BatchRecord& r : window_)
+    if (divergence(r) <= 2.0) ++within;
+  Json worst = Json::array();
+  for (std::size_t i = 0; i < k; ++i) {
+    const BatchRecord& r = *ranked[i];
+    double p = predict(model_, r.runs, r.blocks);
+    Json w = Json::object();
+    w.set("class", classes_[r.cls].name);
+    w.set("seq", r.seq);
+    w.set("rounds", r.rounds);
+    w.set("blocks", static_cast<std::uint64_t>(r.blocks));
+    w.set("runs", static_cast<std::uint64_t>(r.runs));
+    w.set("measured_ns", r.exec_ns);
+    w.set("predicted_ns", p);
+    w.set("ratio", p > 0.0 ? static_cast<double>(r.exec_ns) / p : 1.0);
+    worst.push_back(std::move(w));
+  }
+  j.set("worst", std::move(worst));
+
+  Json fit = Json::object();
+  fit.set("window_batches", static_cast<std::uint64_t>(window_.size()));
+  fit.set("ratio", recent_ratio_locked());
+  fit.set("within_2x_frac",
+          window_.empty() ? 1.0
+                          : static_cast<double>(within) /
+                                static_cast<double>(window_.size()));
+  j.set("fit", std::move(fit));
+  return j;
+}
+
+Json CostConformance::telemetry_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json j = Json::object();
+  j.set("batches", batches_);
+  j.set("recent_ratio", recent_ratio_locked());
+  Json phase = Json::object();
+  phase.set("plan", plan_.sum());
+  phase.set("queue", queue_.sum());
+  phase.set("transfer", transfer_.sum());
+  phase.set("join", join_.sum());
+  phase.set("reconcile", reconcile_.sum());
+  phase.set("exec", exec_.sum());
+  phase.set("total", total_.sum());
+  j.set("phase_ns", std::move(phase));
+  return j;
+}
+
+std::string CostConformance::render() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  refit_if_stale_locked();
+  std::ostringstream os;
+  std::uint64_t total = total_.sum();
+  os << "round phases (" << batches_ << " batches, " << rounds_
+     << " rounds):\n";
+  char line[160];
+  auto row = [&](const char* name, const LatencyHistogram& h) {
+    std::snprintf(line, sizeof line,
+                  "  %-9s %8.1f ms  %5.1f%%  mean %8.1f us  p95 %8.1f us\n",
+                  name, static_cast<double>(h.sum()) / 1e6,
+                  pct(h.sum(), total), h.mean() / 1e3,
+                  static_cast<double>(h.p95()) / 1e3);
+    os << line;
+  };
+  row("plan", plan_);
+  row("exec", exec_);
+  row("  queue", queue_);
+  row("  transfer", transfer_);
+  row("  join", join_);
+  row("reconcile", reconcile_);
+  row("total", total_);
+  std::snprintf(line, sizeof line,
+                "model: %.2f us + %.2f us/run + %.3f us/block (%s), "
+                "recent ratio %.2f\n",
+                model_.overhead_ns / 1e3, model_.seek_ns / 1e3,
+                model_.transfer_ns_per_block / 1e3,
+                opt_.calibrate ? "calibrated" : "configured",
+                recent_ratio_locked());
+  os << line;
+  return os.str();
+}
+
+std::string CostConformance::render_line() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = total_.sum();
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "phases plan %.0f%% exec %.0f%% reconcile %.0f%% | "
+                "model ratio %.2f (%llu batches)",
+                pct(plan_.sum(), total), pct(exec_.sum(), total),
+                pct(reconcile_.sum(), total), recent_ratio_locked(),
+                static_cast<unsigned long long>(batches_));
+  return line;
+}
+
+void set_default_cost_conformance(std::shared_ptr<CostConformance> cc) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_default = std::move(cc);
+}
+
+std::shared_ptr<CostConformance> default_cost_conformance() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  return g_default;
+}
+
+}  // namespace pddict::obs

@@ -1,0 +1,196 @@
+// Round-phase wall-time attribution and cost-model conformance.
+//
+// The paper's guarantees are counted in parallel I/O rounds and the repo
+// enforces those counts exactly; this module answers the orthogonal question
+// "where does a round's *wall time* go, and does cost_model.hpp predict it?".
+// DiskArray feeds one RoundPhaseSample per executed batch (a batch is the
+// execution unit of plan_batch — `rounds` accounted rounds dispatched
+// together), broken into disjoint caller-clock phases:
+//
+//   plan       address dedup + round planning + cache classification
+//   exec       the backend transfer section (submit to join), subdivided by
+//              attribution counters that may overlap across workers:
+//     queue      per-job time between submit and a worker dequeuing it
+//     transfer   per-job time inside the backend call
+//     join       caller time blocked on the completion barrier
+//   reconcile  cache install / victim collection / fan-out / accounting
+//
+// plan + exec + reconcile ≈ total (same clock, disjoint intervals); the gap
+// is reported as unattributed_frac and gated by tools/validate_cost_report.
+// queue/transfer/join attribute time *within* exec: their sums can exceed
+// exec wall when several workers overlap, which is the point — they say what
+// the exec section was spent on, not how long it was.
+//
+// Conformance: each batch is paired with the model prediction
+//
+//   predicted_ns = overhead + seek_ns * runs + transfer_ns_per_block * blocks
+//
+// where runs/blocks are the coalesced-run and block counts of the batch's
+// most-loaded worker (workers run concurrently, so the busiest one bounds the
+// section; serial execution is one worker owning every disk). Parameters can
+// be configured (e.g. from a FileBackend's simulated seek latency via
+// pdm::DiskCostModel::conformance_options) or calibrated: a least-squares fit
+// over every recorded batch solves for the unknown parameters, so the
+// measured/predicted ratio gates model *shape* (linearity in runs and
+// blocks), not machine speed. Aggregation is per round class
+// (direction x rounds bucket: "read/r1", "write/r3-4", "flush/r2", ...) plus
+// per-phase LatencyHistograms, a worst-K divergent list over a bounded recent
+// window, and a live recent_ratio() that DiskArray::health_sample exposes to
+// the HealthWatchdog's model_divergence rule.
+//
+// Everything here is observability: no pdm dependency, no feedback into round
+// accounting, and recording is skipped entirely unless a collector is
+// attached (set_default_cost_conformance, mirroring obs::set_default_sink).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+
+namespace pddict::obs {
+
+/// Phase breakdown of one executed round batch. All _ns fields are wall
+/// nanoseconds on the submitting thread's clock except queue/transfer, which
+/// are summed across jobs (see file comment).
+struct RoundPhaseSample {
+  bool write = false;  ///< direction of the moved blocks
+  bool flush = false;  ///< cache write-back batch (classed "flush")
+  std::uint64_t rounds = 0;  ///< accounted parallel rounds in this batch
+  std::uint64_t blocks = 0;  ///< distinct blocks moved
+  std::uint32_t busy_disks = 0;  ///< disks with >= 1 transfer
+
+  /// Prediction inputs reduced to the executor topology: entry w holds the
+  /// coalesced-run (positioning) and block counts of worker w's disks.
+  /// Serial execution passes a single entry covering every disk.
+  std::vector<std::uint32_t> worker_runs;
+  std::vector<std::uint32_t> worker_blocks;
+
+  std::uint64_t plan_ns = 0;
+  std::uint64_t exec_ns = 0;
+  std::uint64_t queue_ns = 0;
+  std::uint64_t transfer_ns = 0;
+  std::uint64_t join_ns = 0;
+  std::uint64_t reconcile_ns = 0;
+  std::uint64_t total_ns = 0;
+};
+
+class CostConformance {
+ public:
+  struct Options {
+    /// Model parameters in nanoseconds. A negative value means "unknown":
+    /// the calibrator fits it from the recorded batches; a value >= 0 is
+    /// configured and held fixed during fitting.
+    double seek_ns = -1.0;
+    double transfer_ns_per_block = -1.0;
+    double overhead_ns = -1.0;
+    /// Fit the unknown parameters by least squares (over every batch seen so
+    /// far; refreshed lazily). With calibrate=false unknowns stay 0.
+    bool calibrate = true;
+    /// Recent-batch window for recent_ratio() and the worst-K list.
+    std::size_t window = 4096;
+    std::size_t worst_k = 8;
+  };
+
+  static constexpr std::string_view kSchema = "pddict-cost-report";
+  static constexpr int kVersion = 1;
+  /// recent_ratio() reports 1.0 (no divergence) below this many batches.
+  static constexpr std::size_t kMinRatioBatches = 32;
+
+  CostConformance();  // default Options
+  explicit CostConformance(Options opt);
+
+  /// Fold one executed batch in. Thread-safe.
+  void record(const RoundPhaseSample& sample);
+
+  std::uint64_t batches() const;
+
+  /// Measured/predicted wall ratio over the recent window under the current
+  /// (possibly refitted) model. 1.0 until kMinRatioBatches batches arrived —
+  /// the watchdog treats 1.0 as "no divergence".
+  double recent_ratio() const;
+
+  /// The full pddict-cost-report v1 document.
+  Json report() const;
+
+  /// Compact summary for telemetry frames (per-source "cost" section):
+  /// monotone phase totals plus the recent_ratio gauge.
+  Json telemetry_json() const;
+
+  /// Human-readable phase table + model line (pddict_cli doctor).
+  std::string render() const;
+  /// One-line phase/ratio summary (pddict_cli top).
+  std::string render_line() const;
+
+ private:
+  struct ClassAccum {
+    std::string name;
+    std::uint64_t batches = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t exec_ns = 0;  // measured sum
+    double sum_runs = 0.0;      // modeled-worker run counts
+    double sum_blocks = 0.0;    // modeled-worker block counts
+  };
+
+  /// Window entry: a batch reduced to what the fit and worst-K list need.
+  struct BatchRecord {
+    std::uint64_t seq = 0;
+    std::uint32_t cls = 0;
+    std::uint32_t runs = 0;
+    std::uint32_t blocks = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t exec_ns = 0;
+  };
+
+  struct Model {
+    double overhead_ns = 0.0;
+    double seek_ns = 0.0;
+    double transfer_ns_per_block = 0.0;
+  };
+
+  std::uint32_t class_index_locked(bool write, bool flush,
+                                   std::uint64_t rounds);
+  void refit_if_stale_locked() const;
+  Model fit_locked() const;
+  double predict(const Model& m, double runs, double blocks) const {
+    return m.overhead_ns + m.seek_ns * runs +
+           m.transfer_ns_per_block * blocks;
+  }
+  double recent_ratio_locked() const;
+
+  Options opt_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t blocks_ = 0;
+
+  LatencyHistogram plan_, queue_, transfer_, join_, reconcile_, exec_, total_;
+
+  std::vector<ClassAccum> classes_;
+  std::deque<BatchRecord> window_;
+
+  // Normal-equation accumulators over every batch: features x = (1, S, B)
+  // with S = modeled-worker runs, B = modeled-worker blocks, target
+  // y = exec_ns. O(1) memory, so calibration never caps the sample count.
+  double n_ = 0, s_ = 0, b_ = 0, ss_ = 0, sb_ = 0, bb_ = 0;
+  double y_ = 0, sy_ = 0, by_ = 0;
+
+  mutable Model model_;
+  mutable std::uint64_t fitted_at_ = 0;  // batches_ when model_ was fitted
+  mutable bool fitted_ = false;
+};
+
+/// Process-wide default collector new DiskArrays attach to, mirroring
+/// obs::set_default_sink. nullptr (the default) disables phase recording.
+void set_default_cost_conformance(std::shared_ptr<CostConformance> cc);
+std::shared_ptr<CostConformance> default_cost_conformance();
+
+}  // namespace pddict::obs

@@ -135,6 +135,8 @@ Json LatencyHistogram::to_json() const {
 
 void LatencyHistogram::write_prometheus(std::ostream& os,
                                         std::string_view name) const {
+  os << "# HELP " << name
+     << " Log-linear latency distribution (nanoseconds).\n";
   os << "# TYPE " << name << " histogram\n";
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {

@@ -131,6 +131,23 @@ std::vector<HealthEvent> HealthWatchdog::check_now() {
       }
       src.seen_violations = std::max(src.seen_violations, s.bound_violations);
     }
+
+    if (s.has_model && s.model_batches > 0) {
+      // The conformance layer reports ratio == 1.0 until its window holds
+      // enough batches, so a cold model can never trip this rule.
+      double bound = config_.model_divergence;
+      bool diverged = bound > 0.0 && s.model_ratio > 0.0 &&
+                      (s.model_ratio > bound || s.model_ratio < 1.0 / bound);
+      if (diverged) {
+        raise(src, "model_divergence", "model_divergence",
+              "measured/predicted wall-time ratio " +
+                  std::to_string(s.model_ratio) + " over " +
+                  std::to_string(s.model_batches) + " batches",
+              s.model_ratio, bound, fresh);
+      } else {
+        clear(src, "model_divergence");
+      }
+    }
   }
   return fresh;
 }
@@ -357,17 +374,6 @@ std::uint64_t TelemetrySampler::frames_dropped() const {
 
 namespace {
 
-void write_label_value(std::ostream& os, std::string_view value) {
-  for (char c : value) {
-    if (c == '\\' || c == '"') os << '\\';
-    if (c == '\n') {
-      os << "\\n";
-      continue;
-    }
-    os << c;
-  }
-}
-
 void write_number(std::ostream& os, const Json& v) {
   if (v.type() == Json::Type::kInt) {
     os << v.as_int();
@@ -376,28 +382,33 @@ void write_number(std::ostream& os, const Json& v) {
   }
 }
 
-// Emit one Prometheus sample per numeric leaf of `v`, the JSON path joined
-// with '.' then sanitized. Arrays contribute their index as a path segment.
-void emit_numeric_leaves(std::ostream& os, const Json& v,
-                         const std::string& path, const std::string& source) {
+// Collect one Prometheus sample line per numeric leaf of `v`, keyed by
+// metric family so the renderer can group samples under one HELP/TYPE
+// header. The family is the JSON path joined with '.' then sanitized;
+// arrays contribute their index as a path segment.
+void collect_numeric_leaves(const Json& v, const std::string& path,
+                            const std::string& source,
+                            std::map<std::string, std::vector<std::string>>&
+                                families) {
   if (v.is_number()) {
-    os << "pddict_" << prometheus_name(path) << "{source=\"";
-    write_label_value(os, source);
-    os << "\"} ";
-    write_number(os, v);
-    os << '\n';
+    std::string family = "pddict_" + prometheus_name(path);
+    std::ostringstream line;
+    line << family << "{source=\"" << prometheus_label_value(source) << "\"} ";
+    write_number(line, v);
+    families[family].push_back(line.str());
     return;
   }
   if (v.is_object()) {
     for (const auto& [key, child] : v.as_object())
-      emit_numeric_leaves(os, child, path.empty() ? key : path + "." + key,
-                          source);
+      collect_numeric_leaves(child, path.empty() ? key : path + "." + key,
+                             source, families);
     return;
   }
   if (v.is_array()) {
     const JsonArray& arr = v.as_array();
     for (std::size_t i = 0; i < arr.size(); ++i)
-      emit_numeric_leaves(os, arr[i], path + "." + std::to_string(i), source);
+      collect_numeric_leaves(arr[i], path + "." + std::to_string(i), source,
+                             families);
   }
 }
 
@@ -410,11 +421,18 @@ std::string TelemetrySampler::render_prometheus() const {
     if (ring_.empty()) return {};
     frame = ring_.back();
   }
-  std::ostringstream os;
+  std::map<std::string, std::vector<std::string>> families;
   const Json* sources = frame.find("sources");
   if (sources && sources->is_object()) {
     for (const auto& [name, snapshot] : sources->as_object())
-      emit_numeric_leaves(os, snapshot, "", name);
+      collect_numeric_leaves(snapshot, "", name, families);
+  }
+  std::ostringstream os;
+  for (const auto& [family, lines] : families) {
+    os << "# HELP " << family
+       << " Latest pddict-telemetry-frame value of this JSON leaf.\n";
+    os << "# TYPE " << family << " gauge\n";
+    for (const std::string& line : lines) os << line << '\n';
   }
   return os.str();
 }
@@ -447,6 +465,20 @@ std::string prometheus_name(std::string_view name) {
     out += ok ? c : '_';
   }
   if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+std::string prometheus_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
   return out;
 }
 
@@ -486,13 +518,15 @@ void family_and_labels(std::string_view prefix, std::string_view name,
     joined += seg;
   }
   family = prometheus_name(joined);
-  labels = disk.empty() ? "" : "{disk=\"" + disk + "\"}";
+  labels =
+      disk.empty() ? "" : "{disk=\"" + prometheus_label_value(disk) + "\"}";
 }
 
 void write_families(
-    std::ostream& os, std::string_view type,
+    std::ostream& os, std::string_view type, std::string_view help,
     const std::map<std::string, std::vector<Sample>>& families) {
   for (const auto& [family, samples] : families) {
+    os << "# HELP " << family << ' ' << help << '\n';
     os << "# TYPE " << family << ' ' << type << '\n';
     for (const Sample& s : samples)
       os << family << s.labels << ' ' << s.value << '\n';
@@ -510,7 +544,9 @@ void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
     counters[family + "_total"].push_back(
         Sample{labels, std::to_string(value)});
   }
-  write_families(os, "counter", counters);
+  write_families(os, "counter",
+                 "Monotone counter from the pddict metrics registry.",
+                 counters);
 
   std::map<std::string, std::vector<Sample>> gauges;
   for (const auto& [name, value] : snap.gauges) {
@@ -520,7 +556,8 @@ void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
     v << value;
     gauges[family].push_back(Sample{labels, v.str()});
   }
-  write_families(os, "gauge", gauges);
+  write_families(os, "gauge", "Gauge from the pddict metrics registry.",
+                 gauges);
 
   // Registry histograms are small index-domain distributions (e.g. round
   // utilization indexed by slots-in-use), not cumulative le-bucket families —
@@ -537,7 +574,10 @@ void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
       hist[family].push_back(Sample{l, std::to_string(buckets[i])});
     }
   }
-  write_families(os, "gauge", hist);
+  write_families(os, "gauge",
+                 "Index-domain distribution from the pddict metrics registry, "
+                 "one gauge per bucket.",
+                 hist);
 }
 
 }  // namespace pddict::obs

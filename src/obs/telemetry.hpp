@@ -77,6 +77,12 @@ struct HealthSample {
   bool has_bounds = false;
   double worst_margin = 0.0;          // > 1.0 means a guarantee was breached
   std::uint64_t bound_violations = 0;
+
+  bool has_model = false;
+  /// Measured/predicted wall-time ratio over the conformance layer's recent
+  /// window (1.0 = the cost model is exact; see obs/cost_conformance.hpp).
+  double model_ratio = 1.0;
+  std::uint64_t model_batches = 0;  // batches behind the ratio
 };
 
 /// Alert thresholds. Defaults are conservative: they only fire on states
@@ -90,6 +96,10 @@ struct WatchdogConfig {
   double dirty_frame_flood = 0.9;
   /// Alert when a bound margin exceeds this (1.0 = the proven guarantee).
   double margin_alert = 1.0;
+  /// Alert when the cost model's measured/predicted ratio leaves
+  /// [1/model_divergence, model_divergence] — the model no longer describes
+  /// the device. Checked only once the ratio window has enough batches.
+  double model_divergence = 4.0;
 };
 
 /// One structured "pddict-health" event (schema v1 when serialized).
@@ -98,7 +108,8 @@ struct HealthEvent {
   std::uint64_t ts_ns = 0;
   std::string source;    // watchdog source name
   std::string kind;      // worker_stall | queue_depth_high_water |
-                         // dirty_frame_flood | bound_margin_breach
+                         // dirty_frame_flood | bound_margin_breach |
+                         // model_divergence
   std::string message;   // human one-liner
   double measured = 0.0;
   double threshold = 0.0;
@@ -219,8 +230,10 @@ class TelemetrySampler {
   /// Prometheus text exposition of the latest frame: every numeric leaf of
   /// every source becomes one sample, named
   ///   pddict_<sanitized.json.path> {source="<name>#<id>"}
-  /// (see prometheus_name() for the sanitization rules). Empty when no
-  /// frame exists yet.
+  /// (see prometheus_name() for the sanitization rules; label values are
+  /// escaped via prometheus_label_value). Samples are grouped per metric
+  /// family, each preceded by its `# HELP` / `# TYPE gauge` header lines.
+  /// Empty when no frame exists yet.
   std::string render_prometheus() const;
 
   static constexpr int kSchemaVersion = 1;
@@ -267,6 +280,13 @@ std::shared_ptr<TelemetrySampler> default_telemetry();
 /// per-disk index into a {disk="3"} label instead).
 std::string prometheus_name(std::string_view name);
 
+/// Escape a string for use inside a Prometheus label value (the text between
+/// the quotes of `{label="..."}`): backslash, double quote and newline become
+/// \\ , \" and \n per the text exposition format. Everything that renders a
+/// label value (write_prometheus, TelemetrySampler::render_prometheus) goes
+/// through this one helper.
+std::string prometheus_label_value(std::string_view value);
+
 /// Render a MetricsRegistry snapshot as Prometheus text exposition, under
 /// `prefix` (default "pddict"). Mapping rules (documented in
 /// docs/observability.md):
@@ -276,6 +296,8 @@ std::string prometheus_name(std::string_view name);
 ///     ("pdm.disk.3.blocks_read" → pddict_pdm_disk_blocks_read{disk="3"})
 ///   * registry histograms (small index domains, e.g. round utilization)
 ///     →  <prefix>_<sanitized>{bucket="i"} gauges, one per entry.
+/// Every family is preceded by `# HELP` and `# TYPE` header lines, and label
+/// values pass through prometheus_label_value.
 void write_prometheus(std::ostream& os, const MetricsRegistry::Snapshot& snap,
                       std::string_view prefix = "pddict");
 

@@ -8,10 +8,20 @@
 // block per disk.
 #pragma once
 
+#include "obs/cost_conformance.hpp"
 #include "pdm/geometry.hpp"
 #include "pdm/io_stats.hpp"
 
 namespace pddict::pdm {
+
+/// Shape of one executed round batch, reduced to its most-loaded worker:
+/// workers transfer concurrently, so the busiest one bounds the batch's wall
+/// time. Serial execution is one worker owning every disk, so the counts are
+/// whole-batch totals there.
+struct RoundShape {
+  std::uint64_t max_worker_runs = 0;    // coalesced contiguous runs (seeks)
+  std::uint64_t max_worker_blocks = 0;  // blocks transferred
+};
 
 struct DiskCostModel {
   double seek_ms = 0.0;                 // per parallel round
@@ -26,10 +36,45 @@ struct DiskCostModel {
            (seek_ms + transfer_ms_per_mib * block_mib);
   }
 
+  /// Predicted wall nanoseconds for one executed batch: every coalesced run
+  /// pays one positioning latency, every block one transfer, and disks
+  /// overlap — the finer-grained form of elapsed_ms that the conformance
+  /// layer checks against measured phase timings. Contiguous blocks coalesce
+  /// into a single positioned transfer (FileBackend merges them into one
+  /// preadv/pwritev), which is why runs, not rounds, carry the seek term.
+  double batch_wall_ns(const RoundShape& shape, const Geometry& geom) const {
+    double block_mib =
+        static_cast<double>(geom.block_bytes()) / (1024.0 * 1024.0);
+    return static_cast<double>(shape.max_worker_runs) * seek_ms * 1e6 +
+           static_cast<double>(shape.max_worker_blocks) *
+               transfer_ms_per_mib * block_mib * 1e6;
+  }
+
+  /// Conformance options with this model's nonzero parameters held fixed.
+  /// Zero parameters stay unknown — the calibrator fits them — so e.g.
+  /// simulated() pins the injected seek latency while the real memcpy
+  /// transfer cost is still learned. Overhead is always left to the
+  /// calibrator: dispatch cost is harness, not disk.
+  obs::CostConformance::Options conformance_options(
+      const Geometry& geom) const {
+    obs::CostConformance::Options opt;
+    double block_mib =
+        static_cast<double>(geom.block_bytes()) / (1024.0 * 1024.0);
+    if (seek_ms > 0.0) opt.seek_ns = seek_ms * 1e6;
+    if (transfer_ms_per_mib > 0.0)
+      opt.transfer_ns_per_block = transfer_ms_per_mib * block_mib * 1e6;
+    return opt;
+  }
+
   /// 7200rpm spinning disk array: ~8ms positioning, ~6.7ms/MiB (150 MiB/s).
   static constexpr DiskCostModel spinning() { return {8.0, 6.7}; }
   /// NVMe flash: ~80us random access, ~0.3ms/MiB (3 GiB/s).
   static constexpr DiskCostModel nvme() { return {0.08, 0.0003 * 1024}; }
+  /// A FileBackend with simulated positioning latency: the sleep dominates,
+  /// transfer time is left to the calibrator.
+  static constexpr DiskCostModel simulated(std::uint32_t seek_latency_us) {
+    return {static_cast<double>(seek_latency_us) / 1000.0, 0.0};
+  }
 };
 
 }  // namespace pddict::pdm

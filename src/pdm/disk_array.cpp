@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/cost_conformance.hpp"
 #include "obs/metrics.hpp"
 #include "obs/op_context.hpp"
 #include "obs/telemetry.hpp"
@@ -24,6 +25,7 @@ DiskArray::DiskArray(Geometry geom, Model model,
   std::size_t threads =
       IoExecutor::resolve_threads(default_io_threads(), geom_.num_disks);
   if (threads) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, threads);
+  conformance_ = obs::default_cost_conformance();
   // Last, with the object fully constructed: the sampler takes a frame the
   // moment a source registers, so the collector must already work.
   if (auto sampler = obs::default_telemetry()) {
@@ -69,8 +71,17 @@ void DiskArray::set_io_threads(std::size_t threads) {
   if (resolved) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, resolved);
 }
 
+void DiskArray::set_cost_conformance(std::shared_ptr<obs::CostConformance> cc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> probe_lock(probe_mutex_);
+  conformance_ = std::move(cc);
+}
+
 void DiskArray::reset_stats() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Fold the outgoing counters into the telemetry base first, so the "io.*"
+  // series a live sampler emits never moves backwards across a reset.
+  telemetry_base_ += stats_;
   stats_ = IoStats{};
   std::fill(disk_counters_.begin(), disk_counters_.end(), DiskCounters{});
   std::fill(round_hist_.begin(), round_hist_.end(), 0);
@@ -120,7 +131,8 @@ std::size_t DiskArray::uniq_index(const std::vector<BlockAddr>& uniq,
 }
 
 void DiskArray::fetch_blocks_locked(const std::vector<BlockAddr>& uniq,
-                                    std::vector<Block>& blocks) {
+                                    std::vector<Block>& blocks,
+                                    IoExecutor::BatchTiming* timing) {
   blocks.resize(uniq.size());
   if (uniq.empty()) return;
   if (!exec_) {
@@ -130,35 +142,90 @@ void DiskArray::fetch_blocks_locked(const std::vector<BlockAddr>& uniq,
     reads.reserve(uniq.size());
     for (std::size_t i = 0; i < uniq.size(); ++i)
       reads.push_back({uniq[i], &blocks[i]});
+    std::uint64_t start = timing ? obs::trace_now_ns() : 0;
     backend_->load_batch(reads);
+    if (timing) {
+      timing->wall_ns = obs::trace_now_ns() - start;
+      timing->transfer_ns = timing->wall_ns;
+    }
     return;
   }
   std::vector<std::vector<BlockRead>> per_disk(geom_.num_disks);
   for (std::size_t i = 0; i < uniq.size(); ++i)
     per_disk[uniq[i].disk].push_back({uniq[i], &blocks[i]});
-  exec_->execute_reads(*backend_, per_disk);
+  exec_->execute_reads(*backend_, per_disk, timing);
 }
 
 void DiskArray::store_blocks_locked(const std::vector<BlockAddr>& uniq,
-                                    const std::vector<const Block*>& src) {
+                                    const std::vector<const Block*>& src,
+                                    IoExecutor::BatchTiming* timing) {
   if (uniq.empty()) return;
   if (!exec_) {
     std::vector<BlockWrite> writes;
     writes.reserve(uniq.size());
     for (std::size_t i = 0; i < uniq.size(); ++i)
       writes.push_back({uniq[i], src[i]});
+    std::uint64_t start = timing ? obs::trace_now_ns() : 0;
     backend_->store_batch(writes);
+    if (timing) {
+      timing->wall_ns = obs::trace_now_ns() - start;
+      timing->transfer_ns = timing->wall_ns;
+    }
     return;
   }
   std::vector<std::vector<BlockWrite>> per_disk(geom_.num_disks);
   for (std::size_t i = 0; i < uniq.size(); ++i)
     per_disk[uniq[i].disk].push_back({uniq[i], src[i]});
-  exec_->execute_writes(*backend_, per_disk);
+  exec_->execute_writes(*backend_, per_disk, timing);
+}
+
+void DiskArray::record_phase_locked(const BatchPlan& plan, bool write,
+                                    bool flush,
+                                    const IoExecutor::BatchTiming& timing,
+                                    std::uint64_t plan_ns,
+                                    std::uint64_t exec_ns,
+                                    std::uint64_t reconcile_ns,
+                                    std::uint64_t total_ns) {
+  if (!conformance_ || plan.uniq.empty()) return;
+  obs::RoundPhaseSample s;
+  s.write = write;
+  s.flush = flush;
+  s.rounds = plan.rounds;
+  s.blocks = plan.uniq.size();
+  for (std::uint32_t c : plan.per_disk)
+    if (c) ++s.busy_disks;
+  // Reduce the batch to the executor topology: worker w owns the disks
+  // congruent to it mod threads; serial execution is one worker owning every
+  // disk. uniq is sorted by (disk, block), so a coalesced run — what a
+  // positioned backend pays one seek for — breaks exactly where the disk
+  // changes or the block index jumps.
+  std::size_t threads = exec_ ? exec_->threads() : 0;
+  std::size_t width = threads ? threads : 1;
+  s.worker_runs.assign(width, 0);
+  s.worker_blocks.assign(width, 0);
+  for (std::size_t i = 0; i < plan.uniq.size(); ++i) {
+    const BlockAddr& a = plan.uniq[i];
+    std::size_t w = threads ? a.disk % threads : 0;
+    ++s.worker_blocks[w];
+    if (i == 0 || plan.uniq[i - 1].disk != a.disk ||
+        plan.uniq[i - 1].block + 1 != a.block)
+      ++s.worker_runs[w];
+  }
+  s.plan_ns = plan_ns;
+  s.exec_ns = exec_ns;
+  s.queue_ns = timing.queue_ns;
+  s.transfer_ns = timing.transfer_ns;
+  s.join_ns = timing.join_ns;
+  s.reconcile_ns = reconcile_ns;
+  s.total_ns = total_ns;
+  conformance_->record(s);
 }
 
 std::uint64_t DiskArray::flush_victims_locked(
     std::vector<std::pair<BlockAddr, Block>>& victims) {
   if (victims.empty()) return 0;
+  const bool prof = conformance_ != nullptr;
+  std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
   std::vector<BlockAddr> addrs;
   addrs.reserve(victims.size());
   for (const auto& [addr, block] : victims) addrs.push_back(addr);
@@ -170,10 +237,18 @@ std::uint64_t DiskArray::flush_victims_locked(
   std::vector<const Block*> src(plan.uniq.size(), nullptr);
   for (const auto& [addr, block] : victims)
     src[uniq_index(plan.uniq, addr)] = &block;
-  store_blocks_locked(plan.uniq, src);
+  std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
+  IoExecutor::BatchTiming timing;
+  store_blocks_locked(plan.uniq, src, prof ? &timing : nullptr);
+  std::uint64_t t2 = prof ? obs::trace_now_ns() : 0;
   account_batch(plan, /*write=*/true, addrs);
   cache_flushed_blocks_ += plan.uniq.size();
   cache_flush_rounds_ += plan.rounds;
+  if (prof) {
+    std::uint64_t t3 = obs::trace_now_ns();
+    record_phase_locked(plan, /*write=*/true, /*flush=*/true, timing, t1 - t0,
+                        t2 - t1, t3 - t2, t3 - t0);
+  }
   return plan.rounds;
 }
 
@@ -383,11 +458,15 @@ obs::Json DiskArray::telemetry_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   obs::Json j = obs::Json::object();
   obs::Json io = obs::Json::object();
-  io.set("parallel_ios", stats_.parallel_ios);
-  io.set("read_rounds", stats_.read_rounds);
-  io.set("write_rounds", stats_.write_rounds);
-  io.set("blocks_read", stats_.blocks_read);
-  io.set("blocks_written", stats_.blocks_written);
+  // Base + current: reset_stats() folds the outgoing counters into
+  // telemetry_base_, so this series is monotone over the array's lifetime
+  // even when a bench ladder resets between rungs.
+  io.set("parallel_ios", telemetry_base_.parallel_ios + stats_.parallel_ios);
+  io.set("read_rounds", telemetry_base_.read_rounds + stats_.read_rounds);
+  io.set("write_rounds", telemetry_base_.write_rounds + stats_.write_rounds);
+  io.set("blocks_read", telemetry_base_.blocks_read + stats_.blocks_read);
+  io.set("blocks_written",
+         telemetry_base_.blocks_written + stats_.blocks_written);
   j.set("io", std::move(io));
   j.set("disks", geom_.num_disks);
   j.set("blocks_in_use", backend_->blocks_in_use());
@@ -421,9 +500,26 @@ obs::Json DiskArray::telemetry_json() const {
     exec.set("batches", es.batches);
     exec.set("jobs", es.jobs);
     exec.set("wall_ns", es.wall_ns);
+    exec.set("queue_wait_ns", es.queue_wait_ns);
+    exec.set("join_wait_ns", es.join_wait_ns);
     exec.set("max_queue_depth", es.max_queue_depth);
+    // Per-worker busy/idle attribution: busy is time inside backend calls on
+    // the worker's disks; idle_frac is the remainder of its lifetime.
+    obs::Json workers = obs::Json::array();
+    for (std::uint64_t busy : es.worker_busy_ns) {
+      obs::Json w = obs::Json::object();
+      w.set("busy_ns", busy);
+      w.set("idle_frac",
+            es.lifetime_ns > 0 && busy < es.lifetime_ns
+                ? static_cast<double>(es.lifetime_ns - busy) /
+                      static_cast<double>(es.lifetime_ns)
+                : 0.0);
+      workers.push_back(std::move(w));
+    }
+    exec.set("workers", std::move(workers));
     j.set("exec", std::move(exec));
   }
+  if (conformance_) j.set("cost", conformance_->telemetry_json());
   return j;
 }
 
@@ -450,6 +546,13 @@ obs::HealthSample DiskArray::health_sample() const {
     s.has_cache = true;
     s.cache_capacity = cache_->capacity();
     s.cache_dirty_frames = cache_->dirty_frames();
+  }
+  if (conformance_) {
+    // recent_ratio() takes the collector's own lock only — no path back into
+    // this array — so probing it from under probe_mutex_ cannot deadlock.
+    s.has_model = true;
+    s.model_ratio = conformance_->recent_ratio();
+    s.model_batches = conformance_->batches();
   }
   return s;
 }
@@ -488,21 +591,32 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   out.reserve(addrs.size());
   for (const auto& a : addrs) check_addr(a);
   std::lock_guard<std::mutex> lock(mutex_);
+  const bool prof = conformance_ != nullptr;
   if (!cache_) {
     // Load each DISTINCT block exactly once — the accounting always deduped
     // them, but the execution used to hit the backend once per occurrence —
     // and fan the fetched blocks out to the submitted order.
+    std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
     BatchPlan plan = plan_batch(addrs);
+    std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
     std::vector<Block> fetched;
-    fetch_blocks_locked(plan.uniq, fetched);
+    IoExecutor::BatchTiming timing;
+    fetch_blocks_locked(plan.uniq, fetched, prof ? &timing : nullptr);
+    std::uint64_t t2 = prof ? obs::trace_now_ns() : 0;
     account_batch(plan, /*write=*/false, addrs);
     for (const auto& a : addrs) out.push_back(fetched[uniq_index(plan.uniq, a)]);
+    if (prof) {
+      std::uint64_t t3 = obs::trace_now_ns();
+      record_phase_locked(plan, /*write=*/false, /*flush=*/false, timing,
+                          t1 - t0, t2 - t1, t3 - t2, t3 - t0);
+    }
     return plan.rounds;
   }
 
   // Cached path. Deduplicate first so every distinct block is looked up —
   // and hence hit/miss-counted — exactly once per batch, which is what makes
   // the reconciliation invariant blocks_read == misses exact.
+  std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
   std::vector<BlockAddr> uniq(addrs.begin(), addrs.end());
   std::sort(uniq.begin(), uniq.end());
   uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
@@ -524,8 +638,11 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
     // `missed` preserves uniq's order, so it is already sorted + distinct:
     // fetch all misses as one executed round batch, then install them.
     BatchPlan plan = plan_batch(missed);
+    std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
     std::vector<Block> fetched;
-    fetch_blocks_locked(missed, fetched);
+    IoExecutor::BatchTiming timing;
+    fetch_blocks_locked(missed, fetched, prof ? &timing : nullptr);
+    std::uint64_t t2 = prof ? obs::trace_now_ns() : 0;
     for (std::size_t i = 0; i < missed.size(); ++i) {
       // Installing the fetched block may evict dirty frames; collect them
       // and write them back as ONE coalesced batch after the reads. (A
@@ -537,6 +654,15 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
     }
     account_batch(plan, /*write=*/false, missed);
     rounds = plan.rounds;
+    if (prof) {
+      // The miss fetch's sample: plan covers dedup + cache classification,
+      // reconcile covers install/victim collection/accounting. The fan-out
+      // below and any victim flush charge their own time elsewhere (the
+      // flush batch records a separate "flush" sample).
+      std::uint64_t t3 = obs::trace_now_ns();
+      record_phase_locked(plan, /*write=*/false, /*flush=*/false, timing,
+                          t1 - t0, t2 - t1, t3 - t2, t3 - t0);
+    }
   }
 
   std::sort(resolved.begin(), resolved.end(),
@@ -562,13 +688,23 @@ std::uint64_t DiskArray::write_batch(
   }
   std::lock_guard<std::mutex> lock(mutex_);
   if (!cache_) {
+    const bool prof = conformance_ != nullptr;
+    std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
     BatchPlan plan = plan_batch(addrs);
     // Store each DISTINCT block once; a duplicate address keeps its LAST
     // block, exactly like the sequential store loop this replaces.
     std::vector<const Block*> src(plan.uniq.size(), nullptr);
     for (const auto& [a, b] : writes) src[uniq_index(plan.uniq, a)] = &b;
-    store_blocks_locked(plan.uniq, src);
+    std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
+    IoExecutor::BatchTiming timing;
+    store_blocks_locked(plan.uniq, src, prof ? &timing : nullptr);
+    std::uint64_t t2 = prof ? obs::trace_now_ns() : 0;
     account_batch(plan, /*write=*/true, addrs);
+    if (prof) {
+      std::uint64_t t3 = obs::trace_now_ns();
+      record_phase_locked(plan, /*write=*/true, /*flush=*/false, timing,
+                          t1 - t0, t2 - t1, t3 - t2, t3 - t0);
+    }
     return plan.rounds;
   }
 

@@ -51,6 +51,8 @@ class MetricsRegistry;
 class TelemetrySampler;
 class HealthWatchdog;
 struct HealthSample;
+class CostConformance;
+struct RoundPhaseSample;
 }  // namespace pddict::obs
 
 namespace pddict::pdm {
@@ -228,6 +230,25 @@ class DiskArray {
   /// deterministic to exercise.
   void set_exec_job_delay_for_testing(std::uint64_t delay_ns);
 
+  // ---- round-phase cost conformance (obs::CostConformance) ----
+  //
+  // When a collector is attached, every *executed* round batch (uncached
+  // reads/writes, cache-miss fetches, victim flushes) records a wall-only
+  // phase breakdown — plan, exec (queue/transfer/join), reconcile — paired
+  // with the batch's coalesced-run and block shape for cost-model
+  // conformance. Pure observability: no counter, report or baseline changes;
+  // with no collector (the default) the batch paths skip a pointer check.
+  // An array constructed while obs::set_default_cost_conformance() holds a
+  // collector attaches it automatically, like the default sink/telemetry.
+
+  /// Attach (or detach, with nullptr) a conformance collector. Takes the
+  /// scheduling lock, so swapping mid-run is safe.
+  void set_cost_conformance(std::shared_ptr<obs::CostConformance> cc);
+  std::shared_ptr<obs::CostConformance> cost_conformance() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return conformance_;
+  }
+
   /// Attach an *additional* sink without displacing what is already there:
   /// wraps the current sink and `sink` into an obs::MultiSink (or appends to
   /// an existing one). This is how monitors piggyback on an array that a
@@ -327,18 +348,36 @@ class DiskArray {
   /// Fetch `uniq` (sorted distinct) from the backend into `blocks` as one
   /// executed round batch: per-disk transfer lists run concurrently on the
   /// worker engine, or one flat batched backend call when serial. Caller
-  /// holds mutex_.
+  /// holds mutex_. `timing`, when non-null, receives the execute call's
+  /// phase attribution (serial: transfer == wall, queue == join == 0).
   void fetch_blocks_locked(const std::vector<BlockAddr>& uniq,
-                           std::vector<Block>& blocks);
+                           std::vector<Block>& blocks,
+                           IoExecutor::BatchTiming* timing = nullptr);
 
   /// Store `uniq[i] <- *src[i]` as one executed round batch (src entries are
   /// never null: every distinct address has a source). Caller holds mutex_.
   void store_blocks_locked(const std::vector<BlockAddr>& uniq,
-                           const std::vector<const Block*>& src);
+                           const std::vector<const Block*>& src,
+                           IoExecutor::BatchTiming* timing = nullptr);
+
+  /// Fold one executed batch's phase breakdown into the attached conformance
+  /// collector (no-op when `uniq` is empty). exec_ns is the caller-observed
+  /// execute-section wall; plan/reconcile/total likewise come from the
+  /// caller's clock so the phases tile total exactly. Caller holds mutex_.
+  void record_phase_locked(const BatchPlan& plan, bool write, bool flush,
+                           const IoExecutor::BatchTiming& timing,
+                           std::uint64_t plan_ns, std::uint64_t exec_ns,
+                           std::uint64_t reconcile_ns,
+                           std::uint64_t total_ns);
 
   Geometry geom_;
   Model model_;
   IoStats stats_;
+  /// Counters folded in by reset_stats(): telemetry_json() reports
+  /// telemetry_base_ + stats_, so the emitted "io.*" time series stays
+  /// monotone across mid-run resets (bench ladders call reset_stats() per
+  /// rung) while stats()/stats_snapshot() keep their rebased view.
+  IoStats telemetry_base_;
   std::vector<DiskCounters> disk_counters_;
   std::vector<std::uint64_t> round_hist_;  // index = slots used, size D+1
   std::unique_ptr<BlockBackend> backend_;
@@ -354,6 +393,9 @@ class DiskArray {
   // sampler even if the process-wide default was swapped since).
   std::shared_ptr<obs::TelemetrySampler> telemetry_;
   std::shared_ptr<obs::HealthWatchdog> watchdog_;
+  /// Round-phase profiler (null = recording off, the default). Mutated under
+  /// BOTH locks: health_sample() reads it under probe_mutex_ alone.
+  std::shared_ptr<obs::CostConformance> conformance_;
   std::uint64_t telemetry_id_ = 0;
   std::uint64_t watchdog_id_ = 0;
   std::uint64_t event_seq_ = 0;  // emission index stamped on IoEvents

@@ -50,6 +50,7 @@ IoExecutor::IoExecutor(std::uint32_t num_disks, std::size_t threads)
       disk_jobs_(num_disks) {
   for (auto& v : disk_busy_ns_) v.store(0, std::memory_order_relaxed);
   for (auto& v : disk_jobs_) v.store(0, std::memory_order_relaxed);
+  start_ns_.store(now_ns(), std::memory_order_relaxed);
   std::size_t n = resolve_threads(threads, num_disks);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -72,7 +73,7 @@ IoExecutor::~IoExecutor() {
     if (w->thread.joinable()) w->thread.join();
 }
 
-void IoExecutor::run_job(const Job& job, Worker* self) {
+std::uint64_t IoExecutor::run_job(const Job& job, Worker* self) {
   std::uint64_t start = now_ns();
   if (self) {
     self->busy_disk.store(job.disk, std::memory_order_relaxed);
@@ -88,9 +89,10 @@ void IoExecutor::run_job(const Job& job, Worker* self) {
     self->busy_since_ns.store(0, std::memory_order_release);
     self->jobs_done.fetch_add(1, std::memory_order_relaxed);
   }
-  disk_busy_ns_[job.disk].fetch_add(now_ns() - start,
-                                    std::memory_order_relaxed);
+  std::uint64_t busy = now_ns() - start;
+  disk_busy_ns_[job.disk].fetch_add(busy, std::memory_order_relaxed);
   disk_jobs_[job.disk].fetch_add(1, std::memory_order_relaxed);
+  return busy;
 }
 
 void IoExecutor::worker_loop(std::size_t index) {
@@ -103,12 +105,22 @@ void IoExecutor::worker_loop(std::size_t index) {
         return !me.queue.empty() || stopping_.load(std::memory_order_acquire);
       });
       if (me.queue.empty()) return;  // stopping and drained
+      // High-water mark at dequeue too: sampling only at submit misses
+      // bursts that pile up while this worker sleeps in a backend call.
+      bump_max(max_queue_depth_, me.queue.size());
       job = me.queue.front();
       me.queue.pop_front();
     }
+    std::uint64_t dequeued = now_ns();
+    if (dequeued > job.submit_ns) {
+      std::uint64_t waited = dequeued - job.submit_ns;
+      job.barrier->queue_ns.fetch_add(waited, std::memory_order_relaxed);
+      queue_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
+    }
     std::exception_ptr error;
     try {
-      run_job(job, &me);
+      std::uint64_t busy = run_job(job, &me);
+      job.barrier->transfer_ns.fetch_add(busy, std::memory_order_relaxed);
     } catch (...) {
       me.busy_since_ns.store(0, std::memory_order_release);
       error = std::current_exception();
@@ -121,7 +133,7 @@ void IoExecutor::worker_loop(std::size_t index) {
   }
 }
 
-void IoExecutor::submit_and_wait(std::vector<Job>& jobs) {
+void IoExecutor::submit_and_wait(std::vector<Job>& jobs, BatchTiming* timing) {
   if (jobs.empty()) return;
   batches_.fetch_add(1, std::memory_order_relaxed);
   jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
@@ -129,8 +141,15 @@ void IoExecutor::submit_and_wait(std::vector<Job>& jobs) {
 
   if (workers_.empty()) {
     // Serial path: the calling thread executes disk by disk, in disk order.
-    for (const Job& job : jobs) run_job(job, nullptr);
-    wall_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+    // Nothing queues and nothing joins, so the transfer phase is the wall.
+    std::uint64_t transfer = 0;
+    for (const Job& job : jobs) transfer += run_job(job, nullptr);
+    std::uint64_t wall = now_ns() - start;
+    wall_ns_.fetch_add(wall, std::memory_order_relaxed);
+    if (timing) {
+      timing->transfer_ns = transfer;
+      timing->wall_ns = wall;
+    }
     return;
   }
 
@@ -142,22 +161,33 @@ void IoExecutor::submit_and_wait(std::vector<Job>& jobs) {
     std::size_t depth;
     {
       std::lock_guard<std::mutex> lock(w.mutex);
+      job.submit_ns = now_ns();
       w.queue.push_back(job);
       depth = w.queue.size();
     }
     w.wake.notify_one();
     bump_max(max_queue_depth_, depth);
   }
+  std::uint64_t join_start = now_ns();
   {
     std::unique_lock<std::mutex> lock(barrier.mutex);
     barrier.done.wait(lock, [&] { return barrier.pending == 0; });
   }
-  wall_ns_.fetch_add(now_ns() - start, std::memory_order_relaxed);
+  std::uint64_t joined = now_ns();
+  join_wait_ns_.fetch_add(joined - join_start, std::memory_order_relaxed);
+  wall_ns_.fetch_add(joined - start, std::memory_order_relaxed);
+  if (timing) {
+    timing->queue_ns = barrier.queue_ns.load(std::memory_order_relaxed);
+    timing->transfer_ns = barrier.transfer_ns.load(std::memory_order_relaxed);
+    timing->join_ns = joined - join_start;
+    timing->wall_ns = joined - start;
+  }
   if (barrier.error) std::rethrow_exception(barrier.error);
 }
 
 void IoExecutor::execute_reads(BlockBackend& backend,
-                               std::vector<std::vector<BlockRead>>& per_disk) {
+                               std::vector<std::vector<BlockRead>>& per_disk,
+                               BatchTiming* timing) {
   std::vector<Job> jobs;
   for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
     if (per_disk[d].empty()) continue;
@@ -167,11 +197,12 @@ void IoExecutor::execute_reads(BlockBackend& backend,
     job.disk = d;
     jobs.push_back(job);
   }
-  submit_and_wait(jobs);
+  submit_and_wait(jobs, timing);
 }
 
 void IoExecutor::execute_writes(
-    BlockBackend& backend, std::vector<std::vector<BlockWrite>>& per_disk) {
+    BlockBackend& backend, std::vector<std::vector<BlockWrite>>& per_disk,
+    BatchTiming* timing) {
   std::vector<Job> jobs;
   for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
     if (per_disk[d].empty()) continue;
@@ -181,7 +212,7 @@ void IoExecutor::execute_writes(
     job.disk = d;
     jobs.push_back(job);
   }
-  submit_and_wait(jobs);
+  submit_and_wait(jobs, timing);
 }
 
 IoExecutor::Stats IoExecutor::stats() const {
@@ -189,6 +220,11 @@ IoExecutor::Stats IoExecutor::stats() const {
   s.batches = batches_.load(std::memory_order_relaxed);
   s.jobs = jobs_.load(std::memory_order_relaxed);
   s.wall_ns = wall_ns_.load(std::memory_order_relaxed);
+  s.queue_wait_ns = queue_wait_ns_.load(std::memory_order_relaxed);
+  s.join_wait_ns = join_wait_ns_.load(std::memory_order_relaxed);
+  std::uint64_t epoch = start_ns_.load(std::memory_order_relaxed);
+  std::uint64_t now = now_ns();
+  s.lifetime_ns = now > epoch ? now - epoch : 0;
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
   s.disk_busy_ns.reserve(disk_busy_ns_.size());
   s.disk_jobs.reserve(disk_jobs_.size());
@@ -196,6 +232,11 @@ IoExecutor::Stats IoExecutor::stats() const {
     s.disk_busy_ns.push_back(v.load(std::memory_order_relaxed));
   for (const auto& v : disk_jobs_)
     s.disk_jobs.push_back(v.load(std::memory_order_relaxed));
+  if (!workers_.empty()) {
+    s.worker_busy_ns.assign(workers_.size(), 0);
+    for (std::size_t d = 0; d < s.disk_busy_ns.size(); ++d)
+      s.worker_busy_ns[d % workers_.size()] += s.disk_busy_ns[d];
+  }
   return s;
 }
 
@@ -228,6 +269,9 @@ void IoExecutor::reset_stats() {
   batches_.store(0, std::memory_order_relaxed);
   jobs_.store(0, std::memory_order_relaxed);
   wall_ns_.store(0, std::memory_order_relaxed);
+  queue_wait_ns_.store(0, std::memory_order_relaxed);
+  join_wait_ns_.store(0, std::memory_order_relaxed);
+  start_ns_.store(now_ns(), std::memory_order_relaxed);
   max_queue_depth_.store(0, std::memory_order_relaxed);
   for (auto& v : disk_busy_ns_) v.store(0, std::memory_order_relaxed);
   for (auto& v : disk_jobs_) v.store(0, std::memory_order_relaxed);

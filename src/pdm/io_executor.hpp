@@ -68,23 +68,46 @@ class IoExecutor {
   std::size_t threads() const { return workers_.size(); }
   std::uint32_t num_disks() const { return num_disks_; }
 
+  /// Phase attribution of one execute call, for the round-phase profiler
+  /// (obs/cost_conformance). wall_ns is the caller's submit-to-join time;
+  /// queue_ns/transfer_ns are summed across the batch's jobs and may exceed
+  /// wall_ns when workers overlap — they attribute time *within* the exec
+  /// section, they don't partition it. The serial path reports
+  /// queue_ns == join_ns == 0 and transfer_ns == wall_ns.
+  struct BatchTiming {
+    std::uint64_t queue_ns = 0;     // per-job submit-to-dequeue, summed
+    std::uint64_t transfer_ns = 0;  // per-job backend-call time, summed
+    std::uint64_t join_ns = 0;      // caller time blocked on the barrier
+    std::uint64_t wall_ns = 0;      // caller submit-to-join wall time
+  };
+
   /// Execute one planned round batch: `per_disk[d]` holds disk d's transfer
   /// list (distinct addresses). Blocks until every transfer completed;
   /// rethrows the first worker exception. With zero workers the lists run
   /// inline on the calling thread, in disk order — the serial path.
+  /// `timing`, when non-null, receives this call's phase attribution.
   void execute_reads(BlockBackend& backend,
-                     std::vector<std::vector<BlockRead>>& per_disk);
+                     std::vector<std::vector<BlockRead>>& per_disk,
+                     BatchTiming* timing = nullptr);
   void execute_writes(BlockBackend& backend,
-                      std::vector<std::vector<BlockWrite>>& per_disk);
+                      std::vector<std::vector<BlockWrite>>& per_disk,
+                      BatchTiming* timing = nullptr);
 
   /// Execution-side observability (never feeds round accounting).
   struct Stats {
     std::uint64_t batches = 0;          // execute_* calls that moved blocks
     std::uint64_t jobs = 0;             // per-disk transfer lists dispatched
     std::uint64_t wall_ns = 0;          // total submit-to-join wall time
+    std::uint64_t queue_wait_ns = 0;    // total submit-to-dequeue time
+    std::uint64_t join_wait_ns = 0;     // total caller barrier-wait time
+    std::uint64_t lifetime_ns = 0;      // time since construction/reset
     std::uint64_t max_queue_depth = 0;  // deepest per-worker queue observed
     std::vector<std::uint64_t> disk_busy_ns;  // per-disk time in backend calls
     std::vector<std::uint64_t> disk_jobs;     // per-disk lists executed
+    /// Per-worker busy time (disk_busy_ns folded by the disk % threads
+    /// assignment). With lifetime_ns this gives busy/idle attribution per
+    /// worker; empty on the serial path.
+    std::vector<std::uint64_t> worker_busy_ns;
   };
   Stats stats() const;
   void reset_stats();
@@ -118,15 +141,19 @@ class IoExecutor {
     std::vector<BlockRead>* reads = nullptr;
     std::vector<BlockWrite>* writes = nullptr;
     std::uint32_t disk = 0;
+    std::uint64_t submit_ns = 0;  // enqueue timestamp (queue-wait phase)
     Barrier* barrier = nullptr;
   };
 
-  /// Join-point of one execute call.
+  /// Join-point of one execute call. The phase accumulators are written by
+  /// the workers as jobs retire and read by the submitter after the join.
   struct Barrier {
     std::mutex mutex;
     std::condition_variable done;
     std::size_t pending = 0;
     std::exception_ptr error;  // first worker exception, under mutex
+    std::atomic<std::uint64_t> queue_ns{0};
+    std::atomic<std::uint64_t> transfer_ns{0};
   };
 
   struct Worker {
@@ -142,9 +169,10 @@ class IoExecutor {
   };
 
   void worker_loop(std::size_t index);
-  void run_job(const Job& job, Worker* self);
+  /// Returns the backend-call duration in ns (the transfer phase).
+  std::uint64_t run_job(const Job& job, Worker* self);
   /// Dispatch `jobs` across the workers and wait for all of them.
-  void submit_and_wait(std::vector<Job>& jobs);
+  void submit_and_wait(std::vector<Job>& jobs, BatchTiming* timing);
 
   std::uint32_t num_disks_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -154,6 +182,9 @@ class IoExecutor {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> wall_ns_{0};
+  std::atomic<std::uint64_t> queue_wait_ns_{0};
+  std::atomic<std::uint64_t> join_wait_ns_{0};
+  std::atomic<std::uint64_t> start_ns_{0};  // lifetime epoch for idle calc
   std::atomic<std::uint64_t> max_queue_depth_{0};
   std::vector<std::atomic<std::uint64_t>> disk_busy_ns_;
   std::vector<std::atomic<std::uint64_t>> disk_jobs_;

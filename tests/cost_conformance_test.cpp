@@ -1,0 +1,358 @@
+// Tests for the round-phase profiler + cost-model conformance layer
+// (obs/cost_conformance, the DiskArray recording hooks, and the watchdog's
+// model_divergence rule).
+//
+// Contracts pinned here:
+//   * Calibration is honest least squares: on synthetic batches generated
+//     from an exact linear model the fit recovers the coefficients and the
+//     measured/predicted ratio is 1; a parameter configured >= 0 is held
+//     fixed through the fit rather than re-estimated.
+//   * recent_ratio() stays 1.0 (the watchdog's "no divergence") until
+//     kMinRatioBatches batches arrived, then reports real divergence.
+//   * The caller-clock phases tile: plan + exec + reconcile == total for
+//     every DiskArray-recorded batch, so the report's unattributed time is
+//     exactly zero and the validator's reconciliation invariant holds by
+//     construction, not by tolerance.
+//   * Conformance is pure observability — attaching a collector (and
+//     changing io_threads under it) never moves a single accounted counter.
+//   * Satellite fixes ride along: the executor's max_queue_depth is sampled
+//     at dequeue (nonzero whenever one worker drains a multi-disk batch),
+//     and DiskArray::telemetry_json keeps "io.*" monotone across
+//     reset_stats().
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/cost_conformance.hpp"
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+#include "pdm/disk_array.hpp"
+
+namespace pddict::obs {
+namespace {
+
+using pdm::Block;
+using pdm::BlockAddr;
+using pdm::DiskArray;
+using pdm::Geometry;
+
+constexpr Geometry kGeom{8, 16, 8, 0};
+
+/// A synthetic single-worker batch with perfectly tiling phases.
+RoundPhaseSample sample(std::uint32_t runs, std::uint32_t blocks,
+                        std::uint64_t exec_ns, bool write = false,
+                        bool flush = false) {
+  RoundPhaseSample s;
+  s.write = write;
+  s.flush = flush;
+  s.rounds = 1;
+  s.blocks = blocks;
+  s.busy_disks = 1;
+  s.worker_runs = {runs};
+  s.worker_blocks = {blocks};
+  s.plan_ns = 10;
+  s.exec_ns = exec_ns;
+  s.transfer_ns = exec_ns;
+  s.reconcile_ns = 5;
+  s.total_ns = 10 + exec_ns + 5;
+  return s;
+}
+
+/// The same deterministic batch workload the telemetry tests use.
+void run_batches(DiskArray& disks, int steps) {
+  for (int step = 0; step < steps; ++step) {
+    std::vector<std::pair<BlockAddr, Block>> writes;
+    for (std::uint32_t d = 0; d < kGeom.num_disks; ++d) {
+      Block b(kGeom.block_bytes());
+      for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::byte>((step + d + i) & 0xff);
+      writes.emplace_back(BlockAddr{d, static_cast<std::uint64_t>(step % 8)},
+                          std::move(b));
+    }
+    disks.write_batch(writes);
+    std::vector<BlockAddr> reads;
+    for (std::uint32_t d = 0; d < kGeom.num_disks; ++d)
+      reads.push_back({d, static_cast<std::uint64_t>(step % 8)});
+    std::vector<Block> out;
+    disks.read_batch(reads, out);
+  }
+}
+
+double field(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  return v && v->is_number() ? v->as_double() : -1.0;
+}
+
+// ---- calibration ----
+
+TEST(CostConformanceTest, CalibrationRecoversLinearCoefficients) {
+  // exec_ns = 100 + 50*runs + 10*blocks, runs/blocks varied on coprime
+  // cycles so the design matrix is full rank. The fit must recover the
+  // coefficients essentially exactly and report a unit ratio.
+  CostConformance cc;  // all three parameters unknown -> fitted
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::uint32_t runs = 1 + static_cast<std::uint32_t>(i % 7);
+    std::uint32_t blocks = 1 + static_cast<std::uint32_t>((i * 3) % 13);
+    cc.record(sample(runs, blocks, 100 + 50ull * runs + 10ull * blocks));
+  }
+  EXPECT_EQ(cc.batches(), 200u);
+  EXPECT_NEAR(cc.recent_ratio(), 1.0, 1e-6);
+
+  Json r = cc.report();
+  const Json* model = r.find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_NEAR(field(*model, "overhead_ns"), 100.0, 1e-3);
+  EXPECT_NEAR(field(*model, "seek_ns"), 50.0, 1e-3);
+  EXPECT_NEAR(field(*model, "transfer_ns_per_block"), 10.0, 1e-3);
+  const Json* fit = r.find("fit");
+  ASSERT_NE(fit, nullptr);
+  EXPECT_NEAR(field(*fit, "ratio"), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(field(*fit, "within_2x_frac"), 1.0);
+}
+
+TEST(CostConformanceTest, ConfiguredParameterHeldFixedThroughFit) {
+  // A parameter >= 0 is configured (e.g. a FileBackend's simulated seek
+  // latency): the fit must subtract its contribution and estimate only the
+  // unknowns, reporting the configured value untouched and flagged fixed.
+  CostConformance::Options opt;
+  opt.seek_ns = 1000.0;
+  CostConformance cc(opt);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::uint32_t runs = 1 + static_cast<std::uint32_t>(i % 5);
+    std::uint32_t blocks = 1 + static_cast<std::uint32_t>((i * 2) % 11);
+    cc.record(sample(runs, blocks, 500 + 1000ull * runs + 20ull * blocks));
+  }
+  Json r = cc.report();
+  const Json* model = r.find("model");
+  ASSERT_NE(model, nullptr);
+  EXPECT_DOUBLE_EQ(field(*model, "seek_ns"), 1000.0);
+  EXPECT_NEAR(field(*model, "overhead_ns"), 500.0, 1e-3);
+  EXPECT_NEAR(field(*model, "transfer_ns_per_block"), 20.0, 1e-3);
+  const Json* fixed = model->find("fixed");
+  ASSERT_NE(fixed, nullptr);
+  EXPECT_TRUE(fixed->find("seek_ns")->as_bool());
+  EXPECT_FALSE(fixed->find("overhead_ns")->as_bool());
+  EXPECT_FALSE(fixed->find("transfer_ns_per_block")->as_bool());
+  EXPECT_NEAR(cc.recent_ratio(), 1.0, 1e-6);
+}
+
+TEST(CostConformanceTest, RecentRatioNeutralUntilMinBatches) {
+  // Fully configured model (nothing to fit), measured exec always 10x the
+  // prediction. Below kMinRatioBatches the ratio must read exactly 1.0 —
+  // the watchdog treats that as "no divergence" — then snap to the real 10x.
+  CostConformance::Options opt;
+  opt.overhead_ns = 100.0;
+  opt.seek_ns = 0.0;
+  opt.transfer_ns_per_block = 0.0;
+  opt.calibrate = false;
+  CostConformance cc(opt);
+  for (std::size_t i = 0; i + 1 < CostConformance::kMinRatioBatches; ++i) {
+    cc.record(sample(1, 1, 1000));
+    EXPECT_DOUBLE_EQ(cc.recent_ratio(), 1.0) << "batch " << i;
+  }
+  cc.record(sample(1, 1, 1000));  // the kMinRatioBatches-th batch arms it
+  EXPECT_NEAR(cc.recent_ratio(), 10.0, 1e-6);
+}
+
+// ---- report schema + attribution ----
+
+TEST(CostConformanceTest, ReportSchemaClassesAndExactAttribution) {
+  CostConformance cc;
+  for (int i = 0; i < 20; ++i) {
+    cc.record(sample(2, 4, 1000));                              // read/r1
+    cc.record(sample(2, 4, 1000, /*write=*/true));              // write/r1
+    cc.record(sample(2, 4, 1000, /*write=*/true, /*flush=*/true));  // flush
+  }
+  Json r = cc.report();
+  EXPECT_EQ(r.find("schema")->as_string(), CostConformance::kSchema);
+  EXPECT_EQ(r.find("version")->as_int(), CostConformance::kVersion);
+  EXPECT_EQ(r.find("batches")->as_int(), 60);
+
+  // Every sample tiles (10 + exec + 5 == total), so attribution reconciles
+  // with zero slack.
+  const Json* attr = r.find("attribution");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_DOUBLE_EQ(field(*attr, "attributed_ns"), field(*attr, "total_ns"));
+  EXPECT_DOUBLE_EQ(field(*attr, "unattributed_ns"), 0.0);
+  EXPECT_DOUBLE_EQ(field(*attr, "unattributed_frac"), 0.0);
+
+  // One class per direction at this batch shape; batches partition exactly.
+  const Json* classes = r.find("classes");
+  ASSERT_NE(classes, nullptr);
+  ASSERT_TRUE(classes->is_array());
+  std::set<std::string> names;
+  double class_batches = 0;
+  for (const Json& c : classes->as_array()) {
+    names.insert(c.find("name")->as_string());
+    class_batches += field(c, "batches");
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"read/r1", "write/r1", "flush/r1"}));
+  EXPECT_DOUBLE_EQ(class_batches, 60.0);
+
+  // Caller-clock phase histograms carry one sample per batch.
+  const Json* phases = r.find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* key : {"plan", "exec", "reconcile", "total"})
+    EXPECT_EQ(phases->find(key)->find("count")->as_int(), 60) << key;
+}
+
+// ---- DiskArray integration ----
+
+TEST(CostConformanceTest, DiskArrayPhasesTileTotalExactly) {
+  // The default-collector hook attaches at construction (like the default
+  // sink), and every recorded batch's plan/exec/reconcile are disjoint
+  // intervals of one clock — so the aggregated report reconciles with zero
+  // unattributed time, not just within the validator's tolerance.
+  auto cc = std::make_shared<CostConformance>();
+  set_default_cost_conformance(cc);
+  {
+    DiskArray disks(kGeom);
+    EXPECT_EQ(disks.cost_conformance(), cc);
+    run_batches(disks, 8);
+
+    HealthSample h = disks.health_sample();
+    EXPECT_TRUE(h.has_model);
+    EXPECT_EQ(h.model_batches, cc->batches());
+  }
+  set_default_cost_conformance(nullptr);
+
+  EXPECT_GT(cc->batches(), 0u);
+  Json r = cc->report();
+  const Json* attr = r.find("attribution");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_GT(field(*attr, "total_ns"), 0.0);
+  EXPECT_DOUBLE_EQ(field(*attr, "unattributed_ns"), 0.0);
+  EXPECT_DOUBLE_EQ(field(*attr, "attributed_ns"), field(*attr, "total_ns"));
+}
+
+TEST(CostConformanceTest, AccountingUntouchedByCollectorAndThreads) {
+  // Pure observability: the same workload must charge identical counters
+  // with no collector, with a collector, and with a collector plus the
+  // parallel engine.
+  auto run = [](bool attach, std::size_t threads) {
+    DiskArray disks(kGeom);
+    if (attach)
+      disks.set_cost_conformance(std::make_shared<CostConformance>());
+    if (threads) disks.set_io_threads(threads);
+    run_batches(disks, 6);
+    return disks.stats_snapshot();
+  };
+  pdm::IoStats base = run(false, 0);
+  for (auto [attach, threads] :
+       {std::pair<bool, std::size_t>{true, 0}, {true, 2}}) {
+    pdm::IoStats got = run(attach, threads);
+    EXPECT_EQ(got.parallel_ios, base.parallel_ios);
+    EXPECT_EQ(got.read_rounds, base.read_rounds);
+    EXPECT_EQ(got.write_rounds, base.write_rounds);
+    EXPECT_EQ(got.blocks_read, base.blocks_read);
+    EXPECT_EQ(got.blocks_written, base.blocks_written);
+  }
+}
+
+TEST(CostConformanceTest, SerialExecutionHasNoQueueOrJoinTime) {
+  // On the serial path the exec section IS the backend transfer: the queue
+  // and join attribution counters must stay zero while transfer carries the
+  // whole section.
+  auto cc = std::make_shared<CostConformance>();
+  DiskArray disks(kGeom);
+  disks.set_cost_conformance(cc);
+  run_batches(disks, 4);
+  Json r = cc->report();
+  const Json* phases = r.find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_EQ(phases->find("queue")->find("sum")->as_int(), 0);
+  EXPECT_EQ(phases->find("join")->find("sum")->as_int(), 0);
+  EXPECT_GT(phases->find("transfer")->find("sum")->as_int(), 0);
+}
+
+TEST(CostConformanceTest, MaxQueueDepthObservedAtDequeue) {
+  // One worker owns all 8 disks, so each batch enqueues 8 per-disk jobs on
+  // one queue; the depth counter — now sampled at dequeue as well as submit
+  // — must have seen a backlog.
+  DiskArray disks(kGeom);
+  disks.set_io_threads(1);
+  run_batches(disks, 4);
+  pdm::IoExecutor::Stats es = disks.exec_stats();
+  EXPECT_GT(es.jobs, 0u);
+  EXPECT_GE(es.max_queue_depth, 1u);
+}
+
+TEST(CostConformanceTest, TelemetryJsonCarriesCostSection) {
+  auto cc = std::make_shared<CostConformance>();
+  DiskArray disks(kGeom);
+  disks.set_cost_conformance(cc);
+  run_batches(disks, 2);
+  Json t = disks.telemetry_json();
+  const Json* cost = t.find("cost");
+  ASSERT_NE(cost, nullptr);
+  EXPECT_GT(cost->find("batches")->as_int(), 0);
+  EXPECT_GT(field(*cost, "recent_ratio"), 0.0);
+  const Json* phase = cost->find("phase_ns");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_GT(phase->find("total")->as_int(), 0);
+}
+
+// ---- watchdog rule ----
+
+TEST(CostConformanceTest, WatchdogModelDivergenceRisingEdge) {
+  HealthWatchdog dog;  // default model_divergence bound: 4.0
+  double ratio = 5.0;
+  std::uint64_t batches = 0;
+  dog.add_source("model", [&] {
+    HealthSample h;
+    h.has_model = true;
+    h.model_ratio = ratio;
+    h.model_batches = batches;
+    return h;
+  });
+
+  // Cold model (no batches yet): even a wild ratio must not alert.
+  EXPECT_TRUE(dog.check_now().empty());
+
+  batches = 100;
+  auto fresh = dog.check_now();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(fresh[0].kind, "model_divergence");
+  EXPECT_DOUBLE_EQ(fresh[0].measured, 5.0);
+
+  // Still diverged: the edge was already reported.
+  EXPECT_TRUE(dog.check_now().empty());
+
+  // Recovery clears; divergence on the OTHER side (model over-predicts by
+  // more than the bound) is a fresh edge.
+  ratio = 1.0;
+  EXPECT_TRUE(dog.check_now().empty());
+  ratio = 0.2;
+  EXPECT_EQ(dog.check_now().size(), 1u);
+
+  EXPECT_EQ(dog.alert_counts().at("model_divergence"), 2u);
+}
+
+// ---- telemetry reset-safety (satellite) ----
+
+TEST(CostConformanceTest, TelemetryIoMonotoneAcrossResetStats) {
+  // Bench ladders call reset_stats() per rung; the emitted "io.*" series
+  // must never move backwards even though stats() rebases to zero.
+  DiskArray disks(kGeom);
+  run_batches(disks, 4);
+  std::int64_t before =
+      disks.telemetry_json().find("io")->find("parallel_ios")->as_int();
+  ASSERT_GT(before, 0);
+
+  disks.reset_stats();
+  EXPECT_EQ(disks.stats_snapshot().parallel_ios, 0u);
+  EXPECT_EQ(disks.telemetry_json().find("io")->find("parallel_ios")->as_int(),
+            before);
+
+  run_batches(disks, 2);
+  EXPECT_GT(disks.telemetry_json().find("io")->find("parallel_ios")->as_int(),
+            before);
+}
+
+}  // namespace
+}  // namespace pddict::obs

@@ -181,6 +181,83 @@ TEST(LatencyHistogramTest, ShardMergeMatchesSingle) {
     EXPECT_EQ(merged.value_at_quantile(q), single.value_at_quantile(q));
 }
 
+TEST(LatencyHistogramTest, EmptyShardMergeIsIdentity) {
+  // bench_util folds per-thread shards with merge(); threads that never
+  // recorded must not perturb the result. The empty side's internal min
+  // sentinel (~0) in particular must never leak into the merged extremes.
+  LatencyHistogram full;
+  for (std::uint64_t v : {7ull, 42ull, 99ull, 1'000'000ull}) full.record(v);
+  std::uint64_t count = full.count(), sum = full.sum();
+
+  LatencyHistogram empty;
+  full.merge(empty);  // full <- empty: identity
+  EXPECT_EQ(full.count(), count);
+  EXPECT_EQ(full.sum(), sum);
+  EXPECT_EQ(full.min(), 7u);
+  EXPECT_EQ(full.max(), 1'000'000u);
+
+  LatencyHistogram fresh;
+  fresh.merge(full);  // empty <- full: exact copy
+  EXPECT_EQ(fresh.count(), full.count());
+  EXPECT_EQ(fresh.sum(), full.sum());
+  EXPECT_EQ(fresh.min(), full.min());
+  EXPECT_EQ(fresh.max(), full.max());
+  for (double q : {0.0, 0.5, 0.95, 1.0})
+    EXPECT_EQ(fresh.value_at_quantile(q), full.value_at_quantile(q))
+        << "q=" << q;
+
+  LatencyHistogram still_empty;
+  still_empty.merge(empty);  // empty <- empty stays empty
+  EXPECT_EQ(still_empty.count(), 0u);
+  EXPECT_EQ(still_empty.min(), 0u);
+  EXPECT_EQ(still_empty.max(), 0u);
+  EXPECT_EQ(still_empty.value_at_quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, TopBucketSaturation) {
+  // The final bucket's upper edge is exactly UINT64_MAX, so quantiles over
+  // values near the top of the range saturate there instead of overflowing
+  // the bucket-edge arithmetic.
+  constexpr std::uint64_t kTop = ~std::uint64_t{0};
+  std::size_t last = LatencyHistogram::bucket_index(kTop);
+  EXPECT_EQ(last, LatencyHistogram::kNumBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(last), kTop);
+  EXPECT_LE(LatencyHistogram::bucket_lower(last), kTop - 1);
+
+  LatencyHistogram hist;
+  hist.record(kTop);
+  hist.record(kTop - 1);
+  hist.record(LatencyHistogram::bucket_lower(last));
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.max(), kTop);
+  EXPECT_EQ(hist.min(), LatencyHistogram::bucket_lower(last));
+  // All three samples share the top bucket, so every quantile reports its
+  // upper edge. (sum() wraps modulo 2^64 at this magnitude — not asserted.)
+  for (double q : {0.0, 0.5, 0.999, 1.0})
+    EXPECT_EQ(hist.value_at_quantile(q), kTop) << "q=" << q;
+}
+
+TEST(LatencyHistogramTest, QuantileBoundariesClamp) {
+  // q = 0 is the smallest recorded value, q = 1 clamps its nearest-rank
+  // index to the largest, and out-of-range q never indexes outside the
+  // recorded distribution. Empty histograms answer 0 everywhere.
+  LatencyHistogram empty;
+  for (double q : {-1.0, 0.0, 0.5, 1.0, 2.0})
+    EXPECT_EQ(empty.value_at_quantile(q), 0u) << "q=" << q;
+
+  LatencyHistogram hist;
+  for (std::uint64_t v = 1; v <= 100; ++v) hist.record(v);
+  EXPECT_EQ(hist.value_at_quantile(0.0), 1u);
+  EXPECT_EQ(hist.value_at_quantile(1.0), 100u);
+  EXPECT_EQ(hist.value_at_quantile(-0.5), 1u);  // clamps to q=0, not the max
+  EXPECT_EQ(hist.value_at_quantile(1.5), 100u);
+  // A single-value histogram answers that value at every quantile.
+  LatencyHistogram one;
+  one.record(17);
+  for (double q : {0.0, 0.5, 1.0})
+    EXPECT_EQ(one.value_at_quantile(q), 17u) << "q=" << q;
+}
+
 // ---- watchdog rules ----
 
 TEST(HealthWatchdogTest, BoundMarginRisingEdgeAndViolationRearm) {

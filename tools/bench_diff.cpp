@@ -11,7 +11,10 @@
 // their own rules: any new-side "margin" above 1.0 or "violations" above
 // zero is a regression outright (even when the old baseline lacks the
 // entry), and margins still inside the bound gate when they drift toward it
-// by more than --margin-tol percent.
+// by more than --margin-tol percent. Cost-model conformance ratios
+// ("ratio" / "*_ratio" leaves, 1.0 = perfect model) compare within
+// --ratio-tol percent and regress only when the new value is farther from
+// 1.0; like wall metrics they stop gating under --ignore-wall.
 //
 // Exit status: 0 no regressions, 1 regression(s), 2 usage/parse error.
 #include <cstdio>
@@ -43,7 +46,8 @@ std::optional<Json> read_json_file(const std::string& path,
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <before.json> <after.json> [--wall-tol <pct>] "
-               "[--ignore-wall] [--margin-tol <pct>] [--top <k>]\n",
+               "[--ignore-wall] [--margin-tol <pct>] [--ratio-tol <pct>] "
+               "[--top <k>]\n",
                argv0);
   return 2;
 }
@@ -62,6 +66,8 @@ int main(int argc, char** argv) {
       options.gate_wall = false;
     } else if (arg == "--margin-tol" && i + 1 < argc) {
       options.margin_tol_pct = std::atof(argv[++i]);
+    } else if (arg == "--ratio-tol" && i + 1 < argc) {
+      options.ratio_tol_pct = std::atof(argv[++i]);
     } else if (arg == "--top" && i + 1 < argc) {
       top_k = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (before_path.empty()) {

@@ -1,0 +1,291 @@
+// validate_cost_report — the CI schema + conformance gate for
+// pddict-cost-report documents (docs/observability.md).
+//
+//   ./validate_cost_report [flags] <report.json> [<report.json> ...]
+//
+// Structural checks (always on):
+//
+//   * schema == "pddict-cost-report", version == 1
+//   * numeric batches/rounds/blocks at the top level
+//   * model{overhead_ns, seek_ns, transfer_ns_per_block, calibrated,
+//     fixed{...}} with nonnegative parameters
+//   * phases{plan,queue,transfer,join,reconcile,exec,total}, each a
+//     LatencyHistogram document (count/sum/min/max/p50/p95/p99/p999/buckets)
+//     and with plan/exec/reconcile/total counts == batches
+//   * attribution{attributed_ns,total_ns,unattributed_ns,unattributed_frac}
+//     where attributed_ns == plan.sum + exec.sum + reconcile.sum and
+//     attributed + unattributed == total (the phase sums reconcile with the
+//     total round wall time exactly)
+//   * classes[]: batches sum to the top-level count; each entry carries
+//     name/batches/rounds/blocks/measured_ns/predicted_ns/ratio
+//   * worst[]: at most K entries, each with class/seq/rounds/blocks/runs/
+//     measured_ns/predicted_ns/ratio
+//   * fit{window_batches, ratio, within_2x_frac}
+//
+// Conformance gates (flags):
+//
+//   --max-unattributed F   fail when attribution.unattributed_frac > F
+//                          (default 0.5; phase timing must cover the rounds)
+//   --min-ratio R          fail when fit.ratio < R (model badly over-predicts)
+//   --max-ratio R          fail when fit.ratio > R (model badly under-predicts)
+//                          ratio gates only apply once fit.window_batches >=
+//                          --min-class-batches, so tiny runs never flake
+//   --min-class-batches N  ratio-gate arming threshold (default 16)
+//   --min-batches N        require at least N recorded batches per report
+//
+// Exit status: 0 ok, 1 validation errors, 2 usage/parse error.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using pddict::obs::Json;
+
+int g_errors = 0;
+
+void fail(const std::string& file, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), message.c_str());
+  ++g_errors;
+}
+
+double num(const Json* v) { return v && v->is_number() ? v->as_double() : -1; }
+
+/// Fetch obj[key], failing (and returning nullptr) when absent.
+const Json* want(const std::string& file, const Json& obj,
+                 const std::string& where, const char* key) {
+  const Json* v = obj.find(key);
+  if (!v) fail(file, where + ": missing \"" + std::string(key) + "\"");
+  return v;
+}
+
+const Json* want_number(const std::string& file, const Json& obj,
+                        const std::string& where, const char* key) {
+  const Json* v = want(file, obj, where, key);
+  if (v && !v->is_number()) {
+    fail(file, where + ": \"" + std::string(key) + "\" must be a number");
+    return nullptr;
+  }
+  return v;
+}
+
+/// One phase histogram: the obs::LatencyHistogram::to_json shape.
+void check_histogram(const std::string& file, const std::string& where,
+                     const Json& h) {
+  for (const char* key :
+       {"count", "sum", "min", "max", "p50", "p95", "p99", "p999"})
+    want_number(file, h, where, key);
+  const Json* buckets = want(file, h, where, "buckets");
+  if (buckets && !buckets->is_array())
+    fail(file, where + ": \"buckets\" must be an array");
+}
+
+struct GateOptions {
+  double max_unattributed = 0.5;
+  double min_ratio = 0.0;    // 0 = no lower gate
+  double max_ratio = 0.0;    // 0 = no upper gate
+  std::uint64_t min_class_batches = 16;
+  std::uint64_t min_batches = 0;
+};
+
+void check_file(const std::string& file, const GateOptions& gates) {
+  std::ifstream in(file);
+  if (!in) return fail(file, "cannot open");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = pddict::obs::parse_json(buf.str(), &error);
+  if (!doc) return fail(file, "parse error: " + error);
+
+  const Json* schema = doc->find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != "pddict-cost-report")
+    return fail(file, "schema must be \"pddict-cost-report\"");
+  const Json* version = doc->find("version");
+  if (!version || version->as_int() != 1)
+    return fail(file, "version must be 1");
+
+  const Json* batches = want_number(file, *doc, "top level", "batches");
+  want_number(file, *doc, "top level", "rounds");
+  want_number(file, *doc, "top level", "blocks");
+  double n_batches = num(batches);
+  if (gates.min_batches && n_batches < static_cast<double>(gates.min_batches))
+    fail(file, "only " + std::to_string(static_cast<long long>(n_batches)) +
+                   " batches recorded, need >= " +
+                   std::to_string(gates.min_batches));
+
+  // model
+  if (const Json* model = want(file, *doc, "top level", "model")) {
+    for (const char* key : {"overhead_ns", "seek_ns", "transfer_ns_per_block"})
+      if (const Json* v = want_number(file, *model, "model", key))
+        if (v->as_double() < 0.0)
+          fail(file, "model." + std::string(key) + " is negative");
+    if (const Json* c = want(file, *model, "model", "calibrated"))
+      if (!c->is_bool()) fail(file, "model.calibrated must be a bool");
+    if (const Json* fixed = want(file, *model, "model", "fixed"))
+      for (const char* key :
+           {"overhead_ns", "seek_ns", "transfer_ns_per_block"})
+        if (const Json* v = want(file, *fixed, "model.fixed", key))
+          if (!v->is_bool())
+            fail(file, "model.fixed." + std::string(key) + " must be a bool");
+  }
+
+  // phases — names fixed by the schema; caller-clock phases carry one sample
+  // per batch.
+  double plan_sum = 0, exec_sum = 0, reconcile_sum = 0, total_sum = 0;
+  if (const Json* phases = want(file, *doc, "top level", "phases")) {
+    for (const char* key :
+         {"plan", "queue", "transfer", "join", "reconcile", "exec", "total"}) {
+      const Json* h = want(file, *phases, "phases", key);
+      if (!h) continue;
+      check_histogram(file, "phases." + std::string(key), *h);
+      bool caller_clock = std::string(key) == "plan" ||
+                          std::string(key) == "exec" ||
+                          std::string(key) == "reconcile" ||
+                          std::string(key) == "total";
+      if (caller_clock && num(h->find("count")) != n_batches)
+        fail(file, "phases." + std::string(key) + ".count != batches");
+    }
+    auto phase_sum = [&](const char* key) {
+      const Json* h = phases->find(key);
+      return h ? num(h->find("sum")) : -1.0;
+    };
+    plan_sum = phase_sum("plan");
+    exec_sum = phase_sum("exec");
+    reconcile_sum = phase_sum("reconcile");
+    total_sum = phase_sum("total");
+  }
+
+  // attribution — the reconciliation invariant: plan/exec/reconcile are
+  // disjoint sub-intervals of total on one clock.
+  if (const Json* attr = want(file, *doc, "top level", "attribution")) {
+    double attributed = num(want_number(file, *attr, "attribution",
+                                        "attributed_ns"));
+    double total = num(want_number(file, *attr, "attribution", "total_ns"));
+    double unattributed =
+        num(want_number(file, *attr, "attribution", "unattributed_ns"));
+    double frac =
+        num(want_number(file, *attr, "attribution", "unattributed_frac"));
+    if (attributed >= 0 && plan_sum >= 0 && exec_sum >= 0 &&
+        reconcile_sum >= 0 &&
+        attributed != plan_sum + exec_sum + reconcile_sum)
+      fail(file, "attribution.attributed_ns != plan+exec+reconcile sums");
+    if (total >= 0 && total_sum >= 0 && total != total_sum)
+      fail(file, "attribution.total_ns != phases.total.sum");
+    if (attributed >= 0 && total >= 0 && unattributed >= 0 &&
+        attributed <= total && attributed + unattributed != total)
+      fail(file, "attributed_ns + unattributed_ns != total_ns");
+    if (frac > gates.max_unattributed)
+      fail(file, "unattributed_frac " + std::to_string(frac) + " > " +
+                     std::to_string(gates.max_unattributed) +
+                     " — phase timing does not cover the rounds");
+  }
+
+  // classes
+  if (const Json* classes = want(file, *doc, "top level", "classes")) {
+    if (!classes->is_array()) {
+      fail(file, "classes must be an array");
+    } else {
+      double class_batches = 0;
+      for (std::size_t i = 0; i < classes->as_array().size(); ++i) {
+        const Json& c = classes->as_array()[i];
+        const std::string where = "classes[" + std::to_string(i) + "]";
+        if (const Json* name = want(file, c, where, "name"))
+          if (!name->is_string()) fail(file, where + ".name must be a string");
+        for (const char* key :
+             {"batches", "rounds", "blocks", "measured_ns", "predicted_ns",
+              "ratio"})
+          want_number(file, c, where, key);
+        class_batches += num(c.find("batches"));
+      }
+      if (n_batches >= 0 && class_batches != n_batches)
+        fail(file, "sum of classes[].batches != batches");
+    }
+  }
+
+  // worst
+  if (const Json* worst = want(file, *doc, "top level", "worst")) {
+    if (!worst->is_array()) {
+      fail(file, "worst must be an array");
+    } else {
+      for (std::size_t i = 0; i < worst->as_array().size(); ++i) {
+        const Json& w = worst->as_array()[i];
+        const std::string where = "worst[" + std::to_string(i) + "]";
+        if (const Json* name = want(file, w, where, "class"))
+          if (!name->is_string())
+            fail(file, where + ".class must be a string");
+        for (const char* key : {"seq", "rounds", "blocks", "runs",
+                                "measured_ns", "predicted_ns", "ratio"})
+          want_number(file, w, where, key);
+      }
+    }
+  }
+
+  // fit + conformance ratio gates
+  if (const Json* fit = want(file, *doc, "top level", "fit")) {
+    double window = num(want_number(file, *fit, "fit", "window_batches"));
+    double ratio = num(want_number(file, *fit, "fit", "ratio"));
+    double within = num(want_number(file, *fit, "fit", "within_2x_frac"));
+    if (within >= 0 && (within < 0.0 || within > 1.0))
+      fail(file, "fit.within_2x_frac outside [0,1]");
+    bool armed = window >= static_cast<double>(gates.min_class_batches);
+    if (armed && gates.min_ratio > 0.0 && ratio < gates.min_ratio)
+      fail(file, "fit.ratio " + std::to_string(ratio) + " < " +
+                     std::to_string(gates.min_ratio) +
+                     " — model badly over-predicts");
+    if (armed && gates.max_ratio > 0.0 && ratio > gates.max_ratio)
+      fail(file, "fit.ratio " + std::to_string(ratio) + " > " +
+                     std::to_string(gates.max_ratio) +
+                     " — model badly under-predicts");
+  }
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--max-unattributed F] [--min-ratio R] "
+               "[--max-ratio R] [--min-class-batches N] [--min-batches N] "
+               "<report.json> [...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GateOptions gates;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--max-unattributed" && i + 1 < argc) {
+      gates.max_unattributed = std::atof(argv[++i]);
+    } else if (arg == "--min-ratio" && i + 1 < argc) {
+      gates.min_ratio = std::atof(argv[++i]);
+    } else if (arg == "--max-ratio" && i + 1 < argc) {
+      gates.max_ratio = std::atof(argv[++i]);
+    } else if (arg == "--min-class-batches" && i + 1 < argc) {
+      gates.min_class_batches =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--min-batches" && i + 1 < argc) {
+      gates.min_batches = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return usage(argv[0]);
+  for (const std::string& file : files) check_file(file, gates);
+  if (g_errors) {
+    std::fprintf(stderr, "validate_cost_report: %d error(s)\n", g_errors);
+    return 1;
+  }
+  std::printf("validate_cost_report: %zu file(s) ok\n", files.size());
+  return 0;
+}
