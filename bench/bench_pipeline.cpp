@@ -1,0 +1,218 @@
+// Experiment F — round pipelining across dictionaries (batch futures).
+//
+// The executor (bench_io_threads, experiment E) made one round's D transfers
+// concurrent. This bench demonstrates the next axis: *consecutive* rounds
+// from independent structures overlapping each other. Two Section 4.1
+// dictionaries live on one DiskArray with disjoint disk ranges (A on disks
+// [0, d), B on [d, 2d)) over a FileBackend whose simulated seek latency makes
+// every positioned syscall cost real wall time. Operations alternate A, B,
+// A, B, ...; with write-behind enabled (the default), the bucket write-back
+// of each operation is still in flight on A's disks while the next
+// operation's probe read runs on B's — the per-disk FIFO keeps ordering, the
+// batch future keeps completion.
+//
+// Two modes run the identical operation sequence:
+//   * sync  — join_pending() after every op: the historical schedule, every
+//             round joined before the next is planned;
+//   * async — write-behind: round k+1's read overlaps round k's write.
+//
+// Reported per mode: wall_ns; for async, speedup_wall = wall_sync /
+// wall_async. ASSERTED (nonzero exit, run by the CTest gate
+// `bench_pipeline_gate`): every accounting counter — parallel I/Os, blocks
+// moved, per-disk counters — is byte-identical between the modes (accounting
+// happens at submit time, in submission order, so pipelining must never
+// change what the model charges), AND speedup_wall > 1.
+//
+// Like bench_io_threads this measures wall time, so it is NOT part of
+// bench_runner's committed-baseline suite; bench_diff treats speedup_wall as
+// a higher-better band metric for ad-hoc comparison.
+//
+// Flags: --seek-latency-us <n> simulated device latency (default 100);
+// --json as elsewhere. Positional: n keys per dictionary (default 256).
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/basic_dict.hpp"
+#include "pdm/file_backend.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct RunResult {
+  std::uint64_t wall_ns = 0;
+  pddict::pdm::IoStats io;
+  std::vector<pddict::pdm::DiskCounters> per_disk;
+  pddict::pdm::IoExecutor::Stats exec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_pipeline");
+  bench::TelemetrySession telemetry(argc, argv);
+  bench::CostReportSession cost_report(argc, argv);
+
+  std::uint32_t seek_latency_us = 100;
+  bench::strip_value_flag(argc, argv, "--seek-latency-us",
+                          [&](const std::string& v) {
+                            seek_latency_us = static_cast<std::uint32_t>(
+                                std::strtoul(v.c_str(), nullptr, 10));
+                          });
+  const std::uint64_t n =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1 << 8;
+  const std::uint64_t n_queries = n;
+  const double zipf_theta = 0.8;
+  const std::uint64_t seed = 29;
+
+  core::BasicDictParams p;
+  p.universe_size = std::uint64_t{1} << 40;
+  p.capacity = n;
+  p.value_bytes = 16;
+  p.degree = 4;
+  const std::uint32_t d = p.degree;
+  // D = 2d, disjoint ranges: a same-disk write + next read would serialize on
+  // the per-disk FIFO; pipelining needs the next op's disks to be free.
+  const pdm::Geometry geom{2 * d, 64, 16, 0};
+  const std::uint32_t D = geom.num_disks;
+
+  report.set_seed(seed);
+  report.set_geometry(geom);
+  report.param("n", n);
+  report.param("n_queries", n_queries);
+  report.param("zipf_theta", zipf_theta);
+  report.param("seek_latency_us", seek_latency_us);
+  report.param("backend", "file");
+  report.param("io_threads", static_cast<std::uint64_t>(D));
+
+  auto keys_a = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                        p.universe_size, seed);
+  auto keys_b = workload::generate_keys(workload::KeyPattern::kSparseRandom, n,
+                                        p.universe_size, seed + 1);
+  auto queries_a = workload::make_query_trace(keys_a, p.universe_size,
+                                              n_queries, /*hit_fraction=*/1.0,
+                                              zipf_theta, seed + 2)
+                       .queries;
+  auto queries_b = workload::make_query_trace(keys_b, p.universe_size,
+                                              n_queries, /*hit_fraction=*/1.0,
+                                              zipf_theta, seed + 3)
+                       .queries;
+
+  std::printf("=== Round pipelining: write-behind across two dictionaries "
+              "(FileBackend, %u us simulated seek) ===\n\n",
+              seek_latency_us);
+  std::printf("2 basic dictionaries on disjoint disk ranges of D = %u disks, "
+              "n = %llu inserts + %llu Zipf(%.2f) lookups each, "
+              "io-threads = %u in both modes\n\n",
+              D, static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(n_queries), zipf_theta, D);
+  std::printf("%6s | %12s %12s | %12s %10s\n", "mode", "parallel I/O",
+              "wall ms", "speedup", "counts");
+  bench::rule();
+
+  auto base_dir = std::filesystem::temp_directory_path() /
+                  ("pddict_bench_pipeline_" + std::to_string(::getpid()));
+  std::error_code ec;
+  std::filesystem::remove_all(base_dir, ec);
+
+  std::vector<RunResult> results;
+  bool counts_identical = true;
+  for (bool async : {false, true}) {
+    auto dir = base_dir / (async ? "async" : "sync");
+    std::filesystem::create_directories(dir);
+
+    RunResult r;
+    {
+      pdm::DiskArray disks(geom, pdm::Model::kParallelDisks,
+                           std::make_unique<pdm::FileBackend>(
+                               geom, dir.string(), seek_latency_us));
+      disks.set_io_threads(D);
+      core::BasicDict dict_a(disks, 0, 0, p);
+      core::BasicDict dict_b(disks, d, 0, p);
+
+      std::uint64_t start = now_ns();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        dict_a.insert(keys_a[i], core::value_for_key(keys_a[i], 16));
+        if (!async) dict_a.join_pending();
+        dict_b.insert(keys_b[i], core::value_for_key(keys_b[i], 16));
+        if (!async) dict_b.join_pending();
+      }
+      for (std::uint64_t i = 0; i < n_queries; ++i) {
+        dict_a.lookup(queries_a[i]);
+        dict_b.lookup(queries_b[i]);
+      }
+      // The last write-backs are still in flight in async mode: joining them
+      // is part of the measured schedule.
+      dict_a.join_pending();
+      dict_b.join_pending();
+      r.wall_ns = now_ns() - start;
+      r.io = disks.stats_snapshot();
+      r.per_disk = disks.disk_counters();
+      r.exec = disks.exec_stats();
+    }
+    std::filesystem::remove_all(dir, ec);
+
+    const RunResult& base = results.empty() ? r : results.front();
+    bool match = r.io.parallel_ios == base.io.parallel_ios &&
+                 r.io.read_rounds == base.io.read_rounds &&
+                 r.io.write_rounds == base.io.write_rounds &&
+                 r.io.blocks_read == base.io.blocks_read &&
+                 r.io.blocks_written == base.io.blocks_written;
+    for (std::uint32_t k = 0; match && k < D; ++k)
+      match = r.per_disk[k].blocks_read == base.per_disk[k].blocks_read &&
+              r.per_disk[k].blocks_written == base.per_disk[k].blocks_written &&
+              r.per_disk[k].rounds_active == base.per_disk[k].rounds_active &&
+              r.per_disk[k].idle_slots == base.per_disk[k].idle_slots;
+    counts_identical = counts_identical && match;
+
+    double speedup = results.empty()
+                         ? 1.0
+                         : static_cast<double>(base.wall_ns) /
+                               static_cast<double>(r.wall_ns);
+    std::printf("%6s | %12llu %12.1f | %11.2fx %10s%s\n",
+                async ? "async" : "sync",
+                static_cast<unsigned long long>(r.io.parallel_ios),
+                static_cast<double>(r.wall_ns) / 1e6, speedup,
+                match ? "same" : "DRIFT",
+                match ? "" : "   <-- pipelining changed the accounting");
+
+    auto& row = report.add_row(async ? "mode=async" : "mode=sync");
+    row.set("mode", async ? "async" : "sync");
+    row.set("paper_model",
+            "accounting at submit time: pipelined rounds charge the same");
+    row.set("parallel_ios", r.io.parallel_ios);
+    row.set("blocks_read", r.io.blocks_read);
+    row.set("blocks_written", r.io.blocks_written);
+    row.set("wall_ns", r.wall_ns);
+    row.set("speedup_wall", speedup);
+    row.set("counts_match", match);
+    row.set("exec_batches", r.exec.batches);
+    row.set("exec_jobs", r.exec.jobs);
+    row.set("exec_max_queue_depth", r.exec.max_queue_depth);
+    results.push_back(std::move(r));
+  }
+  std::filesystem::remove_all(base_dir, ec);
+  bench::rule();
+
+  double speedup = static_cast<double>(results.front().wall_ns) /
+                   static_cast<double>(results.back().wall_ns);
+  std::printf("\naccounting byte-identical between modes: %s\n"
+              "wall speedup from write-behind pipelining: %.2fx\n",
+              counts_identical ? "yes" : "NO", speedup);
+  return counts_identical && speedup > 1.0 ? 0 : 1;
+}

@@ -205,6 +205,41 @@ inline obs::Json to_json(const pdm::DiskArray& disks) {
   return j;
 }
 
+/// Strip every `--name <value>` / `--name=<value>` occurrence of one flag
+/// from argv (compacting argv in place, argc updated), invoking `on_value`
+/// with each value as an owned, NUL-terminated std::string. Repeated flags
+/// fire in order, so "last one wins" falls out for scalar options.
+///
+/// One shared helper instead of the six hand-rolled strip loops the option
+/// classes below used to carry: the copies had drifted — one parsed numbers
+/// via `strtoull(string_view.substr(N).data(), ...)`, which reads past the
+/// view's end to argv's NUL and only gave the right answer because nothing
+/// follows the value in that argv slot. Owning std::string makes the
+/// NUL-termination part of the contract.
+template <typename Fn>
+void strip_value_flag(int& argc, char** argv, std::string_view name,
+                      Fn&& on_value) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    int consumed = 0;
+    std::string value;
+    if (arg == name && i + 1 < argc) {
+      value = argv[i + 1];
+      consumed = 2;
+    } else if (arg.size() > name.size() && arg[name.size()] == '=' &&
+               arg.substr(0, name.size()) == name) {
+      value = std::string(arg.substr(name.size() + 1));
+      consumed = 1;
+    }
+    if (consumed) {
+      on_value(value);
+      for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      --i;
+    }
+  }
+}
+
 /// Strips `--cache-frames <n>` / `--cache-frames=<n>` (also a comma list
 /// `--cache-frames 0,128,512`) from argv. A single value is the knob form —
 /// "run this bench with an M/B-frame buffer pool"; the list form lets
@@ -213,22 +248,8 @@ inline obs::Json to_json(const pdm::DiskArray& disks) {
 class CacheFramesOption {
  public:
   CacheFramesOption(int& argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--cache-frames" && i + 1 < argc) {
-        parse(argv[i + 1]);
-        consumed = 2;
-      } else if (arg.rfind("--cache-frames=", 0) == 0) {
-        parse(std::string(arg.substr(15)).c_str());
-        consumed = 1;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--cache-frames",
+                     [this](const std::string& v) { parse(v.c_str()); });
   }
 
   bool set() const { return !frames_.empty(); }
@@ -261,22 +282,8 @@ class CacheFramesOption {
 class IoThreadsOption {
  public:
   IoThreadsOption(int& argc, char** argv, bool publish_default = true) {
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--io-threads" && i + 1 < argc) {
-        parse(argv[i + 1]);
-        consumed = 2;
-      } else if (arg.rfind("--io-threads=", 0) == 0) {
-        parse(std::string(arg.substr(13)).c_str());
-        consumed = 1;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--io-threads",
+                     [this](const std::string& v) { parse(v.c_str()); });
     if (publish_default && !threads_.empty())
       pdm::set_default_io_threads(threads_.front());
   }
@@ -322,22 +329,8 @@ class JsonReport {
  public:
   JsonReport(int& argc, char** argv, std::string_view bench_name)
       : bench_(bench_name) {
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--json" && i + 1 < argc) {
-        path_ = argv[i + 1];
-        consumed = 2;
-      } else if (arg.rfind("--json=", 0) == 0) {
-        path_ = std::string(arg.substr(7));
-        consumed = 1;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--json",
+                     [this](const std::string& v) { path_ = v; });
   }
 
   JsonReport(const JsonReport&) = delete;
@@ -460,32 +453,15 @@ class TraceSession {
  public:
   TraceSession(int& argc, char** argv) {
     std::size_t capacity = 4096;
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--trace" && i + 1 < argc) {
-        trace_path_ = argv[i + 1];
-        consumed = 2;
-      } else if (arg.rfind("--trace=", 0) == 0) {
-        trace_path_ = std::string(arg.substr(8));
-        consumed = 1;
-      } else if (arg == "--trace-event" && i + 1 < argc) {
-        trace_event_path_ = argv[i + 1];
-        consumed = 2;
-      } else if (arg.rfind("--trace-event=", 0) == 0) {
-        trace_event_path_ = std::string(arg.substr(14));
-        consumed = 1;
-      } else if (arg == "--trace-capacity" && i + 1 < argc) {
-        capacity = static_cast<std::size_t>(
-            std::strtoull(argv[i + 1], nullptr, 10));
-        consumed = 2;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--trace-event",
+                     [this](const std::string& v) { trace_event_path_ = v; });
+    strip_value_flag(argc, argv, "--trace-capacity",
+                     [&](const std::string& v) {
+                       capacity = static_cast<std::size_t>(
+                           std::strtoull(v.c_str(), nullptr, 10));
+                     });
+    strip_value_flag(argc, argv, "--trace",
+                     [this](const std::string& v) { trace_path_ = v; });
     std::vector<std::shared_ptr<obs::Sink>> sinks;
     if (!trace_path_.empty()) {
       jsonl_ = std::make_shared<obs::JsonLinesSink>(trace_path_,
@@ -594,28 +570,12 @@ class TelemetrySession {
  public:
   TelemetrySession(int& argc, char** argv) {
     std::uint64_t interval_ms = 100;
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--telemetry" && i + 1 < argc) {
-        path_ = argv[i + 1];
-        consumed = 2;
-      } else if (arg.rfind("--telemetry=", 0) == 0) {
-        path_ = std::string(arg.substr(12));
-        consumed = 1;
-      } else if (arg == "--telemetry-interval-ms" && i + 1 < argc) {
-        interval_ms = std::strtoull(argv[i + 1], nullptr, 10);
-        consumed = 2;
-      } else if (arg.rfind("--telemetry-interval-ms=", 0) == 0) {
-        interval_ms = std::strtoull(arg.substr(24).data(), nullptr, 10);
-        consumed = 1;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--telemetry",
+                     [this](const std::string& v) { path_ = v; });
+    strip_value_flag(argc, argv, "--telemetry-interval-ms",
+                     [&](const std::string& v) {
+                       interval_ms = std::strtoull(v.c_str(), nullptr, 10);
+                     });
     if (path_.empty()) return;
     obs::TelemetrySampler::Options opt;
     opt.interval_ms = interval_ms ? interval_ms : 100;
@@ -677,29 +637,12 @@ class CostReportSession {
  public:
   CostReportSession(int& argc, char** argv) {
     std::uint64_t seek_us = 0;
-    for (int i = 1; i < argc; ++i) {
-      std::string_view arg = argv[i];
-      int consumed = 0;
-      if (arg == "--cost-report" && i + 1 < argc) {
-        path_ = argv[i + 1];
-        consumed = 2;
-      } else if (arg.rfind("--cost-report=", 0) == 0) {
-        path_ = std::string(arg.substr(14));
-        consumed = 1;
-      } else if (arg == "--cost-seek-us" && i + 1 < argc) {
-        seek_us = std::strtoull(argv[i + 1], nullptr, 10);
-        consumed = 2;
-      } else if (arg.rfind("--cost-seek-us=", 0) == 0) {
-        seek_us = std::strtoull(std::string(arg.substr(15)).c_str(), nullptr,
-                                10);
-        consumed = 1;
-      }
-      if (consumed) {
-        for (int j = i; j + consumed <= argc; ++j) argv[j] = argv[j + consumed];
-        argc -= consumed;
-        --i;
-      }
-    }
+    strip_value_flag(argc, argv, "--cost-report",
+                     [this](const std::string& v) { path_ = v; });
+    strip_value_flag(argc, argv, "--cost-seek-us",
+                     [&](const std::string& v) {
+                       seek_us = std::strtoull(v.c_str(), nullptr, 10);
+                     });
     if (path_.empty()) return;
     obs::CostConformance::Options opt;
     // Pin only what the caller asserted about the device; the rest is

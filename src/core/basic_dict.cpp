@@ -208,16 +208,27 @@ BasicDict::plan_insert(Key key, std::span<const std::byte> value,
   return writes;
 }
 
+void BasicDict::join_pending() {
+  if (!pending_write_.valid()) return;
+  pdm::BatchFuture write = std::move(pending_write_);
+  write.wait();  // rethrows a deferred write-back error
+}
+
 bool BasicDict::insert(Key key, std::span<const std::byte> value) {
   obs::OpScope op(*disks_, obs::OpKind::kInsert, "basic_dict");
   obs::Span span(*disks_, "insert");
   check_key(key);
   auto addrs = probe_addrs(key);
+  // Submit this op's probe read *before* joining the previous op's
+  // write-back: the per-disk FIFO already orders the read behind the write,
+  // so the two overlap instead of serializing.
+  pdm::BatchFuture read = disks_->submit_read_batch(addrs);
+  join_pending();
   std::vector<pdm::Block> blocks;
-  disks_->read_batch(addrs, blocks);
+  read.get(blocks);
   auto writes = plan_insert(key, value, blocks);
   if (!writes) return false;
-  disks_->write_batch(*writes);
+  pending_write_ = disks_->submit_write_batch(*writes);
   return true;
 }
 
@@ -226,8 +237,10 @@ LookupResult BasicDict::lookup(Key key) {
   obs::Span span(*disks_, "lookup");
   check_key(key);
   auto addrs = probe_addrs(key);
+  pdm::BatchFuture read = disks_->submit_read_batch(addrs);
+  join_pending();
   std::vector<pdm::Block> blocks;
-  disks_->read_batch(addrs, blocks);
+  read.get(blocks);
   Probe probe = inspect(key, blocks);
   op.set_outcome(probe.found ? obs::OpOutcome::kHit : obs::OpOutcome::kMiss);
   return {probe.found, std::move(probe.value)};
@@ -262,16 +275,19 @@ bool BasicDict::erase(Key key) {
   obs::Span span(*disks_, "erase");
   check_key(key);
   auto addrs = probe_addrs(key);
+  pdm::BatchFuture read = disks_->submit_read_batch(addrs);
+  join_pending();
   std::vector<pdm::Block> blocks;
-  disks_->read_batch(addrs, blocks);
+  read.get(blocks);
   auto writes = plan_erase(key, blocks);
   if (!writes) return false;
-  disks_->write_batch(*writes);
+  pending_write_ = disks_->submit_write_batch(*writes);
   return true;
 }
 
 std::vector<std::pair<Key, std::vector<std::byte>>> BasicDict::scan_bucket(
     std::uint64_t bucket_index) {
+  join_pending();
   if (bucket_index >= num_buckets())
     throw std::out_of_range("bucket index out of range");
   std::uint32_t stripe =

@@ -52,11 +52,23 @@ class BasicDict final : public Dictionary {
             std::uint64_t base_block, const BasicDictParams& params);
 
   // ---- Dictionary interface ----
+  // insert/lookup/erase run write-behind: the bucket write-back of operation
+  // k is submitted asynchronously and joined only after operation k+1 has
+  // submitted its probe read, so the write's device time overlaps the next
+  // op's planning (the executor's per-disk FIFO keeps the read ordered after
+  // the write, and accounting happens at submit time, so every I/O count is
+  // identical to the fully synchronous sequence). A deferred write error
+  // therefore surfaces on the *next* operation (or join_pending()).
   bool insert(Key key, std::span<const std::byte> value) override;
   LookupResult lookup(Key key) override;
   bool erase(Key key) override;
   std::uint64_t size() const override { return size_; }
   std::size_t value_bytes() const override { return value_bytes_; }
+
+  /// Joins the previous operation's outstanding write-back, rethrowing any
+  /// error it hit. No-op when nothing is pending. Benchmarks call this after
+  /// every op to emulate the historical synchronous schedule.
+  void join_pending();
 
   // ---- composable batch API ----
   // Higher-level structures (the Section 4.2/4.3 dictionaries, the global
@@ -156,6 +168,10 @@ class BasicDict final : public Dictionary {
   std::size_t record_bytes_;
   std::uint64_t size_ = 0;
   std::unique_ptr<expander::SeededExpander> graph_;
+  /// Write-behind slot: the not-yet-joined bucket write-back of the most
+  /// recent insert/erase. At most one is outstanding; every member operation
+  /// that touches disk joins it (after submitting its own read).
+  pdm::BatchFuture pending_write_;
 };
 
 }  // namespace pddict::core

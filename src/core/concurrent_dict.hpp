@@ -31,11 +31,20 @@ class ConcurrentBasicDict {
       : dict_(disks, first_disk, base_block, params),
         bucket_locks_(dict_.num_buckets()) {}
 
+  // Updates drop their bucket locks after *submitting* the write-back, not
+  // after it completes: DiskArray accounts and enqueues a batch in submission
+  // order under its own mutex, and the executor's per-disk FIFO replays
+  // batches in that order, so any conflicting operation that acquires the
+  // bucket locks afterwards submits afterwards and is ordered behind the
+  // write on every shared disk. The device time of the write-back then
+  // overlaps the next operation on the same buckets instead of serializing
+  // with it.
   bool insert(Key key, std::span<const std::byte> value) {
     auto guard = lock_buckets<std::unique_lock<std::shared_mutex>>(key);
     auto addrs = dict_.probe_addrs(key);
+    pdm::BatchFuture read = dict_.disks().submit_read_batch(addrs);
     std::vector<pdm::Block> blocks;
-    dict_.disks().read_batch(addrs, blocks);
+    read.get(blocks);
     std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>> writes;
     {
       // plan_insert mutates the dictionary's size counter: short exclusive
@@ -44,15 +53,22 @@ class ConcurrentBasicDict {
       writes = dict_.plan_insert(key, value, blocks);
     }
     if (!writes) return false;
-    dict_.disks().write_batch(*writes);
+    pdm::BatchFuture write = dict_.disks().submit_write_batch(*writes);
+    guard.clear();  // safe once submitted: per-disk FIFO orders later I/O
+    write.wait();
     return true;
   }
 
   LookupResult lookup(Key key) {
-    auto guard = lock_buckets<std::shared_lock<std::shared_mutex>>(key);
-    auto addrs = dict_.probe_addrs(key);
+    pdm::BatchFuture read;
+    {
+      auto guard = lock_buckets<std::shared_lock<std::shared_mutex>>(key);
+      read = dict_.disks().submit_read_batch(dict_.probe_addrs(key));
+      // Locks released here: the snapshot the read returns is fixed by its
+      // position in the FIFO, so joining can happen outside the locks.
+    }
     std::vector<pdm::Block> blocks;
-    dict_.disks().read_batch(addrs, blocks);
+    read.get(blocks);
     auto probe = dict_.inspect(key, blocks);
     return {probe.found, std::move(probe.value)};
   }
@@ -60,8 +76,9 @@ class ConcurrentBasicDict {
   bool erase(Key key) {
     auto guard = lock_buckets<std::unique_lock<std::shared_mutex>>(key);
     auto addrs = dict_.probe_addrs(key);
+    pdm::BatchFuture read = dict_.disks().submit_read_batch(addrs);
     std::vector<pdm::Block> blocks;
-    dict_.disks().read_batch(addrs, blocks);
+    read.get(blocks);
     std::optional<std::vector<std::pair<pdm::BlockAddr, pdm::Block>>> writes;
     {
       // Same read–plan–write shape as insert: meta_ covers only the
@@ -72,7 +89,9 @@ class ConcurrentBasicDict {
       writes = dict_.plan_erase(key, blocks);
     }
     if (!writes) return false;
-    dict_.disks().write_batch(*writes);
+    pdm::BatchFuture write = dict_.disks().submit_write_batch(*writes);
+    guard.clear();  // safe once submitted: per-disk FIFO orders later I/O
+    write.wait();
     return true;
   }
 

@@ -101,6 +101,7 @@ void CostConformance::record(const RoundPhaseSample& sample) {
   queue_.record(sample.queue_ns);
   transfer_.record(sample.transfer_ns);
   join_.record(sample.join_ns);
+  overlap_.record(sample.overlap_ns);
   reconcile_.record(sample.reconcile_ns);
   exec_.record(sample.exec_ns);
   total_.record(sample.total_ns);
@@ -267,6 +268,7 @@ Json CostConformance::report() const {
   phases.set("queue", queue_.to_json());
   phases.set("transfer", transfer_.to_json());
   phases.set("join", join_.to_json());
+  phases.set("overlap", overlap_.to_json());
   phases.set("reconcile", reconcile_.to_json());
   phases.set("exec", exec_.to_json());
   phases.set("total", total_.to_json());
@@ -365,6 +367,7 @@ Json CostConformance::telemetry_json() const {
   phase.set("queue", queue_.sum());
   phase.set("transfer", transfer_.sum());
   phase.set("join", join_.sum());
+  phase.set("overlap", overlap_.sum());
   phase.set("reconcile", reconcile_.sum());
   phase.set("exec", exec_.sum());
   phase.set("total", total_.sum());
@@ -393,6 +396,7 @@ std::string CostConformance::render() const {
   row("  queue", queue_);
   row("  transfer", transfer_);
   row("  join", join_);
+  row("  overlap", overlap_);
   row("reconcile", reconcile_);
   row("total", total_);
   std::snprintf(line, sizeof line,

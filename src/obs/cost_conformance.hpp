@@ -19,7 +19,11 @@
 // is reported as unattributed_frac and gated by tools/validate_cost_report.
 // queue/transfer/join attribute time *within* exec: their sums can exceed
 // exec wall when several workers overlap, which is the point — they say what
-// the exec section was spent on, not how long it was.
+// the exec section was spent on, not how long it was. With the async batch
+// API (DiskArray::submit_* / BatchFuture) the exec section runs while the
+// caller computes; `overlap` attributes the part of exec NOT spent blocked on
+// the join — the latency the pipelining actually hid. It subdivides exec like
+// queue/transfer/join and never enters the attributed/total reconciliation.
 //
 // Conformance: each batch is paired with the model prediction
 //
@@ -77,6 +81,10 @@ struct RoundPhaseSample {
   std::uint64_t queue_ns = 0;
   std::uint64_t transfer_ns = 0;
   std::uint64_t join_ns = 0;
+  /// Part of exec_ns the caller was NOT blocked on the join: latency hidden
+  /// by in-flight pipelining (0 on the serial path, where the caller itself
+  /// executes the transfers).
+  std::uint64_t overlap_ns = 0;
   std::uint64_t reconcile_ns = 0;
   std::uint64_t total_ns = 0;
 };
@@ -172,7 +180,8 @@ class CostConformance {
   std::uint64_t rounds_ = 0;
   std::uint64_t blocks_ = 0;
 
-  LatencyHistogram plan_, queue_, transfer_, join_, reconcile_, exec_, total_;
+  LatencyHistogram plan_, queue_, transfer_, join_, overlap_, reconcile_,
+      exec_, total_;
 
   std::vector<ClassAccum> classes_;
   std::deque<BatchRecord> window_;

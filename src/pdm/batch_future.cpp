@@ -1,0 +1,94 @@
+#include "pdm/batch_future.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "obs/sink.hpp"  // trace_now_ns
+
+namespace pddict::pdm::detail {
+
+namespace {
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+void BatchState::join() {
+  if (joined) return;
+  joined = true;
+  if (ready) return;
+
+  std::uint64_t join_start = obs::trace_now_ns();
+  {
+    std::unique_lock<std::mutex> lock(completion.mutex);
+    completion.done.wait(lock, [&] { return completion.pending == 0; });
+    if (completion.error) error = completion.error;
+  }
+  std::uint64_t joined_ns = obs::trace_now_ns();
+
+  // Reads fan the distinct fetched blocks back out to request order. An
+  // errored batch returns no data (the future rethrows instead), matching
+  // the synchronous path where the fetch throws before any fan-out.
+  std::uint64_t reconcile_ns = 0;
+  if (!write && !error) {
+    out.resize(submitted.size());
+    for (std::size_t i = 0; i < submitted.size(); ++i) {
+      auto it = std::lower_bound(uniq.begin(), uniq.end(), submitted[i]);
+      out[i] = blocks[static_cast<std::size_t>(it - uniq.begin())];
+    }
+    reconcile_ns = sat_sub(obs::trace_now_ns(), joined_ns);
+  }
+
+  if (conformance) {
+    // Async attribution: plan was stamped at submit, exec is the engine's
+    // submit-to-finish span, reconcile is the fan-out above. total is their
+    // sum *by construction* — the caller-clock tiling invariant the
+    // cost-report validator gates — and `overlap` is the part of exec the
+    // owner was NOT blocked in join(): the latency pipelining hid.
+    sample.queue_ns = completion.queue_ns.load(std::memory_order_relaxed);
+    sample.transfer_ns =
+        completion.transfer_ns.load(std::memory_order_relaxed);
+    sample.join_ns = sat_sub(joined_ns, join_start);
+    sample.exec_ns = sat_sub(completion.finish_ns, submit_end_ns);
+    sample.reconcile_ns = reconcile_ns;
+    sample.total_ns = sample.plan_ns + sample.exec_ns + sample.reconcile_ns;
+    sample.overlap_ns = sat_sub(sample.exec_ns, sample.join_ns);
+    conformance->record(sample);
+  }
+}
+
+void BatchState::wait_done() {
+  if (ready) return;
+  std::unique_lock<std::mutex> lock(completion.mutex);
+  completion.done.wait(lock, [&] { return completion.pending == 0; });
+}
+
+bool BatchState::done() {
+  if (ready) return true;
+  std::lock_guard<std::mutex> lock(completion.mutex);
+  return completion.pending == 0;
+}
+
+}  // namespace pddict::pdm::detail
+
+namespace pddict::pdm {
+
+std::uint64_t BatchFuture::get(std::vector<Block>& out) {
+  if (!state_) return 0;
+  state_->join();
+  if (state_->error) std::rethrow_exception(state_->error);
+  out = std::move(state_->out);
+  state_->out.clear();
+  return state_->rounds;
+}
+
+std::uint64_t BatchFuture::wait() {
+  if (!state_) return 0;
+  state_->join();
+  if (state_->error) std::rethrow_exception(state_->error);
+  return state_->rounds;
+}
+
+}  // namespace pddict::pdm

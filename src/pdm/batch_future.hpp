@@ -1,0 +1,153 @@
+// Completion-based handle for one in-flight round batch.
+//
+// DiskArray::submit_read_batch / submit_write_batch plan and *account* a
+// batch at submit time (in submission order, under the scheduling lock — so
+// every parallel-I/O count, cache counter and IoEvent is byte-identical to
+// the synchronous read_batch/write_batch path for any io_threads value) and
+// hand the planned transfers to the IoExecutor without waiting. The returned
+// BatchFuture is the only way to observe the data: get()/wait() join the
+// batch, rethrow the first worker error, and (for reads) fan the fetched
+// distinct blocks back out to the submitted request order. Between submit and
+// join the caller is free to plan its next batch — that window is the round
+// pipelining this module exists for, and it is what the `overlap` phase of
+// obs::CostConformance measures.
+//
+// Lifetime: the shared BatchState owns everything the workers touch (the
+// per-disk transfer lists and the block storage they point into) plus the
+// IoExecutor::Completion itself, so a future may outlive the DiskArray's
+// engine — set_io_threads() and the destructor drain in-flight completions
+// before re-seating the executor, and join() waits on the Completion
+// directly, never through the executor. A future is move-only and
+// single-shot; dropping one un-joined joins in the destructor (swallowing any
+// worker error, but still recording the batch's phase sample).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <vector>
+
+#include "obs/cost_conformance.hpp"
+#include "pdm/block.hpp"
+#include "pdm/geometry.hpp"
+#include "pdm/io_executor.hpp"
+
+namespace pddict::pdm {
+
+namespace detail {
+
+/// Everything one submitted batch needs after the submitting frame returns.
+/// Built and filled by DiskArray under its scheduling lock; afterwards the
+/// workers write only through `completion` and the BlockRead targets, the
+/// owning BatchFuture mutates only from its (single) owner thread, and
+/// DiskArray's drain path calls the const-shaped waiters. Those three never
+/// share mutable state outside Completion's own mutex.
+struct BatchState {
+  bool write = false;
+  std::uint64_t rounds = 0;
+
+  /// True when the batch was resolved synchronously at submit (cache served
+  /// every block, empty plan, or serial execution): `out` is already final,
+  /// `completion` was never armed, and the phase sample was recorded at
+  /// submit by DiskArray itself.
+  bool ready = false;
+
+  /// Reads: request-order result blocks. Filled at submit when `ready`,
+  /// otherwise at join by fanning `blocks` out through `uniq`.
+  std::vector<Block> out;
+
+  /// Reads: the submitted addresses in request order (duplicates included).
+  std::vector<BlockAddr> submitted;
+  /// Sorted distinct addresses of the batch (plan_batch's uniq).
+  std::vector<BlockAddr> uniq;
+  /// Reads: fetch targets, indexed like `uniq`. Writes: stable copies of the
+  /// winning source block per distinct address (the caller's span dies at
+  /// submit; the workers need storage that doesn't).
+  std::vector<Block> blocks;
+
+  /// Per-disk transfer lists the executor jobs point at (exactly one
+  /// direction is populated). Entries reference `blocks`.
+  std::vector<std::vector<BlockRead>> per_disk_reads;
+  std::vector<std::vector<BlockWrite>> per_disk_writes;
+
+  IoExecutor::Completion completion;
+
+  /// Phase-sample skeleton (shape + plan_ns) built at submit; the timing
+  /// fields are filled and recorded against `conformance` at join. Null
+  /// conformance = recording off.
+  std::shared_ptr<obs::CostConformance> conformance;
+  obs::RoundPhaseSample sample;
+  /// Timestamp right after the executor accepted the batch: the exec phase
+  /// of an async batch is finish_ns - submit_end_ns.
+  std::uint64_t submit_end_ns = 0;
+
+  /// First worker error, captured at join and sticky (get() and wait() both
+  /// rethrow it).
+  std::exception_ptr error;
+  bool joined = false;
+
+  /// Owner-side join: wait for the completion, capture the error, fan reads
+  /// out to request order, record the phase sample. Idempotent; never
+  /// throws the worker error itself (the future rethrows after).
+  void join();
+  /// Drain-side wait (DiskArray quiescing before peek/reconfigure/teardown):
+  /// blocks until the workers retired every job, mutates nothing, never
+  /// steals the error.
+  void wait_done();
+  /// Nonblocking "workers are finished" check (prune heuristic).
+  bool done();
+};
+
+}  // namespace detail
+
+/// Move-only handle to one submitted batch. See file comment.
+class BatchFuture {
+ public:
+  BatchFuture() = default;
+  explicit BatchFuture(std::shared_ptr<detail::BatchState> state)
+      : state_(std::move(state)) {}
+
+  BatchFuture(BatchFuture&&) noexcept = default;
+  BatchFuture& operator=(BatchFuture&& other) noexcept {
+    if (this != &other) {
+      release();
+      state_ = std::move(other.state_);
+    }
+    return *this;
+  }
+  BatchFuture(const BatchFuture&) = delete;
+  BatchFuture& operator=(const BatchFuture&) = delete;
+
+  /// Joins an un-joined batch, swallowing any worker error (the phase sample
+  /// is still recorded). Join explicitly via get()/wait() to see errors.
+  ~BatchFuture() { release(); }
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Rounds accounted for this batch at submit time (0 for a fully cached
+  /// batch). Valid immediately — accounting never waits for execution.
+  std::uint64_t rounds() const { return state_ ? state_->rounds : 0; }
+
+  /// Nonblocking: true when the workers have retired every transfer (the
+  /// data may still need its join-side fan-out).
+  bool done() const { return state_ && state_->done(); }
+
+  /// Join a read batch: blocks until the data arrived, rethrows the first
+  /// worker error, moves the request-order blocks into `out`. Returns
+  /// rounds(). Single-shot — a second call yields an empty result.
+  std::uint64_t get(std::vector<Block>& out);
+
+  /// Join without consuming data (the write-future form). Rethrows the
+  /// first worker error; returns rounds().
+  std::uint64_t wait();
+
+ private:
+  void release() {
+    if (state_ && !state_->joined) state_->join();
+    state_.reset();
+  }
+
+  std::shared_ptr<detail::BatchState> state_;
+};
+
+}  // namespace pddict::pdm

@@ -9,6 +9,12 @@
 
 namespace pddict::pdm {
 
+namespace {
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+}  // namespace
+
 DiskArray::DiskArray(Geometry geom, Model model)
     : DiskArray(geom, model, std::make_unique<MemoryBackend>(geom)) {}
 
@@ -41,7 +47,14 @@ DiskArray::DiskArray(Geometry geom, Model model,
 }
 
 DiskArray::~DiskArray() {
-  // Unregister from live telemetry first, while the array is fully alive:
+  // Wait out any still-executing async batches before anything else touches
+  // the backend (the dirty-cache flush below bypasses the engine's per-disk
+  // queues). Un-joined futures stay consumable — their state outlives us.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    drain_inflight_locked();
+  }
+  // Unregister from live telemetry next, while the array is fully alive:
   // remove_source takes a final frame with this source still attached, so
   // the time series ends on the exact end-of-run counters.
   if (telemetry_) {
@@ -62,10 +75,13 @@ void DiskArray::set_io_threads(std::size_t threads) {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t resolved = IoExecutor::resolve_threads(threads, geom_.num_disks);
   if (exec_ && exec_->threads() == resolved) return;
-  // Destroying the old engine joins its (idle — we hold the scheduling lock,
-  // so no batch is mid-execution) workers before the new one spawns. The
+  // Wait out async batches still executing on the old engine: in-flight
+  // batches complete on the engine they started with (their futures never
+  // touch exec_ again — they wait on their own Completion). Destroying the
+  // old engine then joins its idle workers before the new one spawns. The
   // health probe reads exec_ under probe_mutex_ alone, so re-seating the
   // pointer needs both locks.
+  drain_inflight_locked();
   std::lock_guard<std::mutex> probe_lock(probe_mutex_);
   exec_.reset();
   if (resolved) exec_ = std::make_unique<IoExecutor>(geom_.num_disks, resolved);
@@ -93,6 +109,10 @@ void DiskArray::reset_stats() {
 
 void DiskArray::enable_cache(std::size_t frames, std::size_t shards) {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Quiesce async batches first: with a cache installed every submit
+  // resolves synchronously, and the flush below must not interleave with
+  // transfers still in flight from the uncached era.
+  drain_inflight_locked();
   if (cache_) {
     // Replacing (or disabling) an active cache must not lose writes: charge
     // one final coalesced flush for whatever is still dirty.
@@ -110,6 +130,7 @@ void DiskArray::enable_cache(std::size_t frames, std::size_t shards) {
 
 std::uint64_t DiskArray::flush_cache() {
   std::lock_guard<std::mutex> lock(mutex_);
+  drain_inflight_locked();
   if (!cache_) return 0;
   auto dirty = cache_->take_dirty();
   return flush_victims_locked(dirty);
@@ -179,14 +200,8 @@ void DiskArray::store_blocks_locked(const std::vector<BlockAddr>& uniq,
   exec_->execute_writes(*backend_, per_disk, timing);
 }
 
-void DiskArray::record_phase_locked(const BatchPlan& plan, bool write,
-                                    bool flush,
-                                    const IoExecutor::BatchTiming& timing,
-                                    std::uint64_t plan_ns,
-                                    std::uint64_t exec_ns,
-                                    std::uint64_t reconcile_ns,
-                                    std::uint64_t total_ns) {
-  if (!conformance_ || plan.uniq.empty()) return;
+obs::RoundPhaseSample DiskArray::make_phase_sample_locked(
+    const BatchPlan& plan, bool write, bool flush) const {
   obs::RoundPhaseSample s;
   s.write = write;
   s.flush = flush;
@@ -211,11 +226,28 @@ void DiskArray::record_phase_locked(const BatchPlan& plan, bool write,
         plan.uniq[i - 1].block + 1 != a.block)
       ++s.worker_runs[w];
   }
+  return s;
+}
+
+void DiskArray::record_phase_locked(const BatchPlan& plan, bool write,
+                                    bool flush,
+                                    const IoExecutor::BatchTiming& timing,
+                                    std::uint64_t plan_ns,
+                                    std::uint64_t exec_ns,
+                                    std::uint64_t reconcile_ns,
+                                    std::uint64_t total_ns) {
+  if (!conformance_ || plan.uniq.empty()) return;
+  obs::RoundPhaseSample s = make_phase_sample_locked(plan, write, flush);
   s.plan_ns = plan_ns;
   s.exec_ns = exec_ns;
   s.queue_ns = timing.queue_ns;
   s.transfer_ns = timing.transfer_ns;
   s.join_ns = timing.join_ns;
+  // The barrier-form exec section overlaps nothing on the serial path (the
+  // caller executes the transfers itself); with an engine the slice of exec
+  // not spent blocked in the join is submit/dispatch overhead the caller
+  // kept for itself.
+  s.overlap_ns = exec_ ? sat_sub(exec_ns, timing.join_ns) : 0;
   s.reconcile_ns = reconcile_ns;
   s.total_ns = total_ns;
   conformance_->record(s);
@@ -388,6 +420,15 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
   IoExecutor::Stats exec;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (exec_) {
+      parallel = true;
+      exec_threads = exec_->threads();
+      // Snapshot BEFORE quiescing, so the in-flight gauge reflects the
+      // pipelining depth this call happened to observe.
+      exec = exec_->stats();
+    }
+    // blocks_in_use walks backend state the workers may be mutating.
+    drain_inflight_locked();
     stats = stats_;
     disks = disk_counters_;
     hist = round_hist_;
@@ -399,11 +440,6 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
       cache.flush_rounds = cache_flush_rounds_;
       cache_capacity = cache_->capacity();
       cache_resident = cache_->size();
-    }
-    if (exec_) {
-      parallel = true;
-      exec_threads = exec_->threads();
-      exec = exec_->stats();
     }
   }
   if (cached) {
@@ -443,6 +479,9 @@ void DiskArray::export_metrics(obs::MetricsRegistry& registry,
     registry.count(p + ".exec.wall_ns", exec.wall_ns);
     registry.gauge(p + ".exec.max_queue_depth",
                    static_cast<double>(exec.max_queue_depth));
+    registry.gauge(p + ".exec.inflight_batches",
+                   static_cast<double>(exec.inflight_batches));
+    registry.count(p + ".exec.suppressed_errors", exec.suppressed_errors);
     for (std::uint32_t d = 0; d < exec.disk_busy_ns.size(); ++d) {
       std::string dp = p + ".exec.disk." + std::to_string(d);
       registry.count(dp + ".busy_ns", exec.disk_busy_ns[d]);
@@ -456,6 +495,13 @@ obs::Json DiskArray::telemetry_json() const {
   // the sampler lock — so take mutex_ exactly once and compute everything
   // inline (public accessors like mean_utilization() lock again).
   std::lock_guard<std::mutex> lock(mutex_);
+  // Snapshot the engine BEFORE quiescing (the in-flight gauge should show
+  // the pipelining depth this frame happened to catch), then drain:
+  // blocks_in_use below walks backend state the workers may be mutating.
+  // The counters themselves never need the drain (accounted at submit).
+  IoExecutor::Stats es;
+  if (exec_) es = exec_->stats();
+  drain_inflight_locked();
   obs::Json j = obs::Json::object();
   obs::Json io = obs::Json::object();
   // Base + current: reset_stats() folds the outgoing counters into
@@ -494,7 +540,6 @@ obs::Json DiskArray::telemetry_json() const {
     j.set("cache", std::move(cache));
   }
   if (exec_) {
-    IoExecutor::Stats es = exec_->stats();
     obs::Json exec = obs::Json::object();
     exec.set("io_threads", static_cast<std::uint64_t>(exec_->threads()));
     exec.set("batches", es.batches);
@@ -503,6 +548,8 @@ obs::Json DiskArray::telemetry_json() const {
     exec.set("queue_wait_ns", es.queue_wait_ns);
     exec.set("join_wait_ns", es.join_wait_ns);
     exec.set("max_queue_depth", es.max_queue_depth);
+    exec.set("inflight_batches", es.inflight_batches);
+    exec.set("suppressed_errors", es.suppressed_errors);
     // Per-worker busy/idle attribution: busy is time inside backend calls on
     // the worker's disks; idle_frac is the remainder of its lifetime.
     obs::Json workers = obs::Json::array();
@@ -587,33 +634,87 @@ void DiskArray::clear_trace() {
 
 std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
                                     std::vector<Block>& out) {
-  out.clear();
-  out.reserve(addrs.size());
+  return submit_read_batch(addrs).get(out);
+}
+
+std::uint64_t DiskArray::write_batch(
+    std::span<const std::pair<BlockAddr, Block>> writes) {
+  return submit_write_batch(writes).wait();
+}
+
+BatchFuture DiskArray::submit_read_batch(std::span<const BlockAddr> addrs) {
   for (const auto& a : addrs) check_addr(a);
+  auto state = std::make_shared<detail::BatchState>();
   std::lock_guard<std::mutex> lock(mutex_);
+  prune_inflight_locked();
   const bool prof = conformance_ != nullptr;
-  if (!cache_) {
-    // Load each DISTINCT block exactly once — the accounting always deduped
-    // them, but the execution used to hit the backend once per occurrence —
-    // and fan the fetched blocks out to the submitted order.
-    std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
-    BatchPlan plan = plan_batch(addrs);
+
+  if (cache_) {
+    // Cached batches resolve at submit: hit/miss classification, victim
+    // flushing and their accounting must happen in submission order.
+    state->out.reserve(addrs.size());
+    state->rounds = read_cached_locked(addrs, state->out);
+    state->ready = true;
+    return BatchFuture(std::move(state));
+  }
+
+  std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
+  BatchPlan plan = plan_batch(addrs);
+
+  if (!exec_ || plan.uniq.empty()) {
+    // Serial (or empty) batch: execute eagerly on the submitting thread,
+    // bit-for-bit the historical path. Load each DISTINCT block exactly
+    // once and fan the fetched blocks out to the submitted order.
     std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
     std::vector<Block> fetched;
     IoExecutor::BatchTiming timing;
     fetch_blocks_locked(plan.uniq, fetched, prof ? &timing : nullptr);
     std::uint64_t t2 = prof ? obs::trace_now_ns() : 0;
     account_batch(plan, /*write=*/false, addrs);
-    for (const auto& a : addrs) out.push_back(fetched[uniq_index(plan.uniq, a)]);
+    state->out.reserve(addrs.size());
+    for (const auto& a : addrs)
+      state->out.push_back(fetched[uniq_index(plan.uniq, a)]);
     if (prof) {
       std::uint64_t t3 = obs::trace_now_ns();
       record_phase_locked(plan, /*write=*/false, /*flush=*/false, timing,
                           t1 - t0, t2 - t1, t3 - t2, t3 - t0);
     }
-    return plan.rounds;
+    state->rounds = plan.rounds;
+    state->ready = true;
+    return BatchFuture(std::move(state));
   }
 
-  // Cached path. Deduplicate first so every distinct block is looked up —
+  // Async path: account NOW (submission order, under the lock — counts stay
+  // byte-identical to the eager path), then enqueue the per-disk transfer
+  // lists and return without waiting. The state owns every byte the workers
+  // touch, so it may outlive this array's engine — and us.
+  account_batch(plan, /*write=*/false, addrs);
+  state->rounds = plan.rounds;
+  state->submitted.assign(addrs.begin(), addrs.end());
+  state->blocks.resize(plan.uniq.size());
+  state->per_disk_reads.resize(geom_.num_disks);
+  for (std::size_t i = 0; i < plan.uniq.size(); ++i)
+    state->per_disk_reads[plan.uniq[i].disk].push_back(
+        {plan.uniq[i], &state->blocks[i]});
+  if (prof) {
+    state->conformance = conformance_;
+    state->sample =
+        make_phase_sample_locked(plan, /*write=*/false, /*flush=*/false);
+  }
+  state->uniq = std::move(plan.uniq);
+  // plan covers everything on the submitting thread before the handoff
+  // (dedup, accounting, state building); exec starts at submit_end_ns.
+  if (prof) state->sample.plan_ns = sat_sub(obs::trace_now_ns(), t0);
+  exec_->submit_reads(*backend_, state->per_disk_reads, state->completion);
+  state->submit_end_ns = obs::trace_now_ns();
+  inflight_.push_back(state);
+  return BatchFuture(std::move(state));
+}
+
+std::uint64_t DiskArray::read_cached_locked(std::span<const BlockAddr> addrs,
+                                            std::vector<Block>& out) {
+  const bool prof = conformance_ != nullptr;
+  // Deduplicate first so every distinct block is looked up —
   // and hence hit/miss-counted — exactly once per batch, which is what makes
   // the reconciliation invariant blocks_read == misses exact.
   std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
@@ -676,7 +777,7 @@ std::uint64_t DiskArray::read_batch(std::span<const BlockAddr> addrs,
   return rounds + flush_victims_locked(victims);
 }
 
-std::uint64_t DiskArray::write_batch(
+BatchFuture DiskArray::submit_write_batch(
     std::span<const std::pair<BlockAddr, Block>> writes) {
   std::vector<BlockAddr> addrs;
   addrs.reserve(writes.size());
@@ -686,13 +787,25 @@ std::uint64_t DiskArray::write_batch(
       throw std::invalid_argument("block size mismatch");
     addrs.push_back(a);
   }
+  auto state = std::make_shared<detail::BatchState>();
+  state->write = true;
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!cache_) {
-    const bool prof = conformance_ != nullptr;
-    std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
-    BatchPlan plan = plan_batch(addrs);
-    // Store each DISTINCT block once; a duplicate address keeps its LAST
-    // block, exactly like the sequential store loop this replaces.
+  prune_inflight_locked();
+  const bool prof = conformance_ != nullptr;
+
+  if (cache_) {
+    state->rounds = write_cached_locked(writes);
+    state->ready = true;
+    return BatchFuture(std::move(state));
+  }
+
+  std::uint64_t t0 = prof ? obs::trace_now_ns() : 0;
+  BatchPlan plan = plan_batch(addrs);
+
+  if (!exec_ || plan.uniq.empty()) {
+    // Serial (or empty) batch, executed eagerly: store each DISTINCT block
+    // once; a duplicate address keeps its LAST block, exactly like the
+    // sequential store loop this replaces.
     std::vector<const Block*> src(plan.uniq.size(), nullptr);
     for (const auto& [a, b] : writes) src[uniq_index(plan.uniq, a)] = &b;
     std::uint64_t t1 = prof ? obs::trace_now_ns() : 0;
@@ -705,17 +818,57 @@ std::uint64_t DiskArray::write_batch(
       record_phase_locked(plan, /*write=*/true, /*flush=*/false, timing,
                           t1 - t0, t2 - t1, t3 - t2, t3 - t0);
     }
-    return plan.rounds;
+    state->rounds = plan.rounds;
+    state->ready = true;
+    return BatchFuture(std::move(state));
   }
 
-  // Cached path: install every write dirty (in submission order, so a
-  // duplicate address keeps the last write) for zero I/Os. The only rounds
-  // charged are the coalesced write-back of whatever this batch evicted.
+  // Async path: account now, copy the winning block per distinct address
+  // into the state (the caller's span dies at submit; the workers need
+  // storage that doesn't), enqueue, return.
+  account_batch(plan, /*write=*/true, addrs);
+  state->rounds = plan.rounds;
+  state->blocks.resize(plan.uniq.size());
+  for (const auto& [a, b] : writes) state->blocks[uniq_index(plan.uniq, a)] = b;
+  state->per_disk_writes.resize(geom_.num_disks);
+  for (std::size_t i = 0; i < plan.uniq.size(); ++i)
+    state->per_disk_writes[plan.uniq[i].disk].push_back(
+        {plan.uniq[i], &state->blocks[i]});
+  if (prof) {
+    state->conformance = conformance_;
+    state->sample =
+        make_phase_sample_locked(plan, /*write=*/true, /*flush=*/false);
+  }
+  state->uniq = std::move(plan.uniq);
+  if (prof) state->sample.plan_ns = sat_sub(obs::trace_now_ns(), t0);
+  exec_->submit_writes(*backend_, state->per_disk_writes, state->completion);
+  state->submit_end_ns = obs::trace_now_ns();
+  inflight_.push_back(state);
+  return BatchFuture(std::move(state));
+}
+
+std::uint64_t DiskArray::write_cached_locked(
+    std::span<const std::pair<BlockAddr, Block>> writes) {
+  // Install every write dirty (in submission order, so a duplicate address
+  // keeps the last write) for zero I/Os. The only rounds charged are the
+  // coalesced write-back of whatever this batch evicted.
   std::vector<std::pair<BlockAddr, Block>> victims;
   for (const auto& [a, b] : writes)
     for (auto& v : cache_->put(a, b, /*dirty=*/true))
       victims.push_back(std::move(v));
   return flush_victims_locked(victims);
+}
+
+void DiskArray::prune_inflight_locked() {
+  std::erase_if(inflight_,
+                [](const std::shared_ptr<detail::BatchState>& s) {
+                  return s->done();
+                });
+}
+
+void DiskArray::drain_inflight_locked() const {
+  for (const auto& s : inflight_) s->wait_done();
+  inflight_.clear();
 }
 
 Block DiskArray::read_block(BlockAddr addr) {
@@ -732,6 +885,9 @@ void DiskArray::write_block(BlockAddr addr, Block block) {
 Block DiskArray::peek(BlockAddr addr) const {
   check_addr(addr);
   std::lock_guard<std::mutex> lock(mutex_);
+  // An async write to this block may still be executing; peek promises the
+  // latest submitted contents.
+  drain_inflight_locked();
   if (cache_) {
     // A dirty frame holds newer contents than the backend; serve it
     // (accounting-free, like the rest of peek).
@@ -746,6 +902,10 @@ void DiskArray::poke(BlockAddr addr, Block block) {
   if (block.size() != geom_.block_bytes())
     throw std::invalid_argument("block size mismatch");
   std::lock_guard<std::mutex> lock(mutex_);
+  // Poke bypasses the engine's per-disk queues: quiesce first so an
+  // in-flight transfer cannot race the direct store (and a still-executing
+  // async write cannot land on top of the poked contents).
+  drain_inflight_locked();
   // Drop any cached frame so a stale dirty copy cannot overwrite the poked
   // contents on a later flush.
   if (cache_) cache_->invalidate(addr);
@@ -756,12 +916,15 @@ void DiskArray::discard_blocks(std::uint32_t first_disk,
                                std::uint32_t num_disks, std::uint64_t base,
                                std::uint64_t count) {
   std::lock_guard<std::mutex> lock(mutex_);
+  drain_inflight_locked();
   if (cache_) cache_->invalidate_range(first_disk, num_disks, base, count);
   backend_->erase_range(first_disk, num_disks, base, count);
 }
 
 std::uint64_t DiskArray::blocks_in_use() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // A just-submitted async write may not have reached the backend yet.
+  drain_inflight_locked();
   return backend_->blocks_in_use();
 }
 
@@ -795,10 +958,6 @@ namespace {
 std::vector<IoProbe*>& probe_stack() {
   thread_local std::vector<IoProbe*> stack;
   return stack;
-}
-
-std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) {
-  return a > b ? a - b : 0;
 }
 }  // namespace
 

@@ -23,10 +23,13 @@
 // (identical for every configuration), while the planned transfers are
 // *executed* either serially on the submitting thread (io_threads == 0, the
 // default) or concurrently by a persistent per-disk worker engine
-// (set_io_threads / pdm::IoExecutor) that joins before accounting — the
-// overlapped transfers the model's "one unit per parallel I/O" charge always
-// assumed. Measured counts are byte-identical either way; only wall time
-// changes.
+// (set_io_threads / pdm::IoExecutor) — the overlapped transfers the model's
+// "one unit per parallel I/O" charge always assumed. Accounting happens at
+// SUBMIT time, in submission order under the scheduling lock, so measured
+// counts are byte-identical for every configuration; execution may finish
+// later: submit_read_batch/submit_write_batch return a BatchFuture joined
+// when the data is needed, letting round k+1 planning overlap round k
+// execution (read_batch/write_batch are thin submit-and-join wrappers).
 #pragma once
 
 #include <cstdint>
@@ -40,6 +43,7 @@
 
 #include "obs/sink.hpp"
 #include "pdm/backend.hpp"
+#include "pdm/batch_future.hpp"
 #include "pdm/block.hpp"
 #include "pdm/buffer_pool.hpp"
 #include "pdm/geometry.hpp"
@@ -283,14 +287,42 @@ class DiskArray {
   /// Read all addressed blocks. Duplicate addresses are served by one
   /// transfer. Returns blocks in request order and the number of rounds used
   /// (with a cache: miss rounds plus any write-back rounds the batch's
-  /// evictions caused; 0 when every distinct block hit).
+  /// evictions caused; 0 when every distinct block hit). A thin wrapper over
+  /// submit_read_batch + join.
   std::uint64_t read_batch(std::span<const BlockAddr> addrs,
                            std::vector<Block>& out);
 
   /// Write all (address, block) pairs. A duplicate address keeps the last
   /// write. Returns the number of rounds used (with a cache: only the
-  /// write-back rounds for dirty blocks the batch evicted; often 0).
+  /// write-back rounds for dirty blocks the batch evicted; often 0). A thin
+  /// wrapper over submit_write_batch + join.
   std::uint64_t write_batch(
+      std::span<const std::pair<BlockAddr, Block>> writes);
+
+  // ---- asynchronous batched I/O (round pipelining) ----
+  //
+  // submit_* plan and ACCOUNT the batch immediately — in submission order,
+  // under the scheduling lock, so every IoStats counter, cache stat,
+  // per-disk counter, trace event and bench baseline is byte-identical to
+  // the synchronous calls above for any io_threads value — then hand the
+  // planned transfers to the worker engine WITHOUT waiting. The returned
+  // future is joined on demand (BatchFuture::get / ::wait), so the caller
+  // plans its next batch while the disks move this one: round k+1 planning
+  // overlaps round k execution, and batches submitted by different
+  // dictionaries sharing the array interleave on one engine (per-disk FIFO
+  // dispatch keeps same-disk transfers in submission order, which is what
+  // makes overlapping batches safe). With a cache, an empty plan or serial
+  // execution (io_threads == 0) the batch resolves synchronously at submit
+  // and the future comes back already done — on those paths an I/O error
+  // surfaces at submit; on the async path it surfaces at the join.
+
+  /// Submit a read batch; get() yields the blocks in request order.
+  BatchFuture submit_read_batch(std::span<const BlockAddr> addrs);
+
+  /// Submit a write batch. The (address, block) pairs are consumed at
+  /// submit (async execution copies the winning block per distinct
+  /// address), so the caller's span may die immediately.
+  BatchFuture submit_write_batch(
       std::span<const std::pair<BlockAddr, Block>> writes);
 
   // ---- single-block convenience (each call = 1 parallel I/O round) ----
@@ -360,6 +392,14 @@ class DiskArray {
                            const std::vector<const Block*>& src,
                            IoExecutor::BatchTiming* timing = nullptr);
 
+  /// Batch shape for one phase sample: direction, rounds, blocks, busy
+  /// disks and the per-worker coalesced-run/block reduction (the cost-model
+  /// prediction inputs). The timing fields are left zero for the caller to
+  /// fill. Caller holds mutex_.
+  obs::RoundPhaseSample make_phase_sample_locked(const BatchPlan& plan,
+                                                 bool write,
+                                                 bool flush) const;
+
   /// Fold one executed batch's phase breakdown into the attached conformance
   /// collector (no-op when `uniq` is empty). exec_ns is the caller-observed
   /// execute-section wall; plan/reconcile/total likewise come from the
@@ -369,6 +409,24 @@ class DiskArray {
                            std::uint64_t plan_ns, std::uint64_t exec_ns,
                            std::uint64_t reconcile_ns,
                            std::uint64_t total_ns);
+
+  /// Cached read/write bodies, shared by the sync wrappers and the submit
+  /// paths (a cached batch always resolves at submit: hit/miss counting and
+  /// victim flushing must happen in submission order). Caller holds mutex_.
+  std::uint64_t read_cached_locked(std::span<const BlockAddr> addrs,
+                                   std::vector<Block>& out);
+  std::uint64_t write_cached_locked(
+      std::span<const std::pair<BlockAddr, Block>> writes);
+
+  /// Drop in-flight batches whose transfers all retired (their futures keep
+  /// the state alive if still unconsumed). Caller holds mutex_.
+  void prune_inflight_locked();
+  /// Quiesce: block until every in-flight batch's transfers retired, without
+  /// joining on the owners' behalf (no error is stolen, no sample recorded —
+  /// the futures remain consumable). Needed wherever the array touches the
+  /// backend outside the engine's per-disk queues (peek/poke/discard/dtor)
+  /// or re-seats the engine (set_io_threads). Caller holds mutex_.
+  void drain_inflight_locked() const;
 
   Geometry geom_;
   Model model_;
@@ -382,6 +440,12 @@ class DiskArray {
   std::vector<std::uint64_t> round_hist_;  // index = slots used, size D+1
   std::unique_ptr<BlockBackend> backend_;
   std::unique_ptr<IoExecutor> exec_;   // null = serial round execution
+  /// Batches submitted async and possibly still executing. Pruned at every
+  /// submit; drained (waited out) before any bypass access to the backend.
+  /// Only ever non-empty while exec_ is live — the serial and cached submit
+  /// paths resolve at submit. mutable: const observers (peek, blocks_in_use)
+  /// must quiesce too.
+  mutable std::vector<std::shared_ptr<detail::BatchState>> inflight_;
   std::unique_ptr<BufferPool> cache_;  // null = cache off (the default)
   std::uint64_t cache_flushed_blocks_ = 0;
   std::uint64_t cache_flush_rounds_ = 0;

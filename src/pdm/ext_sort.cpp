@@ -48,12 +48,24 @@ class RunReader {
   }
 
  private:
+  // Double-buffered: filling block i also submits the read of block i+1 (if
+  // the run extends that far), so in a multi-way merge the next block of
+  // each run streams in while records of the current one are being merged.
+  // Blocks are consumed strictly in order and every block of a run is
+  // eventually read, so when prefetch_ is valid it always holds exactly the
+  // block fill() wants next and the multiset of reads — hence every I/O
+  // count — is identical to the unprefetched reader.
   void fill() {
     assert(!exhausted());
-    if (!buffer_valid_) {
-      buffer_ = view_->read(run_.first_block + consumed_ / rpb_);
-      buffer_valid_ = true;
-    }
+    if (buffer_valid_) return;
+    std::uint64_t cur = run_.first_block + consumed_ / rpb_;
+    if (prefetch_.valid())
+      buffer_ = view_->join_read(std::move(prefetch_));
+    else
+      buffer_ = view_->read(cur);
+    buffer_valid_ = true;
+    std::uint64_t last = run_.first_block + (run_.num_records - 1) / rpb_;
+    if (cur < last) prefetch_ = view_->submit_read(cur + 1);
   }
 
   StripedView* view_;
@@ -63,6 +75,7 @@ class RunReader {
   std::uint64_t consumed_ = 0;
   std::vector<std::byte> buffer_;
   bool buffer_valid_ = false;
+  BatchFuture prefetch_;
 };
 
 /// Buffered block writer appending records to a region.

@@ -56,15 +56,74 @@ void FileBackend::simulate_seek() const {
   ::nanosleep(&ts, nullptr);
 }
 
+ssize_t FileBackend::do_pread(int fd, void* buf, std::size_t count,
+                              off_t offset) {
+  if (fault_.eintr_every != 0 &&
+      (fault_syscalls_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              fault_.eintr_every ==
+          0) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fault_.max_transfer_bytes != 0)
+    count = std::min(count, fault_.max_transfer_bytes);
+  return ::pread(fd, buf, count, offset);
+}
+
+ssize_t FileBackend::do_pwrite(int fd, const void* buf, std::size_t count,
+                               off_t offset) {
+  if (fault_.eintr_every != 0 &&
+      (fault_syscalls_.fetch_add(1, std::memory_order_relaxed) + 1) %
+              fault_.eintr_every ==
+          0) {
+    errno = EINTR;
+    return -1;
+  }
+  if (fault_.zero_writes) return 0;
+  if (fault_.max_transfer_bytes != 0)
+    count = std::min(count, fault_.max_transfer_bytes);
+  return ::pwrite(fd, buf, count, offset);
+}
+
+ssize_t FileBackend::do_preadv(int fd, struct iovec* iov, int iovcnt,
+                               off_t offset) {
+  // Under fault injection, degrade to one (capped / interruptible) pread of
+  // the first segment: a legitimate short result that forces the vectored
+  // continuation loop to iterate.
+  if (faults_active()) return do_pread(fd, iov[0].iov_base, iov[0].iov_len,
+                                       offset);
+  return ::preadv(fd, iov, iovcnt, offset);
+}
+
+ssize_t FileBackend::do_pwritev(int fd, struct iovec* iov, int iovcnt,
+                                off_t offset) {
+  if (faults_active())
+    return do_pwrite(fd, iov[0].iov_base, iov[0].iov_len, offset);
+  return ::pwritev(fd, iov, iovcnt, offset);
+}
+
 Block FileBackend::load(const BlockAddr& addr) {
   simulate_seek();
   Block block(block_bytes_, std::byte{0});
   off_t offset = static_cast<off_t>(addr.block) *
                  static_cast<off_t>(block_bytes_);
-  ssize_t got = ::pread(fds_[addr.disk], block.data(), block_bytes_, offset);
-  if (got < 0) throw_errno("pread");
-  // Short reads (past EOF) leave the zero tail in place — fresh-disk
-  // semantics.
+  // Loop to a full block or true EOF: POSIX lets pread return fewer bytes
+  // than asked for reasons other than end-of-file (signals, pipe-ish
+  // filesystems, RLIMIT_FSIZE). The old single-shot call treated ANY short
+  // read as EOF and silently served a corrupt zero tail for the mid-file
+  // case; only got == 0 actually means "past EOF" (fresh-disk zeros).
+  std::size_t done = 0;
+  while (done < block_bytes_) {
+    ssize_t got = do_pread(fds_[addr.disk], block.data() + done,
+                           block_bytes_ - done,
+                           offset + static_cast<off_t>(done));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pread");
+    }
+    if (got == 0) break;  // EOF: the remaining zero tail is fresh-disk zeros
+    done += static_cast<std::size_t>(got);
+  }
   return block;
 }
 
@@ -72,9 +131,19 @@ void FileBackend::store(const BlockAddr& addr, const Block& block) {
   simulate_seek();
   off_t offset = static_cast<off_t>(addr.block) *
                  static_cast<off_t>(block_bytes_);
-  ssize_t put = ::pwrite(fds_[addr.disk], block.data(), block.size(), offset);
-  if (put < 0 || static_cast<std::size_t>(put) != block.size())
-    throw_errno("pwrite");
+  std::size_t done = 0;
+  while (done < block.size()) {
+    ssize_t put = do_pwrite(fds_[addr.disk], block.data() + done,
+                            block.size() - done,
+                            offset + static_cast<off_t>(done));
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("pwrite");
+    }
+    if (put == 0)
+      throw ShortWriteError("pwrite accepted 0 bytes (device full or quota?)");
+    done += static_cast<std::size_t>(put);
+  }
 }
 
 void FileBackend::load_batch(std::span<BlockRead> reads) {
@@ -104,10 +173,13 @@ void FileBackend::load_batch(std::span<BlockRead> reads) {
     const std::size_t total = (j - i) * block_bytes_;
     std::size_t iov_at = 0;
     while (done < total) {
-      ssize_t got = ::preadv(fd, iov.data() + iov_at,
-                             static_cast<int>(iov.size() - iov_at),
-                             offset + static_cast<off_t>(done));
-      if (got < 0) throw_errno("preadv");
+      ssize_t got = do_preadv(fd, iov.data() + iov_at,
+                              static_cast<int>(iov.size() - iov_at),
+                              offset + static_cast<off_t>(done));
+      if (got < 0) {
+        if (errno == EINTR) continue;  // interrupted, nothing transferred
+        throw_errno("preadv");
+      }
       if (got == 0) break;  // EOF: the pre-zeroed tail is fresh-disk zeros
       done += static_cast<std::size_t>(got);
       // Advance past fully transferred segments; resize a partial one so the
@@ -150,10 +222,18 @@ void FileBackend::store_batch(std::span<BlockWrite> writes) {
     const std::size_t total = (j - i) * block_bytes_;
     std::size_t iov_at = 0;
     while (done < total) {
-      ssize_t put = ::pwritev(fd, iov.data() + iov_at,
-                              static_cast<int>(iov.size() - iov_at),
-                              offset + static_cast<off_t>(done));
-      if (put <= 0) throw_errno("pwritev");
+      ssize_t put = do_pwritev(fd, iov.data() + iov_at,
+                               static_cast<int>(iov.size() - iov_at),
+                               offset + static_cast<off_t>(done));
+      if (put < 0) {
+        if (errno == EINTR) continue;  // interrupted, nothing transferred
+        throw_errno("pwritev");
+      }
+      // put == 0 is not an errno failure — the old `throw_errno("pwritev")`
+      // here reported stale errno from some earlier syscall.
+      if (put == 0)
+        throw ShortWriteError(
+            "pwritev accepted 0 bytes (device full or quota?)");
       done += static_cast<std::size_t>(put);
       while (iov_at < iov.size() && iov[iov_at].iov_len <= static_cast<std::size_t>(put)) {
         put -= static_cast<ssize_t>(iov[iov_at].iov_len);

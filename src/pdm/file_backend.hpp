@@ -20,13 +20,29 @@
 // deterministically on any host). Default 0 = today's raw behavior.
 #pragma once
 
+#include <sys/types.h>  // off_t / ssize_t for the syscall wrappers
+
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pdm/backend.hpp"
 
+struct iovec;  // <sys/uio.h>; only pointers appear in this header
+
 namespace pddict::pdm {
+
+/// A positioned write consumed zero bytes without reporting an error. POSIX
+/// allows this (and short writes generally); retrying would spin forever, and
+/// the old `throw_errno("pwritev")` here reported whatever *stale* errno the
+/// last unrelated syscall left behind. Distinct type so callers can tell
+/// "the kernel stopped accepting bytes" from a real errno failure.
+class ShortWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class FileBackend final : public BlockBackend {
  public:
@@ -54,13 +70,41 @@ class FileBackend final : public BlockBackend {
   /// FALLOC_FL_PUNCH_HOLE is available (regression tests cover both paths).
   void set_punch_hole_for_testing(bool enabled) { punch_hole_ = enabled; }
 
+  /// Syscall fault injection for the short-read/EINTR retry loops. With any
+  /// field active the vectored calls degrade to single positioned reads/
+  /// writes of their first segment, producing *legitimate* short transfers
+  /// that force the continuation loops to iterate.
+  struct FaultInjection {
+    /// Cap every pread/pwrite at this many bytes (0 = unlimited).
+    std::size_t max_transfer_bytes = 0;
+    /// Every Nth injected syscall fails with errno == EINTR (0 = off).
+    std::uint32_t eintr_every = 0;
+    /// pwrite paths report 0 bytes written (exercises ShortWriteError).
+    bool zero_writes = false;
+  };
+  void set_fault_injection_for_testing(const FaultInjection& f) {
+    fault_ = f;
+    fault_syscalls_.store(0);
+  }
+
  private:
   void simulate_seek() const;
+  bool faults_active() const {
+    return fault_.max_transfer_bytes != 0 || fault_.eintr_every != 0 ||
+           fault_.zero_writes;
+  }
+  /// Syscall wrappers the retry loops call; fault injection hooks in here.
+  ssize_t do_pread(int fd, void* buf, std::size_t count, off_t offset);
+  ssize_t do_pwrite(int fd, const void* buf, std::size_t count, off_t offset);
+  ssize_t do_preadv(int fd, struct iovec* iov, int iovcnt, off_t offset);
+  ssize_t do_pwritev(int fd, struct iovec* iov, int iovcnt, off_t offset);
 
   std::size_t block_bytes_;
   std::uint32_t seek_latency_us_;
   bool punch_hole_ = true;
   std::vector<int> fds_;
+  FaultInjection fault_;
+  std::atomic<std::uint64_t> fault_syscalls_{0};
 };
 
 }  // namespace pddict::pdm

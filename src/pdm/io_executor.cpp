@@ -114,49 +114,71 @@ void IoExecutor::worker_loop(std::size_t index) {
     std::uint64_t dequeued = now_ns();
     if (dequeued > job.submit_ns) {
       std::uint64_t waited = dequeued - job.submit_ns;
-      job.barrier->queue_ns.fetch_add(waited, std::memory_order_relaxed);
+      job.completion->queue_ns.fetch_add(waited, std::memory_order_relaxed);
       queue_wait_ns_.fetch_add(waited, std::memory_order_relaxed);
     }
     std::exception_ptr error;
     try {
       std::uint64_t busy = run_job(job, &me);
-      job.barrier->transfer_ns.fetch_add(busy, std::memory_order_relaxed);
+      job.completion->transfer_ns.fetch_add(busy, std::memory_order_relaxed);
     } catch (...) {
       me.busy_since_ns.store(0, std::memory_order_release);
       error = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(job.barrier->mutex);
-      if (error && !job.barrier->error) job.barrier->error = error;
-      if (--job.barrier->pending == 0) job.barrier->done.notify_all();
+      std::lock_guard<std::mutex> lock(job.completion->mutex);
+      if (error) {
+        if (!job.completion->error) {
+          job.completion->error = error;
+        } else {
+          // A batch propagates only its first exception; every further one
+          // is counted (here and engine-wide) so nothing is lost silently.
+          ++job.completion->suppressed_errors;
+          suppressed_errors_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      if (--job.completion->pending == 0) {
+        job.completion->finish_ns = now_ns();
+        wall_ns_.fetch_add(job.completion->finish_ns - job.completion->submit_ns,
+                           std::memory_order_relaxed);
+        inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+        job.completion->done.notify_all();
+      }
     }
   }
 }
 
-void IoExecutor::submit_and_wait(std::vector<Job>& jobs, BatchTiming* timing) {
-  if (jobs.empty()) return;
+void IoExecutor::submit_jobs(std::vector<Job>& jobs, Completion& completion) {
+  completion.submit_ns = now_ns();
+  if (jobs.empty()) {
+    completion.finish_ns = completion.submit_ns;
+    return;
+  }
   batches_.fetch_add(1, std::memory_order_relaxed);
   jobs_.fetch_add(jobs.size(), std::memory_order_relaxed);
-  std::uint64_t start = now_ns();
 
   if (workers_.empty()) {
-    // Serial path: the calling thread executes disk by disk, in disk order.
-    // Nothing queues and nothing joins, so the transfer phase is the wall.
-    std::uint64_t transfer = 0;
-    for (const Job& job : jobs) transfer += run_job(job, nullptr);
-    std::uint64_t wall = now_ns() - start;
-    wall_ns_.fetch_add(wall, std::memory_order_relaxed);
-    if (timing) {
-      timing->transfer_ns = transfer;
-      timing->wall_ns = wall;
+    // Serial path: the calling thread executes disk by disk, in disk order,
+    // and the completion comes back resolved. Nothing queues and nothing
+    // joins, so the transfer phase is the wall. An exception aborts the
+    // remaining disks, exactly like the pre-engine serial loop.
+    try {
+      std::uint64_t transfer = 0;
+      for (const Job& job : jobs) transfer += run_job(job, nullptr);
+      completion.transfer_ns.fetch_add(transfer, std::memory_order_relaxed);
+    } catch (...) {
+      completion.error = std::current_exception();
     }
+    completion.finish_ns = now_ns();
+    wall_ns_.fetch_add(completion.finish_ns - completion.submit_ns,
+                       std::memory_order_relaxed);
     return;
   }
 
-  Barrier barrier;
-  barrier.pending = jobs.size();
+  inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+  completion.pending = jobs.size();
   for (Job& job : jobs) {
-    job.barrier = &barrier;
+    job.completion = &completion;
     Worker& w = *workers_[job.disk % workers_.size()];
     std::size_t depth;
     {
@@ -168,26 +190,30 @@ void IoExecutor::submit_and_wait(std::vector<Job>& jobs, BatchTiming* timing) {
     w.wake.notify_one();
     bump_max(max_queue_depth_, depth);
   }
-  std::uint64_t join_start = now_ns();
-  {
-    std::unique_lock<std::mutex> lock(barrier.mutex);
-    barrier.done.wait(lock, [&] { return barrier.pending == 0; });
-  }
-  std::uint64_t joined = now_ns();
-  join_wait_ns_.fetch_add(joined - join_start, std::memory_order_relaxed);
-  wall_ns_.fetch_add(joined - start, std::memory_order_relaxed);
-  if (timing) {
-    timing->queue_ns = barrier.queue_ns.load(std::memory_order_relaxed);
-    timing->transfer_ns = barrier.transfer_ns.load(std::memory_order_relaxed);
-    timing->join_ns = joined - join_start;
-    timing->wall_ns = joined - start;
-  }
-  if (barrier.error) std::rethrow_exception(barrier.error);
 }
 
-void IoExecutor::execute_reads(BlockBackend& backend,
-                               std::vector<std::vector<BlockRead>>& per_disk,
-                               BatchTiming* timing) {
+void IoExecutor::wait(Completion& completion, BatchTiming* timing) {
+  std::uint64_t join_start = now_ns();
+  {
+    std::unique_lock<std::mutex> lock(completion.mutex);
+    completion.done.wait(lock, [&] { return completion.pending == 0; });
+  }
+  std::uint64_t joined = now_ns();
+  std::uint64_t join_waited = workers_.empty() ? 0 : joined - join_start;
+  if (join_waited)
+    join_wait_ns_.fetch_add(join_waited, std::memory_order_relaxed);
+  if (timing) {
+    timing->queue_ns = completion.queue_ns.load(std::memory_order_relaxed);
+    timing->transfer_ns =
+        completion.transfer_ns.load(std::memory_order_relaxed);
+    timing->join_ns = join_waited;
+    timing->wall_ns = joined - completion.submit_ns;
+  }
+}
+
+void IoExecutor::submit_reads(BlockBackend& backend,
+                              std::vector<std::vector<BlockRead>>& per_disk,
+                              Completion& completion) {
   std::vector<Job> jobs;
   for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
     if (per_disk[d].empty()) continue;
@@ -197,12 +223,12 @@ void IoExecutor::execute_reads(BlockBackend& backend,
     job.disk = d;
     jobs.push_back(job);
   }
-  submit_and_wait(jobs, timing);
+  submit_jobs(jobs, completion);
 }
 
-void IoExecutor::execute_writes(
-    BlockBackend& backend, std::vector<std::vector<BlockWrite>>& per_disk,
-    BatchTiming* timing) {
+void IoExecutor::submit_writes(BlockBackend& backend,
+                               std::vector<std::vector<BlockWrite>>& per_disk,
+                               Completion& completion) {
   std::vector<Job> jobs;
   for (std::uint32_t d = 0; d < per_disk.size(); ++d) {
     if (per_disk[d].empty()) continue;
@@ -212,7 +238,25 @@ void IoExecutor::execute_writes(
     job.disk = d;
     jobs.push_back(job);
   }
-  submit_and_wait(jobs, timing);
+  submit_jobs(jobs, completion);
+}
+
+void IoExecutor::execute_reads(BlockBackend& backend,
+                               std::vector<std::vector<BlockRead>>& per_disk,
+                               BatchTiming* timing) {
+  Completion completion;
+  submit_reads(backend, per_disk, completion);
+  wait(completion, timing);
+  if (completion.error) std::rethrow_exception(completion.error);
+}
+
+void IoExecutor::execute_writes(
+    BlockBackend& backend, std::vector<std::vector<BlockWrite>>& per_disk,
+    BatchTiming* timing) {
+  Completion completion;
+  submit_writes(backend, per_disk, completion);
+  wait(completion, timing);
+  if (completion.error) std::rethrow_exception(completion.error);
 }
 
 IoExecutor::Stats IoExecutor::stats() const {
@@ -226,6 +270,8 @@ IoExecutor::Stats IoExecutor::stats() const {
   std::uint64_t now = now_ns();
   s.lifetime_ns = now > epoch ? now - epoch : 0;
   s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  s.inflight_batches = inflight_batches_.load(std::memory_order_relaxed);
+  s.suppressed_errors = suppressed_errors_.load(std::memory_order_relaxed);
   s.disk_busy_ns.reserve(disk_busy_ns_.size());
   s.disk_jobs.reserve(disk_jobs_.size());
   for (const auto& v : disk_busy_ns_)
@@ -273,6 +319,9 @@ void IoExecutor::reset_stats() {
   join_wait_ns_.store(0, std::memory_order_relaxed);
   start_ns_.store(now_ns(), std::memory_order_relaxed);
   max_queue_depth_.store(0, std::memory_order_relaxed);
+  // inflight_batches_ is a live gauge, not a counter: resetting it while
+  // batches are outstanding would corrupt the decrement at retire.
+  suppressed_errors_.store(0, std::memory_order_relaxed);
   for (auto& v : disk_busy_ns_) v.store(0, std::memory_order_relaxed);
   for (auto& v : disk_jobs_) v.store(0, std::memory_order_relaxed);
 }

@@ -18,11 +18,17 @@
 // caller executes inline (the bit-for-bit serial path); `kAutoIoThreads`
 // resolves to min(D, hardware_concurrency).
 //
-// Every execute call is a barrier: it returns only when all submitted
-// transfers completed, rethrowing the first worker exception. Timing counters
-// (per-disk busy ns, submit-to-join wall ns, queue depths) are exported by
-// DiskArray under "pdm.exec.*" — they are observability only and never feed
-// the round accounting.
+// Submission and completion are split: submit_reads/submit_writes enqueue a
+// planned batch against a caller-owned Completion and return immediately, so
+// several batches can be in flight on one engine at once (DiskArray's
+// BatchFuture pipelining); wait() joins one Completion. execute_reads/
+// execute_writes remain the one-call barrier form (submit + wait + rethrow of
+// the first worker exception). Because each disk's jobs land on one worker's
+// FIFO queue, transfers against the same disk always run in submission
+// order — that is what makes overlapping batches safe without extra locks.
+// Timing counters (per-disk busy ns, submit-to-finish wall ns, queue depths,
+// in-flight batches) are exported by DiskArray under "pdm.exec.*" — they are
+// observability only and never feed the round accounting.
 #pragma once
 
 #include <atomic>
@@ -81,10 +87,46 @@ class IoExecutor {
     std::uint64_t wall_ns = 0;      // caller submit-to-join wall time
   };
 
-  /// Execute one planned round batch: `per_disk[d]` holds disk d's transfer
-  /// list (distinct addresses). Blocks until every transfer completed;
-  /// rethrows the first worker exception. With zero workers the lists run
-  /// inline on the calling thread, in disk order — the serial path.
+  /// Join-point of one submitted batch, owned by the caller (heap-allocate it
+  /// — e.g. inside a shared BatchState — when the batch outlives the
+  /// submitting frame). The phase accumulators are written by the workers as
+  /// jobs retire and may be read after the join; `error` holds the FIRST
+  /// worker exception, with every further one counted in
+  /// `suppressed_errors` (and in Stats) rather than silently dropped.
+  /// A Completion is single-use: submit it once, wait on it any number of
+  /// times (waiting when `pending == 0` returns immediately).
+  struct Completion {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending = 0;         // jobs not yet retired, under mutex
+    std::exception_ptr error;        // first worker exception, under mutex
+    std::uint64_t suppressed_errors = 0;  // further exceptions, under mutex
+    std::uint64_t submit_ns = 0;     // set at submit
+    std::uint64_t finish_ns = 0;     // set when the last job retires
+    std::atomic<std::uint64_t> queue_ns{0};
+    std::atomic<std::uint64_t> transfer_ns{0};
+  };
+
+  /// Enqueue one planned round batch without waiting: `per_disk[d]` holds
+  /// disk d's transfer list (distinct addresses), and both `per_disk` and the
+  /// blocks it points to must stay alive until `completion` reports done.
+  /// With zero workers the lists run inline on the calling thread, in disk
+  /// order, and the completion comes back already resolved.
+  void submit_reads(BlockBackend& backend,
+                    std::vector<std::vector<BlockRead>>& per_disk,
+                    Completion& completion);
+  void submit_writes(BlockBackend& backend,
+                     std::vector<std::vector<BlockWrite>>& per_disk,
+                     Completion& completion);
+
+  /// Block until every job of `completion` retired. Does NOT rethrow — the
+  /// caller inspects `completion.error` (DiskArray's drain path must be able
+  /// to quiesce without stealing an error that belongs to a BatchFuture).
+  /// `timing`, when non-null, receives the batch's phase attribution.
+  void wait(Completion& completion, BatchTiming* timing = nullptr);
+
+  /// Execute one planned round batch as a barrier: submit, wait, rethrow the
+  /// first worker exception. The historical one-call form.
   /// `timing`, when non-null, receives this call's phase attribution.
   void execute_reads(BlockBackend& backend,
                      std::vector<std::vector<BlockRead>>& per_disk,
@@ -95,13 +137,20 @@ class IoExecutor {
 
   /// Execution-side observability (never feeds round accounting).
   struct Stats {
-    std::uint64_t batches = 0;          // execute_* calls that moved blocks
+    std::uint64_t batches = 0;          // submitted batches that moved blocks
     std::uint64_t jobs = 0;             // per-disk transfer lists dispatched
-    std::uint64_t wall_ns = 0;          // total submit-to-join wall time
+    std::uint64_t wall_ns = 0;          // total submit-to-finish wall time
     std::uint64_t queue_wait_ns = 0;    // total submit-to-dequeue time
     std::uint64_t join_wait_ns = 0;     // total caller barrier-wait time
     std::uint64_t lifetime_ns = 0;      // time since construction/reset
     std::uint64_t max_queue_depth = 0;  // deepest per-worker queue observed
+    /// Batches submitted but not yet fully retired — a point-in-time gauge
+    /// of the pipelining depth (0 whenever the engine is quiesced; not
+    /// zeroed by reset_stats).
+    std::uint64_t inflight_batches = 0;
+    /// Worker exceptions dropped because their batch already carried one
+    /// (only the first propagates through Completion::error / execute_*).
+    std::uint64_t suppressed_errors = 0;
     std::vector<std::uint64_t> disk_busy_ns;  // per-disk time in backend calls
     std::vector<std::uint64_t> disk_jobs;     // per-disk lists executed
     /// Per-worker busy time (disk_busy_ns folded by the disk % threads
@@ -131,29 +180,16 @@ class IoExecutor {
   void set_job_delay_for_testing(std::uint64_t delay_ns);
 
  private:
-  struct Barrier;
-
   /// One per-disk transfer list queued to a worker. Exactly one of
   /// reads/writes is non-null; the pointed-to vector lives in the caller's
-  /// per_disk argument, which outlives the barrier.
+  /// per_disk argument, which outlives the completion.
   struct Job {
     BlockBackend* backend = nullptr;
     std::vector<BlockRead>* reads = nullptr;
     std::vector<BlockWrite>* writes = nullptr;
     std::uint32_t disk = 0;
     std::uint64_t submit_ns = 0;  // enqueue timestamp (queue-wait phase)
-    Barrier* barrier = nullptr;
-  };
-
-  /// Join-point of one execute call. The phase accumulators are written by
-  /// the workers as jobs retire and read by the submitter after the join.
-  struct Barrier {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t pending = 0;
-    std::exception_ptr error;  // first worker exception, under mutex
-    std::atomic<std::uint64_t> queue_ns{0};
-    std::atomic<std::uint64_t> transfer_ns{0};
+    Completion* completion = nullptr;
   };
 
   struct Worker {
@@ -171,8 +207,9 @@ class IoExecutor {
   void worker_loop(std::size_t index);
   /// Returns the backend-call duration in ns (the transfer phase).
   std::uint64_t run_job(const Job& job, Worker* self);
-  /// Dispatch `jobs` across the workers and wait for all of them.
-  void submit_and_wait(std::vector<Job>& jobs, BatchTiming* timing);
+  /// Dispatch `jobs` across the workers against `completion` and return
+  /// without waiting (inline, resolved, when there are no workers).
+  void submit_jobs(std::vector<Job>& jobs, Completion& completion);
 
   std::uint32_t num_disks_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -186,6 +223,8 @@ class IoExecutor {
   std::atomic<std::uint64_t> join_wait_ns_{0};
   std::atomic<std::uint64_t> start_ns_{0};  // lifetime epoch for idle calc
   std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> inflight_batches_{0};
+  std::atomic<std::uint64_t> suppressed_errors_{0};
   std::vector<std::atomic<std::uint64_t>> disk_busy_ns_;
   std::vector<std::atomic<std::uint64_t>> disk_jobs_;
 };

@@ -17,14 +17,23 @@ void StripedView::check(std::uint64_t j, std::size_t bytes_needed) const {
 }
 
 std::vector<std::byte> StripedView::read(std::uint64_t j) {
+  return join_read(submit_read(j));
+}
+
+BatchFuture StripedView::submit_read(std::uint64_t j) {
   check(j, 0);
   const Geometry& g = disks_->geometry();
   std::vector<BlockAddr> addrs;
   addrs.reserve(g.num_disks);
   for (std::uint32_t d = 0; d < g.num_disks; ++d)
     addrs.push_back({d, base_ + j});
+  return disks_->submit_read_batch(addrs);
+}
+
+std::vector<std::byte> StripedView::join_read(BatchFuture future) {
   std::vector<Block> blocks;
-  disks_->read_batch(addrs, blocks);
+  future.get(blocks);
+  const Geometry& g = disks_->geometry();
   std::vector<std::byte> out(logical_block_bytes());
   for (std::uint32_t d = 0; d < g.num_disks; ++d)
     std::memcpy(out.data() + static_cast<std::size_t>(d) * g.block_bytes(),

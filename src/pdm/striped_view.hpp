@@ -32,6 +32,15 @@ class StripedView {
   /// Read logical block j. Exactly one parallel I/O.
   std::vector<std::byte> read(std::uint64_t j);
 
+  /// Begin reading logical block j without waiting for the data: the
+  /// parallel I/O is submitted (and accounted) immediately; pass the future
+  /// to join_read() when the bytes are needed. Same I/O counts as read().
+  BatchFuture submit_read(std::uint64_t j);
+
+  /// Join a submit_read() future and assemble the logical block from the
+  /// per-disk physical blocks.
+  std::vector<std::byte> join_read(BatchFuture future);
+
   /// Write logical block j (must be logical_block_bytes() long). One I/O.
   void write(std::uint64_t j, std::span<const std::byte> bytes);
 

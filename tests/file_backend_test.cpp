@@ -125,6 +125,83 @@ TEST_F(FileBackendTest, BatchedTransfersMatchPerBlockCalls) {
         << r.addr.disk << ":" << r.addr.block;
 }
 
+TEST_F(FileBackendTest, MidFileShortReadsRetriedToFullBlock) {
+  // Regression for the short-read-as-EOF bug: any pread returning fewer
+  // bytes than asked used to be treated as end-of-file, silently serving a
+  // zero tail for the rest of the block. Capping transfers at 17 bytes (not
+  // a divisor of the 128-byte block) forces every load through the retry
+  // loop's partial-progress branch.
+  Geometry geom{2, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  auto patterned = [&](int tag) {
+    Block b(geom.block_bytes());
+    for (std::size_t i = 0; i < b.size(); ++i)
+      b[i] = static_cast<std::byte>((tag * 37 + i * 11 + 1) & 0xff);
+    return b;
+  };
+  Block b0 = patterned(0), b1 = patterned(1), b2 = patterned(2);
+  backend.store({0, 0}, b0);
+  backend.store({0, 1}, b1);
+  backend.store({1, 4}, b2);
+
+  FileBackend::FaultInjection f;
+  f.max_transfer_bytes = 17;
+  backend.set_fault_injection_for_testing(f);
+  EXPECT_EQ(backend.load({0, 0}), b0);
+  EXPECT_EQ(backend.load({0, 1}), b1);
+  // Batched path: the vectored call degrades to capped single reads, so the
+  // continuation loop must walk the iovec in sub-block steps.
+  std::vector<Block> out(3);
+  std::vector<BlockRead> reads{
+      {{0, 0}, &out[0]}, {{0, 1}, &out[1]}, {{1, 4}, &out[2]}};
+  backend.load_batch(reads);
+  EXPECT_EQ(out[0], b0);
+  EXPECT_EQ(out[1], b1);
+  EXPECT_EQ(out[2], b2);
+  // True EOF (got == 0) still means fresh-disk zeros, not an error.
+  EXPECT_EQ(backend.load({1, 9}), Block(geom.block_bytes(), std::byte{0}));
+}
+
+TEST_F(FileBackendTest, EintrIsRetriedOnEveryPath) {
+  Geometry geom{2, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  FileBackend::FaultInjection f;
+  f.eintr_every = 2;  // every other syscall is interrupted
+  f.max_transfer_bytes = 32;  // and successful ones make partial progress
+  backend.set_fault_injection_for_testing(f);
+
+  Block b(geom.block_bytes(), std::byte{0xc3});
+  backend.store({0, 2}, b);
+  EXPECT_EQ(backend.load({0, 2}), b);
+  std::vector<Block> out(2);
+  Block b2(geom.block_bytes(), std::byte{0x3c});
+  std::vector<BlockWrite> writes{{{1, 0}, &b}, {{1, 1}, &b2}};
+  backend.store_batch(writes);
+  std::vector<BlockRead> reads{{{1, 0}, &out[0]}, {{1, 1}, &out[1]}};
+  backend.load_batch(reads);
+  EXPECT_EQ(out[0], b);
+  EXPECT_EQ(out[1], b2);
+}
+
+TEST_F(FileBackendTest, ZeroByteWriteRaisesShortWriteError) {
+  // A write that consumes 0 bytes has no errno to report; retrying would
+  // spin forever. The old code here threw a std::system_error built from
+  // whatever *stale* errno was lying around — now it is a dedicated type.
+  Geometry geom{2, 16, 8, 0};
+  FileBackend backend(geom, dir_.string());
+  FileBackend::FaultInjection f;
+  f.zero_writes = true;
+  backend.set_fault_injection_for_testing(f);
+  Block b(geom.block_bytes(), std::byte{0x11});
+  EXPECT_THROW(backend.store({0, 0}, b), ShortWriteError);
+  std::vector<BlockWrite> writes{{{0, 0}, &b}};
+  EXPECT_THROW(backend.store_batch(writes), ShortWriteError);
+  // Reads are unaffected and the backend stays usable once faults clear.
+  backend.set_fault_injection_for_testing({});
+  backend.store({0, 0}, b);
+  EXPECT_EQ(backend.load({0, 0}), b);
+}
+
 TEST_F(FileBackendTest, SimulatedSeekLatencyCostsWallTime) {
   Geometry geom{1, 16, 8, 0};
   FileBackend backend(geom, dir_.string(), /*seek_latency_us=*/2000);

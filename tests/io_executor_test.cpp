@@ -39,8 +39,24 @@ Block pattern_block(std::uint64_t tag) {
 /// duplicate addresses, full stripes, skewed per-disk loads and re-reads of
 /// dirty blocks. Returns every read result concatenated, so callers can
 /// compare contents — not just counters — across configurations.
-std::vector<Block> run_workload(DiskArray& disks) {
+///
+/// With `async` set, batches go through submit_read_batch/submit_write_batch
+/// and each step's futures are joined only after the NEXT step's batches are
+/// in flight — up to four batches outstanding — exercising cross-batch
+/// pipelining. Submission order (and therefore every accounted count) is
+/// identical to the synchronous schedule; the per-disk FIFO keeps the
+/// read-after-write contents identical too.
+std::vector<Block> run_workload(DiskArray& disks, bool async = false) {
   std::vector<Block> all_reads;
+  BatchFuture pending_write, pending_read;
+  auto join_pending = [&] {
+    if (pending_read.valid()) {
+      std::vector<Block> out;
+      pending_read.get(out);
+      for (Block& b : out) all_reads.push_back(std::move(b));
+    }
+    if (pending_write.valid()) pending_write.wait();
+  };
   std::uint64_t lcg = 12345;
   auto next = [&lcg](std::uint64_t mod) {
     lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
@@ -57,17 +73,27 @@ std::vector<Block> run_workload(DiskArray& disks) {
     if (writes.size() > 1) writes.push_back(writes.front());
     if (!writes.empty())
       writes.back().second = pattern_block(step * 1000 + 999);
-    disks.write_batch(writes);
 
     std::vector<BlockAddr> reads;
     std::size_t n_reads = 1 + next(3 * kDisks);
     for (std::size_t i = 0; i < n_reads; ++i)
       reads.push_back({static_cast<std::uint32_t>(next(kDisks)), next(24)});
     reads.push_back(reads.front());  // duplicate read
-    std::vector<Block> out;
-    disks.read_batch(reads, out);
-    for (Block& b : out) all_reads.push_back(std::move(b));
+
+    if (async) {
+      BatchFuture wf = disks.submit_write_batch(writes);
+      BatchFuture rf = disks.submit_read_batch(reads);
+      join_pending();  // previous step joins only after this step is queued
+      pending_write = std::move(wf);
+      pending_read = std::move(rf);
+    } else {
+      disks.write_batch(writes);
+      std::vector<Block> out;
+      disks.read_batch(reads, out);
+      for (Block& b : out) all_reads.push_back(std::move(b));
+    }
   }
+  join_pending();
   return all_reads;
 }
 
@@ -93,12 +119,12 @@ bool same_counters(const std::vector<DiskCounters>& x,
 }
 
 Snapshot run_config(std::unique_ptr<BlockBackend> backend, std::size_t threads,
-                    std::size_t cache_frames) {
+                    std::size_t cache_frames, bool async = false) {
   DiskArray disks(kGeom, Model::kParallelDisks, std::move(backend));
   disks.set_io_threads(threads);
   if (cache_frames) disks.enable_cache(cache_frames);
   Snapshot s;
-  s.read_contents = run_workload(disks);
+  s.read_contents = run_workload(disks, async);
   if (cache_frames) disks.flush_cache();
   s.io = disks.stats_snapshot();
   s.per_disk = disks.disk_counters();
@@ -148,25 +174,32 @@ class IoExecutorDeterminism : public ::testing::Test {
 };
 
 TEST_F(IoExecutorDeterminism, CountersAndContentsIdenticalAcrossThreadCounts) {
+  // The full matrix: {sync, async} × io_threads × {memory, file} ×
+  // {uncached, cached}. One baseline per (backend, frames) cell — the
+  // serial synchronous run — against which every other combination must be
+  // byte-identical, including the pipelined submit/join schedule.
   for (bool file : {false, true}) {
     for (std::size_t frames : {std::size_t{0}, std::size_t{12}}) {
       Snapshot base;
       bool first = true;
-      for (std::size_t threads : {std::size_t{0}, std::size_t{1},
-                                  std::size_t{4}, std::size_t{kDisks}}) {
-        std::string label = std::string(file ? "file" : "memory") +
-                            " frames=" + std::to_string(frames) +
-                            " threads=" + std::to_string(threads);
-        Snapshot got = run_config(
-            make_backend(file, "t" + std::to_string(threads) + "_f" +
-                                   std::to_string(frames)),
-            threads, frames);
-        if (first) {
-          base = std::move(got);
-          first = false;
-          continue;
+      for (bool async : {false, true}) {
+        for (std::size_t threads : {std::size_t{0}, std::size_t{1},
+                                    std::size_t{4}, std::size_t{kDisks}}) {
+          std::string label = std::string(file ? "file" : "memory") +
+                              " frames=" + std::to_string(frames) +
+                              " threads=" + std::to_string(threads) +
+                              (async ? " async" : " sync");
+          Snapshot got = run_config(
+              make_backend(file, (async ? "a" : "s") + std::to_string(threads) +
+                                     "_f" + std::to_string(frames)),
+              threads, frames, async);
+          if (first) {
+            base = std::move(got);
+            first = false;
+            continue;
+          }
+          expect_identical(base, got, label);
         }
-        expect_identical(base, got, label);
       }
     }
   }
@@ -260,9 +293,14 @@ TEST(IoExecutorDedup, UncachedWriteBatchStoresLastDuplicateOnce) {
 
 class ThrowingBackend final : public BlockBackend {
  public:
-  explicit ThrowingBackend(const Geometry& geom) : inner_(geom) {}
+  explicit ThrowingBackend(const Geometry& geom,
+                           std::vector<std::uint32_t> bad_disks = {3})
+      : inner_(geom), bad_disks_(std::move(bad_disks)) {}
   Block load(const BlockAddr& addr) override {
-    if (addr.disk == 3) throw std::runtime_error("disk 3 is on fire");
+    for (std::uint32_t bad : bad_disks_)
+      if (addr.disk == bad)
+        throw std::runtime_error("disk " + std::to_string(bad) +
+                                 " is on fire");
     return inner_.load(addr);
   }
   void store(const BlockAddr& addr, const Block& block) override {
@@ -278,6 +316,7 @@ class ThrowingBackend final : public BlockBackend {
 
  private:
   MemoryBackend inner_;
+  std::vector<std::uint32_t> bad_disks_;
 };
 
 TEST(IoExecutorErrors, WorkerExceptionPropagatesToSubmitter) {
@@ -293,6 +332,30 @@ TEST(IoExecutorErrors, WorkerExceptionPropagatesToSubmitter) {
     std::vector<BlockAddr> ok{{0, 1}, {1, 1}};
     EXPECT_EQ(disks.read_batch(ok, out), 1u);
   }
+}
+
+TEST(IoExecutorErrors, TwoWorkersThrowingInOneBatchLosesNoException) {
+  // Disks 3 and 5 both throw; with 4 workers they belong to different
+  // workers (3 % 4 and 5 % 4), so two exceptions race for the completion.
+  // The first one wins and propagates; the second must be *counted* as
+  // suppressed, never silently dropped.
+  DiskArray disks(kGeom, Model::kParallelDisks,
+                  std::make_unique<ThrowingBackend>(
+                      kGeom, std::vector<std::uint32_t>{3, 5}));
+  disks.set_io_threads(4);
+  std::vector<BlockAddr> addrs;
+  for (std::uint32_t d = 0; d < kDisks; ++d) addrs.push_back({d, 0});
+  std::vector<Block> out;
+  EXPECT_THROW(disks.read_batch(addrs, out), std::runtime_error);
+  EXPECT_EQ(disks.exec_stats().suppressed_errors, 1u);
+
+  // Deferred join surfaces the same behavior through a BatchFuture.
+  BatchFuture f = disks.submit_read_batch(addrs);
+  EXPECT_THROW(f.get(out), std::runtime_error);
+  EXPECT_EQ(disks.exec_stats().suppressed_errors, 2u);
+
+  disks.reset_stats();
+  EXPECT_EQ(disks.exec_stats().suppressed_errors, 0u);
 }
 
 TEST(IoExecutorConfig, ResolveThreadsSemantics) {

@@ -9,9 +9,11 @@
 //   * numeric batches/rounds/blocks at the top level
 //   * model{overhead_ns, seek_ns, transfer_ns_per_block, calibrated,
 //     fixed{...}} with nonnegative parameters
-//   * phases{plan,queue,transfer,join,reconcile,exec,total}, each a
+//   * phases{plan,queue,transfer,join,overlap,reconcile,exec,total}, each a
 //     LatencyHistogram document (count/sum/min/max/p50/p95/p99/p999/buckets)
-//     and with plan/exec/reconcile/total counts == batches
+//     and with plan/exec/reconcile/total counts == batches; overlap
+//     subdivides exec (latency hidden by async pipelining) and must never
+//     exceed it in sum
 //   * attribution{attributed_ns,total_ns,unattributed_ns,unattributed_frac}
 //     where attributed_ns == plan.sum + exec.sum + reconcile.sum and
 //     attributed + unattributed == total (the phase sums reconcile with the
@@ -142,7 +144,8 @@ void check_file(const std::string& file, const GateOptions& gates) {
   double plan_sum = 0, exec_sum = 0, reconcile_sum = 0, total_sum = 0;
   if (const Json* phases = want(file, *doc, "top level", "phases")) {
     for (const char* key :
-         {"plan", "queue", "transfer", "join", "reconcile", "exec", "total"}) {
+         {"plan", "queue", "transfer", "join", "overlap", "reconcile", "exec",
+          "total"}) {
       const Json* h = want(file, *phases, "phases", key);
       if (!h) continue;
       check_histogram(file, "phases." + std::string(key), *h);
