@@ -1,0 +1,316 @@
+// Micro-benchmark of the src/util/simd kernel layer (wall time only).
+//
+// For every ISA level compiled into this binary AND supported by the CPU,
+// each kernel family runs the identical seeded workload through
+// util::simd::set_active_level(), accumulating a checksum from every kernel
+// result. Reported per (family, level): wall_ns and speedup_wall =
+// wall_scalar / wall_level — the per-family scalar row is the denominator.
+//
+// ASSERTED (nonzero exit, run by the CTest gate bench_simd_kernels_gate):
+//   * every family's checksum is byte-identical across all measured levels —
+//     the dispatch seam must never change an answer, only its wall time;
+//   * when AVX2 is available, at least one family reaches speedup_wall >=
+//     --min-speedup (default 2.0) at AVX2 vs scalar. Machines without AVX2
+//     skip the speedup assertion (the identity check still gates).
+//
+// Like bench_pipeline this measures wall time, so it is NOT part of
+// bench_runner's committed-baseline suite; bench_diff treats speedup_wall as
+// a higher-better band metric for ad-hoc comparison, and the host section
+// says which CPU / ISA produced the numbers.
+//
+// Flags: --min-speedup <f> AVX2 gate threshold (default 2.0); --reps <n>
+// timing repetitions per (family, level), best-of (default 3); --json as
+// elsewhere.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "util/simd/simd.hpp"
+
+namespace {
+
+namespace simd = pddict::util::simd;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One kernel family's fixed workload. run() executes one full pass through
+/// the active dispatch table and returns the pass checksum; the checksum
+/// folds every kernel result, so bit-identity across levels is observable
+/// and the opaque accumulation defeats dead-code elimination.
+struct Family {
+  const char* name;
+  std::uint64_t (*run)();
+};
+
+// Workload shapes. Slot counts mirror the dictionaries' block scans (a few
+// thousand slots per structure); the stride pair covers both the packed
+// contiguous-u64 fast path and the gather-based record-stride path.
+constexpr std::uint32_t kSlots = 4096;
+constexpr std::size_t kPackedStride = 8;
+constexpr std::size_t kRecordStride = 24;  // 8B key + 16B value
+constexpr std::uint32_t kProbes = 1024;
+constexpr std::uint32_t kHashCalls = 1 << 18;
+constexpr std::uint32_t kHashD = 16;
+constexpr std::size_t kMixN = 1 << 16;
+constexpr std::uint32_t kMixReps = 64;
+constexpr std::uint32_t kSelectSets = 4096;
+constexpr std::uint32_t kSelectCands = 256;
+constexpr std::uint32_t kSelectReps = 8;
+constexpr std::uint64_t kSeed = 41;
+
+/// Slot buffer at one stride plus a probe trace: even probes hit a planted
+/// key (bit 63 clear), odd probes miss (bit 63 set — never stored).
+struct ScanWorkload {
+  std::vector<std::byte> buf;
+  std::size_t stride;
+  std::vector<std::uint64_t> probes;
+};
+
+ScanWorkload make_scan(std::size_t stride, std::uint64_t seed,
+                       std::uint32_t key_pool) {
+  ScanWorkload w;
+  w.stride = stride;
+  w.buf.assign(kSlots * stride, std::byte{0});
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint64_t> stored(kSlots);
+  for (std::uint32_t s = 0; s < kSlots; ++s) {
+    std::uint64_t k = rng();
+    if (key_pool) k = seed * 0x9e3779b97f4a7c15ULL + k % key_pool;
+    k &= ~(std::uint64_t{1} << 63);
+    stored[s] = k;
+    std::memcpy(w.buf.data() + s * stride, &k, sizeof(k));
+  }
+  w.probes.resize(kProbes);
+  for (std::uint32_t i = 0; i < kProbes; ++i)
+    w.probes[i] = (i % 2 == 0) ? stored[rng() % kSlots]
+                               : (rng() | (std::uint64_t{1} << 63));
+  return w;
+}
+
+const ScanWorkload& packed_scan() {
+  static const ScanWorkload w = make_scan(kPackedStride, kSeed, 0);
+  return w;
+}
+
+const ScanWorkload& strided_scan() {
+  static const ScanWorkload w = make_scan(kRecordStride, kSeed + 1, 0);
+  return w;
+}
+
+/// Duplicate-heavy buffer for count_key: 64 distinct keys, ~64 copies each.
+const ScanWorkload& dup_scan() {
+  static const ScanWorkload w = make_scan(kPackedStride, kSeed + 2, 64);
+  return w;
+}
+
+std::uint64_t run_find_packed() {
+  const auto& kn = simd::kernels();
+  const ScanWorkload& w = packed_scan();
+  std::uint64_t sum = 0;
+  for (std::uint64_t probe : w.probes)
+    sum += kn.find_key(w.buf.data(), w.stride, kSlots, probe);
+  return sum;
+}
+
+std::uint64_t run_find_strided() {
+  const auto& kn = simd::kernels();
+  const ScanWorkload& w = strided_scan();
+  std::uint64_t sum = 0;
+  for (std::uint64_t probe : w.probes)
+    sum += kn.find_key(w.buf.data(), w.stride, kSlots, probe);
+  return sum;
+}
+
+std::uint64_t run_count() {
+  const auto& kn = simd::kernels();
+  const ScanWorkload& w = dup_scan();
+  std::uint64_t sum = 0;
+  for (std::uint64_t probe : w.probes)
+    sum += kn.count_key(w.buf.data(), w.stride, kSlots, probe);
+  return sum;
+}
+
+std::uint64_t run_hash_salts() {
+  const auto& kn = simd::kernels();
+  std::uint64_t sum = 0;
+  std::uint64_t out[kHashD];
+  for (std::uint32_t i = 0; i < kHashCalls; ++i) {
+    kn.hash_salts(kSeed * 0x2545f4914f6cdd1dULL + i, /*salt_base=*/1, kHashD,
+                  out);
+    for (std::uint32_t j = 0; j < kHashD; ++j) sum ^= out[j] + j;
+  }
+  return sum;
+}
+
+std::uint64_t run_mix_keys() {
+  const auto& kn = simd::kernels();
+  static const std::vector<std::uint64_t> xs = [] {
+    std::mt19937_64 rng(kSeed + 3);
+    std::vector<std::uint64_t> v(kMixN);
+    for (auto& x : v) x = rng();
+    return v;
+  }();
+  std::vector<std::uint64_t> out(kMixN);
+  std::uint64_t sum = 0;
+  for (std::uint32_t rep = 0; rep < kMixReps; ++rep) {
+    kn.mix_keys(xs.data(), kMixN, /*salt=*/rep, out.data());
+    for (std::size_t j = 0; j < kMixN; ++j) sum ^= out[j];
+  }
+  return sum;
+}
+
+std::uint64_t run_min_load_select() {
+  const auto& kn = simd::kernels();
+  static const auto workload = [] {
+    std::mt19937_64 rng(kSeed + 4);
+    std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>> w;
+    w.first.resize(kSlots);  // loads (ties are common: small range)
+    for (auto& l : w.first) l = rng() % 64;
+    w.second.resize(std::size_t{kSelectSets} * kSelectCands);
+    for (auto& c : w.second) c = rng() % kSlots;
+    return w;
+  }();
+  std::uint64_t sum = 0;
+  for (std::uint32_t rep = 0; rep < kSelectReps; ++rep)
+    for (std::uint32_t s = 0; s < kSelectSets; ++s) {
+      const std::uint64_t* cands =
+          workload.second.data() + std::size_t{s} * kSelectCands;
+      std::uint32_t j = kn.min_load_select(workload.first.data(), cands,
+                                           kSelectCands);
+      sum += j + cands[j];
+    }
+  return sum;
+}
+
+const Family kFamilies[] = {
+    {"find_key_packed", run_find_packed},
+    {"find_key_strided", run_find_strided},
+    {"count_key", run_count},
+    {"hash_salts", run_hash_salts},
+    {"mix_keys", run_mix_keys},
+    {"min_load_select", run_min_load_select},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pddict;
+  bench::JsonReport report(argc, argv, "bench_simd_kernels");
+
+  double min_speedup = 2.0;
+  std::uint32_t reps = 3;
+  bench::strip_value_flag(argc, argv, "--min-speedup",
+                          [&](const std::string& v) {
+                            min_speedup = std::atof(v.c_str());
+                          });
+  bench::strip_value_flag(argc, argv, "--reps", [&](const std::string& v) {
+    reps = static_cast<std::uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+  });
+  if (reps == 0) reps = 1;
+
+  report.set_seed(kSeed);
+  report.param("slots", kSlots);
+  report.param("probes", kProbes);
+  report.param("record_stride", static_cast<std::uint64_t>(kRecordStride));
+  report.param("hash_d", kHashD);
+  report.param("mix_n", static_cast<std::uint64_t>(kMixN));
+  report.param("select_candidates", kSelectCands);
+  report.param("reps", reps);
+  report.param("min_speedup", min_speedup);
+
+  std::vector<simd::IsaLevel> levels;
+  for (simd::IsaLevel level : simd::compiled_levels())
+    if (simd::level_available(level)) levels.push_back(level);
+
+  const simd::IsaLevel original = simd::active_level();
+  std::printf("=== SIMD kernel layer: wall time per family per ISA level "
+              "===\n\n");
+  std::printf("cpu: %s — best supported: %s, compiled+runnable here:",
+              simd::cpu_model_string().c_str(),
+              simd::isa_name(simd::best_supported_level()));
+  for (simd::IsaLevel level : levels)
+    std::printf(" %s", simd::isa_name(level));
+  std::printf("\n\n%18s | %7s | %10s | %8s | %s\n", "family", "isa",
+              "wall ms", "speedup", "checksum");
+  bench::rule();
+
+  bool checksums_match = true;
+  bool avx2_available = false;
+  double best_avx2_speedup = 0.0;
+  const char* best_avx2_family = "";
+
+  for (const Family& family : kFamilies) {
+    std::uint64_t scalar_wall = 0;
+    std::uint64_t scalar_checksum = 0;
+    for (simd::IsaLevel level : levels) {
+      if (!simd::set_active_level(level)) continue;
+      // Warm-up pass (page in the workload, settle the branch predictors),
+      // then best-of-`reps` timed passes.
+      std::uint64_t checksum = family.run();
+      std::uint64_t wall = ~std::uint64_t{0};
+      for (std::uint32_t r = 0; r < reps; ++r) {
+        std::uint64_t start = now_ns();
+        std::uint64_t c = family.run();
+        std::uint64_t elapsed = now_ns() - start;
+        if (elapsed < wall) wall = elapsed;
+        if (c != checksum) checksums_match = false;  // nondeterministic run
+      }
+      if (level == simd::IsaLevel::kScalar) {
+        scalar_wall = wall;
+        scalar_checksum = checksum;
+      }
+      bool match = checksum == scalar_checksum;
+      checksums_match = checksums_match && match;
+      double speedup = scalar_wall
+                           ? static_cast<double>(scalar_wall) /
+                                 static_cast<double>(wall)
+                           : 1.0;
+      if (level == simd::IsaLevel::kAvx2) {
+        avx2_available = true;
+        if (speedup > best_avx2_speedup) {
+          best_avx2_speedup = speedup;
+          best_avx2_family = family.name;
+        }
+      }
+      std::printf("%18s | %7s | %10.3f | %7.2fx | %s%s\n", family.name,
+                  simd::isa_name(level), static_cast<double>(wall) / 1e6,
+                  speedup, match ? "same" : "DRIFT",
+                  match ? "" : "   <-- dispatch changed an answer");
+
+      auto& row = report.add_row(std::string(family.name) + "/" +
+                                 simd::isa_name(level));
+      row.set("family", family.name);
+      row.set("isa", simd::isa_name(level));
+      row.set("paper_model",
+              "bit-identical kernels: counted I/O metrics never move");
+      row.set("wall_ns", wall);
+      row.set("speedup_wall", speedup);
+      row.set("checksum", checksum);
+      row.set("checksum_match", match);
+    }
+  }
+  simd::set_active_level(original);
+  bench::rule();
+
+  bool speedup_ok = !avx2_available || best_avx2_speedup >= min_speedup;
+  std::printf("\nchecksums identical across all %zu measured levels: %s\n",
+              levels.size(), checksums_match ? "yes" : "NO");
+  if (avx2_available)
+    std::printf("best AVX2 speedup: %.2fx (%s) — gate requires >= %.2fx: %s\n",
+                best_avx2_speedup, best_avx2_family, min_speedup,
+                speedup_ok ? "pass" : "FAIL");
+  else
+    std::printf("AVX2 not available here: speedup gate skipped "
+                "(identity check still enforced)\n");
+  return checksums_match && speedup_ok ? 0 : 1;
+}

@@ -37,6 +37,7 @@
 #include "pdm/disk_array.hpp"
 #include "pdm/io_executor.hpp"
 #include "pdm/io_stats.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::bench {
 
@@ -80,6 +81,16 @@ inline bool& exact_percentiles_enabled() {
   return enabled;
 }
 
+/// Whether ANY measure() call this run hit the reservoir cap. JsonReport
+/// echoes this into the report footer under --exact-percentiles, so a reader
+/// of the document learns "some exact_* values are estimates" without
+/// auditing every row — previously the flag only surfaced per-cost, and rows
+/// a bench assembled by hand (not via to_json(OpCost)) silently dropped it.
+inline bool& exact_samples_truncated() {
+  static bool truncated = false;
+  return truncated;
+}
+
 /// Runs `op` once per key, measuring parallel I/Os per call.
 ///
 /// Percentiles come from a streaming obs::LatencyHistogram in O(1) memory.
@@ -111,6 +122,7 @@ inline OpCost measure(pdm::DiskArray& disks, std::span<const core::Key> keys,
         samples.push_back(ios);
       } else {
         cost.samples_truncated = true;
+        exact_samples_truncated() = true;
         std::uint64_t slot = reservoir_rng() % seen;
         if (slot < kMaxExactSamples)
           samples[static_cast<std::size_t>(slot)] = ios;
@@ -149,6 +161,21 @@ inline obs::Json to_json(const OpCost& cost) {
     j.set("exact_p99", cost.exact_p99);
     j.set("samples_truncated", cost.samples_truncated);
   }
+  return j;
+}
+
+/// Host identity stamped into every report (and consolidated baselines):
+/// which CPU produced the wall-time numbers and which SIMD tier actually ran.
+/// Counted I/O metrics are dispatch-invariant by construction, so this
+/// section is documentation for wall-clock fields — bench_diff warns (never
+/// fails) when two documents disagree on the ISA level.
+inline obs::Json host_json() {
+  namespace simd = util::simd;
+  obs::Json j = obs::Json::object();
+  j.set("cpu_model", simd::cpu_model_string());
+  j.set("isa_level", simd::isa_name(simd::best_supported_level()));
+  j.set("simd_active", simd::isa_name(simd::active_level()));
+  j.set("simd_override", simd::env_override());
   return j;
 }
 
@@ -396,10 +423,20 @@ class JsonReport {
       geometry_.set("block_items", 0);
     }
     root.set("geometry", geometry_);
+    root.set("host", host_json());
     root.set("params", params_);
     root.set("rows", rows_);
     if (!disks_.as_object().empty()) root.set("disks", disks_);
     if (!bounds_.as_object().empty()) root.set("bounds", bounds_);
+    // Footer, only under --exact-percentiles (default reports stay
+    // byte-identical): one consistent document-level echo of "did any
+    // reservoir overflow", regardless of how the bench assembled its rows.
+    if (exact_percentiles_enabled()) {
+      obs::Json exact = obs::Json::object();
+      exact.set("enabled", true);
+      exact.set("samples_truncated", exact_samples_truncated());
+      root.set("exact_percentiles", std::move(exact));
+    }
     std::ofstream out(path_);
     if (!out) {
       std::fprintf(stderr, "JsonReport: cannot write %s\n", path_.c_str());
@@ -534,9 +571,10 @@ class ExactPercentilesOption {
   ExactPercentilesOption(const ExactPercentilesOption&) = delete;
   ExactPercentilesOption& operator=(const ExactPercentilesOption&) = delete;
 
-  ~ExactPercentilesOption() {
-    if (enabled_) exact_percentiles_enabled() = false;
-  }
+  // No destructor reset: the process-wide flag must outlive this object —
+  // benches declare JsonReport first (to strip --json before positional
+  // args), so this option dies before the report's destructor serializes,
+  // and the footer needs the flag still set at that point.
 
   bool enabled() const { return enabled_; }
 

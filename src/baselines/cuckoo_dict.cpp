@@ -55,9 +55,25 @@ std::vector<pdm::BlockAddr> CuckooDict::cell_addrs(std::uint32_t table,
 }
 
 CuckooDict::Cell CuckooDict::parse(std::span<const pdm::Block> blocks) const {
+  // Cells hold exactly one record, so unlike the bucketed dictionaries there
+  // is no multi-slot scan to vectorize here; the hot-path win is skipping the
+  // half-stripe concatenation whenever the whole record fits in the first
+  // block (the common case — values near the BD/2 bandwidth limit still take
+  // the copying path below).
+  Cell c;
+  if (kCellHeader + value_bytes_ <= blocks[0].size()) {
+    const pdm::Block& first = blocks[0];
+    c.occupied = pdm::load_pod<std::uint64_t>(first, 0) == 1;
+    if (c.occupied) {
+      c.key = pdm::load_pod<core::Key>(first, 8);
+      c.value.assign(first.begin() + kCellHeader,
+                     first.begin() + kCellHeader +
+                         static_cast<std::ptrdiff_t>(value_bytes_));
+    }
+    return c;
+  }
   std::vector<std::byte> bytes;
   for (const auto& b : blocks) bytes.insert(bytes.end(), b.begin(), b.end());
-  Cell c;
   c.occupied = pdm::load_pod<std::uint64_t>(bytes, 0) == 1;
   if (c.occupied) {
     c.key = pdm::load_pod<core::Key>(bytes, 8);

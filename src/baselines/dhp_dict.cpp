@@ -4,6 +4,7 @@
 
 #include "pdm/block.hpp"
 #include "util/math.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::baselines {
 
@@ -41,9 +42,9 @@ bool DhpDict::insert(core::Key key, std::span<const std::byte> value) {
   std::uint64_t bucket = (*hash_)(key);
   std::vector<std::byte> block = view_->read(bucket);
   std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-  for (std::uint32_t s = 0; s < count; ++s)
-    if (pdm::load_pod<core::Key>(block, kHeader + s * record_bytes_) == key)
-      return false;
+  if (util::simd::kernels().find_key(block.data() + kHeader, record_bytes_,
+                                     count, key) != util::simd::kNotFound)
+    return false;
   if (count == records_per_bucket_) {
     // The low-probability event: rebuild with fresh hash functions until the
     // distribution is overflow-free again (worst-case linear work).
@@ -67,16 +68,16 @@ core::LookupResult DhpDict::lookup(core::Key key) {
   std::uint64_t bucket = (*hash_)(key);
   std::vector<std::byte> block = view_->read(bucket);
   std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-  for (std::uint32_t s = 0; s < count; ++s) {
+  std::uint32_t s = util::simd::kernels().find_key(block.data() + kHeader,
+                                                   record_bytes_, count, key);
+  if (s != util::simd::kNotFound) {
     std::size_t off = kHeader + s * record_bytes_;
-    if (pdm::load_pod<core::Key>(block, off) == key) {
-      return {true,
-              std::vector<std::byte>(
-                  block.begin() +
-                      static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
-                  block.begin() +
-                      static_cast<std::ptrdiff_t>(off + record_bytes_))};
-    }
+    return {true,
+            std::vector<std::byte>(
+                block.begin() +
+                    static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
+                block.begin() +
+                    static_cast<std::ptrdiff_t>(off + record_bytes_))};
   }
   return {};
 }
@@ -87,18 +88,18 @@ bool DhpDict::erase(core::Key key) {
   std::uint64_t bucket = (*hash_)(key);
   std::vector<std::byte> block = view_->read(bucket);
   std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-  for (std::uint32_t s = 0; s < count; ++s) {
+  std::uint32_t s = util::simd::kernels().find_key(block.data() + kHeader,
+                                                   record_bytes_, count, key);
+  if (s != util::simd::kNotFound) {
     std::size_t off = kHeader + s * record_bytes_;
-    if (pdm::load_pod<core::Key>(block, off) == key) {
-      // Swap-remove with the last record so buckets stay dense.
-      std::size_t last = kHeader + (count - 1) * record_bytes_;
-      if (last != off)
-        std::memmove(block.data() + off, block.data() + last, record_bytes_);
-      pdm::store_pod<std::uint32_t>(block, 0, count - 1);
-      view_->write(bucket, block);
-      --size_;
-      return true;
-    }
+    // Swap-remove with the last record so buckets stay dense.
+    std::size_t last = kHeader + (count - 1) * record_bytes_;
+    if (last != off)
+      std::memmove(block.data() + off, block.data() + last, record_bytes_);
+    pdm::store_pod<std::uint32_t>(block, 0, count - 1);
+    view_->write(bucket, block);
+    --size_;
+    return true;
   }
   return false;
 }

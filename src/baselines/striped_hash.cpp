@@ -4,6 +4,7 @@
 
 #include "pdm/block.hpp"
 #include "util/math.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::baselines {
 
@@ -61,10 +62,9 @@ bool StripedHashDict::insert(core::Key key, std::span<const std::byte> value) {
   // Duplicate scan over the whole chain.
   for (auto& [stripe, block] : chain) {
     std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-    for (std::uint32_t s = 0; s < count; ++s) {
-      if (pdm::load_pod<core::Key>(block, kHeader + s * record_bytes_) == key)
-        return false;
-    }
+    if (util::simd::kernels().find_key(block.data() + kHeader, record_bytes_,
+                                       count, key) != util::simd::kNotFound)
+      return false;
   }
   auto& [last_stripe, last_block] = chain.back();
   std::uint32_t count = pdm::load_pod<std::uint32_t>(last_block, 0);
@@ -99,15 +99,14 @@ core::LookupResult StripedHashDict::lookup(core::Key key) {
   while (true) {
     std::vector<std::byte> block = view_->read(stripe);
     std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-    for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint32_t s = util::simd::kernels().find_key(block.data() + kHeader,
+                                                     record_bytes_, count, key);
+    if (s != util::simd::kNotFound) {
       std::size_t off = kHeader + s * record_bytes_;
-      if (pdm::load_pod<core::Key>(block, off) == key) {
-        std::vector<std::byte> value(
-            block.begin() +
-                static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
-            block.begin() + static_cast<std::ptrdiff_t>(off + record_bytes_));
-        return {true, std::move(value)};
-      }
+      std::vector<std::byte> value(
+          block.begin() + static_cast<std::ptrdiff_t>(off + sizeof(core::Key)),
+          block.begin() + static_cast<std::ptrdiff_t>(off + record_bytes_));
+      return {true, std::move(value)};
     }
     std::uint64_t next = pdm::load_pod<std::uint64_t>(block, 8);
     if (next == 0) return {};
@@ -122,14 +121,14 @@ bool StripedHashDict::erase(core::Key key) {
   while (true) {
     std::vector<std::byte> block = view_->read(stripe);
     std::uint32_t count = pdm::load_pod<std::uint32_t>(block, 0);
-    for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint32_t s = util::simd::kernels().find_key(block.data() + kHeader,
+                                                     record_bytes_, count, key);
+    if (s != util::simd::kNotFound) {
       std::size_t off = kHeader + s * record_bytes_;
-      if (pdm::load_pod<core::Key>(block, off) == key) {
-        pdm::store_pod<core::Key>(block, off, core::kTombstone);
-        view_->write(stripe, block);
-        --size_;
-        return true;
-      }
+      pdm::store_pod<core::Key>(block, off, core::kTombstone);
+      view_->write(stripe, block);
+      --size_;
+      return true;
     }
     std::uint64_t next = pdm::load_pod<std::uint64_t>(block, 8);
     if (next == 0) return false;

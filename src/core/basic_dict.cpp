@@ -9,12 +9,33 @@
 #include "obs/span.hpp"
 #include "pdm/block.hpp"
 #include "util/math.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::core {
 
 namespace {
 // First block of a bucket: [uint32 count][4 bytes pad][records...].
 constexpr std::size_t kBucketHeaderBytes = 8;
+
+// The occupied slots of a bucket, as per-block runs of uniform stride: block
+// 0 carries its slots after the count header, blocks >= 1 from offset 0.
+// Calls fn(block, byte_offset, first_slot, run_length) per non-empty run
+// until fn returns false. This is the shape the SIMD scan kernels consume.
+template <typename Fn>
+void for_each_slot_run(std::size_t block_bytes, std::size_t record_bytes,
+                       std::uint32_t count, Fn&& fn) {
+  const auto c0 = static_cast<std::uint32_t>(
+      (block_bytes - kBucketHeaderBytes) / record_bytes);
+  const auto ci = static_cast<std::uint32_t>(block_bytes / record_bytes);
+  std::uint32_t first = 0;
+  for (std::uint32_t b = 0; first < count; ++b) {
+    const std::uint32_t cap = b == 0 ? c0 : ci;
+    const std::size_t off = b == 0 ? kBucketHeaderBytes : 0;
+    const std::uint32_t run = std::min(cap, count - first);
+    if (!fn(b, off, first, run)) return;
+    first += run;
+  }
+}
 }  // namespace
 
 BasicDict::BasicDict(pdm::DiskArray& disks, std::uint32_t first_disk,
@@ -89,25 +110,34 @@ void BasicDict::set_bucket_count(pdm::Block& first_block,
 }
 
 std::vector<pdm::BlockAddr> BasicDict::probe_addrs(Key key) const {
+  // One batched hash evaluation for all d stripes (SIMD: one lane per seeded
+  // function) instead of d scalar salted_mix calls.
+  std::vector<std::uint64_t> locals(degree());
+  graph_->stripe_locals(key, locals.data());
   std::vector<pdm::BlockAddr> addrs;
   addrs.reserve(static_cast<std::size_t>(degree()) * bucket_blocks_);
-  for (std::uint32_t i = 0; i < degree(); ++i) {
-    std::uint64_t local = graph_->stripe_local(key, i);
+  for (std::uint32_t i = 0; i < degree(); ++i)
     for (std::uint32_t b = 0; b < bucket_blocks_; ++b)
       addrs.push_back({first_disk_ + i,
-                       base_block_ + local * bucket_blocks_ + b});
-  }
+                       base_block_ + locals[i] * bucket_blocks_ + b});
   return addrs;
 }
 
 std::optional<std::uint32_t> BasicDict::find_slot(
     Key key, std::span<const pdm::Block> bucket, std::uint32_t count) const {
-  for (std::uint32_t s = 0; s < count; ++s) {
-    SlotRef ref = slot_ref(s);
-    Key k = pdm::load_pod<Key>(bucket[ref.block], ref.offset);
-    if (k == key) return s;
-  }
-  return std::nullopt;
+  const auto& kn = util::simd::kernels();
+  std::optional<std::uint32_t> found;
+  for_each_slot_run(
+      disks_->geometry().block_bytes(), record_bytes_, count,
+      [&](std::uint32_t b, std::size_t off, std::uint32_t first,
+          std::uint32_t run) {
+        std::uint32_t s =
+            kn.find_key(bucket[b].data() + off, record_bytes_, run, key);
+        if (s == util::simd::kNotFound) return true;
+        found = first + s;
+        return false;
+      });
+  return found;
 }
 
 BasicDict::Probe BasicDict::inspect(Key key,
@@ -164,14 +194,20 @@ BasicDict::plan_insert(Key key, std::span<const std::byte> value,
     std::uint32_t count = bucket_count(bucket_view[0]);
     std::int32_t tomb = -1;
     std::uint32_t live = count;
-    for (std::uint32_t s = 0; s < count; ++s) {
-      SlotRef probe = slot_ref(s);
-      if (pdm::load_pod<Key>(bucket_view[probe.block], probe.offset) ==
-          kTombstone) {
-        --live;
-        if (tomb < 0) tomb = static_cast<std::int32_t>(s);
-      }
-    }
+    const auto& kn = util::simd::kernels();
+    for_each_slot_run(
+        disks_->geometry().block_bytes(), record_bytes_, count,
+        [&](std::uint32_t b, std::size_t off, std::uint32_t first,
+            std::uint32_t run) {
+          const std::byte* base = bucket_view[b].data() + off;
+          std::uint32_t dead = kn.count_key(base, record_bytes_, run,
+                                            kTombstone);
+          live -= dead;
+          if (dead > 0 && tomb < 0)
+            tomb = static_cast<std::int32_t>(
+                first + kn.find_key(base, record_bytes_, run, kTombstone));
+          return true;
+        });
     if (count >= bucket_capacity_ && tomb < 0) continue;  // physically full
     Candidate cand{live, tomb < 0, i, count, tomb};
     if (!best || cand.rank() < best->rank()) best = cand;

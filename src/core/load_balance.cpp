@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/bound_monitor.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::core {
 
@@ -20,13 +21,14 @@ std::vector<std::uint64_t> LoadBalancer::assign(std::uint64_t x) {
   std::vector<std::uint64_t> candidates = graph_->neighbors(x);
   std::vector<std::uint64_t> chosen;
   chosen.reserve(k_);
+  const auto& kn = util::simd::kernels();
   for (std::uint32_t item = 0; item < k_; ++item) {
     // Least-loaded neighboring bucket; ties to the lowest index, matching the
-    // deterministic tie-break the PDM dictionaries use.
-    std::uint64_t best = candidates[0];
-    for (std::uint64_t c : candidates)
-      if (loads_[c] < loads_[best] || (loads_[c] == loads_[best] && c < best))
-        best = c;
+    // deterministic tie-break the PDM dictionaries use. The kernel returns
+    // the lexicographic (load, bucket) minimum over the candidate sweep.
+    std::uint64_t best = candidates[kn.min_load_select(
+        loads_.data(), candidates.data(),
+        static_cast<std::uint32_t>(candidates.size()))];
     ++loads_[best];
     max_load_ = std::max(max_load_, loads_[best]);
     chosen.push_back(best);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/math.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::core {
 
@@ -62,6 +63,16 @@ bool ParallelDictGroup::erase(Key key) {
 std::vector<bool> ParallelDictGroup::insert_batch(
     std::span<const BatchItem> items) {
   std::vector<bool> result(items.size(), false);
+  // One batched mix over all keys up front (SIMD: one lane per key) replaces
+  // the repeated per-item instance_of evaluations in the wave loop below.
+  std::vector<std::uint64_t> keys(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) keys[i] = items[i].key;
+  std::vector<std::uint64_t> mixed(items.size());
+  util::simd::kernels().mix_keys(keys.data(), keys.size(), salt_,
+                                 mixed.data());
+  std::vector<std::uint32_t> instance(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    instance[i] = static_cast<std::uint32_t>(mixed[i] % dicts_.size());
   // Schedule items into waves: each wave has at most one item per instance,
   // so one combined read round plus one combined write round serve the wave.
   std::vector<std::size_t> pending(items.size());
@@ -70,7 +81,7 @@ std::vector<bool> ParallelDictGroup::insert_batch(
     std::vector<std::size_t> wave, rest;
     std::vector<bool> taken(dicts_.size(), false);
     for (std::size_t idx : pending) {
-      std::uint32_t inst = instance_of(items[idx].key);
+      std::uint32_t inst = instance[idx];
       if (taken[inst]) {
         rest.push_back(idx);
       } else {
@@ -84,7 +95,7 @@ std::vector<bool> ParallelDictGroup::insert_batch(
     std::vector<std::size_t> offsets;
     for (std::size_t idx : wave) {
       offsets.push_back(addrs.size());
-      auto a = dicts_[instance_of(items[idx].key)]->probe_addrs(items[idx].key);
+      auto a = dicts_[instance[idx]]->probe_addrs(items[idx].key);
       addrs.insert(addrs.end(), a.begin(), a.end());
     }
     offsets.push_back(addrs.size());
@@ -96,7 +107,7 @@ std::vector<bool> ParallelDictGroup::insert_batch(
       std::size_t idx = wave[w];
       auto span = std::span(blocks).subspan(offsets[w],
                                             offsets[w + 1] - offsets[w]);
-      auto plan = dicts_[instance_of(items[idx].key)]->plan_insert(
+      auto plan = dicts_[instance[idx]]->plan_insert(
           items[idx].key, items[idx].value, span);
       if (plan) {
         result[idx] = true;

@@ -64,6 +64,13 @@ class NeighborFunction {
     assert(y >= stripe_begin(i) && y < stripe_begin(i) + stripe_size());
     return y - stripe_begin(i);
   }
+  /// All d stripe-local indices of x at once into out[0..degree()).
+  /// Implementations whose hash family evaluates the d functions in a batch
+  /// (SeededExpander via the SIMD kernels) override this; results must equal
+  /// stripe_local(x, i) exactly.
+  virtual void stripe_locals(std::uint64_t x, std::uint64_t* out) const {
+    for (std::uint32_t i = 0; i < degree(); ++i) out[i] = stripe_local(x, i);
+  }
 };
 
 }  // namespace pddict::expander

@@ -5,6 +5,7 @@
 
 #include "util/math.hpp"
 #include "util/prng.hpp"
+#include "util/simd/simd.hpp"
 
 namespace pddict::expander {
 
@@ -17,6 +18,21 @@ SeededExpander::SeededExpander(std::uint64_t left_size,
   if (right_size == 0 || right_size % degree != 0)
     throw std::invalid_argument(
         "striped expander needs right_size to be a positive multiple of degree");
+}
+
+std::vector<std::uint64_t> SeededExpander::neighbors(std::uint64_t x) const {
+  std::vector<std::uint64_t> out(d_);
+  util::simd::kernels().hash_salts(x, salt_base_, d_, out.data());
+  const std::uint64_t span = stripe_size();
+  for (std::uint32_t i = 0; i < d_; ++i)
+    out[i] = stripe_begin(i) + out[i] % span;
+  return out;
+}
+
+void SeededExpander::stripe_locals(std::uint64_t x, std::uint64_t* out) const {
+  util::simd::kernels().hash_salts(x, salt_base_, d_, out);
+  const std::uint64_t span = stripe_size();
+  for (std::uint32_t i = 0; i < d_; ++i) out[i] %= span;
 }
 
 std::uint32_t recommended_degree(std::uint64_t universe_size, double factor) {

@@ -32,6 +32,12 @@ class SeededExpander final : public NeighborFunction {
     return stripe_begin(i) + util::salted_mix(x, salt_base_ + i) % stripe_size();
   }
 
+  /// Batched forms: the d salted mixes are data-parallel (consecutive salts,
+  /// same key), so they evaluate through the SIMD hash kernel — one lane per
+  /// seeded function — with bit-identical results to neighbor().
+  std::vector<std::uint64_t> neighbors(std::uint64_t x) const override;
+  void stripe_locals(std::uint64_t x, std::uint64_t* out) const override;
+
   std::uint64_t seed() const { return seed_; }
 
  private:

@@ -13,9 +13,13 @@ namespace pddict::obs {
 namespace {
 
 /// Top-level / per-report keys that are provenance, not measurements.
+/// "host" (cpu model / ISA level) and the "exact_percentiles" footer
+/// describe the machine and the flags, not the run — bench_diff compares
+/// hosts separately (warning only, since counted metrics are host-invariant).
 bool is_metadata_key(const std::string& key) {
   return key == "schema" || key == "version" || key == "git_rev" ||
-         key == "label" || key == "generated_by" || key == "bench";
+         key == "label" || key == "generated_by" || key == "bench" ||
+         key == "host" || key == "exact_percentiles";
 }
 
 void flatten_value(const std::string& prefix, const Json& v,

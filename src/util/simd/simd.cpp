@@ -1,0 +1,169 @@
+// Dispatch seam: pick the kernel table once at startup, expose the hooks.
+//
+// Compiled WITHOUT any -m flags — this TU must be runnable before dispatch
+// has happened, so it contains no intrinsics, only table pointers.
+#include "util/simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/simd/simd_tables.hpp"
+
+namespace pddict::util::simd {
+
+namespace {
+
+const Kernels* table_for(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return &detail::kScalarKernels;
+    case IsaLevel::kSse42:
+#ifdef PDDICT_SIMD_HAVE_SSE42
+      return &detail::kSse42Kernels;
+#else
+      return nullptr;
+#endif
+    case IsaLevel::kAvx2:
+#ifdef PDDICT_SIMD_HAVE_AVX2
+      return &detail::kAvx2Kernels;
+#else
+      return nullptr;
+#endif
+    case IsaLevel::kAvx512:
+#ifdef PDDICT_SIMD_HAVE_AVX512
+      return &detail::kAvx512Kernels;
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool cpu_supports(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return true;
+    case IsaLevel::kSse42:
+      return __builtin_cpu_supports("sse4.2");
+    case IsaLevel::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case IsaLevel::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+}
+
+IsaLevel parse_level(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "scalar") return IsaLevel::kScalar;
+  if (name == "sse42") return IsaLevel::kSse42;
+  if (name == "avx2") return IsaLevel::kAvx2;
+  if (name == "avx512") return IsaLevel::kAvx512;
+  *ok = false;
+  return IsaLevel::kScalar;
+}
+
+struct Dispatch {
+  std::string override_name;  // honored PDDICT_SIMD value ("" if none)
+  IsaLevel best;              // compiled in AND CPU-supported, env ignored
+  IsaLevel startup;           // best capped by the env override
+};
+
+Dispatch compute_dispatch() {
+  Dispatch d;
+  d.best = IsaLevel::kScalar;
+  for (IsaLevel level : {IsaLevel::kSse42, IsaLevel::kAvx2, IsaLevel::kAvx512})
+    if (table_for(level) != nullptr && cpu_supports(level)) d.best = level;
+  d.startup = d.best;
+  if (const char* env = std::getenv("PDDICT_SIMD")) {
+    bool ok = false;
+    IsaLevel cap = parse_level(env, &ok);
+    if (ok && table_for(cap) != nullptr && cpu_supports(cap)) {
+      d.override_name = env;
+      if (cap < d.startup) d.startup = cap;
+    }
+  }
+  return d;
+}
+
+const Dispatch& dispatch() {
+  static const Dispatch d = compute_dispatch();
+  return d;
+}
+
+std::atomic<const Kernels*>& active_table() {
+  static std::atomic<const Kernels*> table{table_for(dispatch().startup)};
+  return table;
+}
+
+}  // namespace
+
+const Kernels& kernels() {
+  return *active_table().load(std::memory_order_relaxed);
+}
+
+const Kernels* kernels_for(IsaLevel level) { return table_for(level); }
+
+IsaLevel active_level() {
+  const Kernels* t = active_table().load(std::memory_order_relaxed);
+  for (IsaLevel level : {IsaLevel::kScalar, IsaLevel::kSse42, IsaLevel::kAvx2,
+                         IsaLevel::kAvx512})
+    if (table_for(level) == t) return level;
+  return IsaLevel::kScalar;  // unreachable: the table is always one of ours
+}
+
+IsaLevel best_supported_level() { return dispatch().best; }
+
+std::vector<IsaLevel> compiled_levels() {
+  std::vector<IsaLevel> levels;
+  for (IsaLevel level : {IsaLevel::kScalar, IsaLevel::kSse42, IsaLevel::kAvx2,
+                         IsaLevel::kAvx512})
+    if (table_for(level) != nullptr) levels.push_back(level);
+  return levels;
+}
+
+bool level_available(IsaLevel level) {
+  return table_for(level) != nullptr && cpu_supports(level);
+}
+
+bool set_active_level(IsaLevel level) {
+  if (!level_available(level)) return false;
+  active_table().store(table_for(level), std::memory_order_relaxed);
+  return true;
+}
+
+const std::string& env_override() { return dispatch().override_name; }
+
+const char* isa_name(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSse42:
+      return "sse42";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+const std::string& cpu_model_string() {
+  static const std::string model = [] {
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+      auto colon = line.find(':');
+      if (colon == std::string::npos) continue;
+      if (line.compare(0, 10, "model name") == 0) {
+        auto start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) return line.substr(start);
+      }
+    }
+    return std::string("unknown");
+  }();
+  return model;
+}
+
+}  // namespace pddict::util::simd

@@ -1,0 +1,111 @@
+// Runtime-dispatched SIMD kernels for the in-memory hot paths.
+//
+// The paper's I/O counts are optimal by construction and (since the executor
+// PRs) fully overlapped, so wall time is dominated by scalar in-memory work:
+// per-block key scans in the dictionaries, evaluating the d seeded expander
+// hash functions one at a time, and the load balancer's candidate sweep.
+// This layer vectorizes exactly those three kernel families:
+//
+//   (a) block scans   — find_key / count_key over packed slot layouts
+//                       (slot s's key is the u64 at base + s*stride, any
+//                       stride >= 8, any alignment);
+//   (b) d-way hashing — hash_salts (one lane per seeded expander function)
+//                       and mix_keys (one lane per key, fixed salt);
+//   (c) selection     — min_load_select, the deterministic least-loaded
+//                       candidate choice of Section 3 (lexicographic min of
+//                       (load, candidate), first occurrence).
+//
+// Every variant is BIT-IDENTICAL to the scalar reference for all inputs —
+// alignment-agnostic and tail-safe — so counted I/O metrics, bound monitors
+// and committed bench baselines do not move under any dispatch decision
+// (tests/simd_test.cpp enforces this property across all compiled-in
+// variants; bench_simd_kernels measures the speedups).
+//
+// Dispatch: the best variant that is both compiled in (CMake option
+// PDDICT_SIMD_LEVELS, per-TU -mavx2/-mavx512f flags — no global -march) and
+// supported by the CPU is selected once at startup. The environment variable
+// PDDICT_SIMD=scalar|sse42|avx2|avx512 caps the choice (for testing the
+// dispatch seam both ways); set_active_level() is the programmatic hook the
+// equivalence tests and the micro-bench use. Because all variants agree
+// bit-for-bit, flipping levels mid-run is safe (the table pointer is atomic).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pddict::util::simd {
+
+/// ISA tiers, ordered: dispatch picks the highest available one.
+enum class IsaLevel : std::uint8_t {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Returned by find_key when no slot matches.
+inline constexpr std::uint32_t kNotFound = ~std::uint32_t{0};
+
+/// One dispatch table: every entry has identical semantics across levels.
+struct Kernels {
+  /// Index of the first slot s in [0, count) with key(s) == key, where
+  /// key(s) is the little-endian u64 at base + s*stride; kNotFound if none.
+  std::uint32_t (*find_key)(const std::byte* base, std::size_t stride,
+                            std::uint32_t count, std::uint64_t key);
+  /// Number of slots s in [0, count) with key(s) == key.
+  std::uint32_t (*count_key)(const std::byte* base, std::size_t stride,
+                             std::uint32_t count, std::uint64_t key);
+  /// out[i] = salted_mix(x, salt_base + i) for i in [0, d): the d seeded
+  /// expander hash functions of one key, one lane per function.
+  void (*hash_salts)(std::uint64_t x, std::uint64_t salt_base, std::uint32_t d,
+                     std::uint64_t* out);
+  /// out[j] = mix64(xs[j] ^ salt) for j in [0, n): batch key mixing with a
+  /// fixed salt (the ParallelDictGroup instance assignment).
+  void (*mix_keys)(const std::uint64_t* xs, std::size_t n, std::uint64_t salt,
+                   std::uint64_t* out);
+  /// Index j in [0, count) minimizing (loads[candidates[j]], candidates[j])
+  /// lexicographically; first occurrence on full ties. count must be >= 1.
+  std::uint32_t (*min_load_select)(const std::uint64_t* loads,
+                                   const std::uint64_t* candidates,
+                                   std::uint32_t count);
+};
+
+/// The active table. Cheap (one relaxed atomic load); callers on hot paths
+/// may cache the reference for a loop — entries never dangle (tables are
+/// immutable statics).
+const Kernels& kernels();
+
+/// Table for one specific level; null when not compiled in. The equivalence
+/// tests iterate these directly.
+const Kernels* kernels_for(IsaLevel level);
+
+/// Level selected at startup (CPUID capped by PDDICT_SIMD), or overridden
+/// via set_active_level since.
+IsaLevel active_level();
+
+/// Highest level this binary + CPU can run (ignores the env override).
+IsaLevel best_supported_level();
+
+/// Levels compiled into this binary (always contains kScalar).
+std::vector<IsaLevel> compiled_levels();
+
+/// Compiled in AND runnable on this CPU.
+bool level_available(IsaLevel level);
+
+/// Switch the active table (testing / benchmarking hook). Returns false —
+/// and leaves the table unchanged — when the level is unavailable.
+bool set_active_level(IsaLevel level);
+
+/// The PDDICT_SIMD value honored at startup ("" when unset or unrecognized).
+const std::string& env_override();
+
+/// "scalar" / "sse42" / "avx2" / "avx512".
+const char* isa_name(IsaLevel level);
+
+/// "model name" from /proc/cpuinfo (or "unknown"): recorded in bench-report
+/// host sections so baselines say what hardware produced their wall times.
+const std::string& cpu_model_string();
+
+}  // namespace pddict::util::simd

@@ -1,0 +1,180 @@
+// AVX2 kernel variant: 4 x u64 lanes.
+//
+// Strided slot scans use i64 gathers with BYTE offsets (scale = 1), so any
+// record stride and any base alignment works; stride == 8 (packed key
+// arrays) takes plain unaligned vector loads instead. 64-bit multiplies and
+// unsigned compares are synthesized (no AVX-512DQ here): mullo64 from three
+// 32x32->64 partial products, unsigned less-than from a sign-bias XOR.
+// Compiled with -mavx2 only in this TU.
+#include <immintrin.h>
+
+#include "util/simd/simd_internal.hpp"
+#include "util/simd/simd_tables.hpp"
+
+namespace pddict::util::simd::detail {
+
+namespace {
+
+inline __m256i mullo64(__m256i a, __m256i b) {
+  __m256i lo = _mm256_mul_epu32(a, b);
+  __m256i mid =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(mid, 32));
+}
+
+// Lane-wise SplitMix64 finalizer, bit-identical to util::mix64.
+inline __m256i mix64v(__m256i z) {
+  z = _mm256_add_epi64(z, _mm256_set1_epi64x(0x9e3779b97f4a7c15ULL));
+  z = mullo64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+      _mm256_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mullo64(
+      _mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+      _mm256_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+// Unsigned a < b per lane: AVX2 only has signed 64-bit compares, so flip the
+// sign bit of both operands first.
+inline __m256i ltu64(__m256i a, __m256i b) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm256_cmpgt_epi64(_mm256_xor_si256(b, bias),
+                            _mm256_xor_si256(a, bias));
+}
+
+// Keys for slots {s, s+1, s+2, s+3}: contiguous load when the layout is a
+// packed u64 array, byte-offset gather for record strides.
+inline __m256i load_keys4(const std::byte* base, std::size_t stride,
+                          std::uint32_t s) {
+  if (stride == sizeof(std::uint64_t))
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + s * sizeof(std::uint64_t)));
+  const long long o0 = static_cast<long long>(std::uint64_t{s} * stride);
+  const long long st = static_cast<long long>(stride);
+  __m256i offs = _mm256_set_epi64x(o0 + 3 * st, o0 + 2 * st, o0 + st, o0);
+  return _mm256_i64gather_epi64(reinterpret_cast<const long long*>(base),
+                                offs, 1);
+}
+
+std::uint32_t avx2_find_key(const std::byte* base, std::size_t stride,
+                            std::uint32_t count, std::uint64_t key) {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  std::uint32_t s = 0;
+  for (; s + 4 <= count; s += 4) {
+    __m256i eq = _mm256_cmpeq_epi64(load_keys4(base, stride, s), vkey);
+    int m = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    if (m) return s + static_cast<std::uint32_t>(__builtin_ctz(m));
+  }
+  for (; s < count; ++s)
+    if (ref_load_key(base + s * stride) == key) return s;
+  return kNotFound;
+}
+
+std::uint32_t avx2_count_key(const std::byte* base, std::size_t stride,
+                             std::uint32_t count, std::uint64_t key) {
+  const __m256i vkey = _mm256_set1_epi64x(static_cast<long long>(key));
+  __m256i acc = _mm256_setzero_si256();  // eq mask is -1 per matching lane
+  std::uint32_t s = 0;
+  for (; s + 4 <= count; s += 4)
+    acc = _mm256_sub_epi64(acc,
+                           _mm256_cmpeq_epi64(load_keys4(base, stride, s),
+                                              vkey));
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint32_t n =
+      static_cast<std::uint32_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; s < count; ++s) n += ref_load_key(base + s * stride) == key;
+  return n;
+}
+
+void avx2_hash_salts(std::uint64_t x, std::uint64_t salt_base, std::uint32_t d,
+                     std::uint64_t* out) {
+  const std::uint64_t inner = util::mix64(x ^ 0x2545f4914f6cdd1dULL);
+  const __m256i vinner = _mm256_set1_epi64x(static_cast<long long>(inner));
+  const __m256i step = _mm256_set_epi64x(3, 2, 1, 0);
+  std::uint32_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    __m256i salts = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(salt_base + i)), step);
+    __m256i h = mix64v(_mm256_xor_si256(vinner, salts));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), h);
+  }
+  for (; i < d; ++i) out[i] = util::mix64(inner ^ (salt_base + i));
+}
+
+void avx2_mix_keys(const std::uint64_t* xs, std::size_t n, std::uint64_t salt,
+                   std::uint64_t* out) {
+  const __m256i vsalt = _mm256_set1_epi64x(static_cast<long long>(salt));
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256i keys =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(xs + j));
+    __m256i h = mix64v(_mm256_xor_si256(keys, vsalt));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), h);
+  }
+  for (; j < n; ++j) out[j] = util::mix64(xs[j] ^ salt);
+}
+
+std::uint32_t avx2_min_load_select(const std::uint64_t* loads,
+                                   const std::uint64_t* candidates,
+                                   std::uint32_t count) {
+  if (count < 8) return ref_min_load_select(loads, candidates, count);
+  // Per-lane running minimum of the (load, candidate, position) triple.
+  // Within a lane positions only grow, so "replace on strict (load, cand)
+  // improvement" preserves the first-occurrence rule; the horizontal reduce
+  // at the end breaks full ties by smallest position.
+  __m256i best_cand = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(candidates));
+  __m256i best_load = _mm256_i64gather_epi64(
+      reinterpret_cast<const long long*>(loads), best_cand, 8);
+  __m256i best_pos = _mm256_set_epi64x(3, 2, 1, 0);
+  std::uint32_t j = 4;
+  for (; j + 4 <= count; j += 4) {
+    __m256i cand = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(candidates + j));
+    __m256i load = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(loads), cand, 8);
+    __m256i pos = _mm256_add_epi64(_mm256_set1_epi64x(j),
+                                   _mm256_set_epi64x(3, 2, 1, 0));
+    __m256i better = _mm256_or_si256(
+        ltu64(load, best_load),
+        _mm256_and_si256(_mm256_cmpeq_epi64(load, best_load),
+                         ltu64(cand, best_cand)));
+    best_load = _mm256_blendv_epi8(best_load, load, better);
+    best_cand = _mm256_blendv_epi8(best_cand, cand, better);
+    best_pos = _mm256_blendv_epi8(best_pos, pos, better);
+  }
+  alignas(32) std::uint64_t bl[4], bc[4], bp[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bl), best_load);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bc), best_cand);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(bp), best_pos);
+  std::uint64_t load = bl[0], cand = bc[0], pos = bp[0];
+  for (int l = 1; l < 4; ++l) {
+    if (bl[l] < load || (bl[l] == load && bc[l] < cand) ||
+        (bl[l] == load && bc[l] == cand && bp[l] < pos)) {
+      load = bl[l];
+      cand = bc[l];
+      pos = bp[l];
+    }
+  }
+  for (; j < count; ++j) {
+    std::uint64_t lj = loads[candidates[j]];
+    if (lj < load || (lj == load && candidates[j] < cand)) {
+      load = lj;
+      cand = candidates[j];
+      pos = j;
+    }
+  }
+  return static_cast<std::uint32_t>(pos);
+}
+
+}  // namespace
+
+const Kernels kAvx2Kernels = {
+    avx2_find_key, avx2_count_key, avx2_hash_salts, avx2_mix_keys,
+    avx2_min_load_select,
+};
+
+}  // namespace pddict::util::simd::detail

@@ -1,0 +1,154 @@
+// AVX-512 kernel variant: 8 x u64 lanes, AVX-512F intrinsics only.
+//
+// Deliberately restricted to the F subset so the variant runs on every
+// AVX-512 part: 64-bit multiplies are synthesized from _mm512_mul_epu32
+// (mullo needs DQ), while compares use the native unsigned mask forms F does
+// provide. Strided scans gather with byte offsets exactly as the AVX2 tier.
+// Compiled with -mavx512f only in this TU.
+#include <immintrin.h>
+
+#include "util/simd/simd_internal.hpp"
+#include "util/simd/simd_tables.hpp"
+
+namespace pddict::util::simd::detail {
+
+namespace {
+
+inline __m512i mullo64(__m512i a, __m512i b) {
+  __m512i lo = _mm512_mul_epu32(a, b);
+  __m512i mid =
+      _mm512_add_epi64(_mm512_mul_epu32(_mm512_srli_epi64(a, 32), b),
+                       _mm512_mul_epu32(a, _mm512_srli_epi64(b, 32)));
+  return _mm512_add_epi64(lo, _mm512_slli_epi64(mid, 32));
+}
+
+// Lane-wise SplitMix64 finalizer, bit-identical to util::mix64.
+inline __m512i mix64v(__m512i z) {
+  z = _mm512_add_epi64(z, _mm512_set1_epi64(0x9e3779b97f4a7c15ULL));
+  z = mullo64(
+      _mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+      _mm512_set1_epi64(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mullo64(
+      _mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+      _mm512_set1_epi64(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+inline __m512i index_ramp() { return _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0); }
+
+// Keys for slots {s, ..., s+7}: contiguous load for packed u64 arrays,
+// byte-offset gather for record strides.
+inline __m512i load_keys8(const std::byte* base, std::size_t stride,
+                          std::uint32_t s) {
+  if (stride == sizeof(std::uint64_t))
+    return _mm512_loadu_si512(base + s * sizeof(std::uint64_t));
+  __m512i offs = _mm512_add_epi64(
+      _mm512_set1_epi64(static_cast<long long>(std::uint64_t{s} * stride)),
+      mullo64(index_ramp(), _mm512_set1_epi64(static_cast<long long>(stride))));
+  return _mm512_i64gather_epi64(offs, base, 1);
+}
+
+std::uint32_t avx512_find_key(const std::byte* base, std::size_t stride,
+                              std::uint32_t count, std::uint64_t key) {
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  std::uint32_t s = 0;
+  for (; s + 8 <= count; s += 8) {
+    __mmask8 m = _mm512_cmpeq_epu64_mask(load_keys8(base, stride, s), vkey);
+    if (m) return s + static_cast<std::uint32_t>(__builtin_ctz(m));
+  }
+  for (; s < count; ++s)
+    if (ref_load_key(base + s * stride) == key) return s;
+  return kNotFound;
+}
+
+std::uint32_t avx512_count_key(const std::byte* base, std::size_t stride,
+                               std::uint32_t count, std::uint64_t key) {
+  const __m512i vkey = _mm512_set1_epi64(static_cast<long long>(key));
+  std::uint32_t n = 0;
+  std::uint32_t s = 0;
+  for (; s + 8 <= count; s += 8)
+    n += static_cast<std::uint32_t>(__builtin_popcount(
+        _mm512_cmpeq_epu64_mask(load_keys8(base, stride, s), vkey)));
+  for (; s < count; ++s) n += ref_load_key(base + s * stride) == key;
+  return n;
+}
+
+void avx512_hash_salts(std::uint64_t x, std::uint64_t salt_base,
+                       std::uint32_t d, std::uint64_t* out) {
+  const std::uint64_t inner = util::mix64(x ^ 0x2545f4914f6cdd1dULL);
+  const __m512i vinner = _mm512_set1_epi64(static_cast<long long>(inner));
+  std::uint32_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    __m512i salts = _mm512_add_epi64(
+        _mm512_set1_epi64(static_cast<long long>(salt_base + i)),
+        index_ramp());
+    _mm512_storeu_si512(out + i, mix64v(_mm512_xor_si512(vinner, salts)));
+  }
+  for (; i < d; ++i) out[i] = util::mix64(inner ^ (salt_base + i));
+}
+
+void avx512_mix_keys(const std::uint64_t* xs, std::size_t n,
+                     std::uint64_t salt, std::uint64_t* out) {
+  const __m512i vsalt = _mm512_set1_epi64(static_cast<long long>(salt));
+  std::size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512i keys = _mm512_loadu_si512(xs + j);
+    _mm512_storeu_si512(out + j, mix64v(_mm512_xor_si512(keys, vsalt)));
+  }
+  for (; j < n; ++j) out[j] = util::mix64(xs[j] ^ salt);
+}
+
+std::uint32_t avx512_min_load_select(const std::uint64_t* loads,
+                                     const std::uint64_t* candidates,
+                                     std::uint32_t count) {
+  if (count < 16) return ref_min_load_select(loads, candidates, count);
+  // Per-lane running minimum of the (load, candidate, position) triple; see
+  // the AVX2 variant for the first-occurrence argument.
+  __m512i best_cand = _mm512_loadu_si512(candidates);
+  __m512i best_load = _mm512_i64gather_epi64(best_cand, loads, 8);
+  __m512i best_pos = index_ramp();
+  std::uint32_t j = 8;
+  for (; j + 8 <= count; j += 8) {
+    __m512i cand = _mm512_loadu_si512(candidates + j);
+    __m512i load = _mm512_i64gather_epi64(cand, loads, 8);
+    __m512i pos = _mm512_add_epi64(_mm512_set1_epi64(j), index_ramp());
+    __mmask8 better =
+        _mm512_cmplt_epu64_mask(load, best_load) |
+        (_mm512_cmpeq_epu64_mask(load, best_load) &
+         _mm512_cmplt_epu64_mask(cand, best_cand));
+    best_load = _mm512_mask_blend_epi64(better, best_load, load);
+    best_cand = _mm512_mask_blend_epi64(better, best_cand, cand);
+    best_pos = _mm512_mask_blend_epi64(better, best_pos, pos);
+  }
+  alignas(64) std::uint64_t bl[8], bc[8], bp[8];
+  _mm512_store_si512(bl, best_load);
+  _mm512_store_si512(bc, best_cand);
+  _mm512_store_si512(bp, best_pos);
+  std::uint64_t load = bl[0], cand = bc[0], pos = bp[0];
+  for (int l = 1; l < 8; ++l) {
+    if (bl[l] < load || (bl[l] == load && bc[l] < cand) ||
+        (bl[l] == load && bc[l] == cand && bp[l] < pos)) {
+      load = bl[l];
+      cand = bc[l];
+      pos = bp[l];
+    }
+  }
+  for (; j < count; ++j) {
+    std::uint64_t lj = loads[candidates[j]];
+    if (lj < load || (lj == load && candidates[j] < cand)) {
+      load = lj;
+      cand = candidates[j];
+      pos = j;
+    }
+  }
+  return static_cast<std::uint32_t>(pos);
+}
+
+}  // namespace
+
+const Kernels kAvx512Kernels = {
+    avx512_find_key, avx512_count_key, avx512_hash_salts, avx512_mix_keys,
+    avx512_min_load_select,
+};
+
+}  // namespace pddict::util::simd::detail

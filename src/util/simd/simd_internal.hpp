@@ -1,0 +1,70 @@
+// Internal-linkage scalar reference kernels, shared by every variant TU.
+//
+// Included ONLY by the simd_*.cpp translation units. Everything here lives in
+// an anonymous namespace on purpose: TUs compiled with -mavx2/-mavx512f get
+// their own private copies, so the compiler can never merge (or auto-
+// vectorize with a wider ISA) a symbol that a scalar-only TU also emits —
+// the dispatch seam stays the one and only place ISA selection happens.
+//
+// These loops are the semantic ground truth: every vector kernel must return
+// exactly what they return, for every input (tests/simd_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/prng.hpp"
+
+namespace pddict::util::simd {
+namespace {
+
+inline std::uint64_t ref_load_key(const std::byte* p) {
+  std::uint64_t k;
+  std::memcpy(&k, p, sizeof(k));  // alignment-agnostic by construction
+  return k;
+}
+
+inline std::uint32_t ref_find_key(const std::byte* base, std::size_t stride,
+                                  std::uint32_t count, std::uint64_t key) {
+  for (std::uint32_t s = 0; s < count; ++s)
+    if (ref_load_key(base + s * stride) == key) return s;
+  return ~std::uint32_t{0};
+}
+
+inline std::uint32_t ref_count_key(const std::byte* base, std::size_t stride,
+                                   std::uint32_t count, std::uint64_t key) {
+  std::uint32_t n = 0;
+  for (std::uint32_t s = 0; s < count; ++s)
+    n += ref_load_key(base + s * stride) == key;
+  return n;
+}
+
+inline void ref_hash_salts(std::uint64_t x, std::uint64_t salt_base,
+                           std::uint32_t d, std::uint64_t* out) {
+  // salted_mix(x, salt) = mix64(mix64(x ^ C) ^ salt): the inner mix is
+  // salt-independent, so it is hoisted here exactly as the vector variants
+  // hoist it — same operations, same results.
+  const std::uint64_t inner = util::mix64(x ^ 0x2545f4914f6cdd1dULL);
+  for (std::uint32_t i = 0; i < d; ++i)
+    out[i] = util::mix64(inner ^ (salt_base + i));
+}
+
+inline void ref_mix_keys(const std::uint64_t* xs, std::size_t n,
+                         std::uint64_t salt, std::uint64_t* out) {
+  for (std::size_t j = 0; j < n; ++j) out[j] = util::mix64(xs[j] ^ salt);
+}
+
+inline std::uint32_t ref_min_load_select(const std::uint64_t* loads,
+                                         const std::uint64_t* candidates,
+                                         std::uint32_t count) {
+  std::uint32_t best = 0;
+  for (std::uint32_t j = 1; j < count; ++j) {
+    std::uint64_t lj = loads[candidates[j]], lb = loads[candidates[best]];
+    if (lj < lb || (lj == lb && candidates[j] < candidates[best])) best = j;
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace pddict::util::simd

@@ -1,0 +1,42 @@
+// Scalar kernel variant: the reference implementations, always compiled in.
+#include "util/simd/simd_internal.hpp"
+#include "util/simd/simd_tables.hpp"
+
+namespace pddict::util::simd::detail {
+
+namespace {
+
+std::uint32_t scalar_find_key(const std::byte* base, std::size_t stride,
+                              std::uint32_t count, std::uint64_t key) {
+  return ref_find_key(base, stride, count, key);
+}
+
+std::uint32_t scalar_count_key(const std::byte* base, std::size_t stride,
+                               std::uint32_t count, std::uint64_t key) {
+  return ref_count_key(base, stride, count, key);
+}
+
+void scalar_hash_salts(std::uint64_t x, std::uint64_t salt_base,
+                       std::uint32_t d, std::uint64_t* out) {
+  ref_hash_salts(x, salt_base, d, out);
+}
+
+void scalar_mix_keys(const std::uint64_t* xs, std::size_t n,
+                     std::uint64_t salt, std::uint64_t* out) {
+  ref_mix_keys(xs, n, salt, out);
+}
+
+std::uint32_t scalar_min_load_select(const std::uint64_t* loads,
+                                     const std::uint64_t* candidates,
+                                     std::uint32_t count) {
+  return ref_min_load_select(loads, candidates, count);
+}
+
+}  // namespace
+
+const Kernels kScalarKernels = {
+    scalar_find_key, scalar_count_key, scalar_hash_salts, scalar_mix_keys,
+    scalar_min_load_select,
+};
+
+}  // namespace pddict::util::simd::detail

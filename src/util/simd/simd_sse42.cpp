@@ -1,0 +1,112 @@
+// SSE4.2 kernel variant: 2 x u64 lanes.
+//
+// This tier vectorizes the packed (stride == 8) scans and the two hash
+// batches; strided gathers do not exist before AVX2, so the generic-stride
+// scan and the candidate select use the reference loops (trivially
+// bit-identical). Compiled with -msse4.2 only in this TU.
+#include <nmmintrin.h>
+
+#include "util/simd/simd_internal.hpp"
+#include "util/simd/simd_tables.hpp"
+
+namespace pddict::util::simd::detail {
+
+namespace {
+
+// 64-bit lane-wise a*b (mod 2^64): SSE has no 64-bit mullo, so synthesize it
+// from 32x32->64 partial products. b's high word contributes b_hi*a_lo only
+// (everything above bit 63 drops).
+inline __m128i mullo64(__m128i a, __m128i b) {
+  __m128i lo = _mm_mul_epu32(a, b);
+  __m128i mid = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                              _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lo, _mm_slli_epi64(mid, 32));
+}
+
+// Lane-wise SplitMix64 finalizer, bit-identical to util::mix64.
+inline __m128i mix64v(__m128i z) {
+  z = _mm_add_epi64(z, _mm_set1_epi64x(0x9e3779b97f4a7c15ULL));
+  z = mullo64(_mm_xor_si128(z, _mm_srli_epi64(z, 30)),
+              _mm_set1_epi64x(static_cast<long long>(0xbf58476d1ce4e5b9ULL)));
+  z = mullo64(_mm_xor_si128(z, _mm_srli_epi64(z, 27)),
+              _mm_set1_epi64x(static_cast<long long>(0x94d049bb133111ebULL)));
+  return _mm_xor_si128(z, _mm_srli_epi64(z, 31));
+}
+
+std::uint32_t sse42_find_key(const std::byte* base, std::size_t stride,
+                             std::uint32_t count, std::uint64_t key) {
+  if (stride != sizeof(std::uint64_t))
+    return ref_find_key(base, stride, count, key);
+  const __m128i vkey = _mm_set1_epi64x(static_cast<long long>(key));
+  std::uint32_t s = 0;
+  for (; s + 2 <= count; s += 2) {
+    __m128i keys = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + s * sizeof(std::uint64_t)));
+    int m = _mm_movemask_pd(_mm_castsi128_pd(_mm_cmpeq_epi64(keys, vkey)));
+    if (m) return s + static_cast<std::uint32_t>(__builtin_ctz(m));
+  }
+  for (; s < count; ++s)
+    if (ref_load_key(base + s * sizeof(std::uint64_t)) == key) return s;
+  return kNotFound;
+}
+
+std::uint32_t sse42_count_key(const std::byte* base, std::size_t stride,
+                              std::uint32_t count, std::uint64_t key) {
+  if (stride != sizeof(std::uint64_t))
+    return ref_count_key(base, stride, count, key);
+  const __m128i vkey = _mm_set1_epi64x(static_cast<long long>(key));
+  __m128i acc = _mm_setzero_si128();  // per-lane match counts (eq mask = -1)
+  std::uint32_t s = 0;
+  for (; s + 2 <= count; s += 2) {
+    __m128i keys = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(base + s * sizeof(std::uint64_t)));
+    acc = _mm_sub_epi64(acc, _mm_cmpeq_epi64(keys, vkey));
+  }
+  std::uint32_t n = static_cast<std::uint32_t>(
+      _mm_cvtsi128_si64(acc) + _mm_extract_epi64(acc, 1));
+  for (; s < count; ++s)
+    n += ref_load_key(base + s * sizeof(std::uint64_t)) == key;
+  return n;
+}
+
+void sse42_hash_salts(std::uint64_t x, std::uint64_t salt_base,
+                      std::uint32_t d, std::uint64_t* out) {
+  const std::uint64_t inner = util::mix64(x ^ 0x2545f4914f6cdd1dULL);
+  const __m128i vinner = _mm_set1_epi64x(static_cast<long long>(inner));
+  std::uint32_t i = 0;
+  for (; i + 2 <= d; i += 2) {
+    __m128i salts =
+        _mm_set_epi64x(static_cast<long long>(salt_base + i + 1),
+                       static_cast<long long>(salt_base + i));
+    __m128i h = mix64v(_mm_xor_si128(vinner, salts));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i), h);
+  }
+  for (; i < d; ++i) out[i] = util::mix64(inner ^ (salt_base + i));
+}
+
+void sse42_mix_keys(const std::uint64_t* xs, std::size_t n, std::uint64_t salt,
+                    std::uint64_t* out) {
+  const __m128i vsalt = _mm_set1_epi64x(static_cast<long long>(salt));
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    __m128i keys =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(xs + j));
+    __m128i h = mix64v(_mm_xor_si128(keys, vsalt));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + j), h);
+  }
+  for (; j < n; ++j) out[j] = util::mix64(xs[j] ^ salt);
+}
+
+}  // namespace
+
+const Kernels kSse42Kernels = {
+    sse42_find_key,  sse42_count_key,
+    sse42_hash_salts, sse42_mix_keys,
+    // No gather before AVX2: the reference select is already the best here.
+    [](const std::uint64_t* loads, const std::uint64_t* candidates,
+       std::uint32_t count) {
+      return ref_min_load_select(loads, candidates, count);
+    },
+};
+
+}  // namespace pddict::util::simd::detail

@@ -1,0 +1,24 @@
+// Internal: the per-ISA kernel tables each variant TU exports.
+//
+// simd.cpp (the dispatcher) is the only consumer. Which tables exist is a
+// build-time fact (CMake option PDDICT_SIMD_LEVELS -> PDDICT_SIMD_HAVE_*
+// definitions on the pddict_util target); which one runs is a runtime fact
+// (CPUID capped by the PDDICT_SIMD environment override).
+#pragma once
+
+#include "util/simd/simd.hpp"
+
+namespace pddict::util::simd::detail {
+
+extern const Kernels kScalarKernels;
+#ifdef PDDICT_SIMD_HAVE_SSE42
+extern const Kernels kSse42Kernels;
+#endif
+#ifdef PDDICT_SIMD_HAVE_AVX2
+extern const Kernels kAvx2Kernels;
+#endif
+#ifdef PDDICT_SIMD_HAVE_AVX512
+extern const Kernels kAvx512Kernels;
+#endif
+
+}  // namespace pddict::util::simd::detail

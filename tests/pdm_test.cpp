@@ -31,6 +31,27 @@ TEST(Geometry, DerivedQuantities) {
   EXPECT_FALSE((Geometry{0, 1, 1, 0}).valid());
 }
 
+// load_pod/store_pod must stay memcpy-based: block layouts put u64 keys at
+// odd byte offsets (record strides like 9 or 24 over the 8-byte bucket
+// header), so a cast-and-dereference implementation would be UB the UBSan
+// build variant flags. Round-trip every misaligned offset in one word.
+TEST(BlockPod, MisalignedOffsetsRoundTrip) {
+  std::vector<std::byte> buf(64, std::byte{0xA5});
+  for (std::size_t off : {1u, 2u, 3u, 5u, 7u, 9u, 11u, 13u, 15u}) {
+    const std::uint64_t v64 = 0x0123456789abcdefULL + off;
+    store_pod<std::uint64_t>(buf, off, v64);
+    EXPECT_EQ(load_pod<std::uint64_t>(buf, off), v64) << "offset " << off;
+    const std::uint32_t v32 = 0xcafef00d + static_cast<std::uint32_t>(off);
+    store_pod<std::uint32_t>(buf, off + 16, v32);
+    EXPECT_EQ(load_pod<std::uint32_t>(buf, off + 16), v32) << "offset " << off;
+  }
+  // Adjacent misaligned words must not clobber each other.
+  store_pod<std::uint64_t>(buf, 33, 0x1111111111111111ULL);
+  store_pod<std::uint64_t>(buf, 41, 0x2222222222222222ULL);
+  EXPECT_EQ(load_pod<std::uint64_t>(buf, 33), 0x1111111111111111ULL);
+  EXPECT_EQ(load_pod<std::uint64_t>(buf, 41), 0x2222222222222222ULL);
+}
+
 TEST(DiskArray, ReadBackWhatWasWritten) {
   DiskArray disks(small_geom());
   Block b(disks.geometry().block_bytes(), std::byte{0});

@@ -43,6 +43,31 @@ std::optional<Json> read_json_file(const std::string& path,
   return pddict::obs::parse_json(buf.str(), error);
 }
 
+/// The detected ISA level recorded in a document's "host" section (reports
+/// and consolidated baselines both carry one at the root since the SIMD
+/// kernel layer); "" for documents predating it.
+std::string host_isa(const Json& doc) {
+  if (!doc.is_object()) return "";
+  const Json* host = doc.find("host");
+  if (!host || !host->is_object()) return "";
+  const Json* isa = host->find("isa_level");
+  return isa && isa->is_string() ? isa->as_string() : "";
+}
+
+/// Counted I/O metrics are ISA-invariant (the kernels are bit-identical),
+/// but wall-clock fields are not — comparing wall numbers produced on
+/// different ISA tiers is comparing machines, so say so. Warn only: the
+/// deterministic metrics still gate meaningfully.
+void warn_on_isa_mismatch(const Json& before, const Json& after) {
+  std::string a = host_isa(before), b = host_isa(after);
+  if (!a.empty() && !b.empty() && a != b)
+    std::fprintf(stderr,
+                 "bench_diff: warning: baselines come from different ISA "
+                 "levels (%s vs %s); wall-clock deltas reflect the hardware, "
+                 "not the code\n",
+                 a.c_str(), b.c_str());
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <before.json> <after.json> [--wall-tol <pct>] "
@@ -95,6 +120,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    warn_on_isa_mismatch(*before, *after);
     auto result = pddict::obs::diff_baselines(*before, *after, options);
     if (result.entries.empty()) {
       std::printf("bench_diff: identical (%zu metrics compared)\n",

@@ -23,6 +23,7 @@
 
 #include "obs/bench_baseline.hpp"
 #include "obs/json.hpp"
+#include "util/simd/simd.hpp"
 
 namespace {
 
@@ -160,6 +161,18 @@ int main(int argc, char** argv) {
   root.set("generated_by", "bench_runner");
   root.set("git_rev", git_rev());
   if (!label.empty()) root.set("label", label);
+  {
+    // Which machine produced the wall_ms fields (counted I/O metrics are
+    // host-invariant); bench_diff warns when two baselines disagree on the
+    // ISA level. Same shape as the per-report host sections.
+    namespace simd = pddict::util::simd;
+    Json host = Json::object();
+    host.set("cpu_model", simd::cpu_model_string());
+    host.set("isa_level", simd::isa_name(simd::best_supported_level()));
+    host.set("simd_active", simd::isa_name(simd::active_level()));
+    host.set("simd_override", simd::env_override());
+    root.set("host", std::move(host));
+  }
   Json suite = Json::object();
   suite.set("benches", static_cast<std::uint64_t>(ran));
   suite.set("total_wall_ms", total_wall_ms);

@@ -26,6 +26,11 @@ using pddict::obs::Json;
 
 int g_errors = 0;
 
+/// Set by --require-exact-footer: subsequent reports must carry the
+/// document-level "exact_percentiles" footer a --exact-percentiles run emits
+/// (default reports omit it so committed baselines stay byte-identical).
+bool g_require_exact_footer = false;
+
 void fail(const std::string& file, const std::string& message) {
   std::fprintf(stderr, "%s: %s\n", file.c_str(), message.c_str());
   ++g_errors;
@@ -211,6 +216,26 @@ void check_report(const std::string& file, const Json& root) {
     for (const auto& [name, rep] : bounds->as_object())
       check_bound_report(file, "bounds." + name, rep);
   }
+  if (const Json* host = root.find("host")) {
+    // Optional (documents predating the SIMD layer lack it), but when
+    // present it must carry the fields bench_diff's ISA warning reads.
+    if (!host->is_object() || !host->find("cpu_model") ||
+        !host->find("isa_level") || !host->find("simd_active"))
+      return fail(file, "host section must carry {cpu_model, isa_level, "
+                        "simd_active}");
+  }
+  const Json* exact = root.find("exact_percentiles");
+  if (exact) {
+    const Json* enabled = exact->find("enabled");
+    const Json* truncated = exact->find("samples_truncated");
+    if (!exact->is_object() || !enabled || !enabled->is_bool() || !truncated ||
+        !truncated->is_bool())
+      return fail(file, "exact_percentiles footer must carry {enabled, "
+                        "samples_truncated} booleans");
+  } else if (g_require_exact_footer) {
+    return fail(file, "missing exact_percentiles footer (report was expected "
+                      "to come from an --exact-percentiles run)");
+  }
 }
 
 /// Consolidated baseline: provenance fields plus one embedded report per
@@ -255,7 +280,9 @@ void check_document(const std::string& file, const Json& root) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s [--trace-event] <artifact.json> [...]\n", argv[0]);
+                 "usage: %s [--trace-event] [--require-exact-footer] "
+                 "<artifact.json> [...]\n",
+                 argv[0]);
     return 2;
   }
   bool trace_mode = false;
@@ -263,6 +290,10 @@ int main(int argc, char** argv) {
     std::string file = argv[i];
     if (file == "--trace-event") {
       trace_mode = true;  // later files validate as Chrome trace-event docs
+      continue;
+    }
+    if (file == "--require-exact-footer") {
+      g_require_exact_footer = true;  // later reports must carry the footer
       continue;
     }
     std::ifstream in(file);
